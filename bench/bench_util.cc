@@ -1,0 +1,70 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+namespace wsie::bench {
+
+BenchScale ReadBenchScale() {
+  BenchScale scale;
+  const char* env = std::getenv("WSIE_BENCH_SCALE");
+  if (env != nullptr) {
+    double factor = std::strtod(env, nullptr);
+    if (factor > 0) {
+      scale.relevant_docs = static_cast<size_t>(scale.relevant_docs * factor);
+      scale.irrelevant_docs =
+          static_cast<size_t>(scale.irrelevant_docs * factor);
+      scale.medline_docs = static_cast<size_t>(scale.medline_docs * factor);
+      scale.pmc_docs = static_cast<size_t>(scale.pmc_docs * factor);
+    }
+  }
+  return scale;
+}
+
+BenchEnv MakeBenchEnv(BenchScale scale) {
+  BenchEnv env;
+  env.scale = scale;
+  core::AnalysisContextConfig config;
+  config.crf_training_sentences = scale.crf_training_sentences;
+  config.pos_training_sentences = scale.pos_training_sentences;
+  env.context = std::make_shared<const core::AnalysisContext>(config);
+
+  auto generate = [&](corpus::CorpusKind kind, size_t n, uint64_t seed) {
+    corpus::TextGenerator generator(&env.context->lexicons(),
+                                    corpus::ProfileFor(kind), seed);
+    env.corpora[kind] = generator.GenerateCorpus(seed * 100000, n);
+  };
+  generate(corpus::CorpusKind::kRelevantWeb, scale.relevant_docs, 1);
+  generate(corpus::CorpusKind::kIrrelevantWeb, scale.irrelevant_docs, 2);
+  generate(corpus::CorpusKind::kMedline, scale.medline_docs, 3);
+  generate(corpus::CorpusKind::kPmc, scale.pmc_docs, 4);
+  return env;
+}
+
+core::CorpusAnalysis AnalyzeCorpus(const BenchEnv& env,
+                                   corpus::CorpusKind kind, size_t dop) {
+  core::FlowOptions options;
+  dataflow::Plan plan = core::BuildAnalysisFlow(env.context, options);
+  auto result = core::RunFlow(plan, env.corpora.at(kind),
+                              dataflow::ExecutorConfig{dop, 0, 8});
+  if (!result.ok()) {
+    std::fprintf(stderr, "flow failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return core::AnalyzeRecords(kind, result->sink_outputs.at("analyzed"));
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_ref.c_str());
+  std::printf("============================================================\n");
+}
+
+void PrintCompare(const std::string& what, const std::string& paper,
+                  const std::string& measured) {
+  std::printf("%-46s paper: %-18s here: %s\n", what.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+}  // namespace wsie::bench

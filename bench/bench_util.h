@@ -1,0 +1,59 @@
+#ifndef WSIE_BENCH_BENCH_UTIL_H_
+#define WSIE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "core/analytics.h"
+#include "core/pipeline.h"
+#include "corpus/text_generator.h"
+
+namespace wsie::bench {
+
+/// Default per-corpus document counts for the table/figure harnesses.
+/// Paper scale is ~4.2M / 17.7M / 21.7M / 0.25M documents; these defaults
+/// keep every bench binary in the seconds range while preserving the
+/// relative corpus sizes' orderings. Override via the WSIE_BENCH_SCALE
+/// environment variable (a multiplier).
+struct BenchScale {
+  size_t relevant_docs = 50;
+  size_t irrelevant_docs = 90;
+  size_t medline_docs = 250;
+  size_t pmc_docs = 35;
+  size_t crf_training_sentences = 700;
+  size_t pos_training_sentences = 1000;
+};
+
+/// Reads WSIE_BENCH_SCALE (default 1.0) and scales the defaults.
+BenchScale ReadBenchScale();
+
+/// Shared state for the analysis benches: one trained context plus the four
+/// generated corpora.
+struct BenchEnv {
+  std::shared_ptr<const core::AnalysisContext> context;
+  std::map<corpus::CorpusKind, std::vector<corpus::Document>> corpora;
+  BenchScale scale;
+};
+
+/// Builds the context (training the taggers) and generates all four corpora.
+BenchEnv MakeBenchEnv(BenchScale scale = ReadBenchScale());
+
+/// Runs the full analysis flow over one corpus and returns its analysis.
+core::CorpusAnalysis AnalyzeCorpus(const BenchEnv& env,
+                                   corpus::CorpusKind kind,
+                                   size_t dop = 2);
+
+/// Prints a rule line and a centered title.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+/// Prints "  paper: <a>   measured: <b>" comparison lines.
+void PrintCompare(const std::string& what, const std::string& paper,
+                  const std::string& measured);
+
+}  // namespace wsie::bench
+
+#endif  // WSIE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,113 @@
+// Reproduces Fig. 5: scale-out of the linguistic and entity-extraction
+// flows over a fixed 20 GB sample for increasing degree of parallelism.
+// Paper findings to hold:
+//  - entity flow: good scale-out until ~DoP 16 (runtime -72%), then flat —
+//    the ~20-minute dictionary load is a start-up floor no DoP amortizes;
+//  - linguistic flow: near-ideal until ~DoP 12 (-95%), negligible start-up;
+//  - entity flow infeasible below DoP 4 (excessive ML runtimes) and above
+//    DoP 28 (per-worker dictionary memory exceeds the 24 GB nodes).
+//
+// Method: this repo's flows run for real at bench scale and the executor
+// reports per-operator start-up vs. processing seconds — establishing that
+// (a) the dictionary build is a serial start-up cost and (b) processing
+// parallelizes. The cluster-scale curve is then computed from the scaling
+// law T(dop) = T_open + T_work/dop (+ coordination) with the paper's
+// documented constants (20-minute dictionary load, 20 GB sample), because
+// this machine has one core and scaled-down dictionaries (see DESIGN.md).
+
+#include <cmath>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace wsie;
+  bench::PrintHeader("Fig. 5: Scale-out of linguistic and entity flows",
+                     "Figure 5");
+  bench::BenchScale scale;
+  scale.relevant_docs = 50;
+  scale.irrelevant_docs = 1;
+  scale.medline_docs = 1;
+  scale.pmc_docs = 1;
+  bench::BenchEnv env = bench::MakeBenchEnv(scale);
+  const auto& docs = env.corpora.at(corpus::CorpusKind::kRelevantWeb);
+
+  // --- Real runs: split measured time into start-up vs processing.
+  auto measure = [&](bool entity_flow) {
+    core::FlowOptions options;
+    options.linguistic_analysis = !entity_flow;
+    options.entity_annotation = entity_flow;
+    dataflow::Plan plan = core::BuildAnalysisFlow(env.context, options);
+    auto result = core::RunFlow(plan, docs, dataflow::ExecutorConfig{1, 0, 8});
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+    double open = 0, process = 0;
+    for (const auto& s : result->operator_stats) {
+      open += s.open_seconds;
+      process += s.process_seconds;
+    }
+    return std::pair<double, double>(open, process);
+  };
+  auto [ling_open, ling_work] = measure(false);
+  auto [ent_open, ent_work] = measure(true);
+  std::printf("measured at bench scale (%zu web docs):\n", docs.size());
+  std::printf("  linguistic flow: start-up %.3fs, processing %.3fs "
+              "(start-up share %.1f%%)\n",
+              ling_open, ling_work, 100 * ling_open / (ling_open + ling_work));
+  std::printf("  entity flow:     start-up %.3fs, processing %.3fs "
+              "(start-up share %.1f%%)\n",
+              ent_open, ent_work, 100 * ent_open / (ent_open + ent_work));
+  bool startup_asymmetry = ent_open / (ent_open + ent_work) >
+                           ling_open / (ling_open + ling_work);
+  std::printf("  dictionary start-up dominates the entity flow's fixed cost:"
+              " %s\n\n", startup_asymmetry ? "yes" : "no");
+
+  // --- Cluster-scale curve with the paper's constants.
+  const double kEntOpen = 1200.0;   // 20-minute gene dictionary load
+  const double kEntWork = 26000.0;  // serial work, calibrated to Fig. 5's
+                                    // ~8000 s at DoP 4
+  const double kLingOpen = 15.0;
+  const double kLingWork = 8200.0;  // ~8200 s at DoP 1 in Fig. 5
+
+  std::printf("modeled 20 GB sample on the paper's cluster:\n");
+  std::printf("%-6s %16s %16s\n", "DoP", "entity flow (s)", "linguistic (s)");
+  const int dops[] = {1, 2, 4, 8, 12, 16, 20, 24, 28, 56, 84, 140, 156};
+  double ent_t4 = 0, ling_t1 = 0, ent_t16 = 0, ling_t12 = 0, ent_t28 = 0;
+  for (int dop : dops) {
+    double coordination = 5.0 * std::log2(static_cast<double>(dop) + 1.0);
+    double ent_t = kEntOpen + kEntWork / dop + coordination;
+    double ling_t = kLingOpen + kLingWork / dop + coordination;
+    bool ent_feasible = dop >= 4 && dop <= 28;
+    if (ent_feasible) {
+      std::printf("%-6d %16.0f %16.0f\n", dop, ent_t, ling_t);
+    } else {
+      std::printf("%-6d %16s %16.0f   (entity flow infeasible: %s)\n", dop,
+                  "-", ling_t,
+                  dop < 4 ? "excessive ML runtimes"
+                          : "dictionary memory per worker");
+    }
+    if (dop == 4) ent_t4 = ent_t;
+    if (dop == 1) ling_t1 = ling_t;
+    if (dop == 16) ent_t16 = ent_t;
+    if (dop == 12) ling_t12 = ling_t;
+    if (dop == 28) ent_t28 = ent_t;
+  }
+  double ent_reduction = 1.0 - ent_t16 / ent_t4;
+  double ling_reduction = 1.0 - ling_t12 / ling_t1;
+  double marginal = 1.0 - ent_t28 / ent_t16;
+  std::printf("\nentity flow reduction DoP 4 -> 16: %.0f%% (paper: up to "
+              "72%%)\n", 100 * ent_reduction);
+  std::printf("linguistic flow reduction DoP 1 -> 12: %.0f%% (paper: up to "
+              "95%%)\n", 100 * ling_reduction);
+  std::printf("further entity reduction 16 -> 28: %.0f%% (paper: 'only "
+              "marginal further improvements')\n", 100 * marginal);
+
+  bool ok = startup_asymmetry && ent_reduction > 0.55 &&
+            ent_reduction < 0.85 && ling_reduction > 0.85 &&
+            marginal < ent_reduction / 2;
+  std::printf("\nFig. 5 shape (start-up floor caps entity scale-out; "
+              "linguistic scales near-ideally): %s\n",
+              ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+}

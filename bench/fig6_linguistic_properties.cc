@@ -1,0 +1,116 @@
+// Reproduces Fig. 6 (+ the Sect. 4.3.1 pronoun/parenthesis findings):
+// distributions of document length (a), mean sentence length (b), and
+// negation incidence (c) in the four corpora, with Mann-Whitney-Wilcoxon
+// significance tests. Paper findings to hold:
+//  - mean doc length rel > pmc, rel > irrel, rel > medline; all P < 0.01
+//  - negation incidence pmc > irrel > rel > medline; P < 0.01
+//  - parentheses: pmc > rel > medline > irrel
+//  - demonstrative/relative/object pronouns lower in web corpora than PMC.
+
+#include "bench_util.h"
+#include "ml/stats.h"
+
+int main() {
+  using namespace wsie;
+  bench::PrintHeader(
+      "Fig. 6: Linguistic properties per document across corpora",
+      "Figure 6 and Sect. 4.3.1");
+  bench::BenchEnv env = bench::MakeBenchEnv();
+
+  const corpus::CorpusKind kinds[] = {
+      corpus::CorpusKind::kRelevantWeb, corpus::CorpusKind::kIrrelevantWeb,
+      corpus::CorpusKind::kMedline, corpus::CorpusKind::kPmc};
+  std::map<corpus::CorpusKind, core::CorpusAnalysis> analyses;
+  for (auto kind : kinds) analyses.emplace(kind, bench::AnalyzeCorpus(env, kind));
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+
+  // (a) Document lengths.
+  std::printf("\n(a) Document length (chars):\n");
+  std::printf("%-18s %10s %10s %10s %10s %10s\n", "corpus", "mean", "p25",
+              "median", "p75", "max");
+  for (auto kind : kinds) {
+    auto d = ml::Describe(analyses.at(kind).DocLengths());
+    std::printf("%-18s %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+                corpus::CorpusKindName(kind), d.mean, d.p25, d.median, d.p75,
+                d.max);
+  }
+
+  // (b) Mean sentence lengths.
+  std::printf("\n(b) Mean sentence length (chars):\n");
+  for (auto kind : kinds) {
+    auto d = ml::Describe(analyses.at(kind).MeanSentenceLengths());
+    std::printf("%-18s mean %7.1f  median %7.1f\n",
+                corpus::CorpusKindName(kind), d.mean, d.median);
+  }
+
+  // (c) Negation incidence per 100 sentences.
+  std::printf("\n(c) Negation incidence (per 100 sentences):\n");
+  for (auto kind : kinds) {
+    std::printf("%-18s %7.2f\n", corpus::CorpusKindName(kind),
+                mean(analyses.at(kind).NegationsPer100Sentences()));
+  }
+
+  // Pronouns (co-reference classes) and parentheses per 100 sentences.
+  std::printf("\nPronoun incidence per 100 sentences (dem/rel/obj):\n");
+  for (auto kind : kinds) {
+    const auto& a = analyses.at(kind);
+    std::printf("%-18s dem %6.2f  rel %6.2f  obj %6.2f\n",
+                corpus::CorpusKindName(kind),
+                mean(a.PronounsPer100Sentences(nlp::PronounClass::kDemonstrative)),
+                mean(a.PronounsPer100Sentences(nlp::PronounClass::kRelative)),
+                mean(a.PronounsPer100Sentences(nlp::PronounClass::kObject)));
+  }
+  std::printf("\nParenthesized text per 100 sentences:\n");
+  for (auto kind : kinds) {
+    std::printf("%-18s %7.2f\n", corpus::CorpusKindName(kind),
+                mean(analyses.at(kind).ParenthesesPer100Sentences()));
+  }
+  std::printf("\nAbbreviation definitions (Schwartz-Hearst) per 100 "
+              "sentences:\n");
+  for (auto kind : kinds) {
+    std::printf("%-18s %7.2f\n", corpus::CorpusKindName(kind),
+                mean(analyses.at(kind).AbbreviationsPer100Sentences()));
+  }
+
+  // Significance tests.
+  const auto& rel = analyses.at(corpus::CorpusKind::kRelevantWeb);
+  const auto& irrel = analyses.at(corpus::CorpusKind::kIrrelevantWeb);
+  const auto& medl = analyses.at(corpus::CorpusKind::kMedline);
+  const auto& pmc = analyses.at(corpus::CorpusKind::kPmc);
+  std::printf("\nMann-Whitney-Wilcoxon P-values (doc length):\n");
+  double p1 = core::MwwPValue(rel.DocLengths(), pmc.DocLengths());
+  double p2 = core::MwwPValue(rel.DocLengths(), irrel.DocLengths());
+  double p3 = core::MwwPValue(rel.DocLengths(), medl.DocLengths());
+  std::printf("  rel vs pmc:    P = %.2e   (paper: P < 0.01)\n", p1);
+  std::printf("  rel vs irrel:  P = %.2e   (paper: P < 0.01)\n", p2);
+  std::printf("  rel vs medl:   P = %.2e   (paper: P < 0.01)\n", p3);
+  double p4 = core::MwwPValue(pmc.NegationsPer100Sentences(),
+                              medl.NegationsPer100Sentences());
+  std::printf("MWW P-value negation pmc vs medline: P = %.2e (paper: <0.01)\n",
+              p4);
+
+  // Abbreviation usage: scientific corpora define far more abbreviations
+  // than the web corpora (abstract: "the use of negation or abbreviations").
+  bool abbrev_ok =
+      mean(medl.AbbreviationsPer100Sentences()) >
+          mean(irrel.AbbreviationsPer100Sentences()) &&
+      mean(pmc.AbbreviationsPer100Sentences()) >
+          mean(irrel.AbbreviationsPer100Sentences());
+  bool ok = abbrev_ok && p2 < 0.01 && p3 < 0.01 && p4 < 0.01 &&
+            mean(pmc.NegationsPer100Sentences()) >
+                mean(rel.NegationsPer100Sentences()) &&
+            mean(rel.NegationsPer100Sentences()) >
+                mean(medl.NegationsPer100Sentences()) &&
+            mean(pmc.ParenthesesPer100Sentences()) >
+                mean(rel.ParenthesesPer100Sentences()) &&
+            mean(rel.ParenthesesPer100Sentences()) >
+                mean(irrel.ParenthesesPer100Sentences());
+  std::printf("\nFig. 6 orderings + significance: %s\n",
+              ok ? "HOLD" : "VIOLATED");
+  return ok ? 0 : 1;
+}

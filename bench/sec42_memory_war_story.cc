@@ -1,0 +1,114 @@
+// Reproduces the Sect. 4.2 "war story": why the complete Fig. 2 flow could
+// not run on the paper's cluster, and how splitting it fixed that.
+//  1. The complete flow needs ~60 GB per worker; nodes have 24 GB -> the
+//     executor's admission control rejects it.
+//  2. Splitting into one linguistic flow + one flow per entity class makes
+//     every part fit (except the gene flow, which must further split
+//     dictionary and ML runs / move to the 1 TB server).
+//  3. The OpenNLP 1.4 / 1.5 version conflict blocks the disease-ML flow
+//     from co-running with the 1.5-based preprocessing operators.
+//  4. Annotations inflate data volume: 1 TB of text produced 1.6 TB of
+//     annotations; we verify annotations exceed the raw input here too.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+int main() {
+  using namespace wsie;
+  bench::PrintHeader("Sect. 4.2: Processing the entire crawl - a war story",
+                     "Sect. 4.2 (memory, versioning, data volume)");
+  bench::BenchScale scale;
+  scale.relevant_docs = 30;
+  scale.irrelevant_docs = 1;
+  scale.medline_docs = 1;
+  scale.pmc_docs = 1;
+  bench::BenchEnv env = bench::MakeBenchEnv(scale);
+  const auto& docs = env.corpora.at(corpus::CorpusKind::kRelevantWeb);
+  const size_t kNodeBudget = 24ull << 30;  // 24 GB nodes
+
+  // 1. Complete flow at paper-scale memory.
+  core::FlowOptions full;
+  full.paper_scale_memory = true;
+  dataflow::Plan full_plan = core::BuildAnalysisFlow(env.context, full);
+  size_t flow_bytes = 0;
+  for (const auto& node : full_plan.nodes()) {
+    if (!node.is_source()) flow_bytes += node.op->MemoryBytesPerWorker();
+  }
+  std::printf("complete flow: %zu operators, %.0f GB per worker (paper: "
+              "~60 GB; nodes have 24 GB)\n",
+              full_plan.num_operators(),
+              static_cast<double>(flow_bytes) / (1ull << 30));
+  auto full_result =
+      core::RunFlow(full_plan, docs,
+                    dataflow::ExecutorConfig{2, kNodeBudget, 8});
+  std::printf("running it on a 24 GB node: %s\n",
+              full_result.ok() ? "UNEXPECTEDLY SUCCEEDED"
+                               : full_result.status().ToString().c_str());
+  bool rejected = !full_result.ok() &&
+                  full_result.status().code() == StatusCode::kResourceExhausted;
+
+  // 2. Split per the paper's remedy.
+  auto parts = core::SplitFlowByMemory(full, kNodeBudget);
+  std::printf("\nsplit into %zu parts (paper: one linguistic flow + one flow "
+              "per entity class; gene split further):\n", parts.size());
+  bool all_parts_fit = true;
+  for (const auto& part : parts) {
+    dataflow::Plan plan = core::BuildAnalysisFlow(env.context, part);
+    size_t bytes = 0;
+    for (const auto& node : plan.nodes()) {
+      if (!node.is_source()) bytes += node.op->MemoryBytesPerWorker();
+    }
+    std::string label = part.linguistic_analysis ? "linguistic" : "";
+    if (part.entity_annotation) {
+      for (auto type : part.entity_types) {
+        label += std::string(ie::EntityTypeName(type)) +
+                 (part.dictionary_methods && part.ml_methods ? "(dict+ml)"
+                  : part.dictionary_methods                  ? "(dict)"
+                                                             : "(ml)");
+      }
+    }
+    bool fits = bytes <= kNodeBudget;
+    if (!fits) all_parts_fit = false;
+    std::printf("  %-22s %5.0f GB/worker -> %s\n", label.c_str(),
+                static_cast<double>(bytes) / (1ull << 30),
+                fits ? "fits" : "does NOT fit");
+  }
+
+  // 3. Library version conflict.
+  core::FlowOptions disease;
+  disease.linguistic_analysis = false;
+  disease.entity_types = {ie::EntityType::kDisease};
+  dataflow::Plan disease_plan = core::BuildAnalysisFlow(env.context, disease);
+  Status conflict = core::CheckLibraryConflicts(disease_plan);
+  std::printf("\ndisease-ML flow library check: %s\n",
+              conflict.ToString().c_str());
+  bool conflict_found = !conflict.ok();
+
+  // 4. Annotation volume inflation (run the real flow without the memory
+  // model).
+  core::FlowOptions real;
+  dataflow::Plan real_plan = core::BuildAnalysisFlow(env.context, real);
+  auto result = core::RunFlow(real_plan, docs, dataflow::ExecutorConfig{2, 0, 8});
+  if (!result.ok()) return 1;
+  size_t input_bytes = 0;
+  for (const auto& d : docs) input_bytes += d.text.size();
+  double inflation = static_cast<double>(result->total_bytes_materialized) /
+                     static_cast<double>(input_bytes);
+  std::printf("\nraw input: %s bytes; materialized through the pipeline: %s "
+              "bytes (%.1fx)\n",
+              FormatWithCommas(static_cast<long long>(input_bytes)).c_str(),
+              FormatWithCommas(
+                  static_cast<long long>(result->total_bytes_materialized))
+                  .c_str(),
+              inflation);
+  std::printf("paper: 1 TB raw text grew to 1.6 TB of annotations on top — "
+              "the opposite of the usual aggregate-as-you-go Big Data "
+              "pattern\n");
+  bool inflated = inflation > 1.5;
+
+  bool ok = rejected && all_parts_fit && conflict_found && inflated;
+  std::printf("\nSect. 4.2 war story (admission rejects full flow; split "
+              "fits; version conflict; volume inflation): %s\n",
+              ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+}

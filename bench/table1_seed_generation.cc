@@ -1,0 +1,83 @@
+// Reproduces Table 1 and the Sect. 2.2 seed-generation experience:
+// keyword-category budgets, multi-engine querying, and the two seed runs —
+// the small first run (166/468/325/246 terms -> 45,227 seeds) whose crawl
+// frontier emptied quickly, and the full run (500/5000/4000/6500 terms ->
+// 485,462 seeds). Shape to hold: the full budget yields a several-fold
+// larger seed list, and a crawl from the small list dies far earlier.
+
+#include "bench_util.h"
+#include "crawler/focused_crawler.h"
+#include "crawler/seed_generator.h"
+#include "web/search_engine.h"
+#include "web/simulated_web.h"
+
+int main() {
+  using namespace wsie;
+  bench::PrintHeader("Table 1: Seed generation by keyword category",
+                     "Table 1 and Sect. 2.2");
+  bench::BenchScale scale;
+  scale.relevant_docs = scale.irrelevant_docs = scale.medline_docs =
+      scale.pmc_docs = 1;
+  bench::BenchEnv env = bench::MakeBenchEnv(scale);
+
+  web::WebConfig web_config;
+  web_config.num_hosts = 300;
+  web_config.mean_pages_per_host = 18;
+  web_config.seed = 5;
+  web::SyntheticWeb graph(web_config);
+  web::SimulatedWeb sim(&graph, &env.context->lexicons());
+
+  auto run = [&](const crawler::SeedQueryBudget& budget, const char* label) {
+    web::SearchEngineFederation engines(&sim);
+    crawler::SeedGenerator generator(&env.context->lexicons(), &engines);
+    auto report = generator.Generate(budget);
+    std::printf("\n%s\n", label);
+    std::printf("%-18s %10s %10s %10s %10s\n", "Category", "requested",
+                "used", "queries", "urls");
+    for (const auto& cat : report.categories) {
+      std::printf("%-18s %10zu %10zu %10zu %10zu\n", cat.category.c_str(),
+                  cat.terms_requested, cat.terms_used, cat.queries_issued,
+                  cat.urls_found);
+    }
+    std::printf("unique seed URLs: %zu (queries rejected over budget: %zu)\n",
+                report.seed_urls.size(), report.queries_rejected);
+    return report.seed_urls;
+  };
+
+  // Budgets are scaled 1:10 to match the scaled-down lexicons (the paper's
+  // term pools come from full-size public resources).
+  auto small_seeds = run(crawler::SeedQueryBudget{17, 47, 33, 25},
+                         "First crawl (bracketed subset of Table 1, scaled "
+                         "1:10; paper: 45,227 seeds):");
+  auto full_seeds = run(crawler::SeedQueryBudget{50, 500, 400, 650},
+                        "Full run (Table 1 budgets, scaled 1:10; paper: "
+                        "485,462 seeds):");
+
+  // Crawl both seed lists and compare how far the frontier carries.
+  crawler::ClassifierTrainConfig classifier_config;
+  classifier_config.docs_per_class = 120;
+  classifier_config.relevance_threshold = 0.5;
+  crawler::RelevanceClassifier classifier(&env.context->lexicons(),
+                                          classifier_config);
+  auto crawl = [&](const std::vector<std::string>& seeds) {
+    crawler::CrawlerConfig config;
+    config.max_pages = 3000;
+    crawler::FocusedCrawler crawler(&sim, &classifier, config);
+    crawler.InjectSeeds(seeds);
+    crawler.Crawl();
+    return crawler.stats().fetched;
+  };
+  uint64_t small_crawl = crawl(small_seeds);
+  uint64_t full_crawl = crawl(full_seeds);
+  std::printf("\ncrawl size from first-run seeds: %llu pages (frontier "
+              "emptied)\n", static_cast<unsigned long long>(small_crawl));
+  std::printf("crawl size from full seeds:      %llu pages\n",
+              static_cast<unsigned long long>(full_crawl));
+
+  bool ok = full_seeds.size() > 2 * small_seeds.size() &&
+            full_crawl >= small_crawl;
+  std::printf("\nTable 1 / Sect. 2.2 shape (bigger seed budget -> several-"
+              "fold more seeds -> larger crawl): %s\n",
+              ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+}

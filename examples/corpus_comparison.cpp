@@ -1,0 +1,113 @@
+// Corpus-comparison example: the paper's headline study in miniature.
+// Generates the four corpora (relevant crawl, irrelevant crawl, Medline
+// abstracts, PMC full texts), runs the same analysis flow over each, and
+// prints the linguistic and biomedical-entity contrasts of Sect. 4.3.
+//
+// Usage: ./build/examples/corpus_comparison [docs_per_corpus]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/analytics.h"
+#include "core/pipeline.h"
+#include "corpus/text_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace wsie;
+  size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40;
+
+  std::printf("Training taggers...\n");
+  core::AnalysisContextConfig context_config;
+  context_config.crf_training_sentences = 400;
+  auto context = std::make_shared<const core::AnalysisContext>(context_config);
+
+  const corpus::CorpusKind kinds[] = {
+      corpus::CorpusKind::kRelevantWeb, corpus::CorpusKind::kIrrelevantWeb,
+      corpus::CorpusKind::kMedline, corpus::CorpusKind::kPmc};
+
+  std::map<corpus::CorpusKind, core::CorpusAnalysis> analyses;
+  uint64_t seed = 1;
+  for (auto kind : kinds) {
+    corpus::TextGenerator generator(&context->lexicons(),
+                                    corpus::ProfileFor(kind), seed);
+    // Medline gets more (short) documents, as in Table 3's proportions.
+    size_t docs = kind == corpus::CorpusKind::kMedline ? n * 5 : n;
+    auto corpus_docs = generator.GenerateCorpus(seed * 100000, docs);
+    core::FlowOptions options;
+    dataflow::Plan plan = core::BuildAnalysisFlow(context, options);
+    auto result = core::RunFlow(plan, corpus_docs,
+                                dataflow::ExecutorConfig{4, 0, 8});
+    if (!result.ok()) {
+      std::printf("flow failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    analyses.emplace(kind, core::AnalyzeRecords(
+                               kind, result->sink_outputs.at("analyzed")));
+    ++seed;
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+
+  std::printf("\n%-18s %8s %10s %10s %9s %9s %9s\n", "corpus", "docs",
+              "mean chrs", "sentences", "neg/100s", "par/100s", "pron/100s");
+  for (auto kind : kinds) {
+    const auto& a = analyses.at(kind);
+    double pronouns = 0;
+    for (size_t c = 0; c < core::kNumPronounClasses; ++c) {
+      pronouns += mean(a.PronounsPer100Sentences(
+          static_cast<nlp::PronounClass>(c)));
+    }
+    std::printf("%-18s %8zu %10.0f %10llu %9.2f %9.2f %9.2f\n",
+                corpus::CorpusKindName(kind), a.num_docs(), a.mean_chars(),
+                static_cast<unsigned long long>(a.total_sentences),
+                mean(a.NegationsPer100Sentences()),
+                mean(a.ParenthesesPer100Sentences()), pronouns);
+  }
+
+  std::printf("\nentity annotations per 1000 sentences (dict | ml):\n");
+  std::printf("%-18s %15s %15s %15s\n", "corpus", "gene", "drug", "disease");
+  for (auto kind : kinds) {
+    const auto& a = analyses.at(kind);
+    std::printf("%-18s %6.1f | %6.1f %6.1f | %6.1f %6.1f | %6.1f\n",
+                corpus::CorpusKindName(kind), a.EntitiesPer1000Sentences(0, 0),
+                a.EntitiesPer1000Sentences(0, 1),
+                a.EntitiesPer1000Sentences(1, 0),
+                a.EntitiesPer1000Sentences(1, 1),
+                a.EntitiesPer1000Sentences(2, 0),
+                a.EntitiesPer1000Sentences(2, 1));
+  }
+
+  // Significance and divergence (Sect. 4.3).
+  const auto& rel = analyses.at(corpus::CorpusKind::kRelevantWeb);
+  const auto& medl = analyses.at(corpus::CorpusKind::kMedline);
+  std::printf("\nMWW P-value, doc length rel vs medline: %.2e\n",
+              core::MwwPValue(rel.DocLengths(), medl.DocLengths()));
+  std::printf("JSD of dictionary gene-name distributions:\n");
+  for (auto kind : {corpus::CorpusKind::kIrrelevantWeb,
+                    corpus::CorpusKind::kMedline, corpus::CorpusKind::kPmc}) {
+    std::printf("  relevant vs %-18s %.4f\n", corpus::CorpusKindName(kind),
+                core::EntityDistributionJsd(rel, analyses.at(kind), 0, 0));
+  }
+
+  // The "new knowledge on the web" finding: names only in the relevant
+  // crawl.
+  std::array<std::set<std::string>, 4> gene_sets;
+  for (size_t k = 0; k < 4; ++k) {
+    gene_sets[k] = core::DistinctNameSet(analyses.at(kinds[k]), 0, 0);
+  }
+  for (const auto& region : core::ComputeOverlap(gene_sets)) {
+    if (region.membership == 0x1) {
+      std::printf("\ndistinct gene names found ONLY in the relevant crawl: "
+                  "%llu (%.1f%% of the union) — the paper's evidence that "
+                  "the web holds knowledge absent from the literature\n",
+                  static_cast<unsigned long long>(region.count),
+                  100 * region.share);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace wsie {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_emit_mu;
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level));
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load());
+}
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line,
+          const std::string& message) {
+  if (static_cast<int>(level) < g_min_level.load()) return;
+  // Basename of the file for compact output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_emit_mu);
+  std::fprintf(stderr, "[%s %lld.%03lld %s:%d] %s\n", LogLevelName(level),
+               static_cast<long long>(millis / 1000),
+               static_cast<long long>(millis % 1000), base, line,
+               message.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace wsie

@@ -1,0 +1,64 @@
+#ifndef WSIE_COMMON_LOGGING_H_
+#define WSIE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wsie {
+
+/// Log severities, in increasing order.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Minimum severity that is emitted (default kInfo). Thread-safe.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+/// Emits one formatted line to stderr ("[LEVEL file:line] message").
+/// Exposed for the WSIE_LOG macro; not part of the public API.
+void Emit(LogLevel level, const char* file, int line,
+          const std::string& message);
+
+/// Stream-collecting helper behind WSIE_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace wsie
+
+/// Streams a log line at the given severity:
+///   WSIE_LOG(kInfo) << "crawled " << pages << " pages";
+/// Messages below the global minimum level are formatted but not emitted
+/// (the level check happens in Emit; keep hot-path logging at kDebug).
+#define WSIE_LOG(severity)                                                \
+  ::wsie::internal_logging::LogMessage(::wsie::LogLevel::severity,        \
+                                       __FILE__, __LINE__)
+
+#endif  // WSIE_COMMON_LOGGING_H_

@@ -1,0 +1,88 @@
+#ifndef WSIE_COMMON_RESULT_H_
+#define WSIE_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace wsie {
+
+/// A value-or-error type in the style of arrow::Result / absl::StatusOr.
+///
+/// Holds either a T (when status().ok()) or an error Status. Accessing the
+/// value of an errored Result aborts the process; call ok() first or use
+/// ValueOr().
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; aborts if this result is an error.
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Accessed value of errored Result: "
+                << std::get<Status>(repr_).ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace wsie
+
+/// Assigns the value of `rexpr` (a Result<T> expression) to `lhs`, or returns
+/// its error status from the enclosing function.
+#define WSIE_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto WSIE_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!WSIE_CONCAT_(_res_, __LINE__).ok())         \
+    return WSIE_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(WSIE_CONCAT_(_res_, __LINE__)).value()
+
+#define WSIE_CONCAT_(a, b) WSIE_CONCAT_IMPL_(a, b)
+#define WSIE_CONCAT_IMPL_(a, b) a##b
+
+#endif  // WSIE_COMMON_RESULT_H_

@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace wsie {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  // Inverse-CDF on the continuous approximation of the Zipf distribution;
+  // accurate enough for rank-frequency workload generation.
+  double u = NextDouble();
+  if (s == 1.0) s = 1.0000001;
+  double max_term = std::pow(static_cast<double>(n), 1.0 - s);
+  double x = std::pow(u * (max_term - 1.0) + 1.0, 1.0 / (1.0 - s));
+  size_t rank = static_cast<size_t>(x) - 1;
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return weights.size();
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace wsie

@@ -1,0 +1,87 @@
+#ifndef WSIE_COMMON_RNG_H_
+#define WSIE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wsie {
+
+/// Deterministic pseudo-random number generator (splitmix64 core).
+///
+/// All synthetic-data generation in this repository flows through Rng so that
+/// every experiment is reproducible bit-for-bit from its seed. The generator
+/// is deliberately simple and fast; it is not cryptographic.
+class Rng {
+ public:
+  /// Creates a generator. Identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Approximately normal draw (Irwin-Hall sum of 12 uniforms).
+  double Gaussian(double mean, double stddev) {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += NextDouble();
+    return mean + stddev * (s - 6.0);
+  }
+
+  /// Geometric-like draw: number of failures before first success, capped.
+  int Geometric(double p, int cap) {
+    int n = 0;
+    while (n < cap && !Bernoulli(p)) ++n;
+    return n;
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` using inverse-CDF over
+  /// a precomputed table is avoided; this uses rejection-free approximation
+  /// adequate for workload generation.
+  size_t Zipf(size_t n, double s);
+
+  /// Samples an index according to (unnormalized) non-negative `weights`.
+  /// Returns weights.size() if all weights are zero.
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    if (items.empty()) return;
+    for (size_t i = items.size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap(items[i], items[j]);
+    }
+  }
+
+  /// Derives an independent child generator (stable across platforms).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wsie
+
+#endif  // WSIE_COMMON_RNG_H_

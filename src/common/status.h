@@ -1,0 +1,104 @@
+#ifndef WSIE_COMMON_STATUS_H_
+#define WSIE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace wsie {
+
+/// Error codes used across the library. Modeled after the Arrow/RocksDB
+/// convention: library code never throws; fallible operations return a
+/// Status (or Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,  ///< e.g., per-worker memory budget exceeded (Sect. 4.2)
+  kFailedPrecondition,
+  kAborted,            ///< e.g., tool crash on pathological input (Sect. 5)
+  kUnimplemented,
+  kInternal,
+  kTimeout,            ///< e.g., network time-out induced crashes (Sect. 4.2)
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheaply copyable success-or-error value.
+///
+/// The OK status carries no message and allocates nothing. Error statuses
+/// carry a code and a message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. Prefer the named
+  /// factories (Status::InvalidArgument(...) etc.) in new code.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace wsie
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define WSIE_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::wsie::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // WSIE_COMMON_STATUS_H_

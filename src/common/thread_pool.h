@@ -1,0 +1,56 @@
+#ifndef WSIE_COMMON_THREAD_POOL_H_
+#define WSIE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsie {
+
+/// A fixed-size worker pool used by the dataflow executor and the crawler's
+/// fetcher threads.
+///
+/// The pool owns its threads; Submit() enqueues a task, Wait() blocks until
+/// all submitted tasks have finished. The destructor drains outstanding work.
+/// Thread-safe for concurrent Submit() calls.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  /// Convenience for the common parallel-for pattern.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace wsie
+
+#endif  // WSIE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,230 @@
+#include "core/analytics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "core/operators_ie.h"
+
+namespace wsie::core {
+namespace {
+
+int TypeIndex(const std::string& type_name) {
+  if (type_name == "gene") return 0;
+  if (type_name == "drug") return 1;
+  if (type_name == "disease") return 2;
+  return -1;
+}
+
+int MethodIndex(const std::string& method_name) {
+  if (method_name == "dict") return 0;
+  if (method_name == "ml") return 1;
+  return -1;
+}
+
+}  // namespace
+
+double CorpusAnalysis::mean_chars() const {
+  return per_doc.empty() ? 0.0
+                         : static_cast<double>(total_chars) /
+                               static_cast<double>(per_doc.size());
+}
+
+double CorpusAnalysis::EntitiesPer1000Sentences(size_t type,
+                                                size_t method) const {
+  if (total_sentences == 0) return 0.0;
+  uint64_t total = 0;
+  for (const DocMeasures& d : per_doc) total += d.entities[type][method];
+  return 1000.0 * static_cast<double>(total) /
+         static_cast<double>(total_sentences);
+}
+
+double CorpusAnalysis::EntitiesPer1000SentencesAllMethods(size_t type) const {
+  return EntitiesPer1000Sentences(type, 0) + EntitiesPer1000Sentences(type, 1);
+}
+
+std::vector<double> CorpusAnalysis::DocLengths() const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc) out.push_back(static_cast<double>(d.chars));
+  return out;
+}
+
+std::vector<double> CorpusAnalysis::MeanSentenceLengths() const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc) {
+    if (d.sentences > 0) out.push_back(d.mean_sentence_chars);
+  }
+  return out;
+}
+
+std::vector<double> CorpusAnalysis::NegationsPerDoc() const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc)
+    out.push_back(static_cast<double>(d.negations));
+  return out;
+}
+
+std::vector<double> CorpusAnalysis::NegationsPer100Sentences() const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc) {
+    if (d.sentences == 0) continue;
+    out.push_back(100.0 * static_cast<double>(d.negations) /
+                  static_cast<double>(d.sentences));
+  }
+  return out;
+}
+
+std::vector<double> CorpusAnalysis::ParenthesesPer100Sentences() const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc) {
+    if (d.sentences == 0) continue;
+    out.push_back(100.0 * static_cast<double>(d.parentheses) /
+                  static_cast<double>(d.sentences));
+  }
+  return out;
+}
+
+std::vector<double> CorpusAnalysis::AbbreviationsPer100Sentences() const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc) {
+    if (d.sentences == 0) continue;
+    out.push_back(100.0 * static_cast<double>(d.abbreviations) /
+                  static_cast<double>(d.sentences));
+  }
+  return out;
+}
+
+std::vector<double> CorpusAnalysis::PronounsPer100Sentences(
+    nlp::PronounClass cls) const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc) {
+    if (d.sentences == 0) continue;
+    out.push_back(100.0 *
+                  static_cast<double>(d.pronouns[static_cast<size_t>(cls)]) /
+                  static_cast<double>(d.sentences));
+  }
+  return out;
+}
+
+std::vector<double> CorpusAnalysis::EntitiesPerDoc(size_t type) const {
+  std::vector<double> out;
+  out.reserve(per_doc.size());
+  for (const DocMeasures& d : per_doc) {
+    out.push_back(static_cast<double>(d.entities[type][0] +
+                                      d.entities[type][1]));
+  }
+  return out;
+}
+
+CorpusAnalysis AnalyzeRecords(corpus::CorpusKind kind,
+                              const dataflow::Dataset& analyzed) {
+  CorpusAnalysis analysis;
+  analysis.kind = kind;
+  std::map<uint64_t, size_t> doc_index;
+
+  for (const dataflow::Record& r : analyzed) {
+    uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
+    auto [it, inserted] = doc_index.try_emplace(doc_id, analysis.per_doc.size());
+    if (inserted) {
+      analysis.per_doc.emplace_back();
+      DocMeasures& d = analysis.per_doc.back();
+      d.doc_id = doc_id;
+      d.chars = r.Field(kFieldText).AsString().size();
+      const auto& sentences = r.Field(kFieldSentences).AsArray();
+      d.sentences = static_cast<uint32_t>(sentences.size());
+      double total_sentence_chars = 0.0;
+      double total_tokens = 0.0;
+      for (const dataflow::Value& sv : sentences) {
+        total_sentence_chars += static_cast<double>(sv.Field("e").AsInt() -
+                                                    sv.Field("b").AsInt());
+        total_tokens += static_cast<double>(sv.Field("tokens").AsArray().size());
+      }
+      if (d.sentences > 0) {
+        d.mean_sentence_chars = total_sentence_chars / d.sentences;
+        d.mean_sentence_tokens = total_tokens / d.sentences;
+      }
+      analysis.total_chars += d.chars;
+      analysis.total_sentences += d.sentences;
+    }
+    DocMeasures& d = analysis.per_doc[it->second];
+    if (r.Field(kFieldPosOverflow).AsBool()) d.pos_overflow = true;
+
+    for (const dataflow::Value& lv : r.Field(kFieldLing).AsArray()) {
+      const std::string& cat = lv.Field("cat").AsString();
+      if (cat == "negation") {
+        ++d.negations;
+      } else if (cat == "parenthesis") {
+        ++d.parentheses;
+      } else if (cat == "abbreviation") {
+        ++d.abbreviations;
+      } else if (StartsWith(cat, "pronoun/")) {
+        std::string cls_name = cat.substr(8);
+        for (size_t c = 0; c < kNumPronounClasses; ++c) {
+          if (cls_name ==
+              nlp::PronounClassName(static_cast<nlp::PronounClass>(c))) {
+            ++d.pronouns[c];
+            break;
+          }
+        }
+      }
+    }
+    for (const dataflow::Value& ev : r.Field(kFieldEntities).AsArray()) {
+      int type = TypeIndex(ev.Field("type").AsString());
+      int method = MethodIndex(ev.Field("method").AsString());
+      if (type < 0 || method < 0) continue;
+      ++d.entities[static_cast<size_t>(type)][static_cast<size_t>(method)];
+      std::string name = AsciiToLower(ev.Field("surface").AsString());
+      ++analysis.names[static_cast<size_t>(type)][static_cast<size_t>(method)]
+                      [name];
+    }
+  }
+  return analysis;
+}
+
+double EntityDistributionJsd(const CorpusAnalysis& a, const CorpusAnalysis& b,
+                             size_t type, size_t method) {
+  ml::Distribution pa = ml::NormalizeCounts(a.names[type][method]);
+  ml::Distribution pb = ml::NormalizeCounts(b.names[type][method]);
+  return ml::JensenShannonDivergence(pa, pb);
+}
+
+std::vector<VennRegion> ComputeOverlap(
+    const std::array<std::set<std::string>, 4>& sets) {
+  std::map<std::string, unsigned> membership;
+  for (size_t i = 0; i < 4; ++i) {
+    for (const std::string& name : sets[i]) {
+      membership[name] |= (1u << i);
+    }
+  }
+  std::array<uint64_t, 16> counts{};
+  for (const auto& [name, mask] : membership) ++counts[mask];
+  uint64_t total = membership.size();
+  std::vector<VennRegion> regions;
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    VennRegion region;
+    region.membership = mask;
+    region.count = counts[mask];
+    region.share = total == 0 ? 0.0
+                              : static_cast<double>(counts[mask]) /
+                                    static_cast<double>(total);
+    regions.push_back(region);
+  }
+  return regions;
+}
+
+std::set<std::string> DistinctNameSet(const CorpusAnalysis& analysis,
+                                      size_t type, size_t method) {
+  std::set<std::string> names;
+  for (const auto& [name, count] : analysis.names[type][method]) {
+    names.insert(name);
+  }
+  return names;
+}
+
+}  // namespace wsie::core

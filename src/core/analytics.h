@@ -1,0 +1,107 @@
+#ifndef WSIE_CORE_ANALYTICS_H_
+#define WSIE_CORE_ANALYTICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/profile.h"
+#include "dataflow/value.h"
+#include "ml/stats.h"
+#include "nlp/linguistic.h"
+
+namespace wsie::core {
+
+inline constexpr size_t kNumEntityTypes = 3;   // gene, drug, disease
+inline constexpr size_t kNumMethods = 2;       // 0 = dict, 1 = ml
+inline constexpr size_t kNumPronounClasses =
+    static_cast<size_t>(nlp::PronounClass::kNumClasses);
+
+/// Per-document measures extracted from the analyzed records (the
+/// quantities behind Figs. 6 and 7).
+struct DocMeasures {
+  uint64_t doc_id = 0;
+  uint64_t chars = 0;
+  uint32_t sentences = 0;
+  double mean_sentence_chars = 0.0;
+  double mean_sentence_tokens = 0.0;
+  uint32_t negations = 0;
+  std::array<uint32_t, kNumPronounClasses> pronouns{};
+  uint32_t parentheses = 0;
+  uint32_t abbreviations = 0;  ///< Schwartz-Hearst definitions
+  /// entity annotation counts [type][method].
+  std::array<std::array<uint32_t, kNumMethods>, kNumEntityTypes> entities{};
+  bool pos_overflow = false;
+};
+
+/// Aggregated analysis of one corpus.
+struct CorpusAnalysis {
+  corpus::CorpusKind kind = corpus::CorpusKind::kMedline;
+  std::vector<DocMeasures> per_doc;
+  uint64_t total_chars = 0;
+  uint64_t total_sentences = 0;
+  /// Distinct entity names with occurrence counts, [type][method].
+  std::array<std::array<std::map<std::string, uint64_t>, kNumMethods>,
+             kNumEntityTypes>
+      names;
+
+  size_t num_docs() const { return per_doc.size(); }
+  double mean_chars() const;
+  size_t DistinctNames(size_t type, size_t method) const {
+    return names[type][method].size();
+  }
+  /// Mean annotations of (type, method) per 1000 sentences (Fig. 7 metric).
+  double EntitiesPer1000Sentences(size_t type, size_t method) const;
+  /// Combined dict+ML per-1000-sentence mean.
+  double EntitiesPer1000SentencesAllMethods(size_t type) const;
+
+  // Per-document sample vectors for significance testing (Fig. 6).
+  std::vector<double> DocLengths() const;
+  std::vector<double> MeanSentenceLengths() const;
+  std::vector<double> NegationsPerDoc() const;
+  std::vector<double> NegationsPer100Sentences() const;
+  std::vector<double> ParenthesesPer100Sentences() const;
+  std::vector<double> AbbreviationsPer100Sentences() const;
+  std::vector<double> PronounsPer100Sentences(nlp::PronounClass cls) const;
+  std::vector<double> EntitiesPerDoc(size_t type) const;
+};
+
+/// Folds the "analyzed" sink records of a flow into a CorpusAnalysis.
+/// Records sharing a document id (one per branch of the union) are merged.
+CorpusAnalysis AnalyzeRecords(corpus::CorpusKind kind,
+                              const dataflow::Dataset& analyzed);
+
+/// Jensen-Shannon divergence between two corpora's entity-name
+/// distributions for (type, method) (Sect. 4.3.2).
+double EntityDistributionJsd(const CorpusAnalysis& a, const CorpusAnalysis& b,
+                             size_t type, size_t method);
+
+/// A region of the 4-set Venn diagram of Fig. 8: `membership` is a bitmask
+/// over corpora (bit i set = name occurs in corpus i), `share` is the
+/// fraction of the union.
+struct VennRegion {
+  unsigned membership = 0;
+  uint64_t count = 0;
+  double share = 0.0;
+};
+
+/// Computes all 15 non-empty regions over four name sets.
+std::vector<VennRegion> ComputeOverlap(
+    const std::array<std::set<std::string>, 4>& sets);
+
+/// Names of distinct entities of (type, method) as a set (for overlap).
+std::set<std::string> DistinctNameSet(const CorpusAnalysis& analysis,
+                                      size_t type, size_t method);
+
+/// Mann-Whitney-Wilcoxon P-value between two per-document sample vectors.
+inline double MwwPValue(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  return ml::MannWhitneyU(a, b).p_value;
+}
+
+}  // namespace wsie::core
+
+#endif  // WSIE_CORE_ANALYTICS_H_

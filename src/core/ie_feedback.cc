@@ -1,0 +1,27 @@
+#include "core/ie_feedback.h"
+
+#include <algorithm>
+
+namespace wsie::core {
+
+EntityDensitySignal::EntityDensitySignal(
+    std::shared_ptr<const AnalysisContext> context,
+    double saturation_per_1000_chars)
+    : context_(std::move(context)), saturation_(saturation_per_1000_chars) {}
+
+double EntityDensitySignal::Score(std::string_view net_text) const {
+  if (net_text.empty()) return 0.0;
+  size_t mentions = 0;
+  for (ie::EntityType type :
+       {ie::EntityType::kGene, ie::EntityType::kDrug,
+        ie::EntityType::kDisease}) {
+    mentions += context_->dictionary_tagger(type)
+                    .Tag(/*doc_id=*/0, net_text)
+                    .size();
+  }
+  double per_1000 = 1000.0 * static_cast<double>(mentions) /
+                    static_cast<double>(net_text.size());
+  return std::clamp(per_1000 / saturation_, 0.0, 1.0);
+}
+
+}  // namespace wsie::core

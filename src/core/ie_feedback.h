@@ -1,0 +1,33 @@
+#ifndef WSIE_CORE_IE_FEEDBACK_H_
+#define WSIE_CORE_IE_FEEDBACK_H_
+
+#include <memory>
+
+#include "core/analysis_context.h"
+#include "crawler/focused_crawler.h"
+
+namespace wsie::core {
+
+/// The consolidated crawl+IE relevance signal proposed in Sect. 5:
+/// dictionary entity taggers run on each candidate page's net text during
+/// the crawl, and the density of biomedical entity mentions feeds the
+/// relevance decision ("the occurrence of gene names or disease names are
+/// strong indicators for biomedical content").
+class EntityDensitySignal : public crawler::RelevanceSignal {
+ public:
+  /// `context` supplies the (incomplete) dictionary taggers; must outlive
+  /// this object. `saturation_per_1000_chars` is the mention density at
+  /// which the score saturates to 1.
+  explicit EntityDensitySignal(std::shared_ptr<const AnalysisContext> context,
+                               double saturation_per_1000_chars = 2.0);
+
+  double Score(std::string_view net_text) const override;
+
+ private:
+  std::shared_ptr<const AnalysisContext> context_;
+  double saturation_;
+};
+
+}  // namespace wsie::core
+
+#endif  // WSIE_CORE_IE_FEEDBACK_H_

@@ -1,0 +1,227 @@
+#include "core/operators_dc.h"
+
+#include <mutex>
+
+#include "ie/relation_extractor.h"
+
+namespace wsie::core {
+namespace {
+
+using ::wsie::dataflow::Dataset;
+using ::wsie::dataflow::Operator;
+using ::wsie::dataflow::OperatorPackage;
+using ::wsie::dataflow::OperatorPtr;
+using ::wsie::dataflow::OperatorTraits;
+using ::wsie::dataflow::Record;
+using ::wsie::dataflow::Value;
+
+class DeduplicateDocumentsOp : public Operator {
+ public:
+  explicit DeduplicateDocumentsOp(dc::NearDuplicateOptions options)
+      : index_(options) {}
+
+  std::string name() const override { return "deduplicate_documents"; }
+  OperatorPackage package() const override { return OperatorPackage::kDc; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText};
+    t.selectivity = 0.9;
+    t.cost_per_record = 3.0;
+    // Stateful across the whole input: the optimizer must not move it.
+    t.record_at_a_time = false;
+    return t;
+  }
+  size_t MemoryBytesPerWorker() const override { return 32u << 20; }
+
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    // The index is shared across concurrently processed partitions.
+    for (const Record& r : in) {
+      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
+      const std::string& text = r.Field(kFieldText).AsString();
+      dc::MinHashSignature signature = index_.Signature(text);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (index_.FindDuplicateOf(signature) >= 0) continue;
+        index_.Add(doc_id, signature);
+      }
+      out->push_back(r);
+    }
+    return Status::OK();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable dc::NearDuplicateIndex index_;
+};
+
+bool Overlaps(const Value& a, const Value& b) {
+  return a.Field("b").AsInt() < b.Field("e").AsInt() &&
+         b.Field("b").AsInt() < a.Field("e").AsInt() &&
+         a.Field("type").AsString() == b.Field("type").AsString();
+}
+
+class MergeAnnotationsOp : public Operator {
+ public:
+  explicit MergeAnnotationsOp(MergeStrategy strategy) : strategy_(strategy) {}
+
+  std::string name() const override { return "merge_annotations"; }
+  OperatorPackage package() const override { return OperatorPackage::kIe; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldEntities};
+    t.writes = {kFieldEntities};
+    t.cost_per_record = 1.0;
+    return t;
+  }
+
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    for (const Record& r : in) {
+      Record updated = r;
+      updated.SetField(kFieldEntities,
+                       Value(Merge(r.Field(kFieldEntities).AsArray())));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// True if `a` wins over `b` under the strategy.
+  bool Wins(const Value& a, const Value& b) const {
+    switch (strategy_) {
+      case MergeStrategy::kPreferMl:
+        return a.Field("method").AsString() == "ml" &&
+               b.Field("method").AsString() != "ml";
+      case MergeStrategy::kPreferDict:
+        return a.Field("method").AsString() == "dict" &&
+               b.Field("method").AsString() != "dict";
+      case MergeStrategy::kLongest:
+        return (a.Field("e").AsInt() - a.Field("b").AsInt()) >
+               (b.Field("e").AsInt() - b.Field("b").AsInt());
+      case MergeStrategy::kUnion:
+        return false;
+    }
+    return false;
+  }
+
+  Value::Array Merge(const Value::Array& entities) const {
+    if (strategy_ == MergeStrategy::kUnion) return entities;
+    std::vector<bool> dropped(entities.size(), false);
+    for (size_t i = 0; i < entities.size(); ++i) {
+      if (dropped[i]) continue;
+      for (size_t j = 0; j < entities.size(); ++j) {
+        if (i == j || dropped[j] || dropped[i]) continue;
+        if (!Overlaps(entities[i], entities[j])) continue;
+        if (Wins(entities[i], entities[j])) {
+          dropped[j] = true;
+        } else if (Wins(entities[j], entities[i])) {
+          dropped[i] = true;
+        } else if (j > i) {
+          dropped[j] = true;  // tie: keep the first
+        }
+      }
+    }
+    Value::Array merged;
+    for (size_t i = 0; i < entities.size(); ++i) {
+      if (!dropped[i]) merged.push_back(entities[i]);
+    }
+    return merged;
+  }
+
+  MergeStrategy strategy_;
+};
+
+class ExtractRelationsOp : public Operator {
+ public:
+  ExtractRelationsOp(ContextPtr context, double min_confidence)
+      : context_(std::move(context)), min_confidence_(min_confidence) {}
+
+  std::string name() const override { return "extract_relations"; }
+  OperatorPackage package() const override { return OperatorPackage::kIe; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText, kFieldSentences, kFieldEntities};
+    t.writes = {kFieldRelations};
+    t.cost_per_record = 5.0;
+    return t;
+  }
+
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    ie::RelationExtractor extractor;
+    for (const Record& r : in) {
+      Record updated = r;
+      const std::string& text = r.Field(kFieldText).AsString();
+      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
+
+      // Materialize entity annotations once.
+      std::vector<ie::Annotation> entities;
+      for (const Value& ev : r.Field(kFieldEntities).AsArray()) {
+        ie::Annotation a;
+        a.doc_id = doc_id;
+        a.begin = static_cast<uint32_t>(ev.Field("b").AsInt());
+        a.end = static_cast<uint32_t>(ev.Field("e").AsInt());
+        a.surface = ev.Field("surface").AsString();
+        const std::string& type = ev.Field("type").AsString();
+        a.entity_type = type == "gene"   ? ie::EntityType::kGene
+                        : type == "drug" ? ie::EntityType::kDrug
+                                         : ie::EntityType::kDisease;
+        a.method = ev.Field("method").AsString() == "ml"
+                       ? ie::AnnotationMethod::kMl
+                       : ie::AnnotationMethod::kDictionary;
+        entities.push_back(std::move(a));
+      }
+
+      Value::Array relations;
+      uint32_t sentence_id = 0;
+      for (const Value& sv : r.Field(kFieldSentences).AsArray()) {
+        size_t begin = static_cast<size_t>(sv.Field("b").AsInt());
+        size_t end = static_cast<size_t>(sv.Field("e").AsInt());
+        if (end > text.size() || begin >= end) continue;
+        std::vector<ie::Annotation> in_sentence;
+        for (const ie::Annotation& a : entities) {
+          if (a.begin >= begin && a.end <= end) in_sentence.push_back(a);
+        }
+        if (in_sentence.size() >= 2) {
+          for (ie::Relation& rel : extractor.ExtractFromSentence(
+                   std::string_view(text).substr(begin, end - begin), begin,
+                   in_sentence)) {
+            if (rel.confidence < min_confidence_) continue;
+            Value rv;
+            rv.SetField("type", std::string(ie::RelationTypeName(rel.type)));
+            rv.SetField("arg1", rel.arg1.surface);
+            rv.SetField("arg2", rel.arg2.surface);
+            rv.SetField("confidence", rel.confidence);
+            rv.SetField("sentence", static_cast<int64_t>(sentence_id));
+            if (!rel.trigger.empty()) rv.SetField("trigger", rel.trigger);
+            relations.push_back(std::move(rv));
+          }
+        }
+        ++sentence_id;
+      }
+      updated.SetField(kFieldRelations, Value(std::move(relations)));
+      out->push_back(std::move(updated));
+    }
+    (void)context_;
+    return Status::OK();
+  }
+
+ private:
+  ContextPtr context_;
+  double min_confidence_;
+};
+
+}  // namespace
+
+OperatorPtr MakeDeduplicateDocuments(dc::NearDuplicateOptions options) {
+  return std::make_shared<DeduplicateDocumentsOp>(options);
+}
+
+OperatorPtr MakeMergeAnnotations(MergeStrategy strategy) {
+  return std::make_shared<MergeAnnotationsOp>(strategy);
+}
+
+OperatorPtr MakeExtractRelations(ContextPtr context, double min_confidence) {
+  return std::make_shared<ExtractRelationsOp>(std::move(context),
+                                              min_confidence);
+}
+
+}  // namespace wsie::core

@@ -1,0 +1,44 @@
+#ifndef WSIE_CORE_OPERATORS_DC_H_
+#define WSIE_CORE_OPERATORS_DC_H_
+
+#include <string>
+
+#include "core/operators_ie.h"
+#include "dc/near_duplicate.h"
+#include "dataflow/operator.h"
+
+namespace wsie::core {
+
+/// Record field holding extracted relations:
+///   "relations": [ { "type": string, "arg1": string, "arg2": string,
+///                    "confidence": double, "trigger": string } ]
+inline constexpr char kFieldRelations[] = "relations";
+
+/// DC: drops near-duplicate documents (MinHash + LSH over the "text"
+/// field). Web crawls are heavily redundant; duplicates distort the
+/// frequency statistics of the content analysis.
+dataflow::OperatorPtr MakeDeduplicateDocuments(
+    dc::NearDuplicateOptions options = {});
+
+/// Strategies for reconciling entity annotations produced by different
+/// methods (Sopremo IE package: "merging annotations using different
+/// schemes", Sect. 3.1).
+enum class MergeStrategy {
+  kUnion,      ///< keep everything (default pipeline behaviour)
+  kPreferMl,   ///< on span overlap, keep the ML annotation
+  kPreferDict, ///< on span overlap, keep the dictionary annotation
+  kLongest,    ///< on span overlap, keep the longer mention
+};
+
+/// IE: merges the record's entity annotations according to `strategy`.
+dataflow::OperatorPtr MakeMergeAnnotations(MergeStrategy strategy);
+
+/// IE: extracts binary relations from each sentence's entity annotations
+/// (co-occurrence + trigger patterns + negation damping) into the
+/// "relations" field.
+dataflow::OperatorPtr MakeExtractRelations(ContextPtr context,
+                                           double min_confidence = 0.0);
+
+}  // namespace wsie::core
+
+#endif  // WSIE_CORE_OPERATORS_DC_H_

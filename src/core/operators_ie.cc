@@ -1,0 +1,522 @@
+#include "core/operators_ie.h"
+
+#include <atomic>
+
+#include "common/string_util.h"
+#include "html/boilerplate.h"
+#include "html/html_repair.h"
+
+namespace wsie::core {
+namespace {
+
+using ::wsie::dataflow::Dataset;
+using ::wsie::dataflow::Operator;
+using ::wsie::dataflow::OperatorPackage;
+using ::wsie::dataflow::OperatorPtr;
+using ::wsie::dataflow::OperatorTraits;
+using ::wsie::dataflow::Record;
+using ::wsie::dataflow::Value;
+
+Value AnnotationValue(const ie::Annotation& a) {
+  Value v;
+  v.SetField("b", static_cast<int64_t>(a.begin));
+  v.SetField("e", static_cast<int64_t>(a.end));
+  if (a.method == ie::AnnotationMethod::kRegex) {
+    v.SetField("cat", a.category);
+  } else {
+    v.SetField("type", std::string(ie::EntityTypeName(a.entity_type)));
+    v.SetField("method", std::string(ie::AnnotationMethodName(a.method)));
+    v.SetField("surface", a.surface);
+  }
+  return v;
+}
+
+/// Iterates the record's sentences, materializing tokens for each.
+template <typename Fn>
+void ForEachSentence(const AnalysisContext& context, const Record& doc,
+                     Fn&& fn) {
+  const std::string& text = doc.Field(kFieldText).AsString();
+  uint32_t sentence_id = 0;
+  for (const Value& sv : doc.Field(kFieldSentences).AsArray()) {
+    size_t begin = static_cast<size_t>(sv.Field("b").AsInt());
+    size_t end = static_cast<size_t>(sv.Field("e").AsInt());
+    if (end > text.size() || begin >= end) continue;
+    std::vector<text::Token> tokens;
+    for (const Value& tv : sv.Field("tokens").AsArray()) {
+      size_t tb = static_cast<size_t>(tv.Field("b").AsInt());
+      size_t te = static_cast<size_t>(tv.Field("e").AsInt());
+      if (te > text.size() || tb >= te) continue;
+      tokens.push_back(
+          text::Token{text.substr(tb, te - tb), tb, te});
+    }
+    fn(sentence_id, begin, end, tokens);
+    ++sentence_id;
+  }
+  (void)context;
+}
+
+// ---------------------------------------------------------------------------
+
+class FilterLongDocumentsOp : public Operator {
+ public:
+  explicit FilterLongDocumentsOp(size_t max_chars) : max_chars_(max_chars) {}
+  std::string name() const override { return "filter_long_documents"; }
+  OperatorPackage package() const override { return OperatorPackage::kWa; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText};
+    t.selectivity = 0.98;
+    t.cost_per_record = 0.1;
+    return t;
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    for (const Record& r : in) {
+      if (r.Field(kFieldText).AsString().size() <= max_chars_) {
+        out->push_back(r);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  size_t max_chars_;
+};
+
+class RepairMarkupOp : public Operator {
+ public:
+  std::string name() const override { return "repair_markup"; }
+  OperatorPackage package() const override { return OperatorPackage::kWa; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText};
+    t.writes = {kFieldText};
+    t.selectivity = 0.9;  // beyond-repair documents are dropped
+    t.cost_per_record = 2.0;
+    return t;
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    html::HtmlRepair repair;
+    for (const Record& r : in) {
+      auto repaired = repair.Repair(r.Field(kFieldText).AsString());
+      if (!repaired.ok()) continue;  // non-transcodable page
+      Record updated = r;
+      updated.SetField(kFieldText, std::move(repaired->html));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+};
+
+class RemoveBoilerplateOp : public Operator {
+ public:
+  std::string name() const override { return "remove_boilerplate"; }
+  OperatorPackage package() const override { return OperatorPackage::kWa; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText};
+    t.writes = {kFieldText};
+    t.cost_per_record = 2.0;
+    return t;
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    html::BoilerplateDetector detector;
+    for (const Record& r : in) {
+      Record updated = r;
+      updated.SetField(kFieldText,
+                       detector.NetText(r.Field(kFieldText).AsString()));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+};
+
+class AnnotateSentencesOp : public Operator {
+ public:
+  explicit AnnotateSentencesOp(ContextPtr context)
+      : context_(std::move(context)) {}
+  std::string name() const override { return "annotate_sentences"; }
+  OperatorPackage package() const override { return OperatorPackage::kIe; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText};
+    t.writes = {kFieldSentences};
+    t.cost_per_record = 1.0;
+    return t;
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    for (const Record& r : in) {
+      const std::string& text = r.Field(kFieldText).AsString();
+      Value::Array sentences;
+      for (const text::SentenceSpan& span : context_->splitter().Split(text)) {
+        Value sv;
+        sv.SetField("b", static_cast<int64_t>(span.begin));
+        sv.SetField("e", static_cast<int64_t>(span.end));
+        Value::Array token_array;
+        for (const text::Token& tok : context_->tokenizer().Tokenize(
+                 std::string_view(text).substr(span.begin, span.length()),
+                 span.begin)) {
+          Value tv;
+          tv.SetField("b", static_cast<int64_t>(tok.begin));
+          tv.SetField("e", static_cast<int64_t>(tok.end));
+          token_array.push_back(std::move(tv));
+        }
+        sv.SetField("tokens", Value(std::move(token_array)));
+        sentences.push_back(std::move(sv));
+      }
+      Record updated = r;
+      updated.SetField(kFieldSentences, Value(std::move(sentences)));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+
+ private:
+  ContextPtr context_;
+};
+
+class AnnotatePosOp : public Operator {
+ public:
+  explicit AnnotatePosOp(ContextPtr context) : context_(std::move(context)) {}
+  std::string name() const override { return "annotate_pos"; }
+  OperatorPackage package() const override { return OperatorPackage::kIe; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText, kFieldSentences};
+    t.writes = {"pos"};
+    t.cost_per_record = 12.0;  // POS tagging took 12% of total runtime
+    return t;
+  }
+  size_t MemoryBytesPerWorker() const override { return 64u << 20; }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    for (const Record& r : in) {
+      Record updated = r;
+      bool any_overflow = false;
+      Value::Array sentences = updated.Field(kFieldSentences).AsArray();
+      ForEachSentence(*context_, r,
+                      [&](uint32_t sid, size_t, size_t,
+                          const std::vector<text::Token>& tokens) {
+                        bool overflow = false;
+                        std::vector<nlp::PosTag> tags =
+                            context_->pos_tagger().TagTokens(tokens, &overflow);
+                        if (overflow) {
+                          any_overflow = true;
+                          return;
+                        }
+                        Value::Array tag_array;
+                        tag_array.reserve(tags.size());
+                        for (nlp::PosTag tag : tags) {
+                          tag_array.push_back(
+                              Value(static_cast<int64_t>(tag)));
+                        }
+                        if (sid < sentences.size()) {
+                          sentences[sid].SetField("tags",
+                                                  Value(std::move(tag_array)));
+                        }
+                      });
+      updated.SetField(kFieldSentences, Value(std::move(sentences)));
+      if (any_overflow) updated.SetField(kFieldPosOverflow, Value(true));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+
+ private:
+  ContextPtr context_;
+};
+
+/// Common base for the three regex linguistic extractors.
+class LinguisticOpBase : public Operator {
+ public:
+  explicit LinguisticOpBase(ContextPtr context) : context_(std::move(context)) {}
+  OperatorPackage package() const override { return OperatorPackage::kIe; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText, kFieldSentences};
+    t.writes = {kFieldLing};
+    t.cost_per_record = 1.0;
+    return t;
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    for (const Record& r : in) {
+      Record updated = r;
+      Value::Array ling = updated.Field(kFieldLing).AsArray();
+      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
+      const std::string& text = r.Field(kFieldText).AsString();
+      ForEachSentence(*context_, r,
+                      [&](uint32_t sid, size_t begin, size_t end,
+                          const std::vector<text::Token>&) {
+                        std::string_view sentence =
+                            std::string_view(text).substr(begin, end - begin);
+                        for (const ie::Annotation& a :
+                             Extract(doc_id, sid, sentence, begin)) {
+                          ling.push_back(AnnotationValue(a));
+                        }
+                      });
+      updated.SetField(kFieldLing, Value(std::move(ling)));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  virtual std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
+                                              std::string_view sentence,
+                                              size_t base) const = 0;
+  ContextPtr context_;
+};
+
+class FindNegationOp : public LinguisticOpBase {
+ public:
+  using LinguisticOpBase::LinguisticOpBase;
+  std::string name() const override { return "find_negation"; }
+
+ protected:
+  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
+                                      std::string_view sentence,
+                                      size_t base) const override {
+    return context_->linguistic().FindNegations(doc_id, sid, sentence, base);
+  }
+};
+
+class FindPronounsOp : public LinguisticOpBase {
+ public:
+  using LinguisticOpBase::LinguisticOpBase;
+  std::string name() const override { return "find_pronouns"; }
+
+ protected:
+  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
+                                      std::string_view sentence,
+                                      size_t base) const override {
+    return context_->linguistic().FindPronouns(doc_id, sid, sentence, base);
+  }
+};
+
+class FindParenthesesOp : public LinguisticOpBase {
+ public:
+  using LinguisticOpBase::LinguisticOpBase;
+  std::string name() const override { return "find_parentheses"; }
+
+ protected:
+  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
+                                      std::string_view sentence,
+                                      size_t base) const override {
+    return context_->linguistic().FindParentheses(doc_id, sid, sentence, base);
+  }
+};
+
+class FindAbbreviationsOp : public LinguisticOpBase {
+ public:
+  using LinguisticOpBase::LinguisticOpBase;
+  std::string name() const override { return "find_abbreviations"; }
+
+ protected:
+  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
+                                      std::string_view sentence,
+                                      size_t base) const override {
+    return context_->abbreviations().FindAsAnnotations(doc_id, sid, sentence,
+                                                       base);
+  }
+};
+
+class AnnotateEntitiesDictOp : public Operator {
+ public:
+  AnnotateEntitiesDictOp(ContextPtr context, ie::EntityType type,
+                         size_t modeled_memory)
+      : context_(std::move(context)), type_(type),
+        modeled_memory_(modeled_memory) {}
+  std::string name() const override {
+    return std::string("annotate_") + ie::EntityTypeName(type_) + "_dict";
+  }
+  OperatorPackage package() const override { return OperatorPackage::kIe; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText};
+    t.writes = {kFieldEntities};
+    t.cost_per_record = 3.0;  // linear matching
+    return t;
+  }
+  size_t MemoryBytesPerWorker() const override {
+    if (modeled_memory_ > 0) return modeled_memory_;
+    return context_->dictionary_tagger(type_).build_stats().memory_bytes;
+  }
+  Status Open() override {
+    // Automaton construction: the hard start-up floor of Sect. 4.2.
+    context_->dictionary_tagger(type_);
+    return Status::OK();
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    const ie::DictionaryTagger& tagger = context_->dictionary_tagger(type_);
+    for (const Record& r : in) {
+      Record updated = r;
+      Value::Array entities = updated.Field(kFieldEntities).AsArray();
+      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
+      for (const ie::Annotation& a :
+           tagger.Tag(doc_id, r.Field(kFieldText).AsString())) {
+        entities.push_back(AnnotationValue(a));
+      }
+      updated.SetField(kFieldEntities, Value(std::move(entities)));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+
+ private:
+  ContextPtr context_;
+  ie::EntityType type_;
+  size_t modeled_memory_;
+};
+
+class AnnotateEntitiesMlOp : public Operator {
+ public:
+  AnnotateEntitiesMlOp(ContextPtr context, ie::EntityType type,
+                       size_t modeled_memory)
+      : context_(std::move(context)), type_(type),
+        modeled_memory_(modeled_memory) {}
+  std::string name() const override {
+    return std::string("annotate_") + ie::EntityTypeName(type_) + "_ml";
+  }
+  OperatorPackage package() const override { return OperatorPackage::kIe; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldText, kFieldSentences};
+    t.writes = {kFieldEntities};
+    t.cost_per_record = 100.0;  // CRF decoding dominates (70% of runtime)
+    return t;
+  }
+  size_t MemoryBytesPerWorker() const override {
+    if (modeled_memory_ > 0) return modeled_memory_;
+    return context_->crf_tagger(type_).model().ApproxMemoryBytes();
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    const ie::CrfTagger& tagger = context_->crf_tagger(type_);
+    for (const Record& r : in) {
+      Record updated = r;
+      Value::Array entities = updated.Field(kFieldEntities).AsArray();
+      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
+      const std::string& text = r.Field(kFieldText).AsString();
+      ForEachSentence(*context_, r,
+                      [&](uint32_t sid, size_t, size_t,
+                          const std::vector<text::Token>& tokens) {
+                        for (const ie::Annotation& a :
+                             tagger.TagSentence(doc_id, sid, text, tokens)) {
+                          entities.push_back(AnnotationValue(a));
+                        }
+                      });
+      updated.SetField(kFieldEntities, Value(std::move(entities)));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+
+ private:
+  ContextPtr context_;
+  ie::EntityType type_;
+  size_t modeled_memory_;
+};
+
+class FilterTlaOp : public Operator {
+ public:
+  std::string name() const override { return "filter_tla"; }
+  OperatorPackage package() const override { return OperatorPackage::kDc; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads = {kFieldEntities};
+    t.writes = {kFieldEntities};
+    t.cost_per_record = 0.5;
+    return t;
+  }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    for (const Record& r : in) {
+      Record updated = r;
+      Value::Array kept;
+      for (const Value& ev : r.Field(kFieldEntities).AsArray()) {
+        const std::string& surface = ev.Field("surface").AsString();
+        bool is_ml_gene = ev.Field("method").AsString() == "ml" &&
+                          ev.Field("type").AsString() == "gene";
+        bool is_tla = surface.size() == 3 && IsAllUpper(surface);
+        if (is_ml_gene && is_tla) continue;
+        kept.push_back(ev);
+      }
+      updated.SetField(kFieldEntities, Value(std::move(kept)));
+      out->push_back(std::move(updated));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+OperatorPtr MakeFilterLongDocuments(size_t max_chars) {
+  return std::make_shared<FilterLongDocumentsOp>(max_chars);
+}
+OperatorPtr MakeRepairMarkup() { return std::make_shared<RepairMarkupOp>(); }
+OperatorPtr MakeRemoveBoilerplate() {
+  return std::make_shared<RemoveBoilerplateOp>();
+}
+OperatorPtr MakeAnnotateSentences(ContextPtr context) {
+  return std::make_shared<AnnotateSentencesOp>(std::move(context));
+}
+OperatorPtr MakeAnnotatePos(ContextPtr context) {
+  return std::make_shared<AnnotatePosOp>(std::move(context));
+}
+OperatorPtr MakeFindNegation(ContextPtr context) {
+  return std::make_shared<FindNegationOp>(std::move(context));
+}
+OperatorPtr MakeFindPronouns(ContextPtr context) {
+  return std::make_shared<FindPronounsOp>(std::move(context));
+}
+OperatorPtr MakeFindParentheses(ContextPtr context) {
+  return std::make_shared<FindParenthesesOp>(std::move(context));
+}
+OperatorPtr MakeFindAbbreviations(ContextPtr context) {
+  return std::make_shared<FindAbbreviationsOp>(std::move(context));
+}
+OperatorPtr MakeAnnotateEntitiesDict(ContextPtr context, ie::EntityType type,
+                                     size_t modeled_memory_bytes) {
+  return std::make_shared<AnnotateEntitiesDictOp>(std::move(context), type,
+                                                  modeled_memory_bytes);
+}
+OperatorPtr MakeAnnotateEntitiesMl(ContextPtr context, ie::EntityType type,
+                                   size_t modeled_memory_bytes) {
+  return std::make_shared<AnnotateEntitiesMlOp>(std::move(context), type,
+                                                modeled_memory_bytes);
+}
+OperatorPtr MakeFilterTla() { return std::make_shared<FilterTlaOp>(); }
+
+size_t PaperScaleDictMemoryBytes(ie::EntityType type) {
+  // Sect. 4.2: dictionary taggers need 6-20 GB per worker; the gene
+  // dictionary (700k+ entries) is the largest.
+  switch (type) {
+    case ie::EntityType::kGene:
+      return 20ull << 30;
+    case ie::EntityType::kDisease:
+      return 8ull << 30;
+    case ie::EntityType::kDrug:
+      return 6ull << 30;
+  }
+  return 6ull << 30;
+}
+
+size_t PaperScaleMlMemoryBytes(ie::EntityType type) {
+  switch (type) {
+    case ie::EntityType::kGene:
+      return 10ull << 30;  // BANNER
+    case ie::EntityType::kDisease:
+      return 8ull << 30;
+    case ie::EntityType::kDrug:
+      return 8ull << 30;  // ChemSpot
+  }
+  return 8ull << 30;
+}
+
+std::string OperatorLibraryDependency(const std::string& op_name) {
+  // The disease ML tagger imports its linguistic preprocessing from
+  // OpenNLP 1.4; everything else integrated OpenNLP 1.5 (Sect. 4.2).
+  if (op_name == "annotate_disease_ml") return "opennlp:1.4";
+  if (op_name == "annotate_sentences" || op_name == "annotate_pos") {
+    return "opennlp:1.5";
+  }
+  return "";
+}
+
+}  // namespace wsie::core

@@ -1,0 +1,88 @@
+#ifndef WSIE_CORE_OPERATORS_IE_H_
+#define WSIE_CORE_OPERATORS_IE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/analysis_context.h"
+#include "dataflow/operator.h"
+
+namespace wsie::core {
+
+/// Record schema used by the analysis flows. Documents enter as
+///   { "id": int, "corpus": string, "text": string }
+/// (web documents carry raw HTML in "text") and operators add annotation
+/// fields, growing the record — the data-volume inflation of Sect. 4.2:
+///   "sentences": [ { "b": int, "e": int, "tokens": [{"b","e"}],
+///                    "tags": [int] } ]
+///   "ling":      [ { "cat": string, "b": int, "e": int } ]
+///   "entities":  [ { "type": string, "method": string, "b": int,
+///                    "e": int, "surface": string } ]
+/// Field-name constants:
+inline constexpr char kFieldId[] = "id";
+inline constexpr char kFieldCorpus[] = "corpus";
+inline constexpr char kFieldText[] = "text";
+inline constexpr char kFieldSentences[] = "sentences";
+inline constexpr char kFieldLing[] = "ling";
+inline constexpr char kFieldEntities[] = "entities";
+inline constexpr char kFieldPosOverflow[] = "pos_overflow";
+
+/// Shared context handle used by all domain operators.
+using ContextPtr = std::shared_ptr<const AnalysisContext>;
+
+/// WA: drops documents whose raw text exceeds `max_chars` ("web pages are
+/// first filtered to exclude extremely long documents", Sect. 3.2).
+dataflow::OperatorPtr MakeFilterLongDocuments(size_t max_chars = 1u << 20);
+
+/// WA: repairs HTML markup; drops documents damaged beyond repair.
+dataflow::OperatorPtr MakeRepairMarkup();
+
+/// WA: replaces "text" with the boilerplate-free net text.
+dataflow::OperatorPtr MakeRemoveBoilerplate();
+
+/// IE: annotates sentence boundaries and token boundaries.
+dataflow::OperatorPtr MakeAnnotateSentences(ContextPtr context);
+
+/// IE: adds POS tags per sentence (MedPost-style HMM). Sentences exceeding
+/// the tagger's token cap are marked with "pos_overflow" instead of crashing
+/// the flow (Sect. 5 robustness discussion).
+dataflow::OperatorPtr MakeAnnotatePos(ContextPtr context);
+
+/// IE: regular-expression linguistic extractors (one operator each, as in
+/// the Fig. 2 flow).
+dataflow::OperatorPtr MakeFindNegation(ContextPtr context);
+dataflow::OperatorPtr MakeFindPronouns(ContextPtr context);
+dataflow::OperatorPtr MakeFindParentheses(ContextPtr context);
+/// Schwartz-Hearst abbreviation definitions ("long form (SF)").
+dataflow::OperatorPtr MakeFindAbbreviations(ContextPtr context);
+
+/// IE: dictionary-based entity annotation for one type. Open() builds the
+/// automaton (start-up cost); MemoryBytesPerWorker() reports the *modeled
+/// paper-scale* footprint so cluster admission control reproduces Sect. 4.2
+/// (pass 0 to report the actual in-process footprint instead).
+dataflow::OperatorPtr MakeAnnotateEntitiesDict(ContextPtr context,
+                                               ie::EntityType type,
+                                               size_t modeled_memory_bytes = 0);
+
+/// IE: ML (CRF) entity annotation for one type.
+dataflow::OperatorPtr MakeAnnotateEntitiesMl(ContextPtr context,
+                                             ie::EntityType type,
+                                             size_t modeled_memory_bytes = 0);
+
+/// DC: removes three-letter-acronym ML gene annotations (Sect. 4.3.2).
+dataflow::OperatorPtr MakeFilterTla();
+
+/// Modeled per-worker memory footprints at paper scale (Sect. 4.2: the
+/// dictionary taggers need 6-20 GB each; the complete flow ~60 GB).
+size_t PaperScaleDictMemoryBytes(ie::EntityType type);
+size_t PaperScaleMlMemoryBytes(ie::EntityType type);
+
+/// Library dependency modeling for the version-conflict war story: returns
+/// e.g. "opennlp:1.5" for the sentence annotator and "opennlp:1.4" for the
+/// ML disease tagger (Sect. 4.2: the runtime's class loader cannot load two
+/// versions of one library).
+std::string OperatorLibraryDependency(const std::string& op_name);
+
+}  // namespace wsie::core
+
+#endif  // WSIE_CORE_OPERATORS_IE_H_

@@ -1,0 +1,271 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "core/operators_dc.h"
+#include "dataflow/operators_base.h"
+
+namespace wsie::core {
+
+dataflow::Plan BuildAnalysisFlow(ContextPtr context,
+                                 const FlowOptions& options) {
+  dataflow::Plan plan;
+  int docs = plan.AddSource("docs");
+  int head = docs;
+  if (options.web_preprocessing) {
+    head = plan.AddNode(MakeFilterLongDocuments(options.max_doc_chars), {head});
+    head = plan.AddNode(MakeRepairMarkup(), {head});
+    head = plan.AddNode(MakeRemoveBoilerplate(), {head});
+  }
+  head = plan.AddNode(MakeAnnotateSentences(context), {head});
+
+  std::vector<int> branch_tails;
+  if (options.linguistic_analysis) {
+    int ling = plan.AddNode(MakeFindNegation(context), {head});
+    ling = plan.AddNode(MakeFindPronouns(context), {ling});
+    ling = plan.AddNode(MakeFindParentheses(context), {ling});
+    ling = plan.AddNode(MakeFindAbbreviations(context), {ling});
+    branch_tails.push_back(ling);
+  }
+  if (options.entity_annotation) {
+    int entity = plan.AddNode(MakeAnnotatePos(context), {head});
+    for (ie::EntityType type : options.entity_types) {
+      if (options.dictionary_methods) {
+        size_t modeled = options.paper_scale_memory
+                             ? PaperScaleDictMemoryBytes(type)
+                             : 0;
+        entity = plan.AddNode(MakeAnnotateEntitiesDict(context, type, modeled),
+                              {entity});
+      }
+      if (options.ml_methods) {
+        size_t modeled =
+            options.paper_scale_memory ? PaperScaleMlMemoryBytes(type) : 0;
+        entity = plan.AddNode(MakeAnnotateEntitiesMl(context, type, modeled),
+                              {entity});
+      }
+    }
+    if (options.tla_filter) {
+      entity = plan.AddNode(MakeFilterTla(), {entity});
+    }
+    branch_tails.push_back(entity);
+  }
+
+  int tail = head;
+  if (branch_tails.size() == 1) {
+    tail = branch_tails[0];
+  } else if (branch_tails.size() > 1) {
+    // Union of the branch outputs (each record appears once per branch with
+    // that branch's annotations; analytics merges by document id).
+    class UnionOp : public dataflow::Operator {
+     public:
+      std::string name() const override { return "union_results"; }
+      dataflow::OperatorTraits traits() const override {
+        dataflow::OperatorTraits t;
+        t.record_at_a_time = false;
+        return t;
+      }
+      Status ProcessBatch(const dataflow::Dataset& in,
+                          dataflow::Dataset* out) const override {
+        out->insert(out->end(), in.begin(), in.end());
+        return Status::OK();
+      }
+    };
+    tail = plan.AddNode(std::make_shared<UnionOp>(), branch_tails);
+  }
+  plan.MarkSink(tail, "analyzed");
+  return plan;
+}
+
+void RegisterPipelineOperators(ContextPtr context,
+                               dataflow::OperatorRegistry* registry) {
+  using Args = std::map<std::string, std::string>;
+  auto parse_type = [](const Args& args) -> Result<ie::EntityType> {
+    auto it = args.find("type");
+    if (it == args.end()) {
+      return Status::InvalidArgument("missing 'type' argument");
+    }
+    if (it->second == "gene") return ie::EntityType::kGene;
+    if (it->second == "drug") return ie::EntityType::kDrug;
+    if (it->second == "disease") return ie::EntityType::kDisease;
+    return Status::InvalidArgument("unknown entity type '" + it->second + "'");
+  };
+
+  registry->Register("filter_long_documents",
+                     [](const Args& args) -> Result<dataflow::OperatorPtr> {
+                       size_t max_chars = 1u << 20;
+                       auto it = args.find("max");
+                       if (it != args.end()) {
+                         max_chars = static_cast<size_t>(
+                             std::strtoull(it->second.c_str(), nullptr, 10));
+                       }
+                       return MakeFilterLongDocuments(max_chars);
+                     });
+  registry->Register("repair_markup",
+                     [](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeRepairMarkup();
+                     });
+  registry->Register("remove_boilerplate",
+                     [](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeRemoveBoilerplate();
+                     });
+  registry->Register("annotate_sentences",
+                     [context](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeAnnotateSentences(context);
+                     });
+  registry->Register("annotate_pos",
+                     [context](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeAnnotatePos(context);
+                     });
+  registry->Register("find_negation",
+                     [context](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeFindNegation(context);
+                     });
+  registry->Register("find_pronouns",
+                     [context](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeFindPronouns(context);
+                     });
+  registry->Register("find_parentheses",
+                     [context](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeFindParentheses(context);
+                     });
+  registry->Register("find_abbreviations",
+                     [context](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeFindAbbreviations(context);
+                     });
+  registry->Register(
+      "annotate_entities",
+      [context, parse_type](const Args& args) -> Result<dataflow::OperatorPtr> {
+        auto type = parse_type(args);
+        if (!type.ok()) return type.status();
+        auto method = args.find("method");
+        bool ml = method != args.end() && method->second == "ml";
+        if (ml) return MakeAnnotateEntitiesMl(context, type.value());
+        return MakeAnnotateEntitiesDict(context, type.value());
+      });
+  registry->Register("filter_tla",
+                     [](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeFilterTla();
+                     });
+  registry->Register("deduplicate_documents",
+                     [](const Args&) -> Result<dataflow::OperatorPtr> {
+                       return MakeDeduplicateDocuments();
+                     });
+  registry->Register(
+      "merge_annotations",
+      [](const Args& args) -> Result<dataflow::OperatorPtr> {
+        auto it = args.find("strategy");
+        MergeStrategy strategy = MergeStrategy::kUnion;
+        if (it != args.end()) {
+          if (it->second == "prefer-ml") {
+            strategy = MergeStrategy::kPreferMl;
+          } else if (it->second == "prefer-dict") {
+            strategy = MergeStrategy::kPreferDict;
+          } else if (it->second == "longest") {
+            strategy = MergeStrategy::kLongest;
+          } else if (it->second != "union") {
+            return Status::InvalidArgument("unknown merge strategy '" +
+                                           it->second + "'");
+          }
+        }
+        return MakeMergeAnnotations(strategy);
+      });
+  registry->Register(
+      "extract_relations",
+      [context](const Args& args) -> Result<dataflow::OperatorPtr> {
+        double min_confidence = 0.0;
+        auto it = args.find("min_confidence");
+        if (it != args.end()) {
+          min_confidence = std::strtod(it->second.c_str(), nullptr);
+        }
+        return MakeExtractRelations(context, min_confidence);
+      });
+}
+
+dataflow::Dataset DocumentsToRecords(
+    const std::vector<corpus::Document>& docs) {
+  dataflow::Dataset records;
+  records.reserve(docs.size());
+  for (const corpus::Document& doc : docs) {
+    dataflow::Record r;
+    r.SetField(kFieldId, static_cast<int64_t>(doc.id));
+    r.SetField(kFieldCorpus, std::string(corpus::CorpusKindName(doc.kind)));
+    r.SetField(kFieldText, doc.text);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+Status CheckLibraryConflicts(const dataflow::Plan& plan) {
+  std::map<std::string, std::string> library_versions;  // lib -> version
+  for (const auto& node : plan.nodes()) {
+    if (node.is_source()) continue;
+    std::string dep = OperatorLibraryDependency(node.op->name());
+    if (dep.empty()) continue;
+    std::vector<std::string> parts = Split(dep, ':');
+    if (parts.size() != 2) continue;
+    auto [it, inserted] = library_versions.try_emplace(parts[0], parts[1]);
+    if (!inserted && it->second != parts[1]) {
+      return Status::FailedPrecondition(
+          "operator '" + node.op->name() + "' needs " + dep +
+          " but the flow already loads " + parts[0] + ":" + it->second +
+          " (the runtime cannot load two versions of one library, Sect. 4.2)");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<FlowOptions> SplitFlowByMemory(const FlowOptions& full,
+                                           size_t memory_budget_bytes) {
+  // Estimate each candidate part's footprint and emit parts that fit:
+  // one linguistic flow plus one flow per entity class (the paper's split).
+  std::vector<FlowOptions> parts;
+  if (full.linguistic_analysis) {
+    FlowOptions ling = full;
+    ling.entity_annotation = false;
+    parts.push_back(ling);
+  }
+  if (full.entity_annotation) {
+    for (ie::EntityType type : full.entity_types) {
+      FlowOptions part = full;
+      part.linguistic_analysis = false;
+      part.entity_types = {type};
+      size_t need = 0;
+      if (part.dictionary_methods) {
+        need += part.paper_scale_memory ? PaperScaleDictMemoryBytes(type) : 0;
+      }
+      if (part.ml_methods) {
+        need += part.paper_scale_memory ? PaperScaleMlMemoryBytes(type) : 0;
+      }
+      if (memory_budget_bytes > 0 && need > memory_budget_bytes) {
+        // Even the single-entity flow does not fit (the gene case): split
+        // dictionary and ML methods into separate runs.
+        FlowOptions dict_only = part;
+        dict_only.ml_methods = false;
+        FlowOptions ml_only = part;
+        ml_only.dictionary_methods = false;
+        parts.push_back(dict_only);
+        parts.push_back(ml_only);
+      } else {
+        parts.push_back(part);
+      }
+    }
+  }
+  return parts;
+}
+
+Result<dataflow::ExecutionResult> RunFlow(
+    const dataflow::Plan& plan, const std::vector<corpus::Document>& docs,
+    const dataflow::ExecutorConfig& executor_config,
+    bool check_library_conflicts) {
+  if (check_library_conflicts) {
+    WSIE_RETURN_NOT_OK(CheckLibraryConflicts(plan));
+  }
+  dataflow::Executor executor(executor_config);
+  std::map<std::string, dataflow::Dataset> sources;
+  sources["docs"] = DocumentsToRecords(docs);
+  return executor.Run(plan, sources);
+}
+
+}  // namespace wsie::core

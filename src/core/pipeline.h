@@ -1,0 +1,74 @@
+#ifndef WSIE_CORE_PIPELINE_H_
+#define WSIE_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/operators_ie.h"
+#include "corpus/document.h"
+#include "dataflow/executor.h"
+#include "dataflow/meteor.h"
+#include "dataflow/plan.h"
+
+namespace wsie::core {
+
+/// Which sub-flows to include when building an analysis plan.
+struct FlowOptions {
+  /// Include the web-specific preprocessing (long-doc filter, markup repair,
+  /// boilerplate removal). Off for Medline/PMC, which enter as plain text
+  /// ("the same pipeline (without the web-related tasks)", Abstract).
+  bool web_preprocessing = false;
+  bool linguistic_analysis = true;   ///< negation/pronoun/parenthesis flow
+  bool entity_annotation = true;     ///< POS + dict + ML entity flow
+  bool dictionary_methods = true;
+  bool ml_methods = true;
+  bool tla_filter = false;           ///< post-hoc TLA cleansing (Sect. 4.3.2)
+  /// Restrict entity annotation to one type (the per-entity-class split
+  /// flows of the war story); empty = all three types.
+  std::vector<ie::EntityType> entity_types = {
+      ie::EntityType::kGene, ie::EntityType::kDrug, ie::EntityType::kDisease};
+  /// Report modeled paper-scale operator memory (for cluster admission
+  /// experiments) instead of actual in-process footprints.
+  bool paper_scale_memory = false;
+  size_t max_doc_chars = 1u << 20;
+};
+
+/// Builds the consolidated analysis flow of Fig. 2 over source "docs" with
+/// sink "analyzed". The full flow (all options on) instantiates the
+/// complete operator set; Plan::num_operators() reports its size.
+dataflow::Plan BuildAnalysisFlow(ContextPtr context, const FlowOptions& options);
+
+/// Registers all domain operators (WA/IE/DC packages) plus the BASE script
+/// operators in `registry`, so Meteor scripts can use them. Operators that
+/// need the shared context capture `context`.
+void RegisterPipelineOperators(ContextPtr context,
+                               dataflow::OperatorRegistry* registry);
+
+/// Converts generated documents into pipeline input records.
+dataflow::Dataset DocumentsToRecords(const std::vector<corpus::Document>& docs);
+
+/// Checks the plan for conflicting library dependencies (two operators
+/// requiring different versions of the same library cannot run in one flow —
+/// the OpenNLP 1.4/1.5 war story of Sect. 4.2). OK when compatible.
+Status CheckLibraryConflicts(const dataflow::Plan& plan);
+
+/// Splits a flow that exceeds the per-worker memory budget into parts that
+/// fit: the paper's remedy ("we created one flow for all linguistic analysis
+/// and one flow per entity class"). Returns FlowOptions for each part.
+std::vector<FlowOptions> SplitFlowByMemory(const FlowOptions& full,
+                                           size_t memory_budget_bytes);
+
+/// Convenience: run `plan` over `docs` at the given executor config. When
+/// `check_library_conflicts` is set, the modeled third-party library
+/// version matrix is enforced first (reproducing the paper's failure mode);
+/// off by default because this repo's own implementations have no such
+/// conflict.
+Result<dataflow::ExecutionResult> RunFlow(
+    const dataflow::Plan& plan, const std::vector<corpus::Document>& docs,
+    const dataflow::ExecutorConfig& executor_config,
+    bool check_library_conflicts = false);
+
+}  // namespace wsie::core
+
+#endif  // WSIE_CORE_PIPELINE_H_

@@ -1,0 +1,10 @@
+#include "corpus/document.h"
+
+namespace wsie::corpus {
+
+void DocumentStore::Add(Document doc) {
+  total_chars_ += doc.text.size();
+  documents_.push_back(std::move(doc));
+}
+
+}  // namespace wsie::corpus

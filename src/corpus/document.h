@@ -1,0 +1,54 @@
+#ifndef WSIE_CORPUS_DOCUMENT_H_
+#define WSIE_CORPUS_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/profile.h"
+#include "ie/annotation.h"
+
+namespace wsie::corpus {
+
+/// Gold entity mention recorded by the generator (character offsets).
+struct GoldEntity {
+  ie::EntityType type = ie::EntityType::kGene;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  std::string name;
+  bool from_lexicon = true;  ///< false for injected TLA/acronym noise
+};
+
+/// One generated document with its ground truth.
+struct Document {
+  uint64_t id = 0;
+  CorpusKind kind = CorpusKind::kMedline;
+  std::string url;   ///< empty for the scientific corpora
+  std::string text;  ///< plain text (web docs get HTML wrapping later)
+  std::vector<GoldEntity> gold_entities;
+  uint32_t gold_sentences = 0;  ///< sentences the generator produced
+};
+
+/// In-memory document collection with corpus-level accounting (Table 3).
+class DocumentStore {
+ public:
+  void Add(Document doc);
+
+  const std::vector<Document>& documents() const { return documents_; }
+  size_t size() const { return documents_.size(); }
+
+  uint64_t total_chars() const { return total_chars_; }
+  double mean_chars() const {
+    return documents_.empty() ? 0.0
+                              : static_cast<double>(total_chars_) /
+                                    static_cast<double>(documents_.size());
+  }
+
+ private:
+  std::vector<Document> documents_;
+  uint64_t total_chars_ = 0;
+};
+
+}  // namespace wsie::corpus
+
+#endif  // WSIE_CORPUS_DOCUMENT_H_

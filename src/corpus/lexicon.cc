@@ -1,0 +1,177 @@
+#include "corpus/lexicon.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+namespace wsie::corpus {
+namespace {
+
+constexpr const char* kGeneSyllables[] = {
+    "BRC", "TP",  "KR",  "EGF", "MYC", "RAS", "CDK", "SMA", "NOT", "WNT",
+    "FOX", "GAT", "SOX", "PAX", "HOX", "MAP", "JAK", "STA", "AKT", "PIK",
+    "PTN", "RB",  "VHL", "MLH", "MSH", "APC", "NF",  "RET", "KIT", "ALK"};
+
+constexpr const char* kDrugStems[] = {
+    "ima",  "dasa", "nilo", "erlo", "gefi",  "sora", "suni", "vande",
+    "pazo", "axi",  "ritu", "trastu", "beva", "cetu", "pani", "ofa",
+    "ator", "rosu", "simva", "prava", "fluva", "amoxi", "ampi", "cefa",
+    "doxy", "ery",  "azithro", "keto", "flu",  "itra", "vori", "metro"};
+
+constexpr const char* kDrugSuffixes[] = {"tinib", "mab",    "statin",
+                                         "cillin", "mycin", "azole",
+                                         "pril",  "sartan", "olol"};
+
+constexpr const char* kDiseaseStems[] = {
+    "carcin", "lymph", "melan", "neur",  "hepat", "nephr", "derma", "arthr",
+    "gastr",  "cardi", "pulmon", "oste",  "myel",  "thym",  "glia",  "aden",
+    "fibr",   "angi",  "leuk",  "menin", "endo",  "bronch", "cyst",  "retin"};
+
+constexpr const char* kDiseaseSuffixes[] = {"oma",   "itis", "osis",
+                                            "opathy", "algia", "emia"};
+
+constexpr const char* kDiseaseQualifiers[] = {
+    "chronic", "acute", "malignant", "benign", "hereditary", "idiopathic",
+    "juvenile", "systemic", "primary", "secondary"};
+
+constexpr const char* kBodyParts[] = {
+    "lung",  "breast", "colon", "skin",   "liver", "kidney", "brain",
+    "bone",  "blood",  "heart", "stomach", "bladder", "thyroid", "ovarian",
+    "prostate", "pancreatic", "gastric", "cervical"};
+
+constexpr const char* kDiseaseHeads[] = {"cancer", "disease", "syndrome",
+                                         "disorder", "deficiency", "failure"};
+
+constexpr const char* kGeneralTermStems[] = {
+    "cancer",      "chronic pain",  "diabetes",     "infection",
+    "inflammation", "immunity",     "vaccination",  "metabolism",
+    "nutrition",   "obesity",       "hypertension", "depression",
+    "anxiety",     "allergy",       "asthma",       "arthritis",
+    "migraine",    "insomnia",      "fatigue",      "nausea",
+    "fever",       "cough",         "therapy",      "surgery",
+    "screening",   "diagnosis",     "prognosis",    "remission",
+    "relapse",     "biopsy",        "chemotherapy", "radiotherapy"};
+
+}  // namespace
+
+EntityLexicons::EntityLexicons(LexiconConfig config) : config_(config) {
+  Rng rng(config_.seed);
+  GenerateGenes(rng);
+  GenerateDrugs(rng);
+  GenerateDiseases(rng);
+  GenerateGeneralTerms(rng);
+}
+
+const std::vector<std::string>& EntityLexicons::ForType(
+    ie::EntityType type) const {
+  switch (type) {
+    case ie::EntityType::kGene:
+      return genes_;
+    case ie::EntityType::kDrug:
+      return drugs_;
+    case ie::EntityType::kDisease:
+      return diseases_;
+  }
+  return genes_;
+}
+
+void EntityLexicons::GenerateGenes(Rng& rng) {
+  std::unordered_set<std::string> seen;
+  genes_.reserve(config_.num_genes);
+  const size_t num_syllables =
+      sizeof(kGeneSyllables) / sizeof(kGeneSyllables[0]);
+  while (genes_.size() < config_.num_genes) {
+    std::string name = kGeneSyllables[rng.Uniform(num_syllables)];
+    switch (rng.Uniform(5)) {
+      case 0:  // BRCA1-style: stem + letter + digit
+        name.push_back(static_cast<char>('A' + rng.Uniform(26)));
+        name += std::to_string(rng.Uniform(20) + 1);
+        break;
+      case 1:  // TP53-style: stem + number
+        name += std::to_string(rng.Uniform(100) + 1);
+        break;
+      case 2:  // GAD-67-style: hyphenated numeric suffix
+        name.push_back(static_cast<char>('A' + rng.Uniform(26)));
+        name += "-" + std::to_string(rng.Uniform(90) + 10);
+        break;
+      case 3:  // Mixed-case symbol ("Cactin" style)
+        name = std::string(1, name[0]) +
+               [&] {
+                 std::string tail;
+                 const char* vowels = "aeiou";
+                 const char* consonants = "bcdfgklmnprstv";
+                 for (int s = 0; s < 3; ++s) {
+                   tail.push_back(consonants[rng.Uniform(14)]);
+                   tail.push_back(vowels[rng.Uniform(5)]);
+                 }
+                 return tail;
+               }();
+        break;
+      default:  // plain acronym, 3-5 letters (includes TLAs)
+        while (name.size() < 3 + rng.Uniform(3)) {
+          name.push_back(static_cast<char>('A' + rng.Uniform(26)));
+        }
+        break;
+    }
+    if (seen.insert(name).second) genes_.push_back(std::move(name));
+  }
+}
+
+void EntityLexicons::GenerateDrugs(Rng& rng) {
+  std::unordered_set<std::string> seen;
+  drugs_.reserve(config_.num_drugs);
+  const size_t num_stems = sizeof(kDrugStems) / sizeof(kDrugStems[0]);
+  const size_t num_suffixes = sizeof(kDrugSuffixes) / sizeof(kDrugSuffixes[0]);
+  const char* vowels = "aeiou";
+  const char* consonants = "bcdfglmnprstvz";
+  while (drugs_.size() < config_.num_drugs) {
+    std::string name = kDrugStems[rng.Uniform(num_stems)];
+    if (rng.Bernoulli(0.5)) {
+      name.push_back(consonants[rng.Uniform(14)]);
+      name.push_back(vowels[rng.Uniform(5)]);
+    }
+    name += kDrugSuffixes[rng.Uniform(num_suffixes)];
+    name[0] = static_cast<char>(std::toupper(name[0]));
+    if (seen.insert(name).second) drugs_.push_back(std::move(name));
+  }
+}
+
+void EntityLexicons::GenerateDiseases(Rng& rng) {
+  std::unordered_set<std::string> seen;
+  diseases_.reserve(config_.num_diseases);
+  const size_t num_stems = sizeof(kDiseaseStems) / sizeof(kDiseaseStems[0]);
+  const size_t num_suffixes =
+      sizeof(kDiseaseSuffixes) / sizeof(kDiseaseSuffixes[0]);
+  const size_t num_quals =
+      sizeof(kDiseaseQualifiers) / sizeof(kDiseaseQualifiers[0]);
+  const size_t num_parts = sizeof(kBodyParts) / sizeof(kBodyParts[0]);
+  const size_t num_heads = sizeof(kDiseaseHeads) / sizeof(kDiseaseHeads[0]);
+  while (diseases_.size() < config_.num_diseases) {
+    std::string name;
+    switch (rng.Uniform(3)) {
+      case 0:  // "carcinoma", "nephritis"
+        name = std::string(kDiseaseStems[rng.Uniform(num_stems)]) +
+               kDiseaseSuffixes[rng.Uniform(num_suffixes)];
+        break;
+      case 1:  // "chronic lung disease"
+        name = std::string(kDiseaseQualifiers[rng.Uniform(num_quals)]) + " " +
+               kBodyParts[rng.Uniform(num_parts)] + " " +
+               kDiseaseHeads[rng.Uniform(num_heads)];
+        break;
+      default:  // "breast cancer"
+        name = std::string(kBodyParts[rng.Uniform(num_parts)]) + " " +
+               kDiseaseHeads[rng.Uniform(num_heads)];
+        break;
+    }
+    if (seen.insert(name).second) diseases_.push_back(std::move(name));
+  }
+}
+
+void EntityLexicons::GenerateGeneralTerms(Rng& rng) {
+  (void)rng;
+  const size_t num_terms =
+      sizeof(kGeneralTermStems) / sizeof(kGeneralTermStems[0]);
+  general_terms_.assign(kGeneralTermStems, kGeneralTermStems + num_terms);
+}
+
+}  // namespace wsie::corpus

@@ -1,0 +1,66 @@
+#ifndef WSIE_CORPUS_LEXICON_H_
+#define WSIE_CORPUS_LEXICON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ie/annotation.h"
+
+namespace wsie::corpus {
+
+/// Sizes of the generated entity-name lexicons. Paper-scale defaults are
+/// genes > 700,000, diseases 61,438, drugs 51,188 (Sect. 3.2); the defaults
+/// here are scaled 1:100 to keep experiments laptop-sized while preserving
+/// the gene ≫ disease > drug ordering that drives the memory/start-up-cost
+/// results.
+struct LexiconConfig {
+  size_t num_genes = 7000;
+  size_t num_drugs = 512;
+  size_t num_diseases = 614;
+  uint64_t seed = 1234;
+};
+
+/// Deterministically generated biomedical entity-name lexicons.
+///
+/// These stand in for the paper's public resources (gene databases,
+/// Drugbank, UMLS/MeSH): gene names follow symbol conventions (short
+/// uppercase stems, optional digits and hyphens, including three-letter
+/// acronyms); drug names use pharmacological suffixes (-ib, -mab, -statin,
+/// ...); disease names are multi-word (stem + -oma/-itis/... or "X disease"
+/// / "X syndrome").
+class EntityLexicons {
+ public:
+  explicit EntityLexicons(LexiconConfig config = {});
+
+  const std::vector<std::string>& genes() const { return genes_; }
+  const std::vector<std::string>& drugs() const { return drugs_; }
+  const std::vector<std::string>& diseases() const { return diseases_; }
+
+  const std::vector<std::string>& ForType(ie::EntityType type) const;
+
+  /// General biomedical glossary terms (the "general terms" category of
+  /// Table 1: cancer, chronic pain, ...).
+  const std::vector<std::string>& general_terms() const {
+    return general_terms_;
+  }
+
+  const LexiconConfig& config() const { return config_; }
+
+ private:
+  void GenerateGenes(Rng& rng);
+  void GenerateDrugs(Rng& rng);
+  void GenerateDiseases(Rng& rng);
+  void GenerateGeneralTerms(Rng& rng);
+
+  LexiconConfig config_;
+  std::vector<std::string> genes_;
+  std::vector<std::string> drugs_;
+  std::vector<std::string> diseases_;
+  std::vector<std::string> general_terms_;
+};
+
+}  // namespace wsie::corpus
+
+#endif  // WSIE_CORPUS_LEXICON_H_

@@ -1,0 +1,111 @@
+#include "corpus/profile.h"
+
+namespace wsie::corpus {
+
+const char* CorpusKindName(CorpusKind kind) {
+  switch (kind) {
+    case CorpusKind::kRelevantWeb:
+      return "Relevant crawl";
+    case CorpusKind::kIrrelevantWeb:
+      return "Irrelevant crawl";
+    case CorpusKind::kMedline:
+      return "Medline";
+    case CorpusKind::kPmc:
+      return "PMC";
+  }
+  return "unknown";
+}
+
+CorpusProfile ProfileFor(CorpusKind kind) {
+  CorpusProfile p;
+  p.kind = kind;
+  switch (kind) {
+    case CorpusKind::kRelevantWeb:
+      // Paper: mean 88,384 chars (scaled 1:10), largest length variance.
+      p.mean_doc_chars = 8838;
+      p.doc_chars_spread = 0.9;
+      p.mean_sentence_tokens = 15.0;
+      p.sentence_tokens_spread = 0.5;
+      p.negation_rate = 0.12;
+      p.pronoun_rate = 0.18;
+      p.coref_pronoun_bias = 0.35;
+      p.parenthesis_rate = 0.15;
+      p.disease_rate = 0.128;   // Fig. 7: avg_rel = 128.49 / 1000 sentences
+      p.drug_rate = 0.098;      // avg_rel = 97.83
+      p.gene_rate = 0.128;      // avg_rel = 128.23 (dictionary)
+      p.entity_group = 0;
+      p.use_core = true;
+      p.coverage = 0.50;
+      p.tla_noise_rate = 0.06;
+      p.debris_rate = 0.03;
+      p.register_id = 1;
+      p.register_bleed = 0.10;
+      break;
+    case CorpusKind::kIrrelevantWeb:
+      // Paper: mean 37,625 chars (scaled 1:10), rare entity mentions.
+      p.mean_doc_chars = 3762;
+      p.doc_chars_spread = 0.7;
+      p.mean_sentence_tokens = 11.0;
+      p.sentence_tokens_spread = 0.45;
+      p.negation_rate = 0.16;
+      p.pronoun_rate = 0.20;
+      p.coref_pronoun_bias = 0.35;
+      p.parenthesis_rate = 0.04;
+      p.disease_rate = 0.0046;  // avg_irrel = 4.57
+      p.drug_rate = 0.0069;     // avg_irrel = 6.85
+      p.gene_rate = 0.0044;     // avg_irrel = 4.39
+      p.entity_group = 1;  // off-domain tail is independent of the bio one
+      p.use_core = true;   // famous entities do reach off-domain pages
+      p.coverage = 0.25;
+      p.tla_noise_rate = 0.04;
+      p.debris_rate = 0.05;
+      p.register_id = 2;
+      p.register_bleed = 0.05;
+      break;
+    case CorpusKind::kMedline:
+      // Paper: mean 865 chars (unscaled), shortest sentences among the
+      // scientific corpora, dense entity mentions.
+      p.mean_doc_chars = 865;
+      p.doc_chars_spread = 0.3;
+      p.mean_sentence_tokens = 18.0;
+      p.sentence_tokens_spread = 0.3;
+      p.negation_rate = 0.07;
+      p.pronoun_rate = 0.15;
+      p.coref_pronoun_bias = 0.5;
+      p.parenthesis_rate = 0.12;
+      p.disease_rate = 0.205;  // avg_medl = 204.92
+      p.drug_rate = 0.294;     // avg_medl = 293.95
+      p.gene_rate = 0.416;     // avg_medl = 415.58
+      p.entity_group = 0;
+      p.use_core = true;
+      p.coverage = 0.65;
+      p.tla_noise_rate = 0.01;
+      p.register_id = 0;
+      p.register_bleed = 0.05;
+      break;
+    case CorpusKind::kPmc:
+      // Paper: mean 55,704 chars (scaled 1:10), longest sentences, highest
+      // incidence of parentheses and co-reference pronouns.
+      p.mean_doc_chars = 5570;
+      p.doc_chars_spread = 0.4;
+      p.mean_sentence_tokens = 24.0;
+      p.sentence_tokens_spread = 0.35;
+      p.negation_rate = 0.20;
+      p.pronoun_rate = 0.35;
+      p.coref_pronoun_bias = 0.6;
+      p.parenthesis_rate = 0.35;
+      p.disease_rate = 0.118;  // avg_pmc = 117.51
+      p.drug_rate = 0.276;     // avg_pmc = 275.95
+      p.gene_rate = 0.074;     // avg_pmc = 74.12
+      p.entity_group = 0;
+      p.use_core = true;
+      p.coverage = 0.60;
+      p.tla_noise_rate = 0.02;
+      p.register_id = 0;
+      p.register_bleed = 0.03;
+      break;
+  }
+  return p;
+}
+
+}  // namespace wsie::corpus

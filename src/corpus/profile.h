@@ -1,0 +1,85 @@
+#ifndef WSIE_CORPUS_PROFILE_H_
+#define WSIE_CORPUS_PROFILE_H_
+
+#include <cstddef>
+#include <string>
+
+namespace wsie::corpus {
+
+/// The four text collections compared in the study (Table 3).
+enum class CorpusKind {
+  kRelevantWeb,    ///< crawled pages classified biomedical
+  kIrrelevantWeb,  ///< crawled pages classified out-of-domain
+  kMedline,        ///< scientific abstracts
+  kPmc,            ///< scientific full texts
+};
+
+const char* CorpusKindName(CorpusKind kind);
+
+/// Linguistic and content parameters of one corpus generator.
+///
+/// Defaults per corpus (ProfileFor) are calibrated so that the *orderings*
+/// the paper reports hold: document length rel > pmc > irrel > medline
+/// (Table 3), sentence length pmc/medline style contrasts, negation
+/// incidence pmc > irrel > rel > medline (Fig. 6c), parenthesis incidence
+/// pmc > rel > medline > irrel, pronoun incidence pmc > web corpora
+/// (Sect. 4.3.1), and per-1000-sentence entity densities echoing Fig. 7.
+struct CorpusProfile {
+  CorpusKind kind = CorpusKind::kMedline;
+
+  // Document length in characters: log-normal-ish via mean + jitter.
+  size_t mean_doc_chars = 865;
+  double doc_chars_spread = 0.3;  ///< relative spread (0.3 = +-30% typical)
+
+  // Sentence shape.
+  double mean_sentence_tokens = 12.0;
+  double sentence_tokens_spread = 0.35;
+
+  // Per-sentence incidence probabilities of linguistic phenomena.
+  double negation_rate = 0.08;
+  double pronoun_rate = 0.10;       ///< any pronoun class
+  double coref_pronoun_bias = 0.5;  ///< share of dem/rel/obj among pronouns
+  double parenthesis_rate = 0.08;
+
+  // Per-sentence probability of mentioning an entity of each type.
+  double disease_rate = 0.20;
+  double drug_rate = 0.29;
+  double gene_rate = 0.40;
+
+  // Entity-name sampling: name popularity is one global Zipf over the
+  // lexicon, but each corpus only *covers* part of it, which shapes the
+  // cross-corpus overlap structure of Fig. 8:
+  //  - corpora with use_core see the globally famous head of the lexicon
+  //    (top core_fraction of ranks) — the shared vocabulary of the
+  //    biomedical literature and health web;
+  //  - beyond the core, a name is covered iff a salted hash falls below
+  //    `coverage`. Corpora in the same entity_group share the salt, so
+  //    their tails nest (overlap ~ min coverage); different groups have
+  //    independent tails (overlap ~ product of coverages).
+  int entity_group = 0;       ///< 0 = biomedical, 1 = off-domain
+  bool use_core = true;       ///< sees the famous head of the lexicon
+  double coverage = 0.6;      ///< tail coverage fraction
+  double core_fraction = 0.03;
+  double zipf_exponent = 1.1;
+
+  // Web noise: probability per sentence of injecting an out-of-lexicon
+  // acronym (TLA) that Medline-trained ML taggers mistake for a gene
+  // (Sect. 4.3.2), and of markup-ish debris surviving boilerplate removal.
+  double tla_noise_rate = 0.02;
+  double debris_rate = 0.0;
+
+  // Vocabulary register: 0 = scientific, 1 = lay web, 2 = off-domain.
+  int register_id = 0;
+  // Mean fraction of content words drawn from a *different* register (per
+  // document, the actual fraction is uniform in [0, 2*register_bleed]).
+  // This is what makes the relevance classifier imperfect, as in the paper
+  // ("pages at the fringe of what we consider biomedical", Sect. 4.1).
+  double register_bleed = 0.0;
+};
+
+/// Returns the calibrated default profile for `kind`.
+CorpusProfile ProfileFor(CorpusKind kind);
+
+}  // namespace wsie::corpus
+
+#endif  // WSIE_CORPUS_PROFILE_H_

@@ -1,0 +1,348 @@
+#include "corpus/text_generator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "ml/crf.h"
+
+namespace wsie::corpus {
+namespace {
+
+// Register 0: scientific prose.
+constexpr const char* kSciNouns[] = {
+    "study",    "analysis", "results",  "patients", "expression", "treatment",
+    "response", "levels",   "cells",    "samples",  "cohort",     "effect",
+    "therapy",  "data",     "mutation", "pathway",  "receptor",   "protein"};
+constexpr const char* kSciVerbs[] = {
+    "showed",   "indicated", "demonstrated", "suggested", "revealed",
+    "measured", "analyzed",  "observed",     "confirmed", "reported"};
+constexpr const char* kSciAdjs[] = {
+    "significant", "clinical", "molecular", "genetic",    "elevated",
+    "therapeutic", "systemic", "cellular",  "functional", "novel"};
+
+// Register 1: lay health web (patient portals, blogs, forums).
+constexpr const char* kWebNouns[] = {
+    "symptoms", "doctor",  "treatment", "patients", "side effects",
+    "medicine", "health",  "pain",      "condition", "support group",
+    "diagnosis", "recovery", "advice",   "story",     "information"};
+constexpr const char* kWebVerbs[] = {
+    "helps",  "causes", "reported", "experienced", "recommended",
+    "started", "found",  "improved", "discussed",   "shared"};
+constexpr const char* kWebAdjs[] = {"common", "severe", "mild",   "helpful",
+                                    "chronic", "new",    "natural", "daily"};
+
+// Register 2: off-domain web (shopping, sports, tech).
+constexpr const char* kOffNouns[] = {
+    "price",  "review", "game",    "team",   "season", "phone", "camera",
+    "battery", "recipe", "weather", "travel", "hotel",  "movie", "album",
+    "market", "player", "update",  "screen"};
+constexpr const char* kOffVerbs[] = {
+    "bought", "played", "released", "announced", "scored",
+    "costs",  "offers", "reviewed", "compared",  "launched"};
+constexpr const char* kOffAdjs[] = {"cheap", "fast",  "popular", "amazing",
+                                    "late",  "early", "final",   "portable"};
+
+constexpr const char* kDeterminers[] = {"the", "a", "an", "each"};
+constexpr const char* kPreps[] = {"in", "of", "with", "for", "after", "during"};
+constexpr const char* kConnectors[] = {"and", "but", "or"};
+constexpr const char* kCorefPronouns[] = {"this", "that",  "which", "these",
+                                          "them", "those", "it",    "who"};
+constexpr const char* kOtherPronouns[] = {"we", "they", "he", "she", "you"};
+
+constexpr const char* kDebrisWords[] = {
+    "Home",    "About",   "Contact", "Login", "Register", "Search", "Menu",
+    "Sitemap", "Privacy", "Terms",   "FAQ",   "Share",     "Tweet",  "Print"};
+
+template <size_t N>
+const char* Pick(Rng& rng, const char* const (&pool)[N]) {
+  return pool[rng.Uniform(N)];
+}
+
+}  // namespace
+
+TextGenerator::TextGenerator(const EntityLexicons* lexicons,
+                             CorpusProfile profile, uint64_t seed)
+    : lexicons_(lexicons), profile_(profile), rng_(seed) {}
+
+const std::string& TextGenerator::SampleEntityName(ie::EntityType type) {
+  // Name popularity is GLOBAL (one Zipf over the whole lexicon, shared by
+  // all corpora) while each corpus covers only part of it (see the
+  // CorpusProfile field comments): a shared famous core plus a salted-hash
+  // tail subset. This produces the Fig. 8 overlap structure — biomedical
+  // corpora share the core and nest in the tail, off-domain pages cover an
+  // independent small subset.
+  const auto& pool = lexicons_->ForType(type);
+  const size_t core = static_cast<size_t>(profile_.core_fraction *
+                                          static_cast<double>(pool.size()));
+  const uint64_t salt = profile_.entity_group == 0 ? 0x62696fULL   // "bio"
+                                                   : 0x6f7468ULL;  // "oth"
+  const uint64_t cutoff =
+      static_cast<uint64_t>(profile_.coverage * 10000.0);
+  auto covered = [&](size_t rank) {
+    if (profile_.use_core && rank < core) return true;
+    uint64_t h = ml::HashFeature(pool[rank]) ^ (salt * 0x9e3779b97f4a7c15ULL);
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return h % 10000 < cutoff;
+  };
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    size_t rank = rng_.Zipf(pool.size(), profile_.zipf_exponent);
+    if (covered(rank)) return pool[rank];
+  }
+  // Coverage too sparse for rejection sampling: linear probe from a random
+  // Zipf start.
+  size_t rank = rng_.Zipf(pool.size(), profile_.zipf_exponent);
+  for (size_t probe = 0; probe < pool.size(); ++probe) {
+    size_t candidate = (rank + probe) % pool.size();
+    if (covered(candidate)) return pool[candidate];
+  }
+  return pool[rank];
+}
+
+std::string TextGenerator::RandomAcronym() {
+  // 3-4 uppercase letters; predominantly TLAs, as in real web text.
+  size_t len = rng_.Bernoulli(0.8) ? 3 : 4;
+  std::string acronym;
+  for (size_t i = 0; i < len; ++i) {
+    acronym.push_back(static_cast<char>('A' + rng_.Uniform(26)));
+  }
+  return acronym;
+}
+
+std::vector<TextGenerator::SentencePiece> TextGenerator::BuildSentencePieces() {
+  std::vector<SentencePiece> pieces;
+  auto word = [&](std::string w) {
+    SentencePiece p;
+    p.text = std::move(w);
+    pieces.push_back(std::move(p));
+  };
+  auto entity = [&](ie::EntityType type, bool from_lexicon) {
+    SentencePiece p;
+    p.is_entity = true;
+    p.entity.type = type;
+    p.entity.from_lexicon = from_lexicon;
+    p.entity.name = from_lexicon ? SampleEntityName(type) : RandomAcronym();
+    p.text = p.entity.name;
+    std::string name = p.entity.name;
+    pieces.push_back(std::move(p));
+    // Abbreviation definition right after the mention ("breast cancer
+    // (BC)"), Schwartz-Hearst detectable. Scientific prose defines far more
+    // abbreviations than lay or off-domain web text.
+    double define_prob =
+        profile_.parenthesis_rate * (profile_.register_id == 0 ? 0.8 : 0.3);
+    if (rng_.Bernoulli(define_prob)) {
+      std::string initials;
+      bool word_start = true;
+      for (char c : name) {
+        if (c == ' ' || c == '-') {
+          word_start = true;
+        } else {
+          if (word_start) {
+            initials.push_back(static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c))));
+          }
+          word_start = false;
+        }
+      }
+      if (initials.size() < 2) {
+        initials = AsciiToUpper(name.substr(0, std::min<size_t>(3, name.size())));
+      }
+      SentencePiece paren;
+      paren.text = "(" + initials + ")";
+      pieces.push_back(std::move(paren));
+    }
+  };
+  auto noun = [&] {
+    switch (EffectiveRegister()) {
+      case 1:
+        return Pick(rng_, kWebNouns);
+      case 2:
+        return Pick(rng_, kOffNouns);
+      default:
+        return Pick(rng_, kSciNouns);
+    }
+  };
+  auto verb = [&] {
+    switch (EffectiveRegister()) {
+      case 1:
+        return Pick(rng_, kWebVerbs);
+      case 2:
+        return Pick(rng_, kOffVerbs);
+      default:
+        return Pick(rng_, kSciVerbs);
+    }
+  };
+  auto adj = [&] {
+    switch (EffectiveRegister()) {
+      case 1:
+        return Pick(rng_, kWebAdjs);
+      case 2:
+        return Pick(rng_, kOffAdjs);
+      default:
+        return Pick(rng_, kSciAdjs);
+    }
+  };
+
+  const size_t target_tokens = static_cast<size_t>(std::max(
+      4.0, rng_.Gaussian(profile_.mean_sentence_tokens,
+                         profile_.mean_sentence_tokens *
+                             profile_.sentence_tokens_spread)));
+
+  // Subject.
+  bool use_pronoun = rng_.Bernoulli(profile_.pronoun_rate);
+  if (use_pronoun) {
+    bool coref = rng_.Bernoulli(profile_.coref_pronoun_bias);
+    word(coref ? Pick(rng_, kCorefPronouns) : Pick(rng_, kOtherPronouns));
+  } else {
+    word(Pick(rng_, kDeterminers));
+    if (rng_.Bernoulli(0.5)) word(adj());
+    word(noun());
+  }
+  // Optional negation attaches before the verb.
+  if (rng_.Bernoulli(profile_.negation_rate)) {
+    switch (rng_.Uniform(3)) {
+      case 0:
+        word("not");
+        break;
+      case 1:
+        word("neither");
+        break;
+      default:
+        word("nor");
+        break;
+    }
+  }
+  word(verb());
+  // Object with optional entity mention per type.
+  word(Pick(rng_, kDeterminers));
+  if (rng_.Bernoulli(0.4)) word(adj());
+  bool mentioned_entity = false;
+  if (rng_.Bernoulli(profile_.disease_rate)) {
+    entity(ie::EntityType::kDisease, true);
+    mentioned_entity = true;
+  }
+  if (rng_.Bernoulli(profile_.drug_rate)) {
+    if (mentioned_entity) word(Pick(rng_, kConnectors));
+    entity(ie::EntityType::kDrug, true);
+    mentioned_entity = true;
+  }
+  if (rng_.Bernoulli(profile_.gene_rate)) {
+    if (mentioned_entity) word(Pick(rng_, kConnectors));
+    entity(ie::EntityType::kGene, true);
+    mentioned_entity = true;
+  }
+  if (!mentioned_entity) word(noun());
+
+  // TLA noise (out-of-lexicon acronyms the ML gene tagger false-positives
+  // on, Sect. 4.3.2).
+  if (rng_.Bernoulli(profile_.tla_noise_rate)) {
+    entity(ie::EntityType::kGene, false);
+  }
+
+  // Pad with prepositional phrases toward the target length.
+  while (pieces.size() < target_tokens) {
+    word(Pick(rng_, kPreps));
+    word(Pick(rng_, kDeterminers));
+    if (rng_.Bernoulli(0.3)) word(adj());
+    word(noun());
+  }
+
+  // Parenthesized text: abbreviation or reference (Sect. 4.3.1).
+  if (rng_.Bernoulli(profile_.parenthesis_rate)) {
+    SentencePiece p;
+    if (rng_.Bernoulli(0.5)) {
+      p.text = "(" + RandomAcronym() + ")";
+    } else {
+      p.text = "(see Figure " + std::to_string(rng_.Uniform(9) + 1) + ")";
+    }
+    pieces.push_back(std::move(p));
+  }
+  return pieces;
+}
+
+size_t TextGenerator::AppendSentence(Document& doc) {
+  std::vector<SentencePiece> pieces = BuildSentencePieces();
+  std::string& text = doc.text;
+  size_t tokens = 0;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0 || !text.empty()) text.push_back(' ');
+    if (i == 0 && !pieces[i].is_entity && !pieces[i].text.empty()) {
+      pieces[i].text[0] = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(pieces[i].text[0])));
+    }
+    size_t begin = text.size();
+    text += pieces[i].text;
+    if (pieces[i].is_entity) {
+      GoldEntity gold = pieces[i].entity;
+      gold.begin = static_cast<uint32_t>(begin);
+      gold.end = static_cast<uint32_t>(text.size());
+      doc.gold_entities.push_back(std::move(gold));
+    }
+    ++tokens;
+  }
+  text.push_back('.');
+  ++doc.gold_sentences;
+  return tokens;
+}
+
+void TextGenerator::AppendDebris(Document& doc) {
+  // Navigation fragments without sentence structure; they stress the
+  // sentence splitter exactly as the paper describes (Sect. 4.2).
+  std::string& text = doc.text;
+  if (!text.empty()) text.push_back('\n');
+  size_t items = 3 + rng_.Uniform(8);
+  for (size_t i = 0; i < items; ++i) {
+    if (i > 0) text += " | ";
+    text += Pick(rng_, kDebrisWords);
+  }
+  text.push_back('\n');
+}
+
+int TextGenerator::EffectiveRegister() {
+  if (doc_bleed_ > 0.0 && rng_.Bernoulli(doc_bleed_)) {
+    return static_cast<int>(rng_.Uniform(3));
+  }
+  return profile_.register_id;
+}
+
+Document TextGenerator::GenerateDocument(uint64_t doc_id) {
+  Document doc;
+  doc.id = doc_id;
+  doc.kind = profile_.kind;
+  // Per-document register bleed: most documents are close to their
+  // corpus's register, a minority mix heavily (the classifier's hard
+  // cases, Sect. 4.1).
+  doc_bleed_ = 2.0 * profile_.register_bleed * rng_.NextDouble();
+  double spread = profile_.doc_chars_spread;
+  double factor = 1.0 + spread * (2.0 * rng_.NextDouble() - 1.0);
+  // Heavier right tail for the relevant web corpus (largest document-length
+  // variance of the four corpora, Fig. 6a).
+  if (spread > 0.8 && rng_.Bernoulli(0.08)) factor *= 3.0;
+  size_t target_chars = static_cast<size_t>(
+      std::max(120.0, static_cast<double>(profile_.mean_doc_chars) * factor));
+  size_t sentences_in_paragraph = 0;
+  while (doc.text.size() < target_chars) {
+    if (profile_.debris_rate > 0 && rng_.Bernoulli(profile_.debris_rate)) {
+      AppendDebris(doc);
+      continue;
+    }
+    AppendSentence(doc);
+    if (++sentences_in_paragraph >= 5) {
+      doc.text += "\n\n";
+      sentences_in_paragraph = 0;
+    }
+  }
+  return doc;
+}
+
+std::vector<Document> TextGenerator::GenerateCorpus(uint64_t first_doc_id,
+                                                    size_t num_docs) {
+  std::vector<Document> docs;
+  docs.reserve(num_docs);
+  for (size_t i = 0; i < num_docs; ++i) {
+    docs.push_back(GenerateDocument(first_doc_id + i));
+  }
+  return docs;
+}
+
+}  // namespace wsie::corpus

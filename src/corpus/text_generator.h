@@ -1,0 +1,67 @@
+#ifndef WSIE_CORPUS_TEXT_GENERATOR_H_
+#define WSIE_CORPUS_TEXT_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/document.h"
+#include "corpus/lexicon.h"
+#include "corpus/profile.h"
+
+namespace wsie::corpus {
+
+/// Generates documents of one corpus according to its CorpusProfile.
+///
+/// Sentences are assembled from register-specific word pools (scientific,
+/// lay-web, off-domain); entity mentions, negation, pronouns, parentheses,
+/// acronym noise, and navigation debris are injected at the profile's
+/// rates, and every injected entity is recorded as ground truth. The
+/// generator is deterministic given (lexicons, profile, seed).
+class TextGenerator {
+ public:
+  /// `lexicons` must outlive the generator.
+  TextGenerator(const EntityLexicons* lexicons, CorpusProfile profile,
+                uint64_t seed);
+
+  /// Generates one document with ground truth. Ids should be unique across
+  /// corpora (the pipeline keys annotations by doc id).
+  Document GenerateDocument(uint64_t doc_id);
+
+  /// Generates a whole corpus of `num_docs` documents.
+  std::vector<Document> GenerateCorpus(uint64_t first_doc_id, size_t num_docs);
+
+  const CorpusProfile& profile() const { return profile_; }
+
+  /// Samples an entity name of `type` from this corpus's covered lexicon
+  /// subset (globally Zipf-weighted). Exposed for tests and seed generation.
+  const std::string& SampleEntityName(ie::EntityType type);
+
+ private:
+  struct SentencePiece {
+    std::string text;
+    bool is_entity = false;
+    GoldEntity entity;  // valid when is_entity
+  };
+
+  /// Appends one generated sentence to `doc`; returns tokens emitted.
+  size_t AppendSentence(Document& doc);
+  /// Appends a navigation-debris line (no sentence structure).
+  void AppendDebris(Document& doc);
+
+  std::string RandomAcronym();
+  std::vector<SentencePiece> BuildSentencePieces();
+  /// Register used for the next content word: usually the profile's, but
+  /// with the document's bleed probability a random other register.
+  int EffectiveRegister();
+
+  const EntityLexicons* lexicons_;
+  CorpusProfile profile_;
+  Rng rng_;
+  double doc_bleed_ = 0.0;  ///< per-document off-register word fraction
+};
+
+}  // namespace wsie::corpus
+
+#endif  // WSIE_CORPUS_TEXT_GENERATOR_H_

@@ -1,0 +1,86 @@
+#include "crawler/crawl_db.h"
+
+namespace wsie::crawler {
+
+bool CrawlDb::Inject(const std::string& url, const std::string& host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(url);
+  if (!inserted) return false;
+  it->second.host = host;
+  pending_.push_back(url);
+  ++num_pending_;
+  ++total_injected_;
+  return true;
+}
+
+std::vector<std::string> CrawlDb::NextFetchBatch(size_t max_urls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> batch;
+  std::unordered_map<std::string, size_t> host_in_batch;
+  std::deque<std::string> skipped;
+  while (!pending_.empty() && batch.size() < max_urls) {
+    std::string url = std::move(pending_.front());
+    pending_.pop_front();
+    auto it = entries_.find(url);
+    if (it == entries_.end() || it->second.state != UrlState::kUnfetched) {
+      --num_pending_;
+      continue;
+    }
+    const std::string& host = it->second.host;
+    // Politeness cap: at most max_per_host_ URLs of one host per batch.
+    if (host_in_batch[host] >= max_per_host_) {
+      skipped.push_back(std::move(url));
+      continue;
+    }
+    ++host_in_batch[host];
+    ++host_dispatched_[host];
+    it->second.state = UrlState::kFetching;
+    --num_pending_;
+    batch.push_back(std::move(url));
+  }
+  // Put deferred URLs back at the front so they lead the next batch.
+  for (auto it = skipped.rbegin(); it != skipped.rend(); ++it) {
+    pending_.push_front(std::move(*it));
+  }
+  return batch;
+}
+
+void CrawlDb::MarkFetched(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(url);
+  if (it != entries_.end()) it->second.state = UrlState::kFetched;
+}
+
+void CrawlDb::MarkError(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(url);
+  if (it != entries_.end()) it->second.state = UrlState::kError;
+}
+
+bool CrawlDb::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_pending_ == 0;
+}
+
+size_t CrawlDb::num_known() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t CrawlDb::num_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_pending_;
+}
+
+uint64_t CrawlDb::total_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+size_t CrawlDb::HostFetchCount(const std::string& host) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = host_dispatched_.find(host);
+  return it == host_dispatched_.end() ? 0 : it->second;
+}
+
+}  // namespace wsie::crawler

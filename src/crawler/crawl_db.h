@@ -1,0 +1,73 @@
+#ifndef WSIE_CRAWLER_CRAWL_DB_H_
+#define WSIE_CRAWLER_CRAWL_DB_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace wsie::crawler {
+
+/// Lifecycle states of a URL in the crawl database.
+enum class UrlState {
+  kUnfetched,
+  kFetching,
+  kFetched,
+  kError,
+};
+
+/// The crawl frontier (Nutch's CrawlDB, Fig. 1).
+///
+/// Holds every URL ever seen with its state, hands out politeness-respecting
+/// fetch batches (at most `max_fetch_list_per_host` URLs of one host per
+/// batch — Sect. 4.1: "the sizes of host-specific fetch lists was limited to
+/// 500 to prevent threads from blocking each other"), and deduplicates
+/// injected links. Thread-safe.
+class CrawlDb {
+ public:
+  explicit CrawlDb(size_t max_fetch_list_per_host = 500)
+      : max_per_host_(max_fetch_list_per_host) {}
+
+  /// Adds `url` if never seen. Returns true if it was new.
+  bool Inject(const std::string& url, const std::string& host);
+
+  /// Pops up to `max_urls` unfetched URLs, honouring the per-host cap.
+  /// Popped URLs move to kFetching.
+  std::vector<std::string> NextFetchBatch(size_t max_urls);
+
+  /// Records the outcome of a fetch.
+  void MarkFetched(const std::string& url);
+  void MarkError(const std::string& url);
+
+  /// True when no unfetched URLs remain (the "CrawlDB empty" stop
+  /// condition of Sect. 2.1).
+  bool Empty() const;
+
+  size_t num_known() const;
+  size_t num_pending() const;
+  uint64_t total_injected() const;
+
+  /// Per-host URL count already dispatched (politeness accounting).
+  size_t HostFetchCount(const std::string& host) const;
+
+ private:
+  struct Entry {
+    UrlState state = UrlState::kUnfetched;
+    std::string host;
+  };
+
+  mutable std::mutex mu_;
+  size_t max_per_host_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<std::string> pending_;
+  std::unordered_map<std::string, size_t> host_dispatched_;
+  uint64_t total_injected_ = 0;
+  size_t num_pending_ = 0;
+};
+
+}  // namespace wsie::crawler
+
+#endif  // WSIE_CRAWLER_CRAWL_DB_H_

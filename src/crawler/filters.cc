@@ -1,0 +1,56 @@
+#include "crawler/filters.h"
+
+namespace wsie::crawler {
+
+const char* FilterVerdictName(FilterVerdict verdict) {
+  switch (verdict) {
+    case FilterVerdict::kPass:
+      return "pass";
+    case FilterVerdict::kMimeRejected:
+      return "mime";
+    case FilterVerdict::kLanguageRejected:
+      return "language";
+    case FilterVerdict::kLengthRejected:
+      return "length";
+  }
+  return "unknown";
+}
+
+PreFilterChain::PreFilterChain(LengthFilterOptions length_options)
+    : length_options_(length_options) {}
+
+FilterVerdict PreFilterChain::Apply(std::string_view url,
+                                    std::string_view raw_head,
+                                    std::string_view net_text) const {
+  FilterVerdict mime = ApplyMime(url, raw_head);
+  if (mime != FilterVerdict::kPass) return mime;
+  return ApplyTextFilters(net_text);
+}
+
+FilterVerdict PreFilterChain::ApplyMime(std::string_view url,
+                                        std::string_view raw_head) const {
+  total_.fetch_add(1);
+  lang::MimeDetection mime = mime_detector_.Detect(url, raw_head);
+  if (!lang::MimeDetector::IsTextual(mime.mime)) {
+    mime_rejected_.fetch_add(1);
+    return FilterVerdict::kMimeRejected;
+  }
+  return FilterVerdict::kPass;
+}
+
+FilterVerdict PreFilterChain::ApplyTextFilters(
+    std::string_view net_text) const {
+  if (net_text.size() < length_options_.min_chars ||
+      net_text.size() > length_options_.max_chars) {
+    length_rejected_.fetch_add(1);
+    return FilterVerdict::kLengthRejected;
+  }
+  if (!language_identifier_.IsEnglish(net_text)) {
+    language_rejected_.fetch_add(1);
+    return FilterVerdict::kLanguageRejected;
+  }
+  passed_.fetch_add(1);
+  return FilterVerdict::kPass;
+}
+
+}  // namespace wsie::crawler

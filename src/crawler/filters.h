@@ -1,0 +1,73 @@
+#ifndef WSIE_CRAWLER_FILTERS_H_
+#define WSIE_CRAWLER_FILTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lang/language_id.h"
+#include "lang/mime.h"
+
+namespace wsie::crawler {
+
+/// Why a page was dropped before classification.
+enum class FilterVerdict {
+  kPass,
+  kMimeRejected,      ///< not textual (Sect. 2.1: MIME type filter)
+  kLanguageRejected,  ///< not English (n-gram language filter)
+  kLengthRejected,    ///< too short / too long (document length filter)
+};
+
+const char* FilterVerdictName(FilterVerdict verdict);
+
+/// Length bounds for the document length filter. The paper filters both
+/// pages "that are too short" (Sect. 2.1) and "extremely long documents"
+/// (Sect. 3.2).
+struct LengthFilterOptions {
+  size_t min_chars = 200;
+  size_t max_chars = 2u << 20;  // 2 MiB of net text
+};
+
+/// The document pre-selection chain of the focused crawler (Fig. 1, lower
+/// part): MIME filter -> length filter -> language filter. Keeps running
+/// counters so the Sect. 4.1 effectiveness numbers (MIME -9.5%, language
+/// -14%, length -17%) can be reproduced. Thread-safe counters.
+class PreFilterChain {
+ public:
+  explicit PreFilterChain(LengthFilterOptions length_options = {});
+
+  /// Applies all filters. `url` and `raw_head` feed the MIME detector;
+  /// `net_text` feeds length and language checks.
+  FilterVerdict Apply(std::string_view url, std::string_view raw_head,
+                      std::string_view net_text) const;
+
+  /// Stage 1 only: MIME-type check on the raw response (runs before any
+  /// HTML parsing, as in Fig. 1). Counts the page in total().
+  FilterVerdict ApplyMime(std::string_view url,
+                          std::string_view raw_head) const;
+
+  /// Stage 2: length + language checks on extracted net text. Must follow
+  /// an ApplyMime() for the same page (does not bump total()).
+  FilterVerdict ApplyTextFilters(std::string_view net_text) const;
+
+  uint64_t total() const { return total_.load(); }
+  uint64_t mime_rejected() const { return mime_rejected_.load(); }
+  uint64_t language_rejected() const { return language_rejected_.load(); }
+  uint64_t length_rejected() const { return length_rejected_.load(); }
+  uint64_t passed() const { return passed_.load(); }
+
+ private:
+  LengthFilterOptions length_options_;
+  lang::MimeDetector mime_detector_;
+  lang::LanguageIdentifier language_identifier_;
+  mutable std::atomic<uint64_t> total_{0};
+  mutable std::atomic<uint64_t> mime_rejected_{0};
+  mutable std::atomic<uint64_t> language_rejected_{0};
+  mutable std::atomic<uint64_t> length_rejected_{0};
+  mutable std::atomic<uint64_t> passed_{0};
+};
+
+}  // namespace wsie::crawler
+
+#endif  // WSIE_CRAWLER_FILTERS_H_

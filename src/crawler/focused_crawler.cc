@@ -1,0 +1,206 @@
+#include "crawler/focused_crawler.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "html/markup_remover.h"
+#include "web/url.h"
+
+namespace wsie::crawler {
+
+FocusedCrawler::FocusedCrawler(const web::SimulatedWeb* web,
+                               const RelevanceClassifier* classifier,
+                               CrawlerConfig config)
+    : web_(web),
+      classifier_(classifier),
+      config_(config),
+      crawl_db_(/*max_fetch_list_per_host=*/config.max_pages_per_host),
+      prefilter_(config.length_filter) {}
+
+void FocusedCrawler::InjectSeeds(const std::vector<std::string>& seed_urls) {
+  for (const std::string& url : seed_urls) {
+    web::Url parsed;
+    if (!web::ParseUrl(url, &parsed)) continue;
+    crawl_db_.Inject(url, parsed.host);
+    if (config_.follow_irrelevant_margin > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      margin_[url] = config_.follow_irrelevant_margin;
+    }
+  }
+}
+
+bool FocusedCrawler::RobotsAllows(const std::string& host,
+                                  const std::string& path) {
+  std::string prefix;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = robots_cache_.find(host);
+    if (it != robots_cache_.end()) {
+      prefix = it->second;
+    } else {
+      prefix = web_->RobotsDisallowPrefix(host);
+      robots_cache_[host] = prefix;
+    }
+  }
+  if (prefix.empty()) return true;
+  return path.rfind(prefix, 0) != 0;  // path does not start with prefix
+}
+
+void FocusedCrawler::ProcessUrl(const std::string& url) {
+  web::Url parsed;
+  if (!web::ParseUrl(url, &parsed)) {
+    crawl_db_.MarkError(url);
+    return;
+  }
+  // Spider-trap / budget protection: total per-host cap.
+  if (crawl_db_.HostFetchCount(parsed.host) > config_.max_pages_per_host) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.host_budget_skipped;
+    crawl_db_.MarkError(url);
+    return;
+  }
+  if (!RobotsAllows(parsed.host, parsed.path)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.robots_blocked;
+    crawl_db_.MarkError(url);
+    return;
+  }
+
+  web::FetchResult fetched = web_->Fetch(url);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.virtual_fetch_seconds += fetched.virtual_latency_ms / 1000.0 /
+                                    static_cast<double>(config_.num_fetch_threads);
+  }
+  if (fetched.http_status != 200) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.fetch_errors;
+    crawl_db_.MarkError(url);
+    return;
+  }
+  crawl_db_.MarkFetched(url);
+  Stopwatch processing;
+
+  bool is_trap = fetched.is_trap;
+  // --- MIME filter on the raw response, before any HTML treatment
+  // (Fig. 1: the MIME type filter is the first custom component).
+  std::string_view head(fetched.body.data(),
+                        std::min<size_t>(fetched.body.size(), 256));
+  FilterVerdict verdict = prefilter_.ApplyMime(url, head);
+
+  // --- Parse: repair markup, then extract links and net text.
+  std::vector<std::string> out_urls;
+  std::string net_text;
+  bool transcode_failed = false;
+  if (verdict == FilterVerdict::kPass) {
+    auto repaired = repair_.Repair(fetched.body);
+    transcode_failed = !repaired.ok();
+    if (!transcode_failed) {
+      html::MarkupRemover remover;
+      for (const std::string& link : remover.ExtractLinks(repaired->html)) {
+        web::Url resolved;
+        if (web::ResolveLink(parsed, link, &resolved)) {
+          out_urls.push_back(resolved.ToString());
+        }
+      }
+      net_text = boilerplate_.NetText(repaired->html);
+      verdict = prefilter_.ApplyTextFilters(net_text);
+    }
+  }
+  bool classified_relevant = false;
+  double score = 0.0;
+  if (!transcode_failed && verdict == FilterVerdict::kPass) {
+    score = classifier_->RelevanceScore(net_text);
+    if (config_.ie_feedback != nullptr) {
+      // Consolidated crawl+IE (Sect. 5): blend the IE-derived signal into
+      // the relevance decision.
+      double w = config_.ie_feedback_weight;
+      score = (1.0 - w) * score + w * config_.ie_feedback->Score(net_text);
+    }
+    classified_relevant = score >= classifier_->config().relevance_threshold;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fetched;
+  if (is_trap) ++stats_.trap_pages;
+  if (transcode_failed) ++stats_.transcode_failures;
+  stats_.processing_seconds += processing.ElapsedSeconds();
+
+  bool ground_truth_relevant =
+      fetched.page != nullptr && fetched.page->relevant;
+  int child_margin = 0;
+  bool add_outlinks = false;
+  if (verdict == FilterVerdict::kPass && !transcode_failed) {
+    if (classified_relevant) {
+      ++stats_.classified_relevant;
+      stats_.relevant_bytes += net_text.size();
+      corpus::Document doc;
+      doc.id = stats_.fetched;  // crawl-order id
+      doc.kind = corpus::CorpusKind::kRelevantWeb;
+      doc.url = url;
+      doc.text = net_text;
+      relevant_corpus_.Add(std::move(doc));
+      add_outlinks = true;
+      child_margin = config_.follow_irrelevant_margin;
+    } else {
+      ++stats_.classified_irrelevant;
+      stats_.irrelevant_bytes += net_text.size();
+      corpus::Document doc;
+      doc.id = stats_.fetched;
+      doc.kind = corpus::CorpusKind::kIrrelevantWeb;
+      doc.url = url;
+      doc.text = net_text;
+      irrelevant_corpus_.Add(std::move(doc));
+      // Follow-irrelevant margin: continue for up to n steps.
+      auto it = margin_.find(url);
+      int remaining = it == margin_.end() ? config_.follow_irrelevant_margin
+                                          : it->second;
+      if (remaining > 0) {
+        add_outlinks = true;
+        child_margin = remaining - 1;
+      }
+    }
+    stats_.classification_vs_truth.Add(classified_relevant,
+                                       ground_truth_relevant);
+  }
+
+  // --- Frontier + link graph updates.
+  for (const std::string& out : out_urls) {
+    link_db_.AddLink(url, out);
+    if (!add_outlinks) continue;
+    web::Url target;
+    if (!web::ParseUrl(out, &target)) continue;
+    if (crawl_db_.Inject(out, target.host) &&
+        config_.follow_irrelevant_margin > 0) {
+      margin_[out] = child_margin;
+    }
+  }
+
+  // --- Stop conditions.
+  if (config_.max_relevant_bytes > 0 &&
+      stats_.relevant_bytes >= config_.max_relevant_bytes) {
+    stop_requested_ = true;
+  }
+  if (config_.max_pages > 0 && stats_.fetched >= config_.max_pages) {
+    stop_requested_ = true;
+  }
+}
+
+void FocusedCrawler::Crawl() {
+  ThreadPool pool(config_.num_fetch_threads);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_) break;
+    }
+    std::vector<std::string> batch = crawl_db_.NextFetchBatch(config_.batch_size);
+    if (batch.empty()) break;  // frontier exhausted (Sect. 2.2 failure mode)
+    for (const std::string& url : batch) {
+      pool.Submit([this, url] { ProcessUrl(url); });
+    }
+    pool.Wait();
+  }
+}
+
+}  // namespace wsie::crawler

@@ -1,0 +1,67 @@
+#include "crawler/link_db.h"
+
+#include "web/url.h"
+
+namespace wsie::crawler {
+
+uint32_t LinkDb::InternUrl(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = ids_.try_emplace(url, static_cast<uint32_t>(urls_.size()));
+  if (inserted) {
+    urls_.push_back(url);
+    outlinks_.emplace_back();
+  }
+  return it->second;
+}
+
+void LinkDb::AddLink(const std::string& from_url, const std::string& to_url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto intern = [&](const std::string& url) {
+    auto [it, inserted] =
+        ids_.try_emplace(url, static_cast<uint32_t>(urls_.size()));
+    if (inserted) {
+      urls_.push_back(url);
+      outlinks_.emplace_back();
+    }
+    return it->second;
+  };
+  uint32_t from = intern(from_url);
+  uint32_t to = intern(to_url);
+  outlinks_[from].push_back(to);
+  ++num_edges_;
+}
+
+size_t LinkDb::num_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return urls_.size();
+}
+
+size_t LinkDb::num_edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_edges_;
+}
+
+LinkDb::Snapshot LinkDb::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot{urls_, outlinks_};
+}
+
+double LinkDb::IntraHostEdgeFraction() const {
+  Snapshot snap = TakeSnapshot();
+  size_t intra = 0, total = 0;
+  std::vector<std::string> hosts(snap.urls.size());
+  for (size_t i = 0; i < snap.urls.size(); ++i) {
+    web::Url parsed;
+    if (web::ParseUrl(snap.urls[i], &parsed)) hosts[i] = parsed.host;
+  }
+  for (size_t from = 0; from < snap.outlinks.size(); ++from) {
+    for (uint32_t to : snap.outlinks[from]) {
+      ++total;
+      if (!hosts[from].empty() && hosts[from] == hosts[to]) ++intra;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(intra) / static_cast<double>(total);
+}
+
+}  // namespace wsie::crawler

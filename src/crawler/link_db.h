@@ -1,0 +1,47 @@
+#ifndef WSIE_CRAWLER_LINK_DB_H_
+#define WSIE_CRAWLER_LINK_DB_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wsie::crawler {
+
+/// The link database (Nutch's LinkDB, Fig. 1): stores the hyperlink graph
+/// of the crawled pages for post-hoc structural analysis (PageRank,
+/// Table 2; link-topology findings of Sect. 2.2/4.1). Thread-safe.
+class LinkDb {
+ public:
+  /// Interns `url` and returns its node id.
+  uint32_t InternUrl(const std::string& url);
+
+  /// Records an edge from `from_url` to `to_url`.
+  void AddLink(const std::string& from_url, const std::string& to_url);
+
+  size_t num_nodes() const;
+  size_t num_edges() const;
+
+  /// Snapshot of the graph for analysis: node URLs plus adjacency (by id).
+  struct Snapshot {
+    std::vector<std::string> urls;
+    std::vector<std::vector<uint32_t>> outlinks;
+  };
+  Snapshot TakeSnapshot() const;
+
+  /// Fraction of edges whose endpoints share a host (the "navigational
+  /// links lead to pages on the same host" measurement of Sect. 2.2).
+  double IntraHostEdgeFraction() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> urls_;
+  std::vector<std::vector<uint32_t>> outlinks_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace wsie::crawler
+
+#endif  // WSIE_CRAWLER_LINK_DB_H_

@@ -1,0 +1,82 @@
+#include "crawler/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "web/url.h"
+
+namespace wsie::crawler {
+
+std::vector<double> ComputePageRank(const LinkDb::Snapshot& graph,
+                                    const PageRankOptions& options) {
+  const size_t n = graph.urls.size();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& out = graph.outlinks[i];
+      if (out.empty()) {
+        dangling_mass += rank[i];
+        continue;
+      }
+      double share = rank[i] / static_cast<double>(out.size());
+      for (uint32_t to : out) next[to] += share;
+    }
+    double base = (1.0 - options.damping) / static_cast<double>(n) +
+                  options.damping * dangling_mass / static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double updated = base + options.damping * next[i];
+      delta += std::fabs(updated - rank[i]);
+      rank[i] = updated;
+    }
+    if (delta < options.convergence_delta * static_cast<double>(n)) break;
+  }
+  return rank;
+}
+
+std::vector<RankedItem> TopPages(const LinkDb::Snapshot& graph, size_t k,
+                                 const PageRankOptions& options) {
+  std::vector<double> rank = ComputePageRank(graph, options);
+  std::vector<RankedItem> items;
+  items.reserve(rank.size());
+  for (size_t i = 0; i < rank.size(); ++i) {
+    items.push_back(RankedItem{graph.urls[i], rank[i]});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const RankedItem& a, const RankedItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.name < b.name;
+            });
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+std::vector<RankedItem> TopDomains(const LinkDb::Snapshot& graph, size_t k,
+                                   const PageRankOptions& options) {
+  std::vector<double> rank = ComputePageRank(graph, options);
+  std::unordered_map<std::string, double> domain_scores;
+  for (size_t i = 0; i < rank.size(); ++i) {
+    web::Url parsed;
+    if (!web::ParseUrl(graph.urls[i], &parsed)) continue;
+    domain_scores[web::DomainOf(parsed.host)] += rank[i];
+  }
+  std::vector<RankedItem> items;
+  items.reserve(domain_scores.size());
+  for (auto& [domain, score] : domain_scores) {
+    items.push_back(RankedItem{domain, score});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const RankedItem& a, const RankedItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.name < b.name;
+            });
+  if (items.size() > k) items.resize(k);
+  return items;
+}
+
+}  // namespace wsie::crawler

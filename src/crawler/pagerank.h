@@ -1,0 +1,40 @@
+#ifndef WSIE_CRAWLER_PAGERANK_H_
+#define WSIE_CRAWLER_PAGERANK_H_
+
+#include <string>
+#include <vector>
+
+#include "crawler/link_db.h"
+
+namespace wsie::crawler {
+
+/// PageRank parameters.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 50;
+  double convergence_delta = 1e-8;  ///< L1 change per node to stop early
+};
+
+/// A ranked item (page URL or aggregated domain).
+struct RankedItem {
+  std::string name;
+  double score = 0.0;
+};
+
+/// Computes PageRank over a LinkDb snapshot. Dangling nodes distribute
+/// uniformly.
+std::vector<double> ComputePageRank(const LinkDb::Snapshot& graph,
+                                    const PageRankOptions& options = {});
+
+/// Ranks pages by PageRank, highest first.
+std::vector<RankedItem> TopPages(const LinkDb::Snapshot& graph, size_t k,
+                                 const PageRankOptions& options = {});
+
+/// Aggregates page scores by registrable domain and returns the top-k —
+/// the Table 2 "domains of 30 top-ranked sites according to page rank".
+std::vector<RankedItem> TopDomains(const LinkDb::Snapshot& graph, size_t k,
+                                   const PageRankOptions& options = {});
+
+}  // namespace wsie::crawler
+
+#endif  // WSIE_CRAWLER_PAGERANK_H_

@@ -1,0 +1,87 @@
+#include "crawler/relevance_classifier.h"
+
+#include "corpus/text_generator.h"
+
+namespace wsie::crawler {
+namespace {
+
+constexpr size_t kRelevantClass = 0;
+constexpr size_t kIrrelevantClass = 1;
+
+}  // namespace
+
+RelevanceClassifier::RelevanceClassifier(
+    const corpus::EntityLexicons* lexicons, ClassifierTrainConfig config)
+    : lexicons_(lexicons),
+      config_(config),
+      model_({"relevant", "irrelevant"}) {
+  std::vector<corpus::Document> relevant =
+      GenerateTrainingDocs(true, config_.seed);
+  std::vector<corpus::Document> irrelevant =
+      GenerateTrainingDocs(false, config_.seed + 1);
+  for (const auto& doc : relevant) {
+    model_.Update(kRelevantClass, bow_.Featurize(doc.text));
+  }
+  for (const auto& doc : irrelevant) {
+    model_.Update(kIrrelevantClass, bow_.Featurize(doc.text));
+  }
+}
+
+std::vector<corpus::Document> RelevanceClassifier::GenerateTrainingDocs(
+    bool relevant, uint64_t seed) const {
+  // Relevant class: Medline abstracts. Irrelevant class: generic English web
+  // documents (common-crawl stand-in). This reproduces the paper's training
+  // bias: the crawler later classifies *web* pages with a model trained on
+  // abstracts.
+  corpus::CorpusProfile profile = corpus::ProfileFor(
+      relevant ? corpus::CorpusKind::kMedline
+               : corpus::CorpusKind::kIrrelevantWeb);
+  corpus::TextGenerator generator(lexicons_, profile, seed);
+  return generator.GenerateCorpus(/*first_doc_id=*/1u << 30,
+                                  config_.docs_per_class);
+}
+
+double RelevanceClassifier::RelevanceScore(std::string_view net_text) const {
+  return model_.PosteriorOf(kRelevantClass, bow_.Featurize(net_text));
+}
+
+ml::CrossValidationResult RelevanceClassifier::CrossValidate(
+    size_t folds) const {
+  // Re-generate the training distribution and run k-fold CV with freshly
+  // trained per-fold models.
+  std::vector<corpus::Document> relevant =
+      GenerateTrainingDocs(true, config_.seed + 17);
+  std::vector<corpus::Document> irrelevant =
+      GenerateTrainingDocs(false, config_.seed + 18);
+  struct Labeled {
+    const corpus::Document* doc;
+    bool relevant;
+  };
+  std::vector<Labeled> all;
+  all.reserve(relevant.size() + irrelevant.size());
+  for (const auto& d : relevant) all.push_back({&d, true});
+  for (const auto& d : irrelevant) all.push_back({&d, false});
+
+  std::vector<std::vector<size_t>> splits = ml::KFoldSplits(all.size(), folds);
+  std::vector<ml::BinaryConfusion> fold_results;
+  for (const auto& test_fold : splits) {
+    std::vector<bool> in_test(all.size(), false);
+    for (size_t idx : test_fold) in_test[idx] = true;
+    ml::NaiveBayesClassifier fold_model({"relevant", "irrelevant"});
+    for (size_t i = 0; i < all.size(); ++i) {
+      if (in_test[i]) continue;
+      fold_model.Update(all[i].relevant ? kRelevantClass : kIrrelevantClass,
+                        bow_.Featurize(all[i].doc->text));
+    }
+    ml::BinaryConfusion confusion;
+    for (size_t idx : test_fold) {
+      double score =
+          fold_model.PosteriorOf(kRelevantClass, bow_.Featurize(all[idx].doc->text));
+      confusion.Add(score >= config_.relevance_threshold, all[idx].relevant);
+    }
+    fold_results.push_back(confusion);
+  }
+  return ml::SummarizeFolds(std::move(fold_results));
+}
+
+}  // namespace wsie::crawler

@@ -1,0 +1,61 @@
+#include "crawler/seed_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace wsie::crawler {
+
+SeedGenerator::SeedGenerator(const corpus::EntityLexicons* lexicons,
+                             web::SearchEngineFederation* engines,
+                             uint64_t seed)
+    : lexicons_(lexicons), engines_(engines), seed_(seed) {}
+
+SeedGenerationReport SeedGenerator::Generate(const SeedQueryBudget& budget) {
+  SeedGenerationReport report;
+  Rng rng(seed_);
+  std::unordered_set<std::string> unique_urls;
+
+  auto run_category = [&](const std::string& name,
+                          const std::vector<std::string>& pool,
+                          size_t requested) {
+    SeedCategoryReport cat;
+    cat.category = name;
+    cat.terms_requested = requested;
+    // Sample without replacement up to the pool size.
+    std::vector<size_t> order(pool.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(order);
+    size_t used = std::min(requested, pool.size());
+    cat.terms_used = used;
+    for (size_t t = 0; t < used; ++t) {
+      const std::string& term = pool[order[t]];
+      for (size_t e = 0; e < engines_->num_engines(); ++e) {
+        auto result = engines_->Query(e, term);
+        ++cat.queries_issued;
+        if (!result.ok()) {
+          ++report.queries_rejected;
+          continue;
+        }
+        for (const std::string& url : result.value()) {
+          ++cat.urls_found;
+          unique_urls.insert(url);
+        }
+      }
+    }
+    report.categories.push_back(std::move(cat));
+  };
+
+  run_category("general terms", lexicons_->general_terms(),
+               budget.general_terms);
+  run_category("disease-specific", lexicons_->diseases(), budget.disease_terms);
+  run_category("drug-specific", lexicons_->drugs(), budget.drug_terms);
+  run_category("gene-specific", lexicons_->genes(), budget.gene_terms);
+
+  report.seed_urls.assign(unique_urls.begin(), unique_urls.end());
+  std::sort(report.seed_urls.begin(), report.seed_urls.end());
+  return report;
+}
+
+}  // namespace wsie::crawler

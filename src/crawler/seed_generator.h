@@ -1,0 +1,64 @@
+#ifndef WSIE_CRAWLER_SEED_GENERATOR_H_
+#define WSIE_CRAWLER_SEED_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/lexicon.h"
+#include "web/search_engine.h"
+
+namespace wsie::crawler {
+
+/// Keyword-category budget for seed generation (Table 1). The paper's full
+/// run used 500 general / 5000 disease / 4000 drug / 6500 gene terms; the
+/// first (under-seeded) run used the bracketed subset 166/468/325/246.
+struct SeedQueryBudget {
+  size_t general_terms = 500;
+  size_t disease_terms = 5000;
+  size_t drug_terms = 4000;
+  size_t gene_terms = 6500;
+
+  /// The paper's first-crawl subset (numbers in brackets in Table 1).
+  static SeedQueryBudget FirstCrawl() { return {166, 468, 325, 246}; }
+
+  size_t total() const {
+    return general_terms + disease_terms + drug_terms + gene_terms;
+  }
+};
+
+/// Per-category outcome of one seed-generation run.
+struct SeedCategoryReport {
+  std::string category;
+  size_t terms_requested = 0;
+  size_t terms_used = 0;  ///< capped by lexicon size
+  size_t queries_issued = 0;
+  size_t urls_found = 0;  ///< before global dedup
+};
+
+/// Result of a seed-generation run.
+struct SeedGenerationReport {
+  std::vector<SeedCategoryReport> categories;
+  std::vector<std::string> seed_urls;  ///< merged, deduplicated
+  size_t queries_rejected = 0;         ///< engines over budget
+};
+
+/// Generates seed URLs by issuing keyword queries from the four term
+/// categories against every engine of the federation and merging the
+/// results into one deduplicated seed list (Sect. 2.2).
+class SeedGenerator {
+ public:
+  SeedGenerator(const corpus::EntityLexicons* lexicons,
+                web::SearchEngineFederation* engines, uint64_t seed = 5);
+
+  SeedGenerationReport Generate(const SeedQueryBudget& budget);
+
+ private:
+  const corpus::EntityLexicons* lexicons_;
+  web::SearchEngineFederation* engines_;
+  uint64_t seed_;
+};
+
+}  // namespace wsie::crawler
+
+#endif  // WSIE_CRAWLER_SEED_GENERATOR_H_

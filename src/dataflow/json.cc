@@ -1,0 +1,230 @@
+#include "dataflow/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+
+namespace wsie::dataflow {
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view src) : src_(src) {}
+
+  Result<Value> Parse() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != src_.size()) {
+      return Error("trailing characters");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("json offset " + std::to_string(pos_) +
+                                   ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (src_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= src_.size()) return Error("unexpected end of input");
+    char c = src_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      if (!s.ok()) return s.status();
+      return Value(std::move(s).value());
+    }
+    if (ConsumeLiteral("true")) return Value(true);
+    if (ConsumeLiteral("false")) return Value(false);
+    if (ConsumeLiteral("null")) return Value();
+    return ParseNumber();
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    Value::Object object;
+    SkipWhitespace();
+    if (Consume('}')) return Value(std::move(object));
+    for (;;) {
+      SkipWhitespace();
+      if (pos_ >= src_.size() || src_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      auto key = ParseString();
+      if (!key.ok()) return key.status();
+      if (!Consume(':')) return Error("expected ':'");
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      object[std::move(key).value()] = std::move(value).value();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value(std::move(object));
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    Value::Array array;
+    SkipWhitespace();
+    if (Consume(']')) return Value(std::move(array));
+    for (;;) {
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      array.push_back(std::move(value).value());
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value(std::move(array));
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= src_.size()) return Error("bad escape");
+        char e = src_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'u': {
+            if (pos_ + 4 > src_.size()) return Error("bad \\u escape");
+            std::string hex(src_.substr(pos_, 4));
+            pos_ += 4;
+            long code = std::strtol(hex.c_str(), nullptr, 16);
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else {
+              out.push_back('?');  // non-ASCII folded (corpus is ASCII)
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < src_.size() && (src_[pos_] == '-' || src_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(src_.substr(start, pos_ - start));
+    if (is_double) {
+      return Value(std::strtod(token.c_str(), nullptr));
+    }
+    return Value(static_cast<int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> ParseJson(std::string_view json) {
+  return JsonParser(json).Parse();
+}
+
+Status WriteJsonl(const std::string& path, const Dataset& records) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  for (const Record& r : records) {
+    out << r.ToJson() << '\n';
+  }
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> ReadJsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  Dataset records;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    auto value = ParseJson(line);
+    if (!value.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": " + value.status().message());
+    }
+    records.push_back(std::move(value).value());
+  }
+  return records;
+}
+
+}  // namespace wsie::dataflow

@@ -1,0 +1,26 @@
+#ifndef WSIE_DATAFLOW_JSON_H_
+#define WSIE_DATAFLOW_JSON_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "dataflow/value.h"
+
+namespace wsie::dataflow {
+
+/// Parses one JSON value (the inverse of Value::ToJson). Supports objects,
+/// arrays, strings with \" \\ \n \t \uXXXX (ASCII range) escapes, integers,
+/// doubles, booleans, and null. Errors carry the byte offset.
+Result<Value> ParseJson(std::string_view json);
+
+/// Writes `records` to `path` as JSON Lines (one record per line).
+Status WriteJsonl(const std::string& path, const Dataset& records);
+
+/// Reads a JSON Lines file into a dataset. Blank lines are skipped;
+/// a malformed line fails the whole read (with its line number).
+Result<Dataset> ReadJsonl(const std::string& path);
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_JSON_H_

@@ -1,0 +1,225 @@
+#include "dataflow/meteor.h"
+
+#include <cctype>
+#include <vector>
+
+namespace wsie::dataflow {
+namespace {
+
+/// Token kinds of the script language.
+enum class TokKind { kVar, kIdent, kString, kEquals, kSemicolon, kEnd };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Tok>> Lex() {
+    std::vector<Tok> toks;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '=') {
+        toks.push_back({TokKind::kEquals, "=", line_});
+        ++pos_;
+        continue;
+      }
+      if (c == ';') {
+        toks.push_back({TokKind::kSemicolon, ";", line_});
+        ++pos_;
+        continue;
+      }
+      if (c == '\'') {
+        size_t close = src_.find('\'', pos_ + 1);
+        if (close == std::string_view::npos) {
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": unterminated string");
+        }
+        toks.push_back({TokKind::kString,
+                        std::string(src_.substr(pos_ + 1, close - pos_ - 1)),
+                        line_});
+        pos_ = close + 1;
+        continue;
+      }
+      if (c == '$') {
+        size_t start = ++pos_;
+        while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(
+                                          src_[pos_])) ||
+                                      src_[pos_] == '_'))
+          ++pos_;
+        if (pos_ == start) {
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": bare '$'");
+        }
+        toks.push_back(
+            {TokKind::kVar, std::string(src_.substr(start, pos_ - start)),
+             line_});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(
+                                          src_[pos_])) ||
+                                      src_[pos_] == '_'))
+          ++pos_;
+        toks.push_back(
+            {TokKind::kIdent, std::string(src_.substr(start, pos_ - start)),
+             line_});
+        continue;
+      }
+      return Status::InvalidArgument("line " + std::to_string(line_) +
+                                     ": unexpected character '" +
+                                     std::string(1, c) + "'");
+    }
+    toks.push_back({TokKind::kEnd, "", line_});
+    return toks;
+  }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+void OperatorRegistry::Register(const std::string& name,
+                                OperatorFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool OperatorRegistry::Contains(const std::string& name) const {
+  return factories_.count(name) > 0;
+}
+
+Result<OperatorPtr> OperatorRegistry::Create(
+    const std::string& name,
+    const std::map<std::string, std::string>& args) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("unknown operator '" + name + "'");
+  }
+  return it->second(args);
+}
+
+Result<Plan> MeteorParser::Parse(std::string_view script) const {
+  Lexer lexer(script);
+  auto toks_result = lexer.Lex();
+  if (!toks_result.ok()) return toks_result.status();
+  const std::vector<Tok>& toks = toks_result.value();
+
+  Plan plan;
+  std::map<std::string, int> vars;  // $var -> node id
+  size_t i = 0;
+
+  auto error = [&](int line, const std::string& msg) {
+    return Status::InvalidArgument("line " + std::to_string(line) + ": " + msg);
+  };
+  auto expect = [&](TokKind kind, const char* what) -> Result<Tok> {
+    if (toks[i].kind != kind) {
+      return Status::InvalidArgument("line " + std::to_string(toks[i].line) +
+                                     ": expected " + what);
+    }
+    return toks[i++];
+  };
+
+  while (toks[i].kind != TokKind::kEnd) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == "write") {
+      int line = toks[i].line;
+      ++i;
+      auto var = expect(TokKind::kVar, "variable after 'write'");
+      if (!var.ok()) return var.status();
+      auto name = expect(TokKind::kString, "sink name");
+      if (!name.ok()) return name.status();
+      auto semi = expect(TokKind::kSemicolon, "';'");
+      if (!semi.ok()) return semi.status();
+      auto it = vars.find(var->text);
+      if (it == vars.end()) return error(line, "undefined $" + var->text);
+      plan.MarkSink(it->second, name->text);
+      continue;
+    }
+    // Assignment: $var = ...
+    auto lhs = expect(TokKind::kVar, "assignment or 'write'");
+    if (!lhs.ok()) return lhs.status();
+    auto eq = expect(TokKind::kEquals, "'='");
+    if (!eq.ok()) return eq.status();
+    if (toks[i].kind != TokKind::kIdent) {
+      return error(toks[i].line, "expected operator name, 'read', or 'union'");
+    }
+    Tok head = toks[i++];
+    int node = Plan::kInvalidNode;
+    if (head.text == "read") {
+      auto src = expect(TokKind::kString, "source name after 'read'");
+      if (!src.ok()) return src.status();
+      node = plan.AddSource(src->text);
+    } else if (head.text == "union") {
+      std::vector<int> inputs;
+      while (toks[i].kind == TokKind::kVar) {
+        auto it = vars.find(toks[i].text);
+        if (it == vars.end())
+          return error(toks[i].line, "undefined $" + toks[i].text);
+        inputs.push_back(it->second);
+        ++i;
+      }
+      if (inputs.size() < 2) {
+        return error(head.line, "'union' needs at least two inputs");
+      }
+      // Identity pass-through operator implementing the union.
+      class UnionOp : public Operator {
+       public:
+        std::string name() const override { return "union"; }
+        OperatorTraits traits() const override {
+          OperatorTraits t;
+          t.record_at_a_time = false;
+          return t;
+        }
+        Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+          out->insert(out->end(), in.begin(), in.end());
+          return Status::OK();
+        }
+      };
+      node = plan.AddNode(std::make_shared<UnionOp>(), inputs);
+    } else {
+      // Operator call: name $input [key 'value']*
+      auto input = expect(TokKind::kVar, "input variable");
+      if (!input.ok()) return input.status();
+      auto it = vars.find(input->text);
+      if (it == vars.end()) return error(head.line, "undefined $" + input->text);
+      std::map<std::string, std::string> args;
+      while (toks[i].kind == TokKind::kIdent) {
+        std::string key = toks[i++].text;
+        auto value = expect(TokKind::kString, "argument value");
+        if (!value.ok()) return value.status();
+        args[key] = value->text;
+      }
+      auto op = registry_->Create(head.text, args);
+      if (!op.ok()) {
+        return error(head.line, op.status().message());
+      }
+      node = plan.AddNode(op.value(), {it->second});
+    }
+    auto semi = expect(TokKind::kSemicolon, "';'");
+    if (!semi.ok()) return semi.status();
+    vars[lhs->text] = node;
+  }
+  return plan;
+}
+
+}  // namespace wsie::dataflow

@@ -1,0 +1,61 @@
+#ifndef WSIE_DATAFLOW_METEOR_H_
+#define WSIE_DATAFLOW_METEOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "dataflow/plan.h"
+
+namespace wsie::dataflow {
+
+/// Named-operator factory: builds an operator from string arguments.
+using OperatorFactory =
+    std::function<Result<OperatorPtr>(const std::map<std::string, std::string>&)>;
+
+/// Registry of script-visible operators, the analogue of Sopremo's
+/// domain-specific operator packages (Sect. 3.1). Core pipelines register
+/// IE/WA operators here; BASE operators can be registered by tests.
+class OperatorRegistry {
+ public:
+  void Register(const std::string& name, OperatorFactory factory);
+  bool Contains(const std::string& name) const;
+  Result<OperatorPtr> Create(const std::string& name,
+                             const std::map<std::string, std::string>& args) const;
+
+  /// Number of registered operators.
+  size_t size() const { return factories_.size(); }
+
+ private:
+  std::map<std::string, OperatorFactory> factories_;
+};
+
+/// Parser for a small Meteor-like declarative script language [13]:
+///
+///   $pages   = read 'crawl';
+///   $clean   = repair_markup $pages;
+///   $net     = remove_boilerplate $clean;
+///   $short   = filter_length $net max '1000000';
+///   $both    = union $net $short;
+///   write $both 'out';
+///
+/// Statements end with ';'. `#` starts a line comment. Operator arguments
+/// are `key 'value'` pairs after the input variable. The script compiles to
+/// a logical Plan whose sources/sinks carry the quoted names.
+class MeteorParser {
+ public:
+  explicit MeteorParser(const OperatorRegistry* registry)
+      : registry_(registry) {}
+
+  /// Parses `script` into a plan. Errors carry 1-based line numbers.
+  Result<Plan> Parse(std::string_view script) const;
+
+ private:
+  const OperatorRegistry* registry_;
+};
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_METEOR_H_

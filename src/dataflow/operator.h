@@ -1,0 +1,69 @@
+#ifndef WSIE_DATAFLOW_OPERATOR_H_
+#define WSIE_DATAFLOW_OPERATOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/value.h"
+
+namespace wsie::dataflow {
+
+/// Operator package, mirroring the four Sopremo packages of Sect. 3.1:
+/// general purpose (BASE), information extraction (IE), web analytics (WA),
+/// and data cleansing (DC).
+enum class OperatorPackage { kBase, kIe, kWa, kDc };
+
+const char* OperatorPackageName(OperatorPackage package);
+
+/// Static properties the optimizer reasons about (SOFA [23] reorders
+/// UDF-heavy operators based on such read/write/selectivity annotations).
+struct OperatorTraits {
+  /// Fields of the record the operator reads.
+  std::set<std::string> reads;
+  /// Fields the operator writes or creates.
+  std::set<std::string> writes;
+  /// Expected output/input record ratio (<1 for filters).
+  double selectivity = 1.0;
+  /// Relative CPU cost per record (1.0 = trivial map).
+  double cost_per_record = 1.0;
+  /// True if the operator is a record-at-a-time map/filter (reorderable);
+  /// false for aggregations and sinks.
+  bool record_at_a_time = true;
+};
+
+/// A dataflow operator. Implementations are record-at-a-time UDFs or
+/// partition-level transforms.
+///
+/// Lifecycle per worker: Open() once (start-up cost — e.g. dictionary
+/// automaton construction, the Sect. 4.2 bottleneck), then ProcessBatch()
+/// on each partition slice, then Close(). Operators must be thread-safe
+/// after Open(): ProcessBatch() is called concurrently from many workers.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual std::string name() const = 0;
+  virtual OperatorPackage package() const { return OperatorPackage::kBase; }
+  virtual OperatorTraits traits() const { return OperatorTraits{}; }
+
+  /// Per-worker start-up. Default: no-op.
+  virtual Status Open() { return Status::OK(); }
+  /// Per-worker tear-down. Default: no-op.
+  virtual void Close() {}
+
+  /// Transforms a batch of records. May emit 0..n output records per input.
+  virtual Status ProcessBatch(const Dataset& input, Dataset* output) const = 0;
+
+  /// Per-worker resident memory in bytes while running (the scheduler
+  /// constraint of Sect. 4.2). Default: negligible.
+  virtual size_t MemoryBytesPerWorker() const { return 1 << 12; }
+};
+
+using OperatorPtr = std::shared_ptr<Operator>;
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_OPERATOR_H_

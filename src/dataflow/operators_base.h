@@ -1,0 +1,118 @@
+#ifndef WSIE_DATAFLOW_OPERATORS_BASE_H_
+#define WSIE_DATAFLOW_OPERATORS_BASE_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "dataflow/operator.h"
+
+namespace wsie::dataflow {
+
+/// BASE package: filter — keeps records where `predicate` holds.
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(std::string name, std::function<bool(const Record&)> predicate,
+                 OperatorTraits traits = {})
+      : name_(std::move(name)),
+        predicate_(std::move(predicate)),
+        traits_(traits) {
+    traits_.record_at_a_time = true;
+  }
+
+  std::string name() const override { return name_; }
+  OperatorTraits traits() const override { return traits_; }
+
+  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+    for (const Record& r : input) {
+      if (predicate_(r)) output->push_back(r);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  std::function<bool(const Record&)> predicate_;
+  OperatorTraits traits_;
+};
+
+/// BASE package: transformation (map) — 1:1 record rewrite.
+class MapOperator : public Operator {
+ public:
+  MapOperator(std::string name, std::function<Record(const Record&)> fn,
+              OperatorTraits traits = {})
+      : name_(std::move(name)), fn_(std::move(fn)), traits_(traits) {
+    traits_.record_at_a_time = true;
+  }
+
+  std::string name() const override { return name_; }
+  OperatorTraits traits() const override { return traits_; }
+
+  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+    output->reserve(output->size() + input.size());
+    for (const Record& r : input) output->push_back(fn_(r));
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  std::function<Record(const Record&)> fn_;
+  OperatorTraits traits_;
+};
+
+/// BASE package: flat map — 0..n output records per input.
+class FlatMapOperator : public Operator {
+ public:
+  FlatMapOperator(std::string name,
+                  std::function<void(const Record&, Dataset*)> fn,
+                  OperatorTraits traits = {})
+      : name_(std::move(name)), fn_(std::move(fn)), traits_(traits) {
+    traits_.record_at_a_time = true;
+  }
+
+  std::string name() const override { return name_; }
+  OperatorTraits traits() const override { return traits_; }
+
+  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+    for (const Record& r : input) fn_(r, output);
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  std::function<void(const Record&, Dataset*)> fn_;
+  OperatorTraits traits_;
+};
+
+/// BASE package: projection — keeps only the listed fields.
+class ProjectionOperator : public Operator {
+ public:
+  ProjectionOperator(std::string name, std::vector<std::string> fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  std::string name() const override { return name_; }
+  OperatorTraits traits() const override {
+    OperatorTraits t;
+    t.reads.insert(fields_.begin(), fields_.end());
+    return t;
+  }
+
+  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+    for (const Record& r : input) {
+      Record projected;
+      for (const std::string& f : fields_) {
+        if (r.HasField(f)) projected.SetField(f, r.Field(f));
+      }
+      output->push_back(std::move(projected));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> fields_;
+};
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_OPERATORS_BASE_H_

@@ -1,0 +1,118 @@
+#include "dataflow/optimizer.h"
+
+#include <algorithm>
+
+namespace wsie::dataflow {
+namespace {
+
+bool Intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Optimizer::Commutes(const OperatorTraits& a, const OperatorTraits& b) {
+  if (!a.record_at_a_time || !b.record_at_a_time) return false;
+  if (Intersects(a.writes, b.reads)) return false;
+  if (Intersects(b.writes, a.reads)) return false;
+  if (Intersects(a.writes, b.writes)) return false;
+  return true;
+}
+
+double Optimizer::EstimateChainCost(const std::vector<OperatorTraits>& chain,
+                                    double input_records) {
+  double records = input_records;
+  double cost = 0.0;
+  for (const OperatorTraits& t : chain) {
+    cost += records * t.cost_per_record;
+    records *= t.selectivity;
+  }
+  return cost;
+}
+
+OptimizationReport Optimizer::Optimize(Plan* plan) const {
+  OptimizationReport report;
+  auto& nodes = plan->mutable_nodes();
+  std::vector<std::vector<int>> consumers = plan->Consumers();
+
+  // Identify maximal linear chains: runs of operator nodes where each node
+  // has exactly one input, that input has exactly one consumer, and neither
+  // end is a source/sink boundary violation.
+  std::vector<bool> visited(nodes.size(), false);
+  for (size_t start = 0; start < nodes.size(); ++start) {
+    if (visited[start] || nodes[start].is_source()) continue;
+    const auto& n = nodes[start];
+    if (n.inputs.size() != 1) continue;
+    int input = n.inputs[0];
+    // Chain start: predecessor is a source, a fan-out point, or non-linear.
+    bool is_chain_start =
+        nodes[static_cast<size_t>(input)].is_source() ||
+        consumers[static_cast<size_t>(input)].size() != 1 ||
+        nodes[static_cast<size_t>(input)].inputs.size() != 1;
+    if (!is_chain_start) continue;
+    // Walk the chain.
+    std::vector<int> chain;
+    int cur = static_cast<int>(start);
+    for (;;) {
+      chain.push_back(cur);
+      visited[static_cast<size_t>(cur)] = true;
+      if (consumers[static_cast<size_t>(cur)].size() != 1) break;
+      int next = consumers[static_cast<size_t>(cur)][0];
+      if (nodes[static_cast<size_t>(next)].is_source() ||
+          nodes[static_cast<size_t>(next)].inputs.size() != 1)
+        break;
+      // Sinks terminate a movable region but may continue the chain; keep
+      // sink nodes fixed by stopping at them.
+      if (!nodes[static_cast<size_t>(cur)].sink_name.empty()) break;
+      cur = next;
+    }
+    if (chain.size() < 2) continue;
+
+    // Cost before.
+    std::vector<OperatorTraits> traits;
+    traits.reserve(chain.size());
+    for (int id : chain) traits.push_back(nodes[static_cast<size_t>(id)].op->traits());
+    report.estimated_cost_before += EstimateChainCost(traits);
+
+    // Bubble-swap: move cheap selective operators earlier when commutable.
+    std::vector<OperatorPtr> ops;
+    ops.reserve(chain.size());
+    for (int id : chain) ops.push_back(nodes[static_cast<size_t>(id)].op);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i + 1 < ops.size(); ++i) {
+        OperatorTraits ta = ops[i]->traits();
+        OperatorTraits tb = ops[i + 1]->traits();
+        if (!Commutes(ta, tb)) continue;
+        // Swap improves iff c_b + s_b*c_a < c_a + s_a*c_b.
+        double keep = ta.cost_per_record + ta.selectivity * tb.cost_per_record;
+        double swap = tb.cost_per_record + tb.selectivity * ta.cost_per_record;
+        if (swap + 1e-12 < keep) {
+          report.steps.push_back(
+              OptimizationStep{ops[i + 1]->name(), ops[i]->name()});
+          std::swap(ops[i], ops[i + 1]);
+          changed = true;
+        }
+      }
+    }
+    // Write the reordered operators back into the same node slots (the DAG
+    // wiring is unchanged; only which operator sits at which position moves).
+    for (size_t i = 0; i < chain.size(); ++i) {
+      nodes[static_cast<size_t>(chain[i])].op = ops[i];
+    }
+    traits.clear();
+    for (int id : chain) traits.push_back(nodes[static_cast<size_t>(id)].op->traits());
+    report.estimated_cost_after += EstimateChainCost(traits);
+  }
+  if (report.steps.empty()) {
+    report.estimated_cost_after = report.estimated_cost_before;
+  }
+  return report;
+}
+
+}  // namespace wsie::dataflow

@@ -1,0 +1,48 @@
+#ifndef WSIE_DATAFLOW_OPTIMIZER_H_
+#define WSIE_DATAFLOW_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "dataflow/plan.h"
+
+namespace wsie::dataflow {
+
+/// One reordering decision made by the optimizer (for logging/tests).
+struct OptimizationStep {
+  std::string moved_earlier;
+  std::string moved_later;
+};
+
+/// Report of an optimization pass.
+struct OptimizationReport {
+  std::vector<OptimizationStep> steps;
+  double estimated_cost_before = 0.0;
+  double estimated_cost_after = 0.0;
+};
+
+/// SOFA-style logical optimizer [23] for UDF-heavy flows.
+///
+/// Within each linear chain of record-at-a-time operators, adjacent
+/// operators A→B are swapped when (a) their read/write field sets commute
+/// (neither reads what the other writes, and they write disjoint fields) and
+/// (b) the swap lowers the estimated chain cost — i.e., selective cheap
+/// operators (filters) migrate ahead of expensive UDFs. The plan shape
+/// (sources, sinks, fan-in/fan-out points) is preserved.
+class Optimizer {
+ public:
+  /// Optimizes `plan` in place; returns what was done.
+  OptimizationReport Optimize(Plan* plan) const;
+
+  /// True if adjacent operators a→b may be swapped (field-commutation test).
+  static bool Commutes(const OperatorTraits& a, const OperatorTraits& b);
+
+  /// Estimated cost of a chain of operators applied to `input_records`
+  /// records: sum of per-operator cost × records reaching that operator.
+  static double EstimateChainCost(const std::vector<OperatorTraits>& chain,
+                                  double input_records = 1000.0);
+};
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_OPTIMIZER_H_

@@ -1,0 +1,48 @@
+#include "dataflow/plan.h"
+
+namespace wsie::dataflow {
+
+int Plan::AddSource(std::string name) {
+  Node node;
+  node.source_name = std::move(name);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Plan::AddNode(OperatorPtr op, std::vector<int> inputs) {
+  Node node;
+  node.op = std::move(op);
+  node.inputs = std::move(inputs);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Plan::MarkSink(int node, std::string name) {
+  nodes_[static_cast<size_t>(node)].sink_name = std::move(name);
+}
+
+size_t Plan::num_operators() const {
+  size_t count = 0;
+  for (const Node& node : nodes_) {
+    if (!node.is_source()) ++count;
+  }
+  return count;
+}
+
+std::vector<int> Plan::TopologicalOrder() const {
+  std::vector<int> order(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) order[i] = static_cast<int>(i);
+  return order;
+}
+
+std::vector<std::vector<int>> Plan::Consumers() const {
+  std::vector<std::vector<int>> consumers(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (int input : nodes_[i].inputs) {
+      consumers[static_cast<size_t>(input)].push_back(static_cast<int>(i));
+    }
+  }
+  return consumers;
+}
+
+}  // namespace wsie::dataflow

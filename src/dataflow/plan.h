@@ -1,0 +1,58 @@
+#ifndef WSIE_DATAFLOW_PLAN_H_
+#define WSIE_DATAFLOW_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "dataflow/operator.h"
+
+namespace wsie::dataflow {
+
+/// A logical data-flow plan: a DAG of operator nodes over named sources.
+///
+/// Nodes with multiple inputs see the concatenation of their inputs (union
+/// semantics); the consolidated Fig. 2 flow is expressed this way. The plan
+/// is purely logical — the Executor handles parallelization.
+class Plan {
+ public:
+  static constexpr int kInvalidNode = -1;
+
+  /// Adds a named source; data is bound at execution time. Returns node id.
+  int AddSource(std::string name);
+
+  /// Adds an operator node consuming `inputs`. Returns node id.
+  int AddNode(OperatorPtr op, std::vector<int> inputs);
+
+  /// Marks a node as a named sink (its output is returned by the executor).
+  void MarkSink(int node, std::string name);
+
+  struct Node {
+    OperatorPtr op;           ///< null for sources
+    std::string source_name;  ///< set for sources
+    std::vector<int> inputs;
+    std::string sink_name;    ///< non-empty for sinks
+    bool is_source() const { return op == nullptr; }
+  };
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::vector<Node>& mutable_nodes() { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Number of operator (non-source) nodes — the paper counts its
+  /// consolidated flow at 38 elementary operators.
+  size_t num_operators() const;
+
+  /// Nodes in a valid topological order (sources first). The plan is built
+  /// append-only with backward edges, so node order is already topological.
+  std::vector<int> TopologicalOrder() const;
+
+  /// Returns consumers of each node (for optimizer chain detection).
+  std::vector<std::vector<int>> Consumers() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_PLAN_H_

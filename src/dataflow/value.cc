@@ -1,0 +1,95 @@
+#include "dataflow/value.h"
+
+namespace wsie::dataflow {
+
+const Value& Value::Field(const std::string& key) const {
+  static const Value kNull;
+  if (!is_object()) return kNull;
+  const Object& obj = std::get<Object>(repr_);
+  auto it = obj.find(key);
+  return it == obj.end() ? kNull : it->second;
+}
+
+void Value::SetField(const std::string& key, Value value) {
+  MutableObject()[key] = std::move(value);
+}
+
+bool Value::HasField(const std::string& key) const {
+  return is_object() && std::get<Object>(repr_).count(key) > 0;
+}
+
+size_t Value::ByteSize() const {
+  size_t bytes = sizeof(Value);
+  if (is_string()) {
+    bytes += std::get<std::string>(repr_).size();
+  } else if (is_array()) {
+    for (const Value& v : std::get<Array>(repr_)) bytes += v.ByteSize();
+  } else if (is_object()) {
+    for (const auto& [key, v] : std::get<Object>(repr_)) {
+      bytes += key.size() + v.ByteSize();
+    }
+  }
+  return bytes;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string Value::ToJson() const {
+  std::string out;
+  if (is_null()) {
+    out = "null";
+  } else if (is_bool()) {
+    out = AsBool() ? "true" : "false";
+  } else if (is_int()) {
+    out = std::to_string(AsInt());
+  } else if (is_double()) {
+    out = std::to_string(AsDouble());
+  } else if (is_string()) {
+    EscapeInto(AsString(), out);
+  } else if (is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Value& v : AsArray()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += v.ToJson();
+    }
+    out.push_back(']');
+  } else if (is_object()) {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, v] : AsObject()) {
+      if (!first) out.push_back(',');
+      first = false;
+      EscapeInto(key, out);
+      out.push_back(':');
+      out += v.ToJson();
+    }
+    out.push_back('}');
+  }
+  return out;
+}
+
+}  // namespace wsie::dataflow

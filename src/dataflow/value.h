@@ -1,0 +1,101 @@
+#ifndef WSIE_DATAFLOW_VALUE_H_
+#define WSIE_DATAFLOW_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace wsie::dataflow {
+
+/// A JSON-like record value, the unit of data flowing between operators
+/// (Stratosphere's Sopremo data model is JSON-based; Meteor scripts
+/// manipulate such records).
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;
+  Value(bool b) : repr_(b) {}                   // NOLINT(runtime/explicit)
+  Value(int64_t i) : repr_(i) {}                // NOLINT(runtime/explicit)
+  Value(int i) : repr_(static_cast<int64_t>(i)) {}  // NOLINT
+  Value(double d) : repr_(d) {}                 // NOLINT(runtime/explicit)
+  Value(const char* s) : repr_(std::string(s)) {}   // NOLINT
+  Value(std::string s) : repr_(std::move(s)) {}     // NOLINT
+  Value(Array a) : repr_(std::move(a)) {}       // NOLINT(runtime/explicit)
+  Value(Object o) : repr_(std::move(o)) {}      // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_bool() const { return std::holds_alternative<bool>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_array() const { return std::holds_alternative<Array>(repr_); }
+  bool is_object() const { return std::holds_alternative<Object>(repr_); }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? std::get<bool>(repr_) : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    if (is_int()) return std::get<int64_t>(repr_);
+    if (is_double()) return static_cast<int64_t>(std::get<double>(repr_));
+    return fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    if (is_double()) return std::get<double>(repr_);
+    if (is_int()) return static_cast<double>(std::get<int64_t>(repr_));
+    return fallback;
+  }
+  const std::string& AsString() const {
+    static const std::string kEmpty;
+    return is_string() ? std::get<std::string>(repr_) : kEmpty;
+  }
+  const Array& AsArray() const {
+    static const Array kEmpty;
+    return is_array() ? std::get<Array>(repr_) : kEmpty;
+  }
+  Array& MutableArray() {
+    if (!is_array()) repr_ = Array{};
+    return std::get<Array>(repr_);
+  }
+  const Object& AsObject() const {
+    static const Object kEmpty;
+    return is_object() ? std::get<Object>(repr_) : kEmpty;
+  }
+  Object& MutableObject() {
+    if (!is_object()) repr_ = Object{};
+    return std::get<Object>(repr_);
+  }
+
+  /// Object field access; returns a null value for missing fields/non-objects.
+  const Value& Field(const std::string& key) const;
+  /// Sets an object field (converts this value to an object if needed).
+  void SetField(const std::string& key, Value value);
+  bool HasField(const std::string& key) const;
+
+  /// Approximate in-memory footprint in bytes (for the Sect. 4.2
+  /// annotation-volume accounting).
+  size_t ByteSize() const;
+
+  /// Compact JSON-ish rendering (diagnostics; strings are escaped minimally).
+  std::string ToJson() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, Array,
+               Object>
+      repr_;
+};
+
+/// A record is an object-valued Value; a dataset is a vector of records.
+using Record = Value;
+using Dataset = std::vector<Record>;
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_VALUE_H_

@@ -1,0 +1,69 @@
+#ifndef WSIE_DC_NEAR_DUPLICATE_H_
+#define WSIE_DC_NEAR_DUPLICATE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wsie::dc {
+
+/// MinHash signature of a document's word-shingle set.
+using MinHashSignature = std::vector<uint64_t>;
+
+/// Parameters of the near-duplicate detector.
+struct NearDuplicateOptions {
+  int shingle_words = 4;     ///< w-shingling window (words)
+  int num_hashes = 64;       ///< signature length
+  int bands = 16;            ///< LSH bands (num_hashes % bands == 0)
+  double jaccard_threshold = 0.8;  ///< similarity to call a duplicate
+  uint64_t seed = 0x5eedu;
+};
+
+/// Hashed word shingles of `text` (deduplicated set).
+std::vector<uint64_t> ShingleSet(std::string_view text, int shingle_words);
+
+/// Estimated Jaccard similarity from two signatures of equal length.
+double JaccardEstimate(const MinHashSignature& a, const MinHashSignature& b);
+
+/// Web-crawl near-duplicate detection (the data-cleansing "DC" package of
+/// Sect. 3.1; web corpora are heavily redundant — mirrors, boilerplate
+/// reprints, syndicated articles — which distorts frequency statistics).
+///
+/// Classic MinHash + banded LSH: Add() indexes a document's signature;
+/// FindDuplicateOf() returns the first previously indexed document whose
+/// estimated Jaccard similarity clears the threshold (after LSH candidate
+/// filtering), or -1.
+class NearDuplicateIndex {
+ public:
+  explicit NearDuplicateIndex(NearDuplicateOptions options = {});
+
+  /// Computes the signature of `text`.
+  MinHashSignature Signature(std::string_view text) const;
+
+  /// Indexes `doc_id` with `signature`.
+  void Add(uint64_t doc_id, const MinHashSignature& signature);
+
+  /// Returns the id of an indexed near-duplicate of `signature`, or -1.
+  int64_t FindDuplicateOf(const MinHashSignature& signature) const;
+
+  /// Convenience: signature + lookup + add. Returns the duplicate's id or
+  /// -1 if `text` is novel (in which case it is indexed).
+  int64_t AddIfNovel(uint64_t doc_id, std::string_view text);
+
+  size_t size() const { return signatures_.size(); }
+  const NearDuplicateOptions& options() const { return options_; }
+
+ private:
+  uint64_t BandKey(const MinHashSignature& signature, int band) const;
+
+  NearDuplicateOptions options_;
+  std::vector<std::pair<uint64_t, uint64_t>> hash_params_;  // (a, b) pairs
+  std::unordered_map<uint64_t, MinHashSignature> signatures_;  // by doc id
+  /// band index -> band key -> doc ids
+  std::vector<std::unordered_map<uint64_t, std::vector<uint64_t>>> bands_;
+};
+
+}  // namespace wsie::dc
+
+#endif  // WSIE_DC_NEAR_DUPLICATE_H_

@@ -1,0 +1,56 @@
+#include "html/boilerplate.h"
+
+namespace wsie::html {
+
+std::vector<BlockDecision> BoilerplateDetector::Classify(
+    std::string_view html) const {
+  MarkupRemover remover;
+  std::vector<TextBlock> blocks = remover.ExtractBlocks(html);
+  std::vector<BlockDecision> decisions;
+  decisions.reserve(blocks.size());
+
+  // Pass 1: local decision from word count and link density (the two
+  // dominant features in Kohlschütter et al.'s densitometric classifier).
+  for (auto& block : blocks) {
+    BlockDecision d;
+    bool content = block.num_words >= options_.min_words &&
+                   block.LinkDensity() <= options_.max_link_density;
+    if (block.in_title) content = false;  // page titles are metadata
+    if (options_.drop_table_and_list_blocks &&
+        (block.enclosing_tag == "td" || block.enclosing_tag == "th" ||
+         block.enclosing_tag == "li" || block.enclosing_tag == "tr")) {
+      content = false;
+    }
+    d.block = std::move(block);
+    d.is_content = content;
+    decisions.push_back(std::move(d));
+  }
+
+  // Pass 2: neighbourhood smoothing — short non-linky blocks flanked by
+  // content become content (sub-headings, continuation lines).
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    if (decisions[i].is_content) continue;
+    const TextBlock& b = decisions[i].block;
+    bool prev_content = i > 0 && decisions[i - 1].is_content;
+    bool next_content =
+        i + 1 < decisions.size() && decisions[i + 1].is_content;
+    if (prev_content && next_content &&
+        b.num_words >= options_.min_words_absorbed &&
+        b.LinkDensity() <= options_.max_link_density && !b.in_title) {
+      decisions[i].is_content = true;
+    }
+  }
+  return decisions;
+}
+
+std::string BoilerplateDetector::NetText(std::string_view html) const {
+  std::string out;
+  for (const auto& d : Classify(html)) {
+    if (!d.is_content) continue;
+    if (!out.empty()) out.push_back('\n');
+    out += d.block.text;
+  }
+  return out;
+}
+
+}  // namespace wsie::html

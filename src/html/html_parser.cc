@@ -1,0 +1,241 @@
+#include "html/html_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace wsie::html {
+namespace {
+
+bool IsTagNameChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '-' || c == ':';
+}
+
+}  // namespace
+
+bool IsVoidElement(std::string_view tag) {
+  static constexpr const char* kVoid[] = {"br",  "hr",    "img",  "input",
+                                          "meta", "link",  "area", "base",
+                                          "col",  "embed", "source", "wbr"};
+  for (const char* v : kVoid) {
+    if (tag == v) return true;
+  }
+  return false;
+}
+
+bool IsBlockElement(std::string_view tag) {
+  static constexpr const char* kBlock[] = {
+      "p",   "div",  "td",    "th",    "li",      "h1",     "h2",
+      "h3",  "h4",   "h5",    "h6",    "title",   "table",  "tr",
+      "ul",  "ol",   "pre",   "blockquote", "section", "article", "aside",
+      "header", "footer", "nav", "form", "dd", "dt"};
+  for (const char* b : kBlock) {
+    if (tag == b) return true;
+  }
+  return false;
+}
+
+std::string ExtractAttribute(std::string_view attrs, std::string_view name) {
+  std::string lower = AsciiToLower(attrs);
+  std::string needle = AsciiToLower(name);
+  size_t pos = 0;
+  while ((pos = lower.find(needle, pos)) != std::string::npos) {
+    // Must be preceded by start/whitespace and followed by optional ws and '='.
+    bool boundary_ok =
+        (pos == 0 ||
+         std::isspace(static_cast<unsigned char>(lower[pos - 1])));
+    size_t after = pos + needle.size();
+    size_t eq = after;
+    while (eq < lower.size() &&
+           std::isspace(static_cast<unsigned char>(lower[eq])))
+      ++eq;
+    if (!boundary_ok || eq >= lower.size() || lower[eq] != '=') {
+      pos = after;
+      continue;
+    }
+    ++eq;
+    while (eq < attrs.size() &&
+           std::isspace(static_cast<unsigned char>(attrs[eq])))
+      ++eq;
+    if (eq >= attrs.size()) return "";
+    char quote = attrs[eq];
+    if (quote == '"' || quote == '\'') {
+      size_t close = attrs.find(quote, eq + 1);
+      if (close == std::string_view::npos)
+        return std::string(attrs.substr(eq + 1));  // unterminated quote
+      return std::string(attrs.substr(eq + 1, close - eq - 1));
+    }
+    size_t end = eq;
+    while (end < attrs.size() &&
+           !std::isspace(static_cast<unsigned char>(attrs[end])) &&
+           attrs[end] != '>')
+      ++end;
+    return std::string(attrs.substr(eq, end - eq));
+  }
+  return "";
+}
+
+std::string DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back(text[i++]);  // bare ampersand
+      continue;
+    }
+    std::string_view entity = text.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out.push_back('&');
+    } else if (entity == "lt") {
+      out.push_back('<');
+    } else if (entity == "gt") {
+      out.push_back('>');
+    } else if (entity == "quot") {
+      out.push_back('"');
+    } else if (entity == "apos") {
+      out.push_back('\'');
+    } else if (entity == "nbsp") {
+      out.push_back(' ');
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code = 0;
+      bool valid = false;
+      if (entity.size() > 2 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+        valid = true;
+      } else if (entity.size() > 1) {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+        valid = true;
+      }
+      if (valid && code >= 32 && code < 127) {
+        out.push_back(static_cast<char>(code));
+      } else {
+        out.push_back(' ');
+      }
+    } else {
+      // Unknown entity: keep verbatim.
+      out.append(text.substr(i, semi - i + 1));
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::vector<HtmlEvent> HtmlLexer::Lex(std::string_view html) const {
+  std::vector<HtmlEvent> events;
+  size_t i = 0;
+  const size_t n = html.size();
+  auto emit_text = [&](size_t begin, size_t end) {
+    if (end > begin) {
+      events.push_back(HtmlEvent{HtmlEvent::Kind::kText, "", "",
+                                 std::string(html.substr(begin, end - begin)),
+                                 begin});
+    }
+  };
+  size_t text_start = 0;
+  while (i < n) {
+    if (html[i] != '<') {
+      ++i;
+      continue;
+    }
+    emit_text(text_start, i);
+    size_t tag_start = i;
+    // Comment?
+    if (html.substr(i).substr(0, 4) == "<!--") {
+      size_t close = html.find("-->", i + 4);
+      size_t body_end = close == std::string_view::npos ? n : close;
+      events.push_back(HtmlEvent{
+          HtmlEvent::Kind::kComment, "", "",
+          std::string(html.substr(i + 4, body_end - i - 4)), tag_start});
+      i = close == std::string_view::npos ? n : close + 3;
+      text_start = i;
+      continue;
+    }
+    // Doctype / other declarations.
+    if (i + 1 < n && html[i + 1] == '!') {
+      size_t close = html.find('>', i);
+      size_t end = close == std::string_view::npos ? n : close + 1;
+      events.push_back(HtmlEvent{HtmlEvent::Kind::kDoctype, "", "",
+                                 std::string(html.substr(i, end - i)),
+                                 tag_start});
+      i = end;
+      text_start = i;
+      continue;
+    }
+    bool closing = (i + 1 < n && html[i + 1] == '/');
+    size_t name_begin = i + (closing ? 2 : 1);
+    size_t p = name_begin;
+    while (p < n && IsTagNameChar(html[p])) ++p;
+    if (p == name_begin) {
+      // "<" not followed by a tag name: malformed debris, treat '<' as text.
+      events.push_back(HtmlEvent{HtmlEvent::Kind::kMalformed, "", "", "<",
+                                 tag_start});
+      ++i;
+      text_start = i;
+      continue;
+    }
+    std::string name = AsciiToLower(html.substr(name_begin, p - name_begin));
+    size_t close = html.find('>', p);
+    if (close == std::string_view::npos) {
+      // Unterminated tag at end of document.
+      events.push_back(HtmlEvent{HtmlEvent::Kind::kMalformed, name, "",
+                                 std::string(html.substr(i)), tag_start});
+      i = n;
+      text_start = i;
+      break;
+    }
+    std::string attrs(html.substr(p, close - p));
+    bool self_close = !attrs.empty() && attrs.back() == '/';
+    if (self_close) attrs.pop_back();
+    if (closing) {
+      events.push_back(
+          HtmlEvent{HtmlEvent::Kind::kEndTag, name, "", "", tag_start});
+    } else if (self_close || IsVoidElement(name)) {
+      events.push_back(
+          HtmlEvent{HtmlEvent::Kind::kSelfClose, name, attrs, "", tag_start});
+    } else if (name == "script" || name == "style") {
+      // Opaque raw-text elements: consume until the matching end tag.
+      std::string end_tag = "</" + name;
+      std::string lower(html.substr(close + 1));
+      std::string lower_all = AsciiToLower(lower);
+      size_t body_end = lower_all.find(end_tag);
+      size_t abs_body_end =
+          body_end == std::string::npos ? n : close + 1 + body_end;
+      HtmlEvent ev{HtmlEvent::Kind::kStartTag, name, attrs,
+                   std::string(html.substr(close + 1,
+                                           abs_body_end - close - 1)),
+                   tag_start};
+      events.push_back(std::move(ev));
+      // Synthesize the end tag even when the document never closes the
+      // raw-text element (a page whose <script> never ends would otherwise
+      // swallow everything after it on every re-parse).
+      events.push_back(HtmlEvent{HtmlEvent::Kind::kEndTag, name, "", "",
+                                 abs_body_end});
+      if (body_end == std::string::npos) {
+        i = n;
+        text_start = i;
+        continue;
+      }
+      size_t end_close = html.find('>', abs_body_end);
+      i = end_close == std::string_view::npos ? n : end_close + 1;
+      text_start = i;
+      continue;
+    } else {
+      events.push_back(
+          HtmlEvent{HtmlEvent::Kind::kStartTag, name, attrs, "", tag_start});
+    }
+    i = close + 1;
+    text_start = i;
+  }
+  emit_text(text_start, n);
+  return events;
+}
+
+}  // namespace wsie::html

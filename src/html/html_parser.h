@@ -1,0 +1,55 @@
+#ifndef WSIE_HTML_HTML_PARSER_H_
+#define WSIE_HTML_HTML_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsie::html {
+
+/// One lexical event in an HTML document.
+struct HtmlEvent {
+  enum class Kind {
+    kStartTag,   ///< <p ...> ; `name` is lowercase, `attrs` raw attr string
+    kEndTag,     ///< </p>
+    kSelfClose,  ///< <br/>
+    kText,       ///< character data between tags
+    kComment,    ///< <!-- ... -->
+    kDoctype,    ///< <!DOCTYPE ...>
+    kMalformed,  ///< unparseable tag debris (kept for repair accounting)
+  };
+  Kind kind;
+  std::string name;   ///< tag name (lowercase) for tag events
+  std::string attrs;  ///< raw attribute text for start tags
+  std::string text;   ///< character data / comment body / raw debris
+  size_t offset = 0;  ///< byte offset of the event start in the input
+};
+
+/// Void elements that never take end tags (subset relevant here).
+bool IsVoidElement(std::string_view tag);
+
+/// Block-level elements used for boilerplate segmentation.
+bool IsBlockElement(std::string_view tag);
+
+/// Tolerant ("tag soup") HTML lexer.
+///
+/// Never fails: unparseable constructs are emitted as kMalformed events so
+/// downstream repair can count and fix them. Script and style element bodies
+/// are consumed as opaque text attached to the start tag's `text`.
+class HtmlLexer {
+ public:
+  /// Lexes `html` into a flat event stream.
+  std::vector<HtmlEvent> Lex(std::string_view html) const;
+};
+
+/// Extracts the value of attribute `name` (lowercased match) from a raw
+/// attribute string; returns "" when absent. Handles quoted and bare values.
+std::string ExtractAttribute(std::string_view attrs, std::string_view name);
+
+/// Decodes the common HTML character entities (&amp; &lt; &gt; &quot; &apos;
+/// &nbsp; plus decimal/hex numeric references in the ASCII range).
+std::string DecodeEntities(std::string_view text);
+
+}  // namespace wsie::html
+
+#endif  // WSIE_HTML_HTML_PARSER_H_

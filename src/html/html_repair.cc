@@ -1,0 +1,109 @@
+#include "html/html_repair.h"
+
+#include <vector>
+
+#include "html/html_parser.h"
+
+namespace wsie::html {
+
+Result<RepairedHtml> HtmlRepair::Repair(std::string_view html) const {
+  HtmlLexer lexer;
+  std::vector<HtmlEvent> events = lexer.Lex(html);
+  if (events.size() < options_.min_events) {
+    return Status::Aborted("document too small or empty after lexing");
+  }
+  size_t malformed = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == HtmlEvent::Kind::kMalformed) ++malformed;
+  }
+  if (static_cast<double>(malformed) >
+      options_.max_malformed_fraction * static_cast<double>(events.size())) {
+    return Status::Aborted("markup damaged beyond repair threshold");
+  }
+
+  RepairedHtml out;
+  out.stats.malformed_tags_dropped = static_cast<int>(malformed);
+  std::vector<std::string> open_stack;
+  std::string& result = out.html;
+  result.reserve(html.size() + 64);
+
+  auto close_top = [&]() {
+    result += "</" + open_stack.back() + ">";
+    open_stack.pop_back();
+  };
+
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case HtmlEvent::Kind::kDoctype:
+        result += ev.text;
+        break;
+      case HtmlEvent::Kind::kComment:
+        result += "<!--" + ev.text + "-->";
+        break;
+      case HtmlEvent::Kind::kText:
+        result += ev.text;
+        break;
+      case HtmlEvent::Kind::kMalformed:
+        // Dropped; counted above.
+        break;
+      case HtmlEvent::Kind::kSelfClose:
+        result += "<" + ev.name + ev.attrs + "/>";
+        break;
+      case HtmlEvent::Kind::kStartTag: {
+        // Guard the serialization: attribute debris ending in '/' would
+        // re-parse as a self-closing tag and unbalance the output.
+        std::string attrs = ev.attrs;
+        while (!attrs.empty() && attrs.back() == '/') attrs.pop_back();
+        // Opening a block element implicitly closes an open <p>/<li> — the
+        // most common unclosed-tag idiom in hand-written HTML. Exception:
+        // a nested list (<ul>/<ol>) is legitimate content of an <li>.
+        if (IsBlockElement(ev.name) && ev.name != "ul" && ev.name != "ol") {
+          while (!open_stack.empty() &&
+                 (open_stack.back() == "p" || open_stack.back() == "li")) {
+            close_top();
+            ++out.stats.unclosed_tags_closed;
+          }
+        }
+        result += "<" + ev.name + attrs + ">";
+        if (ev.name == "script" || ev.name == "style") {
+          result += ev.text;  // opaque body travels with the start event
+        } else {
+          open_stack.push_back(ev.name);
+        }
+        break;
+      }
+      case HtmlEvent::Kind::kEndTag: {
+        if (ev.name == "script" || ev.name == "style") {
+          result += "</" + ev.name + ">";
+          break;
+        }
+        // Find the matching open tag.
+        int match = -1;
+        for (int k = static_cast<int>(open_stack.size()) - 1; k >= 0; --k) {
+          if (open_stack[static_cast<size_t>(k)] == ev.name) {
+            match = k;
+            break;
+          }
+        }
+        if (match < 0) {
+          ++out.stats.stray_end_tags_dropped;
+          break;
+        }
+        // Close everything above the match (fixes misnesting), then it.
+        while (static_cast<int>(open_stack.size()) - 1 > match) {
+          close_top();
+          ++out.stats.misnested_tags_fixed;
+        }
+        close_top();
+        break;
+      }
+    }
+  }
+  while (!open_stack.empty()) {
+    close_top();
+    ++out.stats.unclosed_tags_closed;
+  }
+  return out;
+}
+
+}  // namespace wsie::html

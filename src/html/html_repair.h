@@ -1,0 +1,58 @@
+#ifndef WSIE_HTML_HTML_REPAIR_H_
+#define WSIE_HTML_HTML_REPAIR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace wsie::html {
+
+/// Accounting for the repairs applied to one document.
+struct RepairStats {
+  int unclosed_tags_closed = 0;     ///< missing </p> etc. inserted
+  int stray_end_tags_dropped = 0;   ///< </b> with no open <b>
+  int malformed_tags_dropped = 0;   ///< unterminated / garbage tags removed
+  int misnested_tags_fixed = 0;     ///< <b><i></b></i> style overlap
+  bool any() const {
+    return unclosed_tags_closed || stray_end_tags_dropped ||
+           malformed_tags_dropped || misnested_tags_fixed;
+  }
+};
+
+/// Result of repairing one document.
+struct RepairedHtml {
+  std::string html;
+  RepairStats stats;
+};
+
+/// Options controlling when a document is declared beyond repair.
+struct HtmlRepairOptions {
+  /// If the fraction of malformed tag events exceeds this, the document is
+  /// rejected as non-transcodable. Per [19] (cited in Sect. 5), about 13% of
+  /// real pages have issues too severe to transcode; this threshold is what
+  /// produces that behaviour on mangled synthetic pages.
+  double max_malformed_fraction = 0.2;
+  /// Documents with fewer total events than this are rejected outright.
+  size_t min_events = 2;
+};
+
+/// HTML repair operator (the WA package's "markup repair" of Sect. 3.1).
+///
+/// Re-serializes the tag-soup event stream with balanced tags: unclosed
+/// elements are closed (at block boundaries and end of document), stray end
+/// tags are dropped, unterminated tags are removed. Returns an error Status
+/// for documents whose markup is damaged beyond the configured threshold.
+class HtmlRepair {
+ public:
+  explicit HtmlRepair(HtmlRepairOptions options = {}) : options_(options) {}
+
+  Result<RepairedHtml> Repair(std::string_view html) const;
+
+ private:
+  HtmlRepairOptions options_;
+};
+
+}  // namespace wsie::html
+
+#endif  // WSIE_HTML_HTML_REPAIR_H_

@@ -1,0 +1,104 @@
+#include "html/markup_remover.h"
+
+#include "common/string_util.h"
+#include "html/html_parser.h"
+
+namespace wsie::html {
+
+std::vector<TextBlock> MarkupRemover::ExtractBlocks(
+    std::string_view html) const {
+  HtmlLexer lexer;
+  std::vector<HtmlEvent> events = lexer.Lex(html);
+  std::vector<TextBlock> blocks;
+  TextBlock current;
+  int anchor_depth = 0;
+  int title_depth = 0;
+  std::vector<std::string> block_stack;
+
+  auto flush = [&]() {
+    std::string_view stripped = StripAsciiWhitespace(current.text);
+    if (!stripped.empty()) {
+      TextBlock out = current;
+      out.text = std::string(stripped);
+      blocks.push_back(std::move(out));
+    }
+    current = TextBlock{};
+    current.enclosing_tag = block_stack.empty() ? "" : block_stack.back();
+    current.in_title = title_depth > 0;
+  };
+
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case HtmlEvent::Kind::kText: {
+        std::string decoded = DecodeEntities(ev.text);
+        size_t words = SplitWhitespace(decoded).size();
+        current.num_words += words;
+        if (anchor_depth > 0) current.num_anchor_words += words;
+        // Join inline runs with a single space (no double separators when
+        // the surrounding character data already carries whitespace).
+        bool needs_separator =
+            !current.text.empty() && current.text.back() != ' ' &&
+            !decoded.empty() && decoded.front() != ' ';
+        if (needs_separator) current.text.push_back(' ');
+        current.text += decoded;
+        break;
+      }
+      case HtmlEvent::Kind::kStartTag:
+        if (ev.name == "a") ++anchor_depth;
+        if (ev.name == "title") ++title_depth;
+        if (IsBlockElement(ev.name)) {
+          flush();
+          block_stack.push_back(ev.name);
+          current.enclosing_tag = ev.name;
+          current.in_title = title_depth > 0;
+        }
+        break;
+      case HtmlEvent::Kind::kEndTag:
+        if (ev.name == "a" && anchor_depth > 0) --anchor_depth;
+        if (ev.name == "title" && title_depth > 0) --title_depth;
+        if (IsBlockElement(ev.name)) {
+          flush();
+          if (!block_stack.empty()) block_stack.pop_back();
+          current.enclosing_tag =
+              block_stack.empty() ? "" : block_stack.back();
+        }
+        break;
+      case HtmlEvent::Kind::kSelfClose:
+        if (ev.name == "br" || ev.name == "hr") flush();
+        break;
+      case HtmlEvent::Kind::kComment:
+      case HtmlEvent::Kind::kDoctype:
+      case HtmlEvent::Kind::kMalformed:
+        break;
+    }
+  }
+  flush();
+  return blocks;
+}
+
+std::string MarkupRemover::PlainText(std::string_view html) const {
+  std::vector<TextBlock> blocks = ExtractBlocks(html);
+  std::string out;
+  for (const auto& block : blocks) {
+    if (!out.empty()) out.push_back('\n');
+    out += block.text;
+  }
+  return out;
+}
+
+std::vector<std::string> MarkupRemover::ExtractLinks(
+    std::string_view html) const {
+  HtmlLexer lexer;
+  std::vector<std::string> links;
+  for (const auto& ev : lexer.Lex(html)) {
+    if ((ev.kind == HtmlEvent::Kind::kStartTag ||
+         ev.kind == HtmlEvent::Kind::kSelfClose) &&
+        ev.name == "a") {
+      std::string href = ExtractAttribute(ev.attrs, "href");
+      if (!href.empty()) links.push_back(std::move(href));
+    }
+  }
+  return links;
+}
+
+}  // namespace wsie::html

@@ -1,0 +1,45 @@
+#ifndef WSIE_HTML_MARKUP_REMOVER_H_
+#define WSIE_HTML_MARKUP_REMOVER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsie::html {
+
+/// A contiguous text block extracted from HTML, the unit of boilerplate
+/// classification. Blocks are delimited by block-level elements.
+struct TextBlock {
+  std::string text;            ///< entity-decoded character data
+  size_t num_words = 0;
+  size_t num_anchor_words = 0; ///< words inside <a> elements
+  std::string enclosing_tag;   ///< nearest enclosing block tag ("p", "div"...)
+  bool in_title = false;
+
+  double LinkDensity() const {
+    return num_words == 0 ? 0.0
+                          : static_cast<double>(num_anchor_words) /
+                                static_cast<double>(num_words);
+  }
+};
+
+/// Markup removal (the WA package's "markup removal" operator).
+///
+/// Strips all tags, decodes entities, drops script/style bodies, and
+/// segments character data into block-level TextBlocks for the boilerplate
+/// detector. PlainText() concatenates all blocks.
+class MarkupRemover {
+ public:
+  /// Segments `html` into text blocks.
+  std::vector<TextBlock> ExtractBlocks(std::string_view html) const;
+
+  /// All character data joined with newlines (no boilerplate filtering).
+  std::string PlainText(std::string_view html) const;
+
+  /// Extracts href targets of <a> elements (link extraction operator).
+  std::vector<std::string> ExtractLinks(std::string_view html) const;
+};
+
+}  // namespace wsie::html
+
+#endif  // WSIE_HTML_MARKUP_REMOVER_H_

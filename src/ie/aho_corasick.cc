@@ -1,0 +1,144 @@
+#include "ie/aho_corasick.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <deque>
+
+namespace wsie::ie {
+
+AhoCorasick::AhoCorasick() {
+  Node root;
+  std::memset(root.children, -1, sizeof(root.children));
+  next_.push_back(root);
+  output_.emplace_back();
+}
+
+int AhoCorasick::FoldChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (u >= 'a' && u <= 'z') return u - 'a';            // 0..25
+  if (u >= 'A' && u <= 'Z') return u - 'A';            // fold case
+  if (u >= '0' && u <= '9') return 26 + (u - '0');     // 26..35
+  switch (c) {
+    case '-':
+      return 36;
+    case ' ':
+      return 37;
+    case '\'':
+      return 38;
+    case '.':
+      return 39;
+    case ',':
+      return 40;
+    case '(':
+      return 41;
+    case ')':
+      return 42;
+    case '/':
+      return 43;
+    case '+':
+      return 44;
+    default:
+      return 45;  // everything else folds to one bucket
+  }
+}
+
+uint32_t AhoCorasick::AddPattern(std::string_view pattern) {
+  built_ = false;
+  int node = 0;
+  for (char c : pattern) {
+    int sym = FoldChar(c);
+    if (next_[node].children[sym] < 0) {
+      Node fresh;
+      std::memset(fresh.children, -1, sizeof(fresh.children));
+      next_[node].children[sym] = static_cast<int32_t>(next_.size());
+      next_.push_back(fresh);
+      output_.emplace_back();
+    }
+    node = next_[node].children[sym];
+  }
+  uint32_t id = static_cast<uint32_t>(num_patterns_++);
+  output_[node].push_back(id);
+  pattern_lengths_.push_back(static_cast<uint32_t>(pattern.size()));
+  return id;
+}
+
+void AhoCorasick::Build() {
+  fail_.assign(next_.size(), 0);
+  std::deque<int> queue;
+  for (int sym = 0; sym < kAlphabet; ++sym) {
+    int child = next_[0].children[sym];
+    if (child < 0) {
+      next_[0].children[sym] = 0;  // goto-automaton: missing root edges loop
+    } else {
+      fail_[child] = 0;
+      queue.push_back(child);
+    }
+  }
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    // Merge output of the failure target (suffix matches).
+    const auto& fail_out = output_[fail_[node]];
+    if (!fail_out.empty()) {
+      output_[node].insert(output_[node].end(), fail_out.begin(),
+                           fail_out.end());
+    }
+    for (int sym = 0; sym < kAlphabet; ++sym) {
+      int child = next_[node].children[sym];
+      if (child < 0) {
+        next_[node].children[sym] = next_[fail_[node]].children[sym];
+      } else {
+        fail_[child] = next_[fail_[node]].children[sym];
+        queue.push_back(child);
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::vector<AutomatonMatch> AhoCorasick::FindAll(std::string_view text) const {
+  std::vector<AutomatonMatch> matches;
+  int node = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    node = next_[node].children[FoldChar(text[i])];
+    for (uint32_t pid : output_[node]) {
+      size_t len = pattern_lengths_[pid];
+      matches.push_back(AutomatonMatch{pid, i + 1 - len, i + 1});
+    }
+  }
+  return matches;
+}
+
+std::vector<AutomatonMatch> AhoCorasick::KeepLongest(
+    std::vector<AutomatonMatch> matches) {
+  if (matches.empty()) return matches;
+  std::sort(matches.begin(), matches.end(),
+            [](const AutomatonMatch& a, const AutomatonMatch& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end > b.end;  // longer first at same start
+            });
+  std::vector<AutomatonMatch> kept;
+  size_t covered_end = 0;
+  for (const auto& m : matches) {
+    if (m.begin >= covered_end) {
+      kept.push_back(m);
+      covered_end = m.end;
+    } else if (m.end > covered_end) {
+      // Overlapping but extends past: keep only if not contained.
+      // Contained matches are dropped (longest-match-wins).
+      kept.push_back(m);
+      covered_end = m.end;
+    }
+  }
+  return kept;
+}
+
+size_t AhoCorasick::ApproxMemoryBytes() const {
+  size_t bytes = next_.size() * sizeof(Node) + fail_.size() * sizeof(int32_t);
+  for (const auto& out : output_) bytes += out.size() * sizeof(uint32_t) + 8;
+  bytes += pattern_lengths_.size() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace wsie::ie

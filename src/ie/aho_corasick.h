@@ -1,0 +1,75 @@
+#ifndef WSIE_IE_AHO_CORASICK_H_
+#define WSIE_IE_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsie::ie {
+
+/// A dictionary hit: pattern id plus the matched character span.
+struct AutomatonMatch {
+  uint32_t pattern_id = 0;
+  size_t begin = 0;
+  size_t end = 0;  ///< half-open
+};
+
+/// Aho-Corasick multi-pattern string automaton.
+///
+/// This is the matching core of the dictionary-based entity taggers
+/// (LINNAEUS-style, [11]): matching is a single linear pass regardless of
+/// dictionary size, but *building* the automaton for a large dictionary is
+/// expensive in both time and memory — exactly the start-up cost and RAM
+/// footprint that capped the paper's degree of parallelism (Sect. 4.2: ~20
+/// minutes and 6-20 GB per worker for the 700k-entry gene dictionary).
+///
+/// Matching is case-insensitive (patterns and text are folded to ASCII
+/// lowercase); candidate hits are filtered to word boundaries by the caller
+/// (see DictionaryTagger).
+class AhoCorasick {
+ public:
+  AhoCorasick();
+
+  /// Adds a pattern before Build(). Returns its pattern id.
+  uint32_t AddPattern(std::string_view pattern);
+
+  /// Freezes the trie and computes failure links. Must be called once after
+  /// all AddPattern() calls and before FindAll().
+  void Build();
+
+  /// Scans `text` and returns all (possibly overlapping) dictionary hits.
+  std::vector<AutomatonMatch> FindAll(std::string_view text) const;
+
+  /// Longest-match-wins filtering: keeps only matches not strictly contained
+  /// in a longer match.
+  static std::vector<AutomatonMatch> KeepLongest(
+      std::vector<AutomatonMatch> matches);
+
+  size_t num_patterns() const { return num_patterns_; }
+  size_t num_nodes() const { return next_.size(); }
+  bool built() const { return built_; }
+
+  /// Automaton memory footprint in bytes (nodes + outputs), for the
+  /// Sect. 4.2 memory accounting.
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  static constexpr int kAlphabet = 64;  // folded alphabet, see FoldChar
+  static int FoldChar(char c);
+
+  struct Node {
+    int32_t children[kAlphabet];
+  };
+
+  std::vector<Node> next_;
+  std::vector<int32_t> fail_;
+  std::vector<std::vector<uint32_t>> output_;  // pattern ids ending here
+  std::vector<uint32_t> pattern_lengths_;
+  size_t num_patterns_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace wsie::ie
+
+#endif  // WSIE_IE_AHO_CORASICK_H_

@@ -1,0 +1,36 @@
+#include "ie/annotation.h"
+
+namespace wsie::ie {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kGene:
+      return "gene";
+    case EntityType::kDrug:
+      return "drug";
+    case EntityType::kDisease:
+      return "disease";
+  }
+  return "unknown";
+}
+
+const char* AnnotationMethodName(AnnotationMethod method) {
+  switch (method) {
+    case AnnotationMethod::kDictionary:
+      return "dict";
+    case AnnotationMethod::kMl:
+      return "ml";
+    case AnnotationMethod::kRegex:
+      return "regex";
+  }
+  return "unknown";
+}
+
+size_t AnnotationByteSize(const Annotation& annotation) {
+  // Fixed fields plus the variable-length strings, as a flat serialization
+  // (the paper's pipeline materialized annotations through HDFS).
+  return sizeof(uint64_t) + sizeof(uint32_t) * 3 + 2 /* enums */ +
+         annotation.surface.size() + annotation.category.size() + 8;
+}
+
+}  // namespace wsie::ie

@@ -1,0 +1,58 @@
+#ifndef WSIE_IE_ANNOTATION_H_
+#define WSIE_IE_ANNOTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsie::ie {
+
+/// Biomedical entity classes analyzed in the study (Sect. 3.2).
+enum class EntityType {
+  kGene,
+  kDrug,
+  kDisease,
+};
+
+const char* EntityTypeName(EntityType type);
+
+/// Extraction method provenance.
+enum class AnnotationMethod {
+  kDictionary,  ///< automaton-based fuzzy dictionary matching
+  kMl,          ///< CRF-based tagger
+  kRegex,       ///< regular-expression extractor (linguistic categories)
+};
+
+const char* AnnotationMethodName(AnnotationMethod method);
+
+/// One annotation: an entity (or linguistic) mention with provenance and
+/// position, mirroring the paper's result-set schema ("document ID, sentence
+/// ID, and start/end positions", Sect. 3.2).
+struct Annotation {
+  uint64_t doc_id = 0;
+  uint32_t sentence_id = 0;
+  uint32_t begin = 0;  ///< character offset in the document
+  uint32_t end = 0;
+  EntityType entity_type = EntityType::kGene;
+  AnnotationMethod method = AnnotationMethod::kDictionary;
+  std::string surface;  ///< matched text
+  std::string category; ///< linguistic category for regex annotations
+
+  uint32_t length() const { return end - begin; }
+
+  friend bool operator==(const Annotation& a, const Annotation& b) {
+    return a.doc_id == b.doc_id && a.sentence_id == b.sentence_id &&
+           a.begin == b.begin && a.end == b.end &&
+           a.entity_type == b.entity_type && a.method == b.method &&
+           a.surface == b.surface && a.category == b.category;
+  }
+};
+
+/// Serialized size of one annotation, used for the Sect. 4.2 observation
+/// that annotations *grow* the data volume flowing through the pipeline
+/// (1 TB raw text produced 1.6 TB of annotations).
+size_t AnnotationByteSize(const Annotation& annotation);
+
+}  // namespace wsie::ie
+
+#endif  // WSIE_IE_ANNOTATION_H_

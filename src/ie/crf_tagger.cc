@@ -1,0 +1,209 @@
+#include "ie/crf_tagger.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace wsie::ie {
+namespace {
+
+constexpr int kLabelO = 0;
+constexpr int kLabelB = 1;
+constexpr int kLabelI = 2;
+
+std::string WordShape(std::string_view token) {
+  std::string shape;
+  shape.reserve(token.size());
+  for (char c : token) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isupper(u)) {
+      shape.push_back('A');
+    } else if (std::islower(u)) {
+      shape.push_back('a');
+    } else if (std::isdigit(u)) {
+      shape.push_back('0');
+    } else {
+      shape.push_back('-');
+    }
+  }
+  return shape;
+}
+
+std::string CompressShape(std::string_view shape) {
+  std::string out;
+  for (char c : shape) {
+    if (out.empty() || out.back() != c) out.push_back(c);
+  }
+  return out;
+}
+
+void AddTokenFeatures(const std::string& prefix, std::string_view token,
+                      ml::PositionFeatures& out) {
+  std::string lower = wsie::AsciiToLower(token);
+  std::string shape = WordShape(token);
+  out.push_back(ml::HashFeature(prefix + "w=" + std::string(token)));
+  out.push_back(ml::HashFeature(prefix + "lw=" + lower));
+  out.push_back(ml::HashFeature(prefix + "sh=" + shape));
+  out.push_back(ml::HashFeature(prefix + "csh=" + CompressShape(shape)));
+  for (size_t len = 2; len <= 4 && len <= token.size(); ++len) {
+    out.push_back(
+        ml::HashFeature(prefix + "pre=" + std::string(token.substr(0, len))));
+    out.push_back(ml::HashFeature(
+        prefix + "suf=" + std::string(token.substr(token.size() - len))));
+  }
+  if (wsie::ContainsDigit(token))
+    out.push_back(ml::HashFeature(prefix + "hasdigit"));
+  if (token.find('-') != std::string_view::npos)
+    out.push_back(ml::HashFeature(prefix + "hashyphen"));
+  if (wsie::IsAllUpper(token)) out.push_back(ml::HashFeature(prefix + "allcaps"));
+  if (!token.empty() && std::isupper(static_cast<unsigned char>(token[0])))
+    out.push_back(ml::HashFeature(prefix + "initcap"));
+  size_t bucket = token.size() <= 2   ? 2
+                  : token.size() <= 4 ? 4
+                  : token.size() <= 8 ? 8
+                                      : 9;
+  out.push_back(ml::HashFeature(prefix + "len=" + std::to_string(bucket)));
+}
+
+}  // namespace
+
+std::vector<ml::PositionFeatures> ExtractNerFeatures(
+    const std::vector<text::Token>& tokens) {
+  std::vector<ml::PositionFeatures> features(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    ml::PositionFeatures& f = features[i];
+    f.reserve(64);
+    AddTokenFeatures("", tokens[i].text, f);
+    // Internal character trigrams of the focus token (BANNER-style char
+    // n-gram features; important for morphology-heavy biomedical names).
+    const std::string& w = tokens[i].text;
+    for (size_t c = 0; c + 3 <= w.size(); ++c) {
+      f.push_back(ml::HashFeature("c3=" + w.substr(c, 3)));
+    }
+    if (i > 0) {
+      AddTokenFeatures("p1:", tokens[i - 1].text, f);
+    } else {
+      f.push_back(ml::HashFeature("BOS"));
+    }
+    if (i + 1 < tokens.size()) {
+      AddTokenFeatures("n1:", tokens[i + 1].text, f);
+    } else {
+      f.push_back(ml::HashFeature("EOS"));
+    }
+    // +-2 context word identities.
+    if (i > 1) {
+      f.push_back(ml::HashFeature("p2w=" + AsciiToLower(tokens[i - 2].text)));
+    }
+    if (i + 2 < tokens.size()) {
+      f.push_back(ml::HashFeature("n2w=" + AsciiToLower(tokens[i + 2].text)));
+    }
+  }
+  return features;
+}
+
+CrfTagger::CrfTagger(EntityType type, size_t feature_dim)
+    : type_(type), crf_(3, feature_dim) {}
+
+void CrfTagger::Train(const std::vector<TaggedSentence>& sentences,
+                      const ml::CrfTrainOptions& options) {
+  std::vector<ml::CrfInstance> data;
+  data.reserve(sentences.size());
+  for (const TaggedSentence& sentence : sentences) {
+    ml::CrfInstance instance;
+    instance.features = ExtractNerFeatures(sentence.tokens);
+    instance.labels.assign(sentence.tokens.size(), kLabelO);
+    for (const GoldSpan& span : sentence.spans) {
+      for (size_t t = span.begin_token;
+           t < span.end_token && t < instance.labels.size(); ++t) {
+        instance.labels[t] = (t == span.begin_token) ? kLabelB : kLabelI;
+      }
+    }
+    data.push_back(std::move(instance));
+  }
+  crf_.Train(data, options);
+}
+
+std::vector<Annotation> CrfTagger::TagSentence(
+    uint64_t doc_id, uint32_t sentence_id, std::string_view doc_text,
+    const std::vector<text::Token>& tokens) const {
+  std::vector<Annotation> annotations;
+  if (tokens.empty()) return annotations;
+  std::vector<int> labels = crf_.Decode(ExtractNerFeatures(tokens));
+  size_t i = 0;
+  while (i < labels.size()) {
+    if (labels[i] != kLabelB && labels[i] != kLabelI) {
+      ++i;
+      continue;
+    }
+    size_t begin = i;
+    ++i;
+    while (i < labels.size() && labels[i] == kLabelI) ++i;
+    Annotation a;
+    a.doc_id = doc_id;
+    a.sentence_id = sentence_id;
+    a.begin = static_cast<uint32_t>(tokens[begin].begin);
+    a.end = static_cast<uint32_t>(tokens[i - 1].end);
+    a.entity_type = type_;
+    a.method = AnnotationMethod::kMl;
+    if (a.end <= doc_text.size() && a.begin < a.end) {
+      a.surface = std::string(doc_text.substr(a.begin, a.end - a.begin));
+    } else {
+      // Offsets relative to a sentence slice: recover from token texts.
+      a.surface = tokens[begin].text;
+      for (size_t t = begin + 1; t < i; ++t) {
+        a.surface += " " + tokens[t].text;
+      }
+    }
+    annotations.push_back(std::move(a));
+  }
+  return annotations;
+}
+
+std::vector<Annotation> MergeHybrid(
+    std::vector<Annotation> crf_annotations,
+    const std::vector<Annotation>& dict_annotations) {
+  auto overlaps = [](const Annotation& a, const Annotation& b) {
+    return a.doc_id == b.doc_id && a.begin < b.end && b.begin < a.end;
+  };
+  std::vector<Annotation> merged = std::move(crf_annotations);
+  for (const Annotation& d : dict_annotations) {
+    bool clashed = false;
+    for (const Annotation& c : merged) {
+      if (overlaps(c, d)) {
+        clashed = true;
+        break;
+      }
+    }
+    if (!clashed) {
+      Annotation copy = d;
+      copy.method = AnnotationMethod::kMl;  // hybrid output counts as ML
+      merged.push_back(std::move(copy));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Annotation& a, const Annotation& b) {
+              if (a.doc_id != b.doc_id) return a.doc_id < b.doc_id;
+              return a.begin < b.begin;
+            });
+  return merged;
+}
+
+std::vector<Annotation> FilterTlaAnnotations(
+    std::vector<Annotation> annotations, size_t* num_removed) {
+  size_t removed = 0;
+  std::vector<Annotation> kept;
+  kept.reserve(annotations.size());
+  for (auto& a : annotations) {
+    bool is_tla = a.surface.size() == 3 && wsie::IsAllUpper(a.surface);
+    if (is_tla && a.method == AnnotationMethod::kMl) {
+      ++removed;
+      continue;
+    }
+    kept.push_back(std::move(a));
+  }
+  if (num_removed != nullptr) *num_removed = removed;
+  return kept;
+}
+
+}  // namespace wsie::ie

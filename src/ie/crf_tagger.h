@@ -1,0 +1,78 @@
+#ifndef WSIE_IE_CRF_TAGGER_H_
+#define WSIE_IE_CRF_TAGGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ie/annotation.h"
+#include "ml/crf.h"
+#include "text/token.h"
+
+namespace wsie::ie {
+
+/// A gold entity span over token indices [begin_token, end_token).
+struct GoldSpan {
+  size_t begin_token = 0;
+  size_t end_token = 0;
+};
+
+/// One training sentence for an ML tagger: its tokens plus gold spans.
+struct TaggedSentence {
+  std::vector<text::Token> tokens;
+  std::vector<GoldSpan> spans;
+};
+
+/// Orthographic feature extractor shared by all CRF taggers.
+///
+/// BANNER-style features [17]: token identity, lowercased identity, word
+/// shape ("BRCA1" -> "AAAA0"), compressed shape ("A0"), prefixes/suffixes
+/// of length 2..4, digit/hyphen/case indicators, token length bucket, and
+/// the same set for the +-1 context tokens. Feature strings are hashed
+/// (ml::HashFeature) into the CRF's weight space.
+std::vector<ml::PositionFeatures> ExtractNerFeatures(
+    const std::vector<text::Token>& tokens);
+
+/// CRF-based named entity tagger with BIO encoding (the ML method of the
+/// paper: BANNER for genes, ChemSpot's CRF for drugs, a Mallet-based tool
+/// for diseases — all linear-chain CRFs).
+class CrfTagger {
+ public:
+  /// Creates an untrained tagger for `type`. `feature_dim` bounds model
+  /// memory (hashed features).
+  explicit CrfTagger(EntityType type, size_t feature_dim = 1 << 18);
+
+  /// Trains on gold sentences. Label scheme: 0=O, 1=B, 2=I.
+  void Train(const std::vector<TaggedSentence>& sentences,
+             const ml::CrfTrainOptions& options = {});
+
+  /// Tags one tokenized sentence; emits document-offset annotations.
+  std::vector<Annotation> TagSentence(uint64_t doc_id, uint32_t sentence_id,
+                                      std::string_view doc_text,
+                                      const std::vector<text::Token>& tokens) const;
+
+  EntityType entity_type() const { return type_; }
+  const ml::LinearChainCrf& model() const { return crf_; }
+
+ private:
+  EntityType type_;
+  ml::LinearChainCrf crf_;
+};
+
+/// ChemSpot-style hybrid tagger [24]: unions CRF and dictionary annotations,
+/// dropping dictionary hits that overlap a (higher-priority) CRF span.
+std::vector<Annotation> MergeHybrid(std::vector<Annotation> crf_annotations,
+                                    const std::vector<Annotation>& dict_annotations);
+
+/// Three-letter-acronym filter (Sect. 4.3.2): removes ML gene annotations
+/// whose surface is exactly three uppercase letters — the dominant false-
+/// positive class when Medline-trained taggers run on web text. Returns the
+/// filtered list and reports how many were removed via `num_removed`.
+std::vector<Annotation> FilterTlaAnnotations(std::vector<Annotation> annotations,
+                                             size_t* num_removed = nullptr);
+
+}  // namespace wsie::ie
+
+#endif  // WSIE_IE_CRF_TAGGER_H_

@@ -1,0 +1,67 @@
+#include "ie/dictionary_tagger.h"
+
+#include <cctype>
+
+#include "common/stopwatch.h"
+
+namespace wsie::ie {
+
+DictionaryTagger::DictionaryTagger(EntityType type,
+                                   const std::vector<std::string>& dictionary,
+                                   TermExpanderOptions expander_options)
+    : type_(type) {
+  Stopwatch timer;
+  TermExpander expander(expander_options);
+  build_stats_.dictionary_entries = dictionary.size();
+  for (const std::string& term : dictionary) {
+    for (const std::string& variant : expander.Expand(term)) {
+      if (variant.size() < kMinMentionLength) continue;
+      automaton_.AddPattern(variant);
+      ++build_stats_.expanded_patterns;
+    }
+  }
+  automaton_.Build();
+  build_stats_.automaton_nodes = automaton_.num_nodes();
+  build_stats_.memory_bytes = automaton_.ApproxMemoryBytes();
+  build_stats_.build_seconds = timer.ElapsedSeconds();
+}
+
+bool DictionaryTagger::IsWordBoundary(std::string_view text, size_t begin,
+                                      size_t end) {
+  auto is_word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c));
+  };
+  if (begin > 0 && is_word(text[begin - 1]) && is_word(text[begin]))
+    return false;
+  if (end < text.size() && is_word(text[end - 1]) && is_word(text[end]))
+    return false;
+  return true;
+}
+
+std::vector<Annotation> DictionaryTagger::Tag(uint64_t doc_id,
+                                              std::string_view doc_text) const {
+  std::vector<AutomatonMatch> raw = automaton_.FindAll(doc_text);
+  // Word-boundary filter before longest-match resolution.
+  std::vector<AutomatonMatch> bounded;
+  bounded.reserve(raw.size());
+  for (const auto& m : raw) {
+    if (m.end - m.begin < kMinMentionLength) continue;
+    if (IsWordBoundary(doc_text, m.begin, m.end)) bounded.push_back(m);
+  }
+  std::vector<AutomatonMatch> kept = AhoCorasick::KeepLongest(std::move(bounded));
+  std::vector<Annotation> annotations;
+  annotations.reserve(kept.size());
+  for (const auto& m : kept) {
+    Annotation a;
+    a.doc_id = doc_id;
+    a.begin = static_cast<uint32_t>(m.begin);
+    a.end = static_cast<uint32_t>(m.end);
+    a.entity_type = type_;
+    a.method = AnnotationMethod::kDictionary;
+    a.surface = std::string(doc_text.substr(m.begin, m.end - m.begin));
+    annotations.push_back(std::move(a));
+  }
+  return annotations;
+}
+
+}  // namespace wsie::ie

@@ -1,0 +1,153 @@
+#include "ie/relation_extractor.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace wsie::ie {
+namespace {
+
+struct TriggerSet {
+  RelationType type;
+  std::vector<const char*> triggers;
+};
+
+const std::vector<TriggerSet>& Triggers() {
+  static const std::vector<TriggerSet>* kTriggers = new std::vector<TriggerSet>{
+      {RelationType::kDrugTreatsDisease,
+       {"treats", "treated", "treatment", "helps", "improved", "reduces",
+        "reduced", "therapy", "effective"}},
+      {RelationType::kGeneAssociatedDisease,
+       {"associated", "linked", "implicated", "causes", "risk", "mutation",
+        "mutations"}},
+      {RelationType::kDrugTargetsGene,
+       {"inhibits", "inhibited", "targets", "binds", "blocks", "regulates",
+        "suppresses"}},
+  };
+  return *kTriggers;
+}
+
+RelationType TypeForPair(EntityType a, EntityType b, bool* swap) {
+  *swap = false;
+  if (a == EntityType::kDrug && b == EntityType::kDisease) {
+    return RelationType::kDrugTreatsDisease;
+  }
+  if (a == EntityType::kDisease && b == EntityType::kDrug) {
+    *swap = true;
+    return RelationType::kDrugTreatsDisease;
+  }
+  if (a == EntityType::kGene && b == EntityType::kDisease) {
+    return RelationType::kGeneAssociatedDisease;
+  }
+  if (a == EntityType::kDisease && b == EntityType::kGene) {
+    *swap = true;
+    return RelationType::kGeneAssociatedDisease;
+  }
+  if (a == EntityType::kDrug && b == EntityType::kGene) {
+    return RelationType::kDrugTargetsGene;
+  }
+  // gene-drug
+  *swap = true;
+  return RelationType::kDrugTargetsGene;
+}
+
+}  // namespace
+
+const char* RelationTypeName(RelationType type) {
+  switch (type) {
+    case RelationType::kDrugTreatsDisease:
+      return "drug-treats-disease";
+    case RelationType::kGeneAssociatedDisease:
+      return "gene-associated-disease";
+    case RelationType::kDrugTargetsGene:
+      return "drug-targets-gene";
+  }
+  return "unknown";
+}
+
+RelationExtractor::RelationExtractor(RelationExtractorOptions options)
+    : options_(options) {}
+
+bool RelationExtractor::ContainsNegation(std::string_view sentence) {
+  static const text::Tokenizer kTokenizer;
+  for (const text::Token& tok : kTokenizer.Tokenize(sentence)) {
+    std::string lower = AsciiToLower(tok.text);
+    if (lower == "not" || lower == "nor" || lower == "neither") return true;
+  }
+  return false;
+}
+
+bool RelationExtractor::HasTriggerBetween(std::string_view sentence,
+                                          size_t begin, size_t end,
+                                          RelationType type,
+                                          std::string* trigger) const {
+  // Search the span between the mentions plus a small neighbourhood.
+  size_t lo = begin > 30 ? begin - 30 : 0;
+  size_t hi = std::min(sentence.size(), end + 30);
+  std::string window = AsciiToLower(sentence.substr(lo, hi - lo));
+  for (const TriggerSet& set : Triggers()) {
+    if (set.type != type) continue;
+    for (const char* t : set.triggers) {
+      size_t pos = window.find(t);
+      if (pos == std::string::npos) continue;
+      // Word-boundary check on both sides.
+      bool left_ok = pos == 0 || !std::isalnum(static_cast<unsigned char>(
+                                      window[pos - 1]));
+      size_t after = pos + std::string(t).size();
+      bool right_ok = after >= window.size() ||
+                      !std::isalnum(static_cast<unsigned char>(window[after]));
+      if (left_ok && right_ok) {
+        *trigger = t;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Relation> RelationExtractor::ExtractFromSentence(
+    std::string_view sentence, size_t base_offset,
+    const std::vector<Annotation>& entities) const {
+  std::vector<Relation> relations;
+  bool negated = ContainsNegation(sentence);
+  for (size_t i = 0; i < entities.size(); ++i) {
+    for (size_t j = i + 1; j < entities.size(); ++j) {
+      const Annotation& a = entities[i];
+      const Annotation& b = entities[j];
+      if (a.entity_type == b.entity_type) continue;
+      if (a.method == AnnotationMethod::kRegex ||
+          b.method == AnnotationMethod::kRegex)
+        continue;
+      size_t span_begin = std::min(a.begin, b.begin);
+      size_t span_end = std::max(a.end, b.end);
+      if (span_end - span_begin > options_.max_span_chars) continue;
+
+      bool swap = false;
+      Relation rel;
+      rel.type = TypeForPair(a.entity_type, b.entity_type, &swap);
+      rel.arg1 = swap ? b : a;
+      rel.arg2 = swap ? a : b;
+      rel.doc_id = a.doc_id;
+      rel.sentence_id = a.sentence_id;
+      rel.confidence = options_.cooccurrence_confidence;
+      // Trigger search uses sentence-relative offsets.
+      size_t rel_begin =
+          span_begin >= base_offset ? span_begin - base_offset : 0;
+      size_t rel_end = span_end >= base_offset ? span_end - base_offset : 0;
+      std::string trigger;
+      if (HasTriggerBetween(sentence, rel_begin, rel_end, rel.type,
+                            &trigger)) {
+        rel.confidence += options_.trigger_bonus;
+        rel.trigger = trigger;
+      }
+      if (negated) rel.confidence -= options_.negation_penalty;
+      rel.confidence = std::clamp(rel.confidence, 0.0, 1.0);
+      relations.push_back(std::move(rel));
+    }
+  }
+  return relations;
+}
+
+}  // namespace wsie::ie

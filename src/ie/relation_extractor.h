@@ -1,0 +1,73 @@
+#ifndef WSIE_IE_RELATION_EXTRACTOR_H_
+#define WSIE_IE_RELATION_EXTRACTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ie/annotation.h"
+
+namespace wsie::ie {
+
+/// Binary biomedical relation classes over entity pairs.
+enum class RelationType {
+  kDrugTreatsDisease,
+  kGeneAssociatedDisease,
+  kDrugTargetsGene,
+};
+
+const char* RelationTypeName(RelationType type);
+
+/// One extracted relation instance.
+struct Relation {
+  uint64_t doc_id = 0;
+  uint32_t sentence_id = 0;
+  RelationType type = RelationType::kDrugTreatsDisease;
+  Annotation arg1;  ///< drug or gene
+  Annotation arg2;  ///< disease or gene
+  /// Heuristic confidence: co-occurrence only = 0.5; trigger word between
+  /// the arguments raises it; sentence-level negation lowers it.
+  double confidence = 0.5;
+  std::string trigger;  ///< matched trigger word, if any
+};
+
+/// Tuning of the sentence-window relation extractor.
+struct RelationExtractorOptions {
+  /// Maximum character distance between the two argument mentions.
+  size_t max_span_chars = 200;
+  double cooccurrence_confidence = 0.5;
+  double trigger_bonus = 0.35;
+  double negation_penalty = 0.3;
+};
+
+/// Co-occurrence + trigger-pattern relation extractor (the "relationships
+/// between entities" operators of the Sopremo IE package, Sect. 3.1).
+///
+/// Candidate pairs are entity mentions of compatible types inside one
+/// sentence; a trigger word ("treats", "inhibits", "associated", ...)
+/// between or adjacent to the pair raises confidence, a negation token in
+/// the sentence lowers it (the paper's motivation for negation detection:
+/// "detecting negation is important ... for relation extraction").
+class RelationExtractor {
+ public:
+  explicit RelationExtractor(RelationExtractorOptions options = {});
+
+  /// Extracts relations from one sentence's entity annotations. `sentence`
+  /// is the sentence text and `base_offset` its document offset; entity
+  /// annotations must carry document offsets.
+  std::vector<Relation> ExtractFromSentence(
+      std::string_view sentence, size_t base_offset,
+      const std::vector<Annotation>& entities) const;
+
+ private:
+  bool HasTriggerBetween(std::string_view sentence, size_t begin, size_t end,
+                         RelationType type, std::string* trigger) const;
+  static bool ContainsNegation(std::string_view sentence);
+
+  RelationExtractorOptions options_;
+};
+
+}  // namespace wsie::ie
+
+#endif  // WSIE_IE_RELATION_EXTRACTOR_H_

@@ -1,0 +1,94 @@
+#include "ie/term_expander.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace wsie::ie {
+namespace {
+
+void AddUnique(std::vector<std::string>& variants, std::string candidate) {
+  if (candidate.empty()) return;
+  if (std::find(variants.begin(), variants.end(), candidate) ==
+      variants.end()) {
+    variants.push_back(std::move(candidate));
+  }
+}
+
+bool EndsWithConsonantY(std::string_view term) {
+  if (term.size() < 2 || term.back() != 'y') return false;
+  char prev = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(term[term.size() - 2])));
+  return prev != 'a' && prev != 'e' && prev != 'i' && prev != 'o' &&
+         prev != 'u';
+}
+
+}  // namespace
+
+std::vector<std::string> TermExpander::Expand(std::string_view term) const {
+  std::vector<std::string> variants;
+  AddUnique(variants, std::string(term));
+
+  if (options_.plural_variants) {
+    // Suffix-level plural variants only (the "very short word suffixes" of
+    // Sect. 4.2): applied to the final word of multi-word terms.
+    std::string base(term);
+    bool alpha_tail =
+        !base.empty() && std::isalpha(static_cast<unsigned char>(base.back()));
+    if (alpha_tail) {
+      if (EndsWithConsonantY(base)) {
+        AddUnique(variants, base.substr(0, base.size() - 1) + "ies");
+      } else if (EndsWith(base, "s") || EndsWith(base, "x") ||
+                 EndsWith(base, "ch")) {
+        AddUnique(variants, base + "es");
+      } else {
+        AddUnique(variants, base + "s");
+      }
+      // Singularize an already-plural dictionary entry.
+      if (EndsWith(base, "ies") && base.size() > 3) {
+        AddUnique(variants, base.substr(0, base.size() - 3) + "y");
+      } else if (EndsWith(base, "s") && !EndsWith(base, "ss") &&
+                 base.size() > 3) {
+        AddUnique(variants, base.substr(0, base.size() - 1));
+      }
+    }
+  }
+
+  if (options_.hyphen_space_variants) {
+    size_t current = variants.size();
+    for (size_t i = 0; i < current; ++i) {
+      const std::string v = variants[i];
+      if (v.find('-') != std::string::npos) {
+        AddUnique(variants, ReplaceAll(v, "-", " "));
+        AddUnique(variants, ReplaceAll(v, "-", ""));
+      } else if (v.find(' ') != std::string::npos) {
+        AddUnique(variants, ReplaceAll(v, " ", "-"));
+      }
+    }
+  }
+
+  if (options_.greek_letter_variants) {
+    static constexpr std::pair<const char*, const char*> kGreek[] = {
+        {"alpha", "a"}, {"beta", "b"}, {"gamma", "g"}, {"delta", "d"},
+        {"kappa", "k"},
+    };
+    size_t current = variants.size();
+    for (size_t i = 0; i < current; ++i) {
+      const std::string v = variants[i];
+      std::string lower = AsciiToLower(v);
+      for (const auto& [word, letter] : kGreek) {
+        size_t pos = lower.find(word);
+        if (pos != std::string::npos) {
+          std::string replaced = v.substr(0, pos);
+          replaced += letter;
+          replaced += v.substr(pos + std::string(word).size());
+          AddUnique(variants, std::move(replaced));
+        }
+      }
+    }
+  }
+  return variants;
+}
+
+}  // namespace wsie::ie

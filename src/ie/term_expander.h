@@ -1,0 +1,41 @@
+#ifndef WSIE_IE_TERM_EXPANDER_H_
+#define WSIE_IE_TERM_EXPANDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsie::ie {
+
+/// Options for dictionary term-variant generation.
+struct TermExpanderOptions {
+  bool plural_variants = true;       ///< "tumor" -> "tumors"; "-y" -> "-ies"
+  bool hyphen_space_variants = true; ///< "GAD-67" <-> "GAD 67"
+  bool greek_letter_variants = true; ///< "alpha" <-> "a" in gene names
+};
+
+/// Expands a dictionary term into its surface variants.
+///
+/// The paper "transformed each dictionary term into a regular expression"
+/// to tolerate small variations, noting the transformations "almost only
+/// affect very short word suffixes" (Sect. 4.2). We enumerate the variant
+/// set explicitly instead of compiling regexes — each variant becomes one
+/// automaton pattern, which reproduces both the matching behaviour and the
+/// automaton-size blow-up (the NFA-expansion memory cost described in
+/// Sect. 4.2).
+class TermExpander {
+ public:
+  explicit TermExpander(TermExpanderOptions options = {})
+      : options_(options) {}
+
+  /// Returns the variants of `term`, always including `term` itself first.
+  /// Variants are deduplicated.
+  std::vector<std::string> Expand(std::string_view term) const;
+
+ private:
+  TermExpanderOptions options_;
+};
+
+}  // namespace wsie::ie
+
+#endif  // WSIE_IE_TERM_EXPANDER_H_

@@ -1,0 +1,108 @@
+#include "lang/language_id.h"
+
+#include <cctype>
+#include <limits>
+
+namespace wsie::lang {
+namespace {
+
+// Compiled-in training samples. Function words dominate character-n-gram
+// profiles, so short representative paragraphs are sufficient for the
+// coarse English / non-English gate the crawler needs.
+constexpr const char* kEnglishSample =
+    "the quick brown fox jumps over the lazy dog and the patient was treated "
+    "with the drug for the disease and the results of the study show that "
+    "there is a significant difference between the groups because of the "
+    "treatment which was given to the patients in the hospital where they "
+    "were observed for several weeks and the doctors reported that most of "
+    "them had improved with this therapy and that further research would be "
+    "needed to confirm these findings in other populations of people with "
+    "the same condition and similar symptoms of their illness";
+
+constexpr const char* kGermanSample =
+    "der schnelle braune fuchs springt ueber den faulen hund und der patient "
+    "wurde mit dem medikament gegen die krankheit behandelt und die "
+    "ergebnisse der studie zeigen dass es einen signifikanten unterschied "
+    "zwischen den gruppen gibt wegen der behandlung die den patienten im "
+    "krankenhaus gegeben wurde wo sie mehrere wochen beobachtet wurden und "
+    "die aerzte berichteten dass sich die meisten von ihnen mit dieser "
+    "therapie verbessert haben und dass weitere forschung notwendig waere";
+
+constexpr const char* kFrenchSample =
+    "le renard brun rapide saute par dessus le chien paresseux et le patient "
+    "a ete traite avec le medicament contre la maladie et les resultats de "
+    "cette etude montrent qu il y a une difference significative entre les "
+    "groupes en raison du traitement qui a ete donne aux patients dans l "
+    "hopital ou ils ont ete observes pendant plusieurs semaines et les "
+    "medecins ont rapporte que la plupart d entre eux se sont ameliores avec "
+    "cette therapie et que d autres recherches seraient necessaires";
+
+constexpr const char* kSpanishSample =
+    "el rapido zorro marron salta sobre el perro perezoso y el paciente fue "
+    "tratado con el medicamento para la enfermedad y los resultados del "
+    "estudio muestran que hay una diferencia significativa entre los grupos "
+    "debido al tratamiento que se dio a los pacientes en el hospital donde "
+    "fueron observados durante varias semanas y los medicos informaron que "
+    "la mayoria de ellos mejoraron con esta terapia y que se necesitaria mas "
+    "investigacion para confirmar estos hallazgos en otras poblaciones";
+
+size_t CountLetters(std::string_view text) {
+  size_t letters = 0;
+  for (char c : text) {
+    if (std::isalpha(static_cast<unsigned char>(c))) ++letters;
+  }
+  return letters;
+}
+
+}  // namespace
+
+LanguageIdentifier::LanguageIdentifier() {
+  TrainProfile("en", kEnglishSample);
+  TrainProfile("de", kGermanSample);
+  TrainProfile("fr", kFrenchSample);
+  TrainProfile("es", kSpanishSample);
+}
+
+void LanguageIdentifier::TrainProfile(const std::string& language,
+                                      std::string_view sample) {
+  text::CharNgramProfile profile(3);
+  profile.Add(sample);
+  for (auto& p : profiles_) {
+    if (p.language == language) {
+      p.top_grams = profile.TopK(kProfileSize);
+      return;
+    }
+  }
+  profiles_.push_back(Profile{language, profile.TopK(kProfileSize)});
+}
+
+LanguageGuess LanguageIdentifier::Identify(std::string_view text) const {
+  if (CountLetters(text) < kMinLetters || profiles_.empty()) {
+    return LanguageGuess{"xx", std::numeric_limits<double>::max()};
+  }
+  text::CharNgramProfile doc_profile(3);
+  doc_profile.Add(text);
+  std::vector<std::string> doc_top = doc_profile.TopK(kProfileSize);
+  LanguageGuess best{"xx", std::numeric_limits<double>::max()};
+  for (const auto& p : profiles_) {
+    double d = text::CharNgramProfile::RankDistance(doc_top, p.top_grams);
+    if (d < best.distance) {
+      best.language = p.language;
+      best.distance = d;
+    }
+  }
+  return best;
+}
+
+bool LanguageIdentifier::IsEnglish(std::string_view text) const {
+  return Identify(text).language == "en";
+}
+
+std::vector<std::string> LanguageIdentifier::Languages() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& p : profiles_) out.push_back(p.language);
+  return out;
+}
+
+}  // namespace wsie::lang

@@ -1,0 +1,54 @@
+#ifndef WSIE_LANG_LANGUAGE_ID_H_
+#define WSIE_LANG_LANGUAGE_ID_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/ngram.h"
+
+namespace wsie::lang {
+
+/// A scored language guess.
+struct LanguageGuess {
+  std::string language;  ///< ISO-ish code: "en", "de", "fr", "es", "xx".
+  double distance = 0.0; ///< Rank distance; lower = better match.
+};
+
+/// Character-n-gram language identifier (Cavnar & Trenkle style), used as
+/// the crawler's language filter (Sect. 2.1): pages not identified as
+/// English are dropped because the downstream IE tools are
+/// language-sensitive.
+class LanguageIdentifier {
+ public:
+  /// Builds with compiled-in trigram profiles for en/de/fr/es.
+  LanguageIdentifier();
+
+  /// Trains (or replaces) the profile for `language` from sample text.
+  void TrainProfile(const std::string& language, std::string_view sample);
+
+  /// Identifies the best-matching language of `text`. Returns "xx" with a
+  /// large distance if `text` has too few letters to classify.
+  LanguageGuess Identify(std::string_view text) const;
+
+  /// Convenience: true if Identify(text).language == "en".
+  bool IsEnglish(std::string_view text) const;
+
+  /// Languages with a trained profile.
+  std::vector<std::string> Languages() const;
+
+ private:
+  struct Profile {
+    std::string language;
+    std::vector<std::string> top_grams;
+  };
+
+  static constexpr size_t kProfileSize = 300;
+  static constexpr size_t kMinLetters = 20;
+
+  std::vector<Profile> profiles_;
+};
+
+}  // namespace wsie::lang
+
+#endif  // WSIE_LANG_LANGUAGE_ID_H_

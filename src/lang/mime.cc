@@ -1,0 +1,108 @@
+#include "lang/mime.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace wsie::lang {
+namespace {
+
+bool HeadContainsIgnoreCase(std::string_view head, std::string_view needle) {
+  if (needle.empty() || head.size() < needle.size()) return false;
+  for (size_t i = 0; i + needle.size() <= head.size(); ++i) {
+    if (EqualsIgnoreCase(head.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+bool LooksBinary(std::string_view head) {
+  if (head.empty()) return false;
+  size_t control = 0;
+  size_t sample = std::min<size_t>(head.size(), 256);
+  for (size_t i = 0; i < sample; ++i) {
+    unsigned char c = static_cast<unsigned char>(head[i]);
+    if (c == 0) return true;
+    if (c < 0x09) ++control;
+  }
+  return control * 10 > sample;  // >10% low control bytes.
+}
+
+}  // namespace
+
+const char* MimeClassName(MimeClass mime) {
+  switch (mime) {
+    case MimeClass::kHtml:
+      return "text/html";
+    case MimeClass::kPlainText:
+      return "text/plain";
+    case MimeClass::kXml:
+      return "text/xml";
+    case MimeClass::kPdf:
+      return "application/pdf";
+    case MimeClass::kImage:
+      return "image/*";
+    case MimeClass::kArchive:
+      return "application/zip";
+    case MimeClass::kBinaryOther:
+      return "application/octet-stream";
+    case MimeClass::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+bool MimeDetector::IsTextual(MimeClass mime) {
+  return mime == MimeClass::kHtml || mime == MimeClass::kPlainText ||
+         mime == MimeClass::kXml;
+}
+
+MimeDetection MimeDetector::Detect(std::string_view url,
+                                   std::string_view head) const {
+  // --- Magic bytes (a handful of common signatures, as Tika's default list).
+  if (head.size() >= 5 && head.substr(0, 5) == "%PDF-")
+    return {MimeClass::kPdf, true};
+  if (head.size() >= 4 && head.substr(0, 4) == "\x89PNG")
+    return {MimeClass::kImage, true};
+  if (head.size() >= 3 && head.substr(0, 3) == "\xff\xd8\xff")
+    return {MimeClass::kImage, true};
+  if (head.size() >= 4 && head.substr(0, 4) == "GIF8")
+    return {MimeClass::kImage, true};
+  if (head.size() >= 2 && head.substr(0, 2) == "PK")
+    return {MimeClass::kArchive, true};
+  if (HeadContainsIgnoreCase(head.substr(0, std::min<size_t>(head.size(), 256)),
+                             "<html") ||
+      HeadContainsIgnoreCase(head.substr(0, std::min<size_t>(head.size(), 256)),
+                             "<!doctype html"))
+    return {MimeClass::kHtml, true};
+  if (head.size() >= 5 && head.substr(0, 5) == "<?xml")
+    return {MimeClass::kXml, true};
+
+  // --- Extension fallback.
+  std::string path(url);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  size_t dot = path.rfind('.');
+  size_t slash = path.rfind('/');
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+    std::string ext = AsciiToLower(std::string_view(path).substr(dot + 1));
+    if (ext == "html" || ext == "htm" || ext == "php" || ext == "asp")
+      return {MimeClass::kHtml, false};
+    if (ext == "txt" || ext == "text") return {MimeClass::kPlainText, false};
+    if (ext == "xml" || ext == "rss") return {MimeClass::kXml, false};
+    if (ext == "pdf") return {MimeClass::kPdf, false};
+    if (ext == "png" || ext == "jpg" || ext == "jpeg" || ext == "gif")
+      return {MimeClass::kImage, false};
+    if (ext == "zip" || ext == "gz" || ext == "tar")
+      return {MimeClass::kArchive, false};
+    if (ext == "exe" || ext == "bin" || ext == "iso")
+      return {MimeClass::kBinaryOther, false};
+    // Unknown extensions fall through to the content heuristic.
+  }
+
+  if (LooksBinary(head)) return {MimeClass::kBinaryOther, false};
+  if (!head.empty()) return {MimeClass::kPlainText, false};
+  return {MimeClass::kUnknown, false};
+}
+
+}  // namespace wsie::lang

@@ -1,0 +1,46 @@
+#ifndef WSIE_LANG_MIME_H_
+#define WSIE_LANG_MIME_H_
+
+#include <string>
+#include <string_view>
+
+namespace wsie::lang {
+
+/// Coarse MIME classes the crawler distinguishes.
+enum class MimeClass {
+  kHtml,
+  kPlainText,
+  kXml,
+  kPdf,
+  kImage,
+  kArchive,
+  kBinaryOther,
+  kUnknown,
+};
+
+const char* MimeClassName(MimeClass mime);
+
+/// Detection result: the class plus whether it was decided from magic bytes
+/// or only from the URL extension (the weaker signal).
+struct MimeDetection {
+  MimeClass mime = MimeClass::kUnknown;
+  bool from_magic = false;
+};
+
+/// Tika-like MIME detector: first-n-bytes magic sniffing plus file-name
+/// extension matching, deliberately shipping "only a handful of common
+/// MIME-types" (Sect. 5 pitfall: embedded slides/PDFs pass as text when
+/// neither signal fires).
+class MimeDetector {
+ public:
+  /// `url` is used for extension matching; `head` should be the first bytes
+  /// of the document (any prefix works; 256 bytes is plenty).
+  MimeDetection Detect(std::string_view url, std::string_view head) const;
+
+  /// True if the detected class is textual (HTML, plain text, or XML).
+  static bool IsTextual(MimeClass mime);
+};
+
+}  // namespace wsie::lang
+
+#endif  // WSIE_LANG_MIME_H_

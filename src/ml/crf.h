@@ -1,0 +1,92 @@
+#ifndef WSIE_ML_CRF_H_
+#define WSIE_ML_CRF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsie::ml {
+
+/// Hashed feature vector for one sequence position. Features are strings
+/// hashed into a fixed-dimension weight space (feature hashing keeps model
+/// memory bounded and configurable — one of the Sect. 5 wishes: "research in
+/// more robust NER tools, with configurable memory consumption").
+using PositionFeatures = std::vector<uint64_t>;
+
+/// Stable 64-bit FNV-1a string hash used for feature hashing.
+uint64_t HashFeature(std::string_view feature);
+
+/// A training instance: per-position features and gold label ids.
+struct CrfInstance {
+  std::vector<PositionFeatures> features;
+  std::vector<int> labels;
+};
+
+/// Training options for the linear-chain CRF.
+struct CrfTrainOptions {
+  int epochs = 8;
+  double learning_rate = 0.1;
+  double l2 = 1e-6;
+  uint64_t shuffle_seed = 42;
+};
+
+/// Linear-chain Conditional Random Field.
+///
+/// The model class behind the paper's ML-based entity taggers (BANNER,
+/// ChemSpot, and the in-house disease tagger all build on Mallet CRFs).
+/// Implements exact inference: forward-backward for training gradients and
+/// Viterbi for decoding. Trained with stochastic gradient descent on the
+/// L2-regularized conditional log-likelihood.
+class LinearChainCrf {
+ public:
+  /// `num_labels` output labels; feature weights are hashed into
+  /// `feature_dim` buckets per label.
+  LinearChainCrf(int num_labels, size_t feature_dim = 1 << 18);
+
+  /// Trains from scratch on `data`.
+  void Train(const std::vector<CrfInstance>& data,
+             const CrfTrainOptions& options = {});
+
+  /// Viterbi-decodes the best label sequence.
+  std::vector<int> Decode(
+      const std::vector<PositionFeatures>& features) const;
+
+  /// Per-sequence conditional log-likelihood of `instance` (diagnostics).
+  double LogLikelihood(const CrfInstance& instance) const;
+
+  int num_labels() const { return num_labels_; }
+  size_t feature_dim() const { return feature_dim_; }
+
+  /// Model memory footprint in bytes (weights only).
+  size_t ApproxMemoryBytes() const {
+    return (state_weights_.size() + transition_weights_.size()) *
+           sizeof(double);
+  }
+
+ private:
+  /// Unnormalized per-label scores at one position.
+  void StateScores(const PositionFeatures& feats,
+                   std::vector<double>& out) const;
+  /// Forward-backward; returns log partition function. `alpha`/`beta` are
+  /// [n][L] matrices in log space.
+  double ForwardBackward(const std::vector<PositionFeatures>& features,
+                         std::vector<std::vector<double>>& alpha,
+                         std::vector<std::vector<double>>& beta) const;
+  void AccumulateGradient(const CrfInstance& instance, double scale,
+                          std::vector<double>& state_grad,
+                          std::vector<double>& trans_grad) const;
+
+  size_t StateIndex(uint64_t hashed_feature, int label) const {
+    return (hashed_feature % feature_dim_) * num_labels_ + label;
+  }
+
+  int num_labels_;
+  size_t feature_dim_;
+  std::vector<double> state_weights_;       // [feature_dim_ * num_labels_]
+  std::vector<double> transition_weights_;  // [num_labels_ * num_labels_]
+};
+
+}  // namespace wsie::ml
+
+#endif  // WSIE_ML_CRF_H_

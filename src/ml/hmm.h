@@ -1,0 +1,88 @@
+#ifndef WSIE_ML_HMM_H_
+#define WSIE_ML_HMM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace wsie::ml {
+
+/// A labeled training sequence: parallel observation / state-id vectors.
+struct LabeledSequence {
+  std::vector<std::string> observations;
+  std::vector<int> states;
+};
+
+/// Trigram (order-3 in the paper's terminology, as MedPost) Hidden Markov
+/// Model for sequence labeling, with suffix-based emission back-off for
+/// unknown words.
+///
+/// Transition model: P(t_i | t_{i-2}, t_{i-1}) with deleted-interpolation
+/// smoothing over trigram/bigram/unigram estimates. Emission model:
+/// P(w | t) with Laplace smoothing; out-of-vocabulary words back off to a
+/// suffix model P(t | suffix) of suffix lengths 1..4 inverted via Bayes.
+/// Decoding is exact Viterbi over tag-pair states, which is linear in the
+/// sequence length and quadratic-ish in the tag-set size — matching the
+/// "in principle linear, with large fluctuations in practice" behaviour of
+/// Fig. 3(a).
+class TrigramHmm {
+ public:
+  /// Creates a model over `num_states` hidden states.
+  explicit TrigramHmm(int num_states);
+
+  /// Accumulates counts from one labeled sequence. Call Finalize() after all
+  /// training data has been added.
+  void AddTrainingSequence(const LabeledSequence& seq);
+
+  /// Freezes counts into probability tables. Must be called once before
+  /// Decode(); subsequent AddTrainingSequence() calls require re-Finalize().
+  void Finalize();
+
+  /// Viterbi-decodes the most likely state sequence for `observations`.
+  /// Requires Finalize() to have been called.
+  std::vector<int> Decode(const std::vector<std::string>& observations) const;
+
+  int num_states() const { return num_states_; }
+  bool finalized() const { return finalized_; }
+  size_t vocabulary_size() const { return word_tag_counts_.size(); }
+
+ private:
+  /// Table-backed after Finalize(); -1 in t2/t1 selects the lower-order
+  /// tables (sequence starts).
+  double LogTransition(int t2, int t1, int t0) const;
+  /// Direct interpolated computation (used to fill the tables).
+  double ComputeLogTransition(int t2, int t1, int t0) const;
+  /// Per-tag emission log-probabilities for `word` (uses suffix back-off for
+  /// unknown words).
+  std::vector<double> EmissionLogProbs(const std::string& word) const;
+
+  int num_states_;
+  bool finalized_ = false;
+
+  // Raw counts.
+  std::unordered_map<std::string, std::vector<uint32_t>> word_tag_counts_;
+  std::vector<uint64_t> tag_counts_;
+  std::vector<std::vector<uint64_t>> bigram_counts_;   // [t1][t0]
+  std::unordered_map<uint64_t, uint64_t> trigram_counts_;  // key(t2,t1,t0)
+  std::unordered_map<std::string, std::vector<uint32_t>> suffix_tag_counts_;
+  uint64_t total_tags_ = 0;
+
+  // Interpolation weights (computed in Finalize()).
+  double lambda1_ = 0.1, lambda2_ = 0.3, lambda3_ = 0.6;
+
+  // Dense log-probability tables precomputed by Finalize() so that Decode()
+  // does no hashing in its inner loop.
+  std::vector<double> trans3_;  // [t2][t1][t0]
+  std::vector<double> trans2_;  // [t1][t0] (no trigram context)
+  std::vector<double> trans1_;  // [t0]
+
+  static uint64_t TrigramKey(int t2, int t1, int t0) {
+    return (static_cast<uint64_t>(t2) << 32) |
+           (static_cast<uint64_t>(t1) << 16) | static_cast<uint64_t>(t0);
+  }
+};
+
+}  // namespace wsie::ml
+
+#endif  // WSIE_ML_HMM_H_

@@ -1,0 +1,31 @@
+#include "ml/metrics.h"
+
+namespace wsie::ml {
+
+std::vector<std::vector<size_t>> KFoldSplits(size_t num_items, size_t k) {
+  if (k == 0) k = 1;
+  if (k > num_items && num_items > 0) k = num_items;
+  std::vector<std::vector<size_t>> folds(k);
+  for (size_t i = 0; i < num_items; ++i) {
+    folds[i % k].push_back(i);
+  }
+  return folds;
+}
+
+CrossValidationResult SummarizeFolds(std::vector<BinaryConfusion> folds) {
+  CrossValidationResult result;
+  result.fold_confusions = std::move(folds);
+  if (result.fold_confusions.empty()) return result;
+  for (const auto& c : result.fold_confusions) {
+    result.mean_precision += c.Precision();
+    result.mean_recall += c.Recall();
+    result.mean_f1 += c.F1();
+  }
+  double k = static_cast<double>(result.fold_confusions.size());
+  result.mean_precision /= k;
+  result.mean_recall /= k;
+  result.mean_f1 /= k;
+  return result;
+}
+
+}  // namespace wsie::ml

@@ -1,0 +1,71 @@
+#ifndef WSIE_ML_METRICS_H_
+#define WSIE_ML_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wsie::ml {
+
+/// Binary classification counts and the derived quality measures the paper
+/// reports for the crawl classifier and the boilerplate detector (Sect. 4.1).
+struct BinaryConfusion {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t true_negatives = 0;
+  uint64_t false_negatives = 0;
+
+  void Add(bool predicted_positive, bool actually_positive) {
+    if (predicted_positive && actually_positive) ++true_positives;
+    if (predicted_positive && !actually_positive) ++false_positives;
+    if (!predicted_positive && !actually_positive) ++true_negatives;
+    if (!predicted_positive && actually_positive) ++false_negatives;
+  }
+
+  uint64_t total() const {
+    return true_positives + false_positives + true_negatives + false_negatives;
+  }
+
+  double Precision() const {
+    uint64_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double Recall() const {
+    uint64_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(denom);
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double Accuracy() const {
+    uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(true_positives + true_negatives) /
+                        static_cast<double>(t);
+  }
+};
+
+/// Splits `num_items` indices into `k` folds (as equal as possible) and
+/// returns, for each fold, the item indices held out for testing. Items are
+/// assigned round-robin for determinism.
+std::vector<std::vector<size_t>> KFoldSplits(size_t num_items, size_t k);
+
+/// Mean of per-fold precision/recall (the "10-fold cross validation"
+/// protocol of Sect. 4.1).
+struct CrossValidationResult {
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  double mean_f1 = 0.0;
+  std::vector<BinaryConfusion> fold_confusions;
+};
+
+CrossValidationResult SummarizeFolds(std::vector<BinaryConfusion> folds);
+
+}  // namespace wsie::ml
+
+#endif  // WSIE_ML_METRICS_H_

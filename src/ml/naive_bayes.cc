@@ -1,0 +1,83 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsie::ml {
+
+NaiveBayesClassifier::NaiveBayesClassifier(std::vector<std::string> labels,
+                                           double alpha)
+    : labels_(std::move(labels)), alpha_(alpha), class_stats_(labels_.size()) {}
+
+void NaiveBayesClassifier::Update(size_t label_index,
+                                  const text::TermCounts& features) {
+  ClassStats& stats = class_stats_[label_index];
+  ++stats.doc_count;
+  ++total_docs_;
+  for (const auto& [term, count] : features) {
+    stats.term_counts[term] += count;
+    stats.token_count += count;
+    ++vocabulary_[term];
+  }
+}
+
+std::vector<double> NaiveBayesClassifier::PredictProbabilities(
+    const text::TermCounts& features) const {
+  const size_t num_classes = labels_.size();
+  std::vector<double> log_probs(num_classes, 0.0);
+  const double vocab = static_cast<double>(
+      std::max<size_t>(vocabulary_.size(), 1));
+  for (size_t c = 0; c < num_classes; ++c) {
+    const ClassStats& stats = class_stats_[c];
+    // Log prior with smoothing so an empty class does not produce -inf.
+    double prior = (static_cast<double>(stats.doc_count) + alpha_) /
+                   (static_cast<double>(total_docs_) +
+                    alpha_ * static_cast<double>(num_classes));
+    double lp = std::log(prior);
+    double denom = static_cast<double>(stats.token_count) + alpha_ * vocab;
+    for (const auto& [term, count] : features) {
+      auto it = stats.term_counts.find(term);
+      double term_count = it == stats.term_counts.end()
+                              ? 0.0
+                              : static_cast<double>(it->second);
+      lp += static_cast<double>(count) *
+            std::log((term_count + alpha_) / denom);
+    }
+    log_probs[c] = lp;
+  }
+  // Normalize via log-sum-exp.
+  double max_lp = *std::max_element(log_probs.begin(), log_probs.end());
+  double sum = 0.0;
+  for (double& lp : log_probs) {
+    lp = std::exp(lp - max_lp);
+    sum += lp;
+  }
+  for (double& lp : log_probs) lp /= sum;
+  return log_probs;
+}
+
+size_t NaiveBayesClassifier::Predict(const text::TermCounts& features) const {
+  std::vector<double> probs = PredictProbabilities(features);
+  return static_cast<size_t>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+double NaiveBayesClassifier::PosteriorOf(
+    size_t label_index, const text::TermCounts& features) const {
+  return PredictProbabilities(features)[label_index];
+}
+
+size_t NaiveBayesClassifier::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& stats : class_stats_) {
+    for (const auto& [term, count] : stats.term_counts) {
+      bytes += term.size() + sizeof(count) + 32;  // node + bucket overhead
+    }
+  }
+  for (const auto& [term, count] : vocabulary_) {
+    bytes += term.size() + sizeof(count) + 32;
+  }
+  return bytes;
+}
+
+}  // namespace wsie::ml

@@ -1,0 +1,64 @@
+#ifndef WSIE_ML_NAIVE_BAYES_H_
+#define WSIE_ML_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/bag_of_words.h"
+
+namespace wsie::ml {
+
+/// Multinomial Naive Bayes text classifier with Laplace smoothing.
+///
+/// This is the relevance classifier of the focused crawler (Sect. 2.1). The
+/// paper chose Naive Bayes for (a) robustness to class imbalance — there is
+/// no rational prior on the fraction of biomedical pages during a crawl —
+/// and (b) incremental model updates, which Update() supports.
+class NaiveBayesClassifier {
+ public:
+  /// Creates a classifier over the given class labels (e.g. {"relevant",
+  /// "irrelevant"}). `alpha` is the Laplace smoothing pseudo-count.
+  explicit NaiveBayesClassifier(std::vector<std::string> labels,
+                                double alpha = 1.0);
+
+  /// Adds one training document to class `label_index`. Incremental: can be
+  /// called at any time, including after Predict() calls.
+  void Update(size_t label_index, const text::TermCounts& features);
+
+  /// Returns per-class posterior probabilities (normalized, sums to 1).
+  std::vector<double> PredictProbabilities(
+      const text::TermCounts& features) const;
+
+  /// Returns the arg-max class index.
+  size_t Predict(const text::TermCounts& features) const;
+
+  /// Returns the posterior of class `label_index`.
+  double PosteriorOf(size_t label_index, const text::TermCounts& features) const;
+
+  const std::vector<std::string>& labels() const { return labels_; }
+  size_t vocabulary_size() const { return vocabulary_.size(); }
+  uint64_t documents_seen() const { return total_docs_; }
+
+  /// Serialized model size estimate in bytes (for the memory accounting of
+  /// Sect. 4.2).
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  struct ClassStats {
+    uint64_t doc_count = 0;
+    uint64_t token_count = 0;
+    std::unordered_map<std::string, uint64_t> term_counts;
+  };
+
+  std::vector<std::string> labels_;
+  double alpha_;
+  std::vector<ClassStats> class_stats_;
+  std::unordered_map<std::string, uint32_t> vocabulary_;
+  uint64_t total_docs_ = 0;
+};
+
+}  // namespace wsie::ml
+
+#endif  // WSIE_ML_NAIVE_BAYES_H_

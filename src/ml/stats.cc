@@ -1,0 +1,134 @@
+#include "ml/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsie::ml {
+namespace {
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double idx = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/// Standard normal survival function via the complementary error function.
+double NormalSf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+Descriptive Describe(std::vector<double> values) {
+  Descriptive d;
+  d.n = values.size();
+  if (values.empty()) return d;
+  std::sort(values.begin(), values.end());
+  d.min = values.front();
+  d.max = values.back();
+  d.median = Percentile(values, 0.5);
+  d.p25 = Percentile(values, 0.25);
+  d.p75 = Percentile(values, 0.75);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  d.mean = sum / static_cast<double>(d.n);
+  double ss = 0.0;
+  for (double v : values) ss += (v - d.mean) * (v - d.mean);
+  d.stddev = d.n > 1 ? std::sqrt(ss / static_cast<double>(d.n - 1)) : 0.0;
+  return d;
+}
+
+MannWhitneyResult MannWhitneyU(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  MannWhitneyResult result;
+  const size_t n1 = a.size(), n2 = b.size();
+  if (n1 == 0 || n2 == 0) return result;
+
+  // Pool, rank with midranks for ties.
+  struct Item {
+    double value;
+    int group;
+  };
+  std::vector<Item> pooled;
+  pooled.reserve(n1 + n2);
+  for (double v : a) pooled.push_back({v, 0});
+  for (double v : b) pooled.push_back({v, 1});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Item& x, const Item& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < pooled.size()) {
+    size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    double tie_size = static_cast<double>(j - i);
+    if (tie_size > 1) tie_correction += tie_size * (tie_size * tie_size - 1.0);
+    for (size_t k = i; k < j; ++k) {
+      if (pooled[k].group == 0) rank_sum_a += midrank;
+    }
+    i = j;
+  }
+
+  double u1 = rank_sum_a - static_cast<double>(n1) *
+                               (static_cast<double>(n1) + 1.0) / 2.0;
+  double u2 = static_cast<double>(n1) * static_cast<double>(n2) - u1;
+  result.u_statistic = std::min(u1, u2);
+
+  double n = static_cast<double>(n1 + n2);
+  double mean_u = static_cast<double>(n1) * static_cast<double>(n2) / 2.0;
+  double var_u = static_cast<double>(n1) * static_cast<double>(n2) / 12.0 *
+                 ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity correction.
+  double z = (u1 - mean_u);
+  z += (z < 0) ? 0.5 : -0.5;
+  z /= std::sqrt(var_u);
+  result.z_score = z;
+  result.p_value = 2.0 * NormalSf(std::fabs(z));
+  if (result.p_value > 1.0) result.p_value = 1.0;
+  return result;
+}
+
+Distribution NormalizeCounts(const std::map<std::string, uint64_t>& counts) {
+  Distribution dist;
+  double total = 0.0;
+  for (const auto& [key, count] : counts) total += static_cast<double>(count);
+  if (total <= 0.0) return dist;
+  for (const auto& [key, count] : counts) {
+    dist[key] = static_cast<double>(count) / total;
+  }
+  return dist;
+}
+
+double KlDivergence(const Distribution& p, const Distribution& q,
+                    double epsilon) {
+  double kl = 0.0;
+  for (const auto& [key, pv] : p) {
+    if (pv <= 0.0) continue;
+    auto it = q.find(key);
+    double qv = it == q.end() ? epsilon : std::max(it->second, epsilon);
+    kl += pv * std::log2(pv / qv);
+  }
+  return kl;
+}
+
+double JensenShannonDivergence(const Distribution& p, const Distribution& q) {
+  // M = (P + Q) / 2 over the union support.
+  Distribution m = p;
+  for (auto& [key, value] : m) value *= 0.5;
+  for (const auto& [key, qv] : q) m[key] += 0.5 * qv;
+  double jsd = 0.5 * KlDivergence(p, m) + 0.5 * KlDivergence(q, m);
+  // Numerical guards: the epsilon smoothing in KlDivergence can push the
+  // result marginally outside the theoretical [0, 1] bounds.
+  if (jsd < 0.0) jsd = 0.0;
+  if (jsd > 1.0) jsd = 1.0;
+  return jsd;
+}
+
+}  // namespace wsie::ml

@@ -1,0 +1,60 @@
+#ifndef WSIE_ML_STATS_H_
+#define WSIE_ML_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsie::ml {
+
+/// Descriptive statistics over a sample.
+struct Descriptive {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Computes descriptive statistics of `values` (copies and sorts internally).
+Descriptive Describe(std::vector<double> values);
+
+/// Result of a two-sample Mann-Whitney-Wilcoxon rank test, the significance
+/// test the paper applies to all per-document linguistic measures
+/// (Sect. 4.3.1: "Differences in obtained measures were statistically
+/// assessed using the Mann-Whitney-Wilcoxon signed rank test").
+struct MannWhitneyResult {
+  double u_statistic = 0.0;
+  double z_score = 0.0;
+  double p_value = 1.0;  ///< Two-sided, normal approximation with tie correction.
+};
+
+/// Two-sided Mann-Whitney-Wilcoxon U test via the normal approximation
+/// (valid for the sample sizes used here; exact enumeration is not needed).
+MannWhitneyResult MannWhitneyU(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Discrete probability distribution keyed by item name (e.g. entity name →
+/// relative frequency). Normalization is handled by the divergence functions.
+using Distribution = std::map<std::string, double>;
+
+/// Kullback-Leibler divergence KL(p || q) in bits over the union support,
+/// with q smoothed by `epsilon` mass on items absent from q.
+double KlDivergence(const Distribution& p, const Distribution& q,
+                    double epsilon = 1e-10);
+
+/// Jensen-Shannon divergence in bits, bounded in [0, 1] (base-2 logs), the
+/// measure the paper uses to compare entity-name distributions across
+/// corpora (Sect. 4.3.2).
+double JensenShannonDivergence(const Distribution& p, const Distribution& q);
+
+/// Builds a normalized Distribution from raw counts.
+Distribution NormalizeCounts(const std::map<std::string, uint64_t>& counts);
+
+}  // namespace wsie::ml
+
+#endif  // WSIE_ML_STATS_H_

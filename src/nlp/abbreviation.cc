@@ -1,0 +1,145 @@
+#include "nlp/abbreviation.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace wsie::nlp {
+namespace {
+
+bool IsLetter(char c) { return std::isalpha(static_cast<unsigned char>(c)); }
+bool IsAlnum(char c) { return std::isalnum(static_cast<unsigned char>(c)); }
+
+char Lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+}  // namespace
+
+bool AbbreviationDetector::IsValidShortForm(std::string_view text) {
+  if (text.size() < 2 || text.size() > 10) return false;
+  if (!IsAlnum(text.front())) return false;
+  size_t words = 1, letters = 0;
+  for (char c : text) {
+    if (c == ' ') ++words;
+    if (IsLetter(c)) ++letters;
+  }
+  return words <= 2 && letters >= 1;
+}
+
+size_t AbbreviationDetector::MatchLongForm(std::string_view candidate_span,
+                                           std::string_view short_form) {
+  // Schwartz-Hearst: scan the short form right-to-left; for each character
+  // (skipping non-alphanumerics) find its rightmost occurrence in the
+  // candidate span to the left of the previous match. The first short-form
+  // character must additionally sit at the start of a long-form word.
+  if (short_form.empty() || candidate_span.empty()) return std::string::npos;
+  long long s_index = static_cast<long long>(short_form.size()) - 1;
+  long long l_index = static_cast<long long>(candidate_span.size()) - 1;
+  while (s_index >= 0) {
+    char c = Lower(short_form[static_cast<size_t>(s_index)]);
+    if (!IsAlnum(short_form[static_cast<size_t>(s_index)])) {
+      --s_index;
+      continue;
+    }
+    bool is_first = true;
+    for (long long k = s_index - 1; k >= 0; --k) {
+      if (IsAlnum(short_form[static_cast<size_t>(k)])) {
+        is_first = false;
+        break;
+      }
+    }
+    // Find the character in the candidate span, right to left; the first
+    // character of the short form must begin a word.
+    while (l_index >= 0 &&
+           (Lower(candidate_span[static_cast<size_t>(l_index)]) != c ||
+            (is_first && l_index > 0 &&
+             IsAlnum(candidate_span[static_cast<size_t>(l_index) - 1])))) {
+      --l_index;
+    }
+    if (l_index < 0) return std::string::npos;
+    --l_index;
+    --s_index;
+  }
+  // The long form starts at the word containing the last matched character.
+  size_t start = static_cast<size_t>(l_index + 1);
+  while (start > 0 && IsAlnum(candidate_span[start - 1])) --start;
+  return start;
+}
+
+std::vector<AbbreviationDefinition> AbbreviationDetector::Find(
+    std::string_view sentence) const {
+  std::vector<AbbreviationDefinition> definitions;
+  for (size_t open = sentence.find('('); open != std::string_view::npos;
+       open = sentence.find('(', open + 1)) {
+    size_t close = sentence.find(')', open + 1);
+    if (close == std::string_view::npos) break;
+    std::string_view inner = sentence.substr(open + 1, close - open - 1);
+    std::string_view short_form(StripAsciiWhitespace(inner));
+    if (!IsValidShortForm(short_form)) continue;
+
+    // Candidate long form: up to min(|SF|+5, 2*|SF|) words before '('.
+    size_t max_words = std::min(short_form.size() + 5, 2 * short_form.size());
+    size_t span_end = open;
+    while (span_end > 0 &&
+           std::isspace(static_cast<unsigned char>(sentence[span_end - 1])))
+      --span_end;
+    size_t span_begin = span_end;
+    size_t words = 0;
+    while (span_begin > 0 && words < max_words) {
+      // Step over one word (plus preceding whitespace).
+      while (span_begin > 0 &&
+             !std::isspace(static_cast<unsigned char>(sentence[span_begin - 1])))
+        --span_begin;
+      ++words;
+      if (span_begin == 0 || words >= max_words) break;
+      while (span_begin > 0 &&
+             std::isspace(static_cast<unsigned char>(sentence[span_begin - 1])))
+        --span_begin;
+    }
+    std::string_view candidate =
+        sentence.substr(span_begin, span_end - span_begin);
+    size_t long_start = MatchLongForm(candidate, short_form);
+    if (long_start == std::string::npos) continue;
+    // Require the long form to be longer than the short form (otherwise it
+    // is not an abbreviation definition).
+    size_t long_begin = span_begin + long_start;
+    if (span_end - long_begin <= short_form.size()) continue;
+
+    AbbreviationDefinition def;
+    def.short_form = std::string(short_form);
+    def.long_form = std::string(sentence.substr(long_begin, span_end - long_begin));
+    // Short-form offsets exclude the parentheses.
+    size_t sf_begin = open + 1;
+    while (sf_begin < close &&
+           std::isspace(static_cast<unsigned char>(sentence[sf_begin])))
+      ++sf_begin;
+    def.short_begin = sf_begin;
+    def.short_end = sf_begin + short_form.size();
+    def.long_begin = long_begin;
+    def.long_end = span_end;
+    definitions.push_back(std::move(def));
+  }
+  return definitions;
+}
+
+std::vector<ie::Annotation> AbbreviationDetector::FindAsAnnotations(
+    uint64_t doc_id, uint32_t sentence_id, std::string_view sentence,
+    size_t base_offset) const {
+  std::vector<ie::Annotation> annotations;
+  for (const AbbreviationDefinition& def : Find(sentence)) {
+    ie::Annotation a;
+    a.doc_id = doc_id;
+    a.sentence_id = sentence_id;
+    a.begin = static_cast<uint32_t>(base_offset + def.long_begin);
+    a.end = static_cast<uint32_t>(base_offset + def.short_end + 1);  // ')'
+    a.method = ie::AnnotationMethod::kRegex;
+    a.category = "abbreviation";
+    a.surface = def.short_form + "=" + def.long_form;
+    annotations.push_back(std::move(a));
+  }
+  return annotations;
+}
+
+}  // namespace wsie::nlp

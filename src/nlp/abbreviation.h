@@ -1,0 +1,57 @@
+#ifndef WSIE_NLP_ABBREVIATION_H_
+#define WSIE_NLP_ABBREVIATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ie/annotation.h"
+
+namespace wsie::nlp {
+
+/// A detected abbreviation definition: "long form (SF)".
+struct AbbreviationDefinition {
+  std::string short_form;
+  std::string long_form;
+  size_t short_begin = 0;  ///< offsets of the short form (excl. parens)
+  size_t short_end = 0;
+  size_t long_begin = 0;
+  size_t long_end = 0;
+};
+
+/// Schwartz-Hearst abbreviation detector.
+///
+/// The abstract lists abbreviation usage among the linguistically motivated
+/// properties compared across the corpora, and Sect. 4.3.1 notes that
+/// parentheses "can hint to abbreviations". This implements the classic
+/// Schwartz & Hearst (PSB 2003) algorithm: a parenthesized candidate short
+/// form is matched against the words preceding the parenthesis by scanning
+/// the short form right-to-left and requiring its first character to start
+/// a word of the long form.
+class AbbreviationDetector {
+ public:
+  /// Finds abbreviation definitions in one sentence.
+  std::vector<AbbreviationDefinition> Find(std::string_view sentence) const;
+
+  /// Finds definitions and renders them as annotations (category
+  /// "abbreviation", surface "SF=long form") with document offsets.
+  std::vector<ie::Annotation> FindAsAnnotations(uint64_t doc_id,
+                                                uint32_t sentence_id,
+                                                std::string_view sentence,
+                                                size_t base_offset = 0) const;
+
+  /// True if `text` is a plausible short form: 2-10 chars, at most two
+  /// words, starts alphanumeric, contains at least one letter.
+  static bool IsValidShortForm(std::string_view text);
+
+  /// Core matcher: returns the start offset of the long form inside
+  /// `candidate_span` (the text preceding the parenthesis), or npos when
+  /// `short_form` cannot be aligned per the Schwartz-Hearst rules.
+  static size_t MatchLongForm(std::string_view candidate_span,
+                              std::string_view short_form);
+};
+
+}  // namespace wsie::nlp
+
+#endif  // WSIE_NLP_ABBREVIATION_H_

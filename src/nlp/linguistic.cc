@@ -1,0 +1,168 @@
+#include "nlp/linguistic.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace wsie::nlp {
+namespace {
+
+using ::wsie::ie::Annotation;
+using ::wsie::ie::AnnotationMethod;
+
+struct PronounEntry {
+  const char* word;
+  PronounClass cls;
+};
+
+constexpr PronounEntry kPronouns[] = {
+    // Personal subject.
+    {"i", PronounClass::kPersonalSubject},
+    {"he", PronounClass::kPersonalSubject},
+    {"she", PronounClass::kPersonalSubject},
+    {"we", PronounClass::kPersonalSubject},
+    {"they", PronounClass::kPersonalSubject},
+    {"it", PronounClass::kPersonalSubject},
+    {"you", PronounClass::kPersonalSubject},
+    // Object.
+    {"me", PronounClass::kObject},
+    {"him", PronounClass::kObject},
+    {"us", PronounClass::kObject},
+    {"them", PronounClass::kObject},
+    // Possessive.
+    {"my", PronounClass::kPossessive},
+    {"his", PronounClass::kPossessive},
+    {"its", PronounClass::kPossessive},
+    {"our", PronounClass::kPossessive},
+    {"their", PronounClass::kPossessive},
+    {"mine", PronounClass::kPossessive},
+    {"theirs", PronounClass::kPossessive},
+    {"hers", PronounClass::kPossessive},
+    // Demonstrative.
+    {"this", PronounClass::kDemonstrative},
+    {"that", PronounClass::kDemonstrative},
+    {"these", PronounClass::kDemonstrative},
+    {"those", PronounClass::kDemonstrative},
+    // Relative.
+    {"who", PronounClass::kRelative},
+    {"whom", PronounClass::kRelative},
+    {"whose", PronounClass::kRelative},
+    {"which", PronounClass::kRelative},
+    // Reflexive.
+    {"myself", PronounClass::kReflexive},
+    {"himself", PronounClass::kReflexive},
+    {"herself", PronounClass::kReflexive},
+    {"itself", PronounClass::kReflexive},
+    {"ourselves", PronounClass::kReflexive},
+    {"themselves", PronounClass::kReflexive},
+};
+
+// "her" is ambiguous (object/possessive); counted as object per the paper's
+// emphasis on object pronouns for co-reference.
+constexpr PronounEntry kHer = {"her", PronounClass::kObject};
+
+Annotation MakeAnnotation(uint64_t doc_id, uint32_t sentence_id, size_t begin,
+                          size_t end, std::string surface,
+                          std::string category) {
+  Annotation a;
+  a.doc_id = doc_id;
+  a.sentence_id = sentence_id;
+  a.begin = static_cast<uint32_t>(begin);
+  a.end = static_cast<uint32_t>(end);
+  a.method = AnnotationMethod::kRegex;
+  a.surface = std::move(surface);
+  a.category = std::move(category);
+  return a;
+}
+
+}  // namespace
+
+const char* PronounClassName(PronounClass cls) {
+  switch (cls) {
+    case PronounClass::kPersonalSubject:
+      return "personal";
+    case PronounClass::kObject:
+      return "object";
+    case PronounClass::kPossessive:
+      return "possessive";
+    case PronounClass::kDemonstrative:
+      return "demonstrative";
+    case PronounClass::kRelative:
+      return "relative";
+    case PronounClass::kReflexive:
+      return "reflexive";
+    case PronounClass::kNumClasses:
+      return "none";
+  }
+  return "none";
+}
+
+LinguisticExtractor::LinguisticExtractor() = default;
+
+PronounClass LinguisticExtractor::ClassifyPronoun(
+    std::string_view lowercase_token) const {
+  if (lowercase_token == kHer.word) return kHer.cls;
+  for (const auto& entry : kPronouns) {
+    if (lowercase_token == entry.word) return entry.cls;
+  }
+  return PronounClass::kNumClasses;
+}
+
+std::vector<Annotation> LinguisticExtractor::FindNegations(
+    uint64_t doc_id, uint32_t sentence_id, std::string_view sentence,
+    size_t base_offset) const {
+  static const text::Tokenizer kTokenizer;
+  std::vector<Annotation> out;
+  for (const auto& tok : kTokenizer.Tokenize(sentence, base_offset)) {
+    std::string lower = AsciiToLower(tok.text);
+    if (lower == "not" || lower == "nor" || lower == "neither") {
+      out.push_back(MakeAnnotation(doc_id, sentence_id, tok.begin, tok.end,
+                                   tok.text, "negation"));
+    }
+  }
+  return out;
+}
+
+std::vector<Annotation> LinguisticExtractor::FindPronouns(
+    uint64_t doc_id, uint32_t sentence_id, std::string_view sentence,
+    size_t base_offset) const {
+  static const text::Tokenizer kTokenizer;
+  std::vector<Annotation> out;
+  for (const auto& tok : kTokenizer.Tokenize(sentence, base_offset)) {
+    std::string lower = AsciiToLower(tok.text);
+    PronounClass cls = ClassifyPronoun(lower);
+    if (cls == PronounClass::kNumClasses) continue;
+    out.push_back(MakeAnnotation(
+        doc_id, sentence_id, tok.begin, tok.end, tok.text,
+        std::string("pronoun/") + PronounClassName(cls)));
+  }
+  return out;
+}
+
+std::vector<Annotation> LinguisticExtractor::FindParentheses(
+    uint64_t doc_id, uint32_t sentence_id, std::string_view sentence,
+    size_t base_offset) const {
+  std::vector<Annotation> out;
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < sentence.size(); ++i) {
+    if (sentence[i] == '(') {
+      stack.push_back(i);
+    } else if (sentence[i] == ')' && !stack.empty()) {
+      size_t open = stack.back();
+      stack.pop_back();
+      out.push_back(MakeAnnotation(
+          doc_id, sentence_id, base_offset + open, base_offset + i + 1,
+          std::string(sentence.substr(open, i - open + 1)), "parenthesis"));
+    }
+  }
+  // Unclosed parentheses run to the end of the sentence.
+  for (size_t open : stack) {
+    out.push_back(MakeAnnotation(
+        doc_id, sentence_id, base_offset + open, base_offset + sentence.size(),
+        std::string(sentence.substr(open)), "parenthesis"));
+  }
+  return out;
+}
+
+}  // namespace wsie::nlp

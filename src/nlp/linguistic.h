@@ -1,0 +1,64 @@
+#ifndef WSIE_NLP_LINGUISTIC_H_
+#define WSIE_NLP_LINGUISTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ie/annotation.h"
+
+namespace wsie::nlp {
+
+/// Pronoun classes counted in the corpus comparison. The paper counts six
+/// classes and singles out demonstrative, relative, and object pronouns as
+/// the classes most relevant for co-reference resolution (Sect. 4.3.1).
+enum class PronounClass {
+  kPersonalSubject,  ///< I, he, she, we, they, it
+  kObject,           ///< me, him, her, us, them
+  kPossessive,       ///< my, his, her, its, our, their, mine, theirs
+  kDemonstrative,    ///< this, that, these, those
+  kRelative,         ///< who, whom, whose, which
+  kReflexive,        ///< himself, themselves, ...
+  kNumClasses,
+};
+
+const char* PronounClassName(PronounClass cls);
+
+/// Linguistic regular-expression extractors of the Fig. 2 data flow: each
+/// sentence is scanned for negation, pronouns, and parenthesized text, and
+/// each mention becomes an annotation carrying document ID, sentence ID, and
+/// start/end positions (Sect. 3.2).
+class LinguisticExtractor {
+ public:
+  LinguisticExtractor();
+
+  /// Finds negation tokens ("not", "nor", "neither"), the paper's "rather
+  /// simple method for determining negations" (Sect. 4.3.1).
+  std::vector<ie::Annotation> FindNegations(uint64_t doc_id,
+                                            uint32_t sentence_id,
+                                            std::string_view sentence,
+                                            size_t base_offset = 0) const;
+
+  /// Finds pronouns of all six classes; the annotation's `category` is
+  /// "pronoun/<class>".
+  std::vector<ie::Annotation> FindPronouns(uint64_t doc_id,
+                                           uint32_t sentence_id,
+                                           std::string_view sentence,
+                                           size_t base_offset = 0) const;
+
+  /// Finds parenthesized spans "( ... )", category "parenthesis". Unclosed
+  /// parentheses extend to the end of the sentence (web-text tolerance).
+  std::vector<ie::Annotation> FindParentheses(uint64_t doc_id,
+                                              uint32_t sentence_id,
+                                              std::string_view sentence,
+                                              size_t base_offset = 0) const;
+
+  /// Classifies a single lowercase token; returns kNumClasses if it is not a
+  /// pronoun.
+  PronounClass ClassifyPronoun(std::string_view lowercase_token) const;
+};
+
+}  // namespace wsie::nlp
+
+#endif  // WSIE_NLP_LINGUISTIC_H_

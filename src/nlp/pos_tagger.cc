@@ -1,0 +1,163 @@
+#include "nlp/pos_tagger.h"
+
+#include <cstdio>
+
+namespace wsie::nlp {
+namespace {
+
+struct TagVocab {
+  PosTag tag;
+  std::vector<const char*> words;
+};
+
+// Word pools per tag for the synthetic treebank. Biomedical flavour mirrors
+// the Medline-abstract register the paper's tools were trained on.
+const std::vector<TagVocab>& Vocab() {
+  static const std::vector<TagVocab>* kVocab = new std::vector<TagVocab>{
+      {PosTag::kNN,
+       {"patient", "treatment", "protein", "gene", "disease", "therapy",
+        "study", "expression", "cancer", "cell", "drug", "receptor", "dose",
+        "response", "tumor", "mutation", "pathway", "risk", "trial",
+        "infection", "syndrome", "diagnosis", "tissue", "sample"}},
+      {PosTag::kNNS,
+       {"patients", "treatments", "proteins", "genes", "diseases", "studies",
+        "cells", "drugs", "receptors", "doses", "responses", "tumors",
+        "mutations", "pathways", "trials", "results", "effects", "levels"}},
+      {PosTag::kNNP,
+       {"BRCA1", "TP53", "Aspirin", "Medline", "Berlin", "FDA", "KRAS",
+        "Cactin", "Tamoxifen", "EGFR", "IL6", "PubMed"}},
+      {PosTag::kVB, {"treat", "inhibit", "reduce", "induce", "examine",
+                     "analyze", "compare", "measure", "assess", "evaluate"}},
+      {PosTag::kVBD,
+       {"treated", "inhibited", "reduced", "induced", "examined", "analyzed",
+        "compared", "measured", "observed", "reported", "showed"}},
+      {PosTag::kVBZ,
+       {"treats", "inhibits", "reduces", "induces", "regulates", "encodes",
+        "suggests", "indicates", "remains", "shows", "affects"}},
+      {PosTag::kVBG,
+       {"treating", "inhibiting", "reducing", "signaling", "increasing",
+        "comparing", "encoding", "targeting"}},
+      {PosTag::kVBN,
+       {"associated", "expressed", "observed", "activated", "identified",
+        "characterized", "linked", "implicated"}},
+      {PosTag::kJJ,
+       {"clinical", "significant", "chronic", "malignant", "molecular",
+        "genetic", "acute", "severe", "novel", "effective", "human",
+        "cellular", "therapeutic", "abnormal"}},
+      {PosTag::kRB,
+       {"significantly", "strongly", "rapidly", "highly", "frequently",
+        "rarely", "previously", "often", "usually"}},
+      {PosTag::kDT, {"the", "a", "an", "this", "these", "that", "each"}},
+      {PosTag::kIN,
+       {"in", "of", "with", "for", "on", "by", "after", "during", "between",
+        "against", "from"}},
+      {PosTag::kCC, {"and", "or", "but"}},
+      {PosTag::kPRP, {"it", "they", "we", "he", "she"}},
+      {PosTag::kTO, {"to"}},
+      {PosTag::kCD, {"12", "3", "50", "two", "100", "0.05", "five"}},
+      {PosTag::kMD, {"may", "can", "could", "should", "might"}},
+      {PosTag::kSYM, {"%", "+", "=", "/"}},
+      {PosTag::kPUNCT, {".", ",", "(", ")", ";", ":"}},
+  };
+  return *kVocab;
+}
+
+const std::vector<const char*>& WordsFor(PosTag tag) {
+  for (const auto& entry : Vocab()) {
+    if (entry.tag == tag) return entry.words;
+  }
+  static const std::vector<const char*> kEmpty;
+  return kEmpty;
+}
+
+// Sentence templates as tag sequences.
+const std::vector<std::vector<PosTag>>& Templates() {
+  using T = PosTag;
+  static const std::vector<std::vector<PosTag>>* kTemplates =
+      new std::vector<std::vector<PosTag>>{
+          {T::kDT, T::kJJ, T::kNN, T::kVBZ, T::kDT, T::kNN, T::kPUNCT},
+          {T::kDT, T::kNN, T::kVBD, T::kVBN, T::kIN, T::kDT, T::kJJ, T::kNN,
+           T::kPUNCT},
+          {T::kNNP, T::kVBZ, T::kDT, T::kJJ, T::kNN, T::kIN, T::kNNS,
+           T::kPUNCT},
+          {T::kNNS, T::kVBD, T::kRB, T::kJJ, T::kIN, T::kDT, T::kNN,
+           T::kPUNCT},
+          {T::kPRP, T::kVBD, T::kCD, T::kNNS, T::kIN, T::kDT, T::kNN,
+           T::kPUNCT},
+          {T::kDT, T::kNN, T::kIN, T::kNNP, T::kVBZ, T::kVBG, T::kNNS,
+           T::kPUNCT},
+          {T::kJJ, T::kNNS, T::kMD, T::kVB, T::kDT, T::kNN, T::kIN, T::kDT,
+           T::kJJ, T::kNN, T::kPUNCT},
+          {T::kDT, T::kNN, T::kVBZ, T::kVBN, T::kIN, T::kNNP, T::kCC,
+           T::kNNP, T::kPUNCT},
+          {T::kIN, T::kDT, T::kJJ, T::kNN, T::kPUNCT, T::kNNS, T::kVBD,
+           T::kJJ, T::kPUNCT},
+          {T::kNNP, T::kCC, T::kNNP, T::kVBD, T::kDT, T::kNNS, T::kIN,
+           T::kCD, T::kNNS, T::kPUNCT},
+          {T::kRB, T::kPUNCT, T::kDT, T::kNN, T::kVBZ, T::kRB, T::kVBN,
+           T::kIN, T::kDT, T::kNN, T::kPUNCT},
+          {T::kDT, T::kNNS, T::kVBD, T::kTO, T::kVB, T::kDT, T::kJJ, T::kNN,
+           T::kPUNCT},
+      };
+  return *kTemplates;
+}
+
+}  // namespace
+
+PosTagger::PosTagger() : hmm_(kNumPosTags) {}
+
+std::vector<PosSentence> PosTagger::GenerateTreebank(Rng& rng,
+                                                     size_t num_sentences) {
+  std::vector<PosSentence> sentences;
+  sentences.reserve(num_sentences);
+  const auto& templates = Templates();
+  for (size_t s = 0; s < num_sentences; ++s) {
+    const auto& tmpl = templates[rng.Uniform(templates.size())];
+    PosSentence sentence;
+    sentence.words.reserve(tmpl.size());
+    sentence.tags.reserve(tmpl.size());
+    for (PosTag tag : tmpl) {
+      const auto& pool = WordsFor(tag);
+      sentence.words.push_back(pool[rng.Uniform(pool.size())]);
+      sentence.tags.push_back(tag);
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  return sentences;
+}
+
+void PosTagger::Train(const std::vector<PosSentence>& sentences) {
+  for (const PosSentence& sentence : sentences) {
+    ml::LabeledSequence seq;
+    seq.observations = sentence.words;
+    seq.states.reserve(sentence.tags.size());
+    for (PosTag tag : sentence.tags) seq.states.push_back(static_cast<int>(tag));
+    hmm_.AddTrainingSequence(seq);
+  }
+  hmm_.Finalize();
+  trained_ = true;
+}
+
+void PosTagger::TrainDefault(uint64_t seed, size_t num_sentences) {
+  Rng rng(seed);
+  Train(GenerateTreebank(rng, num_sentences));
+}
+
+std::vector<PosTag> PosTagger::TagTokens(
+    const std::vector<text::Token>& tokens, bool* overflowed) const {
+  if (overflowed != nullptr) *overflowed = false;
+  if (max_tokens_ > 0 && tokens.size() > max_tokens_) {
+    if (overflowed != nullptr) *overflowed = true;
+    return {};
+  }
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const auto& tok : tokens) words.push_back(tok.text);
+  std::vector<int> states = hmm_.Decode(words);
+  std::vector<PosTag> tags;
+  tags.reserve(states.size());
+  for (int s : states) tags.push_back(static_cast<PosTag>(s));
+  return tags;
+}
+
+}  // namespace wsie::nlp

@@ -1,0 +1,66 @@
+#ifndef WSIE_NLP_POS_TAGGER_H_
+#define WSIE_NLP_POS_TAGGER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/hmm.h"
+#include "nlp/tagset.h"
+#include "text/token.h"
+
+namespace wsie::nlp {
+
+/// One POS-annotated sentence (training or output).
+struct PosSentence {
+  std::vector<std::string> words;
+  std::vector<PosTag> tags;
+};
+
+/// MedPost-like part-of-speech tagger: an order-3 (trigram) HMM over PosTag
+/// with suffix-based handling of unknown words (Sect. 3.2 / Fig. 3a).
+///
+/// Runtime is linear in sentence length in principle but fluctuates in
+/// practice, and pathologically long "sentences" (boilerplate-extraction
+/// debris) can exceed the configured hard limit, which reproduces the
+/// occasional crashes the paper reports: TagTokens() returns an empty
+/// result and sets `overflowed` for such inputs.
+class PosTagger {
+ public:
+  PosTagger();
+
+  /// Trains from POS-annotated sentences and finalizes the model.
+  void Train(const std::vector<PosSentence>& sentences);
+
+  /// Convenience: trains on `num_sentences` sentences drawn from the
+  /// built-in synthetic treebank (see GenerateTreebank).
+  void TrainDefault(uint64_t seed = 7, size_t num_sentences = 4000);
+
+  /// Tags a tokenized sentence. If the sentence exceeds
+  /// `max_tokens_per_sentence`, returns an empty vector and sets
+  /// *overflowed = true (the caller decides whether to crash, skip, or cap —
+  /// the trade-off discussed in Sect. 5).
+  std::vector<PosTag> TagTokens(const std::vector<text::Token>& tokens,
+                                bool* overflowed = nullptr) const;
+
+  /// Hard token limit per sentence (0 = unlimited).
+  void set_max_tokens_per_sentence(size_t limit) { max_tokens_ = limit; }
+  size_t max_tokens_per_sentence() const { return max_tokens_; }
+
+  bool trained() const { return trained_; }
+
+  /// Generates a deterministic synthetic treebank: template-expanded
+  /// sentences with per-word gold tags. Shared by the tagger's default
+  /// training and by tests.
+  static std::vector<PosSentence> GenerateTreebank(Rng& rng,
+                                                   size_t num_sentences);
+
+ private:
+  ml::TrigramHmm hmm_;
+  bool trained_ = false;
+  size_t max_tokens_ = 1000;
+};
+
+}  // namespace wsie::nlp
+
+#endif  // WSIE_NLP_POS_TAGGER_H_

@@ -1,0 +1,38 @@
+#include "nlp/tagset.h"
+
+namespace wsie::nlp {
+namespace {
+
+constexpr const char* kNames[] = {
+    "NN", "NNS", "NNP", "VB",  "VBD", "VBZ", "VBG", "VBN", "JJ",    "RB",
+    "DT", "IN",  "CC",  "PRP", "TO",  "CD",  "MD",  "SYM", "PUNCT",
+};
+static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                  static_cast<size_t>(PosTag::kNumTags),
+              "tag name table out of sync with PosTag");
+
+}  // namespace
+
+const char* PosTagName(PosTag tag) {
+  int idx = static_cast<int>(tag);
+  if (idx < 0 || idx >= kNumPosTags) return "??";
+  return kNames[idx];
+}
+
+PosTag PosTagFromName(std::string_view name) {
+  for (int i = 0; i < kNumPosTags; ++i) {
+    if (name == kNames[i]) return static_cast<PosTag>(i);
+  }
+  return PosTag::kNumTags;
+}
+
+bool IsNounTag(PosTag tag) {
+  return tag == PosTag::kNN || tag == PosTag::kNNS || tag == PosTag::kNNP;
+}
+
+bool IsVerbTag(PosTag tag) {
+  return tag == PosTag::kVB || tag == PosTag::kVBD || tag == PosTag::kVBZ ||
+         tag == PosTag::kVBG || tag == PosTag::kVBN || tag == PosTag::kMD;
+}
+
+}  // namespace wsie::nlp

@@ -1,0 +1,50 @@
+#ifndef WSIE_NLP_TAGSET_H_
+#define WSIE_NLP_TAGSET_H_
+
+#include <string>
+#include <string_view>
+
+namespace wsie::nlp {
+
+/// Simplified Penn-Treebank-style part-of-speech tagset used by the POS
+/// tagger (MedPost uses a comparable tagset over Medline).
+enum class PosTag : int {
+  kNN = 0,   ///< singular noun
+  kNNS,      ///< plural noun
+  kNNP,      ///< proper noun
+  kVB,       ///< verb, base
+  kVBD,      ///< verb, past
+  kVBZ,      ///< verb, 3rd person singular present
+  kVBG,      ///< verb, gerund
+  kVBN,      ///< verb, past participle
+  kJJ,       ///< adjective
+  kRB,       ///< adverb
+  kDT,       ///< determiner
+  kIN,       ///< preposition / subordinating conjunction
+  kCC,       ///< coordinating conjunction
+  kPRP,      ///< pronoun
+  kTO,       ///< "to"
+  kCD,       ///< cardinal number
+  kMD,       ///< modal
+  kSYM,      ///< symbol / formula
+  kPUNCT,    ///< punctuation
+  kNumTags,  ///< sentinel; keep last
+};
+
+inline constexpr int kNumPosTags = static_cast<int>(PosTag::kNumTags);
+
+/// Stable tag name ("NN", "VBZ", ...).
+const char* PosTagName(PosTag tag);
+
+/// Inverse of PosTagName; returns kNumTags for unknown names.
+PosTag PosTagFromName(std::string_view name);
+
+/// True for the noun tags (NN, NNS, NNP).
+bool IsNounTag(PosTag tag);
+
+/// True for the verb tags (VB*, MD).
+bool IsVerbTag(PosTag tag);
+
+}  // namespace wsie::nlp
+
+#endif  // WSIE_NLP_TAGSET_H_

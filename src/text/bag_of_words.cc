@@ -1,0 +1,51 @@
+#include "text/bag_of_words.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace wsie::text {
+
+BagOfWords::BagOfWords(BagOfWordsOptions options)
+    : options_(options),
+      stopwords_({"a",    "an",   "and",  "are",  "as",   "at",   "be",
+                  "by",   "for",  "from", "has",  "have", "he",   "in",
+                  "is",   "it",   "its",  "of",   "on",   "or",   "that",
+                  "the",  "this", "to",   "was",  "were", "will", "with",
+                  "we",   "you",  "they", "but",  "not",  "can",  "their",
+                  "which", "been", "more", "also", "these", "such", "other"}) {
+  std::sort(stopwords_.begin(), stopwords_.end());
+}
+
+bool BagOfWords::IsStopword(std::string_view term) const {
+  return std::binary_search(stopwords_.begin(), stopwords_.end(),
+                            std::string(term));
+}
+
+TermCounts BagOfWords::Featurize(std::string_view doc_text) const {
+  static const Tokenizer kTokenizer;
+  TermCounts counts;
+  for (const Token& tok : kTokenizer.Tokenize(doc_text)) {
+    std::string term = options_.lowercase ? AsciiToLower(tok.text) : tok.text;
+    if (term.size() < options_.min_token_length) continue;
+    if (term.size() > options_.max_token_length) continue;
+    if (options_.drop_pure_numbers &&
+        std::all_of(term.begin(), term.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                 c == ',';
+        }))
+      continue;
+    if (options_.drop_stopwords && IsStopword(term)) continue;
+    // Skip bare punctuation tokens.
+    if (!std::any_of(term.begin(), term.end(), [](char c) {
+          return std::isalnum(static_cast<unsigned char>(c));
+        }))
+      continue;
+    ++counts[term];
+  }
+  return counts;
+}
+
+}  // namespace wsie::text

@@ -1,0 +1,45 @@
+#ifndef WSIE_TEXT_BAG_OF_WORDS_H_
+#define WSIE_TEXT_BAG_OF_WORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wsie::text {
+
+/// Sparse term-frequency vector keyed by term string.
+using TermCounts = std::unordered_map<std::string, uint32_t>;
+
+/// Options for the Bag-of-Words featurizer used by the crawl classifier.
+struct BagOfWordsOptions {
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 2;
+  /// Drop tokens longer than this many characters (markup debris guard).
+  size_t max_token_length = 40;
+  bool drop_stopwords = true;
+  bool drop_pure_numbers = true;
+};
+
+/// Converts raw text into a Bag-of-Words model (Sect. 2.1: net text of each
+/// crawled page is converted to a BoW and classified for relevance).
+class BagOfWords {
+ public:
+  explicit BagOfWords(BagOfWordsOptions options = {});
+
+  /// Tokenizes `doc_text` and returns term counts.
+  TermCounts Featurize(std::string_view doc_text) const;
+
+  /// True if `term` is in the built-in English stopword list.
+  bool IsStopword(std::string_view term) const;
+
+ private:
+  BagOfWordsOptions options_;
+  std::vector<std::string> stopwords_;
+};
+
+}  // namespace wsie::text
+
+#endif  // WSIE_TEXT_BAG_OF_WORDS_H_

@@ -1,0 +1,83 @@
+#include "text/ngram.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wsie::text {
+
+void CharNgramProfile::Add(std::string_view text) {
+  // Normalize: lowercase letters, collapse non-letters to '_' (word marker),
+  // as in classic n-gram language identification.
+  std::string norm;
+  norm.reserve(text.size() + 2);
+  norm.push_back('_');
+  for (char c : text) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u)) {
+      norm.push_back(static_cast<char>(std::tolower(u)));
+    } else if (!norm.empty() && norm.back() != '_') {
+      norm.push_back('_');
+    }
+  }
+  if (norm.back() != '_') norm.push_back('_');
+  if (norm.size() < static_cast<size_t>(n_)) return;
+  for (size_t i = 0; i + n_ <= norm.size(); ++i) {
+    ++counts_[norm.substr(i, n_)];
+    ++total_;
+  }
+}
+
+std::vector<std::string> CharNgramProfile::TopK(size_t top_k) const {
+  std::vector<std::pair<std::string, uint64_t>> items(counts_.begin(),
+                                                      counts_.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (items.size() > top_k) items.resize(top_k);
+  std::vector<std::string> out;
+  out.reserve(items.size());
+  for (auto& [gram, count] : items) out.push_back(std::move(gram));
+  return out;
+}
+
+double CharNgramProfile::RankDistance(const std::vector<std::string>& a,
+                                      const std::vector<std::string>& b) {
+  // Out-of-place measure: for each gram in `a`, the absolute rank difference
+  // in `b`, with a max penalty for grams absent from `b`.
+  std::unordered_map<std::string_view, size_t> rank_b;
+  rank_b.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) rank_b.emplace(b[i], i);
+  const double max_penalty = static_cast<double>(b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto it = rank_b.find(a[i]);
+    if (it == rank_b.end()) {
+      total += max_penalty;
+    } else {
+      double diff = static_cast<double>(i) - static_cast<double>(it->second);
+      total += diff < 0 ? -diff : diff;
+    }
+  }
+  return a.empty() ? max_penalty : total / static_cast<double>(a.size());
+}
+
+void WordNgramCounter::Add(const std::vector<std::string>& tokens) {
+  if (tokens.size() < static_cast<size_t>(n_)) return;
+  for (size_t i = 0; i + n_ <= tokens.size(); ++i) {
+    std::string gram = tokens[i];
+    for (int k = 1; k < n_; ++k) {
+      gram.push_back(' ');
+      gram.append(tokens[i + k]);
+    }
+    ++counts_[gram];
+    ++total_;
+  }
+}
+
+uint64_t WordNgramCounter::Count(const std::string& gram) const {
+  auto it = counts_.find(gram);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace wsie::text

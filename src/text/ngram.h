@@ -1,0 +1,66 @@
+#ifndef WSIE_TEXT_NGRAM_H_
+#define WSIE_TEXT_NGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wsie::text {
+
+/// Character n-gram frequency profile, the building block of the n-gram
+/// language filter (Sect. 2.1) in the style of Cavnar & Trenkle.
+class CharNgramProfile {
+ public:
+  /// Creates an empty profile over n-grams of size `n` (1..8).
+  explicit CharNgramProfile(int n = 3) : n_(n) {}
+
+  /// Accumulates the n-grams of `text` into the profile.
+  void Add(std::string_view text);
+
+  /// Returns the `top_k` most frequent n-grams, most frequent first; ties
+  /// break lexicographically for determinism.
+  std::vector<std::string> TopK(size_t top_k) const;
+
+  /// Out-of-place rank distance between this profile's top-k list and
+  /// another's (lower = more similar). `max_rank` bounds the penalty for
+  /// n-grams missing from `other`.
+  static double RankDistance(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b);
+
+  int n() const { return n_; }
+  size_t distinct_ngrams() const { return counts_.size(); }
+  uint64_t total_ngrams() const { return total_; }
+
+ private:
+  int n_;
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Word-level n-gram counts (used by corpus text generators and analytics).
+class WordNgramCounter {
+ public:
+  explicit WordNgramCounter(int n = 2) : n_(n) {}
+
+  /// Adds the n-grams over `tokens` (joined with a single space).
+  void Add(const std::vector<std::string>& tokens);
+
+  uint64_t Count(const std::string& gram) const;
+  size_t distinct() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+
+  const std::unordered_map<std::string, uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  int n_;
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace wsie::text
+
+#endif  // WSIE_TEXT_NGRAM_H_

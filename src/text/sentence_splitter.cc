@@ -1,0 +1,105 @@
+#include "text/sentence_splitter.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace wsie::text {
+namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+SentenceSplitter::SentenceSplitter(SentenceSplitterOptions options)
+    : options_(options),
+      abbreviations_({"e.g", "i.e", "etc", "cf", "vs", "dr", "prof", "fig",
+                      "figs", "tab", "no", "vol", "al", "approx", "resp",
+                      "mr", "mrs", "ms", "st", "jr", "sr", "inc", "ltd"}) {}
+
+bool SentenceSplitter::IsAbbreviation(std::string_view text,
+                                      size_t period_pos) const {
+  // Extract the word immediately preceding the period.
+  size_t end = period_pos;
+  size_t begin = end;
+  while (begin > 0) {
+    char c = text[begin - 1];
+    if (IsSpace(c) || c == '(' || c == '"') break;
+    --begin;
+  }
+  if (begin == end) return false;
+  std::string word = AsciiToLower(text.substr(begin, end - begin));
+  // Single capital initial: "J. Meier".
+  if (word.size() == 1 && std::isalpha(static_cast<unsigned char>(text[begin])))
+    return true;
+  for (const auto& abbr : abbreviations_) {
+    if (word == abbr) return true;
+  }
+  // Dotted abbreviations like "e.g" already contain a period.
+  if (word.find('.') != std::string::npos && word.size() <= 6) return true;
+  return false;
+}
+
+std::vector<SentenceSpan> SentenceSplitter::Split(
+    std::string_view text) const {
+  std::vector<SentenceSpan> spans;
+  const size_t n = text.size();
+  size_t start = 0;
+  auto emit = [&](size_t begin, size_t end) {
+    // Trim whitespace inside the span boundaries.
+    while (begin < end && IsSpace(text[begin])) ++begin;
+    while (end > begin && IsSpace(text[end - 1])) --end;
+    if (end <= begin) return;
+    if (options_.max_sentence_chars > 0) {
+      // Force-split runaway spans (web text without sentence structure).
+      while (end - begin > options_.max_sentence_chars) {
+        size_t cut = begin + options_.max_sentence_chars;
+        // Back off to the previous whitespace to avoid splitting a token.
+        size_t probe = cut;
+        while (probe > begin && !IsSpace(text[probe - 1])) --probe;
+        if (probe == begin) probe = cut;
+        spans.push_back(SentenceSpan{begin, probe});
+        begin = probe;
+        while (begin < end && IsSpace(text[begin])) ++begin;
+      }
+    }
+    if (end > begin) spans.push_back(SentenceSpan{begin, end});
+  };
+  for (size_t i = 0; i < n; ++i) {
+    char c = text[i];
+    if (options_.break_on_newline && c == '\n') {
+      emit(start, i);
+      start = i + 1;
+      continue;
+    }
+    if (c != '.' && c != '!' && c != '?') continue;
+    // Consume a run of terminal punctuation ("?!", "...").
+    size_t j = i;
+    while (j + 1 < n &&
+           (text[j + 1] == '.' || text[j + 1] == '!' || text[j + 1] == '?' ||
+            text[j + 1] == ')' || text[j + 1] == '"'))
+      ++j;
+    if (c == '.' && IsAbbreviation(text, i)) {
+      i = j;
+      continue;
+    }
+    // A boundary requires whitespace then an uppercase letter, digit, or end.
+    size_t k = j + 1;
+    while (k < n && text[k] == ' ') ++k;
+    bool at_end = k >= n;
+    bool next_ok =
+        !at_end && (std::isupper(static_cast<unsigned char>(text[k])) ||
+                    std::isdigit(static_cast<unsigned char>(text[k])) ||
+                    text[k] == '(' || text[k] == '"' || text[k] == '\n');
+    if (k == j + 1 && !at_end && text[k] != '\n') next_ok = false;  // no space
+    if (at_end || next_ok) {
+      emit(start, j + 1);
+      start = j + 1;
+      i = j;
+    }
+  }
+  emit(start, n);
+  return spans;
+}
+
+}  // namespace wsie::text

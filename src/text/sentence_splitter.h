@@ -1,0 +1,45 @@
+#ifndef WSIE_TEXT_SENTENCE_SPLITTER_H_
+#define WSIE_TEXT_SENTENCE_SPLITTER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace wsie::text {
+
+/// Options for sentence boundary detection.
+struct SentenceSplitterOptions {
+  /// Maximum sentence length in characters; 0 means unlimited. The paper
+  /// (Sect. 4.2 / 5) discusses imposing such a cap because boilerplate
+  /// extraction can feed the splitter text without sentence structure,
+  /// producing pathological >2000-character "sentences" that crash tools.
+  size_t max_sentence_chars = 0;
+  /// Treat newlines as hard sentence breaks (useful for web text where list
+  /// items and headings carry no terminal punctuation).
+  bool break_on_newline = true;
+};
+
+/// Rule-based sentence boundary detector with abbreviation handling.
+///
+/// Splits at '.', '!', '?' followed by whitespace and an uppercase letter or
+/// digit, avoiding splits after common abbreviations ("e.g.", "Dr.", "Fig.")
+/// and single capital initials. On malformed web text (no punctuation at
+/// all), the optional max-length cap force-splits runaway spans.
+class SentenceSplitter {
+ public:
+  explicit SentenceSplitter(SentenceSplitterOptions options = {});
+
+  /// Returns sentence spans over `doc_text` (offsets into the input).
+  std::vector<SentenceSpan> Split(std::string_view doc_text) const;
+
+ private:
+  bool IsAbbreviation(std::string_view text, size_t period_pos) const;
+
+  SentenceSplitterOptions options_;
+  std::vector<std::string> abbreviations_;
+};
+
+}  // namespace wsie::text
+
+#endif  // WSIE_TEXT_SENTENCE_SPLITTER_H_

@@ -1,0 +1,41 @@
+#ifndef WSIE_TEXT_TOKEN_H_
+#define WSIE_TEXT_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsie::text {
+
+/// A token with character offsets into the source text (half-open range).
+struct Token {
+  std::string text;
+  size_t begin = 0;
+  size_t end = 0;
+
+  friend bool operator==(const Token& a, const Token& b) {
+    return a.text == b.text && a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// A sentence span with character offsets into the source text.
+struct SentenceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t length() const { return end - begin; }
+
+  friend bool operator==(const SentenceSpan& a, const SentenceSpan& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// A tokenized sentence: its span plus its tokens.
+struct Sentence {
+  SentenceSpan span;
+  std::vector<Token> tokens;
+};
+
+}  // namespace wsie::text
+
+#endif  // WSIE_TEXT_TOKEN_H_

@@ -1,0 +1,65 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace wsie::text {
+namespace {
+
+bool IsWordChar(char c, bool keep_hyphen) {
+  unsigned char u = static_cast<unsigned char>(c);
+  if (std::isalnum(u)) return true;
+  if (c == '\'' ) return true;
+  if (keep_hyphen && c == '-') return true;
+  return false;
+}
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::vector<Token> Tokenizer::Tokenize(std::string_view text,
+                                       size_t base_offset) const {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto emit = [&](size_t begin, size_t end) {
+    if (end > begin) {
+      tokens.push_back(Token{std::string(text.substr(begin, end - begin)),
+                             base_offset + begin, base_offset + end});
+    }
+  };
+  while (i < n) {
+    while (i < n && IsSpace(text[i])) ++i;
+    if (i >= n) break;
+    size_t start = i;
+    while (i < n && !IsSpace(text[i])) ++i;
+    size_t end = i;
+    if (!options_.split_punctuation) {
+      emit(start, end);
+      continue;
+    }
+    // Peel leading punctuation characters one by one.
+    size_t core_begin = start;
+    while (core_begin < end &&
+           !IsWordChar(text[core_begin], options_.keep_internal_hyphens)) {
+      emit(core_begin, core_begin + 1);
+      ++core_begin;
+    }
+    // Peel trailing punctuation (collected, then emitted after the core).
+    size_t core_end = end;
+    while (core_end > core_begin &&
+           !IsWordChar(text[core_end - 1], options_.keep_internal_hyphens)) {
+      --core_end;
+    }
+    // A trailing hyphen/apostrophe with no following word char is punctuation.
+    while (core_end > core_begin &&
+           (text[core_end - 1] == '-' || text[core_end - 1] == '\'')) {
+      --core_end;
+    }
+    emit(core_begin, core_end);
+    for (size_t p = core_end; p < end; ++p) emit(p, p + 1);
+  }
+  return tokens;
+}
+
+}  // namespace wsie::text

@@ -1,0 +1,40 @@
+#ifndef WSIE_TEXT_TOKENIZER_H_
+#define WSIE_TEXT_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace wsie::text {
+
+/// Options for the rule-based tokenizer.
+struct TokenizerOptions {
+  /// Keep hyphenated compounds ("GAD-67") as single tokens. Biomedical
+  /// entity names frequently contain internal hyphens and digits, so the
+  /// default is true (as in the biomedical tokenizers the paper wraps).
+  bool keep_internal_hyphens = true;
+  /// Split trailing sentence punctuation into its own token.
+  bool split_punctuation = true;
+};
+
+/// Rule-based word tokenizer with character offsets.
+///
+/// Splits on whitespace, then peels leading/trailing punctuation into
+/// separate tokens while keeping alphanumeric cores (possibly with internal
+/// hyphens, digits, and apostrophes) intact.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `sentence_text`; offsets are relative to `base_offset`.
+  std::vector<Token> Tokenize(std::string_view sentence_text,
+                              size_t base_offset = 0) const;
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace wsie::text
+
+#endif  // WSIE_TEXT_TOKENIZER_H_

@@ -1,0 +1,219 @@
+#include "web/page_renderer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "corpus/text_generator.h"
+
+namespace wsie::web {
+namespace {
+
+constexpr const char* kNavWords[] = {"Home",   "About",   "News",  "Contact",
+                                     "Login",  "Archive", "Tags",  "Search",
+                                     "Topics", "Help",    "Terms", "Sitemap"};
+
+constexpr const char* kGermanWords[] = {
+    "der",    "die",     "und",     "nicht",   "mit",     "behandlung",
+    "krankheit", "studie", "ergebnisse", "patienten", "wurde", "zwischen",
+    "haben",  "werden",  "einer",   "gegen",   "wichtig", "bericht"};
+constexpr const char* kFrenchWords[] = {
+    "le",      "la",     "les",      "et",      "dans",    "traitement",
+    "maladie", "etude",  "resultats", "patients", "entre",  "avec",
+    "pour",    "cette",  "sont",     "plus",    "sante",   "rapport"};
+
+std::string SampleWords(Rng& rng, const char* const* pool, size_t pool_size,
+                        size_t count) {
+  std::string out;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += pool[rng.Uniform(pool_size)];
+  }
+  return out;
+}
+
+}  // namespace
+
+PageRenderer::PageRenderer(const SyntheticWeb* web,
+                           const corpus::EntityLexicons* lexicons,
+                           RendererConfig config)
+    : web_(web), lexicons_(lexicons), config_(config) {}
+
+std::string PageRenderer::NonEnglishParagraph(
+    Rng& rng, const std::string& language) const {
+  size_t words = 40 + rng.Uniform(120);
+  if (language == "de") {
+    return SampleWords(rng, kGermanWords, 18, words);
+  }
+  return SampleWords(rng, kFrenchWords, 18, words);
+}
+
+RenderedPage PageRenderer::Render(const PageInfo& page) const {
+  RenderedPage out;
+  Rng rng(page.render_seed);
+  const HostInfo& host = web_->HostOf(page);
+
+  // Non-HTML payloads: synthetic binary-ish bodies with magic headers.
+  if (page.mime == lang::MimeClass::kPdf) {
+    out.html = "%PDF-1.4\n";
+    out.html.append(800 + rng.Uniform(4000), '\x07');
+    return out;
+  }
+  if (page.mime == lang::MimeClass::kImage) {
+    out.html = "\x89PNG\r\n";
+    out.html.append(500 + rng.Uniform(2000), '\x05');
+    return out;
+  }
+
+  // --- Content generation.
+  corpus::CorpusProfile profile =
+      corpus::ProfileFor(page.relevant ? corpus::CorpusKind::kRelevantWeb
+                                       : corpus::CorpusKind::kIrrelevantWeb);
+  std::string content_text;
+  if (host.language != "en") {
+    content_text = NonEnglishParagraph(rng, host.language);
+    out.content_doc.id = page.id;
+  } else {
+    corpus::TextGenerator generator(lexicons_, profile, rng.Next());
+    out.content_doc = generator.GenerateDocument(page.id);
+    content_text = out.content_doc.text;
+  }
+  out.net_text = content_text;
+
+  // --- HTML assembly.
+  std::string& html = out.html;
+  html.reserve(content_text.size() * 2);
+  html += "<!DOCTYPE html>\n<html>\n<head>\n<title>";
+  html += host.name + page.path;
+  html += "</title>\n<meta charset=\"utf-8\">\n";
+  html += "<style>body { font: 12px sans; }</style>\n";
+  html += "<script>var tracker = 'not content no nor neither';</script>\n";
+  html += "</head>\n<body>\n";
+
+  // Header / navigation boilerplate (link-dense).
+  html += "<div class=\"nav\"><ul>\n";
+  for (uint64_t target : page.outlinks) {
+    const PageInfo& target_page = web_->pages()[target];
+    if (target_page.host_id != page.host_id) continue;
+    html += "<li><a href=\"" + web_->UrlOf(target_page) + "\">";
+    html += kNavWords[rng.Uniform(12)];
+    html += "</a></li>\n";
+  }
+  html += "</ul></div>\n";
+
+  // Trap entry link with small probability (spider-trap workload).
+  if (rng.Bernoulli(0.02)) {
+    for (const HostInfo& h : web_->hosts()) {
+      if (h.topic == HostTopic::kTrap) {
+        html += "<div><a href=\"http://" + h.name +
+                "/day?p=0\">calendar</a></div>\n";
+        break;
+      }
+    }
+  }
+
+  // Main content: paragraphs, with a fraction emitted as list/table items
+  // (the content class Boilerpipe-style detection loses, Sect. 4.1).
+  std::vector<std::string> paragraphs = Split(content_text, '\n');
+  html += "<div class=\"main\">\n";
+  bool in_list = false;
+  for (const std::string& para : paragraphs) {
+    std::string_view trimmed = StripAsciiWhitespace(para);
+    if (trimmed.empty()) continue;
+    bool as_list = rng.Bernoulli(config_.content_in_list_frac);
+    if (as_list && !in_list) {
+      html += "<ul>\n";
+      in_list = true;
+    } else if (!as_list && in_list) {
+      html += "</ul>\n";
+      in_list = false;
+    }
+    if (as_list) {
+      html += "<li>" + std::string(trimmed) + "</li>\n";
+    } else {
+      html += "<p>" + std::string(trimmed) + "</p>\n";
+    }
+  }
+  if (in_list) html += "</ul>\n";
+  // Cross-host content links inside prose.
+  for (uint64_t target : page.outlinks) {
+    const PageInfo& target_page = web_->pages()[target];
+    if (target_page.host_id == page.host_id) continue;
+    html += "<p>See also <a href=\"" + web_->UrlOf(target_page) +
+            "\">this related report</a>.</p>\n";
+  }
+  html += "</div>\n";
+
+  // Sidebar boilerplate: ad-like short link blocks.
+  html += "<div class=\"side\">\n";
+  size_t ads = 2 + rng.Uniform(4);
+  for (size_t i = 0; i < ads; ++i) {
+    html += "<p><a href=\"http://ads.example.com/c" + std::to_string(i) +
+            "\">" + kNavWords[rng.Uniform(12)] + " " +
+            kNavWords[rng.Uniform(12)] + "</a></p>\n";
+  }
+  html += "</div>\n";
+
+  // Footer boilerplate.
+  html += "<div class=\"footer\"><p>Copyright " + host.name +
+          " | <a href=\"/terms.html\">Terms</a> | "
+          "<a href=\"/privacy.html\">Privacy</a></p></div>\n";
+  html += "</body>\n</html>\n";
+
+  Mangle(rng, out);
+  return out;
+}
+
+void PageRenderer::Mangle(Rng& rng, RenderedPage& page) const {
+  if (!rng.Bernoulli(config_.markup_error_page_frac)) return;
+  std::string& html = page.html;
+  bool severe = rng.Bernoulli(config_.severe_error_page_frac);
+  int errors = 1 + static_cast<int>(rng.Uniform(
+                       static_cast<uint64_t>(config_.max_errors_per_page)));
+  if (severe) {
+    // Transcoder-killing damage ([19]: ~13% of pages cannot be transcoded):
+    // dense unparseable tag debris throughout the document.
+    errors *= 8;
+    size_t debris = std::max<size_t>(24, html.size() / 50);
+    for (size_t d = 0; d < debris && html.size() > 32; ++d) {
+      size_t pos = 16 + rng.Uniform(html.size() - 32);
+      html.insert(pos, "< ");
+      ++page.injected_errors;
+    }
+  }
+  for (int e = 0; e < errors; ++e) {
+    if (html.size() < 32) break;
+    size_t pos = 16 + rng.Uniform(html.size() - 32);
+    switch (rng.Uniform(severe ? 5 : 4)) {
+      case 0: {  // delete a closing tag
+        size_t close = html.find("</", pos);
+        if (close != std::string::npos) {
+          size_t end = html.find('>', close);
+          if (end != std::string::npos) html.erase(close, end - close + 1);
+        }
+        break;
+      }
+      case 1: {  // strip a '>' (unterminated tag)
+        size_t gt = html.find('>', pos);
+        if (gt != std::string::npos) html.erase(gt, 1);
+        break;
+      }
+      case 2:  // stray '<' debris
+        html.insert(pos, "<");
+        break;
+      case 3: {  // unquote an attribute
+        size_t quote = html.find('"', pos);
+        if (quote != std::string::npos) html.erase(quote, 1);
+        break;
+      }
+      default: {  // severe: chop a large random chunk
+        size_t chunk = html.size() / 6;
+        if (pos + chunk < html.size()) html.erase(pos, chunk);
+        break;
+      }
+    }
+    ++page.injected_errors;
+  }
+  page.severely_mangled = severe;
+}
+
+}  // namespace wsie::web

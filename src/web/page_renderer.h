@@ -1,0 +1,63 @@
+#ifndef WSIE_WEB_PAGE_RENDERER_H_
+#define WSIE_WEB_PAGE_RENDERER_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "corpus/lexicon.h"
+#include "web/web_graph.h"
+
+namespace wsie::web {
+
+/// A fully rendered page: HTML plus the generator's ground truth.
+struct RenderedPage {
+  std::string html;
+  std::string net_text;  ///< ground-truth main content (pre-mangling)
+  corpus::Document content_doc;  ///< content with gold entities
+  bool severely_mangled = false; ///< beyond-repair corruption was applied
+  int injected_errors = 0;       ///< number of markup defects injected
+};
+
+/// Rendering / mangling parameters.
+struct RendererConfig {
+  /// Fraction of pages receiving at least one markup defect. Ofuonye et al.
+  /// [19] (cited in Sect. 5): 95% of web HTML violates the standards.
+  double markup_error_page_frac = 0.95;
+  /// Fraction of pages corrupted beyond repair ([19]: 13% could not be
+  /// transcoded).
+  double severe_error_page_frac = 0.13;
+  int max_errors_per_page = 6;
+  /// Fraction of content placed into <li>/<td> blocks — the table/list
+  /// content the paper's boilerplate detector loses (Sect. 4.1).
+  double content_in_list_frac = 0.20;
+};
+
+/// Deterministically renders a page's HTML from its metadata.
+///
+/// Layout: header/navigation boilerplate (link-dense), the main content
+/// (corpus::TextGenerator prose with gold entities), a sidebar, and a
+/// footer; then markup defects are injected per RendererConfig. The
+/// ground-truth net text is captured before mangling, giving the gold
+/// standard for boilerplate-detector evaluation.
+class PageRenderer {
+ public:
+  /// `web` and `lexicons` must outlive the renderer.
+  PageRenderer(const SyntheticWeb* web, const corpus::EntityLexicons* lexicons,
+               RendererConfig config = {});
+
+  /// Renders `page`. Deterministic in page.render_seed.
+  RenderedPage Render(const PageInfo& page) const;
+
+ private:
+  std::string NonEnglishParagraph(Rng& rng, const std::string& language) const;
+  void Mangle(Rng& rng, RenderedPage& page) const;
+
+  const SyntheticWeb* web_;
+  const corpus::EntityLexicons* lexicons_;
+  RendererConfig config_;
+};
+
+}  // namespace wsie::web
+
+#endif  // WSIE_WEB_PAGE_RENDERER_H_

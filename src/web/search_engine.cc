@@ -1,0 +1,127 @@
+#include "web/search_engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/bag_of_words.h"
+
+namespace wsie::web {
+
+std::vector<SearchEngineSpec> DefaultEngines() {
+  return {
+      {"bing", 0.95, {}, 20, 4000},
+      {"google", 1.0, {}, 20, 4000},
+      {"arxiv", 1.0, {HostTopic::kBiomedResearch}, 15, 3000},
+      {"nature", 1.0, {HostTopic::kBiomedResearch}, 15, 3000},
+      {"nature-blogs", 1.0, {HostTopic::kLayHealth}, 10, 3000},
+  };
+}
+
+SearchEngineFederation::SearchEngineFederation(
+    const SimulatedWeb* web, std::vector<SearchEngineSpec> engines,
+    uint64_t seed)
+    : web_(web), engines_(std::move(engines)) {
+  queries_used_.assign(engines_.size(), 0);
+  index_.resize(engines_.size());
+  BuildIndex(*web_, seed);
+}
+
+void SearchEngineFederation::BuildIndex(const SimulatedWeb& web,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  const SyntheticWeb& graph = web.graph();
+  text::BagOfWords bow;
+  // Decide per-engine host coverage once.
+  std::vector<std::vector<bool>> host_indexed(
+      engines_.size(), std::vector<bool>(graph.hosts().size(), false));
+  for (size_t e = 0; e < engines_.size(); ++e) {
+    const SearchEngineSpec& spec = engines_[e];
+    for (const HostInfo& host : graph.hosts()) {
+      if (host.topic == HostTopic::kTrap ||
+          host.topic == HostTopic::kNonEnglish) {
+        continue;
+      }
+      if (!spec.topic_whitelist.empty()) {
+        bool allowed = std::find(spec.topic_whitelist.begin(),
+                                 spec.topic_whitelist.end(),
+                                 host.topic) != spec.topic_whitelist.end();
+        if (!allowed) continue;
+      }
+      host_indexed[e][host.id] = rng.Bernoulli(spec.host_coverage);
+    }
+  }
+  // Render and index each HTML page once, fanning postings out to the
+  // engines that cover its host.
+  for (const PageInfo& page : graph.pages()) {
+    if (page.mime != lang::MimeClass::kHtml) continue;
+    bool any_engine = false;
+    for (size_t e = 0; e < engines_.size(); ++e) {
+      if (host_indexed[e][page.host_id]) {
+        any_engine = true;
+        break;
+      }
+    }
+    if (!any_engine) continue;
+    RenderedPage rendered = web.renderer().Render(page);
+    text::TermCounts counts = bow.Featurize(rendered.net_text);
+    for (size_t e = 0; e < engines_.size(); ++e) {
+      if (!host_indexed[e][page.host_id]) continue;
+      for (const auto& [term, tf] : counts) {
+        index_[e][term].push_back(Posting{page.id, tf});
+      }
+    }
+  }
+  // Rank postings by term frequency (desc), page id as tiebreak.
+  for (auto& engine_index : index_) {
+    for (auto& [term, postings] : engine_index) {
+      std::sort(postings.begin(), postings.end(),
+                [](const Posting& a, const Posting& b) {
+                  if (a.term_frequency != b.term_frequency)
+                    return a.term_frequency > b.term_frequency;
+                  return a.page_id < b.page_id;
+                });
+    }
+  }
+}
+
+Result<std::vector<std::string>> SearchEngineFederation::Query(
+    size_t engine_index, std::string_view keyword) {
+  if (engine_index >= engines_.size()) {
+    return Status::InvalidArgument("no such engine");
+  }
+  const SearchEngineSpec& spec = engines_[engine_index];
+  if (queries_used_[engine_index] >= spec.max_queries) {
+    return Status::ResourceExhausted("query budget of " + spec.name +
+                                     " exhausted");
+  }
+  ++queries_used_[engine_index];
+  // Multi-word keywords: intersect by scoring the first word's postings and
+  // requiring the rest (cheap conjunctive semantics).
+  std::vector<std::string> words = SplitWhitespace(AsciiToLower(keyword));
+  std::vector<std::string> results;
+  if (words.empty()) return results;
+  const auto& engine = index_[engine_index];
+  auto it = engine.find(words[0]);
+  if (it == engine.end()) return results;
+  const SyntheticWeb& graph = web_->graph();
+  for (const Posting& posting : it->second) {
+    bool all_match = true;
+    for (size_t w = 1; w < words.size() && all_match; ++w) {
+      auto wit = engine.find(words[w]);
+      if (wit == engine.end()) {
+        all_match = false;
+        break;
+      }
+      all_match = std::any_of(wit->second.begin(), wit->second.end(),
+                              [&](const Posting& p) {
+                                return p.page_id == posting.page_id;
+                              });
+    }
+    if (!all_match) continue;
+    results.push_back(graph.UrlOf(graph.pages()[posting.page_id]));
+    if (results.size() >= spec.max_results_per_query) break;
+  }
+  return results;
+}
+
+}  // namespace wsie::web

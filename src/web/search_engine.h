@@ -1,0 +1,72 @@
+#ifndef WSIE_WEB_SEARCH_ENGINE_H_
+#define WSIE_WEB_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "web/simulated_web.h"
+#include "web/web_graph.h"
+
+namespace wsie::web {
+
+/// Per-engine behaviour: coverage bias and API limits (Sect. 2.2: "all
+/// search engine APIs restrict the number of allowed queries and limit the
+/// number of returned results").
+struct SearchEngineSpec {
+  std::string name;
+  /// Probability a host is in this engine's index (general engines ~1.0).
+  double host_coverage = 1.0;
+  /// If non-empty, index only hosts of these topics (Arxiv/Nature-style
+  /// engines "return results only for content hosted there", Sect. 4.1).
+  std::vector<HostTopic> topic_whitelist;
+  size_t max_results_per_query = 10;
+  size_t max_queries = 5000;
+};
+
+/// The default five-engine federation of the paper: Bing, Google, Arxiv,
+/// Nature, Nature blogs.
+std::vector<SearchEngineSpec> DefaultEngines();
+
+/// A keyword index over the simulated web, partitioned into engines.
+///
+/// Construction renders every indexable page once and builds a term ->
+/// pages inverted index per engine. Query() enforces per-engine query
+/// budgets and result caps.
+class SearchEngineFederation {
+ public:
+  SearchEngineFederation(const SimulatedWeb* web,
+                         std::vector<SearchEngineSpec> engines = DefaultEngines(),
+                         uint64_t seed = 31);
+
+  /// Runs `keyword` against engine `engine_index`. Returns result URLs
+  /// (ranked by term frequency, capped), or ResourceExhausted once the
+  /// engine's query budget is spent.
+  Result<std::vector<std::string>> Query(size_t engine_index,
+                                         std::string_view keyword);
+
+  size_t num_engines() const { return engines_.size(); }
+  const SearchEngineSpec& engine(size_t i) const { return engines_[i]; }
+  size_t queries_used(size_t i) const { return queries_used_[i]; }
+
+ private:
+  struct Posting {
+    uint64_t page_id;
+    uint32_t term_frequency;
+  };
+
+  void BuildIndex(const SimulatedWeb& web, uint64_t seed);
+
+  const SimulatedWeb* web_;
+  std::vector<SearchEngineSpec> engines_;
+  std::vector<size_t> queries_used_;
+  /// engine -> term -> postings
+  std::vector<std::unordered_map<std::string, std::vector<Posting>>> index_;
+};
+
+}  // namespace wsie::web
+
+#endif  // WSIE_WEB_SEARCH_ENGINE_H_

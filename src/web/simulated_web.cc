@@ -1,0 +1,95 @@
+#include "web/simulated_web.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace wsie::web {
+
+SimulatedWeb::SimulatedWeb(const SyntheticWeb* web,
+                           const corpus::EntityLexicons* lexicons,
+                           RendererConfig renderer_config,
+                           FetchLatencyModel latency)
+    : web_(web),
+      renderer_(web, lexicons, renderer_config),
+      latency_(latency) {}
+
+std::string SimulatedWeb::RobotsDisallowPrefix(
+    std::string_view host_name) const {
+  const HostInfo* host = web_->FindHost(host_name);
+  if (host == nullptr) return "";
+  return host->robots_disallow_prefix;
+}
+
+FetchResult SimulatedWeb::RenderTrapPage(const HostInfo& host,
+                                         std::string_view path) const {
+  // "/day?p=N" -> page linking to p=N+1 and p=N+2: a dynamically generated
+  // infinite chain, the classic calendar spider trap (Sect. 2.1).
+  FetchResult result;
+  result.is_trap = true;
+  long n = 0;
+  size_t eq = path.rfind("p=");
+  if (eq != std::string_view::npos) {
+    n = std::strtol(std::string(path.substr(eq + 2)).c_str(), nullptr, 10);
+  }
+  std::string& body = result.body;
+  body = "<!DOCTYPE html>\n<html><head><title>Calendar day " +
+         std::to_string(n) + "</title></head><body>\n";
+  body += "<p>Events for day " + std::to_string(n) + ": none scheduled.</p>\n";
+  body += "<p><a href=\"http://" + host.name + "/day?p=" +
+          std::to_string(n + 1) + "\">next day</a> ";
+  body += "<a href=\"http://" + host.name + "/day?p=" +
+          std::to_string(n + 2) + "\">skip a day</a></p>\n";
+  body += "</body></html>\n";
+  result.content_type = "text/html";
+  return result;
+}
+
+FetchResult SimulatedWeb::Fetch(std::string_view url) const {
+  uint64_t count = fetch_count_.fetch_add(1);
+  Url parsed;
+  FetchResult result;
+  if (!ParseUrl(url, &parsed)) {
+    result.http_status = 404;
+    return result;
+  }
+  const HostInfo* host = web_->FindHost(parsed.host);
+  if (host == nullptr) {
+    result.http_status = 404;
+    return result;
+  }
+  if (parsed.path == "/robots.txt") {
+    result.content_type = "text/plain";
+    result.body = "User-agent: *\n";
+    if (!host->robots_disallow_prefix.empty()) {
+      result.body += "Disallow: " + host->robots_disallow_prefix + "\n";
+    }
+    return result;
+  }
+  if (host->topic == HostTopic::kTrap) {
+    result = RenderTrapPage(*host, parsed.path);
+  } else {
+    const PageInfo* page = web_->FindPage(url);
+    if (page == nullptr) {
+      result.http_status = 404;
+      return result;
+    }
+    RenderedPage rendered = renderer_.Render(*page);
+    result.body = std::move(rendered.html);
+    result.page = page;
+    // Content-type header: servers lie for the misleading-extension pages,
+    // reproducing the MIME-detection pitfall (Sect. 5).
+    result.content_type = "text/html";
+  }
+  // Virtual latency: deterministic jitter keyed on the fetch count.
+  double jitter =
+      latency_.jitter_ms *
+      (static_cast<double>((count * 2654435761ULL) % 1000) / 1000.0);
+  result.virtual_latency_ms =
+      latency_.base_ms +
+      latency_.per_kb_ms * (static_cast<double>(result.body.size()) / 1024.0) +
+      jitter;
+  return result;
+}
+
+}  // namespace wsie::web

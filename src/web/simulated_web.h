@@ -1,0 +1,66 @@
+#ifndef WSIE_WEB_SIMULATED_WEB_H_
+#define WSIE_WEB_SIMULATED_WEB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "web/page_renderer.h"
+#include "web/web_graph.h"
+
+namespace wsie::web {
+
+/// Result of fetching one URL from the simulated web.
+struct FetchResult {
+  int http_status = 200;       ///< 200, 404
+  std::string body;            ///< page bytes
+  std::string content_type;    ///< as a (possibly lying) server would send
+  double virtual_latency_ms = 0.0;  ///< modeled network+server latency
+  const PageInfo* page = nullptr;   ///< metadata; nullptr for dynamic/unknown
+  bool is_trap = false;
+};
+
+/// Latency model parameters (virtual time; nothing sleeps).
+struct FetchLatencyModel {
+  double base_ms = 80.0;
+  double per_kb_ms = 2.0;
+  double jitter_ms = 60.0;
+};
+
+/// The fetchable face of the SyntheticWeb: resolves URLs to rendered pages,
+/// serves robots.txt, synthesizes spider-trap pages with endless dynamic
+/// links, and models latency in virtual time. Thread-safe; fetcher threads
+/// call Fetch() concurrently.
+class SimulatedWeb {
+ public:
+  /// `web` and `lexicons` must outlive this object.
+  SimulatedWeb(const SyntheticWeb* web, const corpus::EntityLexicons* lexicons,
+               RendererConfig renderer_config = {},
+               FetchLatencyModel latency = {});
+
+  /// Fetches `url`. Unknown URLs return 404 with an empty body.
+  FetchResult Fetch(std::string_view url) const;
+
+  /// Returns the robots.txt Disallow prefix for `host_name` ("" if none or
+  /// unknown host). Crawlers must consult this before fetching.
+  std::string RobotsDisallowPrefix(std::string_view host_name) const;
+
+  /// Total fetches served (across threads).
+  uint64_t fetch_count() const { return fetch_count_.load(); }
+
+  const SyntheticWeb& graph() const { return *web_; }
+  const PageRenderer& renderer() const { return renderer_; }
+
+ private:
+  FetchResult RenderTrapPage(const HostInfo& host, std::string_view path) const;
+
+  const SyntheticWeb* web_;
+  PageRenderer renderer_;
+  FetchLatencyModel latency_;
+  mutable std::atomic<uint64_t> fetch_count_{0};
+};
+
+}  // namespace wsie::web
+
+#endif  // WSIE_WEB_SIMULATED_WEB_H_

@@ -1,0 +1,63 @@
+#include "web/url.h"
+
+#include "common/string_util.h"
+
+namespace wsie::web {
+
+bool ParseUrl(std::string_view url, Url* out) {
+  std::string_view rest = url;
+  if (StartsWith(rest, "http://")) {
+    rest.remove_prefix(7);
+  } else if (StartsWith(rest, "https://")) {
+    rest.remove_prefix(8);
+  } else {
+    return false;
+  }
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    out->host = std::string(rest);
+    out->path = "/";
+  } else {
+    out->host = std::string(rest.substr(0, slash));
+    out->path = std::string(rest.substr(slash));
+  }
+  if (out->host.empty()) return false;
+  // Strip fragments.
+  size_t hash = out->path.find('#');
+  if (hash != std::string::npos) out->path.resize(hash);
+  if (out->path.empty()) out->path = "/";
+  return true;
+}
+
+bool ResolveLink(const Url& base, std::string_view link, Url* out) {
+  if (link.empty()) return false;
+  if (StartsWith(link, "mailto:") || StartsWith(link, "javascript:") ||
+      StartsWith(link, "#")) {
+    return false;
+  }
+  if (StartsWith(link, "http://") || StartsWith(link, "https://")) {
+    return ParseUrl(link, out);
+  }
+  out->host = base.host;
+  if (link[0] == '/') {
+    out->path = std::string(link);
+  } else {
+    // Relative to the base path's directory.
+    size_t dir = base.path.rfind('/');
+    out->path = base.path.substr(0, dir + 1) + std::string(link);
+  }
+  size_t hash = out->path.find('#');
+  if (hash != std::string::npos) out->path.resize(hash);
+  if (out->path.empty()) out->path = "/";
+  return true;
+}
+
+std::string DomainOf(std::string_view host) {
+  size_t last = host.rfind('.');
+  if (last == std::string_view::npos) return std::string(host);
+  size_t second = host.rfind('.', last - 1);
+  if (second == std::string_view::npos) return std::string(host);
+  return std::string(host.substr(second + 1));
+}
+
+}  // namespace wsie::web

@@ -1,0 +1,32 @@
+#ifndef WSIE_WEB_URL_H_
+#define WSIE_WEB_URL_H_
+
+#include <string>
+#include <string_view>
+
+namespace wsie::web {
+
+/// Minimal URL splitter for the "http://host/path" URLs of the simulated
+/// web. Relative links are resolved against a base URL's host.
+struct Url {
+  std::string host;
+  std::string path;  ///< always begins with '/'
+
+  std::string ToString() const { return "http://" + host + path; }
+};
+
+/// Parses an absolute URL; returns false if it is not http(s)://host/...
+bool ParseUrl(std::string_view url, Url* out);
+
+/// Resolves `link` (absolute or site-relative) against `base`. Returns false
+/// for unsupported schemes (mailto:, javascript:, fragments).
+bool ResolveLink(const Url& base, std::string_view link, Url* out);
+
+/// Returns the registrable domain used for the PageRank-by-domain table
+/// (Table 2): the last two labels of the host ("portal.example.org" ->
+/// "example.org").
+std::string DomainOf(std::string_view host);
+
+}  // namespace wsie::web
+
+#endif  // WSIE_WEB_URL_H_

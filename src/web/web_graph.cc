@@ -1,0 +1,263 @@
+#include "web/web_graph.h"
+
+#include <algorithm>
+
+namespace wsie::web {
+namespace {
+
+constexpr const char* kBiomedStems[] = {"cancer",  "gene",    "health",
+                                        "med",     "bio",     "disease",
+                                        "drug",    "clinic",  "patient",
+                                        "genome",  "pharma",  "onco"};
+constexpr const char* kBiomedSuffixes[] = {"info", "portal", "center",
+                                           "wiki", "net",    "base"};
+constexpr const char* kResearchStems[] = {"arxiv", "nature", "plos",
+                                          "biomedcentral", "sciencedirect",
+                                          "pubmedcentral"};
+constexpr const char* kLayStems[] = {"blogger", "wordpress", "forum",
+                                     "community", "stories", "myjournal",
+                                     "slideshare", "answers"};
+constexpr const char* kOffStems[] = {"shop",   "sport", "game",  "tech",
+                                     "travel", "news",  "movie", "auto",
+                                     "fashion", "foodie", "market", "finance"};
+constexpr const char* kTlds[] = {".org", ".com", ".net", ".edu", ".gov"};
+
+}  // namespace
+
+const char* HostTopicName(HostTopic topic) {
+  switch (topic) {
+    case HostTopic::kBiomedResearch:
+      return "biomed-research";
+    case HostTopic::kBiomedPortal:
+      return "biomed-portal";
+    case HostTopic::kLayHealth:
+      return "lay-health";
+    case HostTopic::kOffDomain:
+      return "off-domain";
+    case HostTopic::kNonEnglish:
+      return "non-english";
+    case HostTopic::kTrap:
+      return "trap";
+  }
+  return "unknown";
+}
+
+SyntheticWeb::SyntheticWeb(WebConfig config) : config_(config) {
+  Rng rng(config_.seed);
+  GenerateHosts(rng);
+  GeneratePages(rng);
+  GenerateLinks(rng);
+}
+
+void SyntheticWeb::GenerateHosts(Rng& rng) {
+  hosts_.reserve(config_.num_hosts);
+  host_pages_.resize(config_.num_hosts);
+  const size_t n = config_.num_hosts;
+  size_t n_research = static_cast<size_t>(config_.frac_biomed_research * n);
+  size_t n_portal = static_cast<size_t>(config_.frac_biomed_portal * n);
+  size_t n_lay = static_cast<size_t>(config_.frac_lay_health * n);
+  size_t n_foreign = static_cast<size_t>(config_.frac_non_english * n);
+  size_t n_trap = std::max<size_t>(1, static_cast<size_t>(config_.frac_trap * n));
+
+  auto make_name = [&](HostTopic topic, size_t index) {
+    std::string name;
+    switch (topic) {
+      case HostTopic::kBiomedResearch:
+        name = kResearchStems[index % 6];
+        if (index >= 6) name += std::to_string(index);
+        name += ".org";
+        break;
+      case HostTopic::kBiomedPortal:
+        name = std::string(kBiomedStems[rng.Uniform(12)]) +
+               kBiomedSuffixes[rng.Uniform(6)] + std::to_string(index) +
+               kTlds[rng.Uniform(5)];
+        break;
+      case HostTopic::kLayHealth:
+        name = std::string(kLayStems[rng.Uniform(8)]) + std::to_string(index) +
+               ".com";
+        break;
+      case HostTopic::kNonEnglish:
+        name = "portal" + std::to_string(index) + ".example." +
+               (rng.Bernoulli(0.5) ? "de" : "fr");
+        break;
+      case HostTopic::kTrap:
+        name = "calendar" + std::to_string(index) + ".example.com";
+        break;
+      default:
+        name = std::string(kOffStems[rng.Uniform(12)]) +
+               std::to_string(index) + kTlds[rng.Uniform(5)];
+        break;
+    }
+    return name;
+  };
+
+  size_t created = 0;
+  auto add_hosts = [&](HostTopic topic, size_t count) {
+    for (size_t i = 0; i < count && created < n; ++i, ++created) {
+      HostInfo host;
+      host.id = static_cast<uint32_t>(created);
+      host.topic = topic;
+      host.name = make_name(topic, created);
+      host.language = topic == HostTopic::kNonEnglish
+                          ? (rng.Bernoulli(0.5) ? "de" : "fr")
+                          : "en";
+      if (rng.Bernoulli(0.3)) host.robots_disallow_prefix = "/private";
+      // Ensure unique names.
+      while (name_to_host_.count(host.name) > 0) {
+        host.name = "x" + host.name;
+      }
+      name_to_host_[host.name] = host.id;
+      hosts_.push_back(std::move(host));
+    }
+  };
+  add_hosts(HostTopic::kBiomedResearch, n_research);
+  add_hosts(HostTopic::kBiomedPortal, n_portal);
+  add_hosts(HostTopic::kLayHealth, n_lay);
+  add_hosts(HostTopic::kNonEnglish, n_foreign);
+  add_hosts(HostTopic::kTrap, n_trap);
+  add_hosts(HostTopic::kOffDomain, n - created);
+}
+
+void SyntheticWeb::GeneratePages(Rng& rng) {
+  for (HostInfo& host : hosts_) {
+    if (host.topic == HostTopic::kTrap) continue;  // pages are synthesized
+    // Page counts vary by a factor ~4 across hosts. Clamp in the double
+    // domain: casting a negative draw to size_t is undefined behaviour.
+    double draw =
+        rng.Gaussian(static_cast<double>(config_.mean_pages_per_host),
+                     static_cast<double>(config_.mean_pages_per_host) * 0.5);
+    size_t count = static_cast<size_t>(std::max(3.0, draw));
+    for (size_t i = 0; i < count; ++i) {
+      PageInfo page;
+      page.id = pages_.size();
+      page.host_id = host.id;
+      page.render_seed = rng.Next();
+      if (i == 0) {
+        page.path = "/index.html";
+        page.mime = lang::MimeClass::kHtml;
+      } else if (rng.Bernoulli(config_.nontext_page_frac)) {
+        // Non-textual page; MIME filter workload. Some PDFs carry a
+        // misleading .html extension (the Sect. 5 Tika pitfall).
+        bool misleading = rng.Bernoulli(0.2);
+        page.mime =
+            rng.Bernoulli(0.6) ? lang::MimeClass::kPdf : lang::MimeClass::kImage;
+        page.path = "/file" + std::to_string(i) +
+                    (misleading ? ".html"
+                     : page.mime == lang::MimeClass::kPdf ? ".pdf"
+                                                          : ".png");
+      } else {
+        page.path = "/page" + std::to_string(i) + ".html";
+        page.mime = lang::MimeClass::kHtml;
+      }
+      if (!host.robots_disallow_prefix.empty() &&
+          rng.Bernoulli(config_.robots_disallow_frac) && i != 0) {
+        page.path = host.robots_disallow_prefix + page.path;
+      }
+      // Ground-truth relevance.
+      switch (host.topic) {
+        case HostTopic::kBiomedResearch:
+        case HostTopic::kBiomedPortal:
+          page.relevant = rng.Bernoulli(config_.relevance_biomed);
+          break;
+        case HostTopic::kLayHealth:
+          page.relevant = rng.Bernoulli(config_.relevance_lay_health);
+          break;
+        case HostTopic::kOffDomain:
+          page.relevant = rng.Bernoulli(config_.relevance_off_domain);
+          break;
+        default:
+          page.relevant = false;
+          break;
+      }
+      if (page.mime != lang::MimeClass::kHtml) page.relevant = false;
+      if (page.relevant) ++num_relevant_;
+      host_pages_[host.id].push_back(page.id);
+      url_to_page_["http://" + host.name + page.path] = page.id;
+      pages_.push_back(std::move(page));
+    }
+  }
+}
+
+void SyntheticWeb::GenerateLinks(Rng& rng) {
+  // Collect per-topic host lists for cross linking.
+  std::vector<uint32_t> relevant_hosts, other_hosts;
+  for (const HostInfo& host : hosts_) {
+    if (host.topic == HostTopic::kBiomedResearch ||
+        host.topic == HostTopic::kBiomedPortal ||
+        host.topic == HostTopic::kLayHealth ||
+        host.topic == HostTopic::kNonEnglish) {
+      // Non-English health portals are linked from English health sites —
+      // that is exactly why the crawler needs its language filter
+      // (Sect. 2.1).
+      relevant_hosts.push_back(host.id);
+    } else {
+      other_hosts.push_back(host.id);
+    }
+  }
+  auto random_page_of_host = [&](uint32_t host_id) -> int64_t {
+    const auto& plist = host_pages_[host_id];
+    if (plist.empty()) return -1;
+    return static_cast<int64_t>(plist[rng.Uniform(plist.size())]);
+  };
+
+  for (PageInfo& page : pages_) {
+    if (page.mime != lang::MimeClass::kHtml) continue;
+    const HostInfo& host = hosts_[page.host_id];
+    // Navigational links: home page plus random same-host pages.
+    const auto& own = host_pages_[page.host_id];
+    page.outlinks.push_back(own.front());
+    for (size_t i = 1; i < config_.nav_links_per_page && own.size() > 1; ++i) {
+      page.outlinks.push_back(own[rng.Uniform(own.size())]);
+    }
+    // Cross-host content links.
+    bool biomed_host = host.topic == HostTopic::kBiomedResearch ||
+                       host.topic == HostTopic::kBiomedPortal;
+    bool nav_only = biomed_host && rng.Bernoulli(config_.biomed_nav_only_prob);
+    if (!nav_only) {
+      size_t cross = rng.Uniform(config_.max_cross_links_per_page + 1);
+      for (size_t i = 0; i < cross; ++i) {
+        bool to_relevant = page.relevant
+                               ? rng.Bernoulli(config_.topical_locality)
+                               : rng.Bernoulli(1.0 - config_.topical_locality);
+        const auto& pool = to_relevant ? relevant_hosts : other_hosts;
+        if (pool.empty()) continue;
+        int64_t target = random_page_of_host(pool[rng.Uniform(pool.size())]);
+        if (target >= 0) page.outlinks.push_back(static_cast<uint64_t>(target));
+      }
+    }
+    // Occasional link into a trap host.
+    if (rng.Bernoulli(0.01)) {
+      for (const HostInfo& h : hosts_) {
+        if (h.topic == HostTopic::kTrap) {
+          // Trap URLs are dynamic; mark with a sentinel outlink encoded as
+          // page id beyond range — SimulatedWeb renders trap links in HTML
+          // directly, so nothing is needed here. (Trap entry links are
+          // emitted by the renderer based on this flag.)
+          break;
+        }
+      }
+    }
+    // De-duplicate and drop self-links.
+    std::sort(page.outlinks.begin(), page.outlinks.end());
+    page.outlinks.erase(
+        std::unique(page.outlinks.begin(), page.outlinks.end()),
+        page.outlinks.end());
+    page.outlinks.erase(
+        std::remove(page.outlinks.begin(), page.outlinks.end(), page.id),
+        page.outlinks.end());
+  }
+}
+
+const PageInfo* SyntheticWeb::FindPage(std::string_view url) const {
+  auto it = url_to_page_.find(std::string(url));
+  if (it == url_to_page_.end()) return nullptr;
+  return &pages_[it->second];
+}
+
+const HostInfo* SyntheticWeb::FindHost(std::string_view name) const {
+  auto it = name_to_host_.find(std::string(name));
+  if (it == name_to_host_.end()) return nullptr;
+  return &hosts_[it->second];
+}
+
+}  // namespace wsie::web

@@ -1,0 +1,126 @@
+#ifndef WSIE_WEB_WEB_GRAPH_H_
+#define WSIE_WEB_WEB_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "lang/mime.h"
+#include "web/url.h"
+
+namespace wsie::web {
+
+/// Topic of a simulated host; drives page relevance, language, and linking.
+enum class HostTopic {
+  kBiomedResearch,  ///< arxiv/nature-like scientific hosts
+  kBiomedPortal,    ///< patient portals, disease-information sites
+  kLayHealth,       ///< blogs/forums with mixed health content
+  kOffDomain,       ///< shopping, sports, tech, news
+  kNonEnglish,      ///< non-English content (language filter target)
+  kTrap,            ///< spider trap: dynamically generated infinite links
+};
+
+const char* HostTopicName(HostTopic topic);
+
+/// A simulated host.
+struct HostInfo {
+  uint32_t id = 0;
+  std::string name;
+  HostTopic topic = HostTopic::kOffDomain;
+  std::string language = "en";
+  /// robots.txt Disallow prefix; empty = everything allowed.
+  std::string robots_disallow_prefix;
+};
+
+/// Static metadata of one simulated page (content is rendered on fetch).
+struct PageInfo {
+  uint64_t id = 0;
+  uint32_t host_id = 0;
+  std::string path;
+  bool relevant = false;  ///< ground-truth biomedical relevance
+  lang::MimeClass mime = lang::MimeClass::kHtml;
+  std::vector<uint64_t> outlinks;  ///< page ids
+  uint64_t render_seed = 0;        ///< deterministic per-page content seed
+};
+
+/// Synthetic-web generation parameters.
+struct WebConfig {
+  size_t num_hosts = 220;
+  size_t mean_pages_per_host = 40;
+  // Host-topic mix (fractions; remainder is off-domain).
+  double frac_biomed_research = 0.08;
+  double frac_biomed_portal = 0.12;
+  double frac_lay_health = 0.15;
+  double frac_non_english = 0.12;
+  double frac_trap = 0.02;
+  // Ground-truth page relevance per topic.
+  double relevance_biomed = 0.90;
+  double relevance_lay_health = 0.55;
+  double relevance_off_domain = 0.03;
+  // Linking behaviour. Biomedical sites are "only weakly linked; most often
+  // all outgoing links ... navigational leading to pages on the same host"
+  // (Sect. 2.2), which this probability reproduces.
+  double biomed_nav_only_prob = 0.70;
+  double topical_locality = 0.80;  ///< rel page cross-links hit rel hosts w.p.
+  size_t nav_links_per_page = 5;
+  size_t max_cross_links_per_page = 4;
+  // Non-HTML page mix (MIME filter workload; paper: 9.5% filtered).
+  double nontext_page_frac = 0.10;
+  // Fraction of a host's pages placed under its robots Disallow prefix.
+  double robots_disallow_frac = 0.05;
+  uint64_t seed = 99;
+};
+
+/// The simulated world-wide web: hosts, pages, and the hyperlink graph.
+///
+/// Everything is generated deterministically from the seed at construction;
+/// page *content* is rendered lazily and deterministically from each page's
+/// render_seed (see PageRenderer), so the structure stays cheap even for
+/// large webs. This class substitutes for the open web the paper crawls
+/// (DESIGN.md, substitution table).
+class SyntheticWeb {
+ public:
+  explicit SyntheticWeb(WebConfig config = {});
+
+  const std::vector<HostInfo>& hosts() const { return hosts_; }
+  const std::vector<PageInfo>& pages() const { return pages_; }
+  const WebConfig& config() const { return config_; }
+
+  const HostInfo& HostOf(const PageInfo& page) const {
+    return hosts_[page.host_id];
+  }
+
+  /// URL of a page.
+  std::string UrlOf(const PageInfo& page) const {
+    return "http://" + hosts_[page.host_id].name + page.path;
+  }
+
+  /// Looks up a page by URL; returns nullptr for unknown URLs (including
+  /// trap URLs, which are synthesized by SimulatedWeb, not stored).
+  const PageInfo* FindPage(std::string_view url) const;
+
+  /// Looks up a host by name; nullptr if unknown.
+  const HostInfo* FindHost(std::string_view name) const;
+
+  /// Number of ground-truth relevant pages (for harvest-rate evaluation).
+  size_t num_relevant_pages() const { return num_relevant_; }
+
+ private:
+  void GenerateHosts(Rng& rng);
+  void GeneratePages(Rng& rng);
+  void GenerateLinks(Rng& rng);
+
+  WebConfig config_;
+  std::vector<HostInfo> hosts_;
+  std::vector<PageInfo> pages_;
+  std::unordered_map<std::string, uint64_t> url_to_page_;
+  std::unordered_map<std::string, uint32_t> name_to_host_;
+  std::vector<std::vector<uint64_t>> host_pages_;  // host id -> page ids
+  size_t num_relevant_ = 0;
+};
+
+}  // namespace wsie::web
+
+#endif  // WSIE_WEB_WEB_GRAPH_H_

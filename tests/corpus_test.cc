@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/document.h"
+#include "corpus/lexicon.h"
+#include "corpus/profile.h"
+#include "corpus/text_generator.h"
+#include "text/sentence_splitter.h"
+
+namespace wsie::corpus {
+namespace {
+
+// ------------------------------------------------------------ Lexicons
+
+TEST(LexiconTest, GeneratesRequestedSizes) {
+  LexiconConfig config;
+  config.num_genes = 500;
+  config.num_drugs = 100;
+  config.num_diseases = 150;
+  EntityLexicons lexicons(config);
+  EXPECT_EQ(lexicons.genes().size(), 500u);
+  EXPECT_EQ(lexicons.drugs().size(), 100u);
+  EXPECT_EQ(lexicons.diseases().size(), 150u);
+  EXPECT_FALSE(lexicons.general_terms().empty());
+}
+
+TEST(LexiconTest, NamesAreUnique) {
+  EntityLexicons lexicons(LexiconConfig{1000, 200, 200, 7});
+  std::set<std::string> genes(lexicons.genes().begin(),
+                              lexicons.genes().end());
+  EXPECT_EQ(genes.size(), lexicons.genes().size());
+}
+
+TEST(LexiconTest, DeterministicFromSeed) {
+  EntityLexicons a(LexiconConfig{300, 50, 50, 42});
+  EntityLexicons b(LexiconConfig{300, 50, 50, 42});
+  EXPECT_EQ(a.genes(), b.genes());
+  EXPECT_EQ(a.drugs(), b.drugs());
+  EXPECT_EQ(a.diseases(), b.diseases());
+}
+
+TEST(LexiconTest, DifferentSeedsDiffer) {
+  EntityLexicons a(LexiconConfig{300, 50, 50, 1});
+  EntityLexicons b(LexiconConfig{300, 50, 50, 2});
+  EXPECT_NE(a.genes(), b.genes());
+}
+
+TEST(LexiconTest, DrugNamesHavePharmaSuffixes) {
+  EntityLexicons lexicons(LexiconConfig{100, 100, 100, 3});
+  const char* suffixes[] = {"tinib", "mab",    "statin", "cillin", "mycin",
+                            "azole", "pril",   "sartan", "olol"};
+  for (const std::string& drug : lexicons.drugs()) {
+    bool matched = false;
+    for (const char* suffix : suffixes) {
+      if (drug.size() > strlen(suffix) &&
+          drug.compare(drug.size() - strlen(suffix), strlen(suffix), suffix) ==
+              0) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << drug;
+  }
+}
+
+TEST(LexiconTest, SomeGenesAreTlas) {
+  EntityLexicons lexicons(LexiconConfig{2000, 100, 100, 4});
+  size_t tlas = 0;
+  for (const std::string& gene : lexicons.genes()) {
+    if (gene.size() == 3 &&
+        std::all_of(gene.begin(), gene.end(),
+                    [](char c) { return c >= 'A' && c <= 'Z'; })) {
+      ++tlas;
+    }
+  }
+  EXPECT_GT(tlas, 10u);
+}
+
+TEST(LexiconTest, ForTypeDispatch) {
+  EntityLexicons lexicons(LexiconConfig{100, 50, 60, 5});
+  EXPECT_EQ(&lexicons.ForType(ie::EntityType::kGene), &lexicons.genes());
+  EXPECT_EQ(&lexicons.ForType(ie::EntityType::kDrug), &lexicons.drugs());
+  EXPECT_EQ(&lexicons.ForType(ie::EntityType::kDisease),
+            &lexicons.diseases());
+}
+
+// ------------------------------------------------------------ Profiles
+
+TEST(ProfileTest, DocumentLengthOrderingMatchesTable3) {
+  // rel > pmc > irrel > medline (Table 3 mean chars).
+  EXPECT_GT(ProfileFor(CorpusKind::kRelevantWeb).mean_doc_chars,
+            ProfileFor(CorpusKind::kPmc).mean_doc_chars);
+  EXPECT_GT(ProfileFor(CorpusKind::kPmc).mean_doc_chars,
+            ProfileFor(CorpusKind::kIrrelevantWeb).mean_doc_chars);
+  EXPECT_GT(ProfileFor(CorpusKind::kIrrelevantWeb).mean_doc_chars,
+            ProfileFor(CorpusKind::kMedline).mean_doc_chars);
+}
+
+TEST(ProfileTest, NegationOrderingMatchesFig6c) {
+  // pmc > irrel > rel > medline.
+  EXPECT_GT(ProfileFor(CorpusKind::kPmc).negation_rate,
+            ProfileFor(CorpusKind::kIrrelevantWeb).negation_rate);
+  EXPECT_GT(ProfileFor(CorpusKind::kIrrelevantWeb).negation_rate,
+            ProfileFor(CorpusKind::kRelevantWeb).negation_rate);
+  EXPECT_GT(ProfileFor(CorpusKind::kRelevantWeb).negation_rate,
+            ProfileFor(CorpusKind::kMedline).negation_rate);
+}
+
+TEST(ProfileTest, ParenthesisOrdering) {
+  // pmc > rel > medline > irrel (Sect. 4.3.1).
+  EXPECT_GT(ProfileFor(CorpusKind::kPmc).parenthesis_rate,
+            ProfileFor(CorpusKind::kRelevantWeb).parenthesis_rate);
+  EXPECT_GT(ProfileFor(CorpusKind::kRelevantWeb).parenthesis_rate,
+            ProfileFor(CorpusKind::kMedline).parenthesis_rate);
+  EXPECT_GT(ProfileFor(CorpusKind::kMedline).parenthesis_rate,
+            ProfileFor(CorpusKind::kIrrelevantWeb).parenthesis_rate);
+}
+
+TEST(ProfileTest, IrrelevantEntityRatesNearZero) {
+  CorpusProfile irrel = ProfileFor(CorpusKind::kIrrelevantWeb);
+  EXPECT_LT(irrel.disease_rate, 0.01);
+  EXPECT_LT(irrel.drug_rate, 0.01);
+  EXPECT_LT(irrel.gene_rate, 0.01);
+}
+
+TEST(ProfileTest, KindNames) {
+  EXPECT_STREQ(CorpusKindName(CorpusKind::kRelevantWeb), "Relevant crawl");
+  EXPECT_STREQ(CorpusKindName(CorpusKind::kMedline), "Medline");
+}
+
+// ------------------------------------------------------------ Generator
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest() : lexicons_(LexiconConfig{1000, 200, 200, 11}) {}
+  EntityLexicons lexicons_;
+};
+
+TEST_F(GeneratorTest, DeterministicFromSeed) {
+  TextGenerator a(&lexicons_, ProfileFor(CorpusKind::kMedline), 5);
+  TextGenerator b(&lexicons_, ProfileFor(CorpusKind::kMedline), 5);
+  Document da = a.GenerateDocument(1);
+  Document db = b.GenerateDocument(1);
+  EXPECT_EQ(da.text, db.text);
+  EXPECT_EQ(da.gold_entities.size(), db.gold_entities.size());
+}
+
+TEST_F(GeneratorTest, GoldEntityOffsetsMatchText) {
+  TextGenerator gen(&lexicons_, ProfileFor(CorpusKind::kMedline), 6);
+  for (int i = 0; i < 10; ++i) {
+    Document doc = gen.GenerateDocument(i);
+    for (const GoldEntity& g : doc.gold_entities) {
+      ASSERT_LE(g.end, doc.text.size());
+      EXPECT_EQ(doc.text.substr(g.begin, g.end - g.begin), g.name);
+    }
+  }
+}
+
+TEST_F(GeneratorTest, DocumentLengthNearProfileMean) {
+  CorpusProfile profile = ProfileFor(CorpusKind::kMedline);
+  TextGenerator gen(&lexicons_, profile, 7);
+  double total = 0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(gen.GenerateDocument(i).text.size());
+  }
+  double mean = total / n;
+  EXPECT_GT(mean, profile.mean_doc_chars * 0.7);
+  EXPECT_LT(mean, profile.mean_doc_chars * 1.6);
+}
+
+TEST_F(GeneratorTest, WebCorpusLongerThanMedline) {
+  TextGenerator web(&lexicons_, ProfileFor(CorpusKind::kRelevantWeb), 8);
+  TextGenerator medline(&lexicons_, ProfileFor(CorpusKind::kMedline), 8);
+  double web_total = 0, medline_total = 0;
+  for (int i = 0; i < 30; ++i) {
+    web_total += static_cast<double>(web.GenerateDocument(i).text.size());
+    medline_total +=
+        static_cast<double>(medline.GenerateDocument(i).text.size());
+  }
+  EXPECT_GT(web_total, 3 * medline_total);
+}
+
+TEST_F(GeneratorTest, MedlineDenserInEntitiesPerSentence) {
+  TextGenerator medline(&lexicons_, ProfileFor(CorpusKind::kMedline), 9);
+  TextGenerator irrel(&lexicons_, ProfileFor(CorpusKind::kIrrelevantWeb), 9);
+  size_t medline_entities = 0, medline_sentences = 0;
+  size_t irrel_entities = 0, irrel_sentences = 0;
+  for (int i = 0; i < 30; ++i) {
+    Document dm = medline.GenerateDocument(i);
+    medline_entities += dm.gold_entities.size();
+    medline_sentences += dm.gold_sentences;
+    Document di = irrel.GenerateDocument(i);
+    irrel_entities += di.gold_entities.size();
+    irrel_sentences += di.gold_sentences;
+  }
+  double medline_rate =
+      static_cast<double>(medline_entities) / medline_sentences;
+  double irrel_rate = static_cast<double>(irrel_entities) / irrel_sentences;
+  EXPECT_GT(medline_rate, 10 * irrel_rate);
+}
+
+TEST_F(GeneratorTest, EntityNamesComeFromSlice) {
+  CorpusProfile profile = ProfileFor(CorpusKind::kMedline);
+  TextGenerator gen(&lexicons_, profile, 10);
+  std::set<std::string> genes(lexicons_.genes().begin(),
+                              lexicons_.genes().end());
+  std::set<std::string> drugs(lexicons_.drugs().begin(),
+                              lexicons_.drugs().end());
+  std::set<std::string> diseases(lexicons_.diseases().begin(),
+                                 lexicons_.diseases().end());
+  for (int i = 0; i < 10; ++i) {
+    Document doc = gen.GenerateDocument(i);
+    for (const GoldEntity& g : doc.gold_entities) {
+      if (!g.from_lexicon) continue;
+      switch (g.type) {
+        case ie::EntityType::kGene:
+          EXPECT_TRUE(genes.count(g.name)) << g.name;
+          break;
+        case ie::EntityType::kDrug:
+          EXPECT_TRUE(drugs.count(g.name)) << g.name;
+          break;
+        case ie::EntityType::kDisease:
+          EXPECT_TRUE(diseases.count(g.name)) << g.name;
+          break;
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, WebTextContainsTlaNoise) {
+  CorpusProfile profile = ProfileFor(CorpusKind::kRelevantWeb);
+  TextGenerator gen(&lexicons_, profile, 12);
+  size_t noise = 0;
+  for (int i = 0; i < 20; ++i) {
+    for (const GoldEntity& g : gen.GenerateDocument(i).gold_entities) {
+      if (!g.from_lexicon) ++noise;
+    }
+  }
+  EXPECT_GT(noise, 0u);
+}
+
+TEST_F(GeneratorTest, WebTextContainsDebrisLines) {
+  CorpusProfile profile = ProfileFor(CorpusKind::kIrrelevantWeb);
+  profile.debris_rate = 0.3;
+  TextGenerator gen(&lexicons_, profile, 13);
+  bool found = false;
+  for (int i = 0; i < 10 && !found; ++i) {
+    Document doc = gen.GenerateDocument(i);
+    if (doc.text.find(" | ") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GeneratorTest, SentenceCountMatchesSplitterApproximately) {
+  CorpusProfile profile = ProfileFor(CorpusKind::kMedline);
+  TextGenerator gen(&lexicons_, profile, 14);
+  Document doc = gen.GenerateDocument(0);
+  text::SentenceSplitter splitter;
+  size_t detected = splitter.Split(doc.text).size();
+  EXPECT_NEAR(static_cast<double>(detected),
+              static_cast<double>(doc.gold_sentences),
+              0.35 * static_cast<double>(doc.gold_sentences) + 2.0);
+}
+
+TEST_F(GeneratorTest, GenerateCorpusAssignsSequentialIds) {
+  TextGenerator gen(&lexicons_, ProfileFor(CorpusKind::kMedline), 15);
+  auto docs = gen.GenerateCorpus(100, 5);
+  ASSERT_EQ(docs.size(), 5u);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(docs[i].id, 100 + i);
+  }
+}
+
+// ------------------------------------------------------------ Store
+
+TEST(DocumentStoreTest, TracksTotals) {
+  DocumentStore store;
+  Document a;
+  a.text = "12345";
+  Document b;
+  b.text = "123";
+  store.Add(a);
+  store.Add(b);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total_chars(), 8u);
+  EXPECT_DOUBLE_EQ(store.mean_chars(), 4.0);
+}
+
+TEST(DocumentStoreTest, EmptyStore) {
+  DocumentStore store;
+  EXPECT_EQ(store.mean_chars(), 0.0);
+}
+
+}  // namespace
+}  // namespace wsie::corpus

@@ -1,0 +1,432 @@
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "corpus/text_generator.h"
+#include "crawler/crawl_db.h"
+#include "crawler/filters.h"
+#include "crawler/focused_crawler.h"
+#include "crawler/link_db.h"
+#include "crawler/pagerank.h"
+#include "crawler/relevance_classifier.h"
+#include "crawler/seed_generator.h"
+
+namespace wsie::crawler {
+namespace {
+
+// ------------------------------------------------------------ CrawlDb
+
+TEST(CrawlDbTest, InjectDeduplicates) {
+  CrawlDb db;
+  EXPECT_TRUE(db.Inject("http://a/1", "a"));
+  EXPECT_FALSE(db.Inject("http://a/1", "a"));
+  EXPECT_EQ(db.num_known(), 1u);
+  EXPECT_EQ(db.num_pending(), 1u);
+}
+
+TEST(CrawlDbTest, BatchRespectsMax) {
+  CrawlDb db;
+  for (int i = 0; i < 20; ++i) {
+    db.Inject("http://h" + std::to_string(i) + "/p", "h" + std::to_string(i));
+  }
+  auto batch = db.NextFetchBatch(5);
+  EXPECT_EQ(batch.size(), 5u);
+  EXPECT_EQ(db.num_pending(), 15u);
+}
+
+TEST(CrawlDbTest, PerHostCapDefersUrls) {
+  CrawlDb db(/*max_fetch_list_per_host=*/2);
+  for (int i = 0; i < 5; ++i) {
+    db.Inject("http://one/" + std::to_string(i), "one");
+  }
+  auto batch = db.NextFetchBatch(10);
+  EXPECT_EQ(batch.size(), 2u);  // politeness cap
+  auto batch2 = db.NextFetchBatch(10);
+  EXPECT_EQ(batch2.size(), 2u);  // deferred URLs come back
+}
+
+TEST(CrawlDbTest, EmptyAfterDraining) {
+  CrawlDb db;
+  db.Inject("http://a/1", "a");
+  EXPECT_FALSE(db.Empty());
+  auto batch = db.NextFetchBatch(10);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_TRUE(db.Empty());
+  EXPECT_TRUE(db.NextFetchBatch(10).empty());
+}
+
+TEST(CrawlDbTest, FetchedUrlsNotReissued) {
+  CrawlDb db;
+  db.Inject("http://a/1", "a");
+  auto batch = db.NextFetchBatch(10);
+  db.MarkFetched(batch[0]);
+  db.Inject("http://a/1", "a");  // duplicate, already known
+  EXPECT_TRUE(db.NextFetchBatch(10).empty());
+}
+
+TEST(CrawlDbTest, HostFetchCountAccumulates) {
+  CrawlDb db;
+  db.Inject("http://a/1", "a");
+  db.Inject("http://a/2", "a");
+  db.NextFetchBatch(10);
+  EXPECT_EQ(db.HostFetchCount("a"), 2u);
+  EXPECT_EQ(db.HostFetchCount("unknown"), 0u);
+}
+
+TEST(CrawlDbTest, ConcurrentInjectsDeduplicate) {
+  CrawlDb db;
+  ThreadPool pool(4);
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit([&db] {
+      for (int i = 0; i < 200; ++i) {
+        db.Inject("http://h/" + std::to_string(i), "h");
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(db.num_known(), 200u);
+  EXPECT_EQ(db.num_pending(), 200u);
+}
+
+// ------------------------------------------------------------ LinkDb
+
+TEST(LinkDbTest, AddsNodesAndEdges) {
+  LinkDb db;
+  db.AddLink("http://a/1", "http://b/1");
+  db.AddLink("http://a/1", "http://b/2");
+  EXPECT_EQ(db.num_nodes(), 3u);
+  EXPECT_EQ(db.num_edges(), 2u);
+}
+
+TEST(LinkDbTest, SnapshotConsistent) {
+  LinkDb db;
+  db.AddLink("http://a/1", "http://b/1");
+  auto snap = db.TakeSnapshot();
+  ASSERT_EQ(snap.urls.size(), 2u);
+  ASSERT_EQ(snap.outlinks.size(), 2u);
+  EXPECT_EQ(snap.outlinks[0].size(), 1u);
+  EXPECT_EQ(snap.urls[snap.outlinks[0][0]], "http://b/1");
+}
+
+TEST(LinkDbTest, IntraHostFraction) {
+  LinkDb db;
+  db.AddLink("http://a/1", "http://a/2");  // intra
+  db.AddLink("http://a/1", "http://b/1");  // inter
+  EXPECT_NEAR(db.IntraHostEdgeFraction(), 0.5, 1e-9);
+}
+
+// ------------------------------------------------------------ PageRank
+
+TEST(PageRankTest, UniformOnSymmetricGraph) {
+  LinkDb db;
+  db.AddLink("http://a/", "http://b/");
+  db.AddLink("http://b/", "http://a/");
+  auto ranks = ComputePageRank(db.TakeSnapshot());
+  ASSERT_EQ(ranks.size(), 2u);
+  EXPECT_NEAR(ranks[0], ranks[1], 1e-6);
+  EXPECT_NEAR(ranks[0] + ranks[1], 1.0, 1e-6);
+}
+
+TEST(PageRankTest, HubReceivesMoreRank) {
+  LinkDb db;
+  // Several pages link to the hub; hub links back to one.
+  for (int i = 0; i < 5; ++i) {
+    db.AddLink("http://s" + std::to_string(i) + ".org/", "http://hub.org/");
+  }
+  db.AddLink("http://hub.org/", "http://s0.org/");
+  auto top = TopPages(db.TakeSnapshot(), 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].name, "http://hub.org/");
+}
+
+TEST(PageRankTest, DanglingNodesHandled) {
+  LinkDb db;
+  db.AddLink("http://a/", "http://sink/");  // sink has no outlinks
+  auto ranks = ComputePageRank(db.TakeSnapshot());
+  double sum = 0.0;
+  for (double r : ranks) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, TopDomainsAggregates) {
+  LinkDb db;
+  db.AddLink("http://a.x.org/", "http://b.x.org/");
+  db.AddLink("http://b.x.org/", "http://a.x.org/");
+  db.AddLink("http://solo.y.org/", "http://a.x.org/");
+  auto domains = TopDomains(db.TakeSnapshot(), 5);
+  ASSERT_GE(domains.size(), 2u);
+  EXPECT_EQ(domains[0].name, "x.org");
+}
+
+// ------------------------------------------------------------ Filters
+
+TEST(FilterTest, MimeRejection) {
+  PreFilterChain chain;
+  EXPECT_EQ(chain.Apply("http://x/doc.pdf", "%PDF-1.4", "long enough text"),
+            FilterVerdict::kMimeRejected);
+  EXPECT_EQ(chain.mime_rejected(), 1u);
+}
+
+TEST(FilterTest, LengthRejection) {
+  LengthFilterOptions options;
+  options.min_chars = 100;
+  PreFilterChain chain(options);
+  EXPECT_EQ(chain.Apply("http://x/p.html", "<html>", "short"),
+            FilterVerdict::kLengthRejected);
+}
+
+TEST(FilterTest, LanguageRejection) {
+  PreFilterChain chain({/*min_chars=*/10, /*max_chars=*/100000});
+  std::string german =
+      "der patient wurde mit dem medikament gegen die krankheit behandelt "
+      "und die ergebnisse der studie zeigen dass es einen unterschied gibt "
+      "zwischen den gruppen wegen der behandlung die im krankenhaus gegeben "
+      "wurde und die aerzte berichteten weitere forschung";
+  EXPECT_EQ(chain.Apply("http://x/p.html", "<html>", german),
+            FilterVerdict::kLanguageRejected);
+}
+
+TEST(FilterTest, EnglishTextPasses) {
+  PreFilterChain chain({/*min_chars=*/10, /*max_chars=*/100000});
+  std::string english =
+      "the patient was treated with the drug for the disease and the "
+      "results of the study show that there is a difference between the "
+      "groups because of the treatment given in the hospital and the "
+      "doctors reported that further research is needed";
+  EXPECT_EQ(chain.Apply("http://x/p.html", "<html>", english),
+            FilterVerdict::kPass);
+  EXPECT_EQ(chain.passed(), 1u);
+  EXPECT_EQ(chain.total(), 1u);
+}
+
+// ------------------------------------------------- RelevanceClassifier
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  ClassifierTest() : lexicons_(corpus::LexiconConfig{800, 150, 150, 5}) {}
+  corpus::EntityLexicons lexicons_;
+};
+
+TEST_F(ClassifierTest, SeparatesBiomedFromOffDomain) {
+  ClassifierTrainConfig config;
+  config.docs_per_class = 150;
+  RelevanceClassifier classifier(&lexicons_, config);
+  corpus::TextGenerator biomed(
+      &lexicons_, corpus::ProfileFor(corpus::CorpusKind::kMedline), 77);
+  corpus::TextGenerator off(
+      &lexicons_, corpus::ProfileFor(corpus::CorpusKind::kIrrelevantWeb), 78);
+  int biomed_correct = 0, off_correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (classifier.IsRelevant(biomed.GenerateDocument(i).text))
+      ++biomed_correct;
+    if (!classifier.IsRelevant(off.GenerateDocument(i).text)) ++off_correct;
+  }
+  EXPECT_GE(biomed_correct, 17);
+  EXPECT_GE(off_correct, 17);
+}
+
+TEST_F(ClassifierTest, CrossValidationHighPrecision) {
+  ClassifierTrainConfig config;
+  config.docs_per_class = 120;
+  RelevanceClassifier classifier(&lexicons_, config);
+  auto cv = classifier.CrossValidate(5);
+  EXPECT_GT(cv.mean_precision, 0.9);
+  EXPECT_GT(cv.mean_recall, 0.7);
+  EXPECT_EQ(cv.fold_confusions.size(), 5u);
+}
+
+TEST_F(ClassifierTest, ThresholdTradesPrecisionForRecall) {
+  ClassifierTrainConfig config;
+  config.docs_per_class = 120;
+  RelevanceClassifier classifier(&lexicons_, config);
+  // Lay-web relevant text is harder than Medline; a lower threshold accepts
+  // more of it.
+  corpus::TextGenerator web(
+      &lexicons_, corpus::ProfileFor(corpus::CorpusKind::kRelevantWeb), 79);
+  int accepted_high = 0, accepted_low = 0;
+  std::vector<std::string> texts;
+  for (int i = 0; i < 30; ++i) texts.push_back(web.GenerateDocument(i).text);
+  classifier.set_relevance_threshold(0.95);
+  for (const auto& t : texts) accepted_high += classifier.IsRelevant(t);
+  classifier.set_relevance_threshold(0.2);
+  for (const auto& t : texts) accepted_low += classifier.IsRelevant(t);
+  EXPECT_GE(accepted_low, accepted_high);
+}
+
+// ------------------------------------------------------------ E2E crawl
+
+class CrawlerE2eTest : public ::testing::Test {
+ protected:
+  CrawlerE2eTest()
+      : lexicons_(corpus::LexiconConfig{800, 150, 150, 5}),
+        web_(MakeWebConfig()),
+        sim_(&web_, &lexicons_),
+        classifier_(&lexicons_, MakeClassifierConfig()) {}
+
+  static web::WebConfig MakeWebConfig() {
+    web::WebConfig config;
+    config.num_hosts = 50;
+    config.mean_pages_per_host = 8;
+    config.seed = 31;
+    return config;
+  }
+  static ClassifierTrainConfig MakeClassifierConfig() {
+    ClassifierTrainConfig config;
+    config.docs_per_class = 120;
+    config.relevance_threshold = 0.5;
+    return config;
+  }
+
+  std::vector<std::string> SeedsFromBiomedHosts(size_t count) {
+    std::vector<std::string> seeds;
+    for (const auto& page : web_.pages()) {
+      if (seeds.size() >= count) break;
+      const auto& host = web_.HostOf(page);
+      if ((host.topic == web::HostTopic::kBiomedPortal ||
+           host.topic == web::HostTopic::kBiomedResearch) &&
+          page.mime == lang::MimeClass::kHtml && page.relevant) {
+        seeds.push_back(web_.UrlOf(page));
+      }
+    }
+    return seeds;
+  }
+
+  corpus::EntityLexicons lexicons_;
+  web::SyntheticWeb web_;
+  web::SimulatedWeb sim_;
+  RelevanceClassifier classifier_;
+};
+
+TEST_F(CrawlerE2eTest, CrawlCollectsRelevantCorpus) {
+  CrawlerConfig config;
+  config.num_fetch_threads = 4;
+  config.max_pages = 300;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  crawler.InjectSeeds(SeedsFromBiomedHosts(20));
+  crawler.Crawl();
+  const CrawlStats& stats = crawler.stats();
+  EXPECT_GT(stats.fetched, 20u);
+  EXPECT_GT(stats.classified_relevant, 0u);
+  EXPECT_GT(crawler.relevant_corpus().size(), 0u);
+  EXPECT_GT(stats.HarvestRate(), 0.1);
+  EXPECT_GT(crawler.link_db().num_edges(), 0u);
+}
+
+TEST_F(CrawlerE2eTest, ClassifierDecisionsTrackGroundTruth) {
+  CrawlerConfig config;
+  config.max_pages = 300;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  crawler.InjectSeeds(SeedsFromBiomedHosts(20));
+  crawler.Crawl();
+  const auto& confusion = crawler.stats().classification_vs_truth;
+  ASSERT_GT(confusion.total(), 20u);
+  EXPECT_GT(confusion.Precision(), 0.6);
+}
+
+TEST_F(CrawlerE2eTest, RobotsRulesRespected) {
+  CrawlerConfig config;
+  config.max_pages = 400;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  crawler.InjectSeeds(SeedsFromBiomedHosts(30));
+  // Inject a disallowed URL directly.
+  const web::HostInfo* host_with_rules = nullptr;
+  for (const auto& host : web_.hosts()) {
+    if (!host.robots_disallow_prefix.empty()) {
+      host_with_rules = &host;
+      break;
+    }
+  }
+  ASSERT_NE(host_with_rules, nullptr);
+  crawler.InjectSeeds({"http://" + host_with_rules->name + "/private/x.html"});
+  crawler.Crawl();
+  EXPECT_GT(crawler.stats().robots_blocked, 0u);
+}
+
+TEST_F(CrawlerE2eTest, TrapBoundedByHostBudget) {
+  CrawlerConfig config;
+  config.max_pages = 500;
+  config.max_pages_per_host = 20;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  const web::HostInfo* trap = nullptr;
+  for (const auto& host : web_.hosts()) {
+    if (host.topic == web::HostTopic::kTrap) {
+      trap = &host;
+      break;
+    }
+  }
+  ASSERT_NE(trap, nullptr);
+  crawler.InjectSeeds({"http://" + trap->name + "/day?p=0"});
+  crawler.Crawl();
+  // The crawl terminates (no infinite loop) and the trap host is capped.
+  EXPECT_LE(crawler.crawl_db().HostFetchCount(trap->name),
+            config.max_pages_per_host + 2);
+}
+
+TEST_F(CrawlerE2eTest, EmptySeedListStopsImmediately) {
+  FocusedCrawler crawler(&sim_, &classifier_, CrawlerConfig{});
+  crawler.Crawl();
+  EXPECT_EQ(crawler.stats().fetched, 0u);
+}
+
+TEST_F(CrawlerE2eTest, FollowIrrelevantMarginIncreasesYield) {
+  // Seed only off-domain pages: with margin 0 the crawl dies fast; with
+  // margin 2 it pushes through irrelevant pages (Sect. 2.2 discussion).
+  std::vector<std::string> off_seeds;
+  for (const auto& page : web_.pages()) {
+    if (off_seeds.size() >= 10) break;
+    if (web_.HostOf(page).topic == web::HostTopic::kOffDomain &&
+        page.mime == lang::MimeClass::kHtml && !page.relevant) {
+      off_seeds.push_back(web_.UrlOf(page));
+    }
+  }
+  ASSERT_EQ(off_seeds.size(), 10u);
+
+  CrawlerConfig strict;
+  strict.max_pages = 400;
+  strict.follow_irrelevant_margin = 0;
+  FocusedCrawler crawler_strict(&sim_, &classifier_, strict);
+  crawler_strict.InjectSeeds(off_seeds);
+  crawler_strict.Crawl();
+
+  CrawlerConfig lenient = strict;
+  lenient.follow_irrelevant_margin = 2;
+  FocusedCrawler crawler_lenient(&sim_, &classifier_, lenient);
+  crawler_lenient.InjectSeeds(off_seeds);
+  crawler_lenient.Crawl();
+
+  EXPECT_GT(crawler_lenient.stats().fetched, crawler_strict.stats().fetched);
+}
+
+// ------------------------------------------------------------ Seeds
+
+TEST_F(CrawlerE2eTest, SeedGeneratorProducesCategorizedReport) {
+  web::SearchEngineFederation engines(&sim_);
+  SeedGenerator generator(&lexicons_, &engines);
+  SeedQueryBudget budget{10, 20, 15, 25};
+  SeedGenerationReport report = generator.Generate(budget);
+  ASSERT_EQ(report.categories.size(), 4u);
+  EXPECT_EQ(report.categories[0].category, "general terms");
+  EXPECT_EQ(report.categories[0].terms_requested, 10u);
+  // Each term queried against all five engines.
+  EXPECT_EQ(report.categories[0].queries_issued,
+            report.categories[0].terms_used * engines.num_engines());
+  EXPECT_FALSE(report.seed_urls.empty());
+  // Seed URLs deduplicated and sorted.
+  for (size_t i = 1; i < report.seed_urls.size(); ++i) {
+    EXPECT_LT(report.seed_urls[i - 1], report.seed_urls[i]);
+  }
+}
+
+TEST_F(CrawlerE2eTest, LargerBudgetYieldsMoreSeeds) {
+  web::SearchEngineFederation engines_small(&sim_);
+  SeedGenerator small(&lexicons_, &engines_small);
+  auto report_small = small.Generate(SeedQueryBudget::FirstCrawl());
+
+  web::SearchEngineFederation engines_big(&sim_);
+  SeedGenerator big(&lexicons_, &engines_big);
+  auto report_big = big.Generate(SeedQueryBudget{});  // full budget
+
+  EXPECT_GE(report_big.seed_urls.size(), report_small.seed_urls.size());
+}
+
+}  // namespace
+}  // namespace wsie::crawler

@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include "dataflow/executor.h"
+#include "dataflow/meteor.h"
+#include "dataflow/operators_base.h"
+#include "dataflow/optimizer.h"
+#include "dataflow/plan.h"
+#include "dataflow/value.h"
+
+namespace wsie::dataflow {
+namespace {
+
+// ------------------------------------------------------------ Value
+
+TEST(ValueTest, ScalarTypes) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(3.14).is_double());
+  EXPECT_TRUE(Value("str").is_string());
+  EXPECT_EQ(Value(42).AsInt(), 42);
+  EXPECT_EQ(Value("x").AsString(), "x");
+}
+
+TEST(ValueTest, NumericCoercion) {
+  EXPECT_EQ(Value(3.7).AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Value(3).AsDouble(), 3.0);
+  EXPECT_EQ(Value("x").AsInt(-1), -1);
+}
+
+TEST(ValueTest, ObjectFields) {
+  Value v;
+  v.SetField("id", 7);
+  v.SetField("name", "doc");
+  EXPECT_TRUE(v.HasField("id"));
+  EXPECT_FALSE(v.HasField("missing"));
+  EXPECT_EQ(v.Field("id").AsInt(), 7);
+  EXPECT_TRUE(v.Field("missing").is_null());
+}
+
+TEST(ValueTest, Arrays) {
+  Value v(Value::Array{Value(1), Value(2)});
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.AsArray().size(), 2u);
+  v.MutableArray().push_back(Value(3));
+  EXPECT_EQ(v.AsArray().size(), 3u);
+}
+
+TEST(ValueTest, ByteSizeGrowsWithContent) {
+  Value small;
+  small.SetField("text", "x");
+  Value big;
+  big.SetField("text", std::string(1000, 'x'));
+  EXPECT_GT(big.ByteSize(), small.ByteSize() + 900);
+}
+
+TEST(ValueTest, ToJson) {
+  Value v;
+  v.SetField("id", 1);
+  v.SetField("tags", Value(Value::Array{Value("a"), Value("b")}));
+  EXPECT_EQ(v.ToJson(), "{\"id\":1,\"tags\":[\"a\",\"b\"]}");
+  Value escaped("say \"hi\"");
+  EXPECT_EQ(escaped.ToJson(), "\"say \\\"hi\\\"\"");
+}
+
+// ------------------------------------------------------------ Plan
+
+TEST(PlanTest, BuildsDag) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  auto op = std::make_shared<MapOperator>("id", [](const Record& r) { return r; });
+  int node = plan.AddNode(op, {src});
+  plan.MarkSink(node, "out");
+  EXPECT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.num_operators(), 1u);
+  EXPECT_TRUE(plan.nodes()[0].is_source());
+  EXPECT_EQ(plan.nodes()[1].sink_name, "out");
+}
+
+TEST(PlanTest, ConsumersComputed) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  auto op = std::make_shared<MapOperator>("id", [](const Record& r) { return r; });
+  int a = plan.AddNode(op, {src});
+  int b = plan.AddNode(op, {src});
+  plan.AddNode(op, {a, b});
+  auto consumers = plan.Consumers();
+  EXPECT_EQ(consumers[static_cast<size_t>(src)].size(), 2u);
+  EXPECT_EQ(consumers[static_cast<size_t>(a)].size(), 1u);
+}
+
+// ------------------------------------------------------------ Base ops
+
+Dataset MakeNumbers(int n) {
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    Record r;
+    r.SetField("x", i);
+    data.push_back(std::move(r));
+  }
+  return data;
+}
+
+TEST(BaseOperatorTest, Filter) {
+  FilterOperator op("even", [](const Record& r) {
+    return r.Field("x").AsInt() % 2 == 0;
+  });
+  Dataset out;
+  ASSERT_TRUE(op.ProcessBatch(MakeNumbers(10), &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(BaseOperatorTest, Map) {
+  MapOperator op("double", [](const Record& r) {
+    Record copy = r;
+    copy.SetField("x", r.Field("x").AsInt() * 2);
+    return copy;
+  });
+  Dataset out;
+  ASSERT_TRUE(op.ProcessBatch(MakeNumbers(3), &out).ok());
+  EXPECT_EQ(out[2].Field("x").AsInt(), 4);
+}
+
+TEST(BaseOperatorTest, FlatMap) {
+  FlatMapOperator op("dup", [](const Record& r, Dataset* out) {
+    out->push_back(r);
+    out->push_back(r);
+  });
+  Dataset out;
+  ASSERT_TRUE(op.ProcessBatch(MakeNumbers(3), &out).ok());
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(BaseOperatorTest, Projection) {
+  ProjectionOperator op("proj", {"x"});
+  Dataset in = MakeNumbers(1);
+  in[0].SetField("extra", "drop me");
+  Dataset out;
+  ASSERT_TRUE(op.ProcessBatch(in, &out).ok());
+  EXPECT_TRUE(out[0].HasField("x"));
+  EXPECT_FALSE(out[0].HasField("extra"));
+}
+
+// ------------------------------------------------------------ Optimizer
+
+OperatorPtr CheapFilter() {
+  OperatorTraits t;
+  t.reads = {"x"};
+  t.selectivity = 0.1;
+  t.cost_per_record = 0.5;
+  return std::make_shared<FilterOperator>(
+      "cheap_filter",
+      [](const Record& r) { return r.Field("x").AsInt() % 10 == 0; }, t);
+}
+
+OperatorPtr ExpensiveMap() {
+  OperatorTraits t;
+  t.reads = {"x"};
+  t.writes = {"y"};
+  t.cost_per_record = 100.0;
+  return std::make_shared<MapOperator>(
+      "expensive_map",
+      [](const Record& r) {
+        Record copy = r;
+        copy.SetField("y", r.Field("x").AsInt() + 1);
+        return copy;
+      },
+      t);
+}
+
+TEST(OptimizerTest, CommutesChecksFieldSets) {
+  OperatorTraits a, b;
+  a.reads = {"x"};
+  b.reads = {"x"};
+  EXPECT_TRUE(Optimizer::Commutes(a, b));
+  b.writes = {"x"};  // b writes what a reads
+  EXPECT_FALSE(Optimizer::Commutes(a, b));
+  b.writes = {"y"};
+  EXPECT_TRUE(Optimizer::Commutes(a, b));
+  a.writes = {"y"};  // both write y
+  EXPECT_FALSE(Optimizer::Commutes(a, b));
+}
+
+TEST(OptimizerTest, NonRecordAtATimeNeverCommutes) {
+  OperatorTraits a, b;
+  b.record_at_a_time = false;
+  EXPECT_FALSE(Optimizer::Commutes(a, b));
+}
+
+TEST(OptimizerTest, MovesSelectiveFilterEarlier) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  int map = plan.AddNode(ExpensiveMap(), {src});
+  int filter = plan.AddNode(CheapFilter(), {map});
+  plan.MarkSink(filter, "out");
+
+  Optimizer optimizer;
+  auto report = optimizer.Optimize(&plan);
+  ASSERT_EQ(report.steps.size(), 1u);
+  EXPECT_EQ(report.steps[0].moved_earlier, "cheap_filter");
+  EXPECT_LT(report.estimated_cost_after, report.estimated_cost_before);
+  // Operator order in the chain is now filter -> map.
+  EXPECT_EQ(plan.nodes()[1].op->name(), "cheap_filter");
+  EXPECT_EQ(plan.nodes()[2].op->name(), "expensive_map");
+}
+
+TEST(OptimizerTest, RespectsDataDependencies) {
+  // Filter reads the field the map writes: no reorder allowed.
+  OperatorTraits ft;
+  ft.reads = {"y"};
+  ft.selectivity = 0.1;
+  ft.cost_per_record = 0.5;
+  auto dependent_filter = std::make_shared<FilterOperator>(
+      "dep_filter", [](const Record& r) { return r.HasField("y"); }, ft);
+
+  Plan plan;
+  int src = plan.AddSource("in");
+  int map = plan.AddNode(ExpensiveMap(), {src});
+  int filter = plan.AddNode(dependent_filter, {map});
+  plan.MarkSink(filter, "out");
+
+  Optimizer optimizer;
+  auto report = optimizer.Optimize(&plan);
+  EXPECT_TRUE(report.steps.empty());
+  EXPECT_EQ(plan.nodes()[1].op->name(), "expensive_map");
+}
+
+TEST(OptimizerTest, OptimizedPlanProducesSameResult) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  int map = plan.AddNode(ExpensiveMap(), {src});
+  int filter = plan.AddNode(CheapFilter(), {map});
+  plan.MarkSink(filter, "out");
+
+  Executor executor({/*dop=*/2, 0, 8});
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(100)}};
+  auto before = executor.Run(plan, sources);
+  ASSERT_TRUE(before.ok());
+
+  Optimizer optimizer;
+  optimizer.Optimize(&plan);
+  auto after = executor.Run(plan, sources);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->sink_outputs.at("out").size(),
+            after->sink_outputs.at("out").size());
+}
+
+TEST(OptimizerTest, ChainCostEstimate) {
+  OperatorTraits cheap_selective;
+  cheap_selective.selectivity = 0.1;
+  cheap_selective.cost_per_record = 1.0;
+  OperatorTraits expensive;
+  expensive.cost_per_record = 10.0;
+  double filter_first =
+      Optimizer::EstimateChainCost({cheap_selective, expensive}, 100);
+  double map_first =
+      Optimizer::EstimateChainCost({expensive, cheap_selective}, 100);
+  EXPECT_LT(filter_first, map_first);
+}
+
+// ------------------------------------------------------------ Executor
+
+TEST(ExecutorTest, RunsLinearPlan) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  int node = plan.AddNode(ExpensiveMap(), {src});
+  plan.MarkSink(node, "out");
+  Executor executor({/*dop=*/4, 0, 4});
+  auto result = executor.Run(plan, {{"in", MakeNumbers(100)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sink_outputs.at("out").size(), 100u);
+  ASSERT_EQ(result->operator_stats.size(), 1u);
+  EXPECT_EQ(result->operator_stats[0].records_in, 100u);
+  EXPECT_EQ(result->operator_stats[0].records_out, 100u);
+  EXPECT_GT(result->operator_stats[0].bytes_out, 0u);
+}
+
+TEST(ExecutorTest, UnionOfInputs) {
+  Plan plan;
+  int a = plan.AddSource("a");
+  int b = plan.AddSource("b");
+  auto id = std::make_shared<MapOperator>("id", [](const Record& r) { return r; });
+  int node = plan.AddNode(id, {a, b});
+  plan.MarkSink(node, "out");
+  Executor executor;
+  auto result =
+      executor.Run(plan, {{"a", MakeNumbers(10)}, {"b", MakeNumbers(5)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sink_outputs.at("out").size(), 15u);
+}
+
+TEST(ExecutorTest, DiamondTopology) {
+  // One source feeding two branches that re-join: the Fig. 2 shape.
+  Plan plan;
+  int src = plan.AddSource("in");
+  auto inc = [](const char* field) {
+    return std::make_shared<MapOperator>(field, [field](const Record& r) {
+      Record copy = r;
+      copy.SetField(field, 1);
+      return copy;
+    });
+  };
+  int left = plan.AddNode(inc("left"), {src});
+  int right = plan.AddNode(inc("right"), {src});
+  auto join = std::make_shared<MapOperator>("id", [](const Record& r) { return r; });
+  int tail = plan.AddNode(join, {left, right});
+  plan.MarkSink(tail, "out");
+  Executor executor;
+  auto result = executor.Run(plan, {{"in", MakeNumbers(10)}});
+  ASSERT_TRUE(result.ok());
+  const Dataset& out = result->sink_outputs.at("out");
+  EXPECT_EQ(out.size(), 20u);  // one record per branch
+  size_t left_count = 0, right_count = 0;
+  for (const Record& r : out) {
+    if (r.HasField("left")) ++left_count;
+    if (r.HasField("right")) ++right_count;
+  }
+  EXPECT_EQ(left_count, 10u);
+  EXPECT_EQ(right_count, 10u);
+}
+
+TEST(ExecutorTest, MissingSourceIsError) {
+  Plan plan;
+  plan.AddSource("in");
+  Executor executor;
+  auto result = executor.Run(plan, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, OperatorErrorPropagates) {
+  class FailingOp : public Operator {
+   public:
+    std::string name() const override { return "fail"; }
+    Status ProcessBatch(const Dataset&, Dataset*) const override {
+      return Status::Aborted("tool crashed on pathological input");
+    }
+  };
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(std::make_shared<FailingOp>(), {src}), "out");
+  Executor executor;
+  auto result = executor.Run(plan, {{"in", MakeNumbers(10)}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+class HungryOp : public Operator {
+ public:
+  explicit HungryOp(size_t bytes) : bytes_(bytes) {}
+  std::string name() const override { return "hungry"; }
+  size_t MemoryBytesPerWorker() const override { return bytes_; }
+  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+    out->insert(out->end(), in.begin(), in.end());
+    return Status::OK();
+  }
+
+ private:
+  size_t bytes_;
+};
+
+TEST(ExecutorTest, MemoryAdmissionSingleOperator) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(std::make_shared<HungryOp>(30ull << 30), {src}),
+                "out");
+  ExecutorConfig config;
+  config.memory_per_worker_budget = 24ull << 30;  // the paper's 24 GB nodes
+  Executor executor(config);
+  auto result = executor.Run(plan, {{"in", MakeNumbers(1)}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecutorTest, MemoryAdmissionFlowSum) {
+  // Each operator fits alone, but the co-resident flow does not (the
+  // Sect. 4.2 war story).
+  Plan plan;
+  int src = plan.AddSource("in");
+  int a = plan.AddNode(std::make_shared<HungryOp>(15ull << 30), {src});
+  int b = plan.AddNode(std::make_shared<HungryOp>(15ull << 30), {a});
+  plan.MarkSink(b, "out");
+  ExecutorConfig config;
+  config.memory_per_worker_budget = 24ull << 30;
+  Executor executor(config);
+  auto result = executor.Run(plan, {{"in", MakeNumbers(1)}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("split the flow"),
+            std::string::npos);
+}
+
+TEST(ExecutorTest, MemoryCheckDisabledByDefault) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(std::make_shared<HungryOp>(60ull << 30), {src}),
+                "out");
+  Executor executor;  // budget 0 = unchecked
+  EXPECT_TRUE(executor.Run(plan, {{"in", MakeNumbers(1)}}).ok());
+}
+
+TEST(ExecutorTest, StartupCostTimedSeparately) {
+  class SlowOpenOp : public Operator {
+   public:
+    std::string name() const override { return "slow_open"; }
+    Status Open() override {
+      volatile double x = 0;
+      for (int i = 0; i < 2000000; ++i) x = x + i;
+      (void)x;
+      return Status::OK();
+    }
+    Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+      out->insert(out->end(), in.begin(), in.end());
+      return Status::OK();
+    }
+  };
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(std::make_shared<SlowOpenOp>(), {src}), "out");
+  Executor executor;
+  auto result = executor.Run(plan, {{"in", MakeNumbers(4)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->operator_stats[0].open_seconds, 0.0);
+}
+
+// ------------------------------------------------------------ Meteor
+
+OperatorRegistry MakeTestRegistry() {
+  OperatorRegistry registry;
+  registry.Register("keep_even", [](const std::map<std::string, std::string>&)
+                                     -> Result<OperatorPtr> {
+    return OperatorPtr(
+        std::make_shared<FilterOperator>("keep_even", [](const Record& r) {
+          return r.Field("x").AsInt() % 2 == 0;
+        }));
+  });
+  registry.Register(
+      "add", [](const std::map<std::string, std::string>& args)
+                 -> Result<OperatorPtr> {
+        auto it = args.find("n");
+        if (it == args.end()) return Status::InvalidArgument("missing n");
+        int64_t n = std::strtoll(it->second.c_str(), nullptr, 10);
+        return OperatorPtr(
+            std::make_shared<MapOperator>("add", [n](const Record& r) {
+              Record copy = r;
+              copy.SetField("x", r.Field("x").AsInt() + n);
+              return copy;
+            }));
+      });
+  return registry;
+}
+
+TEST(MeteorTest, ParsesAndRunsScript) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  auto plan = parser.Parse(R"(
+    # a small test flow
+    $in   = read 'numbers';
+    $even = keep_even $in;
+    $plus = add $even n '10';
+    write $plus 'out';
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Executor executor;
+  auto result = executor.Run(plan.value(), {{"numbers", MakeNumbers(10)}});
+  ASSERT_TRUE(result.ok());
+  const Dataset& out = result->sink_outputs.at("out");
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0].Field("x").AsInt(), 10);
+}
+
+TEST(MeteorTest, UnionStatement) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  auto plan = parser.Parse(
+      "$a = read 'p'; $b = read 'q'; $u = union $a $b; write $u 'out';");
+  ASSERT_TRUE(plan.ok());
+  Executor executor;
+  auto result = executor.Run(plan.value(),
+                             {{"p", MakeNumbers(3)}, {"q", MakeNumbers(4)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sink_outputs.at("out").size(), 7u);
+}
+
+TEST(MeteorTest, ErrorUnknownOperator) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  auto plan = parser.Parse("$a = read 'x'; $b = nosuchop $a;");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("nosuchop"), std::string::npos);
+}
+
+TEST(MeteorTest, ErrorUndefinedVariable) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  auto plan = parser.Parse("$b = keep_even $missing;");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("missing"), std::string::npos);
+}
+
+TEST(MeteorTest, ErrorUnterminatedString) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  EXPECT_FALSE(parser.Parse("$a = read 'broken;").ok());
+}
+
+TEST(MeteorTest, ErrorCarriesLineNumber) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  auto plan = parser.Parse("$a = read 'x';\n$b = nosuchop $a;");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(MeteorTest, MissingOperatorArgReported) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  auto plan = parser.Parse("$a = read 'x'; $b = add $a; write $b 'o';");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("missing n"), std::string::npos);
+}
+
+TEST(MeteorTest, CommentsIgnored) {
+  OperatorRegistry registry = MakeTestRegistry();
+  MeteorParser parser(&registry);
+  EXPECT_TRUE(parser.Parse("# only a comment\n$a = read 'x';").ok());
+}
+
+}  // namespace
+}  // namespace wsie::dataflow

@@ -1,0 +1,448 @@
+// Tests for the extension modules: near-duplicate detection (DC package),
+// relation extraction, annotation merging, JSON round-tripping, and the
+// consolidated crawl+IE feedback signal.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/ie_feedback.h"
+#include "core/operators_dc.h"
+#include "core/pipeline.h"
+#include "corpus/text_generator.h"
+#include "dataflow/executor.h"
+#include "dataflow/json.h"
+#include "dc/near_duplicate.h"
+#include "ie/relation_extractor.h"
+
+namespace wsie {
+namespace {
+
+// ------------------------------------------------------------ MinHash
+
+TEST(ShingleTest, ProducesDistinctShingles) {
+  auto a = dc::ShingleSet("the quick brown fox jumps over the lazy dog", 3);
+  EXPECT_GT(a.size(), 3u);
+  // Deduplicated and sorted.
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_LT(a[i - 1], a[i]);
+}
+
+TEST(ShingleTest, CaseInsensitive) {
+  EXPECT_EQ(dc::ShingleSet("The Quick Brown Fox", 2),
+            dc::ShingleSet("the quick brown fox", 2));
+}
+
+TEST(ShingleTest, ShortTextSingleShingle) {
+  EXPECT_EQ(dc::ShingleSet("one two", 4).size(), 1u);
+  EXPECT_TRUE(dc::ShingleSet("", 4).empty());
+}
+
+TEST(MinHashTest, IdenticalTextsFullSimilarity) {
+  dc::NearDuplicateIndex index;
+  std::string text = "patients were treated with the drug over several weeks "
+                     "and the results of the study were reported in detail";
+  auto a = index.Signature(text);
+  auto b = index.Signature(text);
+  EXPECT_DOUBLE_EQ(dc::JaccardEstimate(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointTextsLowSimilarity) {
+  dc::NearDuplicateIndex index;
+  auto a = index.Signature(
+      "alpha beta gamma delta epsilon zeta eta theta iota kappa");
+  auto b = index.Signature(
+      "one two three four five six seven eight nine ten eleven");
+  EXPECT_LT(dc::JaccardEstimate(a, b), 0.2);
+}
+
+TEST(MinHashTest, SlightEditStaysSimilar) {
+  dc::NearDuplicateIndex index;
+  std::string base =
+      "patients were treated with the drug over several weeks and the "
+      "results of the long running study were reported in detail by the "
+      "clinical team at the research hospital during the annual meeting";
+  std::string edited = base + " yesterday";
+  double sim = dc::JaccardEstimate(index.Signature(base),
+                                   index.Signature(edited));
+  EXPECT_GT(sim, 0.7);
+}
+
+TEST(NearDuplicateIndexTest, DetectsExactDuplicate) {
+  dc::NearDuplicateIndex index;
+  std::string text =
+      "this syndicated article about gene therapy appears on many mirror "
+      "sites across the web with identical wording everywhere always";
+  EXPECT_EQ(index.AddIfNovel(1, text), -1);
+  EXPECT_EQ(index.AddIfNovel(2, text), 1);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(NearDuplicateIndexTest, DistinctDocumentsBothIndexed) {
+  dc::NearDuplicateIndex index;
+  EXPECT_EQ(index.AddIfNovel(1, "completely unique first document about "
+                                "genes and proteins in cells"),
+            -1);
+  EXPECT_EQ(index.AddIfNovel(2, "a totally different second text about "
+                                "football scores and match results"),
+            -1);
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(NearDuplicateIndexTest, GeneratedCorpusHasNoFalseDuplicates) {
+  corpus::EntityLexicons lexicons(corpus::LexiconConfig{500, 100, 100, 3});
+  corpus::TextGenerator generator(
+      &lexicons, corpus::ProfileFor(corpus::CorpusKind::kMedline), 8);
+  dc::NearDuplicateIndex index;
+  size_t duplicates = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (index.AddIfNovel(i, generator.GenerateDocument(i).text) >= 0) {
+      ++duplicates;
+    }
+  }
+  EXPECT_EQ(duplicates, 0u);
+}
+
+// ------------------------------------------------------------ Relations
+
+ie::Annotation MakeEntity(ie::EntityType type, uint32_t b, uint32_t e,
+                          const char* surface) {
+  ie::Annotation a;
+  a.entity_type = type;
+  a.begin = b;
+  a.end = e;
+  a.surface = surface;
+  a.method = ie::AnnotationMethod::kDictionary;
+  return a;
+}
+
+TEST(RelationExtractorTest, DrugTreatsDiseaseWithTrigger) {
+  ie::RelationExtractor extractor;
+  std::string sentence = "Aspirin treats chronic migraine in most patients";
+  auto relations = extractor.ExtractFromSentence(
+      sentence, 0,
+      {MakeEntity(ie::EntityType::kDrug, 0, 7, "Aspirin"),
+       MakeEntity(ie::EntityType::kDisease, 15, 31, "chronic migraine")});
+  ASSERT_EQ(relations.size(), 1u);
+  EXPECT_EQ(relations[0].type, ie::RelationType::kDrugTreatsDisease);
+  EXPECT_EQ(relations[0].arg1.surface, "Aspirin");
+  EXPECT_EQ(relations[0].arg2.surface, "chronic migraine");
+  EXPECT_EQ(relations[0].trigger, "treats");
+  EXPECT_GT(relations[0].confidence, 0.7);
+}
+
+TEST(RelationExtractorTest, ArgumentOrderNormalized) {
+  ie::RelationExtractor extractor;
+  std::string sentence = "In lung cancer the drug Imatinib helps";
+  auto relations = extractor.ExtractFromSentence(
+      sentence, 0,
+      {MakeEntity(ie::EntityType::kDisease, 3, 14, "lung cancer"),
+       MakeEntity(ie::EntityType::kDrug, 24, 32, "Imatinib")});
+  ASSERT_EQ(relations.size(), 1u);
+  // Drug is always arg1 of drug-treats-disease.
+  EXPECT_EQ(relations[0].arg1.surface, "Imatinib");
+}
+
+TEST(RelationExtractorTest, NegationLowersConfidence) {
+  ie::RelationExtractor extractor;
+  std::string plain = "Aspirin treats migraine";
+  std::string negated = "Aspirin does not treat migraine";
+  auto r1 = extractor.ExtractFromSentence(
+      plain, 0,
+      {MakeEntity(ie::EntityType::kDrug, 0, 7, "Aspirin"),
+       MakeEntity(ie::EntityType::kDisease, 15, 23, "migraine")});
+  auto r2 = extractor.ExtractFromSentence(
+      negated, 0,
+      {MakeEntity(ie::EntityType::kDrug, 0, 7, "Aspirin"),
+       MakeEntity(ie::EntityType::kDisease, 23, 31, "migraine")});
+  ASSERT_EQ(r1.size(), 1u);
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_GT(r1[0].confidence, r2[0].confidence);
+}
+
+TEST(RelationExtractorTest, SameTypePairsIgnored) {
+  ie::RelationExtractor extractor;
+  auto relations = extractor.ExtractFromSentence(
+      "BRCA1 and TP53 interact", 0,
+      {MakeEntity(ie::EntityType::kGene, 0, 5, "BRCA1"),
+       MakeEntity(ie::EntityType::kGene, 10, 14, "TP53")});
+  EXPECT_TRUE(relations.empty());
+}
+
+TEST(RelationExtractorTest, GeneDiseaseAndDrugGeneTypes) {
+  ie::RelationExtractor extractor;
+  auto r1 = extractor.ExtractFromSentence(
+      "BRCA1 mutations are associated with breast cancer", 0,
+      {MakeEntity(ie::EntityType::kGene, 0, 5, "BRCA1"),
+       MakeEntity(ie::EntityType::kDisease, 36, 49, "breast cancer")});
+  ASSERT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r1[0].type, ie::RelationType::kGeneAssociatedDisease);
+  EXPECT_FALSE(r1[0].trigger.empty());
+
+  auto r2 = extractor.ExtractFromSentence(
+      "Imatinib inhibits KRAS2 expression", 0,
+      {MakeEntity(ie::EntityType::kDrug, 0, 8, "Imatinib"),
+       MakeEntity(ie::EntityType::kGene, 18, 23, "KRAS2")});
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0].type, ie::RelationType::kDrugTargetsGene);
+}
+
+TEST(RelationExtractorTest, DistantPairsSkipped) {
+  ie::RelationExtractorOptions options;
+  options.max_span_chars = 10;
+  ie::RelationExtractor extractor(options);
+  auto relations = extractor.ExtractFromSentence(
+      "Aspirin and lots of unrelated words before migraine", 0,
+      {MakeEntity(ie::EntityType::kDrug, 0, 7, "Aspirin"),
+       MakeEntity(ie::EntityType::kDisease, 43, 51, "migraine")});
+  EXPECT_TRUE(relations.empty());
+}
+
+TEST(RelationExtractorTest, TypeNames) {
+  EXPECT_STREQ(ie::RelationTypeName(ie::RelationType::kDrugTreatsDisease),
+               "drug-treats-disease");
+  EXPECT_STREQ(ie::RelationTypeName(ie::RelationType::kDrugTargetsGene),
+               "drug-targets-gene");
+}
+
+// ------------------------------------------------------------ JSON
+
+TEST(JsonTest, RoundTripsScalars) {
+  for (const char* json : {"null", "true", "false", "42", "-7", "\"text\""}) {
+    auto v = dataflow::ParseJson(json);
+    ASSERT_TRUE(v.ok()) << json;
+    EXPECT_EQ(v->ToJson(), json);
+  }
+}
+
+TEST(JsonTest, RoundTripsNested) {
+  const char* json = "{\"a\":[1,2,{\"b\":\"x\"}],\"c\":true}";
+  auto v = dataflow::ParseJson(json);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToJson(), json);
+}
+
+TEST(JsonTest, ParsesDoublesAndEscapes) {
+  auto v = dataflow::ParseJson("{\"pi\":3.5,\"s\":\"a\\nb\\\"c\\\"\"}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->Field("pi").AsDouble(), 3.5);
+  EXPECT_EQ(v->Field("s").AsString(), "a\nb\"c\"");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(dataflow::ParseJson("{").ok());
+  EXPECT_FALSE(dataflow::ParseJson("[1,]").ok());
+  EXPECT_FALSE(dataflow::ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(dataflow::ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(dataflow::ParseJson("12 34").ok());
+  EXPECT_FALSE(dataflow::ParseJson("").ok());
+}
+
+TEST(JsonTest, JsonlFileRoundTrip) {
+  dataflow::Dataset records;
+  for (int i = 0; i < 5; ++i) {
+    dataflow::Record r;
+    r.SetField("id", i);
+    r.SetField("text", "doc " + std::to_string(i));
+    records.push_back(std::move(r));
+  }
+  std::string path = ::testing::TempDir() + "/wsie_jsonl_test.jsonl";
+  ASSERT_TRUE(dataflow::WriteJsonl(path, records).ok());
+  auto loaded = dataflow::ReadJsonl(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), records.size());
+  EXPECT_EQ((*loaded)[3].Field("text").AsString(), "doc 3");
+  std::remove(path.c_str());
+}
+
+TEST(JsonTest, ReadMissingFileFails) {
+  EXPECT_FALSE(dataflow::ReadJsonl("/no/such/file.jsonl").ok());
+}
+
+// ------------------------------------------------- Operators end-to-end
+
+class DcOperatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::AnalysisContextConfig config;
+    config.crf_training_sentences = 200;
+    config.pos_training_sentences = 600;
+    context_ = new std::shared_ptr<const core::AnalysisContext>(
+        std::make_shared<const core::AnalysisContext>(config));
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    context_ = nullptr;
+  }
+  static core::ContextPtr context() { return *context_; }
+  static std::shared_ptr<const core::AnalysisContext>* context_;
+};
+
+std::shared_ptr<const core::AnalysisContext>* DcOperatorTest::context_ =
+    nullptr;
+
+TEST_F(DcOperatorTest, DeduplicateOperatorDropsCopies) {
+  corpus::TextGenerator generator(
+      &context()->lexicons(), corpus::ProfileFor(corpus::CorpusKind::kMedline),
+      4);
+  auto docs = generator.GenerateCorpus(1, 6);
+  // Duplicate two documents under new ids (mirror pages).
+  auto copy1 = docs[0];
+  copy1.id = 100;
+  auto copy2 = docs[3];
+  copy2.id = 101;
+  docs.push_back(copy1);
+  docs.push_back(copy2);
+
+  dataflow::Plan plan;
+  int src = plan.AddSource("docs");
+  plan.MarkSink(plan.AddNode(core::MakeDeduplicateDocuments(), {src}), "out");
+  dataflow::Executor executor(dataflow::ExecutorConfig{2, 0, 4});
+  auto result =
+      executor.Run(plan, {{"docs", core::DocumentsToRecords(docs)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sink_outputs.at("out").size(), 6u);
+}
+
+TEST_F(DcOperatorTest, MergeAnnotationsPreferMl) {
+  dataflow::Record r;
+  r.SetField(core::kFieldId, 1);
+  dataflow::Value dict_ann, ml_ann, elsewhere;
+  dict_ann.SetField("b", 0);
+  dict_ann.SetField("e", 5);
+  dict_ann.SetField("type", "gene");
+  dict_ann.SetField("method", "dict");
+  dict_ann.SetField("surface", "BRCA1");
+  ml_ann.SetField("b", 0);
+  ml_ann.SetField("e", 5);
+  ml_ann.SetField("type", "gene");
+  ml_ann.SetField("method", "ml");
+  ml_ann.SetField("surface", "BRCA1");
+  elsewhere.SetField("b", 20);
+  elsewhere.SetField("e", 27);
+  elsewhere.SetField("type", "drug");
+  elsewhere.SetField("method", "dict");
+  elsewhere.SetField("surface", "Aspirin");
+  r.SetField(core::kFieldEntities,
+             dataflow::Value(dataflow::Value::Array{dict_ann, ml_ann,
+                                                    elsewhere}));
+
+  auto op = core::MakeMergeAnnotations(core::MergeStrategy::kPreferMl);
+  dataflow::Dataset out;
+  ASSERT_TRUE(op->ProcessBatch({r}, &out).ok());
+  const auto& merged = out[0].Field(core::kFieldEntities).AsArray();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].Field("method").AsString(), "ml");
+  EXPECT_EQ(merged[1].Field("surface").AsString(), "Aspirin");
+}
+
+TEST_F(DcOperatorTest, MergeStrategiesDiffer) {
+  dataflow::Record r;
+  r.SetField(core::kFieldId, 1);
+  dataflow::Value short_ml, long_dict;
+  short_ml.SetField("b", 2);
+  short_ml.SetField("e", 7);
+  short_ml.SetField("type", "disease");
+  short_ml.SetField("method", "ml");
+  short_ml.SetField("surface", "tumor");
+  long_dict.SetField("b", 0);
+  long_dict.SetField("e", 12);
+  long_dict.SetField("type", "disease");
+  long_dict.SetField("method", "dict");
+  long_dict.SetField("surface", "a tumor mass");
+  r.SetField(core::kFieldEntities,
+             dataflow::Value(dataflow::Value::Array{short_ml, long_dict}));
+
+  dataflow::Dataset out_longest, out_ml;
+  ASSERT_TRUE(core::MakeMergeAnnotations(core::MergeStrategy::kLongest)
+                  ->ProcessBatch({r}, &out_longest)
+                  .ok());
+  ASSERT_TRUE(core::MakeMergeAnnotations(core::MergeStrategy::kPreferMl)
+                  ->ProcessBatch({r}, &out_ml)
+                  .ok());
+  EXPECT_EQ(out_longest[0].Field(core::kFieldEntities).AsArray()[0]
+                .Field("method")
+                .AsString(),
+            "dict");
+  EXPECT_EQ(out_ml[0].Field(core::kFieldEntities).AsArray()[0]
+                .Field("method")
+                .AsString(),
+            "ml");
+}
+
+TEST_F(DcOperatorTest, RelationFlowFindsRelations) {
+  corpus::TextGenerator generator(
+      &context()->lexicons(), corpus::ProfileFor(corpus::CorpusKind::kMedline),
+      12);
+  auto docs = generator.GenerateCorpus(1, 80);
+
+  dataflow::Plan plan;
+  int node = plan.AddSource("docs");
+  node = plan.AddNode(core::MakeAnnotateSentences(context()), {node});
+  node = plan.AddNode(
+      core::MakeAnnotateEntitiesDict(context(), ie::EntityType::kDrug), {node});
+  node = plan.AddNode(
+      core::MakeAnnotateEntitiesDict(context(), ie::EntityType::kDisease),
+      {node});
+  node = plan.AddNode(core::MakeExtractRelations(context()), {node});
+  plan.MarkSink(node, "out");
+
+  dataflow::Executor executor(dataflow::ExecutorConfig{2, 0, 4});
+  auto result =
+      executor.Run(plan, {{"docs", core::DocumentsToRecords(docs)}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  size_t relations = 0;
+  for (const auto& r : result->sink_outputs.at("out")) {
+    for (const auto& rel : r.Field(core::kFieldRelations).AsArray()) {
+      ++relations;
+      EXPECT_FALSE(rel.Field("arg1").AsString().empty());
+      EXPECT_FALSE(rel.Field("arg2").AsString().empty());
+      double confidence = rel.Field("confidence").AsDouble();
+      EXPECT_GE(confidence, 0.0);
+      EXPECT_LE(confidence, 1.0);
+    }
+  }
+  // Medline text mentions drugs and diseases in one sentence regularly,
+  // but both mentions must also survive the incomplete dictionaries, so
+  // only a handful of relation instances remain at this corpus size.
+  EXPECT_GE(relations, 3u);
+}
+
+TEST_F(DcOperatorTest, MeteorScriptUsesExtensionOperators) {
+  dataflow::OperatorRegistry registry;
+  core::RegisterPipelineOperators(context(), &registry);
+  dataflow::MeteorParser parser(&registry);
+  auto plan = parser.Parse(R"(
+    $docs = read 'docs';
+    $uniq = deduplicate_documents $docs;
+    $sent = annotate_sentences $uniq;
+    $ents = annotate_entities $sent type 'drug' method 'dict';
+    $more = annotate_entities $ents type 'drug' method 'ml';
+    $good = merge_annotations $more strategy 'prefer-ml';
+    $rels = extract_relations $good min_confidence '0.4';
+    write $rels 'out';
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->num_operators(), 6u);
+}
+
+// ------------------------------------------------------------ Feedback
+
+TEST_F(DcOperatorTest, EntityDensitySignalSeparatesCorpora) {
+  core::EntityDensitySignal signal(context());
+  corpus::TextGenerator biomed(
+      &context()->lexicons(), corpus::ProfileFor(corpus::CorpusKind::kMedline),
+      31);
+  corpus::TextGenerator off(
+      &context()->lexicons(),
+      corpus::ProfileFor(corpus::CorpusKind::kIrrelevantWeb), 32);
+  double biomed_score = 0, off_score = 0;
+  for (int i = 0; i < 10; ++i) {
+    biomed_score += signal.Score(biomed.GenerateDocument(i).text);
+    off_score += signal.Score(off.GenerateDocument(i).text);
+  }
+  EXPECT_GT(biomed_score, 3 * off_score);
+  EXPECT_EQ(signal.Score(""), 0.0);
+}
+
+}  // namespace
+}  // namespace wsie

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include "html/boilerplate.h"
+#include "html/html_parser.h"
+#include "html/html_repair.h"
+#include "html/markup_remover.h"
+
+namespace wsie::html {
+namespace {
+
+// ------------------------------------------------------------ Lexer
+
+TEST(HtmlLexerTest, BasicEventStream) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("<p>hello</p>");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, HtmlEvent::Kind::kStartTag);
+  EXPECT_EQ(events[0].name, "p");
+  EXPECT_EQ(events[1].kind, HtmlEvent::Kind::kText);
+  EXPECT_EQ(events[1].text, "hello");
+  EXPECT_EQ(events[2].kind, HtmlEvent::Kind::kEndTag);
+}
+
+TEST(HtmlLexerTest, LowercasesTagNames) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("<DIV>x</DIV>");
+  EXPECT_EQ(events[0].name, "div");
+  EXPECT_EQ(events[2].name, "div");
+}
+
+TEST(HtmlLexerTest, AttributesCaptured) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("<a href=\"http://x.org/\">link</a>");
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_NE(events[0].attrs.find("href"), std::string::npos);
+}
+
+TEST(HtmlLexerTest, SelfClosingAndVoidTags) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("a<br/>b<img src=x>c");
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[1].kind, HtmlEvent::Kind::kSelfClose);
+  EXPECT_EQ(events[3].kind, HtmlEvent::Kind::kSelfClose);  // img is void
+}
+
+TEST(HtmlLexerTest, CommentsAndDoctype) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("<!DOCTYPE html><!-- note -->text");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, HtmlEvent::Kind::kDoctype);
+  EXPECT_EQ(events[1].kind, HtmlEvent::Kind::kComment);
+  EXPECT_EQ(events[1].text, " note ");
+}
+
+TEST(HtmlLexerTest, ScriptBodyIsOpaque) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("<script>if (a<b) { x(); }</script><p>t</p>");
+  EXPECT_EQ(events[0].name, "script");
+  EXPECT_NE(events[0].text.find("a<b"), std::string::npos);
+  // The <p> after the script still parses.
+  bool found_p = false;
+  for (const auto& ev : events) {
+    if (ev.kind == HtmlEvent::Kind::kStartTag && ev.name == "p")
+      found_p = true;
+  }
+  EXPECT_TRUE(found_p);
+}
+
+TEST(HtmlLexerTest, StrayAngleBracketIsMalformed) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("a < b");
+  bool malformed = false;
+  for (const auto& ev : events) {
+    if (ev.kind == HtmlEvent::Kind::kMalformed) malformed = true;
+  }
+  EXPECT_TRUE(malformed);
+}
+
+TEST(HtmlLexerTest, UnterminatedTagAtEof) {
+  HtmlLexer lexer;
+  auto events = lexer.Lex("text<div class=");
+  EXPECT_EQ(events.back().kind, HtmlEvent::Kind::kMalformed);
+}
+
+TEST(HtmlParserTest, ExtractAttributeQuoted) {
+  EXPECT_EQ(ExtractAttribute(" href=\"http://x/\" id='y'", "href"),
+            "http://x/");
+  EXPECT_EQ(ExtractAttribute(" href=\"http://x/\" id='y'", "id"), "y");
+}
+
+TEST(HtmlParserTest, ExtractAttributeBare) {
+  EXPECT_EQ(ExtractAttribute(" src=img.png width=5", "src"), "img.png");
+  EXPECT_EQ(ExtractAttribute(" src=img.png width=5", "width"), "5");
+}
+
+TEST(HtmlParserTest, ExtractAttributeMissing) {
+  EXPECT_EQ(ExtractAttribute(" href=\"x\"", "class"), "");
+  EXPECT_EQ(ExtractAttribute("", "href"), "");
+}
+
+TEST(HtmlParserTest, DecodeEntities) {
+  EXPECT_EQ(DecodeEntities("a &amp; b &lt;c&gt;"), "a & b <c>");
+  EXPECT_EQ(DecodeEntities("&quot;x&quot; &apos;y&apos;"), "\"x\" 'y'");
+  EXPECT_EQ(DecodeEntities("x&nbsp;y"), "x y");
+  EXPECT_EQ(DecodeEntities("&#65;&#x42;"), "AB");
+  EXPECT_EQ(DecodeEntities("bare & ampersand"), "bare & ampersand");
+  EXPECT_EQ(DecodeEntities("&unknown;"), "&unknown;");
+}
+
+TEST(HtmlParserTest, ElementClassification) {
+  EXPECT_TRUE(IsVoidElement("br"));
+  EXPECT_FALSE(IsVoidElement("p"));
+  EXPECT_TRUE(IsBlockElement("div"));
+  EXPECT_TRUE(IsBlockElement("td"));
+  EXPECT_FALSE(IsBlockElement("a"));
+}
+
+// ------------------------------------------------------------ Repair
+
+TEST(HtmlRepairTest, ClosesUnclosedTags) {
+  HtmlRepair repair;
+  auto result = repair.Repair("<html><body><p>one<p>two</body></html>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.unclosed_tags_closed, 0);
+  // Repaired HTML balances: count <p> == count </p>.
+  size_t opens = 0, closes = 0, pos = 0;
+  while ((pos = result->html.find("<p>", pos)) != std::string::npos) {
+    ++opens;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = result->html.find("</p>", pos)) != std::string::npos) {
+    ++closes;
+    ++pos;
+  }
+  EXPECT_EQ(opens, closes);
+}
+
+TEST(HtmlRepairTest, DropsStrayEndTags) {
+  HtmlRepair repair;
+  auto result = repair.Repair("<div>x</b></div>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.stray_end_tags_dropped, 1);
+  EXPECT_EQ(result->html.find("</b>"), std::string::npos);
+}
+
+TEST(HtmlRepairTest, FixesMisnesting) {
+  HtmlRepair repair;
+  auto result = repair.Repair("<div><span>x</div></span>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.misnested_tags_fixed +
+                result->stats.stray_end_tags_dropped,
+            0);
+}
+
+TEST(HtmlRepairTest, RejectsSeverelyDamagedMarkup) {
+  HtmlRepairOptions options;
+  options.max_malformed_fraction = 0.2;
+  HtmlRepair repair(options);
+  // Mostly stray '<' debris.
+  auto result = repair.Repair("< < < < < < < <p>x</p>");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+TEST(HtmlRepairTest, RejectsEmptyDocument) {
+  HtmlRepair repair;
+  EXPECT_FALSE(repair.Repair("").ok());
+}
+
+TEST(HtmlRepairTest, CleanDocumentPassesUnchangedModuloStats) {
+  HtmlRepair repair;
+  std::string clean = "<html><body><p>fine</p></body></html>";
+  auto result = repair.Repair(clean);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->stats.any());
+  EXPECT_EQ(result->html, clean);
+}
+
+// ------------------------------------------------------------ Remover
+
+TEST(MarkupRemoverTest, PlainTextStripsTags) {
+  MarkupRemover remover;
+  std::string text =
+      remover.PlainText("<p>alpha <b>beta</b></p><p>gamma</p>");
+  EXPECT_NE(text.find("alpha beta"), std::string::npos);
+  EXPECT_NE(text.find("gamma"), std::string::npos);
+  EXPECT_EQ(text.find("<"), std::string::npos);
+}
+
+TEST(MarkupRemoverTest, DropsScriptAndStyleBodies) {
+  MarkupRemover remover;
+  std::string text = remover.PlainText(
+      "<style>body{}</style><script>var x=1;</script><p>real</p>");
+  EXPECT_EQ(text.find("var x"), std::string::npos);
+  EXPECT_EQ(text.find("body{}"), std::string::npos);
+  EXPECT_NE(text.find("real"), std::string::npos);
+}
+
+TEST(MarkupRemoverTest, BlocksSegmentedByBlockTags) {
+  MarkupRemover remover;
+  auto blocks = remover.ExtractBlocks("<p>one</p><p>two</p><div>three</div>");
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0].text, "one");
+  EXPECT_EQ(blocks[2].text, "three");
+}
+
+TEST(MarkupRemoverTest, AnchorWordsCounted) {
+  MarkupRemover remover;
+  auto blocks =
+      remover.ExtractBlocks("<p>five plain words here now <a>two linked</a></p>");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].num_words, 7u);
+  EXPECT_EQ(blocks[0].num_anchor_words, 2u);
+  EXPECT_NEAR(blocks[0].LinkDensity(), 2.0 / 7.0, 1e-9);
+}
+
+TEST(MarkupRemoverTest, EnclosingTagTracked) {
+  MarkupRemover remover;
+  auto blocks = remover.ExtractBlocks("<ul><li>item text</li></ul><p>para</p>");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].enclosing_tag, "li");
+  EXPECT_EQ(blocks[1].enclosing_tag, "p");
+}
+
+TEST(MarkupRemoverTest, TitleFlag) {
+  MarkupRemover remover;
+  auto blocks =
+      remover.ExtractBlocks("<title>Site Name</title><p>content text</p>");
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_TRUE(blocks[0].in_title);
+  EXPECT_FALSE(blocks[1].in_title);
+}
+
+TEST(MarkupRemoverTest, ExtractLinks) {
+  MarkupRemover remover;
+  auto links = remover.ExtractLinks(
+      "<a href=\"http://a/\">x</a><a href='/rel.html'>y</a><a>none</a>");
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], "http://a/");
+  EXPECT_EQ(links[1], "/rel.html");
+}
+
+TEST(MarkupRemoverTest, EntitiesDecodedInBlocks) {
+  MarkupRemover remover;
+  auto blocks = remover.ExtractBlocks("<p>AT&amp;T &lt;works&gt;</p>");
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].text, "AT&T <works>");
+}
+
+// ------------------------------------------------------------ Boilerplate
+
+std::string PageWithNavAndContent() {
+  return "<html><head><title>Portal</title></head><body>"
+         "<div><ul>"
+         "<li><a href='/'>Home</a></li>"
+         "<li><a href='/about'>About</a></li>"
+         "<li><a href='/contact'>Contact</a></li>"
+         "</ul></div>"
+         "<div><p>This is the long main article text of the page and it "
+         "talks about the treatment of a disease in many patients over "
+         "several years of study.</p>"
+         "<p>A second long paragraph continues the article with details "
+         "about genes and drugs and the outcomes that were observed in the "
+         "clinical trial of the new therapy.</p></div>"
+         "<div><p><a href='http://ads/'>Cheap deals click here</a></p></div>"
+         "</body></html>";
+}
+
+TEST(BoilerplateTest, KeepsContentDropsNav) {
+  BoilerplateDetector detector;
+  std::string net = detector.NetText(PageWithNavAndContent());
+  EXPECT_NE(net.find("main article text"), std::string::npos);
+  EXPECT_EQ(net.find("Home"), std::string::npos);
+  EXPECT_EQ(net.find("Cheap deals"), std::string::npos);
+}
+
+TEST(BoilerplateTest, TitleIsNotContent) {
+  BoilerplateDetector detector;
+  std::string net = detector.NetText(PageWithNavAndContent());
+  EXPECT_EQ(net.find("Portal"), std::string::npos);
+}
+
+TEST(BoilerplateTest, ShortBlockBetweenContentAbsorbed) {
+  BoilerplateDetector detector;
+  std::string html =
+      "<p>This first paragraph is long enough to count as real page content "
+      "for the block classifier to accept it.</p>"
+      "<p>Short heading here</p>"
+      "<p>This third paragraph is also long enough to count as real page "
+      "content for the block classifier to accept it again.</p>";
+  auto decisions = detector.Classify(html);
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_TRUE(decisions[1].is_content);
+}
+
+TEST(BoilerplateTest, ListContentLostByDefault) {
+  // The Sect. 4.1 recall loss: facts inside <li> are dropped by default.
+  std::string html =
+      "<ul><li>This list item holds a long factual statement about the drug "
+      "dosage and its measured effect on the disease outcome.</li></ul>";
+  BoilerplateDetector default_detector;
+  EXPECT_EQ(default_detector.NetText(html), "");
+
+  BoilerplateOptions fixed;
+  fixed.drop_table_and_list_blocks = false;
+  BoilerplateDetector fixed_detector(fixed);
+  EXPECT_NE(fixed_detector.NetText(html).find("dosage"), std::string::npos);
+}
+
+TEST(BoilerplateTest, HighLinkDensityRejected) {
+  std::string html =
+      "<p><a href='/a'>one</a> <a href='/b'>two</a> <a href='/c'>three</a> "
+      "<a href='/d'>four</a> <a href='/e'>five</a> <a href='/f'>six</a> "
+      "<a href='/g'>seven</a> <a href='/h'>eight</a> <a href='/i'>nine</a> "
+      "<a href='/j'>ten</a> <a href='/k'>eleven</a></p>";
+  BoilerplateDetector detector;
+  EXPECT_EQ(detector.NetText(html), "");
+}
+
+TEST(BoilerplateTest, EmptyDocument) {
+  BoilerplateDetector detector;
+  EXPECT_EQ(detector.NetText(""), "");
+  EXPECT_TRUE(detector.Classify("").empty());
+}
+
+}  // namespace
+}  // namespace wsie::html

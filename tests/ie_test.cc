@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "ie/aho_corasick.h"
+#include "ie/annotation.h"
+#include "ie/crf_tagger.h"
+#include "ie/dictionary_tagger.h"
+#include "ie/term_expander.h"
+#include "text/tokenizer.h"
+
+namespace wsie::ie {
+namespace {
+
+// ------------------------------------------------------------ AhoCorasick
+
+TEST(AhoCorasickTest, FindsSinglePattern) {
+  AhoCorasick ac;
+  ac.AddPattern("brca1");
+  ac.Build();
+  auto matches = ac.FindAll("the brca1 gene");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].begin, 4u);
+  EXPECT_EQ(matches[0].end, 9u);
+}
+
+TEST(AhoCorasickTest, CaseInsensitiveFolding) {
+  AhoCorasick ac;
+  ac.AddPattern("aspirin");
+  ac.Build();
+  EXPECT_EQ(ac.FindAll("Aspirin ASPIRIN aspirin").size(), 3u);
+}
+
+TEST(AhoCorasickTest, FindsOverlappingPatterns) {
+  AhoCorasick ac;
+  uint32_t id_he = ac.AddPattern("he");
+  uint32_t id_she = ac.AddPattern("she");
+  uint32_t id_hers = ac.AddPattern("hers");
+  ac.Build();
+  auto matches = ac.FindAll("shers");
+  std::set<uint32_t> found;
+  for (const auto& m : matches) found.insert(m.pattern_id);
+  EXPECT_TRUE(found.count(id_he));
+  EXPECT_TRUE(found.count(id_she));
+  EXPECT_TRUE(found.count(id_hers));
+}
+
+TEST(AhoCorasickTest, MultiWordPatterns) {
+  AhoCorasick ac;
+  ac.AddPattern("breast cancer");
+  ac.Build();
+  auto matches = ac.FindAll("a breast cancer study");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].begin, 2u);
+}
+
+TEST(AhoCorasickTest, NoMatches) {
+  AhoCorasick ac;
+  ac.AddPattern("zzz");
+  ac.Build();
+  EXPECT_TRUE(ac.FindAll("nothing here").empty());
+  EXPECT_TRUE(ac.FindAll("").empty());
+}
+
+TEST(AhoCorasickTest, KeepLongestDropsContained) {
+  std::vector<AutomatonMatch> matches = {
+      {0, 0, 5},   // contains the next
+      {1, 1, 3},
+      {2, 10, 15},
+  };
+  auto kept = AhoCorasick::KeepLongest(matches);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].begin, 0u);
+  EXPECT_EQ(kept[1].begin, 10u);
+}
+
+TEST(AhoCorasickTest, MemoryGrowsWithDictionary) {
+  AhoCorasick small, large;
+  small.AddPattern("abc");
+  small.Build();
+  for (int i = 0; i < 1000; ++i) {
+    large.AddPattern("pattern" + std::to_string(i));
+  }
+  large.Build();
+  EXPECT_GT(large.ApproxMemoryBytes(), small.ApproxMemoryBytes() * 10);
+  EXPECT_EQ(large.num_patterns(), 1000u);
+}
+
+TEST(AhoCorasickTest, ManyPatternsSingleScan) {
+  AhoCorasick ac;
+  for (int i = 0; i < 500; ++i) ac.AddPattern("term" + std::to_string(i));
+  ac.Build();
+  // Raw matches include substring hits ("term49" ends inside "term499");
+  // longest-match filtering yields exactly the three surface mentions.
+  auto matches = AhoCorasick::KeepLongest(
+      ac.FindAll("term0 and term499 and term250"));
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+// ------------------------------------------------------------ TermExpander
+
+TEST(TermExpanderTest, OriginalAlwaysFirst) {
+  TermExpander expander;
+  auto variants = expander.Expand("thymoma");
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants[0], "thymoma");
+}
+
+TEST(TermExpanderTest, PluralVariants) {
+  TermExpander expander;
+  auto variants = expander.Expand("tumor");
+  EXPECT_NE(std::find(variants.begin(), variants.end(), "tumors"),
+            variants.end());
+}
+
+TEST(TermExpanderTest, ConsonantYPlural) {
+  TermExpander expander;
+  auto variants = expander.Expand("therapy");
+  EXPECT_NE(std::find(variants.begin(), variants.end(), "therapies"),
+            variants.end());
+}
+
+TEST(TermExpanderTest, SingularizesPluralEntry) {
+  TermExpander expander;
+  auto variants = expander.Expand("tumors");
+  EXPECT_NE(std::find(variants.begin(), variants.end(), "tumor"),
+            variants.end());
+}
+
+TEST(TermExpanderTest, HyphenSpaceVariants) {
+  TermExpander expander;
+  auto variants = expander.Expand("GAD-67");
+  EXPECT_NE(std::find(variants.begin(), variants.end(), "GAD 67"),
+            variants.end());
+  EXPECT_NE(std::find(variants.begin(), variants.end(), "GAD67"),
+            variants.end());
+}
+
+TEST(TermExpanderTest, SpaceToHyphen) {
+  TermExpander expander;
+  auto variants = expander.Expand("beta blocker");
+  EXPECT_NE(std::find(variants.begin(), variants.end(), "beta-blocker"),
+            variants.end());
+}
+
+TEST(TermExpanderTest, GreekLetterVariants) {
+  TermExpander expander;
+  auto variants = expander.Expand("TNF-alpha");
+  bool found = false;
+  for (const auto& v : variants) {
+    if (v == "TNF-a") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TermExpanderTest, NoDuplicates) {
+  TermExpander expander;
+  auto variants = expander.Expand("GAD-67");
+  std::set<std::string> unique(variants.begin(), variants.end());
+  EXPECT_EQ(unique.size(), variants.size());
+}
+
+TEST(TermExpanderTest, OptionsDisableExpansion) {
+  TermExpanderOptions options;
+  options.plural_variants = false;
+  options.hyphen_space_variants = false;
+  options.greek_letter_variants = false;
+  TermExpander expander(options);
+  EXPECT_EQ(expander.Expand("GAD-67").size(), 1u);
+}
+
+// --------------------------------------------------------- DictionaryTagger
+
+TEST(DictionaryTaggerTest, TagsMentions) {
+  DictionaryTagger tagger(EntityType::kDrug, {"Aspirin", "Tamoxifen"});
+  auto annotations = tagger.Tag(7, "She took aspirin and tamoxifen daily.");
+  ASSERT_EQ(annotations.size(), 2u);
+  EXPECT_EQ(annotations[0].doc_id, 7u);
+  EXPECT_EQ(annotations[0].surface, "aspirin");
+  EXPECT_EQ(annotations[0].entity_type, EntityType::kDrug);
+  EXPECT_EQ(annotations[0].method, AnnotationMethod::kDictionary);
+}
+
+TEST(DictionaryTaggerTest, RespectsWordBoundaries) {
+  DictionaryTagger tagger(EntityType::kGene, {"RAS"});
+  EXPECT_TRUE(tagger.Tag(1, "the KRAS pathway").empty());
+  EXPECT_EQ(tagger.Tag(1, "the RAS pathway").size(), 1u);
+}
+
+TEST(DictionaryTaggerTest, OffsetsMatchSource) {
+  DictionaryTagger tagger(EntityType::kDisease, {"breast cancer"});
+  std::string text = "Study of breast cancer outcomes.";
+  auto annotations = tagger.Tag(1, text);
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_EQ(text.substr(annotations[0].begin, annotations[0].length()),
+            "breast cancer");
+}
+
+TEST(DictionaryTaggerTest, LongestMatchWins) {
+  DictionaryTagger tagger(EntityType::kDisease, {"cancer", "breast cancer"});
+  auto annotations = tagger.Tag(1, "breast cancer");
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_EQ(annotations[0].surface, "breast cancer");
+}
+
+TEST(DictionaryTaggerTest, PluralVariantMatched) {
+  DictionaryTagger tagger(EntityType::kDisease, {"thymoma"});
+  EXPECT_EQ(tagger.Tag(1, "several thymomas were found").size(), 1u);
+}
+
+TEST(DictionaryTaggerTest, BuildStatsPopulated) {
+  std::vector<std::string> dict;
+  for (int i = 0; i < 200; ++i) dict.push_back("gene" + std::to_string(i));
+  DictionaryTagger tagger(EntityType::kGene, dict);
+  const auto& stats = tagger.build_stats();
+  EXPECT_EQ(stats.dictionary_entries, 200u);
+  EXPECT_GE(stats.expanded_patterns, 200u);
+  EXPECT_GT(stats.automaton_nodes, 200u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_GE(stats.build_seconds, 0.0);
+}
+
+TEST(DictionaryTaggerTest, ShortPatternsDropped) {
+  DictionaryTagger tagger(EntityType::kGene, {"ab"});
+  EXPECT_TRUE(tagger.Tag(1, "ab here").empty());
+}
+
+// ------------------------------------------------------------ CrfTagger
+
+std::vector<TaggedSentence> MakeToyGold() {
+  // Pattern: tokens that look like gene symbols (contain a digit, all caps
+  // prefix) are entities.
+  text::Tokenizer tokenizer;
+  std::vector<TaggedSentence> gold;
+  const char* sentences[] = {
+      "The BRCA1 gene was studied",     "We measured TP53 in samples",
+      "Results for EGFR2 were clear",   "The KRAS4 mutation appeared",
+      "Analysis of MYC7 continued",     "The protein binds ABC3 today",
+      "Expression of DEF8 increased",   "The GHI9 level dropped",
+  };
+  for (const char* s : sentences) {
+    TaggedSentence ts;
+    ts.tokens = tokenizer.Tokenize(s);
+    for (size_t t = 0; t < ts.tokens.size(); ++t) {
+      const std::string& w = ts.tokens[t].text;
+      bool is_gene = w.size() >= 3 && wsie::ContainsDigit(w) &&
+                     wsie::IsAllUpper(w.substr(0, 3));
+      if (is_gene) ts.spans.push_back(GoldSpan{t, t + 1});
+    }
+    gold.push_back(std::move(ts));
+  }
+  // Replicate for more training signal.
+  std::vector<TaggedSentence> out;
+  for (int i = 0; i < 10; ++i) {
+    out.insert(out.end(), gold.begin(), gold.end());
+  }
+  return out;
+}
+
+TEST(CrfTaggerTest, LearnsGeneShapedTokens) {
+  CrfTagger tagger(EntityType::kGene, 1 << 14);
+  tagger.Train(MakeToyGold());
+  text::Tokenizer tokenizer;
+  std::string sentence = "The XYZ5 gene was measured";
+  auto tokens = tokenizer.Tokenize(sentence);
+  auto annotations = tagger.TagSentence(1, 0, sentence, tokens);
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_EQ(annotations[0].surface, "XYZ5");
+  EXPECT_EQ(annotations[0].method, AnnotationMethod::kMl);
+}
+
+TEST(CrfTaggerTest, EmptySentence) {
+  CrfTagger tagger(EntityType::kGene);
+  EXPECT_TRUE(tagger.TagSentence(1, 0, "", {}).empty());
+}
+
+TEST(CrfTaggerTest, AnnotationCarriesSentenceId) {
+  CrfTagger tagger(EntityType::kGene, 1 << 14);
+  tagger.Train(MakeToyGold());
+  text::Tokenizer tokenizer;
+  std::string sentence = "We studied BRCA1 here";
+  auto annotations =
+      tagger.TagSentence(42, 9, sentence, tokenizer.Tokenize(sentence));
+  ASSERT_FALSE(annotations.empty());
+  EXPECT_EQ(annotations[0].doc_id, 42u);
+  EXPECT_EQ(annotations[0].sentence_id, 9u);
+}
+
+TEST(NerFeaturesTest, ProducesFeaturesPerToken) {
+  text::Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize("The BRCA1 gene");
+  auto features = ExtractNerFeatures(tokens);
+  ASSERT_EQ(features.size(), 3u);
+  for (const auto& f : features) EXPECT_GT(f.size(), 5u);
+}
+
+// ------------------------------------------------------------ Merge / TLA
+
+Annotation Ann(uint64_t doc, uint32_t b, uint32_t e, const char* surface,
+               AnnotationMethod method,
+               EntityType type = EntityType::kGene) {
+  Annotation a;
+  a.doc_id = doc;
+  a.begin = b;
+  a.end = e;
+  a.surface = surface;
+  a.method = method;
+  a.entity_type = type;
+  return a;
+}
+
+TEST(MergeHybridTest, UnionsNonOverlapping) {
+  auto merged =
+      MergeHybrid({Ann(1, 0, 5, "BRCA1", AnnotationMethod::kMl)},
+                  {Ann(1, 10, 15, "KRAS2", AnnotationMethod::kDictionary)});
+  EXPECT_EQ(merged.size(), 2u);
+  // Hybrid output is uniformly labeled as ML (ChemSpot behaviour).
+  EXPECT_EQ(merged[1].method, AnnotationMethod::kMl);
+}
+
+TEST(MergeHybridTest, CrfWinsOnOverlap) {
+  auto merged =
+      MergeHybrid({Ann(1, 0, 5, "BRCA1", AnnotationMethod::kMl)},
+                  {Ann(1, 3, 8, "CA1XY", AnnotationMethod::kDictionary)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].surface, "BRCA1");
+}
+
+TEST(MergeHybridTest, DifferentDocsNeverOverlap) {
+  auto merged =
+      MergeHybrid({Ann(1, 0, 5, "BRCA1", AnnotationMethod::kMl)},
+                  {Ann(2, 0, 5, "BRCA1", AnnotationMethod::kDictionary)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(TlaFilterTest, RemovesMlGeneTlas) {
+  size_t removed = 0;
+  auto kept = FilterTlaAnnotations(
+      {Ann(1, 0, 3, "ABC", AnnotationMethod::kMl),
+       Ann(1, 5, 10, "BRCA1", AnnotationMethod::kMl),
+       Ann(1, 12, 15, "DEF", AnnotationMethod::kDictionary)},
+      &removed);
+  EXPECT_EQ(removed, 1u);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].surface, "BRCA1");
+  EXPECT_EQ(kept[1].surface, "DEF");  // dictionary TLAs survive
+}
+
+TEST(TlaFilterTest, KeepsLowercaseTriples) {
+  size_t removed = 0;
+  auto kept = FilterTlaAnnotations(
+      {Ann(1, 0, 3, "abc", AnnotationMethod::kMl)}, &removed);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(kept.size(), 1u);
+}
+
+// ------------------------------------------------------------ Annotation
+
+TEST(AnnotationTest, Names) {
+  EXPECT_STREQ(EntityTypeName(EntityType::kGene), "gene");
+  EXPECT_STREQ(EntityTypeName(EntityType::kDrug), "drug");
+  EXPECT_STREQ(EntityTypeName(EntityType::kDisease), "disease");
+  EXPECT_STREQ(AnnotationMethodName(AnnotationMethod::kDictionary), "dict");
+  EXPECT_STREQ(AnnotationMethodName(AnnotationMethod::kMl), "ml");
+}
+
+TEST(AnnotationTest, ByteSizeCountsStrings) {
+  Annotation a = Ann(1, 0, 5, "BRCA1", AnnotationMethod::kMl);
+  size_t base = AnnotationByteSize(a);
+  a.surface = "a much longer surface string";
+  EXPECT_GT(AnnotationByteSize(a), base);
+}
+
+}  // namespace
+}  // namespace wsie::ie

@@ -1,0 +1,202 @@
+// End-to-end integration: focused crawl over the simulated web feeding the
+// analysis pipeline, and the four-corpus comparison orderings the paper
+// reports.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/analysis_context.h"
+#include "core/analytics.h"
+#include "core/pipeline.h"
+#include "corpus/text_generator.h"
+#include "crawler/focused_crawler.h"
+#include "crawler/seed_generator.h"
+#include "web/search_engine.h"
+#include "web/simulated_web.h"
+
+namespace wsie {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::AnalysisContextConfig config;
+    config.crf_training_sentences = 500;
+    config.pos_training_sentences = 1000;
+    context_ = new std::shared_ptr<const core::AnalysisContext>(
+        std::make_shared<const core::AnalysisContext>(config));
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    context_ = nullptr;
+  }
+  static core::ContextPtr context() { return *context_; }
+
+  static core::CorpusAnalysis Analyze(corpus::CorpusKind kind, size_t n,
+                                      uint64_t seed) {
+    corpus::TextGenerator generator(&context()->lexicons(),
+                                    corpus::ProfileFor(kind), seed);
+    auto docs = generator.GenerateCorpus(seed * 10000, n);
+    core::FlowOptions options;
+    dataflow::Plan plan = core::BuildAnalysisFlow(context(), options);
+    auto result = core::RunFlow(plan, docs, dataflow::ExecutorConfig{4, 0, 4});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return core::AnalyzeRecords(kind, result->sink_outputs.at("analyzed"));
+  }
+
+  static std::shared_ptr<const core::AnalysisContext>* context_;
+};
+
+std::shared_ptr<const core::AnalysisContext>* IntegrationTest::context_ =
+    nullptr;
+
+TEST_F(IntegrationTest, SeededCrawlFeedsPipeline) {
+  web::WebConfig web_config;
+  web_config.num_hosts = 60;
+  web_config.mean_pages_per_host = 8;
+  web_config.seed = 77;
+  web::SyntheticWeb graph(web_config);
+  web::SimulatedWeb sim(&graph, &context()->lexicons());
+  web::SearchEngineFederation engines(&sim);
+
+  // Seed generation via keyword queries (Sect. 2.2).
+  crawler::SeedGenerator seeder(&context()->lexicons(), &engines);
+  auto seeds = seeder.Generate(crawler::SeedQueryBudget{20, 30, 30, 30});
+  ASSERT_GT(seeds.seed_urls.size(), 10u);
+
+  // Focused crawl.
+  crawler::ClassifierTrainConfig classifier_config;
+  classifier_config.docs_per_class = 120;
+  classifier_config.relevance_threshold = 0.5;
+  crawler::RelevanceClassifier classifier(&context()->lexicons(),
+                                          classifier_config);
+  crawler::CrawlerConfig crawl_config;
+  crawl_config.max_pages = 250;
+  crawler::FocusedCrawler crawler(&sim, &classifier, crawl_config);
+  crawler.InjectSeeds(seeds.seed_urls);
+  crawler.Crawl();
+  ASSERT_GT(crawler.relevant_corpus().size(), 3u);
+
+  // Analysis flow over the crawled relevant corpus (already net text, so no
+  // web preprocessing needed).
+  core::FlowOptions options;
+  dataflow::Plan plan = core::BuildAnalysisFlow(context(), options);
+  auto result = core::RunFlow(plan, crawler.relevant_corpus().documents(),
+                              dataflow::ExecutorConfig{4, 0, 4});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto analysis = core::AnalyzeRecords(corpus::CorpusKind::kRelevantWeb,
+                                       result->sink_outputs.at("analyzed"));
+  EXPECT_EQ(analysis.num_docs(), crawler.relevant_corpus().size());
+  EXPECT_GT(analysis.total_sentences, 0u);
+}
+
+TEST_F(IntegrationTest, FourCorpusOrderingsMatchPaper) {
+  auto rel = Analyze(corpus::CorpusKind::kRelevantWeb, 35, 1);
+  auto irrel = Analyze(corpus::CorpusKind::kIrrelevantWeb, 25, 2);
+  auto medline = Analyze(corpus::CorpusKind::kMedline, 60, 3);
+  auto pmc = Analyze(corpus::CorpusKind::kPmc, 25, 4);
+
+  // Table 3: document lengths rel > pmc > irrel > medline.
+  EXPECT_GT(rel.mean_chars(), pmc.mean_chars());
+  EXPECT_GT(pmc.mean_chars(), irrel.mean_chars());
+  EXPECT_GT(irrel.mean_chars(), medline.mean_chars());
+
+  // Fig. 6a: the differences are significant.
+  EXPECT_LT(core::MwwPValue(rel.DocLengths(), medline.DocLengths()), 0.01);
+  EXPECT_LT(core::MwwPValue(rel.DocLengths(), irrel.DocLengths()), 0.01);
+  EXPECT_LT(core::MwwPValue(rel.DocLengths(), pmc.DocLengths()), 0.05);
+
+  // Fig. 7: per-1000-sentence entity densities — relevant web dwarfs the
+  // irrelevant crawl for every type (dictionary method; the ML gene tagger
+  // inflates irrelevant pages with TLA false positives, as in the paper).
+  for (size_t type = 0; type < core::kNumEntityTypes; ++type) {
+    EXPECT_GT(rel.EntitiesPer1000Sentences(type, 0),
+              4 * irrel.EntitiesPer1000Sentences(type, 0))
+        << "type " << type;
+  }
+  EXPECT_GT(medline.EntitiesPer1000Sentences(1, 0),  // drug dict
+            rel.EntitiesPer1000Sentences(1, 0));
+
+  // Table 4: ML produces more distinct names than the dictionary, and the
+  // relevant crawl yields more distinct names than the irrelevant crawl.
+  for (size_t type = 0; type < core::kNumEntityTypes; ++type) {
+    EXPECT_GE(rel.DistinctNames(type, 1), rel.DistinctNames(type, 0))
+        << "type " << type;
+    EXPECT_GT(rel.DistinctNames(type, 0), irrel.DistinctNames(type, 0))
+        << "type " << type;
+  }
+
+  // Sect. 4.3.2 JSD orderings: rel-irrel > rel-medline and rel-irrel >
+  // rel-pmc (dictionary names).
+  for (size_t type = 0; type < core::kNumEntityTypes; ++type) {
+    double rel_irrel = core::EntityDistributionJsd(rel, irrel, type, 0);
+    double rel_medl = core::EntityDistributionJsd(rel, medline, type, 0);
+    double rel_pmc = core::EntityDistributionJsd(rel, pmc, type, 0);
+    EXPECT_GT(rel_irrel, rel_medl) << "type " << type;
+    EXPECT_GT(rel_irrel, rel_pmc) << "type " << type;
+  }
+
+  // Fig. 8: the rel/irrel overlap of dictionary names is small relative to
+  // the rel/medline overlap.
+  for (size_t type = 0; type < core::kNumEntityTypes; ++type) {
+    auto rel_names = core::DistinctNameSet(rel, type, 0);
+    auto irrel_names = core::DistinctNameSet(irrel, type, 0);
+    auto medl_names = core::DistinctNameSet(medline, type, 0);
+    size_t rel_irrel = 0, rel_medl = 0;
+    for (const auto& name : rel_names) {
+      if (irrel_names.count(name)) ++rel_irrel;
+      if (medl_names.count(name)) ++rel_medl;
+    }
+    EXPECT_GT(rel_medl, rel_irrel) << "type " << type;
+  }
+}
+
+TEST_F(IntegrationTest, NegationIncidenceOrdering) {
+  auto rel = Analyze(corpus::CorpusKind::kRelevantWeb, 20, 5);
+  auto medline = Analyze(corpus::CorpusKind::kMedline, 50, 6);
+  auto pmc = Analyze(corpus::CorpusKind::kPmc, 20, 7);
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  double rel_neg = mean(rel.NegationsPer100Sentences());
+  double medline_neg = mean(medline.NegationsPer100Sentences());
+  double pmc_neg = mean(pmc.NegationsPer100Sentences());
+  // Fig. 6c: pmc > rel > medline.
+  EXPECT_GT(pmc_neg, rel_neg);
+  EXPECT_GT(rel_neg, medline_neg);
+  EXPECT_LT(core::MwwPValue(pmc.NegationsPer100Sentences(),
+                            medline.NegationsPer100Sentences()),
+            0.01);
+}
+
+TEST_F(IntegrationTest, PronounAndParenthesisFindings) {
+  auto rel = Analyze(corpus::CorpusKind::kRelevantWeb, 20, 8);
+  auto pmc = Analyze(corpus::CorpusKind::kPmc, 20, 9);
+  auto irrel = Analyze(corpus::CorpusKind::kIrrelevantWeb, 20, 10);
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  // Sect. 4.3.1: demonstrative/relative/object pronouns lower in both web
+  // corpora than in PMC.
+  for (auto cls : {nlp::PronounClass::kDemonstrative,
+                   nlp::PronounClass::kRelative, nlp::PronounClass::kObject}) {
+    double pmc_rate = mean(pmc.PronounsPer100Sentences(cls));
+    EXPECT_GE(pmc_rate, mean(rel.PronounsPer100Sentences(cls)))
+        << PronounClassName(cls);
+  }
+  // Parentheses: PMC highest, irrelevant lowest.
+  EXPECT_GT(mean(pmc.ParenthesesPer100Sentences()),
+            mean(rel.ParenthesesPer100Sentences()));
+  EXPECT_GT(mean(rel.ParenthesesPer100Sentences()),
+            mean(irrel.ParenthesesPer100Sentences()));
+}
+
+}  // namespace
+}  // namespace wsie

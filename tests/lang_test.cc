@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "lang/language_id.h"
+#include "lang/mime.h"
+
+namespace wsie::lang {
+namespace {
+
+// --------------------------------------------------------- LanguageId
+
+TEST(LanguageIdTest, IdentifiesEnglish) {
+  LanguageIdentifier id;
+  EXPECT_EQ(id.Identify("the results of the study show that the treatment "
+                        "of the patients with this disease was effective")
+                .language,
+            "en");
+}
+
+TEST(LanguageIdTest, IdentifiesGerman) {
+  LanguageIdentifier id;
+  EXPECT_EQ(id.Identify("die ergebnisse der studie zeigen dass die behandlung "
+                        "der patienten mit dieser krankheit wirksam war und "
+                        "dass weitere forschung notwendig ist")
+                .language,
+            "de");
+}
+
+TEST(LanguageIdTest, IdentifiesFrench) {
+  LanguageIdentifier id;
+  EXPECT_EQ(id.Identify("les resultats de cette etude montrent que le "
+                        "traitement des patients avec cette maladie etait "
+                        "efficace et que d autres recherches sont necessaires")
+                .language,
+            "fr");
+}
+
+TEST(LanguageIdTest, IdentifiesSpanish) {
+  LanguageIdentifier id;
+  EXPECT_EQ(id.Identify("los resultados del estudio muestran que el "
+                        "tratamiento de los pacientes con esta enfermedad fue "
+                        "eficaz y que se necesita mas investigacion")
+                .language,
+            "es");
+}
+
+TEST(LanguageIdTest, TooShortIsUnknown) {
+  LanguageIdentifier id;
+  EXPECT_EQ(id.Identify("hi").language, "xx");
+  EXPECT_EQ(id.Identify("").language, "xx");
+  EXPECT_EQ(id.Identify("123 456 789 !!!").language, "xx");
+}
+
+TEST(LanguageIdTest, IsEnglishHelper) {
+  LanguageIdentifier id;
+  EXPECT_TRUE(id.IsEnglish(
+      "the patient was treated with the drug and the results were good for "
+      "most of the people in the study"));
+  EXPECT_FALSE(id.IsEnglish(
+      "der patient wurde mit dem medikament behandelt und die ergebnisse "
+      "waren gut fuer die meisten menschen in der studie"));
+}
+
+TEST(LanguageIdTest, HasFourBuiltinProfiles) {
+  LanguageIdentifier id;
+  EXPECT_EQ(id.Languages().size(), 4u);
+}
+
+TEST(LanguageIdTest, TrainProfileReplacesExisting) {
+  LanguageIdentifier id;
+  id.TrainProfile("en", "completely different english training text with the "
+                        "usual function words like the and of and with");
+  EXPECT_EQ(id.Languages().size(), 4u);  // replaced, not added
+}
+
+// --------------------------------------------------------------- MIME
+
+TEST(MimeTest, DetectsPdfMagic) {
+  MimeDetector detector;
+  auto d = detector.Detect("http://x.org/paper", "%PDF-1.4 binarystuff");
+  EXPECT_EQ(d.mime, MimeClass::kPdf);
+  EXPECT_TRUE(d.from_magic);
+}
+
+TEST(MimeTest, DetectsPngAndJpeg) {
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/y", "\x89PNG\r\n").mime,
+            MimeClass::kImage);
+  EXPECT_EQ(detector.Detect("http://x/y", "\xff\xd8\xff\xe0").mime,
+            MimeClass::kImage);
+}
+
+TEST(MimeTest, DetectsHtmlByContent) {
+  MimeDetector detector;
+  auto d = detector.Detect("http://x/unknown.bin",
+                           "<!DOCTYPE html>\n<html><head>");
+  EXPECT_EQ(d.mime, MimeClass::kHtml);
+  EXPECT_TRUE(d.from_magic);
+}
+
+TEST(MimeTest, DetectsHtmlCaseInsensitive) {
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/y", "<HTML><BODY>").mime,
+            MimeClass::kHtml);
+}
+
+TEST(MimeTest, DetectsXmlDeclaration) {
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/y", "<?xml version=\"1.0\"?>").mime,
+            MimeClass::kXml);
+}
+
+TEST(MimeTest, FallsBackToExtension) {
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/a.pdf", "no magic here").mime,
+            MimeClass::kPdf);
+  auto d = detector.Detect("http://x/a.png", "plain words");
+  EXPECT_EQ(d.mime, MimeClass::kImage);
+  EXPECT_FALSE(d.from_magic);
+}
+
+TEST(MimeTest, QueryStringStripped) {
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/a.pdf?session=1", "words").mime,
+            MimeClass::kPdf);
+}
+
+TEST(MimeTest, MisleadingExtensionMagicWins) {
+  // A PDF served as .html is caught by magic sniffing (the Sect. 5 pitfall
+  // occurs only when neither signal fires).
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/a.html", "%PDF-1.5 ...").mime,
+            MimeClass::kPdf);
+}
+
+TEST(MimeTest, BinaryHeuristicOnUnknown) {
+  MimeDetector detector;
+  std::string binary("abc");
+  binary.push_back('\0');
+  binary += "more";
+  EXPECT_EQ(detector.Detect("http://x/blob", binary).mime,
+            MimeClass::kBinaryOther);
+}
+
+TEST(MimeTest, PlainTextDefault) {
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/readme", "just some words").mime,
+            MimeClass::kPlainText);
+}
+
+TEST(MimeTest, EmptyBodyUnknown) {
+  MimeDetector detector;
+  EXPECT_EQ(detector.Detect("http://x/", "").mime, MimeClass::kUnknown);
+}
+
+TEST(MimeTest, IsTextualClassification) {
+  EXPECT_TRUE(MimeDetector::IsTextual(MimeClass::kHtml));
+  EXPECT_TRUE(MimeDetector::IsTextual(MimeClass::kPlainText));
+  EXPECT_TRUE(MimeDetector::IsTextual(MimeClass::kXml));
+  EXPECT_FALSE(MimeDetector::IsTextual(MimeClass::kPdf));
+  EXPECT_FALSE(MimeDetector::IsTextual(MimeClass::kImage));
+  EXPECT_FALSE(MimeDetector::IsTextual(MimeClass::kArchive));
+}
+
+TEST(MimeTest, AllClassesHaveNames) {
+  EXPECT_STREQ(MimeClassName(MimeClass::kHtml), "text/html");
+  EXPECT_STREQ(MimeClassName(MimeClass::kPdf), "application/pdf");
+  EXPECT_STREQ(MimeClassName(MimeClass::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace wsie::lang

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nlp/abbreviation.h"
+#include "nlp/linguistic.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/tagset.h"
+#include "text/tokenizer.h"
+
+namespace wsie::nlp {
+namespace {
+
+// ------------------------------------------------------------ Tagset
+
+TEST(TagsetTest, NameRoundTrip) {
+  for (int i = 0; i < kNumPosTags; ++i) {
+    PosTag tag = static_cast<PosTag>(i);
+    EXPECT_EQ(PosTagFromName(PosTagName(tag)), tag);
+  }
+}
+
+TEST(TagsetTest, UnknownName) {
+  EXPECT_EQ(PosTagFromName("NOPE"), PosTag::kNumTags);
+}
+
+TEST(TagsetTest, NounAndVerbPredicates) {
+  EXPECT_TRUE(IsNounTag(PosTag::kNN));
+  EXPECT_TRUE(IsNounTag(PosTag::kNNP));
+  EXPECT_FALSE(IsNounTag(PosTag::kVB));
+  EXPECT_TRUE(IsVerbTag(PosTag::kVBD));
+  EXPECT_TRUE(IsVerbTag(PosTag::kMD));
+  EXPECT_FALSE(IsVerbTag(PosTag::kJJ));
+}
+
+// ------------------------------------------------------------ PosTagger
+
+std::vector<text::Token> Tokens(const std::string& sentence) {
+  static const text::Tokenizer kTokenizer;
+  return kTokenizer.Tokenize(sentence);
+}
+
+TEST(PosTaggerTest, TreebankGenerationDeterministic) {
+  Rng a(1), b(1);
+  auto ta = PosTagger::GenerateTreebank(a, 50);
+  auto tb = PosTagger::GenerateTreebank(b, 50);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].words, tb[i].words);
+  }
+}
+
+TEST(PosTaggerTest, AccuracyOnHeldOutTreebank) {
+  PosTagger tagger;
+  tagger.TrainDefault(/*seed=*/1, /*num_sentences=*/3000);
+  Rng rng(999);  // held-out draw
+  auto held_out = PosTagger::GenerateTreebank(rng, 200);
+  size_t correct = 0, total = 0;
+  for (const PosSentence& sentence : held_out) {
+    std::vector<text::Token> tokens;
+    size_t offset = 0;
+    for (const std::string& w : sentence.words) {
+      tokens.push_back(text::Token{w, offset, offset + w.size()});
+      offset += w.size() + 1;
+    }
+    auto tags = tagger.TagTokens(tokens);
+    ASSERT_EQ(tags.size(), sentence.tags.size());
+    for (size_t i = 0; i < tags.size(); ++i) {
+      if (tags[i] == sentence.tags[i]) ++correct;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(PosTaggerTest, UnknownWordsGetPlausibleTags) {
+  PosTagger tagger;
+  tagger.TrainDefault();
+  auto tags = tagger.TagTokens(Tokens("the flibbertigibbets inhibited it"));
+  ASSERT_EQ(tags.size(), 4u);
+  EXPECT_EQ(tags[0], PosTag::kDT);
+  // "-s" suffix on an unknown word after a determiner: plural noun.
+  EXPECT_EQ(tags[1], PosTag::kNNS);
+}
+
+TEST(PosTaggerTest, OverflowOnLongSentences) {
+  PosTagger tagger;
+  tagger.TrainDefault(1, 500);
+  tagger.set_max_tokens_per_sentence(10);
+  std::vector<text::Token> long_sentence;
+  for (int i = 0; i < 11; ++i) {
+    long_sentence.push_back(text::Token{"word", 0, 4});
+  }
+  bool overflowed = false;
+  auto tags = tagger.TagTokens(long_sentence, &overflowed);
+  EXPECT_TRUE(overflowed);
+  EXPECT_TRUE(tags.empty());
+}
+
+TEST(PosTaggerTest, NoOverflowWhenUnlimited) {
+  PosTagger tagger;
+  tagger.TrainDefault(1, 500);
+  tagger.set_max_tokens_per_sentence(0);
+  std::vector<text::Token> long_sentence;
+  for (int i = 0; i < 50; ++i) {
+    long_sentence.push_back(text::Token{"word", 0, 4});
+  }
+  bool overflowed = true;
+  auto tags = tagger.TagTokens(long_sentence, &overflowed);
+  EXPECT_FALSE(overflowed);
+  EXPECT_EQ(tags.size(), 50u);
+}
+
+TEST(PosTaggerTest, EmptyInput) {
+  PosTagger tagger;
+  tagger.TrainDefault(1, 200);
+  EXPECT_TRUE(tagger.TagTokens({}).empty());
+}
+
+// ------------------------------------------------------------ Linguistic
+
+TEST(LinguisticTest, FindsNegationWords) {
+  LinguisticExtractor extractor;
+  auto annotations =
+      extractor.FindNegations(1, 0, "It did not work, neither did this, nor that");
+  ASSERT_EQ(annotations.size(), 3u);
+  EXPECT_EQ(annotations[0].surface, "not");
+  EXPECT_EQ(annotations[1].surface, "neither");
+  EXPECT_EQ(annotations[2].surface, "nor");
+  EXPECT_EQ(annotations[0].category, "negation");
+}
+
+TEST(LinguisticTest, NegationCaseInsensitive) {
+  LinguisticExtractor extractor;
+  EXPECT_EQ(extractor.FindNegations(1, 0, "Not here").size(), 1u);
+}
+
+TEST(LinguisticTest, NegationNotSubstring) {
+  LinguisticExtractor extractor;
+  // "knot" and "nothing" must not match the word "not".
+  EXPECT_TRUE(extractor.FindNegations(1, 0, "a knot of nothing").empty());
+}
+
+TEST(LinguisticTest, NegationOffsets) {
+  LinguisticExtractor extractor;
+  std::string sentence = "It is not true";
+  auto annotations = extractor.FindNegations(3, 2, sentence, 100);
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_EQ(annotations[0].doc_id, 3u);
+  EXPECT_EQ(annotations[0].sentence_id, 2u);
+  EXPECT_EQ(annotations[0].begin, 106u);
+  EXPECT_EQ(annotations[0].end, 109u);
+}
+
+TEST(LinguisticTest, ClassifiesPronounClasses) {
+  LinguisticExtractor extractor;
+  EXPECT_EQ(extractor.ClassifyPronoun("they"), PronounClass::kPersonalSubject);
+  EXPECT_EQ(extractor.ClassifyPronoun("them"), PronounClass::kObject);
+  EXPECT_EQ(extractor.ClassifyPronoun("their"), PronounClass::kPossessive);
+  EXPECT_EQ(extractor.ClassifyPronoun("these"), PronounClass::kDemonstrative);
+  EXPECT_EQ(extractor.ClassifyPronoun("which"), PronounClass::kRelative);
+  EXPECT_EQ(extractor.ClassifyPronoun("itself"), PronounClass::kReflexive);
+  EXPECT_EQ(extractor.ClassifyPronoun("gene"), PronounClass::kNumClasses);
+}
+
+TEST(LinguisticTest, FindsPronounsWithCategories) {
+  LinguisticExtractor extractor;
+  auto annotations =
+      extractor.FindPronouns(1, 0, "They gave it to them, which helped");
+  ASSERT_EQ(annotations.size(), 4u);
+  EXPECT_EQ(annotations[0].category, "pronoun/personal");
+  EXPECT_EQ(annotations[3].category, "pronoun/relative");
+}
+
+TEST(LinguisticTest, PronounClassNames) {
+  EXPECT_STREQ(PronounClassName(PronounClass::kDemonstrative),
+               "demonstrative");
+  EXPECT_STREQ(PronounClassName(PronounClass::kObject), "object");
+}
+
+TEST(LinguisticTest, FindsParentheses) {
+  LinguisticExtractor extractor;
+  auto annotations =
+      extractor.FindParentheses(1, 0, "The gene (BRCA1) was found (again)");
+  ASSERT_EQ(annotations.size(), 2u);
+  EXPECT_EQ(annotations[0].surface, "(BRCA1)");
+  EXPECT_EQ(annotations[1].surface, "(again)");
+  EXPECT_EQ(annotations[0].category, "parenthesis");
+}
+
+TEST(LinguisticTest, NestedParentheses) {
+  LinguisticExtractor extractor;
+  auto annotations = extractor.FindParentheses(1, 0, "a (b (c) d) e");
+  ASSERT_EQ(annotations.size(), 2u);
+  EXPECT_EQ(annotations[0].surface, "(c)");
+  EXPECT_EQ(annotations[1].surface, "(b (c) d)");
+}
+
+TEST(LinguisticTest, UnclosedParenthesisRunsToEnd) {
+  LinguisticExtractor extractor;
+  auto annotations = extractor.FindParentheses(1, 0, "broken (web text");
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_EQ(annotations[0].surface, "(web text");
+}
+
+TEST(LinguisticTest, EmptySentence) {
+  LinguisticExtractor extractor;
+  EXPECT_TRUE(extractor.FindNegations(1, 0, "").empty());
+  EXPECT_TRUE(extractor.FindPronouns(1, 0, "").empty());
+  EXPECT_TRUE(extractor.FindParentheses(1, 0, "").empty());
+}
+
+// ------------------------------------------------------------ Abbreviation
+
+TEST(AbbreviationTest, ClassicDefinition) {
+  AbbreviationDetector detector;
+  auto defs = detector.Find(
+      "Patients with chronic lung disease (CLD) were enrolled");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].short_form, "CLD");
+  EXPECT_EQ(defs[0].long_form, "chronic lung disease");
+}
+
+TEST(AbbreviationTest, OffsetsPointIntoSentence) {
+  AbbreviationDetector detector;
+  std::string sentence = "We measured gene expression (GE) daily";
+  auto defs = detector.Find(sentence);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(sentence.substr(defs[0].short_begin,
+                            defs[0].short_end - defs[0].short_begin),
+            "GE");
+  EXPECT_EQ(sentence.substr(defs[0].long_begin,
+                            defs[0].long_end - defs[0].long_begin),
+            "gene expression");
+}
+
+TEST(AbbreviationTest, SingleWordPrefixAbbreviation) {
+  AbbreviationDetector detector;
+  auto defs = detector.Find("They received Imatinib (IMA) twice");
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].long_form, "Imatinib");
+}
+
+TEST(AbbreviationTest, RejectsNonMatchingParenthetical) {
+  AbbreviationDetector detector;
+  EXPECT_TRUE(detector.Find("The results (see Figure 3) were clear").empty());
+  EXPECT_TRUE(detector.Find("The cohort (XQZ) was small").empty());
+}
+
+TEST(AbbreviationTest, RejectsInvalidShortForms) {
+  EXPECT_FALSE(AbbreviationDetector::IsValidShortForm(""));
+  EXPECT_FALSE(AbbreviationDetector::IsValidShortForm("A"));
+  EXPECT_FALSE(AbbreviationDetector::IsValidShortForm("(x)"));
+  EXPECT_FALSE(AbbreviationDetector::IsValidShortForm("three word form"));
+  EXPECT_FALSE(
+      AbbreviationDetector::IsValidShortForm("waytoolongshortform"));
+  EXPECT_TRUE(AbbreviationDetector::IsValidShortForm("CLD"));
+  EXPECT_TRUE(AbbreviationDetector::IsValidShortForm("GAD-67"));
+}
+
+TEST(AbbreviationTest, MultipleDefinitionsInOneSentence) {
+  AbbreviationDetector detector;
+  auto defs = detector.Find(
+      "Both breast cancer (BC) and lung cancer (LC) respond");
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].short_form, "BC");
+  EXPECT_EQ(defs[1].short_form, "LC");
+}
+
+TEST(AbbreviationTest, AnnotationsCarryCategoryAndOffsets) {
+  AbbreviationDetector detector;
+  auto annotations = detector.FindAsAnnotations(
+      7, 2, "chronic lung disease (CLD) again", 100);
+  ASSERT_EQ(annotations.size(), 1u);
+  EXPECT_EQ(annotations[0].category, "abbreviation");
+  EXPECT_EQ(annotations[0].doc_id, 7u);
+  EXPECT_EQ(annotations[0].begin, 100u);
+  EXPECT_EQ(annotations[0].surface, "CLD=chronic lung disease");
+}
+
+TEST(AbbreviationTest, LongFormMustExceedShortForm) {
+  AbbreviationDetector detector;
+  EXPECT_TRUE(detector.Find("ab (AB) cd").empty());
+}
+
+}  // namespace
+}  // namespace wsie::nlp

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "text/bag_of_words.h"
+#include "text/ngram.h"
+#include "text/sentence_splitter.h"
+#include "text/tokenizer.h"
+
+namespace wsie::text {
+namespace {
+
+// ------------------------------------------------------------ Tokenizer
+
+TEST(TokenizerTest, SplitsOnWhitespace) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("the quick fox");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "the");
+  EXPECT_EQ(tokens[2].text, "fox");
+}
+
+TEST(TokenizerTest, OffsetsMatchSource) {
+  Tokenizer tok;
+  std::string text = "BRCA1 inhibits growth.";
+  for (const Token& t : tok.Tokenize(text)) {
+    EXPECT_EQ(text.substr(t.begin, t.end - t.begin), t.text);
+  }
+}
+
+TEST(TokenizerTest, BaseOffsetApplied) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("abc", 100);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].begin, 100u);
+  EXPECT_EQ(tokens[0].end, 103u);
+}
+
+TEST(TokenizerTest, PeelsTrailingPunctuation) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("growth.");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "growth");
+  EXPECT_EQ(tokens[1].text, ".");
+}
+
+TEST(TokenizerTest, PeelsLeadingPunctuation) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("(see");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "(");
+  EXPECT_EQ(tokens[1].text, "see");
+}
+
+TEST(TokenizerTest, KeepsInternalHyphens) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("GAD-67 works");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "GAD-67");
+}
+
+TEST(TokenizerTest, TrailingHyphenIsPunctuation) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("pre- and post");
+  EXPECT_EQ(tokens[0].text, "pre");
+  EXPECT_EQ(tokens[1].text, "-");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("   \t\n").empty());
+}
+
+TEST(TokenizerTest, PurePunctuationRun) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("?!");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "?");
+  EXPECT_EQ(tokens[1].text, "!");
+}
+
+// ------------------------------------------------------- SentenceSplitter
+
+TEST(SentenceSplitterTest, SplitsSimpleSentences) {
+  SentenceSplitter splitter;
+  auto spans = splitter.Split("First one. Second one. Third.");
+  ASSERT_EQ(spans.size(), 3u);
+}
+
+TEST(SentenceSplitterTest, SpansCoverText) {
+  SentenceSplitter splitter;
+  std::string text = "Alpha beta. Gamma delta!";
+  auto spans = splitter.Split(text);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(text.substr(spans[0].begin, spans[0].length()), "Alpha beta.");
+  EXPECT_EQ(text.substr(spans[1].begin, spans[1].length()), "Gamma delta!");
+}
+
+TEST(SentenceSplitterTest, DoesNotSplitAbbreviations) {
+  SentenceSplitter splitter;
+  auto spans = splitter.Split("Results, e.g. BRCA1, were found. Next one.");
+  EXPECT_EQ(spans.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, DoesNotSplitInitials) {
+  SentenceSplitter splitter;
+  auto spans = splitter.Split("Work by J. Meier was cited. More text.");
+  EXPECT_EQ(spans.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, RequiresCapitalAfterBoundary) {
+  SentenceSplitter splitter;
+  // Period followed by lowercase: likely not a boundary.
+  auto spans = splitter.Split("value of 3.5 per cent was measured");
+  EXPECT_EQ(spans.size(), 1u);
+}
+
+TEST(SentenceSplitterTest, NewlineBreaks) {
+  SentenceSplitter splitter;
+  auto spans = splitter.Split("Heading without period\nBody sentence here.");
+  EXPECT_EQ(spans.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, NewlineBreakDisabled) {
+  SentenceSplitterOptions options;
+  options.break_on_newline = false;
+  SentenceSplitter splitter(options);
+  auto spans = splitter.Split("no period\nstill same sentence");
+  EXPECT_EQ(spans.size(), 1u);
+}
+
+TEST(SentenceSplitterTest, ForceSplitsRunawaySpans) {
+  SentenceSplitterOptions options;
+  options.max_sentence_chars = 100;
+  options.break_on_newline = false;
+  SentenceSplitter splitter(options);
+  std::string runaway;
+  for (int i = 0; i < 100; ++i) runaway += "navword ";
+  auto spans = splitter.Split(runaway);
+  EXPECT_GT(spans.size(), 5u);
+  for (const auto& span : spans) EXPECT_LE(span.length(), 100u);
+}
+
+TEST(SentenceSplitterTest, UnlimitedWhenCapZero) {
+  SentenceSplitterOptions options;
+  options.max_sentence_chars = 0;
+  options.break_on_newline = false;
+  SentenceSplitter splitter(options);
+  std::string runaway(5000, 'x');
+  auto spans = splitter.Split(runaway);
+  EXPECT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].length(), 5000u);
+}
+
+TEST(SentenceSplitterTest, EmptyInput) {
+  SentenceSplitter splitter;
+  EXPECT_TRUE(splitter.Split("").empty());
+  EXPECT_TRUE(splitter.Split("   \n  ").empty());
+}
+
+TEST(SentenceSplitterTest, TrailingTextWithoutPunctuation) {
+  SentenceSplitter splitter;
+  // Lowercase after the period: not a boundary (abbreviation heuristic).
+  EXPECT_EQ(splitter.Split("Complete sentence. trailing fragment").size(), 1u);
+  // Uppercase trailing fragment without terminal punctuation: two spans.
+  EXPECT_EQ(splitter.Split("Complete sentence. Trailing fragment").size(), 2u);
+}
+
+// ------------------------------------------------------------ BagOfWords
+
+TEST(BagOfWordsTest, CountsTerms) {
+  BagOfWords bow;
+  TermCounts counts = bow.Featurize("cancer cancer treatment");
+  EXPECT_EQ(counts["cancer"], 2u);
+  EXPECT_EQ(counts["treatment"], 1u);
+}
+
+TEST(BagOfWordsTest, Lowercases) {
+  BagOfWords bow;
+  TermCounts counts = bow.Featurize("Cancer CANCER");
+  EXPECT_EQ(counts["cancer"], 2u);
+}
+
+TEST(BagOfWordsTest, DropsStopwords) {
+  BagOfWords bow;
+  TermCounts counts = bow.Featurize("the cancer of this");
+  EXPECT_EQ(counts.count("the"), 0u);
+  EXPECT_EQ(counts.count("of"), 0u);
+  EXPECT_EQ(counts.count("cancer"), 1u);
+}
+
+TEST(BagOfWordsTest, DropsNumbersAndShortTokens) {
+  BagOfWords bow;
+  TermCounts counts = bow.Featurize("a 123 4.5 gene");
+  EXPECT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts.count("gene"), 1u);
+}
+
+TEST(BagOfWordsTest, DropsOverlongTokens) {
+  BagOfWords bow;
+  std::string junk(60, 'z');
+  TermCounts counts = bow.Featurize(junk + " fine");
+  EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(BagOfWordsTest, IsStopword) {
+  BagOfWords bow;
+  EXPECT_TRUE(bow.IsStopword("the"));
+  EXPECT_FALSE(bow.IsStopword("gene"));
+}
+
+// ------------------------------------------------------------ n-grams
+
+TEST(CharNgramProfileTest, CountsTrigrams) {
+  CharNgramProfile profile(3);
+  profile.Add("aaa");
+  EXPECT_GT(profile.total_ngrams(), 0u);
+  EXPECT_GT(profile.distinct_ngrams(), 0u);
+}
+
+TEST(CharNgramProfileTest, TopKOrderedByFrequency) {
+  CharNgramProfile profile(2);
+  profile.Add("ababab x cd");
+  auto top = profile.TopK(3);
+  ASSERT_FALSE(top.empty());
+  // "ab"-derived grams dominate.
+  EXPECT_TRUE(top[0] == "ab" || top[0] == "ba");
+}
+
+TEST(CharNgramProfileTest, RankDistanceZeroForIdentical) {
+  CharNgramProfile profile(3);
+  profile.Add("the quick brown fox jumps over the lazy dog");
+  auto top = profile.TopK(50);
+  EXPECT_DOUBLE_EQ(CharNgramProfile::RankDistance(top, top), 0.0);
+}
+
+TEST(CharNgramProfileTest, RankDistanceDetectsDifferentText) {
+  CharNgramProfile english(3), german(3);
+  english.Add("the patient was treated with the drug for the disease");
+  german.Add("der patient wurde mit dem medikament gegen die krankheit");
+  auto e = english.TopK(100);
+  auto g = german.TopK(100);
+  double cross = CharNgramProfile::RankDistance(e, g);
+  double self = CharNgramProfile::RankDistance(e, e);
+  EXPECT_GT(cross, self + 1.0);
+}
+
+TEST(WordNgramCounterTest, CountsBigrams) {
+  WordNgramCounter counter(2);
+  counter.Add({"a", "b", "a", "b"});
+  EXPECT_EQ(counter.Count("a b"), 2u);
+  EXPECT_EQ(counter.Count("b a"), 1u);
+  EXPECT_EQ(counter.Count("x y"), 0u);
+  EXPECT_EQ(counter.total(), 3u);
+}
+
+TEST(WordNgramCounterTest, ShortInputIgnored) {
+  WordNgramCounter counter(3);
+  counter.Add({"only", "two"});
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+}  // namespace
+}  // namespace wsie::text

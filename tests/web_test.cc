@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include "corpus/lexicon.h"
+#include "html/markup_remover.h"
+#include "web/page_renderer.h"
+#include "web/search_engine.h"
+#include "web/simulated_web.h"
+#include "web/url.h"
+#include "web/web_graph.h"
+
+namespace wsie::web {
+namespace {
+
+// ------------------------------------------------------------ URL
+
+TEST(UrlTest, ParsesAbsolute) {
+  Url url;
+  ASSERT_TRUE(ParseUrl("http://example.org/path/page.html", &url));
+  EXPECT_EQ(url.host, "example.org");
+  EXPECT_EQ(url.path, "/path/page.html");
+}
+
+TEST(UrlTest, DefaultsPath) {
+  Url url;
+  ASSERT_TRUE(ParseUrl("https://example.org", &url));
+  EXPECT_EQ(url.path, "/");
+}
+
+TEST(UrlTest, RejectsNonHttp) {
+  Url url;
+  EXPECT_FALSE(ParseUrl("ftp://example.org/x", &url));
+  EXPECT_FALSE(ParseUrl("not a url", &url));
+  EXPECT_FALSE(ParseUrl("http:///nohost", &url));
+}
+
+TEST(UrlTest, StripsFragment) {
+  Url url;
+  ASSERT_TRUE(ParseUrl("http://x.org/page.html#section", &url));
+  EXPECT_EQ(url.path, "/page.html");
+}
+
+TEST(UrlTest, ResolveAbsoluteLink) {
+  Url base;
+  ParseUrl("http://a.org/dir/page.html", &base);
+  Url out;
+  ASSERT_TRUE(ResolveLink(base, "http://b.org/x", &out));
+  EXPECT_EQ(out.host, "b.org");
+}
+
+TEST(UrlTest, ResolveSiteRelative) {
+  Url base;
+  ParseUrl("http://a.org/dir/page.html", &base);
+  Url out;
+  ASSERT_TRUE(ResolveLink(base, "/other.html", &out));
+  EXPECT_EQ(out.host, "a.org");
+  EXPECT_EQ(out.path, "/other.html");
+}
+
+TEST(UrlTest, ResolveDocumentRelative) {
+  Url base;
+  ParseUrl("http://a.org/dir/page.html", &base);
+  Url out;
+  ASSERT_TRUE(ResolveLink(base, "sibling.html", &out));
+  EXPECT_EQ(out.path, "/dir/sibling.html");
+}
+
+TEST(UrlTest, ResolveRejectsNonNavigable) {
+  Url base;
+  ParseUrl("http://a.org/", &base);
+  Url out;
+  EXPECT_FALSE(ResolveLink(base, "mailto:x@y.org", &out));
+  EXPECT_FALSE(ResolveLink(base, "javascript:void(0)", &out));
+  EXPECT_FALSE(ResolveLink(base, "#anchor", &out));
+  EXPECT_FALSE(ResolveLink(base, "", &out));
+}
+
+TEST(UrlTest, DomainOf) {
+  EXPECT_EQ(DomainOf("www.portal.example.org"), "example.org");
+  EXPECT_EQ(DomainOf("example.org"), "example.org");
+  EXPECT_EQ(DomainOf("localhost"), "localhost");
+}
+
+// ------------------------------------------------------------ WebGraph
+
+class WebGraphTest : public ::testing::Test {
+ protected:
+  static WebConfig SmallConfig() {
+    WebConfig config;
+    config.num_hosts = 60;
+    config.mean_pages_per_host = 10;
+    config.seed = 21;
+    return config;
+  }
+};
+
+TEST_F(WebGraphTest, GeneratesHostsAndPages) {
+  SyntheticWeb web(SmallConfig());
+  EXPECT_EQ(web.hosts().size(), 60u);
+  EXPECT_GT(web.pages().size(), 200u);
+}
+
+TEST_F(WebGraphTest, DeterministicFromSeed) {
+  SyntheticWeb a(SmallConfig()), b(SmallConfig());
+  ASSERT_EQ(a.pages().size(), b.pages().size());
+  for (size_t i = 0; i < a.pages().size(); ++i) {
+    EXPECT_EQ(a.pages()[i].path, b.pages()[i].path);
+    EXPECT_EQ(a.pages()[i].relevant, b.pages()[i].relevant);
+  }
+}
+
+TEST_F(WebGraphTest, HostTopicMixRoughlyRespected) {
+  SyntheticWeb web(SmallConfig());
+  size_t biomed = 0, traps = 0;
+  for (const HostInfo& host : web.hosts()) {
+    if (host.topic == HostTopic::kBiomedResearch ||
+        host.topic == HostTopic::kBiomedPortal)
+      ++biomed;
+    if (host.topic == HostTopic::kTrap) ++traps;
+  }
+  EXPECT_GT(biomed, 5u);
+  EXPECT_GE(traps, 1u);
+}
+
+TEST_F(WebGraphTest, OutlinksReferenceValidPages) {
+  SyntheticWeb web(SmallConfig());
+  for (const PageInfo& page : web.pages()) {
+    for (uint64_t target : page.outlinks) {
+      ASSERT_LT(target, web.pages().size());
+      EXPECT_NE(target, page.id);  // no self links
+    }
+  }
+}
+
+TEST_F(WebGraphTest, UrlLookupRoundTrip) {
+  SyntheticWeb web(SmallConfig());
+  const PageInfo& page = web.pages()[5];
+  const PageInfo* found = web.FindPage(web.UrlOf(page));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id, page.id);
+  EXPECT_EQ(web.FindPage("http://unknown.example/zz"), nullptr);
+}
+
+TEST_F(WebGraphTest, NonEnglishHostsHaveLanguage) {
+  SyntheticWeb web(SmallConfig());
+  for (const HostInfo& host : web.hosts()) {
+    if (host.topic == HostTopic::kNonEnglish) {
+      EXPECT_NE(host.language, "en");
+    } else {
+      EXPECT_EQ(host.language, "en");
+    }
+  }
+}
+
+TEST_F(WebGraphTest, RelevantPagesMostlyOnBiomedHosts) {
+  SyntheticWeb web(SmallConfig());
+  size_t biomed_rel = 0, off_rel = 0, biomed_total = 0, off_total = 0;
+  for (const PageInfo& page : web.pages()) {
+    const HostInfo& host = web.HostOf(page);
+    bool biomed = host.topic == HostTopic::kBiomedResearch ||
+                  host.topic == HostTopic::kBiomedPortal;
+    if (biomed) {
+      ++biomed_total;
+      if (page.relevant) ++biomed_rel;
+    } else if (host.topic == HostTopic::kOffDomain) {
+      ++off_total;
+      if (page.relevant) ++off_rel;
+    }
+  }
+  ASSERT_GT(biomed_total, 0u);
+  ASSERT_GT(off_total, 0u);
+  double biomed_rate = static_cast<double>(biomed_rel) / biomed_total;
+  double off_rate = static_cast<double>(off_rel) / off_total;
+  EXPECT_GT(biomed_rate, 0.5);
+  EXPECT_LT(off_rate, 0.15);
+}
+
+TEST_F(WebGraphTest, SomeNonTextualPages) {
+  SyntheticWeb web(SmallConfig());
+  size_t nontext = 0;
+  for (const PageInfo& page : web.pages()) {
+    if (page.mime != lang::MimeClass::kHtml) ++nontext;
+  }
+  EXPECT_GT(nontext, 0u);
+}
+
+// ------------------------------------------------------------ Renderer
+
+class RendererTest : public ::testing::Test {
+ protected:
+  RendererTest()
+      : lexicons_(corpus::LexiconConfig{500, 100, 100, 3}),
+        web_(WebGraphTest_SmallConfig()),
+        renderer_(&web_, &lexicons_) {}
+
+  static WebConfig WebGraphTest_SmallConfig() {
+    WebConfig config;
+    config.num_hosts = 40;
+    config.mean_pages_per_host = 8;
+    config.seed = 22;
+    return config;
+  }
+
+  const PageInfo& FirstHtmlPage(bool relevant) const {
+    for (const PageInfo& page : web_.pages()) {
+      if (page.mime == lang::MimeClass::kHtml && page.relevant == relevant &&
+          web_.HostOf(page).language == "en") {
+        return page;
+      }
+    }
+    return web_.pages()[0];
+  }
+
+  corpus::EntityLexicons lexicons_;
+  SyntheticWeb web_;
+  PageRenderer renderer_;
+};
+
+TEST_F(RendererTest, DeterministicRendering) {
+  const PageInfo& page = FirstHtmlPage(true);
+  RenderedPage a = renderer_.Render(page);
+  RenderedPage b = renderer_.Render(page);
+  EXPECT_EQ(a.html, b.html);
+  EXPECT_EQ(a.net_text, b.net_text);
+}
+
+TEST_F(RendererTest, HtmlContainsContentAndBoilerplate) {
+  RendererConfig config;
+  config.markup_error_page_frac = 0.0;  // clean page for inspection
+  PageRenderer clean_renderer(&web_, &lexicons_, config);
+  const PageInfo& page = FirstHtmlPage(true);
+  RenderedPage rendered = clean_renderer.Render(page);
+  EXPECT_NE(rendered.html.find("<title>"), std::string::npos);
+  EXPECT_NE(rendered.html.find("class=\"nav\""), std::string::npos);
+  EXPECT_NE(rendered.html.find("class=\"footer\""), std::string::npos);
+  // Ground-truth net text words appear in the HTML.
+  EXPECT_FALSE(rendered.net_text.empty());
+  std::string first_words = rendered.net_text.substr(0, 20);
+  EXPECT_NE(rendered.html.find(first_words), std::string::npos);
+}
+
+TEST_F(RendererTest, PdfPagesGetMagicBytes) {
+  for (const PageInfo& page : web_.pages()) {
+    if (page.mime == lang::MimeClass::kPdf) {
+      RenderedPage rendered = renderer_.Render(page);
+      EXPECT_EQ(rendered.html.substr(0, 5), "%PDF-");
+      return;
+    }
+  }
+  GTEST_SKIP() << "no pdf page in this small web";
+}
+
+TEST_F(RendererTest, ManglingInjectsErrors) {
+  RendererConfig config;
+  config.markup_error_page_frac = 1.0;
+  config.severe_error_page_frac = 0.0;
+  PageRenderer mangling_renderer(&web_, &lexicons_, config);
+  const PageInfo& page = FirstHtmlPage(true);
+  RenderedPage rendered = mangling_renderer.Render(page);
+  EXPECT_GT(rendered.injected_errors, 0);
+  EXPECT_FALSE(rendered.severely_mangled);
+}
+
+TEST_F(RendererTest, ErrorFractionRoughlyRespected) {
+  RendererConfig config;
+  config.markup_error_page_frac = 0.95;
+  config.severe_error_page_frac = 0.13;
+  PageRenderer r(&web_, &lexicons_, config);
+  size_t with_errors = 0, severe = 0, total = 0;
+  for (const PageInfo& page : web_.pages()) {
+    if (page.mime != lang::MimeClass::kHtml) continue;
+    RenderedPage rendered = r.Render(page);
+    ++total;
+    if (rendered.injected_errors > 0) ++with_errors;
+    if (rendered.severely_mangled) ++severe;
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(with_errors) / total, 0.85);
+  EXPECT_GT(static_cast<double>(severe) / total, 0.04);
+  EXPECT_LT(static_cast<double>(severe) / total, 0.25);
+}
+
+TEST_F(RendererTest, RelevantPagesContainEntityMentions) {
+  const PageInfo& page = FirstHtmlPage(true);
+  RenderedPage rendered = renderer_.Render(page);
+  EXPECT_FALSE(rendered.content_doc.gold_entities.empty());
+}
+
+// ------------------------------------------------------------ SimulatedWeb
+
+class SimWebTest : public ::testing::Test {
+ protected:
+  SimWebTest()
+      : lexicons_(corpus::LexiconConfig{500, 100, 100, 3}),
+        web_(MakeConfig()),
+        sim_(&web_, &lexicons_) {}
+
+  static WebConfig MakeConfig() {
+    WebConfig config;
+    config.num_hosts = 40;
+    config.mean_pages_per_host = 8;
+    config.seed = 23;
+    return config;
+  }
+
+  corpus::EntityLexicons lexicons_;
+  SyntheticWeb web_;
+  SimulatedWeb sim_;
+};
+
+TEST_F(SimWebTest, FetchKnownPage) {
+  std::string url = web_.UrlOf(web_.pages()[0]);
+  FetchResult result = sim_.Fetch(url);
+  EXPECT_EQ(result.http_status, 200);
+  EXPECT_FALSE(result.body.empty());
+  EXPECT_NE(result.page, nullptr);
+  EXPECT_GT(result.virtual_latency_ms, 0.0);
+}
+
+TEST_F(SimWebTest, FetchUnknownIs404) {
+  EXPECT_EQ(sim_.Fetch("http://nosuchhost.example/").http_status, 404);
+  EXPECT_EQ(sim_.Fetch("garbage").http_status, 404);
+}
+
+TEST_F(SimWebTest, RobotsTxtServed) {
+  const HostInfo* host_with_rules = nullptr;
+  for (const HostInfo& host : web_.hosts()) {
+    if (!host.robots_disallow_prefix.empty()) {
+      host_with_rules = &host;
+      break;
+    }
+  }
+  ASSERT_NE(host_with_rules, nullptr);
+  FetchResult result =
+      sim_.Fetch("http://" + host_with_rules->name + "/robots.txt");
+  EXPECT_EQ(result.http_status, 200);
+  EXPECT_NE(result.body.find("Disallow: /private"), std::string::npos);
+  EXPECT_EQ(sim_.RobotsDisallowPrefix(host_with_rules->name), "/private");
+}
+
+TEST_F(SimWebTest, TrapGeneratesEndlessChain) {
+  const HostInfo* trap = nullptr;
+  for (const HostInfo& host : web_.hosts()) {
+    if (host.topic == HostTopic::kTrap) {
+      trap = &host;
+      break;
+    }
+  }
+  ASSERT_NE(trap, nullptr);
+  FetchResult r0 = sim_.Fetch("http://" + trap->name + "/day?p=0");
+  EXPECT_EQ(r0.http_status, 200);
+  EXPECT_TRUE(r0.is_trap);
+  EXPECT_NE(r0.body.find("/day?p=1"), std::string::npos);
+  FetchResult r100 = sim_.Fetch("http://" + trap->name + "/day?p=100");
+  EXPECT_NE(r100.body.find("/day?p=101"), std::string::npos);
+}
+
+TEST_F(SimWebTest, FetchCountIncrements) {
+  uint64_t before = sim_.fetch_count();
+  sim_.Fetch(web_.UrlOf(web_.pages()[1]));
+  EXPECT_EQ(sim_.fetch_count(), before + 1);
+}
+
+// ------------------------------------------------------------ SearchEngine
+
+class SearchTest : public ::testing::Test {
+ protected:
+  SearchTest()
+      : lexicons_(corpus::LexiconConfig{500, 100, 100, 3}),
+        web_(MakeConfig()),
+        sim_(&web_, &lexicons_),
+        engines_(&sim_) {}
+
+  static WebConfig MakeConfig() {
+    WebConfig config;
+    config.num_hosts = 50;
+    config.mean_pages_per_host = 8;
+    config.seed = 24;
+    return config;
+  }
+
+  corpus::EntityLexicons lexicons_;
+  SyntheticWeb web_;
+  SimulatedWeb sim_;
+  SearchEngineFederation engines_;
+};
+
+TEST_F(SearchTest, FiveDefaultEngines) {
+  EXPECT_EQ(engines_.num_engines(), 5u);
+  EXPECT_EQ(engines_.engine(0).name, "bing");
+  EXPECT_EQ(engines_.engine(2).name, "arxiv");
+}
+
+TEST_F(SearchTest, CommonTermReturnsResults) {
+  // "patient(s)" appears in most relevant-page prose.
+  auto result = engines_.Query(1, "patients");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->empty());
+  EXPECT_LE(result->size(), engines_.engine(1).max_results_per_query);
+  for (const std::string& url : result.value()) {
+    EXPECT_NE(web_.FindPage(url), nullptr);
+  }
+}
+
+TEST_F(SearchTest, UnknownTermEmpty) {
+  auto result = engines_.Query(0, "qqqqzzzz");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_F(SearchTest, TopicWhitelistedEngineOnlyReturnsItsHosts) {
+  auto result = engines_.Query(2, "patients");  // arxiv: research hosts only
+  ASSERT_TRUE(result.ok());
+  for (const std::string& url : result.value()) {
+    const PageInfo* page = web_.FindPage(url);
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(web_.HostOf(*page).topic, HostTopic::kBiomedResearch);
+  }
+}
+
+TEST_F(SearchTest, QueryBudgetEnforced) {
+  std::vector<SearchEngineSpec> specs = {{"tiny", 1.0, {}, 5, 3}};
+  SearchEngineFederation tiny(&sim_, specs);
+  EXPECT_TRUE(tiny.Query(0, "patients").ok());
+  EXPECT_TRUE(tiny.Query(0, "treatment").ok());
+  EXPECT_TRUE(tiny.Query(0, "doctor").ok());
+  auto over = tiny.Query(0, "health");
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(SearchTest, InvalidEngineIndex) {
+  EXPECT_FALSE(engines_.Query(99, "x").ok());
+}
+
+}  // namespace
+}  // namespace wsie::web
