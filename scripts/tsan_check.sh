@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# ThreadSanitizer check for the concurrency-sensitive suites: the dataflow
+# executor (morsel scheduler, open cache) and the thread pool. Builds into
+# a dedicated build-tsan directory and runs the ctest targets labeled
+# `tsan`. Usage: scripts/tsan_check.sh [address]  (default: thread)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-thread}"
+BUILD_DIR="build-${SANITIZER//thread/tsan}"
+BUILD_DIR="${BUILD_DIR//address/asan}"
+
+cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
+cmake --build "$BUILD_DIR" -j --target dataflow_test thread_pool_stress_test
+(cd "$BUILD_DIR" && ctest -L tsan --output-on-failure)
+echo "${SANITIZER} sanitizer run passed"

@@ -54,6 +54,50 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   Wait();
 }
 
+bool ThreadPool::MorselFor(size_t n, size_t workers,
+                           const std::function<bool(size_t)>& fn) {
+  if (n == 0) return true;
+  if (workers == 0) workers = 1;
+  if (workers > n) workers = n;
+
+  // Per-call completion state: MorselFor on a shared pool must not wait on
+  // unrelated tasks, so it cannot use the pool-global Wait().
+  struct State {
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t active = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->active = workers;
+
+  // Capturing `fn` by reference is safe: this call blocks until every
+  // worker task has finished.
+  auto worker = [state, n, &fn] {
+    for (;;) {
+      if (state->cancelled.load(std::memory_order_relaxed)) break;
+      size_t i = state->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      if (!fn(i)) {
+        state->cancelled.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(state->mu);
+      --state->active;
+      if (state->active == 0) state->done.notify_all();
+    }
+  };
+  for (size_t w = 0; w < workers; ++w) Submit(worker);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&state] { return state->active == 0; });
+  }
+  return !state->cancelled.load(std::memory_order_relaxed);
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -39,6 +39,18 @@ class ThreadPool {
   /// Convenience for the common parallel-for pattern.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Morsel-driven loop: up to `workers` pool tasks pull indices in [0, n)
+  /// from a shared atomic cursor until it is exhausted, so skewed item costs
+  /// never straggle a static pre-split. `fn(i)` returns false to cancel the
+  /// loop — indices not yet claimed are skipped (already-running calls
+  /// finish). Returns true if every index ran, false if cancelled.
+  ///
+  /// Unlike Wait(), completion is tracked per call, so several threads may
+  /// run MorselFor() on one shared pool concurrently without waiting on each
+  /// other's unrelated tasks.
+  bool MorselFor(size_t n, size_t workers,
+                 const std::function<bool(size_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -1,6 +1,7 @@
 #include "core/operators_dc.h"
 
 #include <mutex>
+#include <span>
 
 #include "ie/relation_extractor.h"
 
@@ -13,6 +14,7 @@ using ::wsie::dataflow::OperatorPackage;
 using ::wsie::dataflow::OperatorPtr;
 using ::wsie::dataflow::OperatorTraits;
 using ::wsie::dataflow::Record;
+using ::wsie::dataflow::RecordOperator;
 using ::wsie::dataflow::Value;
 
 class DeduplicateDocumentsOp : public Operator {
@@ -33,8 +35,9 @@ class DeduplicateDocumentsOp : public Operator {
   }
   size_t MemoryBytesPerWorker() const override { return 32u << 20; }
 
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    // The index is shared across concurrently processed partitions.
+  Status ProcessSpan(std::span<const Record> in,
+                     Dataset* out) const override {
+    // The index is shared across concurrently processed morsels.
     for (const Record& r : in) {
       uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
       const std::string& text = r.Field(kFieldText).AsString();
@@ -60,7 +63,7 @@ bool Overlaps(const Value& a, const Value& b) {
          a.Field("type").AsString() == b.Field("type").AsString();
 }
 
-class MergeAnnotationsOp : public Operator {
+class MergeAnnotationsOp : public RecordOperator {
  public:
   explicit MergeAnnotationsOp(MergeStrategy strategy) : strategy_(strategy) {}
 
@@ -74,13 +77,11 @@ class MergeAnnotationsOp : public Operator {
     return t;
   }
 
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    for (const Record& r : in) {
-      Record updated = r;
-      updated.SetField(kFieldEntities,
-                       Value(Merge(r.Field(kFieldEntities).AsArray())));
-      out->push_back(std::move(updated));
-    }
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    record.SetField(kFieldEntities,
+                    Value(Merge(record.Field(kFieldEntities).AsArray())));
+    out->push_back(std::move(record));
     return Status::OK();
   }
 
@@ -130,7 +131,7 @@ class MergeAnnotationsOp : public Operator {
   MergeStrategy strategy_;
 };
 
-class ExtractRelationsOp : public Operator {
+class ExtractRelationsOp : public RecordOperator {
  public:
   ExtractRelationsOp(ContextPtr context, double min_confidence)
       : context_(std::move(context)), min_confidence_(min_confidence) {}
@@ -145,61 +146,58 @@ class ExtractRelationsOp : public Operator {
     return t;
   }
 
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    ie::RelationExtractor extractor;
-    for (const Record& r : in) {
-      Record updated = r;
-      const std::string& text = r.Field(kFieldText).AsString();
-      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    const std::string& text = record.Field(kFieldText).AsString();
+    uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
 
-      // Materialize entity annotations once.
-      std::vector<ie::Annotation> entities;
-      for (const Value& ev : r.Field(kFieldEntities).AsArray()) {
-        ie::Annotation a;
-        a.doc_id = doc_id;
-        a.begin = static_cast<uint32_t>(ev.Field("b").AsInt());
-        a.end = static_cast<uint32_t>(ev.Field("e").AsInt());
-        a.surface = ev.Field("surface").AsString();
-        const std::string& type = ev.Field("type").AsString();
-        a.entity_type = type == "gene"   ? ie::EntityType::kGene
-                        : type == "drug" ? ie::EntityType::kDrug
-                                         : ie::EntityType::kDisease;
-        a.method = ev.Field("method").AsString() == "ml"
-                       ? ie::AnnotationMethod::kMl
-                       : ie::AnnotationMethod::kDictionary;
-        entities.push_back(std::move(a));
-      }
-
-      Value::Array relations;
-      uint32_t sentence_id = 0;
-      for (const Value& sv : r.Field(kFieldSentences).AsArray()) {
-        size_t begin = static_cast<size_t>(sv.Field("b").AsInt());
-        size_t end = static_cast<size_t>(sv.Field("e").AsInt());
-        if (end > text.size() || begin >= end) continue;
-        std::vector<ie::Annotation> in_sentence;
-        for (const ie::Annotation& a : entities) {
-          if (a.begin >= begin && a.end <= end) in_sentence.push_back(a);
-        }
-        if (in_sentence.size() >= 2) {
-          for (ie::Relation& rel : extractor.ExtractFromSentence(
-                   std::string_view(text).substr(begin, end - begin), begin,
-                   in_sentence)) {
-            if (rel.confidence < min_confidence_) continue;
-            Value rv;
-            rv.SetField("type", std::string(ie::RelationTypeName(rel.type)));
-            rv.SetField("arg1", rel.arg1.surface);
-            rv.SetField("arg2", rel.arg2.surface);
-            rv.SetField("confidence", rel.confidence);
-            rv.SetField("sentence", static_cast<int64_t>(sentence_id));
-            if (!rel.trigger.empty()) rv.SetField("trigger", rel.trigger);
-            relations.push_back(std::move(rv));
-          }
-        }
-        ++sentence_id;
-      }
-      updated.SetField(kFieldRelations, Value(std::move(relations)));
-      out->push_back(std::move(updated));
+    // Materialize entity annotations once.
+    std::vector<ie::Annotation> entities;
+    for (const Value& ev : record.Field(kFieldEntities).AsArray()) {
+      ie::Annotation a;
+      a.doc_id = doc_id;
+      a.begin = static_cast<uint32_t>(ev.Field("b").AsInt());
+      a.end = static_cast<uint32_t>(ev.Field("e").AsInt());
+      a.surface = ev.Field("surface").AsString();
+      const std::string& type = ev.Field("type").AsString();
+      a.entity_type = type == "gene"   ? ie::EntityType::kGene
+                      : type == "drug" ? ie::EntityType::kDrug
+                                       : ie::EntityType::kDisease;
+      a.method = ev.Field("method").AsString() == "ml"
+                     ? ie::AnnotationMethod::kMl
+                     : ie::AnnotationMethod::kDictionary;
+      entities.push_back(std::move(a));
     }
+
+    Value::Array relations;
+    uint32_t sentence_id = 0;
+    for (const Value& sv : record.Field(kFieldSentences).AsArray()) {
+      size_t begin = static_cast<size_t>(sv.Field("b").AsInt());
+      size_t end = static_cast<size_t>(sv.Field("e").AsInt());
+      if (end > text.size() || begin >= end) continue;
+      std::vector<ie::Annotation> in_sentence;
+      for (const ie::Annotation& a : entities) {
+        if (a.begin >= begin && a.end <= end) in_sentence.push_back(a);
+      }
+      if (in_sentence.size() >= 2) {
+        for (ie::Relation& rel : extractor_.ExtractFromSentence(
+                 std::string_view(text).substr(begin, end - begin), begin,
+                 in_sentence)) {
+          if (rel.confidence < min_confidence_) continue;
+          Value rv;
+          rv.SetField("type", std::string(ie::RelationTypeName(rel.type)));
+          rv.SetField("arg1", rel.arg1.surface);
+          rv.SetField("arg2", rel.arg2.surface);
+          rv.SetField("confidence", rel.confidence);
+          rv.SetField("sentence", static_cast<int64_t>(sentence_id));
+          if (!rel.trigger.empty()) rv.SetField("trigger", rel.trigger);
+          relations.push_back(std::move(rv));
+        }
+      }
+      ++sentence_id;
+    }
+    record.SetField(kFieldRelations, Value(std::move(relations)));
+    out->push_back(std::move(record));
     (void)context_;
     return Status::OK();
   }
@@ -207,6 +205,7 @@ class ExtractRelationsOp : public Operator {
  private:
   ContextPtr context_;
   double min_confidence_;
+  ie::RelationExtractor extractor_;
 };
 
 }  // namespace

@@ -10,11 +10,11 @@ namespace wsie::core {
 namespace {
 
 using ::wsie::dataflow::Dataset;
-using ::wsie::dataflow::Operator;
 using ::wsie::dataflow::OperatorPackage;
 using ::wsie::dataflow::OperatorPtr;
 using ::wsie::dataflow::OperatorTraits;
 using ::wsie::dataflow::Record;
+using ::wsie::dataflow::RecordOperator;
 using ::wsie::dataflow::Value;
 
 Value AnnotationValue(const ie::Annotation& a) {
@@ -56,8 +56,12 @@ void ForEachSentence(const AnalysisContext& context, const Record& doc,
 }
 
 // ---------------------------------------------------------------------------
+// All analysis operators are record-at-a-time (Split-Correctness: their
+// output per record depends only on that record), so they derive from
+// RecordOperator — fused pipeline stages move records through them without
+// deep copies.
 
-class FilterLongDocumentsOp : public Operator {
+class FilterLongDocumentsOp : public RecordOperator {
  public:
   explicit FilterLongDocumentsOp(size_t max_chars) : max_chars_(max_chars) {}
   std::string name() const override { return "filter_long_documents"; }
@@ -69,11 +73,11 @@ class FilterLongDocumentsOp : public Operator {
     t.cost_per_record = 0.1;
     return t;
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    for (const Record& r : in) {
-      if (r.Field(kFieldText).AsString().size() <= max_chars_) {
-        out->push_back(r);
-      }
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    if (record.Field(kFieldText).AsString().size() <= max_chars_) {
+      out->push_back(std::move(record));
     }
     return Status::OK();
   }
@@ -82,7 +86,7 @@ class FilterLongDocumentsOp : public Operator {
   size_t max_chars_;
 };
 
-class RepairMarkupOp : public Operator {
+class RepairMarkupOp : public RecordOperator {
  public:
   std::string name() const override { return "repair_markup"; }
   OperatorPackage package() const override { return OperatorPackage::kWa; }
@@ -94,20 +98,21 @@ class RepairMarkupOp : public Operator {
     t.cost_per_record = 2.0;
     return t;
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    html::HtmlRepair repair;
-    for (const Record& r : in) {
-      auto repaired = repair.Repair(r.Field(kFieldText).AsString());
-      if (!repaired.ok()) continue;  // non-transcodable page
-      Record updated = r;
-      updated.SetField(kFieldText, std::move(repaired->html));
-      out->push_back(std::move(updated));
-    }
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    auto repaired = repair_.Repair(record.Field(kFieldText).AsString());
+    if (!repaired.ok()) return Status::OK();  // non-transcodable page
+    record.SetField(kFieldText, std::move(repaired->html));
+    out->push_back(std::move(record));
     return Status::OK();
   }
+
+ private:
+  html::HtmlRepair repair_;
 };
 
-class RemoveBoilerplateOp : public Operator {
+class RemoveBoilerplateOp : public RecordOperator {
  public:
   std::string name() const override { return "remove_boilerplate"; }
   OperatorPackage package() const override { return OperatorPackage::kWa; }
@@ -118,19 +123,20 @@ class RemoveBoilerplateOp : public Operator {
     t.cost_per_record = 2.0;
     return t;
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    html::BoilerplateDetector detector;
-    for (const Record& r : in) {
-      Record updated = r;
-      updated.SetField(kFieldText,
-                       detector.NetText(r.Field(kFieldText).AsString()));
-      out->push_back(std::move(updated));
-    }
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    record.SetField(kFieldText,
+                    detector_.NetText(record.Field(kFieldText).AsString()));
+    out->push_back(std::move(record));
     return Status::OK();
   }
+
+ private:
+  html::BoilerplateDetector detector_;
 };
 
-class AnnotateSentencesOp : public Operator {
+class AnnotateSentencesOp : public RecordOperator {
  public:
   explicit AnnotateSentencesOp(ContextPtr context)
       : context_(std::move(context)) {}
@@ -143,30 +149,29 @@ class AnnotateSentencesOp : public Operator {
     t.cost_per_record = 1.0;
     return t;
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    for (const Record& r : in) {
-      const std::string& text = r.Field(kFieldText).AsString();
-      Value::Array sentences;
-      for (const text::SentenceSpan& span : context_->splitter().Split(text)) {
-        Value sv;
-        sv.SetField("b", static_cast<int64_t>(span.begin));
-        sv.SetField("e", static_cast<int64_t>(span.end));
-        Value::Array token_array;
-        for (const text::Token& tok : context_->tokenizer().Tokenize(
-                 std::string_view(text).substr(span.begin, span.length()),
-                 span.begin)) {
-          Value tv;
-          tv.SetField("b", static_cast<int64_t>(tok.begin));
-          tv.SetField("e", static_cast<int64_t>(tok.end));
-          token_array.push_back(std::move(tv));
-        }
-        sv.SetField("tokens", Value(std::move(token_array)));
-        sentences.push_back(std::move(sv));
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    const std::string& text = record.Field(kFieldText).AsString();
+    Value::Array sentences;
+    for (const text::SentenceSpan& span : context_->splitter().Split(text)) {
+      Value sv;
+      sv.SetField("b", static_cast<int64_t>(span.begin));
+      sv.SetField("e", static_cast<int64_t>(span.end));
+      Value::Array token_array;
+      for (const text::Token& tok : context_->tokenizer().Tokenize(
+               std::string_view(text).substr(span.begin, span.length()),
+               span.begin)) {
+        Value tv;
+        tv.SetField("b", static_cast<int64_t>(tok.begin));
+        tv.SetField("e", static_cast<int64_t>(tok.end));
+        token_array.push_back(std::move(tv));
       }
-      Record updated = r;
-      updated.SetField(kFieldSentences, Value(std::move(sentences)));
-      out->push_back(std::move(updated));
+      sv.SetField("tokens", Value(std::move(token_array)));
+      sentences.push_back(std::move(sv));
     }
+    record.SetField(kFieldSentences, Value(std::move(sentences)));
+    out->push_back(std::move(record));
     return Status::OK();
   }
 
@@ -174,7 +179,7 @@ class AnnotateSentencesOp : public Operator {
   ContextPtr context_;
 };
 
-class AnnotatePosOp : public Operator {
+class AnnotatePosOp : public RecordOperator {
  public:
   explicit AnnotatePosOp(ContextPtr context) : context_(std::move(context)) {}
   std::string name() const override { return "annotate_pos"; }
@@ -187,36 +192,34 @@ class AnnotatePosOp : public Operator {
     return t;
   }
   size_t MemoryBytesPerWorker() const override { return 64u << 20; }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    for (const Record& r : in) {
-      Record updated = r;
-      bool any_overflow = false;
-      Value::Array sentences = updated.Field(kFieldSentences).AsArray();
-      ForEachSentence(*context_, r,
-                      [&](uint32_t sid, size_t, size_t,
-                          const std::vector<text::Token>& tokens) {
-                        bool overflow = false;
-                        std::vector<nlp::PosTag> tags =
-                            context_->pos_tagger().TagTokens(tokens, &overflow);
-                        if (overflow) {
-                          any_overflow = true;
-                          return;
-                        }
-                        Value::Array tag_array;
-                        tag_array.reserve(tags.size());
-                        for (nlp::PosTag tag : tags) {
-                          tag_array.push_back(
-                              Value(static_cast<int64_t>(tag)));
-                        }
-                        if (sid < sentences.size()) {
-                          sentences[sid].SetField("tags",
-                                                  Value(std::move(tag_array)));
-                        }
-                      });
-      updated.SetField(kFieldSentences, Value(std::move(sentences)));
-      if (any_overflow) updated.SetField(kFieldPosOverflow, Value(true));
-      out->push_back(std::move(updated));
-    }
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    bool any_overflow = false;
+    Value::Array sentences = record.Field(kFieldSentences).AsArray();
+    ForEachSentence(*context_, record,
+                    [&](uint32_t sid, size_t, size_t,
+                        const std::vector<text::Token>& tokens) {
+                      bool overflow = false;
+                      std::vector<nlp::PosTag> tags =
+                          context_->pos_tagger().TagTokens(tokens, &overflow);
+                      if (overflow) {
+                        any_overflow = true;
+                        return;
+                      }
+                      Value::Array tag_array;
+                      tag_array.reserve(tags.size());
+                      for (nlp::PosTag tag : tags) {
+                        tag_array.push_back(Value(static_cast<int64_t>(tag)));
+                      }
+                      if (sid < sentences.size()) {
+                        sentences[sid].SetField("tags",
+                                                Value(std::move(tag_array)));
+                      }
+                    });
+    record.SetField(kFieldSentences, Value(std::move(sentences)));
+    if (any_overflow) record.SetField(kFieldPosOverflow, Value(true));
+    out->push_back(std::move(record));
     return Status::OK();
   }
 
@@ -225,7 +228,7 @@ class AnnotatePosOp : public Operator {
 };
 
 /// Common base for the three regex linguistic extractors.
-class LinguisticOpBase : public Operator {
+class LinguisticOpBase : public RecordOperator {
  public:
   explicit LinguisticOpBase(ContextPtr context) : context_(std::move(context)) {}
   OperatorPackage package() const override { return OperatorPackage::kIe; }
@@ -236,29 +239,27 @@ class LinguisticOpBase : public Operator {
     t.cost_per_record = 1.0;
     return t;
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    for (const Record& r : in) {
-      Record updated = r;
-      Value::Array ling = updated.Field(kFieldLing).AsArray();
-      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
-      const std::string& text = r.Field(kFieldText).AsString();
-      ForEachSentence(*context_, r,
-                      [&](uint32_t sid, size_t begin, size_t end,
-                          const std::vector<text::Token>&) {
-                        std::string_view sentence =
-                            std::string_view(text).substr(begin, end - begin);
-                        for (const ie::Annotation& a :
-                             Extract(doc_id, sid, sentence, begin)) {
-                          ling.push_back(AnnotationValue(a));
-                        }
-                      });
-      updated.SetField(kFieldLing, Value(std::move(ling)));
-      out->push_back(std::move(updated));
-    }
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    Value::Array ling = record.Field(kFieldLing).AsArray();
+    uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
+    const std::string& text = record.Field(kFieldText).AsString();
+    ForEachSentence(*context_, record,
+                    [&](uint32_t sid, size_t begin, size_t end,
+                        const std::vector<text::Token>&) {
+                      std::string_view sentence =
+                          std::string_view(text).substr(begin, end - begin);
+                      for (const ie::Annotation& a :
+                           Extract(doc_id, sid, sentence, begin)) {
+                        ling.push_back(AnnotationValue(a));
+                      }
+                    });
+    record.SetField(kFieldLing, Value(std::move(ling)));
+    out->push_back(std::move(record));
     return Status::OK();
   }
 
- protected:
   virtual std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
                                               std::string_view sentence,
                                               size_t base) const = 0;
@@ -318,7 +319,7 @@ class FindAbbreviationsOp : public LinguisticOpBase {
   }
 };
 
-class AnnotateEntitiesDictOp : public Operator {
+class AnnotateEntitiesDictOp : public RecordOperator {
  public:
   AnnotateEntitiesDictOp(ContextPtr context, ie::EntityType type,
                          size_t modeled_memory)
@@ -344,19 +345,18 @@ class AnnotateEntitiesDictOp : public Operator {
     context_->dictionary_tagger(type_);
     return Status::OK();
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
     const ie::DictionaryTagger& tagger = context_->dictionary_tagger(type_);
-    for (const Record& r : in) {
-      Record updated = r;
-      Value::Array entities = updated.Field(kFieldEntities).AsArray();
-      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
-      for (const ie::Annotation& a :
-           tagger.Tag(doc_id, r.Field(kFieldText).AsString())) {
-        entities.push_back(AnnotationValue(a));
-      }
-      updated.SetField(kFieldEntities, Value(std::move(entities)));
-      out->push_back(std::move(updated));
+    Value::Array entities = record.Field(kFieldEntities).AsArray();
+    uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
+    for (const ie::Annotation& a :
+         tagger.Tag(doc_id, record.Field(kFieldText).AsString())) {
+      entities.push_back(AnnotationValue(a));
     }
+    record.SetField(kFieldEntities, Value(std::move(entities)));
+    out->push_back(std::move(record));
     return Status::OK();
   }
 
@@ -366,7 +366,7 @@ class AnnotateEntitiesDictOp : public Operator {
   size_t modeled_memory_;
 };
 
-class AnnotateEntitiesMlOp : public Operator {
+class AnnotateEntitiesMlOp : public RecordOperator {
  public:
   AnnotateEntitiesMlOp(ContextPtr context, ie::EntityType type,
                        size_t modeled_memory)
@@ -387,24 +387,23 @@ class AnnotateEntitiesMlOp : public Operator {
     if (modeled_memory_ > 0) return modeled_memory_;
     return context_->crf_tagger(type_).model().ApproxMemoryBytes();
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
     const ie::CrfTagger& tagger = context_->crf_tagger(type_);
-    for (const Record& r : in) {
-      Record updated = r;
-      Value::Array entities = updated.Field(kFieldEntities).AsArray();
-      uint64_t doc_id = static_cast<uint64_t>(r.Field(kFieldId).AsInt());
-      const std::string& text = r.Field(kFieldText).AsString();
-      ForEachSentence(*context_, r,
-                      [&](uint32_t sid, size_t, size_t,
-                          const std::vector<text::Token>& tokens) {
-                        for (const ie::Annotation& a :
-                             tagger.TagSentence(doc_id, sid, text, tokens)) {
-                          entities.push_back(AnnotationValue(a));
-                        }
-                      });
-      updated.SetField(kFieldEntities, Value(std::move(entities)));
-      out->push_back(std::move(updated));
-    }
+    Value::Array entities = record.Field(kFieldEntities).AsArray();
+    uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
+    const std::string& text = record.Field(kFieldText).AsString();
+    ForEachSentence(*context_, record,
+                    [&](uint32_t sid, size_t, size_t,
+                        const std::vector<text::Token>& tokens) {
+                      for (const ie::Annotation& a :
+                           tagger.TagSentence(doc_id, sid, text, tokens)) {
+                        entities.push_back(AnnotationValue(a));
+                      }
+                    });
+    record.SetField(kFieldEntities, Value(std::move(entities)));
+    out->push_back(std::move(record));
     return Status::OK();
   }
 
@@ -414,7 +413,7 @@ class AnnotateEntitiesMlOp : public Operator {
   size_t modeled_memory_;
 };
 
-class FilterTlaOp : public Operator {
+class FilterTlaOp : public RecordOperator {
  public:
   std::string name() const override { return "filter_tla"; }
   OperatorPackage package() const override { return OperatorPackage::kDc; }
@@ -425,21 +424,20 @@ class FilterTlaOp : public Operator {
     t.cost_per_record = 0.5;
     return t;
   }
-  Status ProcessBatch(const Dataset& in, Dataset* out) const override {
-    for (const Record& r : in) {
-      Record updated = r;
-      Value::Array kept;
-      for (const Value& ev : r.Field(kFieldEntities).AsArray()) {
-        const std::string& surface = ev.Field("surface").AsString();
-        bool is_ml_gene = ev.Field("method").AsString() == "ml" &&
-                          ev.Field("type").AsString() == "gene";
-        bool is_tla = surface.size() == 3 && IsAllUpper(surface);
-        if (is_ml_gene && is_tla) continue;
-        kept.push_back(ev);
-      }
-      updated.SetField(kFieldEntities, Value(std::move(kept)));
-      out->push_back(std::move(updated));
+
+ protected:
+  Status TransformRecord(Record record, Dataset* out) const override {
+    Value::Array kept;
+    for (const Value& ev : record.Field(kFieldEntities).AsArray()) {
+      const std::string& surface = ev.Field("surface").AsString();
+      bool is_ml_gene = ev.Field("method").AsString() == "ml" &&
+                        ev.Field("type").AsString() == "gene";
+      bool is_tla = surface.size() == 3 && IsAllUpper(surface);
+      if (is_ml_gene && is_tla) continue;
+      kept.push_back(ev);
     }
+    record.SetField(kFieldEntities, Value(std::move(kept)));
+    out->push_back(std::move(record));
     return Status::OK();
   }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 
 #include "common/string_util.h"
 #include "core/operators_dc.h"
@@ -63,12 +64,17 @@ dataflow::Plan BuildAnalysisFlow(ContextPtr context,
       std::string name() const override { return "union_results"; }
       dataflow::OperatorTraits traits() const override {
         dataflow::OperatorTraits t;
-        t.record_at_a_time = false;
+        t.record_at_a_time = false;  // multi-input: a pipeline breaker
         return t;
       }
-      Status ProcessBatch(const dataflow::Dataset& in,
-                          dataflow::Dataset* out) const override {
+      Status ProcessSpan(std::span<const dataflow::Record> in,
+                         dataflow::Dataset* out) const override {
         out->insert(out->end(), in.begin(), in.end());
+        return Status::OK();
+      }
+      Status ProcessOwned(std::span<dataflow::Record> in,
+                          dataflow::Dataset* out) const override {
+        for (dataflow::Record& r : in) out->push_back(std::move(r));
         return Status::OK();
       }
     };

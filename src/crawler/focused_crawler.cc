@@ -188,7 +188,11 @@ void FocusedCrawler::ProcessUrl(const std::string& url) {
 }
 
 void FocusedCrawler::Crawl() {
-  ThreadPool pool(config_.num_fetch_threads);
+  // Reuse a caller-provided fetcher pool when configured (so the crawler and
+  // executor can share one set of threads) instead of spinning up a fresh
+  // pool per Crawl() call.
+  std::shared_ptr<ThreadPool> pool = config_.fetch_pool;
+  if (!pool) pool = std::make_shared<ThreadPool>(config_.num_fetch_threads);
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -196,10 +200,11 @@ void FocusedCrawler::Crawl() {
     }
     std::vector<std::string> batch = crawl_db_.NextFetchBatch(config_.batch_size);
     if (batch.empty()) break;  // frontier exhausted (Sect. 2.2 failure mode)
-    for (const std::string& url : batch) {
-      pool.Submit([this, url] { ProcessUrl(url); });
-    }
-    pool.Wait();
+    pool->MorselFor(batch.size(), config_.num_fetch_threads,
+                    [this, &batch](size_t i) {
+                      ProcessUrl(batch[i]);
+                      return true;
+                    });
   }
 }
 

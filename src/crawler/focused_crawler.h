@@ -2,11 +2,13 @@
 #define WSIE_CRAWLER_FOCUSED_CRAWLER_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "corpus/document.h"
 #include "crawler/crawl_db.h"
 #include "crawler/filters.h"
@@ -51,6 +53,10 @@ struct CrawlerConfig {
   const RelevanceSignal* ie_feedback = nullptr;
   /// Mixing weight of the feedback signal against the text classifier.
   double ie_feedback_weight = 0.35;
+  /// Optional shared fetcher pool; when null, Crawl() creates its own.
+  /// Fetch tasks use per-call completion tracking, so the same pool may be
+  /// shared with the dataflow executor.
+  std::shared_ptr<ThreadPool> fetch_pool;
 };
 
 /// Aggregated crawl statistics (the Sect. 4.1 evaluation quantities).

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -29,18 +30,26 @@ struct OperatorTraits {
   double selectivity = 1.0;
   /// Relative CPU cost per record (1.0 = trivial map).
   double cost_per_record = 1.0;
-  /// True if the operator is a record-at-a-time map/filter (reorderable);
-  /// false for aggregations and sinks.
+  /// True if the operator is a record-at-a-time map/filter: reorderable by
+  /// the optimizer AND fusable into a pipeline stage (its output for a
+  /// record depends only on that record). False for aggregations,
+  /// cross-record stateful transforms (dedup), multi-input unions, sinks.
   bool record_at_a_time = true;
 };
 
 /// A dataflow operator. Implementations are record-at-a-time UDFs or
 /// partition-level transforms.
 ///
-/// Lifecycle per worker: Open() once (start-up cost — e.g. dictionary
-/// automaton construction, the Sect. 4.2 bottleneck), then ProcessBatch()
-/// on each partition slice, then Close(). Operators must be thread-safe
-/// after Open(): ProcessBatch() is called concurrently from many workers.
+/// Lifecycle: Open() once (start-up cost — e.g. dictionary automaton
+/// construction, the Sect. 4.2 bottleneck; the executor may cache opens
+/// process-wide), then ProcessSpan()/ProcessOwned() on each morsel, then
+/// Close(). Operators must be thread-safe after Open(): the process entry
+/// points are called concurrently from many workers.
+///
+/// Implementations must override at least one of ProcessSpan() or
+/// ProcessBatch() (their defaults bridge to each other). ProcessOwned() is
+/// an optional third entry point that lets fused pipeline stages move
+/// records through without deep copies.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -49,13 +58,37 @@ class Operator {
   virtual OperatorPackage package() const { return OperatorPackage::kBase; }
   virtual OperatorTraits traits() const { return OperatorTraits{}; }
 
-  /// Per-worker start-up. Default: no-op.
+  /// Start-up. Default: no-op.
   virtual Status Open() { return Status::OK(); }
-  /// Per-worker tear-down. Default: no-op.
+  /// Tear-down. Default: no-op.
   virtual void Close() {}
 
-  /// Transforms a batch of records. May emit 0..n output records per input.
-  virtual Status ProcessBatch(const Dataset& input, Dataset* output) const = 0;
+  /// Transforms a borrowed, zero-copy view of records — the executor's
+  /// morsel-level entry point. May emit 0..n output records per input.
+  /// Default bridges to ProcessBatch() by materializing the span once.
+  virtual Status ProcessSpan(std::span<const Record> input,
+                             Dataset* output) const {
+    Dataset copy(input.begin(), input.end());
+    return ProcessBatch(copy, output);
+  }
+
+  /// Transforms records the caller relinquishes: the operator may move
+  /// pieces (or whole records) from `input` into its output instead of
+  /// deep-copying. Used for the interior of fused pipeline stages, where
+  /// the upstream morsel buffer is dead after this call. Default: treats
+  /// the input as borrowed (safe, one record copy per output record for
+  /// copy-through operators).
+  virtual Status ProcessOwned(std::span<Record> input, Dataset* output) const {
+    return ProcessSpan(std::span<const Record>(input.data(), input.size()),
+                       output);
+  }
+
+  /// Batch variant retained for existing operators and direct callers;
+  /// default forwards to ProcessSpan().
+  virtual Status ProcessBatch(const Dataset& input, Dataset* output) const {
+    return ProcessSpan(std::span<const Record>(input.data(), input.size()),
+                       output);
+  }
 
   /// Per-worker resident memory in bytes while running (the scheduler
   /// constraint of Sect. 4.2). Default: negligible.
@@ -63,6 +96,35 @@ class Operator {
 };
 
 using OperatorPtr = std::shared_ptr<Operator>;
+
+/// Helper base for record-at-a-time operators: override TransformRecord()
+/// once and both span entry points fall out, with the owned path moving
+/// records through the fused pipeline without deep copies. `record` is
+/// passed by value — mutate it and push it (or derived records) into
+/// `output`.
+class RecordOperator : public Operator {
+ public:
+  Status ProcessSpan(std::span<const Record> input,
+                     Dataset* output) const final {
+    for (const Record& r : input) {
+      Status status = TransformRecord(Record(r), output);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+  Status ProcessOwned(std::span<Record> input, Dataset* output) const final {
+    for (Record& r : input) {
+      Status status = TransformRecord(std::move(r), output);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+
+ protected:
+  /// Emits 0..n output records for one input record.
+  virtual Status TransformRecord(Record record, Dataset* output) const = 0;
+};
 
 }  // namespace wsie::dataflow
 

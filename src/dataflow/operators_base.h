@@ -2,6 +2,7 @@
 #define WSIE_DATAFLOW_OPERATORS_BASE_H_
 
 #include <functional>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -16,16 +17,22 @@ class FilterOperator : public Operator {
                  OperatorTraits traits = {})
       : name_(std::move(name)),
         predicate_(std::move(predicate)),
-        traits_(traits) {
-    traits_.record_at_a_time = true;
-  }
+        traits_(traits) {}
 
   std::string name() const override { return name_; }
   OperatorTraits traits() const override { return traits_; }
 
-  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+  Status ProcessSpan(std::span<const Record> input,
+                     Dataset* output) const override {
     for (const Record& r : input) {
       if (predicate_(r)) output->push_back(r);
+    }
+    return Status::OK();
+  }
+
+  Status ProcessOwned(std::span<Record> input, Dataset* output) const override {
+    for (Record& r : input) {
+      if (predicate_(r)) output->push_back(std::move(r));
     }
     return Status::OK();
   }
@@ -41,14 +48,13 @@ class MapOperator : public Operator {
  public:
   MapOperator(std::string name, std::function<Record(const Record&)> fn,
               OperatorTraits traits = {})
-      : name_(std::move(name)), fn_(std::move(fn)), traits_(traits) {
-    traits_.record_at_a_time = true;
-  }
+      : name_(std::move(name)), fn_(std::move(fn)), traits_(traits) {}
 
   std::string name() const override { return name_; }
   OperatorTraits traits() const override { return traits_; }
 
-  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+  Status ProcessSpan(std::span<const Record> input,
+                     Dataset* output) const override {
     output->reserve(output->size() + input.size());
     for (const Record& r : input) output->push_back(fn_(r));
     return Status::OK();
@@ -66,14 +72,13 @@ class FlatMapOperator : public Operator {
   FlatMapOperator(std::string name,
                   std::function<void(const Record&, Dataset*)> fn,
                   OperatorTraits traits = {})
-      : name_(std::move(name)), fn_(std::move(fn)), traits_(traits) {
-    traits_.record_at_a_time = true;
-  }
+      : name_(std::move(name)), fn_(std::move(fn)), traits_(traits) {}
 
   std::string name() const override { return name_; }
   OperatorTraits traits() const override { return traits_; }
 
-  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+  Status ProcessSpan(std::span<const Record> input,
+                     Dataset* output) const override {
     for (const Record& r : input) fn_(r, output);
     return Status::OK();
   }
@@ -97,7 +102,8 @@ class ProjectionOperator : public Operator {
     return t;
   }
 
-  Status ProcessBatch(const Dataset& input, Dataset* output) const override {
+  Status ProcessSpan(std::span<const Record> input,
+                     Dataset* output) const override {
     for (const Record& r : input) {
       Record projected;
       for (const std::string& f : fields_) {

@@ -34,6 +34,41 @@ double Optimizer::EstimateChainCost(const std::vector<OperatorTraits>& chain,
   return cost;
 }
 
+std::vector<FusionGroup> Optimizer::ComputeFusionGroups(
+    const Plan& plan, bool fuse_record_chains) {
+  const auto& nodes = plan.nodes();
+  std::vector<std::vector<int>> consumers = plan.Consumers();
+  std::vector<FusionGroup> groups;
+  std::vector<bool> grouped(nodes.size(), false);
+  // Plans are append-only with backward edges, so ascending id order is
+  // topological and a chain's head is visited before its interior nodes.
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    if (grouped[id] || nodes[id].is_source()) continue;
+    FusionGroup group;
+    group.nodes.push_back(static_cast<int>(id));
+    grouped[id] = true;
+    if (fuse_record_chains && nodes[id].op->traits().record_at_a_time) {
+      int cur = static_cast<int>(id);
+      for (;;) {
+        // A sink must materialize its output; a fan-out point feeds several
+        // consumers; both end the stage here.
+        if (!nodes[static_cast<size_t>(cur)].sink_name.empty()) break;
+        const auto& outs = consumers[static_cast<size_t>(cur)];
+        if (outs.size() != 1) break;
+        int next = outs[0];
+        const Plan::Node& next_node = nodes[static_cast<size_t>(next)];
+        if (next_node.inputs.size() != 1) break;  // union: pipeline breaker
+        if (!next_node.op->traits().record_at_a_time) break;
+        group.nodes.push_back(next);
+        grouped[static_cast<size_t>(next)] = true;
+        cur = next;
+      }
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
 OptimizationReport Optimizer::Optimize(Plan* plan) const {
   OptimizationReport report;
   auto& nodes = plan->mutable_nodes();

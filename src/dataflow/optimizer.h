@@ -21,6 +21,16 @@ struct OptimizationReport {
   double estimated_cost_after = 0.0;
 };
 
+/// A pipeline stage emitted by the optimizer: operator node ids in chain
+/// order. Records stream through interior nodes morsel-at-a-time without
+/// `Dataset` materialization; only the group tail materializes (pipeline
+/// breakers — aggregations, multi-input unions, sinks — are always group
+/// boundaries).
+struct FusionGroup {
+  std::vector<int> nodes;
+  bool fused() const { return nodes.size() > 1; }
+};
+
 /// SOFA-style logical optimizer [23] for UDF-heavy flows.
 ///
 /// Within each linear chain of record-at-a-time operators, adjacent
@@ -41,6 +51,16 @@ class Optimizer {
   /// records: sum of per-operator cost × records reaching that operator.
   static double EstimateChainCost(const std::vector<OperatorTraits>& chain,
                                   double input_records = 1000.0);
+
+  /// Partitions the plan's operator nodes into pipeline stages. A maximal
+  /// run of record-at-a-time operators along a linear single-consumer path
+  /// forms one fused group (Split-Correctness: a per-record extractor may
+  /// run independently on any split of its input); everything else is a
+  /// singleton. With `fuse_record_chains` false every operator is its own
+  /// stage (the unfused baseline toggle). Groups are in topological order;
+  /// sources are not included.
+  static std::vector<FusionGroup> ComputeFusionGroups(
+      const Plan& plan, bool fuse_record_chains = true);
 };
 
 }  // namespace wsie::dataflow

@@ -1,3 +1,6 @@
+#include <atomic>
+#include <span>
+
 #include <gtest/gtest.h>
 
 #include "dataflow/executor.h"
@@ -420,6 +423,379 @@ TEST(ExecutorTest, StartupCostTimedSeparately) {
   auto result = executor.Run(plan, {{"in", MakeNumbers(4)}});
   ASSERT_TRUE(result.ok());
   EXPECT_GT(result->operator_stats[0].open_seconds, 0.0);
+}
+
+// ------------------------------------------------------------ Fusion groups
+
+OperatorPtr IdOp(const char* name) {
+  return std::make_shared<MapOperator>(name,
+                                       [](const Record& r) { return r; });
+}
+
+OperatorPtr BreakerOp(const char* name) {
+  OperatorTraits t;
+  t.record_at_a_time = false;
+  return std::make_shared<MapOperator>(
+      name, [](const Record& r) { return r; }, t);
+}
+
+TEST(OptimizerTest, ComputeFusionGroupsFusesRecordChains) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  int a = plan.AddNode(IdOp("a"), {src});
+  int b = plan.AddNode(IdOp("b"), {a});
+  int c = plan.AddNode(IdOp("c"), {b});
+  plan.MarkSink(c, "out");
+  auto groups = Optimizer::ComputeFusionGroups(plan);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(groups[0].fused());
+  EXPECT_EQ(groups[0].nodes, (std::vector<int>{a, b, c}));
+
+  // The unfused toggle: every operator is its own stage.
+  auto unfused = Optimizer::ComputeFusionGroups(plan, false);
+  ASSERT_EQ(unfused.size(), 3u);
+  for (const auto& g : unfused) EXPECT_FALSE(g.fused());
+}
+
+TEST(OptimizerTest, FusionStopsAtPipelineBreakers) {
+  // a -> breaker -> c: the non-record-at-a-time operator splits the chain.
+  Plan plan;
+  int src = plan.AddSource("in");
+  int a = plan.AddNode(IdOp("a"), {src});
+  int brk = plan.AddNode(BreakerOp("agg"), {a});
+  int c = plan.AddNode(IdOp("c"), {brk});
+  plan.MarkSink(c, "out");
+  auto groups = Optimizer::ComputeFusionGroups(plan);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].nodes, (std::vector<int>{a}));
+  EXPECT_EQ(groups[1].nodes, (std::vector<int>{brk}));
+  EXPECT_EQ(groups[2].nodes, (std::vector<int>{c}));
+}
+
+TEST(OptimizerTest, FusionStopsAtFanOutAndUnion) {
+  // Diamond: the fan-out point and the multi-input join both break stages.
+  Plan plan;
+  int src = plan.AddSource("in");
+  int a = plan.AddNode(IdOp("a"), {src});
+  int left = plan.AddNode(IdOp("l"), {a});
+  int right = plan.AddNode(IdOp("r"), {a});
+  int join = plan.AddNode(IdOp("j"), {left, right});
+  plan.MarkSink(join, "out");
+  auto groups = Optimizer::ComputeFusionGroups(plan);
+  ASSERT_EQ(groups.size(), 4u);
+  for (const auto& g : groups) EXPECT_EQ(g.nodes.size(), 1u);
+}
+
+TEST(OptimizerTest, FusionStopsAtInteriorSink) {
+  // A sink must materialize, so the chain breaks after it even though the
+  // consumer is record-at-a-time.
+  Plan plan;
+  int src = plan.AddSource("in");
+  int a = plan.AddNode(IdOp("a"), {src});
+  int b = plan.AddNode(IdOp("b"), {a});
+  plan.MarkSink(a, "intermediate");
+  plan.MarkSink(b, "out");
+  auto groups = Optimizer::ComputeFusionGroups(plan);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].nodes, (std::vector<int>{a}));
+  EXPECT_EQ(groups[1].nodes, (std::vector<int>{b}));
+}
+
+// ------------------------------------------------- Morsel engine semantics
+
+Plan MakeChainPlan() {
+  // dup -> keep x%3!=0 -> square: exercises flat-map fan-out, filtering,
+  // and rewriting inside one fused stage.
+  Plan plan;
+  int src = plan.AddSource("in");
+  int dup = plan.AddNode(std::make_shared<FlatMapOperator>(
+                             "dup",
+                             [](const Record& r, Dataset* out) {
+                               out->push_back(r);
+                               Record copy = r;
+                               copy.SetField("dup", true);
+                               out->push_back(std::move(copy));
+                             }),
+                         {src});
+  int keep = plan.AddNode(std::make_shared<FilterOperator>(
+                              "keep",
+                              [](const Record& r) {
+                                return r.Field("x").AsInt() % 3 != 0;
+                              }),
+                          {dup});
+  int square = plan.AddNode(std::make_shared<MapOperator>(
+                                "square",
+                                [](const Record& r) {
+                                  Record copy = r;
+                                  int64_t x = r.Field("x").AsInt();
+                                  copy.SetField("sq", x * x);
+                                  return copy;
+                                }),
+                            {keep});
+  plan.MarkSink(square, "out");
+  return plan;
+}
+
+std::string SinkJson(const ExecutorConfig& config, const Plan& plan,
+                     const std::map<std::string, Dataset>& sources,
+                     const char* sink = "out") {
+  Executor executor(config);
+  auto result = executor.Run(plan, sources);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return "";
+  std::string json;
+  for (const Record& r : result->sink_outputs.at(sink)) {
+    json += r.ToJson();
+    json += '\n';
+  }
+  return json;
+}
+
+TEST(ExecutorTest, DeterministicAcrossDopAndFusion) {
+  Plan plan = MakeChainPlan();
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(100)}};
+
+  ExecutorConfig base;
+  base.dop = 1;
+  base.min_partition_records = 1;
+  base.morsel_records = 4;
+  std::string reference = SinkJson(base, plan, sources);
+  ASSERT_FALSE(reference.empty());
+
+  for (size_t dop : {1ul, 8ul}) {
+    for (bool fused : {true, false}) {
+      for (size_t morsel : {1ul, 4ul, 64ul}) {
+        ExecutorConfig config;
+        config.dop = dop;
+        config.min_partition_records = 1;
+        config.fuse_pipelines = fused;
+        config.morsel_records = morsel;
+        EXPECT_EQ(SinkJson(config, plan, sources), reference)
+            << "dop=" << dop << " fused=" << fused << " morsel=" << morsel;
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, LegacySeedPathMatchesMorselEngine) {
+  Plan plan = MakeChainPlan();
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(60)}};
+  ExecutorConfig legacy;
+  legacy.dop = 1;
+  legacy.legacy_seed_path = true;
+  ExecutorConfig morsel;
+  morsel.dop = 8;
+  morsel.min_partition_records = 1;
+  morsel.morsel_records = 4;
+  EXPECT_EQ(SinkJson(legacy, plan, sources), SinkJson(morsel, plan, sources));
+}
+
+TEST(ExecutorTest, FusedStageStatsReported) {
+  Plan plan = MakeChainPlan();
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(100)}};
+
+  ExecutorConfig fused;
+  fused.dop = 2;
+  fused.min_partition_records = 1;
+  fused.morsel_records = 8;
+  Executor executor(fused);
+  auto result = executor.Run(plan, sources);
+  ASSERT_TRUE(result.ok());
+  // One fused stage covering all three operators.
+  ASSERT_EQ(result->stage_stats.size(), 1u);
+  const StageRunStats& stage = result->stage_stats[0];
+  EXPECT_TRUE(stage.fused);
+  EXPECT_EQ(stage.operators, 3u);
+  EXPECT_EQ(stage.name, "dup+keep+square");
+  EXPECT_EQ(stage.morsels, 13u);  // ceil(100 / 8)
+  EXPECT_EQ(stage.records_in, 100u);
+  EXPECT_GT(stage.records_out, 0u);
+  // Interior outputs streamed, only the tail materialized.
+  EXPECT_GT(stage.bytes_not_materialized, 0u);
+  EXPECT_GT(stage.bytes_materialized, 0u);
+  EXPECT_EQ(result->total_bytes_streamed, stage.bytes_not_materialized);
+  EXPECT_EQ(result->total_bytes_materialized, stage.bytes_materialized);
+  // The per-operator contract still holds.
+  ASSERT_EQ(result->operator_stats.size(), 3u);
+  EXPECT_EQ(result->operator_stats[0].records_in, 100u);
+  EXPECT_EQ(result->operator_stats[0].records_out, 200u);
+  EXPECT_EQ(result->operator_stats[0].morsels, 13u);
+  EXPECT_GT(result->operator_stats[2].bytes_out, 0u);
+
+  ExecutorConfig unfused = fused;
+  unfused.fuse_pipelines = false;
+  Executor unfused_executor(unfused);
+  auto unfused_result = unfused_executor.Run(plan, sources);
+  ASSERT_TRUE(unfused_result.ok());
+  ASSERT_EQ(unfused_result->stage_stats.size(), 3u);
+  for (const StageRunStats& s : unfused_result->stage_stats) {
+    EXPECT_FALSE(s.fused);
+    EXPECT_EQ(s.operators, 1u);
+    EXPECT_EQ(s.bytes_not_materialized, 0u);
+  }
+  EXPECT_EQ(unfused_result->total_bytes_streamed, 0u);
+  // Everything materializes without fusion.
+  EXPECT_GT(unfused_result->total_bytes_materialized,
+            result->total_bytes_materialized);
+}
+
+TEST(ExecutorTest, ErrorStopsRemainingMorsels) {
+  class CountingFailOp : public Operator {
+   public:
+    std::string name() const override { return "counting_fail"; }
+    Status ProcessSpan(std::span<const Record>, Dataset*) const override {
+      calls.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("tool crashed on pathological input");
+    }
+    mutable std::atomic<uint64_t> calls{0};
+  };
+  auto op = std::make_shared<CountingFailOp>();
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(op, {src}), "out");
+
+  ExecutorConfig config;
+  config.dop = 2;
+  config.min_partition_records = 1;
+  config.morsel_records = 4;  // 400 records -> 100 morsels
+  Executor executor(config);
+  auto result = executor.Run(plan, {{"in", MakeNumbers(400)}});
+  ASSERT_FALSE(result.ok());
+  // The first failing morsel's Status surfaces...
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  // ...and unclaimed morsels are never scheduled: only morsels already in
+  // flight when the failure hit can have run (bounded by the worker count,
+  // not the 100 morsels of input).
+  EXPECT_LE(op->calls.load(), 4u);
+}
+
+// ------------------------------------------------------------ Open cache
+
+class CountingOpenOp : public Operator {
+ public:
+  std::string name() const override { return "counting_open"; }
+  Status Open() override {
+    opens.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  void Close() override { closes.fetch_add(1, std::memory_order_relaxed); }
+  Status ProcessSpan(std::span<const Record> in,
+                     Dataset* out) const override {
+    out->insert(out->end(), in.begin(), in.end());
+    return Status::OK();
+  }
+  std::atomic<int> opens{0};
+  std::atomic<int> closes{0};
+};
+
+TEST(ExecutorTest, OpenRunsOnceAcrossRuns) {
+  auto op = std::make_shared<CountingOpenOp>();
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(op, {src}), "out");
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(8)}};
+
+  Executor executor;
+  auto first = executor.Run(plan, sources);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(op->opens.load(), 1);
+  EXPECT_EQ(first->open_cold, 1u);
+  EXPECT_EQ(first->open_cached, 0u);
+  EXPECT_FALSE(first->operator_stats[0].open_cached);
+
+  auto second = executor.Run(plan, sources);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(op->opens.load(), 1);  // exactly once across two Run() calls
+  EXPECT_EQ(second->open_cold, 0u);
+  EXPECT_EQ(second->open_cached, 1u);
+  EXPECT_TRUE(second->operator_stats[0].open_cached);
+
+  // The cache is process-wide, not per-Executor.
+  Executor another;
+  auto third = another.Run(plan, sources);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(op->opens.load(), 1);
+
+  // Clearing closes the cached operator and forces a cold re-open.
+  Executor::ClearOpenCache();
+  EXPECT_EQ(op->closes.load(), 1);
+  auto fourth = executor.Run(plan, sources);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(op->opens.load(), 2);
+  EXPECT_EQ(fourth->open_cold, 1u);
+  Executor::ClearOpenCache();
+}
+
+TEST(ExecutorTest, OpenCacheDisabledOpensPerRun) {
+  auto op = std::make_shared<CountingOpenOp>();
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(op, {src}), "out");
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(8)}};
+
+  ExecutorConfig config;
+  config.cache_opens = false;
+  Executor executor(config);
+  ASSERT_TRUE(executor.Run(plan, sources).ok());
+  ASSERT_TRUE(executor.Run(plan, sources).ok());
+  EXPECT_EQ(op->opens.load(), 2);  // seed behavior: open (and close) per run
+  EXPECT_EQ(op->closes.load(), 2);
+}
+
+TEST(ExecutorTest, FailedOpenIsNotCached) {
+  class FlakyOpenOp : public CountingOpenOp {
+   public:
+    Status Open() override {
+      if (opens.fetch_add(1, std::memory_order_relaxed) == 0) {
+        return Status::Aborted("transient start-up failure");
+      }
+      return Status::OK();
+    }
+  };
+  auto op = std::make_shared<FlakyOpenOp>();
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(op, {src}), "out");
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(4)}};
+
+  Executor executor;
+  auto first = executor.Run(plan, sources);
+  EXPECT_FALSE(first.ok());
+  auto second = executor.Run(plan, sources);  // retried, not poisoned
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(op->opens.load(), 2);
+  Executor::ClearOpenCache();
+}
+
+// ------------------------------------------------------ Shared thread pool
+
+TEST(ExecutorTest, SharedThreadPoolAcrossExecutors) {
+  auto pool = std::make_shared<ThreadPool>(4);
+  Plan plan = MakeChainPlan();
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(50)}};
+
+  ExecutorConfig config;
+  config.dop = 4;
+  config.min_partition_records = 1;
+  config.pool = pool;
+  Executor first(config);
+  Executor second(config);
+  auto a = first.Run(plan, sources);
+  auto b = second.Run(plan, sources);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sink_outputs.at("out").size(), b->sink_outputs.at("out").size());
+  EXPECT_EQ(pool->num_threads(), 4u);
+}
+
+TEST(ExecutorTest, SinkOnSourcePassesThrough) {
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(src, "echo");
+  Executor executor;
+  auto result = executor.Run(plan, {{"in", MakeNumbers(5)}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->sink_outputs.at("echo").size(), 5u);
 }
 
 // ------------------------------------------------------------ Meteor

@@ -1,0 +1,120 @@
+// Concurrency stress tests for the shared thread pool, run under TSAN by
+// scripts/tsan_check.sh (ctest -L tsan). They hammer the invariants the
+// morsel executor and the crawler rely on: concurrent Submit()+Wait() from
+// several client threads, and MorselFor() calls that must track their own
+// completion instead of waiting on unrelated work.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wsie {
+namespace {
+
+TEST(ThreadPoolStressTest, ConcurrentSubmitAndWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kClients = 8;
+  constexpr int kTasksPerClient = 200;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kTasksPerClient; ++i) {
+        pool.Submit([&counter] {
+          counter.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      pool.Wait();
+    });
+  }
+  for (auto& t : clients) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kClients * kTasksPerClient);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentMorselForCallers) {
+  // Several threads drive independent MorselFor loops over one pool; each
+  // call must see exactly its own indices complete before returning.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 500;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<size_t>> sums(kCallers);
+  for (auto& s : sums) s = 0;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      bool complete = pool.MorselFor(kItems, 4, [&, c](size_t i) {
+        sums[static_cast<size_t>(c)].fetch_add(i + 1,
+                                               std::memory_order_relaxed);
+        return true;
+      });
+      EXPECT_TRUE(complete);
+      // MorselFor returned: every index of THIS call has run, regardless of
+      // the other callers' in-flight work.
+      EXPECT_EQ(sums[static_cast<size_t>(c)].load(),
+                kItems * (kItems + 1) / 2);
+    });
+  }
+  for (auto& t : callers) t.join();
+}
+
+TEST(ThreadPoolStressTest, MorselForCancellationStopsScheduling) {
+  ThreadPool pool(4);
+  std::atomic<size_t> calls{0};
+  bool complete = pool.MorselFor(10000, 4, [&](size_t i) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    return i < 5;  // cancel early
+  });
+  EXPECT_FALSE(complete);
+  // Already-claimed morsels may finish, but the bulk must never run.
+  EXPECT_LT(calls.load(), 1000u);
+}
+
+TEST(ThreadPoolStressTest, MorselForSkewedWorkCompletes) {
+  // One very heavy item among many light ones: the shared cursor keeps the
+  // other workers busy and the call still completes every index.
+  ThreadPool pool(4);
+  std::atomic<size_t> done{0};
+  bool complete = pool.MorselFor(64, 4, [&](size_t i) {
+    if (i == 0) {
+      std::atomic<int> spin{0};
+      while (spin.load(std::memory_order_relaxed) < 2000000) {
+        spin.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    done.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  });
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ThreadPoolStressTest, ParallelForChurn) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> hits{0};
+    pool.ParallelFor(97, [&](size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(hits.load(), 97);
+  }
+}
+
+TEST(ThreadPoolStressTest, MorselForMoreWorkersThanItems) {
+  ThreadPool pool(8);
+  std::atomic<size_t> done{0};
+  EXPECT_TRUE(pool.MorselFor(3, 16, [&](size_t) {
+    done.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }));
+  EXPECT_EQ(done.load(), 3u);
+  EXPECT_TRUE(pool.MorselFor(0, 4, [&](size_t) { return true; }));
+}
+
+}  // namespace
+}  // namespace wsie
