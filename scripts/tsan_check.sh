@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# ThreadSanitizer check for the concurrency-sensitive suites: the dataflow
-# executor (morsel scheduler, open cache) and the thread pool. Builds into
-# a dedicated build-tsan directory and runs the ctest targets labeled
-# `tsan`. Usage: scripts/tsan_check.sh [address]  (default: thread)
+# ThreadSanitizer check for the concurrency- and fault-sensitive suites:
+# the dataflow executor (morsel scheduler, task retry, open cache), the
+# thread pool, the fault subsystem, and the crawler's checkpoint/resume
+# path. Builds into a dedicated build-tsan directory and runs the ctest
+# targets labeled `tsan` or `fault`.
+# Usage: scripts/tsan_check.sh [address]  (default: thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +13,7 @@ BUILD_DIR="build-${SANITIZER//thread/tsan}"
 BUILD_DIR="${BUILD_DIR//address/asan}"
 
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
-cmake --build "$BUILD_DIR" -j --target dataflow_test thread_pool_stress_test
-(cd "$BUILD_DIR" && ctest -L tsan --output-on-failure)
+cmake --build "$BUILD_DIR" -j --target \
+  dataflow_test thread_pool_stress_test fault_test crawler_test
+(cd "$BUILD_DIR" && ctest -L 'tsan|fault' --output-on-failure)
 echo "${SANITIZER} sanitizer run passed"

@@ -1,6 +1,5 @@
 #include "common/logging.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
@@ -8,7 +7,6 @@
 namespace wsie {
 namespace {
 
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_emit_mu;
 
 }  // namespace
@@ -27,19 +25,13 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
-void SetMinLogLevel(LogLevel level) {
-  g_min_level.store(static_cast<int>(level));
-}
-
-LogLevel MinLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load());
-}
-
 namespace internal_logging {
 
 void Emit(LogLevel level, const char* file, int line,
           const std::string& message) {
-  if (static_cast<int>(level) < g_min_level.load()) return;
+  // The macro already gated on the level; re-check for direct Emit() callers
+  // and for SetMinLogLevel() races between the gate and the destructor.
+  if (static_cast<int>(level) < static_cast<int>(MinLogLevel())) return;
   // Basename of the file for compact output.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {

@@ -1,6 +1,7 @@
 #ifndef WSIE_COMMON_LOGGING_H_
 #define WSIE_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -16,9 +17,23 @@ enum class LogLevel : int {
 
 const char* LogLevelName(LogLevel level);
 
+namespace internal_logging {
+
+/// The global minimum level, read on every WSIE_LOG call site before any
+/// message construction; inline so the check compiles to one relaxed load.
+inline std::atomic<int> g_min_log_level{static_cast<int>(LogLevel::kInfo)};
+
+}  // namespace internal_logging
+
 /// Minimum severity that is emitted (default kInfo). Thread-safe.
-void SetMinLogLevel(LogLevel level);
-LogLevel MinLogLevel();
+inline void SetMinLogLevel(LogLevel level) {
+  internal_logging::g_min_log_level.store(static_cast<int>(level),
+                                          std::memory_order_relaxed);
+}
+inline LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      internal_logging::g_min_log_level.load(std::memory_order_relaxed));
+}
 
 namespace internal_logging {
 
@@ -50,15 +65,29 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Swallows a streamed LogMessage so the ternary in WSIE_LOG has type void
+/// in both branches. '&' binds looser than '<<', so the whole chain runs
+/// first (glog's voidify idiom).
+struct Voidify {
+  void operator&(const LogMessage&) {}
+};
+
 }  // namespace internal_logging
 }  // namespace wsie
 
 /// Streams a log line at the given severity:
 ///   WSIE_LOG(kInfo) << "crawled " << pages << " pages";
-/// Messages below the global minimum level are formatted but not emitted
-/// (the level check happens in Emit; keep hot-path logging at kDebug).
-#define WSIE_LOG(severity)                                                \
-  ::wsie::internal_logging::LogMessage(::wsie::LogLevel::severity,        \
-                                       __FILE__, __LINE__)
+/// The level check happens *before* the message is constructed: when the
+/// severity is below the global minimum, the entire streaming expression —
+/// including any function calls in the stream arguments — is never
+/// evaluated, so sub-threshold logging costs one atomic load on the hot
+/// path.
+#define WSIE_LOG(severity)                                                   \
+  (static_cast<int>(::wsie::LogLevel::severity) <                            \
+   static_cast<int>(::wsie::MinLogLevel()))                                  \
+      ? (void)0                                                              \
+      : ::wsie::internal_logging::Voidify() &                                \
+            ::wsie::internal_logging::LogMessage(::wsie::LogLevel::severity, \
+                                                 __FILE__, __LINE__)
 
 #endif  // WSIE_COMMON_LOGGING_H_

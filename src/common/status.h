@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kTimeout,            ///< e.g., network time-out induced crashes (Sect. 4.2)
+  kUnavailable,        ///< transient: 5xx, DNS hiccup, flapping robots.txt
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -72,8 +73,18 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for transient failures that a retry with backoff may cure
+  /// (time-outs and unavailability); permanent errors (bad input, missing
+  /// data, exhausted budgets) return false. Retry loops must branch on this
+  /// instead of ad-hoc code comparisons.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kTimeout || code_ == StatusCode::kUnavailable;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

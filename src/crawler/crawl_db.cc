@@ -1,5 +1,9 @@
 #include "crawler/crawl_db.h"
 
+#include <algorithm>
+
+#include "fault/wire_format.h"
+
 namespace wsie::crawler {
 
 bool CrawlDb::Inject(const std::string& url, const std::string& host) {
@@ -51,6 +55,19 @@ void CrawlDb::MarkFetched(const std::string& url) {
   if (it != entries_.end()) it->second.state = UrlState::kFetched;
 }
 
+void CrawlDb::Requeue(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(url);
+  if (it == entries_.end() || it->second.state != UrlState::kFetching) return;
+  it->second.state = UrlState::kUnfetched;
+  auto host_it = host_dispatched_.find(it->second.host);
+  if (host_it != host_dispatched_.end() && host_it->second > 0) {
+    --host_it->second;
+  }
+  pending_.push_back(url);
+  ++num_pending_;
+}
+
 void CrawlDb::MarkError(const std::string& url) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(url);
@@ -81,6 +98,119 @@ size_t CrawlDb::HostFetchCount(const std::string& host) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = host_dispatched_.find(host);
   return it == host_dispatched_.end() ? 0 : it->second;
+}
+
+void CrawlDb::EncodeTo(std::string* out) const {
+  namespace wire = fault::wire;
+  std::lock_guard<std::mutex> lock(mu_);
+  wire::PutU64(out, max_per_host_);
+  wire::PutU64(out, total_injected_);
+  wire::PutU64(out, num_pending_);
+  // Entries in sorted-URL order: the hash map's iteration order must never
+  // leak into the bytes.
+  std::vector<const std::string*> urls;
+  urls.reserve(entries_.size());
+  for (const auto& [url, entry] : entries_) urls.push_back(&url);
+  std::sort(urls.begin(), urls.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  wire::PutU64(out, urls.size());
+  for (const std::string* url : urls) {
+    const Entry& entry = entries_.at(*url);
+    wire::PutString(out, *url);
+    wire::PutString(out, entry.host);
+    wire::PutU64(out, static_cast<uint64_t>(entry.state));
+  }
+  // The pending queue in queue order: frontier ordering is crawl state.
+  wire::PutU64(out, pending_.size());
+  for (const std::string& url : pending_) wire::PutString(out, url);
+  // Per-host dispatch counts, sorted by host.
+  std::vector<const std::string*> hosts;
+  hosts.reserve(host_dispatched_.size());
+  for (const auto& [host, count] : host_dispatched_) hosts.push_back(&host);
+  std::sort(hosts.begin(), hosts.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  wire::PutU64(out, hosts.size());
+  for (const std::string* host : hosts) {
+    wire::PutString(out, *host);
+    wire::PutU64(out, host_dispatched_.at(*host));
+  }
+}
+
+Status CrawlDb::DecodeFrom(std::string_view in) {
+  namespace wire = fault::wire;
+  uint64_t max_per_host = 0, total_injected = 0, num_pending = 0, count = 0;
+  if (!wire::GetU64(&in, &max_per_host) ||
+      !wire::GetU64(&in, &total_injected) ||
+      !wire::GetU64(&in, &num_pending) || !wire::GetU64(&in, &count)) {
+    return Status::InvalidArgument("crawldb: malformed header");
+  }
+  std::unordered_map<std::string, Entry> entries;
+  entries.reserve(count);
+  std::vector<std::string> in_flight;  // kFetching snapshots to re-frontier
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string url, host;
+    uint64_t state = 0;
+    if (!wire::GetString(&in, &url) || !wire::GetString(&in, &host) ||
+        !wire::GetU64(&in, &state) ||
+        state > static_cast<uint64_t>(UrlState::kError)) {
+      return Status::InvalidArgument("crawldb: malformed entry");
+    }
+    Entry entry;
+    entry.host = std::move(host);
+    entry.state = static_cast<UrlState>(state);
+    if (entry.state == UrlState::kFetching) {
+      entry.state = UrlState::kUnfetched;
+      in_flight.push_back(url);
+    }
+    entries[std::move(url)] = std::move(entry);
+  }
+  uint64_t pending_count = 0;
+  if (!wire::GetU64(&in, &pending_count)) {
+    return Status::InvalidArgument("crawldb: malformed pending queue");
+  }
+  std::deque<std::string> pending;
+  for (uint64_t i = 0; i < pending_count; ++i) {
+    std::string url;
+    if (!wire::GetString(&in, &url)) {
+      return Status::InvalidArgument("crawldb: malformed pending entry");
+    }
+    pending.push_back(std::move(url));
+  }
+  uint64_t host_count = 0;
+  if (!wire::GetU64(&in, &host_count)) {
+    return Status::InvalidArgument("crawldb: malformed host counts");
+  }
+  std::unordered_map<std::string, size_t> host_dispatched;
+  host_dispatched.reserve(host_count);
+  for (uint64_t i = 0; i < host_count; ++i) {
+    std::string host;
+    uint64_t dispatched = 0;
+    if (!wire::GetString(&in, &host) || !wire::GetU64(&in, &dispatched)) {
+      return Status::InvalidArgument("crawldb: malformed host count entry");
+    }
+    host_dispatched[std::move(host)] = dispatched;
+  }
+  // In-flight URLs rejoin the frontier (sorted: deterministic re-dispatch
+  // order regardless of snapshot hash-map layout) and their hosts'
+  // dispatch charges are rolled back.
+  std::sort(in_flight.begin(), in_flight.end());
+  for (std::string& url : in_flight) {
+    auto host_it = host_dispatched.find(entries[url].host);
+    if (host_it != host_dispatched.end() && host_it->second > 0) {
+      --host_it->second;
+    }
+    pending.push_back(std::move(url));
+    ++num_pending;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  max_per_host_ = max_per_host;
+  total_injected_ = total_injected;
+  num_pending_ = num_pending;
+  entries_ = std::move(entries);
+  pending_ = std::move(pending);
+  host_dispatched_ = std::move(host_dispatched);
+  return Status::OK();
 }
 
 }  // namespace wsie::crawler

@@ -5,9 +5,12 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/status.h"
 
 namespace wsie::crawler {
 
@@ -42,6 +45,12 @@ class CrawlDb {
   void MarkFetched(const std::string& url);
   void MarkError(const std::string& url);
 
+  /// Returns a dispatched (kFetching) URL to the back of the frontier
+  /// without recording an outcome — the circuit-breaker deferral path. The
+  /// host's dispatch count is rolled back so politeness accounting does not
+  /// double-charge the host when the URL is dispatched again.
+  void Requeue(const std::string& url);
+
   /// True when no unfetched URLs remain (the "CrawlDB empty" stop
   /// condition of Sect. 2.1).
   bool Empty() const;
@@ -52,6 +61,19 @@ class CrawlDb {
 
   /// Per-host URL count already dispatched (politeness accounting).
   size_t HostFetchCount(const std::string& host) const;
+
+  /// Serializes the complete frontier state — entries in sorted-URL order,
+  /// the pending queue in queue order, per-host dispatch counts — so the
+  /// bytes are a pure function of the logical state (the checkpoint's
+  /// byte-identical-resume guarantee relies on this).
+  void EncodeTo(std::string* out) const;
+
+  /// Restores state serialized by EncodeTo(), replacing current contents.
+  /// URLs that were in flight (kFetching) at snapshot time are returned to
+  /// the frontier: a resumed crawl re-fetches work the killed crawl never
+  /// finished. Rejects malformed input without modifying *this on the
+  /// header; contents are replaced transactionally only on full success.
+  Status DecodeFrom(std::string_view in);
 
  private:
   struct Entry {

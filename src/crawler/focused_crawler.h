@@ -6,14 +6,18 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "corpus/document.h"
 #include "crawler/crawl_db.h"
 #include "crawler/filters.h"
 #include "crawler/link_db.h"
 #include "crawler/relevance_classifier.h"
+#include "fault/circuit_breaker.h"
+#include "fault/retry_policy.h"
 #include "html/boilerplate.h"
 #include "html/html_repair.h"
 #include "ml/metrics.h"
@@ -41,6 +45,9 @@ struct CrawlerConfig {
   size_t max_pages = 0;
   /// Stop once the relevant corpus reaches this many bytes (0 = no target).
   size_t max_relevant_bytes = 0;
+  /// Stop after this many fetch batches (0 = unlimited). The fault-recovery
+  /// bench uses this to kill a crawl mid-flight at a batch boundary.
+  size_t max_batches = 0;
   /// Total per-host page budget (spider-trap protection; politeness caps
   /// per batch live in CrawlDb).
   size_t max_pages_per_host = 500;
@@ -57,13 +64,36 @@ struct CrawlerConfig {
   /// Fetch tasks use per-call completion tracking, so the same pool may be
   /// shared with the dataflow executor.
   std::shared_ptr<ThreadPool> fetch_pool;
+  /// Fetch retry policy: transient failures (time-outs, DNS errors, 5xx —
+  /// Status::IsRetryable()) back off and retry within the fetch task,
+  /// charging virtual backoff latency. max_attempts = 1 disables retries.
+  fault::RetryPolicy retry;
+  /// Per-host circuit breaker (politeness layer). failure_threshold = 0
+  /// (the default) disables it.
+  fault::CircuitBreakerConfig breaker;
+  /// Times a breaker-deferred URL is requeued before being dropped.
+  int breaker_requeue_limit = 2;
+  /// Checkpoint every n batches into `checkpoint_path` (0 = never).
+  size_t checkpoint_every_batches = 0;
+  std::string checkpoint_path;
 };
 
 /// Aggregated crawl statistics (the Sect. 4.1 evaluation quantities).
+///
+/// Every field except `processing_seconds` (measured wall time) is a pure
+/// function of the crawl seed and configuration: the crawler applies all
+/// mutations in batch order on one thread, so two runs — or a killed run
+/// resumed from a checkpoint — produce bit-identical values at any thread
+/// count.
 struct CrawlStats {
   uint64_t fetched = 0;
   uint64_t fetch_errors = 0;
+  uint64_t fetch_retries = 0;       ///< extra attempts after transient faults
+  uint64_t fetch_faults = 0;        ///< attempts lost to injected faults
   uint64_t robots_blocked = 0;
+  uint64_t robots_unavailable = 0;  ///< hosts whose robots.txt never answered
+  uint64_t breaker_skipped = 0;     ///< URLs deferred by an open circuit
+  uint64_t breaker_dropped = 0;     ///< deferred past the requeue limit
   uint64_t host_budget_skipped = 0;
   uint64_t trap_pages = 0;
   uint64_t transcode_failures = 0;  ///< HTML repair gave up ([19]: ~13%)
@@ -71,8 +101,9 @@ struct CrawlStats {
   uint64_t classified_irrelevant = 0;
   uint64_t relevant_bytes = 0;
   uint64_t irrelevant_bytes = 0;
+  uint64_t batches = 0;             ///< fetch batches completed
   double virtual_fetch_seconds = 0.0;  ///< modeled network time / thread
-  double processing_seconds = 0.0;     ///< measured pipeline time
+  double processing_seconds = 0.0;     ///< measured pipeline time (wall)
 
   /// Classifier decisions against generator ground truth, over all
   /// classified pages (the paper estimates this on a 200-page sample).
@@ -88,12 +119,27 @@ struct CrawlStats {
     double t = virtual_fetch_seconds + processing_seconds;
     return t <= 0 ? 0.0 : static_cast<double>(fetched) / t;
   }
+
+  /// Serialization for checkpoints. Doubles round-trip exactly (hexfloat),
+  /// so a resumed crawl accumulates from bit-identical values.
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view* in);
 };
 
 /// The focused crawler (Fig. 1): Nutch-style fetch loop extended with MIME/
 /// language/length filters, Boilerpipe-style net-text extraction, and a
 /// Naive-Bayes relevance classifier that decides whether a page's outlinks
 /// enter the frontier.
+///
+/// Execution model (the recovery subsystem's determinism contract): each
+/// iteration pops one politeness-respecting batch from the CrawlDb, gates
+/// it serially (robots.txt with retries, per-host circuit breaker, host
+/// budget), fetches + parses + classifies the surviving URLs in parallel —
+/// workers touch no crawl state — and then applies every outcome serially
+/// in batch order: stats, corpora, LinkDb edges, frontier injections.
+/// Thread scheduling therefore cannot influence any crawl decision, which
+/// is what makes checkpoint/resume byte-identical and fault injection
+/// replayable.
 class FocusedCrawler {
  public:
   /// All pointed-to collaborators must outlive the crawler.
@@ -104,9 +150,19 @@ class FocusedCrawler {
   /// Seeds the frontier.
   void InjectSeeds(const std::vector<std::string>& seed_urls);
 
-  /// Runs the crawl to a stop condition (empty frontier, max_pages, or
-  /// corpus-size target).
+  /// Runs the crawl to a stop condition (empty frontier, max_pages,
+  /// max_batches, or corpus-size target). Resumable: calling Crawl() again
+  /// (or after RestoreCheckpoint()) continues where the crawl stopped.
   void Crawl();
+
+  /// Snapshots the full crawl state (frontier, LinkDb, stats, corpora,
+  /// margins, robots cache, breaker) into a durable checkpoint file.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores state saved by SaveCheckpoint(), replacing current progress.
+  /// Corrupt or truncated files are rejected and leave this crawler
+  /// untouched.
+  Status RestoreCheckpoint(const std::string& path);
 
   const CrawlStats& stats() const { return stats_; }
   const PreFilterChain& prefilter() const { return prefilter_; }
@@ -118,16 +174,37 @@ class FocusedCrawler {
   }
   LinkDb& link_db() { return link_db_; }
   CrawlDb& crawl_db() { return crawl_db_; }
+  const fault::HostCircuitBreaker& breaker() const { return breaker_; }
 
  private:
-  struct PageOutcome {
-    bool add_outlinks = false;
-    int child_margin = 0;
+  /// Everything one fetch task produces; applied serially in batch order.
+  struct FetchOutcome {
+    bool fetch_failed = false;     ///< permanent failure after retries
+    uint64_t retries = 0;          ///< extra attempts taken
+    uint64_t faulted_attempts = 0; ///< attempts lost to injected faults
+    double latency_ms = 0.0;       ///< fetch + backoff virtual time
+    bool is_trap = false;
+    bool transcode_failed = false;
+    FilterVerdict verdict = FilterVerdict::kPass;
+    bool classified_relevant = false;
+    bool ground_truth_relevant = false;
+    bool has_ground_truth = false;
+    std::string net_text;
+    std::vector<std::string> out_urls;
   };
 
-  void ProcessUrl(const std::string& url);
-  /// Consults (and caches) the host's robots.txt rules.
-  bool RobotsAllows(const std::string& host, const std::string& path);
+  /// Worker-side: fetch with retries, repair, extract, classify. Reads only
+  /// immutable collaborators and the (pre-resolved, frozen) robots cache.
+  FetchOutcome FetchAndParse(const std::string& url) const;
+
+  /// Serial: resolves (and caches) robots rules for every host in `batch`.
+  void ResolveRobots(const std::vector<std::string>& batch);
+
+  /// Serial: applies one outcome — stats, corpora, LinkDb, frontier.
+  void ApplyOutcome(const std::string& url, FetchOutcome& outcome);
+
+  /// Serial gate: breaker / robots / host budget. Returns URLs to fetch.
+  std::vector<std::string> GateBatch(std::vector<std::string> batch);
 
   const web::SimulatedWeb* web_;
   const RelevanceClassifier* classifier_;
@@ -138,13 +215,16 @@ class FocusedCrawler {
   PreFilterChain prefilter_;
   html::HtmlRepair repair_;
   html::BoilerplateDetector boilerplate_;
+  fault::HostCircuitBreaker breaker_;
 
-  std::mutex mu_;
   CrawlStats stats_;
   corpus::DocumentStore relevant_corpus_;
   corpus::DocumentStore irrelevant_corpus_;
-  std::unordered_map<std::string, std::string> robots_cache_;  // host->prefix
+  /// host -> robots Disallow prefix ("/" = conservative disallow-all after
+  /// persistent robots unavailability). Written only in the serial phases.
+  std::unordered_map<std::string, std::string> robots_cache_;
   std::unordered_map<std::string, int> margin_;  // url -> remaining margin
+  std::unordered_map<std::string, int> breaker_requeues_;  // url -> count
   bool stop_requested_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "crawler/link_db.h"
 
+#include "fault/wire_format.h"
 #include "web/url.h"
 
 namespace wsie::crawler {
@@ -62,6 +63,67 @@ double LinkDb::IntraHostEdgeFraction() const {
   }
   return total == 0 ? 0.0
                     : static_cast<double>(intra) / static_cast<double>(total);
+}
+
+void LinkDb::EncodeTo(std::string* out) const {
+  namespace wire = fault::wire;
+  std::lock_guard<std::mutex> lock(mu_);
+  wire::PutU64(out, num_edges_);
+  wire::PutU64(out, urls_.size());
+  for (const std::string& url : urls_) wire::PutString(out, url);
+  for (const std::vector<uint32_t>& links : outlinks_) {
+    wire::PutU64(out, links.size());
+    for (uint32_t to : links) wire::PutU64(out, to);
+  }
+}
+
+Status LinkDb::DecodeFrom(std::string_view in) {
+  namespace wire = fault::wire;
+  uint64_t num_edges = 0, num_nodes = 0;
+  if (!wire::GetU64(&in, &num_edges) || !wire::GetU64(&in, &num_nodes)) {
+    return Status::InvalidArgument("linkdb: malformed header");
+  }
+  std::vector<std::string> urls;
+  urls.reserve(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    std::string url;
+    if (!wire::GetString(&in, &url)) {
+      return Status::InvalidArgument("linkdb: malformed node");
+    }
+    urls.push_back(std::move(url));
+  }
+  std::vector<std::vector<uint32_t>> outlinks(num_nodes);
+  uint64_t edges_seen = 0;
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    uint64_t degree = 0;
+    if (!wire::GetU64(&in, &degree)) {
+      return Status::InvalidArgument("linkdb: malformed adjacency");
+    }
+    outlinks[i].reserve(degree);
+    for (uint64_t j = 0; j < degree; ++j) {
+      uint64_t to = 0;
+      if (!wire::GetU64(&in, &to) || to >= num_nodes) {
+        return Status::InvalidArgument("linkdb: edge target out of range");
+      }
+      outlinks[i].push_back(static_cast<uint32_t>(to));
+      ++edges_seen;
+    }
+  }
+  if (edges_seen != num_edges) {
+    return Status::InvalidArgument("linkdb: edge count mismatch");
+  }
+  std::unordered_map<std::string, uint32_t> ids;
+  ids.reserve(num_nodes);
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    ids[urls[i]] = static_cast<uint32_t>(i);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  urls_ = std::move(urls);
+  outlinks_ = std::move(outlinks);
+  ids_ = std::move(ids);
+  num_edges_ = num_edges;
+  return Status::OK();
 }
 
 }  // namespace wsie::crawler

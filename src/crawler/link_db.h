@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/status.h"
 
 namespace wsie::crawler {
 
@@ -33,6 +36,15 @@ class LinkDb {
   /// Fraction of edges whose endpoints share a host (the "navigational
   /// links lead to pages on the same host" measurement of Sect. 2.2).
   double IntraHostEdgeFraction() const;
+
+  /// Serializes nodes (in id order) and adjacency. Node ids are assigned in
+  /// insertion order, so the bytes are deterministic exactly when links were
+  /// added in a deterministic order — which the crawler's serial apply
+  /// phase guarantees.
+  void EncodeTo(std::string* out) const;
+
+  /// Restores state serialized by EncodeTo(), replacing current contents.
+  Status DecodeFrom(std::string_view in);
 
  private:
   mutable std::mutex mu_;

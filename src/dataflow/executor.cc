@@ -202,8 +202,10 @@ Result<ExecutionResult> Executor::RunMorselEngine(
       if (view.empty()) continue;
       Chunk chunk;
       chunk.view = view;
-      if (data[idx].borrowed == nullptr && nodes[idx].sink_name.empty() &&
-          remaining[idx] == 1) {
+      // Destructive head moves are off under task retries: a re-run needs
+      // the morsel's input records intact.
+      if (config_.max_task_retries == 0 && data[idx].borrowed == nullptr &&
+          nodes[idx].sink_name.empty() && remaining[idx] == 1) {
         chunk.movable = data[idx].owned.data();
       }
       chunks.push_back(chunk);
@@ -255,6 +257,7 @@ Result<ExecutionResult> Executor::RunMorselEngine(
     std::vector<Dataset> morsel_outputs(morsels.size());
     std::mutex error_mu;
     Status first_error;
+    std::atomic<uint64_t> stage_task_retries{0};
     Stopwatch stage_timer;
 
     pool_->MorselFor(
@@ -263,58 +266,76 @@ Result<ExecutionResult> Executor::RunMorselEngine(
           const Chunk& chunk = chunks[mo.chunk];
           std::span<const Record> input =
               chunk.view.subspan(mo.begin, mo.end - mo.begin);
-          // Ping-pong scratch buffers: op k reads one, writes the other.
-          Dataset scratch[2];
-          int cur = -1;  // -1: the borrowed input span
-          for (size_t k = 0; k < num_ops; ++k) {
-            OpState& os = *ops[k];
-            int dst_idx = cur == 0 ? 1 : 0;
-            Dataset* dst = &scratch[dst_idx];
-            dst->clear();
-            Stopwatch op_timer;
-            Status status;
-            uint64_t in_count;
-            if (cur < 0) {
-              in_count = input.size();
-              if (chunk.movable != nullptr) {
-                // Stage head over a dying intermediate: workers own disjoint
-                // subranges, so moving records out is race-free.
-                status = os.op->ProcessOwned(
-                    std::span<Record>(chunk.movable + mo.begin,
-                                      mo.end - mo.begin),
-                    dst);
+          // Task-level recovery loop: each attempt streams the pristine
+          // input span through the whole chain with fresh scratch buffers,
+          // so a retry observes exactly the state the first attempt did.
+          // Open() state (including process-wide cached opens) is reused.
+          for (int attempt = 0;; ++attempt) {
+            // Ping-pong scratch buffers: op k reads one, writes the other.
+            Dataset scratch[2];
+            int cur = -1;  // -1: the borrowed input span
+            Status chain_status;
+            for (size_t k = 0; k < num_ops; ++k) {
+              OpState& os = *ops[k];
+              int dst_idx = cur == 0 ? 1 : 0;
+              Dataset* dst = &scratch[dst_idx];
+              dst->clear();
+              Stopwatch op_timer;
+              Status status;
+              uint64_t in_count;
+              if (cur < 0) {
+                in_count = input.size();
+                if (chunk.movable != nullptr) {
+                  // Stage head over a dying intermediate: workers own
+                  // disjoint subranges, so moving records out is race-free
+                  // (never taken when retries are enabled).
+                  status = os.op->ProcessOwned(
+                      std::span<Record>(chunk.movable + mo.begin,
+                                        mo.end - mo.begin),
+                      dst);
+                } else {
+                  // Stage head over borrowed/shared upstream data: zero-copy
+                  // read-only view.
+                  status = os.op->ProcessSpan(input, dst);
+                }
               } else {
-                // Stage head over borrowed/shared upstream data: zero-copy
-                // read-only view.
-                status = os.op->ProcessSpan(input, dst);
+                // Fused interior: the previous scratch buffer is dead after
+                // this call, so the operator may move records through.
+                Dataset& src = scratch[cur];
+                in_count = src.size();
+                status = os.op->ProcessOwned(
+                    std::span<Record>(src.data(), src.size()), dst);
               }
-            } else {
-              // Fused interior: the previous scratch buffer is dead after
-              // this call, so the operator may move records through.
-              Dataset& src = scratch[cur];
-              in_count = src.size();
-              status = os.op->ProcessOwned(
-                  std::span<Record>(src.data(), src.size()), dst);
+              if (!status.ok()) {
+                chain_status = status;
+                break;
+              }
+              uint64_t bytes = 0;
+              for (const Record& r : *dst) bytes += r.ByteSize();
+              os.records_in.fetch_add(in_count, std::memory_order_relaxed);
+              os.records_out.fetch_add(dst->size(), std::memory_order_relaxed);
+              os.bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+              os.process_nanos.fetch_add(
+                  static_cast<uint64_t>(op_timer.ElapsedSeconds() * 1e9),
+                  std::memory_order_relaxed);
+              os.morsels.fetch_add(1, std::memory_order_relaxed);
+              cur = dst_idx;
             }
-            if (!status.ok()) {
-              std::lock_guard<std::mutex> lock(error_mu);
-              if (first_error.ok()) first_error = status;
-              return false;  // cancels: unclaimed morsels never run
+            if (chain_status.ok()) {
+              morsel_outputs[m] = std::move(scratch[cur]);
+              return true;
             }
-            uint64_t bytes = 0;
-            for (const Record& r : *dst) bytes += r.ByteSize();
-            os.records_in.fetch_add(in_count, std::memory_order_relaxed);
-            os.records_out.fetch_add(dst->size(), std::memory_order_relaxed);
-            os.bytes_out.fetch_add(bytes, std::memory_order_relaxed);
-            os.process_nanos.fetch_add(
-                static_cast<uint64_t>(op_timer.ElapsedSeconds() * 1e9),
-                std::memory_order_relaxed);
-            os.morsels.fetch_add(1, std::memory_order_relaxed);
-            cur = dst_idx;
+            if (chain_status.IsRetryable() &&
+                attempt < config_.max_task_retries) {
+              stage_task_retries.fetch_add(1, std::memory_order_relaxed);
+              continue;  // re-run only this morsel's stage
+            }
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = chain_status;
+            return false;  // cancels: unclaimed morsels never run
           }
-          morsel_outputs[m] = std::move(scratch[cur]);
-          return true;
         });
+    result.task_retries += stage_task_retries.load();
     if (!config_.cache_opens) {
       for (auto& os : ops) os->op->Close();
     }

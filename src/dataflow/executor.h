@@ -51,6 +51,15 @@ struct ExecutorConfig {
   /// Optional shared worker pool. When null the executor creates its own
   /// pool at construction and reuses it across Run() calls.
   std::shared_ptr<ThreadPool> pool;
+  /// Task-level recovery: a morsel whose operator chain fails with a
+  /// retryable Status (Status::IsRetryable() — time-outs, unavailability) is
+  /// re-run from its pristine input span up to this many extra times before
+  /// the run fails. Only the failed morsel's stage re-executes — completed
+  /// morsels, other workers, and cached Open() state are untouched.
+  /// Non-retryable failures still fail the run on the first occurrence.
+  /// Enabling retries (> 0) disables destructive stage-head moves: the
+  /// morsel's input must stay intact for a potential re-run.
+  int max_task_retries = 0;
 };
 
 /// Per-operator execution statistics.
@@ -95,6 +104,9 @@ struct ExecutionResult {
   /// Open() calls actually executed this run vs. served from the cache.
   uint64_t open_cold = 0;
   uint64_t open_cached = 0;
+  /// Morsel re-executions after retryable operator failures
+  /// (ExecutorConfig::max_task_retries).
+  uint64_t task_retries = 0;
 };
 
 /// The pipelined plan executor.

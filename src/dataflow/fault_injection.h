@@ -1,0 +1,70 @@
+#ifndef WSIE_DATAFLOW_FAULT_INJECTION_H_
+#define WSIE_DATAFLOW_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dataflow/operator.h"
+
+namespace wsie::dataflow {
+
+/// Failure knobs for FaultInjectingOperator.
+struct FaultInjectionOptions {
+  uint64_t seed = 99;
+  /// Probability that a morsel's first pass through this operator fails
+  /// with a retryable Status (Unavailable) — the Sect. 4.2 failure mode of
+  /// annotator crashes and network-induced time-outs inside a flow.
+  double transient_prob = 0.05;
+  /// Probability of a permanent (non-retryable) failure; such morsels fail
+  /// the run no matter how many retries the executor grants.
+  double permanent_prob = 0.0;
+};
+
+/// Wraps an operator and deterministically injects failures, for testing
+/// and benchmarking the executor's task-level recovery.
+///
+/// Every decision is a pure function of the morsel's record content and the
+/// seed — no shared RNG, no wall clock — so two runs at any DoP fail on the
+/// same morsels. Transient failures model crash-once-then-work components:
+/// the first pass over a morsel fails, the immediate re-run of that morsel
+/// (same worker, same content) succeeds, which is exactly the contract of
+/// the executor's retry loop. Decisions are made before the inner operator
+/// runs, so a failing call never consumes or moves its input records.
+class FaultInjectingOperator : public Operator {
+ public:
+  FaultInjectingOperator(OperatorPtr inner, FaultInjectionOptions options = {})
+      : inner_(std::move(inner)), options_(options) {}
+
+  std::string name() const override { return inner_->name() + "!fault"; }
+  OperatorPackage package() const override { return inner_->package(); }
+  OperatorTraits traits() const override { return inner_->traits(); }
+  Status Open() override { return inner_->Open(); }
+  void Close() override { inner_->Close(); }
+  size_t MemoryBytesPerWorker() const override {
+    return inner_->MemoryBytesPerWorker();
+  }
+
+  Status ProcessSpan(std::span<const Record> input,
+                     Dataset* output) const override;
+  Status ProcessOwned(std::span<Record> input, Dataset* output) const override;
+
+  uint64_t transient_failures() const { return transient_failures_.load(); }
+  uint64_t permanent_failures() const { return permanent_failures_.load(); }
+
+ private:
+  /// Returns OK, or the injected failure for a morsel with this content key.
+  Status Decide(uint64_t key) const;
+  static uint64_t KeyFor(std::span<const Record> input);
+
+  OperatorPtr inner_;
+  FaultInjectionOptions options_;
+  mutable std::atomic<uint64_t> transient_failures_{0};
+  mutable std::atomic<uint64_t> permanent_failures_{0};
+};
+
+}  // namespace wsie::dataflow
+
+#endif  // WSIE_DATAFLOW_FAULT_INJECTION_H_

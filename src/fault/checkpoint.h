@@ -1,0 +1,51 @@
+#ifndef WSIE_FAULT_CHECKPOINT_H_
+#define WSIE_FAULT_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace wsie::fault {
+
+/// A durable, checksummed, multi-section snapshot container.
+///
+/// Components (CrawlDb, LinkDb, stats, breaker, corpora) each encode their
+/// state into one named section; the container owns the framing: a magic
+/// header, a version, length-prefixed sections in sorted name order (the
+/// serialized bytes are a pure function of the logical state — the
+/// byte-identical-resume guarantee rests on this), and a trailing FNV-1a
+/// checksum. Deserialize rejects anything with a bad magic, a bad frame,
+/// or a checksum mismatch, so a torn or bit-flipped file can never be
+/// half-loaded into a crawl.
+class Checkpoint {
+ public:
+  void SetSection(const std::string& name, std::string bytes) {
+    sections_[name] = std::move(bytes);
+  }
+
+  /// nullptr when the section is absent.
+  const std::string* FindSection(const std::string& name) const {
+    auto it = sections_.find(name);
+    return it == sections_.end() ? nullptr : &it->second;
+  }
+
+  size_t num_sections() const { return sections_.size(); }
+
+  std::string Serialize() const;
+  static Result<Checkpoint> Deserialize(std::string_view bytes);
+
+  /// Writes atomically: serialize to `path`.tmp, then rename over `path`,
+  /// so a crash mid-write leaves the previous checkpoint intact.
+  Status WriteFile(const std::string& path) const;
+  static Result<Checkpoint> ReadFile(const std::string& path);
+
+ private:
+  std::map<std::string, std::string> sections_;
+};
+
+}  // namespace wsie::fault
+
+#endif  // WSIE_FAULT_CHECKPOINT_H_

@@ -1,0 +1,69 @@
+#include "fault/circuit_breaker.h"
+
+#include "fault/wire_format.h"
+
+namespace wsie::fault {
+
+bool HostCircuitBreaker::Allow(const std::string& host, uint64_t tick) const {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(host);
+  if (it == states_.end()) return true;
+  return tick >= it->second.open_until_tick;
+}
+
+void HostCircuitBreaker::RecordBatch(const std::string& host,
+                                     uint64_t failures, uint64_t successes,
+                                     uint64_t tick) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  HostState& state = states_[host];
+  if (successes > 0) {
+    state.consecutive_failures = 0;
+    return;
+  }
+  state.consecutive_failures += failures;
+  if (state.consecutive_failures >= config_.failure_threshold) {
+    state.open_until_tick = tick + config_.open_ticks;
+    state.consecutive_failures = 0;
+    ++times_opened_;
+  }
+}
+
+uint64_t HostCircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return times_opened_;
+}
+
+void HostCircuitBreaker::EncodeTo(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  wire::PutU64(out, times_opened_);
+  wire::PutU64(out, states_.size());
+  for (const auto& [host, state] : states_) {
+    wire::PutString(out, host);
+    wire::PutU64(out, state.consecutive_failures);
+    wire::PutU64(out, state.open_until_tick);
+  }
+}
+
+Status HostCircuitBreaker::DecodeFrom(std::string_view* in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.clear();
+  uint64_t count = 0;
+  if (!wire::GetU64(in, &times_opened_) || !wire::GetU64(in, &count)) {
+    return Status::InvalidArgument("breaker: malformed header");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string host;
+    HostState state;
+    if (!wire::GetString(in, &host) ||
+        !wire::GetU64(in, &state.consecutive_failures) ||
+        !wire::GetU64(in, &state.open_until_tick)) {
+      return Status::InvalidArgument("breaker: malformed host entry");
+    }
+    states_[std::move(host)] = state;
+  }
+  return Status::OK();
+}
+
+}  // namespace wsie::fault

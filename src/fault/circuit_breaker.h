@@ -1,0 +1,67 @@
+#ifndef WSIE_FAULT_CIRCUIT_BREAKER_H_
+#define WSIE_FAULT_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wsie::fault {
+
+/// Breaker parameters. The breaker lives in the crawler's politeness layer:
+/// it is consulted when a fetch batch is assembled and updated once per
+/// batch, so its decisions are independent of fetcher-thread scheduling
+/// (time is measured in batch ticks, not wall clock).
+struct CircuitBreakerConfig {
+  /// Consecutive failed fetches that trip a host's circuit; 0 disables the
+  /// breaker entirely.
+  uint64_t failure_threshold = 0;
+  /// Batch ticks a tripped circuit stays open; URLs of that host are
+  /// deferred, not fetched. After the cooldown the circuit closes with a
+  /// clean failure count (half-open probing collapses to one clean batch).
+  uint64_t open_ticks = 3;
+};
+
+/// Per-host circuit breaker. Thread-safe, though the crawler drives it
+/// serially at batch boundaries; state serializes deterministically for
+/// checkpoints (hosts in sorted order).
+class HostCircuitBreaker {
+ public:
+  explicit HostCircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  bool enabled() const { return config_.failure_threshold > 0; }
+  const CircuitBreakerConfig& config() const { return config_; }
+
+  /// True when `host` may be fetched at batch tick `tick`.
+  bool Allow(const std::string& host, uint64_t tick) const;
+
+  /// Folds one batch's outcome for `host` into the breaker: any success
+  /// resets the streak, otherwise failures extend it; crossing the
+  /// threshold opens the circuit until `tick + open_ticks`.
+  void RecordBatch(const std::string& host, uint64_t failures,
+                   uint64_t successes, uint64_t tick);
+
+  uint64_t times_opened() const;
+
+  void EncodeTo(std::string* out) const;
+  Status DecodeFrom(std::string_view* in);
+
+ private:
+  struct HostState {
+    uint64_t consecutive_failures = 0;
+    uint64_t open_until_tick = 0;  ///< circuit open while tick < this
+  };
+
+  CircuitBreakerConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, HostState> states_;  // ordered: deterministic encode
+  uint64_t times_opened_ = 0;
+};
+
+}  // namespace wsie::fault
+
+#endif  // WSIE_FAULT_CIRCUIT_BREAKER_H_

@@ -1,0 +1,151 @@
+#ifndef WSIE_FAULT_FAULT_PLAN_H_
+#define WSIE_FAULT_FAULT_PLAN_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsie::fault {
+
+/// The web-scale failure catalogue of Sect. 4.2, as injectable fault kinds.
+enum class FaultKind : int {
+  kNone = 0,
+  kTimeout,        ///< fetch never returns; retryable (Status::Timeout)
+  kDnsError,       ///< transient resolution failure; retryable (Unavailable)
+  kHttp5xx,        ///< 503 from an overloaded server; retryable (Unavailable)
+  kSlowResponse,   ///< response arrives, latency multiplied
+  kTruncatedBody,  ///< connection dropped mid-body: 200 with a cut body
+  kGarbledBody,    ///< bytes corrupted in flight: 200 with mangled markup
+};
+
+constexpr int kNumFaultKinds = static_cast<int>(FaultKind::kGarbledBody) + 1;
+
+const char* FaultKindName(FaultKind kind);
+
+/// Per-host failure probabilities, drawn once per (host, path, attempt).
+/// All probabilities are independent of wall clock and thread schedule.
+struct HostFaultProfile {
+  double timeout_prob = 0.0;
+  double dns_prob = 0.0;
+  double http5xx_prob = 0.0;
+  double slow_prob = 0.0;
+  double truncate_prob = 0.0;
+  double garble_prob = 0.0;
+  /// Probability one robots.txt consultation attempt fails transiently
+  /// (the flapping-robots failure mode).
+  double robots_flap_prob = 0.0;
+  double timeout_latency_ms = 1500.0;  ///< cost of a timed-out attempt
+  double slow_factor = 8.0;            ///< latency multiplier when slow
+
+  /// Sum of the body-level fault probabilities (diagnostics).
+  double TotalFaultProb() const {
+    return timeout_prob + dns_prob + http5xx_prob + slow_prob +
+           truncate_prob + garble_prob;
+  }
+};
+
+/// Plan parameters. The default flaky profile injects roughly a 5% fault
+/// mix on flaky hosts — the acceptance bar of the fault-recovery bench.
+struct FaultPlanConfig {
+  uint64_t seed = 17;
+  /// Fraction of hosts assigned the flaky profile (chosen by seeded hash of
+  /// the host name); the rest get `stable` (default: no faults).
+  double flaky_host_frac = 0.35;
+  HostFaultProfile flaky = MakeDefaultFlakyProfile();
+  HostFaultProfile stable;
+  /// Attempts >= this index are always served clean: the simulated network
+  /// is flaky, never permanently dead, so a bounded retry policy converges.
+  /// Set above the retry budget to model permanently failing hosts.
+  int max_faulty_attempts = 2;
+  /// Record every non-kNone decision in the trace (determinism guard,
+  /// bench reporting).
+  bool record_trace = true;
+
+  static HostFaultProfile MakeDefaultFlakyProfile() {
+    HostFaultProfile p;
+    p.timeout_prob = 0.02;
+    p.dns_prob = 0.01;
+    p.http5xx_prob = 0.02;
+    p.slow_prob = 0.01;
+    p.truncate_prob = 0.005;
+    p.garble_prob = 0.005;
+    p.robots_flap_prob = 0.10;
+    return p;
+  }
+};
+
+/// One fault verdict for a fetch attempt.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  double extra_latency_ms = 0.0;  ///< added to the modeled latency
+  double slow_factor = 1.0;       ///< multiplies the modeled latency
+  double keep_frac = 1.0;         ///< body fraction kept when truncated
+  uint64_t mangle_seed = 0;       ///< garbling RNG seed when garbled
+};
+
+/// One recorded injection (for the determinism guard and bench reports).
+struct FaultEvent {
+  std::string host;
+  std::string path;
+  int attempt = 0;
+  FaultKind kind = FaultKind::kNone;
+
+  friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
+    return a.host == b.host && a.path == b.path && a.attempt == b.attempt &&
+           a.kind == b.kind;
+  }
+};
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Every decision is a pure function of (plan seed, host, path, attempt):
+/// no shared mutable RNG, no wall clock — so concurrent fetcher threads see
+/// identical faults across runs and a killed-and-resumed crawl replays the
+/// exact failure schedule it would have seen uninterrupted. Thread-safe.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config = {});
+
+  const FaultPlanConfig& config() const { return config_; }
+
+  /// True if `host` drew the flaky profile (seeded hash of the name).
+  bool HostIsFlaky(std::string_view host) const;
+
+  const HostFaultProfile& ProfileFor(std::string_view host) const;
+
+  /// Decides the fault (if any) for fetch attempt `attempt` of
+  /// host+path. Deterministic; records the decision when tracing is on.
+  FaultDecision Decide(std::string_view host, std::string_view path,
+                       int attempt) const;
+
+  /// Whether robots.txt answers on this consultation attempt.
+  bool RobotsAvailable(std::string_view host, int attempt) const;
+
+  /// Total Decide() calls / non-kNone verdicts.
+  uint64_t decisions() const { return decisions_.load(); }
+  uint64_t faults_injected() const { return faults_injected_.load(); }
+  uint64_t CountOf(FaultKind kind) const {
+    return counts_[static_cast<size_t>(kind)].load();
+  }
+
+  /// Trace in (host, path, attempt) order — insertion order depends on
+  /// thread scheduling, so comparisons use this stable ordering.
+  std::vector<FaultEvent> SortedTrace() const;
+  void ClearTrace();
+
+ private:
+  FaultPlanConfig config_;
+  mutable std::array<std::atomic<uint64_t>, kNumFaultKinds> counts_{};
+  mutable std::atomic<uint64_t> decisions_{0};
+  mutable std::atomic<uint64_t> faults_injected_{0};
+  mutable std::mutex trace_mu_;
+  mutable std::vector<FaultEvent> trace_;
+};
+
+}  // namespace wsie::fault
+
+#endif  // WSIE_FAULT_FAULT_PLAN_H_

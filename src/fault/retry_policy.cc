@@ -1,0 +1,21 @@
+#include "fault/retry_policy.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fault/wire_format.h"
+
+namespace wsie::fault {
+
+double RetryPolicy::BackoffMs(int attempt, uint64_t key) const {
+  double term = base_backoff_ms;
+  for (int i = 0; i < attempt; ++i) term *= backoff_multiplier;
+  term = std::min(term, max_backoff_ms);
+  if (jitter_frac <= 0.0) return term;
+  Rng rng(wire::Mix(jitter_seed,
+                    wire::Mix(key, static_cast<uint64_t>(attempt))));
+  double u = rng.NextDouble();  // [0, 1)
+  return term * (1.0 - jitter_frac + 2.0 * jitter_frac * u);
+}
+
+}  // namespace wsie::fault

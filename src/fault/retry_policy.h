@@ -1,0 +1,42 @@
+#ifndef WSIE_FAULT_RETRY_POLICY_H_
+#define WSIE_FAULT_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace wsie::fault {
+
+/// Exponential backoff with deterministic jitter.
+///
+/// Backoff is virtual time (it feeds the crawl's modeled latency; nothing
+/// sleeps), and the jitter is drawn from an Rng seeded by (jitter_seed,
+/// key, attempt) — so two runs, or a killed run and its resumption, charge
+/// bit-identical backoff for the same URL. Retry eligibility delegates to
+/// Status::IsRetryable(): time-outs and unavailability retry, permanent
+/// errors (404s, bad input, exhausted budgets) do not.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 4;
+  double base_backoff_ms = 100.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 5000.0;
+  /// Jitter amplitude as a fraction of the exponential term; the jittered
+  /// backoff lies in [term * (1 - f), term * (1 + f)].
+  double jitter_frac = 0.2;
+  uint64_t jitter_seed = 0xbac0ffULL;
+
+  /// True when `status` is worth another attempt (attempt is 0-based: the
+  /// attempt that just failed).
+  bool ShouldRetry(const Status& status, int attempt) const {
+    return status.IsRetryable() && attempt + 1 < max_attempts;
+  }
+
+  /// Virtual backoff before attempt `attempt + 1`, jittered by `key`
+  /// (typically a hash of the URL). Deterministic.
+  double BackoffMs(int attempt, uint64_t key) const;
+};
+
+}  // namespace wsie::fault
+
+#endif  // WSIE_FAULT_RETRY_POLICY_H_

@@ -6,6 +6,9 @@
 #include <string>
 #include <string_view>
 
+#include "common/result.h"
+#include "common/status.h"
+#include "fault/fault_plan.h"
 #include "web/page_renderer.h"
 #include "web/web_graph.h"
 
@@ -13,12 +16,18 @@ namespace wsie::web {
 
 /// Result of fetching one URL from the simulated web.
 struct FetchResult {
-  int http_status = 200;       ///< 200, 404
-  std::string body;            ///< page bytes
+  /// OK for any response the server produced (including 404s); a retryable
+  /// error (Timeout/Unavailable) when the injected fault swallowed the
+  /// response entirely. Callers with a RetryPolicy branch on
+  /// status.IsRetryable().
+  Status status;
+  int http_status = 200;       ///< 200, 404, 503 (injected 5xx), 0 (no response)
+  std::string body;            ///< page bytes (possibly truncated/garbled)
   std::string content_type;    ///< as a (possibly lying) server would send
   double virtual_latency_ms = 0.0;  ///< modeled network+server latency
   const PageInfo* page = nullptr;   ///< metadata; nullptr for dynamic/unknown
   bool is_trap = false;
+  fault::FaultKind injected_fault = fault::FaultKind::kNone;
 };
 
 /// Latency model parameters (virtual time; nothing sleeps).
@@ -32,6 +41,15 @@ struct FetchLatencyModel {
 /// serves robots.txt, synthesizes spider-trap pages with endless dynamic
 /// links, and models latency in virtual time. Thread-safe; fetcher threads
 /// call Fetch() concurrently.
+///
+/// When a FaultPlan is attached, every fetch consults it: time-outs, DNS
+/// errors, and 5xx responses surface as retryable Status errors; slow
+/// responses inflate the modeled latency; truncated/garbled bodies return
+/// 200 with deterministically damaged bytes (the unstable-markup failure
+/// mode — downstream HTML repair sees them). Latency jitter and all body
+/// damage are keyed on (url, attempt), never on shared counters, so
+/// concurrent crawls are bit-reproducible and a resumed crawl replays the
+/// identical network.
 class SimulatedWeb {
  public:
   /// `web` and `lexicons` must outlive this object.
@@ -39,14 +57,27 @@ class SimulatedWeb {
                RendererConfig renderer_config = {},
                FetchLatencyModel latency = {});
 
-  /// Fetches `url`. Unknown URLs return 404 with an empty body.
-  FetchResult Fetch(std::string_view url) const;
+  /// Attaches a fault-injection plan (not owned; may be nullptr to detach).
+  void set_fault_plan(const fault::FaultPlan* plan) { fault_plan_ = plan; }
+  const fault::FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Fetches `url`; `attempt` is the caller's 0-based retry attempt, which
+  /// selects the fault-plan decision. Unknown URLs return 404 with an empty
+  /// body (status OK: the server answered).
+  FetchResult Fetch(std::string_view url, int attempt = 0) const;
 
   /// Returns the robots.txt Disallow prefix for `host_name` ("" if none or
-  /// unknown host). Crawlers must consult this before fetching.
+  /// unknown host). Crawlers must consult this before fetching. Never
+  /// fails — fault injection does not apply (legacy path).
   std::string RobotsDisallowPrefix(std::string_view host_name) const;
 
-  /// Total fetches served (across threads).
+  /// Fault-aware robots consultation: Unavailable when the plan says the
+  /// host's robots.txt is flapping on this attempt, otherwise the Disallow
+  /// prefix as above.
+  Result<std::string> CheckedRobotsDisallowPrefix(std::string_view host_name,
+                                                  int attempt = 0) const;
+
+  /// Total fetch attempts served (across threads, including faulted ones).
   uint64_t fetch_count() const { return fetch_count_.load(); }
 
   const SyntheticWeb& graph() const { return *web_; }
@@ -54,10 +85,13 @@ class SimulatedWeb {
 
  private:
   FetchResult RenderTrapPage(const HostInfo& host, std::string_view path) const;
+  void ApplyBodyFault(const fault::FaultDecision& decision,
+                      FetchResult* result) const;
 
   const SyntheticWeb* web_;
   PageRenderer renderer_;
   FetchLatencyModel latency_;
+  const fault::FaultPlan* fault_plan_ = nullptr;
   mutable std::atomic<uint64_t> fetch_count_{0};
 };
 

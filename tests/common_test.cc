@@ -38,9 +38,22 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kTimeout); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnavailable); ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
+}
+
+TEST(StatusTest, RetryableClassification) {
+  // Transient failures a backoff-and-retry may cure...
+  EXPECT_TRUE(Status::Timeout("fetch timed out").IsRetryable());
+  EXPECT_TRUE(Status::Unavailable("503").IsRetryable());
+  // ...versus permanent ones.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("bad").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("404").IsRetryable());
+  EXPECT_FALSE(Status::ResourceExhausted("budget").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
 }
 
 Status FailIfNegative(int x) {
@@ -311,6 +324,39 @@ TEST(LoggingTest, LevelNamesAndThreshold) {
   // needed — this exercises the emit path guard).
   WSIE_LOG(kInfo) << "suppressed " << 42;
   WSIE_LOG(kError) << "emitted";
+  SetMinLogLevel(before);
+}
+
+int CountingOperand(int* evaluations) {
+  ++*evaluations;
+  return 7;
+}
+
+TEST(LoggingTest, SuppressedMessagesAreNeverFormatted) {
+  LogLevel before = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  // The macro's level gate must short-circuit the whole statement: stream
+  // operands of a sub-threshold message are never evaluated (the hot-path
+  // cost that motivated the gate).
+  WSIE_LOG(kDebug) << "cost " << CountingOperand(&evaluations);
+  WSIE_LOG(kInfo) << CountingOperand(&evaluations) << " things";
+  EXPECT_EQ(evaluations, 0);
+  WSIE_LOG(kError) << "counted " << CountingOperand(&evaluations);
+  EXPECT_EQ(evaluations, 1);
+  SetMinLogLevel(before);
+}
+
+TEST(LoggingTest, MacroComposesWithIfElse) {
+  // The gated macro must still parse as a single statement inside an
+  // unbraced if/else.
+  LogLevel before = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  bool flag = true;
+  if (flag)
+    WSIE_LOG(kDebug) << "then-branch";
+  else
+    WSIE_LOG(kDebug) << "else-branch";
   SetMinLogLevel(before);
 }
 

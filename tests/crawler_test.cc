@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "common/thread_pool.h"
+#include "fault/fault_plan.h"
 #include "corpus/text_generator.h"
 #include "crawler/crawl_db.h"
 #include "crawler/filters.h"
@@ -70,6 +74,84 @@ TEST(CrawlDbTest, HostFetchCountAccumulates) {
   db.NextFetchBatch(10);
   EXPECT_EQ(db.HostFetchCount("a"), 2u);
   EXPECT_EQ(db.HostFetchCount("unknown"), 0u);
+}
+
+TEST(CrawlDbTest, RequeueReturnsUrlToFrontier) {
+  CrawlDb db;
+  db.Inject("http://a/1", "a");
+  db.Inject("http://a/2", "a");
+  auto batch = db.NextFetchBatch(10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(db.HostFetchCount("a"), 2u);
+  db.Requeue("http://a/1");  // breaker deferral: back of frontier
+  EXPECT_EQ(db.num_pending(), 1u);
+  EXPECT_EQ(db.HostFetchCount("a"), 1u) << "dispatch charge rolled back";
+  auto again = db.NextFetchBatch(10);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], "http://a/1");
+  // Requeue of a non-dispatched URL is a no-op.
+  db.MarkFetched("http://a/1");
+  db.Requeue("http://a/1");
+  EXPECT_EQ(db.num_pending(), 0u);
+}
+
+TEST(CrawlDbTest, SerializationRoundTrip) {
+  CrawlDb db(/*max_fetch_list_per_host=*/3);
+  for (int i = 0; i < 6; ++i) {
+    db.Inject("http://h1/" + std::to_string(i), "h1");
+    db.Inject("http://h2/" + std::to_string(i), "h2");
+  }
+  auto batch = db.NextFetchBatch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  db.MarkFetched(batch[0]);
+  db.MarkError(batch[1]);
+  // batch[2], batch[3] stay in flight (kFetching), as after a crash.
+
+  std::string bytes;
+  db.EncodeTo(&bytes);
+  CrawlDb restored;
+  ASSERT_TRUE(restored.DecodeFrom(bytes).ok());
+  EXPECT_EQ(restored.num_known(), db.num_known());
+  EXPECT_EQ(restored.total_injected(), db.total_injected());
+  // The two in-flight URLs rejoined the frontier with their host dispatch
+  // charges rolled back.
+  EXPECT_EQ(restored.num_pending(), db.num_pending() + 2);
+  EXPECT_EQ(restored.HostFetchCount("h1") + restored.HostFetchCount("h2"),
+            db.HostFetchCount("h1") + db.HostFetchCount("h2") - 2);
+  // Fetched/errored URLs are never reissued after a resume.
+  std::vector<std::string> all;
+  for (;;) {
+    auto next = restored.NextFetchBatch(100);
+    if (next.empty()) break;
+    all.insert(all.end(), next.begin(), next.end());
+  }
+  for (const std::string& url : all) {
+    EXPECT_NE(url, batch[0]);
+    EXPECT_NE(url, batch[1]);
+  }
+  EXPECT_EQ(all.size(), 10u);  // 12 known - 1 fetched - 1 errored
+}
+
+TEST(CrawlDbTest, SerializationIsCanonicalAndRejectsCorruptBytes) {
+  CrawlDb db;
+  db.Inject("http://b/1", "b");
+  db.Inject("http://a/1", "a");
+  std::string bytes;
+  db.EncodeTo(&bytes);
+  CrawlDb restored;
+  ASSERT_TRUE(restored.DecodeFrom(bytes).ok());
+  std::string bytes2;
+  restored.EncodeTo(&bytes2);
+  EXPECT_EQ(bytes, bytes2) << "encode(decode(x)) must be byte-stable";
+
+  CrawlDb scratch;
+  EXPECT_FALSE(scratch.DecodeFrom("garbage").ok());
+  EXPECT_FALSE(scratch.DecodeFrom(bytes.substr(0, bytes.size() / 2)).ok());
+  // State-field out of range.
+  std::string bad = bytes;
+  size_t pos = bad.rfind("\n0\n");
+  if (pos != std::string::npos) bad.replace(pos, 3, "\n9\n");
+  EXPECT_FALSE(scratch.DecodeFrom(bad).ok());
 }
 
 TEST(CrawlDbTest, ConcurrentInjectsDeduplicate) {
@@ -394,6 +476,247 @@ TEST_F(CrawlerE2eTest, FollowIrrelevantMarginIncreasesYield) {
   crawler_lenient.Crawl();
 
   EXPECT_GT(crawler_lenient.stats().fetched, crawler_strict.stats().fetched);
+}
+
+// ------------------------------------------------- Faults & recovery
+
+TEST_F(CrawlerE2eTest, LinkDbSerializationRoundTrip) {
+  LinkDb db;
+  db.AddLink("http://a/1", "http://a/2");
+  db.AddLink("http://a/1", "http://b/1");
+  db.AddLink("http://b/1", "http://a/1");
+  std::string bytes;
+  db.EncodeTo(&bytes);
+  LinkDb restored;
+  ASSERT_TRUE(restored.DecodeFrom(bytes).ok());
+  EXPECT_EQ(restored.num_nodes(), 3u);
+  EXPECT_EQ(restored.num_edges(), 3u);
+  std::string bytes2;
+  restored.EncodeTo(&bytes2);
+  EXPECT_EQ(bytes, bytes2);
+  // Interning still works against restored ids.
+  EXPECT_EQ(restored.InternUrl("http://a/1"), db.InternUrl("http://a/1"));
+
+  LinkDb scratch;
+  EXPECT_FALSE(scratch.DecodeFrom("junk").ok());
+  EXPECT_FALSE(scratch.DecodeFrom(bytes.substr(0, bytes.size() / 2)).ok());
+}
+
+TEST_F(CrawlerE2eTest, FaultyCrawlRecoversViaRetries) {
+  fault::FaultPlanConfig plan_config;
+  plan_config.seed = 99;
+  plan_config.flaky_host_frac = 0.5;
+  fault::FaultPlan plan(plan_config);
+  sim_.set_fault_plan(&plan);
+
+  CrawlerConfig config;
+  config.num_fetch_threads = 4;
+  config.max_pages = 250;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  crawler.InjectSeeds(SeedsFromBiomedHosts(20));
+  crawler.Crawl();
+
+  const CrawlStats& stats = crawler.stats();
+  EXPECT_GT(stats.fetched, 20u);
+  EXPECT_GT(stats.fetch_faults, 0u) << "plan should have injected faults";
+  EXPECT_GT(stats.fetch_retries, 0u) << "transient faults should retry";
+  EXPECT_GT(plan.faults_injected(), 0u);
+  // Transient faults clear within the plan's attempt budget, which is below
+  // the retry budget — so no page is lost to a *retryable* failure.
+  EXPECT_GT(stats.classified_relevant, 0u);
+}
+
+TEST_F(CrawlerE2eTest, FaultyCrawlIsDeterministicAcrossThreadCounts) {
+  // The determinism guard: same seed, different thread counts -> identical
+  // crawl state, stats, and fault traces.
+  auto run = [this](size_t threads, fault::FaultPlan* plan,
+                    std::string* crawl_bytes, std::string* link_bytes,
+                    CrawlStats* stats_out) {
+    sim_.set_fault_plan(plan);
+    CrawlerConfig config;
+    config.num_fetch_threads = threads;
+    config.max_pages = 150;
+    FocusedCrawler crawler(&sim_, &classifier_, config);
+    crawler.InjectSeeds(SeedsFromBiomedHosts(15));
+    crawler.Crawl();
+    crawler.crawl_db().EncodeTo(crawl_bytes);
+    crawler.link_db().EncodeTo(link_bytes);
+    *stats_out = crawler.stats();
+    sim_.set_fault_plan(nullptr);
+  };
+
+  fault::FaultPlanConfig plan_config;
+  plan_config.seed = 4242;
+  plan_config.flaky_host_frac = 0.6;
+  fault::FaultPlan plan1(plan_config), plan8(plan_config);
+
+  std::string crawl1, link1, crawl8, link8;
+  CrawlStats stats1, stats8;
+  run(1, &plan1, &crawl1, &link1, &stats1);
+  run(8, &plan8, &crawl8, &link8, &stats8);
+
+  EXPECT_EQ(crawl1, crawl8) << "CrawlDb must not depend on thread schedule";
+  EXPECT_EQ(link1, link8) << "LinkDb must not depend on thread schedule";
+  EXPECT_TRUE(plan1.SortedTrace() == plan8.SortedTrace())
+      << "fault traces must be identical for identical seeds";
+  EXPECT_GT(plan1.SortedTrace().size(), 0u);
+  // All stats are bit-identical except measured wall time and modeled fetch
+  // time, which by design divides total virtual latency by the thread count.
+  stats1.processing_seconds = stats8.processing_seconds = 0.0;
+  stats1.virtual_fetch_seconds = stats8.virtual_fetch_seconds = 0.0;
+  std::string enc1, enc8;
+  stats1.EncodeTo(&enc1);
+  stats8.EncodeTo(&enc8);
+  EXPECT_EQ(enc1, enc8);
+}
+
+TEST_F(CrawlerE2eTest, KilledCrawlResumesByteIdentical) {
+  fault::FaultPlanConfig plan_config;
+  plan_config.seed = 7;
+  plan_config.flaky_host_frac = 0.5;
+
+  CrawlerConfig config;
+  config.num_fetch_threads = 4;
+  config.max_pages = 200;
+  std::vector<std::string> seeds = SeedsFromBiomedHosts(15);
+
+  // Reference: one uninterrupted crawl.
+  fault::FaultPlan plan_full(plan_config);
+  sim_.set_fault_plan(&plan_full);
+  FocusedCrawler uninterrupted(&sim_, &classifier_, config);
+  uninterrupted.InjectSeeds(seeds);
+  uninterrupted.Crawl();
+  sim_.set_fault_plan(nullptr);
+
+  // Killed run: same crawl, checkpointing every batch, killed after 2.
+  std::string path = testing::TempDir() + "wsie_crawl_resume_test.ckpt";
+  CrawlerConfig killed_config = config;
+  killed_config.max_batches = 2;
+  killed_config.checkpoint_every_batches = 1;
+  killed_config.checkpoint_path = path;
+  fault::FaultPlan plan_killed(plan_config);
+  sim_.set_fault_plan(&plan_killed);
+  FocusedCrawler killed(&sim_, &classifier_, killed_config);
+  killed.InjectSeeds(seeds);
+  killed.Crawl();
+  EXPECT_LT(killed.stats().fetched, uninterrupted.stats().fetched);
+  sim_.set_fault_plan(nullptr);
+
+  // Resumed run: a fresh crawler restores the checkpoint and finishes.
+  fault::FaultPlan plan_resumed(plan_config);
+  sim_.set_fault_plan(&plan_resumed);
+  FocusedCrawler resumed(&sim_, &classifier_, config);
+  ASSERT_TRUE(resumed.RestoreCheckpoint(path).ok());
+  EXPECT_EQ(resumed.stats().batches, 2u);
+  resumed.Crawl();
+  sim_.set_fault_plan(nullptr);
+
+  // Byte-identical CrawlDb and LinkDb, identical harvest rate and corpora.
+  std::string crawl_a, crawl_b, link_a, link_b;
+  uninterrupted.crawl_db().EncodeTo(&crawl_a);
+  resumed.crawl_db().EncodeTo(&crawl_b);
+  uninterrupted.link_db().EncodeTo(&link_a);
+  resumed.link_db().EncodeTo(&link_b);
+  EXPECT_EQ(crawl_a, crawl_b);
+  EXPECT_EQ(link_a, link_b);
+  EXPECT_EQ(uninterrupted.stats().fetched, resumed.stats().fetched);
+  EXPECT_EQ(uninterrupted.stats().HarvestRate(), resumed.stats().HarvestRate());
+  ASSERT_EQ(uninterrupted.relevant_corpus().size(),
+            resumed.relevant_corpus().size());
+  for (size_t i = 0; i < resumed.relevant_corpus().size(); ++i) {
+    const corpus::Document& a = uninterrupted.relevant_corpus().documents()[i];
+    const corpus::Document& b = resumed.relevant_corpus().documents()[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.url, b.url);
+    EXPECT_EQ(a.text, b.text);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CrawlerE2eTest, CorruptCheckpointIsRejectedAndCrawlerUntouched) {
+  CrawlerConfig config;
+  config.max_pages = 40;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  crawler.InjectSeeds(SeedsFromBiomedHosts(5));
+  crawler.Crawl();
+  uint64_t fetched_before = crawler.stats().fetched;
+  ASSERT_GT(fetched_before, 0u);
+
+  std::string path = testing::TempDir() + "wsie_corrupt_test.ckpt";
+  ASSERT_TRUE(crawler.SaveCheckpoint(path).ok());
+  // Flip a byte in the middle of the file.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_FALSE(crawler.RestoreCheckpoint(path).ok());
+  EXPECT_EQ(crawler.stats().fetched, fetched_before) << "state untouched";
+  EXPECT_FALSE(crawler.RestoreCheckpoint(path + ".missing").ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(CrawlerE2eTest, CircuitBreakerShedsPersistentlyFailingHost) {
+  // A host that times out on every attempt, forever.
+  fault::FaultPlanConfig plan_config;
+  plan_config.flaky_host_frac = 1.0;
+  plan_config.flaky = fault::HostFaultProfile{};
+  plan_config.flaky.timeout_prob = 1.0;
+  plan_config.max_faulty_attempts = 1000;  // never recovers
+  fault::FaultPlan plan(plan_config);
+  sim_.set_fault_plan(&plan);
+
+  CrawlerConfig config;
+  config.num_fetch_threads = 2;
+  config.batch_size = 4;
+  config.retry.max_attempts = 2;
+  config.breaker.failure_threshold = 4;
+  config.breaker.open_ticks = 2;
+  config.breaker_requeue_limit = 1;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  std::vector<std::string> seeds;
+  for (int i = 0; i < 12; ++i) {
+    seeds.push_back("http://always-down.example/p" + std::to_string(i));
+  }
+  crawler.InjectSeeds(seeds);
+  crawler.Crawl();  // must terminate
+  sim_.set_fault_plan(nullptr);
+
+  const CrawlStats& stats = crawler.stats();
+  EXPECT_EQ(stats.fetched, 0u);
+  EXPECT_GT(stats.fetch_errors, 0u);
+  EXPECT_GT(stats.fetch_retries, 0u);
+  EXPECT_GT(stats.breaker_skipped, 0u) << "open circuit should defer URLs";
+  EXPECT_GT(stats.breaker_dropped, 0u)
+      << "URLs deferred past the requeue limit are dropped";
+  EXPECT_GE(crawler.breaker().times_opened(), 1u);
+}
+
+TEST_F(CrawlerE2eTest, UnreachableRobotsDisallowsHostConservatively) {
+  fault::FaultPlanConfig plan_config;
+  plan_config.flaky_host_frac = 1.0;
+  plan_config.flaky = fault::HostFaultProfile{};
+  plan_config.flaky.robots_flap_prob = 1.0;
+  plan_config.max_faulty_attempts = 1000;  // robots never answers
+  fault::FaultPlan plan(plan_config);
+  sim_.set_fault_plan(&plan);
+
+  CrawlerConfig config;
+  config.max_pages = 50;
+  FocusedCrawler crawler(&sim_, &classifier_, config);
+  crawler.InjectSeeds(SeedsFromBiomedHosts(5));
+  crawler.Crawl();
+  sim_.set_fault_plan(nullptr);
+
+  EXPECT_EQ(crawler.stats().fetched, 0u)
+      << "no robots answer -> host treated as fully disallowed";
+  EXPECT_GT(crawler.stats().robots_unavailable, 0u);
+  EXPECT_GT(crawler.stats().robots_blocked, 0u);
 }
 
 // ------------------------------------------------------------ Seeds

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dataflow/executor.h"
+#include "dataflow/fault_injection.h"
 #include "dataflow/meteor.h"
 #include "dataflow/operators_base.h"
 #include "dataflow/optimizer.h"
@@ -786,6 +787,192 @@ TEST(ExecutorTest, SharedThreadPoolAcrossExecutors) {
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->sink_outputs.at("out").size(), b->sink_outputs.at("out").size());
   EXPECT_EQ(pool->num_threads(), 4u);
+}
+
+// ------------------------------------------------ Task retry & fault ops
+
+Plan MakeFaultyChainPlan(std::shared_ptr<FaultInjectingOperator>* fault_op,
+                         const FaultInjectionOptions& options) {
+  // Same shape as MakeChainPlan, but the middle of the chain injects faults.
+  Plan plan;
+  int src = plan.AddSource("in");
+  int dup = plan.AddNode(std::make_shared<FlatMapOperator>(
+                             "dup",
+                             [](const Record& r, Dataset* out) {
+                               out->push_back(r);
+                               Record copy = r;
+                               copy.SetField("dup", true);
+                               out->push_back(std::move(copy));
+                             }),
+                         {src});
+  auto faulty = std::make_shared<FaultInjectingOperator>(
+      std::make_shared<FilterOperator>(
+          "keep",
+          [](const Record& r) { return r.Field("x").AsInt() % 3 != 0; }),
+      options);
+  if (fault_op != nullptr) *fault_op = faulty;
+  int keep = plan.AddNode(faulty, {dup});
+  int square = plan.AddNode(std::make_shared<MapOperator>(
+                                "square",
+                                [](const Record& r) {
+                                  Record copy = r;
+                                  int64_t x = r.Field("x").AsInt();
+                                  copy.SetField("sq", x * x);
+                                  return copy;
+                                }),
+                            {keep});
+  plan.MarkSink(square, "out");
+  return plan;
+}
+
+TEST(ExecutorTest, TaskRetryRecoversFromTransientFaults) {
+  std::map<std::string, Dataset> sources{{"in", MakeNumbers(200)}};
+
+  // Reference output from the fault-free plan.
+  ExecutorConfig base;
+  base.dop = 1;
+  base.min_partition_records = 1;
+  base.morsel_records = 8;
+  std::string reference = SinkJson(base, MakeChainPlan(), sources);
+  ASSERT_FALSE(reference.empty());
+
+  FaultInjectionOptions options;
+  options.seed = 11;
+  options.transient_prob = 0.10;
+  std::shared_ptr<FaultInjectingOperator> fault_op;
+  Plan plan = MakeFaultyChainPlan(&fault_op, options);
+
+  for (size_t dop : {1ul, 4ul}) {
+    for (bool fused : {true, false}) {
+      ExecutorConfig config;
+      config.dop = dop;
+      config.min_partition_records = 1;
+      config.morsel_records = 8;
+      config.fuse_pipelines = fused;
+      config.max_task_retries = 3;
+      Executor executor(config);
+      auto result = executor.Run(plan, sources);
+      ASSERT_TRUE(result.ok())
+          << "dop=" << dop << " fused=" << fused << ": "
+          << result.status().ToString();
+      std::string json;
+      for (const Record& r : result->sink_outputs.at("out")) {
+        json += r.ToJson();
+        json += '\n';
+      }
+      EXPECT_EQ(json, reference)
+          << "retried run must lose zero records (dop=" << dop
+          << " fused=" << fused << ")";
+      EXPECT_GT(result->task_retries, 0u)
+          << "faults at 10% over 25 morsels should have triggered retries";
+    }
+  }
+  EXPECT_GT(fault_op->transient_failures(), 0u);
+  EXPECT_EQ(fault_op->permanent_failures(), 0u);
+}
+
+TEST(ExecutorTest, TransientFaultsFailWithoutRetryBudget) {
+  FaultInjectionOptions options;
+  options.seed = 11;
+  options.transient_prob = 0.25;
+  Plan plan = MakeFaultyChainPlan(nullptr, options);
+  ExecutorConfig config;
+  config.dop = 2;
+  config.min_partition_records = 1;
+  config.morsel_records = 8;
+  config.max_task_retries = 0;  // seed behavior: first failure is fatal
+  Executor executor(config);
+  auto result = executor.Run(plan, {{"in", MakeNumbers(200)}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(result.status().IsRetryable());
+}
+
+TEST(ExecutorTest, PermanentFaultsExhaustRetryBudget) {
+  FaultInjectionOptions options;
+  options.seed = 5;
+  options.transient_prob = 0.0;
+  options.permanent_prob = 0.2;
+  std::shared_ptr<FaultInjectingOperator> fault_op;
+  Plan plan = MakeFaultyChainPlan(&fault_op, options);
+  ExecutorConfig config;
+  config.dop = 2;
+  config.min_partition_records = 1;
+  config.morsel_records = 8;
+  config.max_task_retries = 5;
+  Executor executor(config);
+  auto result = executor.Run(plan, {{"in", MakeNumbers(200)}});
+  ASSERT_FALSE(result.ok());
+  // Permanent faults are not retryable, so the retry budget is never spent.
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(result.status().IsRetryable());
+  EXPECT_GT(fault_op->permanent_failures(), 0u);
+}
+
+TEST(ExecutorTest, RetryPreservesOpenCache) {
+  class CountingOpenFaultyOp : public CountingOpenOp {
+   public:
+    Status ProcessSpan(std::span<const Record> in,
+                       Dataset* out) const override {
+      if (!failed_once.exchange(true)) {
+        return Status::Unavailable("transient");
+      }
+      return CountingOpenOp::ProcessSpan(in, out);
+    }
+    mutable std::atomic<bool> failed_once{false};
+  };
+  auto op = std::make_shared<CountingOpenFaultyOp>();
+  Plan plan;
+  int src = plan.AddSource("in");
+  plan.MarkSink(plan.AddNode(op, {src}), "out");
+
+  ExecutorConfig config;
+  config.dop = 1;
+  config.min_partition_records = 1;
+  config.max_task_retries = 2;
+  Executor executor(config);
+  auto result = executor.Run(plan, {{"in", MakeNumbers(8)}});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->sink_outputs.at("out").size(), 8u);
+  EXPECT_EQ(result->task_retries, 1u);
+  EXPECT_EQ(op->opens.load(), 1) << "retry must not re-open the operator";
+  Executor::ClearOpenCache();
+}
+
+TEST(FaultInjectionTest, OperatorForwardsInnerBehavior) {
+  FaultInjectionOptions options;
+  options.transient_prob = 0.0;
+  options.permanent_prob = 0.0;
+  FaultInjectingOperator op(
+      std::make_shared<FilterOperator>(
+          "even", [](const Record& r) { return r.Field("x").AsInt() % 2 == 0; }),
+      options);
+  EXPECT_EQ(op.name(), "even!fault");
+  Dataset in = MakeNumbers(10);
+  Dataset out;
+  ASSERT_TRUE(op.ProcessSpan(std::span<const Record>(in), &out).ok());
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(op.transient_failures(), 0u);
+  EXPECT_EQ(op.permanent_failures(), 0u);
+}
+
+TEST(FaultInjectionTest, TransientFaultClearsOnImmediateRetry) {
+  FaultInjectionOptions options;
+  options.seed = 3;
+  options.transient_prob = 1.0;  // every morsel faults once
+  FaultInjectingOperator op(
+      std::make_shared<MapOperator>("id", [](const Record& r) { return r; }),
+      options);
+  Dataset in = MakeNumbers(4);
+  Dataset out;
+  Status first = op.ProcessSpan(std::span<const Record>(in), &out);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(out.empty()) << "a failing call must not emit partial output";
+  // The same morsel retried on the same thread succeeds deterministically.
+  ASSERT_TRUE(op.ProcessSpan(std::span<const Record>(in), &out).ok());
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(op.transient_failures(), 1u);
 }
 
 TEST(ExecutorTest, SinkOnSourcePassesThrough) {
