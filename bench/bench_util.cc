@@ -1,5 +1,6 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace wsie::bench {
@@ -65,6 +66,57 @@ void PrintCompare(const std::string& what, const std::string& paper,
                   const std::string& measured) {
   std::printf("%-46s paper: %-18s here: %s\n", what.c_str(), paper.c_str(),
               measured.c_str());
+}
+
+obs::MetricsSnapshot SnapshotRegistry() {
+  return obs::MetricsRegistry::Global().Snapshot();
+}
+
+double RunWallSecondsSince(const obs::MetricsSnapshot& before) {
+  const char* kMetric = "wsie.dataflow.run.wall_ns";
+  const obs::HistogramSnapshot* now =
+      SnapshotRegistry().FindHistogram(kMetric);
+  if (now == nullptr) return 0.0;
+  const obs::HistogramSnapshot* prior = before.FindHistogram(kMetric);
+  double prior_sum = prior == nullptr ? 0.0 : prior->sum;
+  return (now->sum - prior_sum) / 1e9;
+}
+
+void PrintRegistryOperatorRuntimes(const obs::MetricsSnapshot& snapshot,
+                                   double min_share) {
+  // Counter names carry the operator as a label:
+  //   wsie.dataflow.operator.process_ns{op="annotate_gene_ml"}
+  const std::string kPrefix = "wsie.dataflow.operator.process_ns{op=\"";
+  struct Row {
+    std::string op;
+    uint64_t process_ns;
+  };
+  std::vector<Row> rows;
+  double total_ns = 0;
+  for (const obs::CounterSnapshot& c : snapshot.counters) {
+    if (c.name.rfind(kPrefix, 0) != 0) continue;
+    std::string op = c.name.substr(kPrefix.size());
+    if (op.size() >= 2) op.resize(op.size() - 2);  // strip trailing "}
+    rows.push_back({std::move(op), c.value});
+    total_ns += static_cast<double>(c.value);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.process_ns > b.process_ns; });
+  std::printf("%-28s %12s %8s %14s %14s\n", "operator (registry)", "proc s",
+              "share", "records in", "records out");
+  for (const Row& row : rows) {
+    double share =
+        total_ns <= 0 ? 0.0 : static_cast<double>(row.process_ns) / total_ns;
+    if (share < min_share) continue;
+    uint64_t in = snapshot.CounterValue(
+        obs::WithLabel("wsie.dataflow.operator.records_in", "op", row.op));
+    uint64_t out = snapshot.CounterValue(
+        obs::WithLabel("wsie.dataflow.operator.records_out", "op", row.op));
+    std::printf("%-28s %12.3f %7.1f%% %14llu %14llu\n", row.op.c_str(),
+                static_cast<double>(row.process_ns) / 1e9, 100 * share,
+                static_cast<unsigned long long>(in),
+                static_cast<unsigned long long>(out));
+  }
 }
 
 }  // namespace wsie::bench

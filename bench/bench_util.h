@@ -11,6 +11,7 @@
 #include "core/analytics.h"
 #include "core/pipeline.h"
 #include "corpus/text_generator.h"
+#include "obs/metrics.h"
 
 namespace wsie::bench {
 
@@ -53,6 +54,24 @@ void PrintHeader(const std::string& title, const std::string& paper_ref);
 /// Prints "  paper: <a>   measured: <b>" comparison lines.
 void PrintCompare(const std::string& what, const std::string& paper,
                   const std::string& measured);
+
+// --- Registry-backed timing. Benches read executor timings from the
+// observability registry where a metric exists, instead of wrapping every
+// run in a local Stopwatch.
+
+/// Snapshot of the process-wide registry (shorthand).
+obs::MetricsSnapshot SnapshotRegistry();
+
+/// Wall seconds spent in dataflow Run() calls since `before`, read from the
+/// wsie.dataflow.run.wall_ns histogram sum. Returns 0 when metrics are
+/// compiled out or disabled — callers fall back to a local Stopwatch then.
+double RunWallSecondsSince(const obs::MetricsSnapshot& before);
+
+/// Prints a Fig. 3-style per-operator runtime table straight from the
+/// registry's wsie.dataflow.operator.* counters (share of total process
+/// time, records in/out). `min_share` drops sub-threshold operators.
+void PrintRegistryOperatorRuntimes(const obs::MetricsSnapshot& snapshot,
+                                   double min_share = 0.0);
 
 }  // namespace wsie::bench
 

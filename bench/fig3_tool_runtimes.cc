@@ -121,6 +121,15 @@ int main() {
               "cap: %s (paper: occasional crashes on such input)\n",
               overflowed ? "yes (handled, no crash)" : "no");
 
+  // Per-operator runtimes straight from the observability registry: run the
+  // full analysis flow once and print the wsie.dataflow.operator.* counters —
+  // the Fig. 3 ranking reproduced without any bench-local stopwatches.
+  obs::MetricsRegistry::Global().Reset();
+  bench::AnalyzeCorpus(env, corpus::CorpusKind::kMedline, 4);
+  std::printf("\nper-operator runtimes from the metrics registry "
+              "(medline, dop=4):\n");
+  bench::PrintRegistryOperatorRuntimes(bench::SnapshotRegistry(), 0.01);
+
     // Our C++ CRF is far faster than the paper's Java/Mallet stack, so the
   // absolute gap is 1-2 orders of magnitude here vs. up to 3 in the paper;
   // the direction and growth with input length are what must hold.

@@ -1,0 +1,161 @@
+// Observability end-to-end: run the full pipeline — synthetic web with
+// injected faults -> focused crawl (retries, circuit breaker, checkpoints)
+// -> analysis data flow (sentences -> linguistics -> NER) — with tracing
+// enabled, then export and validate the two observability artifacts:
+//
+//   1. a Chrome trace_event JSON (loadable in chrome://tracing or
+//      https://ui.perfetto.dev), validated in-process with
+//      obs::ValidateChromeTrace, and
+//   2. a Prometheus text dump of the whole metrics registry.
+//
+// Exits non-zero if the trace fails validation or an expected metric
+// family is missing. scripts/obs_check.sh drives this binary.
+//
+// Usage: ./build/examples/obs_e2e [trace.json] [metrics.prom]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/analytics.h"
+#include "core/pipeline.h"
+#include "corpus/text_generator.h"
+#include "crawler/focused_crawler.h"
+#include "crawler/seed_generator.h"
+#include "fault/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "web/search_engine.h"
+#include "web/simulated_web.h"
+
+int main(int argc, char** argv) {
+  using namespace wsie;
+  const std::string trace_path =
+      argc > 1 ? argv[1] : "/tmp/wsie_obs_trace.json";
+  const std::string prom_path =
+      argc > 2 ? argv[2] : "/tmp/wsie_obs_metrics.prom";
+
+  obs::TraceRecorder::Global().SetEnabled(true);
+  std::printf("observability: metrics %s, tracing on (WSIE_OBS=%d)\n",
+              obs::MetricsEnabled() ? "on" : "off", WSIE_OBS);
+
+  // 1. Synthetic web with a fault plan: flaky hosts time out, flap their
+  //    robots.txt, serve 5xx and damaged bodies.
+  corpus::EntityLexicons lexicons(corpus::LexiconConfig{3000, 400, 400, 7});
+  web::WebConfig web_config;
+  web_config.num_hosts = 120;
+  web_config.mean_pages_per_host = 12;
+  web::SyntheticWeb graph(web_config);
+  web::SimulatedWeb sim(&graph, &lexicons);
+  fault::FaultPlanConfig fault_config;
+  fault_config.flaky_host_frac = 0.5;
+  fault::FaultPlan faults(fault_config);
+  sim.set_fault_plan(&faults);
+
+  // 2. Focused crawl with retries, a per-host breaker, and checkpoints
+  //    every few batches (so the checkpoint-latency histogram fills).
+  web::SearchEngineFederation engines(&sim);
+  crawler::SeedGenerator seeder(&lexicons, &engines);
+  auto seeds = seeder.Generate(crawler::SeedQueryBudget{60, 120, 100, 120});
+  crawler::ClassifierTrainConfig classifier_config;
+  classifier_config.docs_per_class = 200;
+  crawler::RelevanceClassifier classifier(&lexicons, classifier_config);
+  crawler::CrawlerConfig crawl_config;
+  crawl_config.max_pages = 1200;
+  crawl_config.num_fetch_threads = 8;
+  crawl_config.breaker.failure_threshold = 3;
+  crawl_config.checkpoint_every_batches = 4;
+  crawl_config.checkpoint_path = prom_path + ".ckpt";
+  crawler::FocusedCrawler crawler(&sim, &classifier, crawl_config);
+  crawler.InjectSeeds(seeds.seed_urls);
+  crawler.Crawl();
+  std::printf("crawl: %llu pages fetched, %llu errors, %llu faults "
+              "injected\n",
+              static_cast<unsigned long long>(crawler.stats().fetched),
+              static_cast<unsigned long long>(crawler.stats().fetch_errors),
+              static_cast<unsigned long long>(faults.faults_injected()));
+
+  // 3. Analysis data flow over a generated Medline corpus (fills the
+  //    wsie.dataflow.operator.* and wsie.nlp/ie.* families).
+  core::AnalysisContextConfig context_config;
+  context_config.crf_training_sentences = 400;
+  auto context = std::make_shared<const core::AnalysisContext>(context_config);
+  corpus::TextGenerator generator(
+      &context->lexicons(), corpus::ProfileFor(corpus::CorpusKind::kMedline),
+      /*seed=*/1);
+  std::vector<corpus::Document> docs = generator.GenerateCorpus(1, 30);
+  dataflow::Plan plan = core::BuildAnalysisFlow(context, core::FlowOptions{});
+  dataflow::ExecutorConfig executor_config;
+  executor_config.dop = 4;
+  auto result = core::RunFlow(plan, docs, executor_config);
+  if (!result.ok()) {
+    std::printf("flow failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("analysis flow: %zu operators over %zu docs\n",
+              plan.num_operators(), docs.size());
+
+  // 4. Export + validate the trace.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.SetEnabled(false);
+  const std::string trace_json = recorder.ToChromeTraceJson();
+  obs::TraceCheckReport report;
+  Status trace_ok = obs::ValidateChromeTrace(trace_json, &report);
+  if (!trace_ok.ok()) {
+    std::printf("TRACE INVALID: %s\n", trace_ok.ToString().c_str());
+    return 1;
+  }
+  Status written = recorder.WriteChromeTrace(trace_path);
+  if (!written.ok()) {
+    std::printf("trace write failed: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("trace: %zu events, %zu spans across %zu threads -> %s "
+              "(%llu dropped; load in chrome://tracing or ui.perfetto.dev)\n",
+              report.num_events, report.num_spans, report.num_threads,
+              trace_path.c_str(),
+              static_cast<unsigned long long>(recorder.dropped()));
+
+  // 5. Export the metrics registry and sanity-check the key families.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  {
+    std::FILE* file = std::fopen(prom_path.c_str(), "w");
+    if (file == nullptr) {
+      std::printf("cannot write %s\n", prom_path.c_str());
+      return 1;
+    }
+    const std::string prom = registry.DumpPrometheusText();
+    std::fwrite(prom.data(), 1, prom.size(), file);
+    std::fclose(file);
+  }
+  obs::MetricsSnapshot snapshot = registry.Snapshot();
+  struct Family {
+    const char* prefix;
+    uint64_t total;
+  };
+  Family families[] = {
+      {"wsie.dataflow.operator.", snapshot.CounterPrefixSum("wsie.dataflow.operator.")},
+      {"wsie.crawler.fetch.", snapshot.CounterPrefixSum("wsie.crawler.fetch.")},
+      {"wsie.fault.", snapshot.CounterPrefixSum("wsie.fault.")},
+      {"wsie.nlp.", snapshot.CounterPrefixSum("wsie.nlp.")},
+      {"wsie.ie.", snapshot.CounterPrefixSum("wsie.ie.")},
+  };
+  bool all_present = true;
+  std::printf("metrics: %zu registered -> %s\n", registry.num_metrics(),
+              prom_path.c_str());
+  for (const Family& family : families) {
+    std::printf("  %-26s sum %llu %s\n", family.prefix,
+                static_cast<unsigned long long>(family.total),
+                family.total > 0 ? "" : "(MISSING)");
+    if (family.total == 0) all_present = false;
+  }
+  double harvest = snapshot.GaugeValue("wsie.crawler.harvest_rate");
+  std::printf("  harvest-rate gauge: %.3f\n", harvest);
+  if (!all_present) {
+    std::printf("FAILED: expected metric families missing\n");
+    return 1;
+  }
+  std::printf("OK: trace valid, all metric families populated\n");
+  return 0;
+}

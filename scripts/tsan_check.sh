@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer check for the concurrency- and fault-sensitive suites:
 # the dataflow executor (morsel scheduler, task retry, open cache), the
-# thread pool, the fault subsystem, and the crawler's checkpoint/resume
-# path. Builds into a dedicated build-tsan directory and runs the ctest
-# targets labeled `tsan` or `fault`.
+# thread pool, the fault subsystem, the crawler's checkpoint/resume path,
+# and the observability layer (sharded counters, trace ring buffers).
+# Builds into a dedicated build-tsan directory and runs the ctest targets
+# labeled `tsan`, `fault`, or `obs`.
 # Usage: scripts/tsan_check.sh [address]  (default: thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +15,6 @@ BUILD_DIR="${BUILD_DIR//address/asan}"
 
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
-  dataflow_test thread_pool_stress_test fault_test crawler_test
-(cd "$BUILD_DIR" && ctest -L 'tsan|fault' --output-on-failure)
+  dataflow_test thread_pool_stress_test fault_test crawler_test obs_test
+(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs' --output-on-failure)
 echo "${SANITIZER} sanitizer run passed"

@@ -13,6 +13,16 @@ class Stopwatch {
 
   /// Resets the start point to now.
   void Restart() { start_ = Clock::now(); }
+  /// Alias for Restart(), matching the common stopwatch vocabulary.
+  void Reset() { Restart(); }
+
+  /// Elapsed time in integral nanoseconds — the unit the observability
+  /// layer's latency histograms record.
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();

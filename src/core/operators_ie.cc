@@ -1,10 +1,12 @@
 #include "core/operators_ie.h"
 
 #include <atomic>
+#include <mutex>
 
 #include "common/string_util.h"
 #include "html/boilerplate.h"
 #include "html/html_repair.h"
+#include "obs/metrics.h"
 
 namespace wsie::core {
 namespace {
@@ -139,7 +141,12 @@ class RemoveBoilerplateOp : public RecordOperator {
 class AnnotateSentencesOp : public RecordOperator {
  public:
   explicit AnnotateSentencesOp(ContextPtr context)
-      : context_(std::move(context)) {}
+      : context_(std::move(context)),
+        documents_(obs::MetricsRegistry::Global().GetCounter(
+            obs::WithLabel("wsie.nlp.documents", "op", "annotate_sentences"))),
+        sentences_(obs::MetricsRegistry::Global().GetCounter(
+            obs::WithLabel("wsie.nlp.sentences", "op", "annotate_sentences"))) {
+  }
   std::string name() const override { return "annotate_sentences"; }
   OperatorPackage package() const override { return OperatorPackage::kIe; }
   OperatorTraits traits() const override {
@@ -170,6 +177,8 @@ class AnnotateSentencesOp : public RecordOperator {
       sv.SetField("tokens", Value(std::move(token_array)));
       sentences.push_back(std::move(sv));
     }
+    documents_->Increment();
+    sentences_->Add(sentences.size());
     record.SetField(kFieldSentences, Value(std::move(sentences)));
     out->push_back(std::move(record));
     return Status::OK();
@@ -177,6 +186,8 @@ class AnnotateSentencesOp : public RecordOperator {
 
  private:
   ContextPtr context_;
+  obs::Counter* documents_;
+  obs::Counter* sentences_;
 };
 
 class AnnotatePosOp : public RecordOperator {
@@ -243,6 +254,7 @@ class LinguisticOpBase : public RecordOperator {
  protected:
   Status TransformRecord(Record record, Dataset* out) const override {
     Value::Array ling = record.Field(kFieldLing).AsArray();
+    const size_t ling_before = ling.size();
     uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
     const std::string& text = record.Field(kFieldText).AsString();
     ForEachSentence(*context_, record,
@@ -255,6 +267,7 @@ class LinguisticOpBase : public RecordOperator {
                         ling.push_back(AnnotationValue(a));
                       }
                     });
+    AnnotationsCounter()->Add(ling.size() - ling_before);
     record.SetField(kFieldLing, Value(std::move(ling)));
     out->push_back(std::move(record));
     return Status::OK();
@@ -263,7 +276,20 @@ class LinguisticOpBase : public RecordOperator {
   virtual std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
                                               std::string_view sentence,
                                               size_t base) const = 0;
+
+  /// Lazily resolved (name() is virtual, so the label is not known in the
+  /// base constructor); thread-safe via call_once.
+  obs::Counter* AnnotationsCounter() const {
+    std::call_once(annotations_once_, [this] {
+      annotations_ = obs::MetricsRegistry::Global().GetCounter(
+          obs::WithLabel("wsie.ie.annotations", "op", name()));
+    });
+    return annotations_;
+  }
+
   ContextPtr context_;
+  mutable std::once_flag annotations_once_;
+  mutable obs::Counter* annotations_ = nullptr;
 };
 
 class FindNegationOp : public LinguisticOpBase {
@@ -324,7 +350,9 @@ class AnnotateEntitiesDictOp : public RecordOperator {
   AnnotateEntitiesDictOp(ContextPtr context, ie::EntityType type,
                          size_t modeled_memory)
       : context_(std::move(context)), type_(type),
-        modeled_memory_(modeled_memory) {}
+        modeled_memory_(modeled_memory),
+        entities_(obs::MetricsRegistry::Global().GetCounter(
+            obs::WithLabel("wsie.ie.entities", "op", name()))) {}
   std::string name() const override {
     return std::string("annotate_") + ie::EntityTypeName(type_) + "_dict";
   }
@@ -351,10 +379,12 @@ class AnnotateEntitiesDictOp : public RecordOperator {
     const ie::DictionaryTagger& tagger = context_->dictionary_tagger(type_);
     Value::Array entities = record.Field(kFieldEntities).AsArray();
     uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
+    const size_t entities_before = entities.size();
     for (const ie::Annotation& a :
          tagger.Tag(doc_id, record.Field(kFieldText).AsString())) {
       entities.push_back(AnnotationValue(a));
     }
+    entities_->Add(entities.size() - entities_before);
     record.SetField(kFieldEntities, Value(std::move(entities)));
     out->push_back(std::move(record));
     return Status::OK();
@@ -364,6 +394,7 @@ class AnnotateEntitiesDictOp : public RecordOperator {
   ContextPtr context_;
   ie::EntityType type_;
   size_t modeled_memory_;
+  obs::Counter* entities_;
 };
 
 class AnnotateEntitiesMlOp : public RecordOperator {
@@ -371,7 +402,9 @@ class AnnotateEntitiesMlOp : public RecordOperator {
   AnnotateEntitiesMlOp(ContextPtr context, ie::EntityType type,
                        size_t modeled_memory)
       : context_(std::move(context)), type_(type),
-        modeled_memory_(modeled_memory) {}
+        modeled_memory_(modeled_memory),
+        entities_(obs::MetricsRegistry::Global().GetCounter(
+            obs::WithLabel("wsie.ie.entities", "op", name()))) {}
   std::string name() const override {
     return std::string("annotate_") + ie::EntityTypeName(type_) + "_ml";
   }
@@ -394,6 +427,7 @@ class AnnotateEntitiesMlOp : public RecordOperator {
     Value::Array entities = record.Field(kFieldEntities).AsArray();
     uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
     const std::string& text = record.Field(kFieldText).AsString();
+    const size_t entities_before = entities.size();
     ForEachSentence(*context_, record,
                     [&](uint32_t sid, size_t, size_t,
                         const std::vector<text::Token>& tokens) {
@@ -402,6 +436,7 @@ class AnnotateEntitiesMlOp : public RecordOperator {
                         entities.push_back(AnnotationValue(a));
                       }
                     });
+    entities_->Add(entities.size() - entities_before);
     record.SetField(kFieldEntities, Value(std::move(entities)));
     out->push_back(std::move(record));
     return Status::OK();
@@ -411,6 +446,7 @@ class AnnotateEntitiesMlOp : public RecordOperator {
   ContextPtr context_;
   ie::EntityType type_;
   size_t modeled_memory_;
+  obs::Counter* entities_;
 };
 
 class FilterTlaOp : public RecordOperator {

@@ -10,6 +10,9 @@
 #include "fault/checkpoint.h"
 #include "fault/wire_format.h"
 #include "html/markup_remover.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "web/url.h"
 
 namespace wsie::crawler {
@@ -169,6 +172,66 @@ Status DecodeCorpus(std::string_view* in, corpus::DocumentStore* store) {
   return Status::OK();
 }
 
+/// Registry handles for the crawler, resolved once per process. The crawl
+/// loop feeds them from CrawlStats deltas at batch boundaries — CrawlStats
+/// stays the single authoritative (and checkpoint-serialized) tally, and
+/// the registry mirrors it without a second counting site.
+struct CrawlMetrics {
+  obs::Counter* pages;
+  obs::Counter* errors;
+  obs::Counter* retries;
+  obs::Counter* faults;
+  obs::Counter* robots_blocked;
+  obs::Counter* robots_unavailable;
+  obs::Counter* breaker_skipped;
+  obs::Counter* breaker_dropped;
+  obs::Counter* host_budget_skipped;
+  obs::Counter* trap_pages;
+  obs::Counter* transcode_failures;
+  obs::Counter* classified_relevant;
+  obs::Counter* classified_irrelevant;
+  obs::Counter* batches;
+  obs::Gauge* frontier_pending;
+  obs::Gauge* frontier_known;
+  obs::Gauge* harvest_rate;
+  obs::Gauge* backoff_total_ms;
+  obs::Histogram* checkpoint_write_ns;
+};
+
+CrawlMetrics& GetCrawlMetrics() {
+  static CrawlMetrics* metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    auto* m = new CrawlMetrics();
+    m->pages = registry.GetCounter("wsie.crawler.fetch.pages");
+    m->errors = registry.GetCounter("wsie.crawler.fetch.errors");
+    m->retries = registry.GetCounter("wsie.crawler.fetch.retries");
+    m->faults = registry.GetCounter("wsie.crawler.fetch.faults");
+    m->robots_blocked = registry.GetCounter("wsie.crawler.robots.blocked");
+    m->robots_unavailable =
+        registry.GetCounter("wsie.crawler.robots.unavailable");
+    m->breaker_skipped = registry.GetCounter("wsie.crawler.breaker.skipped");
+    m->breaker_dropped = registry.GetCounter("wsie.crawler.breaker.dropped");
+    m->host_budget_skipped =
+        registry.GetCounter("wsie.crawler.gate.host_budget_skipped");
+    m->trap_pages = registry.GetCounter("wsie.crawler.trap_pages");
+    m->transcode_failures =
+        registry.GetCounter("wsie.crawler.transcode_failures");
+    m->classified_relevant =
+        registry.GetCounter("wsie.crawler.classified.relevant");
+    m->classified_irrelevant =
+        registry.GetCounter("wsie.crawler.classified.irrelevant");
+    m->batches = registry.GetCounter("wsie.crawler.batches");
+    m->frontier_pending = registry.GetGauge("wsie.crawler.frontier.pending");
+    m->frontier_known = registry.GetGauge("wsie.crawler.frontier.known");
+    m->harvest_rate = registry.GetGauge("wsie.crawler.harvest_rate");
+    m->backoff_total_ms = registry.GetGauge("wsie.fault.backoff.total_ms");
+    m->checkpoint_write_ns =
+        registry.GetHistogram("wsie.crawler.checkpoint.write_ns");
+    return m;
+  }();
+  return *metrics;
+}
+
 }  // namespace
 
 FocusedCrawler::FocusedCrawler(const web::SimulatedWeb* web,
@@ -265,6 +328,7 @@ std::vector<std::string> FocusedCrawler::GateBatch(
 FocusedCrawler::FetchOutcome FocusedCrawler::FetchAndParse(
     const std::string& url) const {
   FetchOutcome outcome;
+  WSIE_TRACE_SPAN("crawler.fetch");
   web::Url parsed;
   if (!web::ParseUrl(url, &parsed)) {
     outcome.fetch_failed = true;
@@ -285,8 +349,20 @@ FocusedCrawler::FetchOutcome FocusedCrawler::FetchAndParse(
       outcome.fetch_failed = true;
       return outcome;
     }
-    outcome.latency_ms += config_.retry.BackoffMs(attempt, wire::Fnv1a(url));
+    double backoff = config_.retry.BackoffMs(attempt, wire::Fnv1a(url));
+    outcome.latency_ms += backoff;
+    outcome.backoff_ms += backoff;
     ++outcome.retries;
+  }
+  // Per-host modeled fetch latency (including backoff). Worker-side but
+  // safe: histogram writes are relaxed atomics; the label lookup only runs
+  // when metrics are on.
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram(obs::WithLabel("wsie.crawler.fetch.latency_ms", "host",
+                                     parsed.host),
+                      obs::LatencyBucketsMs())
+        ->Observe(outcome.latency_ms);
   }
   if (fetched.http_status != 200) {
     outcome.fetch_failed = true;
@@ -341,6 +417,7 @@ void FocusedCrawler::ApplyOutcome(const std::string& url,
       static_cast<double>(config_.num_fetch_threads);
   stats_.fetch_retries += outcome.retries;
   stats_.fetch_faults += outcome.faulted_attempts;
+  GetCrawlMetrics().backoff_total_ms->Add(outcome.backoff_ms);
   if (outcome.fetch_failed) {
     ++stats_.fetch_errors;
     crawl_db_.MarkError(url);
@@ -425,6 +502,11 @@ void FocusedCrawler::Crawl() {
     if (config_.max_batches > 0 && stats_.batches >= config_.max_batches) {
       break;  // the fault-recovery bench's kill point (batch boundary)
     }
+    WSIE_TRACE_SPAN("crawler.batch");
+    // Registry publication works on batch deltas of the serial CrawlStats,
+    // so the counters stay correct across multiple Crawl() calls and
+    // checkpoint resumes.
+    const CrawlStats before = stats_;
     std::vector<std::string> batch =
         crawl_db_.NextFetchBatch(config_.batch_size);
     if (batch.empty()) break;  // frontier exhausted (Sect. 2.2 failure mode)
@@ -466,10 +548,41 @@ void FocusedCrawler::Crawl() {
     }
     ++stats_.batches;
 
+    if (obs::MetricsEnabled()) {
+      CrawlMetrics& m = GetCrawlMetrics();
+      m.pages->Add(stats_.fetched - before.fetched);
+      m.errors->Add(stats_.fetch_errors - before.fetch_errors);
+      m.retries->Add(stats_.fetch_retries - before.fetch_retries);
+      m.faults->Add(stats_.fetch_faults - before.fetch_faults);
+      m.robots_blocked->Add(stats_.robots_blocked - before.robots_blocked);
+      m.robots_unavailable->Add(stats_.robots_unavailable -
+                                before.robots_unavailable);
+      m.breaker_skipped->Add(stats_.breaker_skipped - before.breaker_skipped);
+      m.breaker_dropped->Add(stats_.breaker_dropped - before.breaker_dropped);
+      m.host_budget_skipped->Add(stats_.host_budget_skipped -
+                                 before.host_budget_skipped);
+      m.trap_pages->Add(stats_.trap_pages - before.trap_pages);
+      m.transcode_failures->Add(stats_.transcode_failures -
+                                before.transcode_failures);
+      m.classified_relevant->Add(stats_.classified_relevant -
+                                 before.classified_relevant);
+      m.classified_irrelevant->Add(stats_.classified_irrelevant -
+                                   before.classified_irrelevant);
+      m.batches->Increment();
+      m.frontier_pending->Set(static_cast<double>(crawl_db_.num_pending()));
+      m.frontier_known->Set(static_cast<double>(crawl_db_.num_known()));
+      m.harvest_rate->Set(stats_.HarvestRate());
+    }
+
     if (config_.checkpoint_every_batches > 0 &&
         !config_.checkpoint_path.empty() &&
         stats_.batches % config_.checkpoint_every_batches == 0) {
-      Status saved = SaveCheckpoint(config_.checkpoint_path);
+      Status saved;
+      {
+        obs::ScopedTimer timer(GetCrawlMetrics().checkpoint_write_ns,
+                               "crawler.checkpoint");
+        saved = SaveCheckpoint(config_.checkpoint_path);
+      }
       if (!saved.ok()) {
         WSIE_LOG(kWarning) << "checkpoint failed: " << saved.ToString();
       }

@@ -183,6 +183,7 @@ class FocusedCrawler {
     uint64_t retries = 0;          ///< extra attempts taken
     uint64_t faulted_attempts = 0; ///< attempts lost to injected faults
     double latency_ms = 0.0;       ///< fetch + backoff virtual time
+    double backoff_ms = 0.0;       ///< backoff share of latency_ms
     bool is_trap = false;
     bool transcode_failed = false;
     FilterVerdict verdict = FilterVerdict::kPass;

@@ -9,9 +9,60 @@
 
 #include "common/stopwatch.h"
 #include "dataflow/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wsie::dataflow {
 namespace {
+
+/// Registry handles for the executor's run-level metrics, resolved once.
+struct ExecMetrics {
+  obs::Counter* open_cold;
+  obs::Counter* open_cached;
+  obs::Counter* task_retries;
+  obs::Counter* runs;
+  obs::Gauge* morsel_queue_depth;
+  obs::Histogram* run_wall_ns;
+  obs::Histogram* stage_wall_ns;
+};
+
+ExecMetrics& GetExecMetrics() {
+  static ExecMetrics* metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    auto* m = new ExecMetrics();
+    m->open_cold = registry.GetCounter("wsie.dataflow.open.cold");
+    m->open_cached = registry.GetCounter("wsie.dataflow.open.cached");
+    m->task_retries = registry.GetCounter("wsie.dataflow.task.retries");
+    m->runs = registry.GetCounter("wsie.dataflow.runs");
+    m->morsel_queue_depth =
+        registry.GetGauge("wsie.dataflow.morsel.queue_depth");
+    m->run_wall_ns = registry.GetHistogram("wsie.dataflow.run.wall_ns");
+    m->stage_wall_ns = registry.GetHistogram("wsie.dataflow.stage.wall_ns");
+    return m;
+  }();
+  return *metrics;
+}
+
+/// Mirrors one operator's per-run stats into labeled registry counters.
+/// Called once per operator per Run() — the hot loop only touches the
+/// OpState atomics, never the registry.
+void PublishOperatorStats(const OperatorRunStats& stats) {
+  if (!obs::MetricsEnabled()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  auto counter = [&](std::string_view field, uint64_t value) {
+    registry
+        .GetCounter(obs::WithLabel(
+            std::string("wsie.dataflow.operator.") + std::string(field), "op",
+            stats.name))
+        ->Add(value);
+  };
+  counter("records_in", stats.records_in);
+  counter("records_out", stats.records_out);
+  counter("bytes_out", stats.bytes_out);
+  counter("process_ns",
+          static_cast<uint64_t>(stats.process_seconds * 1e9));
+  counter("morsels", stats.morsels);
+}
 
 /// Process-wide cache of successful operator Open() calls, keyed by operator
 /// identity. Entries hold a shared_ptr to the operator, so a cached operator
@@ -139,6 +190,7 @@ Result<ExecutionResult> Executor::Run(
 Result<ExecutionResult> Executor::RunMorselEngine(
     const Plan& plan, const std::map<std::string, Dataset>& sources) const {
   Stopwatch total_timer;
+  WSIE_TRACE_SPAN("dataflow.run");
   ExecutionResult result;
   const std::vector<Plan::Node>& nodes = plan.nodes();
 
@@ -228,10 +280,15 @@ Result<ExecutionResult> Executor::RunMorselEngine(
         state->open_seconds = open_timer.ElapsedSeconds();
       }
       if (!open_status.ok()) return open_status;
+      // ExecutionResult keeps the authoritative per-run tallies (tests
+      // assert on them); the registry mirrors the same increment so there
+      // is exactly one counting site.
       if (state->open_cached) {
         ++result.open_cached;
+        GetExecMetrics().open_cached->Increment();
       } else {
         ++result.open_cold;
+        GetExecMetrics().open_cold->Increment();
       }
       ops.push_back(std::move(state));
     }
@@ -258,10 +315,17 @@ Result<ExecutionResult> Executor::RunMorselEngine(
     std::mutex error_mu;
     Status first_error;
     std::atomic<uint64_t> stage_task_retries{0};
+    std::atomic<size_t> morsels_left{morsels.size()};
+    const std::string stage_span_name = "dataflow.stage:" + head.op->name();
+    const std::string morsel_span_name = "dataflow.morsel:" + head.op->name();
+    WSIE_TRACE_SPAN(stage_span_name);
     Stopwatch stage_timer;
 
     pool_->MorselFor(
         morsels.size(), config_.dop, [&](size_t m) -> bool {
+          WSIE_TRACE_SPAN(morsel_span_name);
+          GetExecMetrics().morsel_queue_depth->Set(static_cast<double>(
+              morsels_left.fetch_sub(1, std::memory_order_relaxed) - 1));
           const Morsel& mo = morsels[m];
           const Chunk& chunk = chunks[mo.chunk];
           std::span<const Record> input =
@@ -336,6 +400,7 @@ Result<ExecutionResult> Executor::RunMorselEngine(
           }
         });
     result.task_retries += stage_task_retries.load();
+    GetExecMetrics().task_retries->Add(stage_task_retries.load());
     if (!config_.cache_opens) {
       for (auto& os : ops) os->op->Close();
     }
@@ -351,6 +416,7 @@ Result<ExecutionResult> Executor::RunMorselEngine(
       for (Record& r : part) output.push_back(std::move(r));
     }
     double stage_wall = stage_timer.ElapsedSeconds();
+    GetExecMetrics().stage_wall_ns->Observe(stage_wall * 1e9);
 
     // Per-operator stats (the pre-fusion contract the benches consume).
     StageRunStats stage;
@@ -380,6 +446,7 @@ Result<ExecutionResult> Executor::RunMorselEngine(
         stage.bytes_not_materialized += stats.bytes_out;
         result.total_bytes_streamed += stats.bytes_out;
       }
+      PublishOperatorStats(stats);
       result.operator_stats.push_back(std::move(stats));
     }
     result.stage_stats.push_back(std::move(stage));
@@ -407,6 +474,8 @@ Result<ExecutionResult> Executor::RunMorselEngine(
   }
 
   result.total_seconds = total_timer.ElapsedSeconds();
+  GetExecMetrics().runs->Increment();
+  GetExecMetrics().run_wall_ns->Observe(result.total_seconds * 1e9);
   return result;
 }
 
@@ -492,13 +561,20 @@ Result<ExecutionResult> Executor::RunLegacy(
     stats.records_out = output.size();
     for (const Record& r : output) stats.bytes_out += r.ByteSize();
     result.total_bytes_materialized += stats.bytes_out;
+    PublishOperatorStats(stats);
     result.operator_stats.push_back(std::move(stats));
 
     if (!node.sink_name.empty()) {
       result.sink_outputs[node.sink_name] = output;
     }
   }
+  // Freeing the materialized per-operator datasets is part of this
+  // engine's cost (the morsel engine never allocates them); release them
+  // inside the timed region so run.wall_ns charges it.
+  node_outputs.clear();
   result.total_seconds = total_timer.ElapsedSeconds();
+  GetExecMetrics().runs->Increment();
+  GetExecMetrics().run_wall_ns->Observe(result.total_seconds * 1e9);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "fault/circuit_breaker.h"
 
 #include "fault/wire_format.h"
+#include "obs/metrics.h"
 
 namespace wsie::fault {
 
@@ -27,6 +28,9 @@ void HostCircuitBreaker::RecordBatch(const std::string& host,
     state.open_until_tick = tick + config_.open_ticks;
     state.consecutive_failures = 0;
     ++times_opened_;
+    static obs::Counter* opened = obs::MetricsRegistry::Global().GetCounter(
+        "wsie.fault.breaker.opened");
+    opened->Increment();
   }
 }
 

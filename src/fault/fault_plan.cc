@@ -4,8 +4,27 @@
 
 #include "common/rng.h"
 #include "fault/wire_format.h"
+#include "obs/metrics.h"
 
 namespace wsie::fault {
+namespace {
+
+/// One registry counter per fault kind, labeled by the kind name; resolved
+/// once so Decide() pays a single indexed Add per injected fault.
+obs::Counter* InjectedCounterFor(FaultKind kind) {
+  static std::array<obs::Counter*, kNumFaultKinds>* counters = [] {
+    auto* c = new std::array<obs::Counter*, kNumFaultKinds>();
+    for (int k = 0; k < kNumFaultKinds; ++k) {
+      (*c)[static_cast<size_t>(k)] = obs::MetricsRegistry::Global().GetCounter(
+          obs::WithLabel("wsie.fault.injected", "kind",
+                         FaultKindName(static_cast<FaultKind>(k))));
+    }
+    return c;
+  }();
+  return (*counters)[static_cast<size_t>(kind)];
+}
+
+}  // namespace
 
 const char* FaultKindName(FaultKind kind) {
   switch (kind) {
@@ -83,6 +102,7 @@ FaultDecision FaultPlan::Decide(std::string_view host, std::string_view path,
   counts_[static_cast<size_t>(decision.kind)].fetch_add(
       1, std::memory_order_relaxed);
   faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  InjectedCounterFor(decision.kind)->Increment();
   if (config_.record_trace) {
     std::lock_guard<std::mutex> lock(trace_mu_);
     trace_.push_back(FaultEvent{std::string(host), std::string(path), attempt,

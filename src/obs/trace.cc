@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace wsie::obs {
+namespace {
+
+void CopyTruncated(char* dst, size_t cap, std::string_view src) {
+  size_t n = std::min(cap - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+void AppendEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"') {
+      *out += "\\\"";
+    } else if (c == '\\') {
+      *out += "\\\\";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      *out += buf;
+    } else {
+      *out += c;
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+namespace {
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(NextRecorderId()), epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::SetRingCapacity(size_t events) {
+  ring_capacity_.store(std::max<size_t>(events, 16),
+                       std::memory_order_relaxed);
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::ThisThreadBuffer() {
+  // Per-thread cache of the (recorder id, buffer) pair: one recorder in
+  // practice (Global()), so this is an integer compare on the hot path.
+  // Keyed by the process-unique id (not the address, which the stack can
+  // recycle across short-lived recorders in tests) and holding the buffer
+  // by shared_ptr, so a cache hit can never dangle.
+  static thread_local uint64_t cached_owner_id = 0;
+  static thread_local std::shared_ptr<ThreadBuffer> cached_buffer;
+  if (cached_owner_id == id_) return cached_buffer.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buffer = std::make_shared<ThreadBuffer>(
+      ring_capacity_.load(std::memory_order_relaxed), next_tid_++);
+  buffers_.push_back(buffer);
+  cached_owner_id = id_;
+  cached_buffer = buffer;
+  return cached_buffer.get();
+}
+
+void TraceRecorder::Push(char phase, std::string_view name,
+                         std::string_view args) {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  uint64_t ts = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  TraceEvent& event = buffer->ring[buffer->next];
+  event.ts_ns = ts;
+  event.phase = phase;
+  CopyTruncated(event.name, TraceEvent::kNameCap, name);
+  CopyTruncated(event.args, TraceEvent::kArgsCap, args);
+  buffer->next = (buffer->next + 1) % buffer->ring.size();
+  if (buffer->count < buffer->ring.size()) {
+    ++buffer->count;
+  } else {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // overwrote the oldest
+  }
+}
+
+void TraceRecorder::Begin(std::string_view name, std::string_view args) {
+  if (!enabled()) return;
+  Push('B', name, args);
+}
+
+void TraceRecorder::End() {
+  Push('E', {}, {});
+}
+
+size_t TraceRecorder::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->count;
+  }
+  return total;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const TraceEvent& event, int tid) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, event.name);
+    out += "\",\"cat\":\"wsie\",\"ph\":\"";
+    out += event.phase;
+    char buf[64];
+    // Chrome trace timestamps are microseconds; keep ns resolution.
+    std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"pid\":1,\"tid\":%d",
+                  static_cast<double>(event.ts_ns) / 1000.0, tid);
+    out += buf;
+    if (event.args[0] != '\0') {
+      out += ",\"args\":{\"detail\":\"";
+      AppendEscaped(&out, event.args);
+      out += "\"}";
+    }
+    out += '}';
+  };
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    // Chronological order: the ring holds `count` events ending at `next`.
+    size_t start = (buffer->next + buffer->ring.size() - buffer->count) %
+                   buffer->ring.size();
+    // Re-balance: drop 'E' events whose 'B' was overwritten (depth 0),
+    // close still-open 'B' events with synthetic 'E's at the last ts.
+    int depth = 0;
+    uint64_t last_ts = 0;
+    for (size_t i = 0; i < buffer->count; ++i) {
+      const TraceEvent& event = buffer->ring[(start + i) % buffer->ring.size()];
+      if (event.phase == 'E') {
+        if (depth == 0) continue;
+        --depth;
+      } else {
+        ++depth;
+      }
+      last_ts = std::max(last_ts, event.ts_ns);
+      emit(event, buffer->tid);
+    }
+    for (; depth > 0; --depth) {
+      TraceEvent closer;
+      closer.phase = 'E';
+      closer.ts_ns = last_ts;
+      emit(closer, buffer->tid);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::Internal("cannot open trace file " + path);
+  std::string json = ToChromeTraceJson();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.flush();
+  if (!file) return Status::Internal("short write to trace file " + path);
+  return Status::OK();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->next = 0;
+    buffer->count = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace wsie::obs

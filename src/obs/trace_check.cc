@@ -1,0 +1,86 @@
+#include "obs/trace_check.h"
+
+#include <map>
+#include <utility>
+
+#include "dataflow/json.h"
+#include "dataflow/value.h"
+
+namespace wsie::obs {
+
+Status ValidateChromeTrace(std::string_view json, TraceCheckReport* report) {
+  Result<dataflow::Value> parsed = dataflow::ParseJson(json);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("trace is not valid JSON: " +
+                                   parsed.status().ToString());
+  }
+  const dataflow::Value& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("trace root is not an object");
+  }
+  const dataflow::Value& events = root.Field("traceEvents");
+  if (!events.is_array()) {
+    return Status::InvalidArgument("trace has no traceEvents array");
+  }
+
+  // Per-(pid,tid) stream state: open-span depth and last timestamp.
+  struct StreamState {
+    int depth = 0;
+    double last_ts = -1.0;
+  };
+  std::map<std::pair<int64_t, int64_t>, StreamState> streams;
+  size_t num_spans = 0;
+  size_t index = 0;
+  for (const dataflow::Value& event : events.AsArray()) {
+    std::string at = " (event " + std::to_string(index++) + ")";
+    if (!event.is_object()) {
+      return Status::InvalidArgument("trace event is not an object" + at);
+    }
+    if (!event.HasField("name") || !event.Field("name").is_string()) {
+      return Status::InvalidArgument("trace event missing name" + at);
+    }
+    if (!event.HasField("ts") ||
+        (!event.Field("ts").is_double() && !event.Field("ts").is_int())) {
+      return Status::InvalidArgument("trace event missing numeric ts" + at);
+    }
+    if (!event.HasField("pid") || !event.HasField("tid")) {
+      return Status::InvalidArgument("trace event missing pid/tid" + at);
+    }
+    const std::string& phase = event.Field("ph").AsString();
+    if (phase != "B" && phase != "E") {
+      return Status::InvalidArgument("trace event phase is not B/E: '" +
+                                     phase + "'" + at);
+    }
+    StreamState& stream = streams[{event.Field("pid").AsInt(),
+                                   event.Field("tid").AsInt()}];
+    double ts = event.Field("ts").AsDouble();
+    if (ts < stream.last_ts) {
+      return Status::InvalidArgument("trace timestamps regress in thread" + at);
+    }
+    stream.last_ts = ts;
+    if (phase == "B") {
+      ++stream.depth;
+    } else {
+      if (stream.depth == 0) {
+        return Status::InvalidArgument("unbalanced 'E' without open 'B'" + at);
+      }
+      --stream.depth;
+      ++num_spans;
+    }
+  }
+  for (const auto& [key, stream] : streams) {
+    if (stream.depth != 0) {
+      return Status::InvalidArgument(
+          "thread " + std::to_string(key.second) + " has " +
+          std::to_string(stream.depth) + " unclosed 'B' event(s)");
+    }
+  }
+  if (report != nullptr) {
+    report->num_events = events.AsArray().size();
+    report->num_threads = streams.size();
+    report->num_spans = num_spans;
+  }
+  return Status::OK();
+}
+
+}  // namespace wsie::obs

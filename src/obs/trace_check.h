@@ -1,0 +1,32 @@
+#ifndef WSIE_OBS_TRACE_CHECK_H_
+#define WSIE_OBS_TRACE_CHECK_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace wsie::obs {
+
+/// Validation summary for a Chrome trace JSON document.
+struct TraceCheckReport {
+  size_t num_events = 0;
+  size_t num_threads = 0;
+  size_t num_spans = 0;  ///< matched B/E pairs
+};
+
+/// Parses `json` as a Chrome `trace_event` document and verifies the
+/// invariants the recorder promises: top-level object with a `traceEvents`
+/// array, every event carrying name/ph/ts/pid/tid, phases limited to B/E,
+/// per-(pid,tid) streams balanced (no 'E' before a matching 'B', no open
+/// 'B' at end of stream), and non-decreasing timestamps per thread.
+///
+/// Lives in a separate library (wsie_obs_check) because it needs the
+/// dataflow JSON parser — wsie_obs itself must stay below wsie_dataflow
+/// in the dependency order.
+Status ValidateChromeTrace(std::string_view json,
+                           TraceCheckReport* report = nullptr);
+
+}  // namespace wsie::obs
+
+#endif  // WSIE_OBS_TRACE_CHECK_H_

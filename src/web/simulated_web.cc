@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "fault/wire_format.h"
+#include "obs/metrics.h"
 
 namespace wsie::web {
 
@@ -81,6 +82,9 @@ void SimulatedWeb::ApplyBodyFault(const fault::FaultDecision& decision,
 
 FetchResult SimulatedWeb::Fetch(std::string_view url, int attempt) const {
   fetch_count_.fetch_add(1);
+  static obs::Counter* attempts =
+      obs::MetricsRegistry::Global().GetCounter("wsie.web.fetch.attempts");
+  attempts->Increment();
   Url parsed;
   FetchResult result;
   if (!ParseUrl(url, &parsed)) {

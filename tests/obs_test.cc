@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "dataflow/json.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+
+namespace wsie::obs {
+namespace {
+
+TEST(StopwatchTest, ElapsedNsAndReset) {
+  Stopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  int64_t first = watch.ElapsedNs();
+  EXPECT_GT(first, 0);
+  EXPECT_NEAR(static_cast<double>(first) / 1e3, watch.ElapsedMicros(),
+              watch.ElapsedMicros());
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedNs(), first + 1000000000LL);
+}
+
+TEST(RegistryTest, HandlesAreStableAndNamesDeduplicate) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("wsie.test.same");
+  Counter* b = registry.GetCounter("wsie.test.same");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.num_metrics(), 1u);
+  registry.GetGauge("wsie.test.same");  // distinct kind, same name: distinct
+  EXPECT_EQ(registry.num_metrics(), 2u);
+}
+
+#if WSIE_OBS == 0
+
+TEST(CompiledOutTest, MetricsAreInert) {
+  // At level 0 every hot-path check folds to compile-time false: values
+  // never move, dumps are empty of nonzero data, registration still works.
+  EXPECT_FALSE(MetricsEnabled());
+  Counter counter;
+  counter.Add(5);
+  EXPECT_EQ(counter.Value(), 0u);
+  Gauge gauge;
+  gauge.Set(1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  Histogram hist({1.0});
+  hist.Observe(0.5);
+  EXPECT_EQ(hist.Count(), 0u);
+}
+
+#else  // WSIE_OBS >= 1: the counting layer is live.
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  // N threads x M counters, interleaved; every shard sum must be exact.
+  constexpr int kThreads = 8;
+  constexpr int kCounters = 5;
+  constexpr uint64_t kPerThread = 20000;
+  MetricsRegistry registry;
+  std::vector<Counter*> counters;
+  for (int c = 0; c < kCounters; ++c) {
+    counters.push_back(
+        registry.GetCounter("wsie.test.stress." + std::to_string(c)));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counters] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counters[i % kCounters]->Add(1 + i % 3);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t expected_total = 0;
+  for (uint64_t i = 0; i < kPerThread; ++i) expected_total += 1 + i % 3;
+  expected_total *= kThreads;
+  uint64_t total = 0;
+  for (Counter* counter : counters) total += counter->Value();
+  EXPECT_EQ(total, expected_total);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterPrefixSum("wsie.test.stress."), expected_total);
+}
+
+TEST(CounterTest, RuntimeDisableStopsCounting) {
+  Counter counter;
+  counter.Add(3);
+  SetMetricsEnabled(false);
+  counter.Add(100);
+  SetMetricsEnabled(true);
+  counter.Add(4);
+  EXPECT_EQ(counter.Value(), 7u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  gauge.Add(1.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.75);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Prometheus `le` semantics: bucket i holds bounds[i-1] < v <= bounds[i].
+  Histogram hist({10.0, 100.0, 1000.0});
+  hist.Observe(0.0);     // <= 10
+  hist.Observe(10.0);    // == bound: still the first bucket
+  hist.Observe(10.0001); // > 10: second bucket
+  hist.Observe(100.0);   // second bucket upper edge
+  hist.Observe(1000.0);  // third bucket upper edge
+  hist.Observe(1000.1);  // overflow
+  hist.Observe(1e12);    // overflow
+  std::vector<uint64_t> counts = hist.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(hist.Count(), 7u);
+  EXPECT_NEAR(hist.Sum(), 0 + 10 + 10.0001 + 100 + 1000 + 1000.1 + 1e12, 1.0);
+}
+
+TEST(HistogramTest, NegativeAndDefaultLadders) {
+  Histogram hist(LatencyBucketsNs());
+  hist.Observe(-5.0);  // clamps into the first bucket
+  hist.Observe(1.0);
+  EXPECT_EQ(hist.BucketCounts()[0], 2u);
+  EXPECT_FALSE(LatencyBucketsMs().empty());
+  EXPECT_FALSE(BytesBuckets().empty());
+  EXPECT_TRUE(std::is_sorted(LatencyBucketsNs().begin(),
+                             LatencyBucketsNs().end()));
+}
+
+TEST(HistogramTest, QuantileEstimates) {
+  Histogram hist({10.0, 20.0, 30.0, 40.0});
+  for (int i = 0; i < 100; ++i) hist.Observe(5.0 + (i % 4) * 10.0);
+  MetricsRegistry registry;
+  Histogram* reg = registry.GetHistogram("wsie.test.quant", hist.bounds());
+  for (int i = 0; i < 100; ++i) reg->Observe(5.0 + (i % 4) * 10.0);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* h = snap.FindHistogram("wsie.test.quant");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 100u);
+  double median = h->Quantile(0.5);
+  EXPECT_GE(median, 10.0);
+  EXPECT_LE(median, 30.0);
+  EXPECT_LE(h->Quantile(0.0), h->Quantile(1.0));
+}
+
+TEST(SnapshotTest, MidUpdateSnapshotIsInternallyConsistent) {
+  // Writers hammer a counter and a histogram while a reader snapshots.
+  // Every snapshot must be internally consistent: histogram count equals
+  // the sum of its bucket counts, and counters are monotone over time.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("wsie.test.snap.counter");
+  Histogram* hist = registry.GetHistogram("wsie.test.snap.hist", {1.0, 2.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Increment();
+        hist->Observe(static_cast<double>(i++ % 3));
+      }
+    });
+  }
+  uint64_t last_counter = 0;
+  uint64_t last_hist_count = 0;
+  for (int i = 0; i < 200; ++i) {
+    MetricsSnapshot snap = registry.Snapshot();
+    const HistogramSnapshot* h = snap.FindHistogram("wsie.test.snap.hist");
+    ASSERT_NE(h, nullptr);
+    uint64_t bucket_total = 0;
+    for (uint64_t c : h->bucket_counts) bucket_total += c;
+    EXPECT_EQ(h->count, bucket_total);
+    uint64_t counter_now = snap.CounterValue("wsie.test.snap.counter");
+    EXPECT_GE(counter_now, last_counter);
+    EXPECT_GE(h->count, last_hist_count);
+    last_counter = counter_now;
+    last_hist_count = h->count;
+  }
+  stop.store(true);
+  for (auto& writer : writers) writer.join();
+}
+
+TEST(RegistryTest, LabelsFormatAndExport) {
+  EXPECT_EQ(WithLabel("wsie.x", "op", "tag"), "wsie.x{op=\"tag\"}");
+  EXPECT_EQ(WithLabels("wsie.x", "a", "1", "b", "2"),
+            "wsie.x{a=\"1\",b=\"2\"}");
+  MetricsRegistry registry;
+  registry.GetCounter(WithLabel("wsie.test.labeled", "op", "parse"))->Add(7);
+  registry.GetHistogram(WithLabel("wsie.test.lat", "host", "h1"), {5.0})
+      ->Observe(3.0);
+  std::string prom = registry.DumpPrometheusText();
+  EXPECT_NE(prom.find("wsie.test.labeled{op=\"parse\"} 7"), std::string::npos);
+  // Histogram label blocks merge with the le label.
+  EXPECT_NE(prom.find("wsie.test.lat_bucket{host=\"h1\",le=\"5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wsie.test.lat_bucket{host=\"h1\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wsie.test.lat_count{host=\"h1\"} 1"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusDumpHasCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("wsie.test.cum", {1.0, 2.0, 3.0});
+  hist->Observe(0.5);
+  hist->Observe(1.5);
+  hist->Observe(2.5);
+  hist->Observe(9.0);
+  std::string prom = registry.DumpPrometheusText();
+  EXPECT_NE(prom.find("wsie.test.cum_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("wsie.test.cum_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("wsie.test.cum_bucket{le=\"3\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find("wsie.test.cum_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wsie.test.cum_count 4"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonDumpParsesWithRepoParser) {
+  MetricsRegistry registry;
+  registry.GetCounter("wsie.test.json.counter")->Add(11);
+  registry.GetGauge("wsie.test.json.gauge")->Set(2.5);
+  registry.GetHistogram("wsie.test.json.hist", {1.0})->Observe(0.5);
+  Result<dataflow::Value> parsed = dataflow::ParseJson(registry.DumpJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const dataflow::Value& root = *parsed;
+  EXPECT_EQ(root.Field("counters").Field("wsie.test.json.counter").AsInt(), 11);
+  EXPECT_DOUBLE_EQ(
+      root.Field("gauges").Field("wsie.test.json.gauge").AsDouble(), 2.5);
+  const dataflow::Value& hist =
+      root.Field("histograms").Field("wsie.test.json.hist");
+  EXPECT_EQ(hist.Field("count").AsInt(), 1);
+  ASSERT_EQ(hist.Field("buckets").AsArray().size(), 2u);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("wsie.test.reset");
+  counter->Add(9);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  counter->Add(2);
+  EXPECT_EQ(registry.Snapshot().CounterValue("wsie.test.reset"), 2u);
+}
+
+#endif  // WSIE_OBS >= 1
+
+#if WSIE_OBS >= 2
+
+TEST(TraceTest, RoundTripIsValidAndBalanced) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        recorder.Begin("outer", "i=" + std::to_string(i));
+        recorder.Begin("inner");
+        recorder.End();
+        recorder.End();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  std::string json = recorder.ToChromeTraceJson();
+  TraceCheckReport report;
+  Status checked = ValidateChromeTrace(json, &report);
+  ASSERT_TRUE(checked.ok()) << checked.ToString();
+  EXPECT_EQ(report.num_threads, static_cast<size_t>(kThreads));
+  EXPECT_EQ(report.num_events,
+            static_cast<size_t>(kThreads * kSpansPerThread * 4));
+  EXPECT_EQ(report.num_spans,
+            static_cast<size_t>(kThreads * kSpansPerThread * 2));
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceTest, RingOverflowStaysBalanced) {
+  TraceRecorder recorder;
+  recorder.SetRingCapacity(64);
+  recorder.SetEnabled(true);
+  for (int i = 0; i < 500; ++i) {
+    recorder.Begin("wrap");
+    recorder.End();
+  }
+  EXPECT_GT(recorder.dropped(), 0u);
+  // Orphaned events from overwritten ring slots are repaired at
+  // serialization time: the emitted stream must still validate.
+  TraceCheckReport report;
+  Status checked = ValidateChromeTrace(recorder.ToChromeTraceJson(), &report);
+  ASSERT_TRUE(checked.ok()) << checked.ToString();
+  EXPECT_GT(report.num_spans, 0u);
+}
+
+TEST(TraceTest, DisabledRecorderBuffersNothing) {
+  TraceRecorder recorder;
+  ASSERT_FALSE(recorder.enabled());
+  recorder.Begin("ignored");
+  EXPECT_EQ(recorder.buffered(), 0u);
+}
+
+TEST(TraceTest, ClearDropsBufferedEvents) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  recorder.Begin("x");
+  recorder.End();
+  EXPECT_EQ(recorder.buffered(), 2u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.buffered(), 0u);
+}
+
+TEST(TraceTest, EscapesSpecialCharactersInArgs) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  recorder.Begin("quote\"back\\slash", "tab\there");
+  recorder.End();
+  Status checked = ValidateChromeTrace(recorder.ToChromeTraceJson());
+  EXPECT_TRUE(checked.ok()) << checked.ToString();
+}
+
+TEST(TraceCheckTest, RejectsMalformedTraces) {
+  EXPECT_FALSE(ValidateChromeTrace("not json").ok());
+  EXPECT_FALSE(ValidateChromeTrace("{}").ok());
+  EXPECT_FALSE(ValidateChromeTrace(R"({"traceEvents":[{}]})").ok());
+  // Unbalanced: an E with no B.
+  EXPECT_FALSE(
+      ValidateChromeTrace(
+          R"({"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":1}]})")
+          .ok());
+  // Unbalanced: a B never closed.
+  EXPECT_FALSE(
+      ValidateChromeTrace(
+          R"({"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1}]})")
+          .ok());
+}
+
+TEST(ScopedTimerTest, FeedsHistogramAndSpan) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("wsie.test.timer", {1e18});
+  {
+    ScopedTimer timer(hist);
+    EXPECT_GE(timer.ElapsedNs(), 0);
+  }
+  EXPECT_EQ(hist->Count(), 1u);
+  // Span path: the global recorder picks up a named ScopedTimer.
+  TraceRecorder& global = TraceRecorder::Global();
+  global.Clear();
+  global.SetEnabled(true);
+  size_t before = global.buffered();
+  { ScopedTimer timer(nullptr, "timed.section"); }
+  global.SetEnabled(false);
+  EXPECT_EQ(global.buffered(), before + 2);
+}
+
+#endif  // WSIE_OBS >= 2
+
+}  // namespace
+}  // namespace wsie::obs
