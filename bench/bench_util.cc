@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "store/store_sink.h"
+
 namespace wsie::bench {
 
 BenchScale ReadBenchScale() {
@@ -50,6 +52,33 @@ core::CorpusAnalysis AnalyzeCorpus(const BenchEnv& env,
   if (!result.ok()) {
     std::fprintf(stderr, "flow failed: %s\n",
                  result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return core::AnalyzeRecords(kind, result->sink_outputs.at("analyzed"));
+}
+
+core::CorpusAnalysis AnalyzeCorpusIntoStore(const BenchEnv& env,
+                                            corpus::CorpusKind kind,
+                                            store::AnnotationStore* annotations,
+                                            size_t dop) {
+  core::FlowOptions options;
+  dataflow::Plan plan = core::BuildAnalysisFlow(env.context, options);
+  auto sink = std::make_shared<store::StoreSink>();
+  if (store::AttachStoreSink(&plan, sink) == dataflow::Plan::kInvalidNode) {
+    std::fprintf(stderr, "no 'analyzed' sink to attach the store to\n");
+    std::exit(1);
+  }
+  auto result = core::RunFlow(plan, env.corpora.at(kind),
+                              dataflow::ExecutorConfig{dop, 0, 8});
+  if (!result.ok()) {
+    std::fprintf(stderr, "flow failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  Status flushed = sink->FlushTo(annotations);
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "store flush failed: %s\n",
+                 flushed.ToString().c_str());
     std::exit(1);
   }
   return core::AnalyzeRecords(kind, result->sink_outputs.at("analyzed"));

@@ -12,6 +12,7 @@
 #include "core/pipeline.h"
 #include "corpus/text_generator.h"
 #include "obs/metrics.h"
+#include "store/annotation_store.h"
 
 namespace wsie::bench {
 
@@ -47,6 +48,14 @@ BenchEnv MakeBenchEnv(BenchScale scale = ReadBenchScale());
 core::CorpusAnalysis AnalyzeCorpus(const BenchEnv& env,
                                    corpus::CorpusKind kind,
                                    size_t dop = 2);
+
+/// AnalyzeCorpus with a StoreSink attached: the same flow run also streams
+/// its annotations into `annotations` as one new segment, so benches can
+/// verify the persisted store reproduces the in-memory analysis exactly.
+core::CorpusAnalysis AnalyzeCorpusIntoStore(const BenchEnv& env,
+                                            corpus::CorpusKind kind,
+                                            store::AnnotationStore* annotations,
+                                            size_t dop = 2);
 
 /// Prints a rule line and a centered title.
 void PrintHeader(const std::string& title, const std::string& paper_ref);

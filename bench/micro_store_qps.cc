@@ -1,0 +1,154 @@
+// Query throughput of the serving layer under an actively compacting
+// store: one writer keeps appending segments, the background compactor
+// keeps folding them, and N reader threads hammer the query engine with a
+// mixed workload. Snapshot isolation means not a single query may fail or
+// observe a regression while segments are swapped underneath. QPS and
+// latency quantiles are read from the wsie.serve.query.latency_ns
+// histogram — the same numbers the obs exporters ship.
+//
+// Env knobs: WSIE_QPS_THREADS (readers, default 4),
+//            WSIE_QPS_SECONDS (measurement window, default 2).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/query_engine.h"
+#include "store/annotation_store.h"
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wsie;
+  const size_t num_readers = EnvSize("WSIE_QPS_THREADS", 4);
+  const size_t seconds = EnvSize("WSIE_QPS_SECONDS", 2);
+  bench::PrintHeader("Store query throughput under active compaction",
+                     "serving-layer microbench");
+
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "wsie_micro_store_qps")
+          .string();
+  std::filesystem::remove_all(dir);
+  auto store_or = store::AnnotationStore::Open(dir);
+  if (!store_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 store_or.status().ToString().c_str());
+    return 1;
+  }
+  auto store = *store_or;
+
+  // Seed segment so readers always have a hit target.
+  auto make_segment = [](uint64_t round) {
+    store::SegmentBuilder builder;
+    for (uint64_t t = 0; t < 50; ++t) {
+      store::Posting posting{round * 50 + t, static_cast<uint32_t>(t % 7),
+                             static_cast<uint32_t>(t), static_cast<uint32_t>(t + 4)};
+      builder.Add("gene" + std::to_string((round * 13 + t) % 400), 0, 0,
+                  t % 2 == 0 ? 0 : 1, posting);
+      builder.Add("anchor", 0, 0, 0, posting);
+    }
+    builder.AddCorpusStats(0, 1, 25, 900);
+    return builder;
+  };
+  if (!store->Append(make_segment(0)).ok()) return 1;
+
+  obs::MetricsRegistry::Global().Reset();
+  serve::QueryEngine engine(store);
+  store::BackgroundCompactor compactor(store, /*min_segments=*/4,
+                                       std::chrono::milliseconds(2));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_queries{0};
+  std::atomic<uint64_t> failed_queries{0};
+
+  std::thread writer([&] {
+    uint64_t round = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!store->Append(make_segment(round++)).ok()) ++failed_queries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < num_readers; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t queries = 0, failures = 0, last_anchor = 0, i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ++i;
+        switch (i % 4) {
+          case 0: {
+            auto lookup = engine.Lookup("anchor");
+            // "anchor" only ever gains postings; going backwards would
+            // mean a torn segment-set install.
+            if (!lookup.found || lookup.count < last_anchor) ++failures;
+            last_anchor = lookup.count;
+            break;
+          }
+          case 1:
+            if (engine.TopK(5).empty()) ++failures;
+            break;
+          case 2:
+            if (engine.CorpusFrequency(0, 0, 0).sentences == 0) ++failures;
+            break;
+          default:
+            engine.PrefixScan("gene1", 10);
+            if ((r & 1) != 0) engine.CoOccurrence("anchor", "gene7");
+            break;
+        }
+        ++queries;
+      }
+      total_queries.fetch_add(queries);
+      failed_queries.fetch_add(failures);
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  stop = true;
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  compactor.Stop();
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  auto snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const obs::HistogramSnapshot* latency =
+      snapshot.FindHistogram("wsie.serve.query.latency_ns");
+  double qps = static_cast<double>(total_queries.load()) / elapsed;
+  std::printf("readers: %zu, window: %.1f s, compactions: %llu, "
+              "live segments at end: %zu\n",
+              num_readers, elapsed,
+              static_cast<unsigned long long>(compactor.compactions_run()),
+              store->num_segments());
+  std::printf("queries: %llu  (%.0f QPS aggregate)\n",
+              static_cast<unsigned long long>(total_queries.load()), qps);
+  if (latency != nullptr && latency->count > 0) {
+    std::printf("latency p50: %.1f us   p99: %.1f us   (n=%llu from "
+                "wsie.serve.query.latency_ns)\n",
+                latency->Quantile(0.5) / 1e3, latency->Quantile(0.99) / 1e3,
+                static_cast<unsigned long long>(latency->count));
+  }
+  std::printf("failed queries: %llu\n",
+              static_cast<unsigned long long>(failed_queries.load()));
+  bool ok = failed_queries.load() == 0 && total_queries.load() > 0 &&
+            compactor.compactions_run() > 0;
+  std::printf("\nConcurrent serving under compaction, zero failures: %s\n",
+              ok ? "HOLDS" : "VIOLATED");
+  return ok ? 0 : 1;
+}

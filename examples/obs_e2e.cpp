@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "core/analytics.h"
@@ -26,6 +27,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_check.h"
+#include "serve/query_engine.h"
+#include "store/annotation_store.h"
+#include "store/store_sink.h"
 #include "web/search_engine.h"
 #include "web/simulated_web.h"
 
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
       /*seed=*/1);
   std::vector<corpus::Document> docs = generator.GenerateCorpus(1, 30);
   dataflow::Plan plan = core::BuildAnalysisFlow(context, core::FlowOptions{});
+  auto sink = std::make_shared<store::StoreSink>();
+  if (store::AttachStoreSink(&plan, sink) == dataflow::Plan::kInvalidNode)
+    return 1;
   dataflow::ExecutorConfig executor_config;
   executor_config.dop = 4;
   auto result = core::RunFlow(plan, docs, executor_config);
@@ -95,6 +102,35 @@ int main(int argc, char** argv) {
   }
   std::printf("analysis flow: %zu operators over %zu docs\n",
               plan.num_operators(), docs.size());
+
+  // 3b. Persist annotations through the store and serve a few queries so
+  //     the wsie.store.* and wsie.serve.* families fill.
+  const std::string store_dir = prom_path + ".store";
+  std::filesystem::remove_all(store_dir);
+  auto store = store::AnnotationStore::Open(store_dir);
+  if (!store.ok()) {
+    std::printf("store open failed: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  if (!sink->FlushTo(store->get()).ok() || !(*store)->Compact().ok()) {
+    std::printf("store flush/compact failed\n");
+    return 1;
+  }
+  serve::QueryEngine engine(*store);
+  const int medline = static_cast<int>(corpus::CorpusKind::kMedline);
+  auto genes = engine.TopK(5, serve::QueryFilter{medline, 0, serve::kAny});
+  uint64_t lookup_hits = 0;
+  for (const auto& gene : genes) {
+    if (engine.Lookup(gene.name).found) ++lookup_hits;
+    engine.PrefixScan(gene.name.substr(0, 2), 8);
+  }
+  auto frequency = engine.CorpusFrequency(medline, 0);
+  if (genes.size() >= 2) engine.CoOccurrence(genes[0].name, genes[1].name);
+  std::printf("store: %zu segments served, top-%zu gene lookups %llu hits, "
+              "%.1f gene mentions per 1000 sentences\n",
+              (*store)->num_segments(), genes.size(),
+              static_cast<unsigned long long>(lookup_hits),
+              frequency.per_1000_sentences);
 
   // 4. Export + validate the trace.
   obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
@@ -140,6 +176,8 @@ int main(int argc, char** argv) {
       {"wsie.fault.", snapshot.CounterPrefixSum("wsie.fault.")},
       {"wsie.nlp.", snapshot.CounterPrefixSum("wsie.nlp.")},
       {"wsie.ie.", snapshot.CounterPrefixSum("wsie.ie.")},
+      {"wsie.store.", snapshot.CounterPrefixSum("wsie.store.")},
+      {"wsie.serve.", snapshot.CounterPrefixSum("wsie.serve.")},
   };
   bool all_present = true;
   std::printf("metrics: %zu registered -> %s\n", registry.num_metrics(),

@@ -1,0 +1,159 @@
+// Serving end-to-end: focused crawl over the synthetic web -> analysis
+// data flow with a StoreSink tap -> durable annotation store on disk ->
+// reopen the store cold and answer a fixed query script (top-10 genes,
+// drug–disease co-occurrence) through the query engine.
+//
+// Every printed number is derived from seeded components, so the output
+// is byte-identical across runs — scripts/serve_check.sh runs this binary
+// twice and diffs the transcripts. Exits non-zero if the store round-trip
+// is not exact or any self-check fails.
+//
+// Usage: ./build/examples/serve_e2e [store_dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/analytics.h"
+#include "core/pipeline.h"
+#include "crawler/focused_crawler.h"
+#include "crawler/seed_generator.h"
+#include "serve/query_engine.h"
+#include "store/annotation_store.h"
+#include "store/store_sink.h"
+#include "web/search_engine.h"
+#include "web/simulated_web.h"
+
+int main(int argc, char** argv) {
+  using namespace wsie;
+  const std::string store_dir =
+      argc > 1 ? argv[1] : "/tmp/wsie_serve_store";
+  std::filesystem::remove_all(store_dir);
+
+  // 1. Focused crawl over a seeded synthetic web. One fetch thread keeps
+  //    the crawl order (and thus the corpus) fully deterministic.
+  core::AnalysisContextConfig context_config;
+  context_config.crf_training_sentences = 400;
+  auto context = std::make_shared<const core::AnalysisContext>(context_config);
+  web::WebConfig web_config;
+  web_config.num_hosts = 60;
+  web_config.mean_pages_per_host = 8;
+  web_config.seed = 77;
+  web::SyntheticWeb graph(web_config);
+  web::SimulatedWeb sim(&graph, &context->lexicons());
+  web::SearchEngineFederation engines(&sim);
+  crawler::SeedGenerator seeder(&context->lexicons(), &engines);
+  auto seeds = seeder.Generate(crawler::SeedQueryBudget{20, 30, 30, 30});
+  crawler::ClassifierTrainConfig classifier_config;
+  classifier_config.docs_per_class = 120;
+  crawler::RelevanceClassifier classifier(&context->lexicons(),
+                                          classifier_config);
+  crawler::CrawlerConfig crawl_config;
+  crawl_config.max_pages = 250;
+  crawl_config.num_fetch_threads = 1;
+  crawler::FocusedCrawler crawler(&sim, &classifier, crawl_config);
+  crawler.InjectSeeds(seeds.seed_urls);
+  crawler.Crawl();
+  const auto& docs = crawler.relevant_corpus().documents();
+  std::printf("crawl: %zu relevant documents\n", docs.size());
+  if (docs.size() < 4) return 1;
+
+  // 2. Analysis flow with a StoreSink tap; annotations stream into the
+  //    store as one segment, then get compacted.
+  dataflow::Plan plan = core::BuildAnalysisFlow(context, core::FlowOptions{});
+  auto sink = std::make_shared<store::StoreSink>();
+  if (store::AttachStoreSink(&plan, sink) == dataflow::Plan::kInvalidNode)
+    return 1;
+  auto result = core::RunFlow(plan, docs, dataflow::ExecutorConfig{4, 0, 8});
+  if (!result.ok()) {
+    std::printf("flow failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  core::CorpusAnalysis analysis = core::AnalyzeRecords(
+      corpus::CorpusKind::kRelevantWeb, result->sink_outputs.at("analyzed"));
+  {
+    auto store = store::AnnotationStore::Open(store_dir);
+    if (!store.ok()) return 1;
+    if (!sink->FlushTo(store->get()).ok()) return 1;
+    if (!(*store)->Compact().ok()) return 1;
+  }  // store closed here — the query path below starts from cold files
+
+  // 3. Reopen from disk and serve the fixed query script.
+  auto reopened = store::AnnotationStore::Open(store_dir);
+  if (!reopened.ok()) {
+    std::printf("reopen failed: %s\n", reopened.status().ToString().c_str());
+    return 1;
+  }
+  serve::QueryEngine engine(*reopened);
+  const int corpus_index = static_cast<int>(corpus::CorpusKind::kRelevantWeb);
+
+  std::printf("\nTop 10 gene names in the relevant crawl (all methods):\n");
+  serve::QueryFilter genes;
+  genes.corpus = corpus_index;
+  genes.type = 0;
+  auto top_genes = engine.TopK(10, genes);
+  for (size_t i = 0; i < top_genes.size(); ++i) {
+    std::printf("  %2zu. %-24s %6llu occurrences\n", i + 1,
+                top_genes[i].name.c_str(),
+                static_cast<unsigned long long>(top_genes[i].count));
+  }
+
+  serve::QueryFilter drugs = genes;
+  drugs.type = 1;
+  serve::QueryFilter diseases = genes;
+  diseases.type = 2;
+  auto top_drugs = engine.TopK(3, drugs);
+  auto top_diseases = engine.TopK(3, diseases);
+  std::printf("\nDrug–disease co-occurrence (top 3 x top 3):\n");
+  std::printf("  %-20s %-20s %6s %9s\n", "drug", "disease", "docs",
+              "sentences");
+  bool cooccurrence_symmetric = true;
+  for (const auto& drug : top_drugs) {
+    for (const auto& disease : top_diseases) {
+      auto forward = engine.CoOccurrence(drug.name, disease.name);
+      auto backward = engine.CoOccurrence(disease.name, drug.name);
+      if (forward.docs != backward.docs ||
+          forward.sentences != backward.sentences) {
+        cooccurrence_symmetric = false;
+      }
+      std::printf("  %-20s %-20s %6llu %9llu\n", drug.name.c_str(),
+                  disease.name.c_str(),
+                  static_cast<unsigned long long>(forward.docs),
+                  static_cast<unsigned long long>(forward.sentences));
+    }
+  }
+
+  // 4. Self-checks: the cold-opened store reproduces the in-memory
+  //    analysis exactly; lookups and co-occurrence behave.
+  bool exact = true;
+  for (size_t type = 0; type < core::kNumEntityTypes; ++type) {
+    for (size_t method = 0; method < core::kNumMethods; ++method) {
+      auto frequency = engine.CorpusFrequency(
+          corpus_index, static_cast<int>(type), static_cast<int>(method));
+      if (frequency.distinct_names != analysis.DistinctNames(type, method))
+        exact = false;
+      if (frequency.per_1000_sentences !=
+          analysis.EntitiesPer1000Sentences(type, method))
+        exact = false;
+    }
+    if (engine.CorpusFrequency(corpus_index, static_cast<int>(type))
+            .distinct_names != analysis.DistinctNamesAllMethods(type))
+      exact = false;
+  }
+  bool lookups_ok = !top_genes.empty() && !top_drugs.empty() &&
+                    !top_diseases.empty();
+  if (lookups_ok) {
+    auto lookup = engine.Lookup(top_genes[0].name);
+    if (!lookup.found || lookup.count != top_genes[0].count)
+      lookups_ok = false;
+  }
+  std::printf("\nstore round-trip vs in-memory analysis: %s\n",
+              exact ? "EXACT" : "MISMATCH");
+  std::printf("lookup/top-k consistency: %s\n", lookups_ok ? "OK" : "FAILED");
+  std::printf("co-occurrence symmetry: %s\n",
+              cooccurrence_symmetric ? "OK" : "FAILED");
+  if (!exact || !lookups_ok || !cooccurrence_symmetric) return 1;
+  std::printf("OK: persisted store serves the crawl's annotations exactly\n");
+  return 0;
+}

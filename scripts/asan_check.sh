@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # AddressSanitizer check for the same suites tsan_check.sh covers: the
-# dataflow executor, the thread pool, the fault subsystem, and the
-# crawler's checkpoint/resume path. The checkpoint decoders parse
-# adversarial bytes (corrupt-file tests), so heap-safety coverage matters
-# as much as race coverage here. Delegates to tsan_check.sh with the
+# dataflow executor, the thread pool, the fault subsystem, the crawler's
+# checkpoint/resume path, and the annotation store. The checkpoint and
+# segment decoders parse adversarial bytes (corrupt-file and bit-flip
+# tests), so heap-safety coverage matters as much as race coverage here. Delegates to tsan_check.sh with the
 # `address` sanitizer, building into build-asan.
 set -euo pipefail
 exec "$(dirname "$0")/tsan_check.sh" address

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Serving-layer end-to-end check:
+#   1. builds the store test suite and the serve_e2e example,
+#   2. runs the `store`-labeled ctest suite (codec, segments, snapshots,
+#      query engine, concurrency stress),
+#   3. runs serve_e2e twice against separate store directories — the
+#      example crawls a seeded web, persists annotations through a
+#      StoreSink, cold-reopens the store and answers a fixed query
+#      script; it exits non-zero unless the served numbers are exactly
+#      the in-memory analysis,
+#   4. diffs the two transcripts: the whole pipeline-to-serving path must
+#      be byte-for-byte deterministic.
+# Usage: scripts/serve_check.sh [build_dir]  (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="$BUILD_DIR/serve_check"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j --target store_test serve_e2e
+mkdir -p "$OUT_DIR"
+
+echo "== store-labeled unit suite =="
+(cd "$BUILD_DIR" && ctest -L store --output-on-failure)
+
+echo "== serve_e2e, run 1 =="
+"$BUILD_DIR/examples/serve_e2e" "$OUT_DIR/store_run1" | tee "$OUT_DIR/run1.txt"
+echo "== serve_e2e, run 2 =="
+"$BUILD_DIR/examples/serve_e2e" "$OUT_DIR/store_run2" > "$OUT_DIR/run2.txt"
+
+echo "== determinism =="
+if ! diff -u "$OUT_DIR/run1.txt" "$OUT_DIR/run2.txt"; then
+  echo "serve check FAILED: transcripts differ between runs"
+  exit 1
+fi
+grep -q "store round-trip vs in-memory analysis: EXACT" "$OUT_DIR/run1.txt"
+echo "serve check passed (transcripts identical, store round-trip exact)"

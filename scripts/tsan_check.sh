@@ -2,9 +2,11 @@
 # ThreadSanitizer check for the concurrency- and fault-sensitive suites:
 # the dataflow executor (morsel scheduler, task retry, open cache), the
 # thread pool, the fault subsystem, the crawler's checkpoint/resume path,
-# and the observability layer (sharded counters, trace ring buffers).
-# Builds into a dedicated build-tsan directory and runs the ctest targets
-# labeled `tsan`, `fault`, or `obs`.
+# the observability layer (sharded counters, trace ring buffers), and the
+# annotation store / serving layer (snapshot swaps under compaction,
+# adversarial segment decoding). Builds into a dedicated build-tsan
+# directory and runs the ctest targets labeled `tsan`, `fault`, `obs`, or
+# `store`.
 # Usage: scripts/tsan_check.sh [address]  (default: thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,6 +17,7 @@ BUILD_DIR="${BUILD_DIR//address/asan}"
 
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
-  dataflow_test thread_pool_stress_test fault_test crawler_test obs_test
-(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs' --output-on-failure)
+  dataflow_test thread_pool_stress_test fault_test crawler_test obs_test \
+  store_test
+(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store' --output-on-failure)
 echo "${SANITIZER} sanitizer run passed"

@@ -1,0 +1,147 @@
+#ifndef WSIE_COMMON_FLAT_MAP_H_
+#define WSIE_COMMON_FLAT_MAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wsie {
+
+/// An open-addressing string -> count map (linear probing, power-of-two
+/// capacity, cached hashes, arena-backed keys). Replacement for the
+/// `std::map<std::string, uint64_t>` distinct-name tables of the Sect. 4.2
+/// memory war story: no per-entry node allocation and no per-key
+/// std::string object — every key is an (offset, length) slice of one
+/// append-only arena, so a 24-byte slot plus the exact name bytes is the
+/// whole cost. Insertion and lookup only (the analytics tables never
+/// erase); not thread-safe.
+class StringCountMap {
+ public:
+  StringCountMap() = default;
+
+  /// Adds `delta` to the count for `key`, inserting it at 0 first.
+  void Add(std::string_view key, uint64_t delta = 1) {
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+      Grow();
+    }
+    Slot& slot = *FindSlot(slots_, Hash(key), key);
+    if (!slot.used()) {
+      slot.hash = Hash(key);
+      slot.offset = static_cast<uint32_t>(arena_.size());
+      slot.length = static_cast<uint32_t>(key.size());
+      arena_.append(key.data(), key.size());
+      ++size_;
+    }
+    slot.count += delta;
+  }
+
+  /// Count for `key`; 0 when absent.
+  uint64_t Count(std::string_view key) const {
+    if (slots_.empty()) return 0;
+    const Slot& slot = *FindSlot(slots_, Hash(key), key);
+    return slot.used() ? slot.count : 0;
+  }
+
+  bool Contains(std::string_view key) const {
+    if (slots_.empty()) return false;
+    return FindSlot(slots_, Hash(key), key)->used();
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visits every (key, count) pair in unspecified (hash) order. The
+  /// string_view aliases the arena — valid until the next Add().
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.used()) fn(KeyOf(slot), slot.count);
+    }
+  }
+
+  /// All entries sorted by key — for deterministic iteration (exports,
+  /// distributions) where hash order would leak into output.
+  std::vector<std::pair<std::string, uint64_t>> SortedItems() const;
+
+  /// Resident bytes: the slot array plus the key arena. Exact up to vector
+  /// growth slack — there are no hidden per-entry heap blocks to estimate.
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(Slot) + arena_.capacity();
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;  ///< 0 = empty (Hash() never returns 0)
+    uint64_t count = 0;
+    uint32_t offset = 0;  ///< key slice of the arena
+    uint32_t length = 0;
+    bool used() const { return hash != 0; }
+  };
+
+  std::string_view KeyOf(const Slot& slot) const {
+    return std::string_view(arena_.data() + slot.offset, slot.length);
+  }
+
+  static uint64_t Hash(std::string_view key) {
+    // FNV-1a, with 0 remapped so it can double as the empty-slot marker.
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : key) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    return h == 0 ? 1 : h;
+  }
+
+  /// First slot matching (hash, key), or the empty slot to insert into.
+  const Slot* FindSlot(const std::vector<Slot>& slots, uint64_t hash,
+                       std::string_view key) const {
+    size_t mask = slots.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (slots[i].used() &&
+           (slots[i].hash != hash || KeyOf(slots[i]) != key)) {
+      i = (i + 1) & mask;
+    }
+    return &slots[i];
+  }
+  Slot* FindSlot(std::vector<Slot>& slots, uint64_t hash,
+                 std::string_view key) {
+    return const_cast<Slot*>(
+        static_cast<const StringCountMap*>(this)->FindSlot(slots, hash, key));
+  }
+
+  void Grow() {
+    std::vector<Slot> next(slots_.empty() ? 16 : slots_.size() * 2);
+    size_t mask = next.size() - 1;
+    for (const Slot& slot : slots_) {
+      if (!slot.used()) continue;
+      // Keys stay in the arena; only the 24-byte slots rehash, and the
+      // cached hash makes that a pure integer probe.
+      size_t i = static_cast<size_t>(slot.hash) & mask;
+      while (next[i].used()) i = (i + 1) & mask;
+      next[i] = slot;
+    }
+    slots_ = std::move(next);
+  }
+
+  std::vector<Slot> slots_;
+  std::string arena_;  ///< concatenated key bytes
+  size_t size_ = 0;
+};
+
+inline std::vector<std::pair<std::string, uint64_t>>
+StringCountMap::SortedItems() const {
+  std::vector<std::pair<std::string, uint64_t>> items;
+  items.reserve(size_);
+  ForEach([&](std::string_view key, uint64_t count) {
+    items.emplace_back(std::string(key), count);
+  });
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+}  // namespace wsie
+
+#endif  // WSIE_COMMON_FLAT_MAP_H_

@@ -1,6 +1,7 @@
 #include "core/analytics.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/string_util.h"
 #include "core/operators_ie.h"
@@ -40,6 +41,22 @@ double CorpusAnalysis::EntitiesPer1000Sentences(size_t type,
 
 double CorpusAnalysis::EntitiesPer1000SentencesAllMethods(size_t type) const {
   return EntitiesPer1000Sentences(type, 0) + EntitiesPer1000Sentences(type, 1);
+}
+
+size_t CorpusAnalysis::DistinctNamesAllMethods(size_t type) const {
+  size_t distinct = names[type][0].size();
+  names[type][1].ForEach([&](std::string_view name, uint64_t) {
+    if (!names[type][0].Contains(name)) ++distinct;
+  });
+  return distinct;
+}
+
+size_t CorpusAnalysis::NameTableMemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& by_method : names) {
+    for (const StringCountMap& table : by_method) bytes += table.MemoryBytes();
+  }
+  return bytes;
 }
 
 std::vector<double> CorpusAnalysis::DocLengths() const {
@@ -180,17 +197,35 @@ CorpusAnalysis AnalyzeRecords(corpus::CorpusKind kind,
       if (type < 0 || method < 0) continue;
       ++d.entities[static_cast<size_t>(type)][static_cast<size_t>(method)];
       std::string name = AsciiToLower(ev.Field("surface").AsString());
-      ++analysis.names[static_cast<size_t>(type)][static_cast<size_t>(method)]
-                      [name];
+      analysis.names[static_cast<size_t>(type)][static_cast<size_t>(method)]
+          .Add(name);
     }
   }
   return analysis;
 }
 
+namespace {
+
+/// NormalizeCounts over a flat name table: total in sorted-key order, the
+/// same accumulation order the std::map-based overload uses.
+ml::Distribution NormalizeNameTable(const StringCountMap& table) {
+  ml::Distribution dist;
+  double total = 0.0;
+  auto items = table.SortedItems();
+  for (const auto& [name, count] : items) total += static_cast<double>(count);
+  if (total <= 0.0) return dist;
+  for (const auto& [name, count] : items) {
+    dist[name] = static_cast<double>(count) / total;
+  }
+  return dist;
+}
+
+}  // namespace
+
 double EntityDistributionJsd(const CorpusAnalysis& a, const CorpusAnalysis& b,
                              size_t type, size_t method) {
-  ml::Distribution pa = ml::NormalizeCounts(a.names[type][method]);
-  ml::Distribution pb = ml::NormalizeCounts(b.names[type][method]);
+  ml::Distribution pa = NormalizeNameTable(a.names[type][method]);
+  ml::Distribution pb = NormalizeNameTable(b.names[type][method]);
   return ml::JensenShannonDivergence(pa, pb);
 }
 
@@ -221,9 +256,8 @@ std::vector<VennRegion> ComputeOverlap(
 std::set<std::string> DistinctNameSet(const CorpusAnalysis& analysis,
                                       size_t type, size_t method) {
   std::set<std::string> names;
-  for (const auto& [name, count] : analysis.names[type][method]) {
-    names.insert(name);
-  }
+  analysis.names[type][method].ForEach(
+      [&](std::string_view name, uint64_t) { names.emplace(name); });
   return names;
 }
 

@@ -3,11 +3,11 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "corpus/profile.h"
 #include "dataflow/value.h"
 #include "ml/stats.h"
@@ -43,16 +43,23 @@ struct CorpusAnalysis {
   std::vector<DocMeasures> per_doc;
   uint64_t total_chars = 0;
   uint64_t total_sentences = 0;
-  /// Distinct entity names with occurrence counts, [type][method].
-  std::array<std::array<std::map<std::string, uint64_t>, kNumMethods>,
-             kNumEntityTypes>
-      names;
+  /// Distinct entity names with occurrence counts, [type][method]. An
+  /// open-addressing flat map: the node-per-name std::map here was the
+  /// dominant memory cost of the Sect. 4.2 analysis (see
+  /// sec42_memory_war_story).
+  std::array<std::array<StringCountMap, kNumMethods>, kNumEntityTypes> names;
 
   size_t num_docs() const { return per_doc.size(); }
   double mean_chars() const;
   size_t DistinctNames(size_t type, size_t method) const {
     return names[type][method].size();
   }
+  /// Distinct names of `type` across both methods, counting a name found
+  /// by both dict and ML once. DistinctNames(t, 0) + DistinctNames(t, 1)
+  /// double-counts the overlap — use this for any "all methods" column.
+  size_t DistinctNamesAllMethods(size_t type) const;
+  /// Resident bytes of all name tables (slot arrays + string payloads).
+  size_t NameTableMemoryBytes() const;
   /// Mean annotations of (type, method) per 1000 sentences (Fig. 7 metric).
   double EntitiesPer1000Sentences(size_t type, size_t method) const;
   /// Combined dict+ML per-1000-sentence mean.

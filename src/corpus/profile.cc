@@ -16,6 +16,18 @@ const char* CorpusKindName(CorpusKind kind) {
   return "unknown";
 }
 
+bool CorpusKindFromName(std::string_view name, CorpusKind* kind) {
+  for (CorpusKind candidate :
+       {CorpusKind::kRelevantWeb, CorpusKind::kIrrelevantWeb,
+        CorpusKind::kMedline, CorpusKind::kPmc}) {
+    if (name == CorpusKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 CorpusProfile ProfileFor(CorpusKind kind) {
   CorpusProfile p;
   p.kind = kind;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 namespace wsie::corpus {
 
@@ -15,6 +16,10 @@ enum class CorpusKind {
 };
 
 const char* CorpusKindName(CorpusKind kind);
+
+/// Inverse of CorpusKindName (the pipeline's "corpus" record field carries
+/// the display name). False when `name` matches no corpus.
+bool CorpusKindFromName(std::string_view name, CorpusKind* kind);
 
 /// Linguistic and content parameters of one corpus generator.
 ///

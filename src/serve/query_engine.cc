@@ -1,0 +1,211 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace wsie::serve {
+namespace {
+
+/// Records elapsed wall time into the latency histogram on scope exit.
+class LatencyScope {
+ public:
+  explicit LatencyScope(obs::Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~LatencyScope() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  obs::Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+bool GroupMatches(const store::PostingGroup& group, const QueryFilter& filter) {
+  if (filter.corpus != kAny && group.corpus != filter.corpus) return false;
+  if (filter.type != kAny && group.type != filter.type) return false;
+  if (filter.method != kAny && group.method != filter.method) return false;
+  return true;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<store::AnnotationStore> annotations)
+    : store_(std::move(annotations)) {
+  auto& registry = obs::MetricsRegistry::Global();
+  queries_lookup_ = registry.GetCounter(
+      obs::WithLabel("wsie.serve.queries", "kind", "lookup"));
+  queries_prefix_ = registry.GetCounter(
+      obs::WithLabel("wsie.serve.queries", "kind", "prefix"));
+  queries_frequency_ = registry.GetCounter(
+      obs::WithLabel("wsie.serve.queries", "kind", "frequency"));
+  queries_topk_ = registry.GetCounter(
+      obs::WithLabel("wsie.serve.queries", "kind", "topk"));
+  queries_cooccurrence_ = registry.GetCounter(
+      obs::WithLabel("wsie.serve.queries", "kind", "cooccurrence"));
+  latency_ns_ = registry.GetHistogram("wsie.serve.query.latency_ns");
+  snapshot_segments_ = registry.GetGauge("wsie.serve.snapshot.segments");
+}
+
+store::AnnotationStore::Snapshot QueryEngine::snapshot() const {
+  store::AnnotationStore::Snapshot snap = store_->snapshot();
+  snapshot_segments_->Set(static_cast<double>(snap.segments.size()));
+  return snap;
+}
+
+QueryEngine::LookupResult QueryEngine::Lookup(std::string_view name,
+                                              const QueryFilter& filter,
+                                              size_t max_postings) const {
+  queries_lookup_->Increment();
+  LatencyScope timer(latency_ns_);
+  LookupResult result;
+  std::set<std::pair<uint8_t, uint64_t>> seen_docs;
+  for (const auto& segment : snapshot().segments) {
+    int term_id = segment->FindTerm(name);
+    if (term_id < 0) continue;
+    for (const store::PostingGroup& group :
+         segment->GroupsForTerm(static_cast<uint32_t>(term_id))) {
+      if (!GroupMatches(group, filter)) continue;
+      result.found = true;
+      result.count += group.postings.size();
+      result.per_corpus[group.corpus] += group.postings.size();
+      for (const store::Posting& posting : group.postings) {
+        seen_docs.emplace(group.corpus, posting.doc_id);
+        if (result.postings.size() < max_postings) {
+          result.postings.push_back(posting);
+        }
+      }
+    }
+  }
+  result.docs = seen_docs.size();
+  return result;
+}
+
+std::vector<std::string> QueryEngine::PrefixScan(std::string_view prefix,
+                                                 size_t limit) const {
+  queries_prefix_->Increment();
+  LatencyScope timer(latency_ns_);
+  std::set<std::string> names;
+  for (const auto& segment : snapshot().segments) {
+    auto [first, last] = segment->PrefixRange(prefix);
+    for (size_t i = first; i < last; ++i) {
+      names.insert(segment->terms()[i]);
+    }
+  }
+  std::vector<std::string> result;
+  result.reserve(std::min(limit, names.size()));
+  for (const std::string& name : names) {
+    if (result.size() >= limit) break;
+    result.push_back(name);
+  }
+  return result;
+}
+
+QueryEngine::FrequencyResult QueryEngine::CorpusFrequency(int corpus, int type,
+                                                          int method) const {
+  queries_frequency_->Increment();
+  LatencyScope timer(latency_ns_);
+  FrequencyResult result;
+  if (corpus < 0 || corpus >= static_cast<int>(store::kNumCorpora) ||
+      type < 0 || type >= static_cast<int>(store::kNumTypes)) {
+    return result;
+  }
+  std::array<uint64_t, store::kNumMethods> per_method{};
+  std::set<std::string_view> distinct;
+  store::AnnotationStore::Snapshot snap = snapshot();
+  for (const auto& segment : snap.segments) {
+    result.sentences += segment->corpus_stats()[corpus].sentences;
+    for (const store::PostingGroup& group : segment->groups()) {
+      if (group.corpus != corpus || group.type != type) continue;
+      if (method != kAny && group.method != method) continue;
+      per_method[group.method] += group.postings.size();
+      distinct.insert(segment->terms()[group.term_id]);
+    }
+  }
+  result.distinct_names = distinct.size();
+  for (uint64_t annotations : per_method) result.annotations += annotations;
+  // One division per method, then summed for kAny — the same float
+  // evaluation order as CorpusAnalysis::EntitiesPer1000Sentences[AllMethods].
+  if (result.sentences > 0) {
+    for (size_t m = 0; m < store::kNumMethods; ++m) {
+      result.per_1000_sentences += 1000.0 * static_cast<double>(per_method[m]) /
+                                   static_cast<double>(result.sentences);
+    }
+  }
+  return result;
+}
+
+std::vector<QueryEngine::EntityCount> QueryEngine::TopK(
+    size_t k, const QueryFilter& filter) const {
+  queries_topk_->Increment();
+  LatencyScope timer(latency_ns_);
+  std::map<std::string_view, uint64_t> counts;
+  store::AnnotationStore::Snapshot snap = snapshot();
+  for (const auto& segment : snap.segments) {
+    for (const store::PostingGroup& group : segment->groups()) {
+      if (!GroupMatches(group, filter)) continue;
+      counts[segment->terms()[group.term_id]] += group.postings.size();
+    }
+  }
+  std::vector<EntityCount> all;
+  all.reserve(counts.size());
+  for (const auto& [name, count] : counts) {
+    all.push_back(EntityCount{std::string(name), count});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const EntityCount& a, const EntityCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.name < b.name;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+QueryEngine::CoOccurrenceResult QueryEngine::CoOccurrence(
+    std::string_view a, std::string_view b, const QueryFilter& filter) const {
+  queries_cooccurrence_->Increment();
+  LatencyScope timer(latency_ns_);
+  // Doc ids are only unique within a corpus, so occurrence sets are keyed
+  // by (corpus, doc) and (corpus, doc, sentence).
+  using DocKey = std::pair<uint8_t, uint64_t>;
+  using SentenceKey = std::tuple<uint8_t, uint64_t, uint32_t>;
+  auto collect = [&](std::string_view name, std::set<DocKey>* docs,
+                     std::set<SentenceKey>* sentences,
+                     const store::AnnotationStore::Snapshot& snap) {
+    for (const auto& segment : snap.segments) {
+      int term_id = segment->FindTerm(name);
+      if (term_id < 0) continue;
+      for (const store::PostingGroup& group :
+           segment->GroupsForTerm(static_cast<uint32_t>(term_id))) {
+        if (!GroupMatches(group, filter)) continue;
+        for (const store::Posting& posting : group.postings) {
+          docs->emplace(group.corpus, posting.doc_id);
+          sentences->emplace(group.corpus, posting.doc_id, posting.sentence);
+        }
+      }
+    }
+  };
+
+  store::AnnotationStore::Snapshot snap = snapshot();
+  std::set<DocKey> docs_a, docs_b;
+  std::set<SentenceKey> sentences_a, sentences_b;
+  collect(a, &docs_a, &sentences_a, snap);
+  collect(b, &docs_b, &sentences_b, snap);
+
+  CoOccurrenceResult result;
+  for (const DocKey& key : docs_a) {
+    if (docs_b.count(key)) ++result.docs;
+  }
+  for (const SentenceKey& key : sentences_a) {
+    if (sentences_b.count(key)) ++result.sentences;
+  }
+  return result;
+}
+
+}  // namespace wsie::serve

@@ -1,0 +1,108 @@
+#ifndef WSIE_SERVE_QUERY_ENGINE_H_
+#define WSIE_SERVE_QUERY_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "store/annotation_store.h"
+
+namespace wsie::serve {
+
+/// Wildcard for QueryFilter dimensions.
+inline constexpr int kAny = -1;
+
+/// Restricts a query to one corpus / entity type / annotation method;
+/// kAny leaves the dimension unconstrained.
+struct QueryFilter {
+  int corpus = kAny;  ///< corpus::CorpusKind index, 0..3
+  int type = kAny;    ///< 0 gene, 1 drug, 2 disease
+  int method = kAny;  ///< 0 dict, 1 ml
+};
+
+/// Concurrent entity query engine over an AnnotationStore.
+///
+/// Every query runs against one snapshot taken at entry (epoch/refcounted
+/// segment set), so a query sees a consistent store state even while
+/// appends and compactions land concurrently — and never blocks them. All
+/// entry points are const and thread-safe: the engine holds no per-query
+/// mutable state, and the wsie.serve.* instrumentation (per-kind query
+/// counters + one latency histogram) is lock-free.
+class QueryEngine {
+ public:
+  explicit QueryEngine(std::shared_ptr<store::AnnotationStore> annotations);
+
+  /// Point lookup of one (normalized, lowercase) entity name.
+  struct LookupResult {
+    bool found = false;
+    uint64_t count = 0;  ///< postings matching the filter
+    uint64_t docs = 0;   ///< distinct (corpus, doc) pairs among them
+    std::array<uint64_t, store::kNumCorpora> per_corpus{};
+    /// Matching postings, capped at `max_postings` (0 = none returned).
+    std::vector<store::Posting> postings;
+  };
+  LookupResult Lookup(std::string_view name, const QueryFilter& filter = {},
+                      size_t max_postings = 0) const;
+
+  /// Entity names starting with `prefix`, sorted, deduplicated across
+  /// segments, at most `limit`.
+  std::vector<std::string> PrefixScan(std::string_view prefix,
+                                      size_t limit = 100) const;
+
+  /// Per-corpus aggregate for (type, method) — the Table 4 / Fig. 7
+  /// numbers served from disk. `method == kAny` computes the
+  /// combined-distinct union (a name found by both dict and ML counts
+  /// once) and sums annotations over both methods.
+  struct FrequencyResult {
+    uint64_t distinct_names = 0;
+    uint64_t annotations = 0;
+    uint64_t sentences = 0;  ///< the corpus's sentence total
+    /// Fig. 7 incidence. Computed exactly as CorpusAnalysis does — one
+    /// division per method, summed for kAny — so reproduced values match
+    /// the in-memory analysis bit for bit.
+    double per_1000_sentences = 0.0;
+  };
+  FrequencyResult CorpusFrequency(int corpus, int type,
+                                  int method = kAny) const;
+
+  /// Top `k` entity names by posting count under `filter`, ties broken by
+  /// name so results are deterministic across runs and segment layouts.
+  struct EntityCount {
+    std::string name;
+    uint64_t count = 0;
+  };
+  std::vector<EntityCount> TopK(size_t k,
+                                const QueryFilter& filter = {}) const;
+
+  /// Documents (and sentences) where both names occur, under `filter`.
+  /// Doc ids are namespaced per corpus, so corpus-wildcard queries sum
+  /// per-corpus intersections.
+  struct CoOccurrenceResult {
+    uint64_t docs = 0;
+    uint64_t sentences = 0;  ///< (doc, sentence) pairs containing both
+  };
+  CoOccurrenceResult CoOccurrence(std::string_view a, std::string_view b,
+                                  const QueryFilter& filter = {}) const;
+
+  /// The store snapshot a fresh query would use (for introspection).
+  store::AnnotationStore::Snapshot snapshot() const;
+
+ private:
+  std::shared_ptr<store::AnnotationStore> store_;
+
+  obs::Counter* queries_lookup_;
+  obs::Counter* queries_prefix_;
+  obs::Counter* queries_frequency_;
+  obs::Counter* queries_topk_;
+  obs::Counter* queries_cooccurrence_;
+  obs::Histogram* latency_ns_;
+  obs::Gauge* snapshot_segments_;
+};
+
+}  // namespace wsie::serve
+
+#endif  // WSIE_SERVE_QUERY_ENGINE_H_

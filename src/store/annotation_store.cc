@@ -1,0 +1,234 @@
+#include "store/annotation_store.h"
+
+#include <filesystem>
+#include <set>
+
+#include "common/stopwatch.h"
+#include "fault/checkpoint.h"
+#include "fault/wire_format.h"
+
+namespace wsie::store {
+namespace {
+
+constexpr uint64_t kManifestVersion = 1;
+constexpr const char* kManifestName = "MANIFEST";
+
+namespace wire = wsie::fault::wire;
+
+}  // namespace
+
+AnnotationStore::AnnotationStore(std::string dir) : dir_(std::move(dir)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  segments_gauge_ = registry.GetGauge("wsie.store.segments");
+  bytes_gauge_ = registry.GetGauge("wsie.store.bytes");
+  segments_written_ = registry.GetCounter("wsie.store.segments_written");
+  postings_written_ = registry.GetCounter("wsie.store.postings_written");
+  compactions_ = registry.GetCounter("wsie.store.compactions");
+  merge_wall_ns_ = registry.GetHistogram("wsie.store.merge.wall_ns");
+  segment_write_ns_ = registry.GetHistogram("wsie.store.segment.write_ns");
+}
+
+std::string AnnotationStore::SegmentPath(uint64_t id) const {
+  return dir_ + "/seg-" + std::to_string(id) + ".wseg";
+}
+
+Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
+    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("store: cannot create directory " + dir + ": " +
+                            ec.message());
+  }
+  std::shared_ptr<AnnotationStore> store(new AnnotationStore(dir));
+
+  const std::string manifest_path = dir + "/" + kManifestName;
+  if (!std::filesystem::exists(manifest_path)) {
+    std::lock_guard<std::mutex> lock(store->mu_);
+    WSIE_RETURN_NOT_OK(store->WriteManifestLocked());
+    store->PublishMetricsLocked();
+    return store;
+  }
+
+  WSIE_ASSIGN_OR_RETURN(fault::Checkpoint manifest,
+                        fault::Checkpoint::ReadFile(manifest_path));
+  const std::string* section = manifest.FindSection("store");
+  if (section == nullptr) {
+    return Status::InvalidArgument("store: manifest missing 'store' section");
+  }
+  std::string_view in = *section;
+  uint64_t version = 0, next_id = 0, count = 0;
+  if (!wire::GetU64(&in, &version) || version != kManifestVersion ||
+      !wire::GetU64(&in, &next_id) || !wire::GetU64(&in, &count)) {
+    return Status::InvalidArgument("store: malformed manifest");
+  }
+  std::lock_guard<std::mutex> lock(store->mu_);
+  store->next_id_ = next_id;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    if (!wire::GetU64(&in, &id)) {
+      return Status::InvalidArgument("store: malformed manifest entry");
+    }
+    WSIE_ASSIGN_OR_RETURN(Segment segment,
+                          Segment::ReadFile(store->SegmentPath(id)));
+    if (segment.id() != id) {
+      return Status::InvalidArgument("store: segment id mismatch for " +
+                                     store->SegmentPath(id));
+    }
+    store->live_.push_back(
+        std::make_shared<const Segment>(std::move(segment)));
+  }
+  store->PublishMetricsLocked();
+  return store;
+}
+
+Status AnnotationStore::WriteManifestLocked() {
+  std::string section;
+  wire::PutU64(&section, kManifestVersion);
+  wire::PutU64(&section, next_id_);
+  wire::PutU64(&section, live_.size());
+  for (const auto& segment : live_) wire::PutU64(&section, segment->id());
+  fault::Checkpoint manifest;
+  manifest.SetSection("store", std::move(section));
+  return manifest.WriteFile(dir_ + "/" + kManifestName);
+}
+
+void AnnotationStore::PublishMetricsLocked() {
+  segments_gauge_->Set(static_cast<double>(live_.size()));
+  uint64_t bytes = 0;
+  for (const auto& segment : live_) bytes += segment->encoded_bytes();
+  bytes_gauge_->Set(static_cast<double>(bytes));
+}
+
+Status AnnotationStore::Append(SegmentBuilder&& builder) {
+  if (builder.empty()) return Status::OK();
+  uint64_t id;
+  {
+    // Ids are claimed up front so concurrent appenders never share a file
+    // name; the encode + durable write then happen outside the lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
+  WSIE_ASSIGN_OR_RETURN(Segment segment, builder.Finish(id));
+  Stopwatch watch;
+  WSIE_RETURN_NOT_OK(segment.WriteFile(SegmentPath(id)));
+  segment_write_ns_->Observe(static_cast<double>(watch.ElapsedNs()));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  postings_written_->Add(segment.num_postings());
+  segments_written_->Increment();
+  live_.push_back(std::make_shared<const Segment>(std::move(segment)));
+  ++epoch_;
+  WSIE_RETURN_NOT_OK(WriteManifestLocked());
+  PublishMetricsLocked();
+  return Status::OK();
+}
+
+Status AnnotationStore::Compact() {
+  // One compaction at a time: overlapping merges of the same inputs would
+  // each re-publish the full input set, double-counting postings.
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  Snapshot before = snapshot();
+  if (before.segments.size() < 2) return Status::OK();
+
+  Stopwatch watch;
+  SegmentBuilder builder;
+  std::set<uint64_t> merged_ids;
+  for (const auto& segment : before.segments) {
+    builder.MergeSegment(*segment);
+    merged_ids.insert(segment->id());
+  }
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+  }
+  WSIE_ASSIGN_OR_RETURN(Segment merged, builder.Finish(id));
+  WSIE_RETURN_NOT_OK(merged.WriteFile(SegmentPath(id)));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Replace exactly the segments that were merged; segments appended
+    // concurrently (not in `merged_ids`) stay live.
+    std::vector<std::shared_ptr<const Segment>> next;
+    next.push_back(std::make_shared<const Segment>(std::move(merged)));
+    for (const auto& segment : live_) {
+      if (merged_ids.count(segment->id()) == 0) next.push_back(segment);
+    }
+    live_ = std::move(next);
+    ++epoch_;
+    WSIE_RETURN_NOT_OK(WriteManifestLocked());
+    PublishMetricsLocked();
+  }
+
+  // The manifest no longer references the merged inputs; unlink them.
+  // Readers holding pre-compaction snapshots keep the decoded segments in
+  // memory, so the files are dead weight.
+  for (uint64_t old_id : merged_ids) {
+    std::error_code ec;
+    std::filesystem::remove(SegmentPath(old_id), ec);
+  }
+
+  compactions_->Increment();
+  merge_wall_ns_->Observe(static_cast<double>(watch.ElapsedNs()));
+  return Status::OK();
+}
+
+AnnotationStore::Snapshot AnnotationStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot{live_, epoch_};
+}
+
+size_t AnnotationStore::num_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+uint64_t AnnotationStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = 0;
+  for (const auto& segment : live_) bytes += segment->encoded_bytes();
+  return bytes;
+}
+
+uint64_t AnnotationStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+BackgroundCompactor::BackgroundCompactor(
+    std::shared_ptr<AnnotationStore> store, size_t min_segments,
+    std::chrono::milliseconds period)
+    : store_(std::move(store)),
+      min_segments_(min_segments),
+      period_(period),
+      thread_([this] {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+          cv_.wait_for(lock, period_, [this] { return stop_; });
+          if (stop_) break;
+          if (store_->num_segments() >= min_segments_) {
+            lock.unlock();
+            if (store_->Compact().ok()) {
+              compactions_run_.fetch_add(1, std::memory_order_relaxed);
+            }
+            lock.lock();
+          }
+        }
+      }) {}
+
+BackgroundCompactor::~BackgroundCompactor() { Stop(); }
+
+void BackgroundCompactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace wsie::store

@@ -1,0 +1,121 @@
+#ifndef WSIE_STORE_ANNOTATION_STORE_H_
+#define WSIE_STORE_ANNOTATION_STORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "store/segment.h"
+
+namespace wsie::store {
+
+/// A durable, append-only annotation store: a directory of immutable,
+/// checksummed segment files plus an atomically-rewritten MANIFEST
+/// (a fault::Checkpoint) naming the live set.
+///
+/// Concurrency model — epoch snapshots over refcounted segment sets:
+/// readers take a Snapshot (a shared_ptr copy of the live segment vector,
+/// one mutex-protected pointer copy); writers (Append, Compact) install a
+/// new vector and bump the epoch. Compaction therefore never blocks or
+/// invalidates readers: a snapshot taken before a compaction keeps serving
+/// the pre-merge segments until it is dropped, and the merged segment is
+/// only visible to snapshots taken after the swap. Old segment files are
+/// unlinked after the swap; in-memory segments outlive their files for as
+/// long as any snapshot references them.
+class AnnotationStore {
+ public:
+  /// Opens (or creates) the store in `dir`. Rejects a corrupt manifest or
+  /// any corrupt live segment with a Status error.
+  static Result<std::shared_ptr<AnnotationStore>> Open(const std::string& dir);
+
+  /// Freezes `builder` into a new segment, writes it durably, and
+  /// publishes it to subsequent snapshots. No-op for an empty builder.
+  Status Append(SegmentBuilder&& builder);
+
+  /// Folds every live segment into one sorted segment. Readers holding
+  /// older snapshots are unaffected. Returns OK (without work) when fewer
+  /// than two segments are live.
+  Status Compact();
+
+  struct Snapshot {
+    std::vector<std::shared_ptr<const Segment>> segments;
+    uint64_t epoch = 0;
+
+    uint64_t num_postings() const {
+      uint64_t total = 0;
+      for (const auto& segment : segments) total += segment->num_postings();
+      return total;
+    }
+  };
+
+  /// A consistent, immutable read view of the current live set.
+  Snapshot snapshot() const;
+
+  size_t num_segments() const;
+  uint64_t total_bytes() const;
+  uint64_t epoch() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  explicit AnnotationStore(std::string dir);
+
+  Status WriteManifestLocked();
+  void PublishMetricsLocked();
+  std::string SegmentPath(uint64_t id) const;
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::mutex compact_mu_;  ///< serializes Compact() passes
+  std::vector<std::shared_ptr<const Segment>> live_;
+  uint64_t next_id_ = 1;
+  uint64_t epoch_ = 0;
+
+  // Hoisted metric handles (wsie.store.*).
+  obs::Gauge* segments_gauge_;
+  obs::Gauge* bytes_gauge_;
+  obs::Counter* segments_written_;
+  obs::Counter* postings_written_;
+  obs::Counter* compactions_;
+  obs::Histogram* merge_wall_ns_;
+  obs::Histogram* segment_write_ns_;
+};
+
+/// Periodically folds the store's segments when the live count reaches
+/// `min_segments`. Owns one background thread; destruction (or Stop())
+/// joins it. Readers are never blocked — see AnnotationStore::Compact().
+class BackgroundCompactor {
+ public:
+  BackgroundCompactor(std::shared_ptr<AnnotationStore> store,
+                      size_t min_segments = 4,
+                      std::chrono::milliseconds period =
+                          std::chrono::milliseconds(20));
+  ~BackgroundCompactor();
+
+  void Stop();
+  uint64_t compactions_run() const {
+    return compactions_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<AnnotationStore> store_;
+  size_t min_segments_;
+  std::chrono::milliseconds period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<uint64_t> compactions_run_{0};
+  std::thread thread_;
+};
+
+}  // namespace wsie::store
+
+#endif  // WSIE_STORE_ANNOTATION_STORE_H_

@@ -1,0 +1,88 @@
+#include "store/posting_codec.h"
+
+namespace wsie::store {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view* in, uint64_t* v) {
+  uint64_t result = 0;
+  for (size_t i = 0; i < 10; ++i) {
+    if (i >= in->size()) return false;
+    uint64_t byte = static_cast<unsigned char>((*in)[i]);
+    // Byte 10 may only contribute the final bit of a 64-bit value.
+    if (i == 9 && (byte & 0xfe) != 0) return false;
+    result |= (byte & 0x7f) << (7 * i);
+    if ((byte & 0x80) == 0) {
+      in->remove_prefix(i + 1);
+      *v = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status EncodePostingList(const std::vector<Posting>& postings,
+                         std::string* out) {
+  PutVarint(out, postings.size());
+  Posting prev;
+  bool first = true;
+  for (const Posting& p : postings) {
+    if (!first && p < prev) {
+      return Status::InvalidArgument("posting list not sorted");
+    }
+    if (p.end < p.begin) {
+      return Status::InvalidArgument("posting span end < begin");
+    }
+    PutVarint(out, p.doc_id - (first ? 0 : prev.doc_id));
+    PutVarint(out, p.sentence);
+    PutVarint(out, p.begin);
+    PutVarint(out, p.end - p.begin);
+    prev = p;
+    first = false;
+  }
+  return Status::OK();
+}
+
+Status DecodePostingList(std::string_view* in, std::vector<Posting>* out) {
+  uint64_t count = 0;
+  if (!GetVarint(in, &count)) {
+    return Status::InvalidArgument("posting list: bad count");
+  }
+  // Each posting takes at least 4 encoded bytes; a count beyond that bound
+  // is corruption — reject before reserving memory for it.
+  if (count > in->size()) {
+    return Status::InvalidArgument("posting list: count exceeds input");
+  }
+  out->reserve(out->size() + static_cast<size_t>(count));
+  uint64_t doc = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0, sentence = 0, begin = 0, length = 0;
+    if (!GetVarint(in, &delta) || !GetVarint(in, &sentence) ||
+        !GetVarint(in, &begin) || !GetVarint(in, &length)) {
+      return Status::InvalidArgument("posting list: truncated posting");
+    }
+    if (i > 0 && doc + delta < doc) {
+      return Status::InvalidArgument("posting list: doc id overflow");
+    }
+    doc = i == 0 ? delta : doc + delta;
+    if (sentence > UINT32_MAX || begin > UINT32_MAX || length > UINT32_MAX ||
+        begin + length > UINT32_MAX) {
+      return Status::InvalidArgument("posting list: field overflow");
+    }
+    Posting p;
+    p.doc_id = doc;
+    p.sentence = static_cast<uint32_t>(sentence);
+    p.begin = static_cast<uint32_t>(begin);
+    p.end = static_cast<uint32_t>(begin + length);
+    out->push_back(p);
+  }
+  return Status::OK();
+}
+
+}  // namespace wsie::store

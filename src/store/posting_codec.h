@@ -1,0 +1,47 @@
+#ifndef WSIE_STORE_POSTING_CODEC_H_
+#define WSIE_STORE_POSTING_CODEC_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsie::store {
+
+/// One entity occurrence: which document, which sentence of it, and the
+/// exact character span. Type/method/corpus are not part of the posting —
+/// lists are grouped by (term, corpus, type, method) at the segment level,
+/// so per-posting bytes stay small.
+struct Posting {
+  uint64_t doc_id = 0;
+  uint32_t sentence = 0;  ///< index into the document's sentence array
+  uint32_t begin = 0;     ///< character span in the document text
+  uint32_t end = 0;
+
+  friend auto operator<=>(const Posting&, const Posting&) = default;
+};
+
+/// LEB128 varint. Up to 10 bytes for a full uint64.
+void PutVarint(std::string* out, uint64_t v);
+/// Consumes one varint from `*in`; false on truncation or a value that
+/// does not fit 64 bits (overlong encodings past byte 10).
+bool GetVarint(std::string_view* in, uint64_t* v);
+
+/// Appends the delta/varint encoding of `postings` to `*out`. The list
+/// must be sorted (operator<=> order): doc ids are gap-encoded against the
+/// previous posting, spans as (begin, length). Returns InvalidArgument on
+/// unsorted input or a span with end < begin.
+Status EncodePostingList(const std::vector<Posting>& postings,
+                         std::string* out);
+
+/// Decodes one posting list from `*in` (consuming it), appending to
+/// `*out`. Rejects truncated input, doc-id accumulator overflow, and spans
+/// overflowing uint32 — corrupt bytes yield a Status error, never UB.
+Status DecodePostingList(std::string_view* in, std::vector<Posting>* out);
+
+}  // namespace wsie::store
+
+#endif  // WSIE_STORE_POSTING_CODEC_H_

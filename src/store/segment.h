@@ -1,0 +1,147 @@
+#ifndef WSIE_STORE_SEGMENT_H_
+#define WSIE_STORE_SEGMENT_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/posting_codec.h"
+
+namespace wsie::fault {
+class Checkpoint;
+}  // namespace wsie::fault
+
+namespace wsie::store {
+
+inline constexpr size_t kNumCorpora = 4;   ///< corpus::CorpusKind values
+inline constexpr size_t kNumTypes = 3;     ///< gene, drug, disease
+inline constexpr size_t kNumMethods = 2;   ///< dict, ml
+
+/// Maps the pipeline's annotation field strings to store indices; -1 for
+/// anything unknown (mirrors the mapping AnalyzeRecords applies, so store
+/// counts and in-memory analytics counts agree exactly).
+int EntityTypeIndexFromName(std::string_view name);
+int MethodIndexFromName(std::string_view name);
+
+/// Per-corpus document totals carried in every segment so frequency
+/// queries (Fig. 7's per-1000-sentence incidence) need no re-aggregation.
+struct CorpusStats {
+  uint64_t docs = 0;
+  uint64_t sentences = 0;
+  uint64_t chars = 0;
+
+  friend bool operator==(const CorpusStats&, const CorpusStats&) = default;
+};
+
+/// One posting list: every occurrence of term `term_id` with a fixed
+/// (corpus, type, method). Groups are stored sorted by
+/// (term_id, corpus, type, method), so a term's groups are contiguous.
+struct PostingGroup {
+  uint32_t term_id = 0;
+  uint8_t corpus = 0;
+  uint8_t type = 0;
+  uint8_t method = 0;
+  std::vector<Posting> postings;
+
+  friend bool operator==(const PostingGroup&, const PostingGroup&) = default;
+};
+
+/// An immutable, checksummed, sorted annotation segment.
+///
+/// On disk a segment is a fault::Checkpoint container (magic + FNV-1a
+/// trailer + atomic tmp/rename writes — the same durable-write machinery
+/// the crawl checkpoints use) with three sections:
+///   "meta"     — version, segment id, per-corpus totals, element counts
+///   "dict"     — the sorted, deduplicated term dictionary (term id =
+///                position), length-prefixed strings
+///   "postings" — per group: varint header + delta/varint posting list
+/// Decode rejects bad magic, bad checksums, and any structural
+/// inconsistency (unsorted dictionary, out-of-range ids, count mismatches)
+/// with a Status error — a corrupt file can never be half-served.
+class Segment {
+ public:
+  uint64_t id() const { return id_; }
+  const std::vector<std::string>& terms() const { return terms_; }
+  const std::vector<PostingGroup>& groups() const { return groups_; }
+  const std::array<CorpusStats, kNumCorpora>& corpus_stats() const {
+    return corpus_stats_;
+  }
+  uint64_t num_postings() const { return num_postings_; }
+  /// Size of the encoded container (what the file occupies).
+  size_t encoded_bytes() const { return encoded_bytes_; }
+
+  /// Binary search over the sorted dictionary; -1 when absent.
+  int FindTerm(std::string_view term) const;
+  /// The contiguous run of groups for `term_id` (empty for unknown ids).
+  std::span<const PostingGroup> GroupsForTerm(uint32_t term_id) const;
+  /// Dictionary range [first, last) of terms starting with `prefix`.
+  std::pair<size_t, size_t> PrefixRange(std::string_view prefix) const;
+
+  std::string Encode() const;
+  static Result<Segment> Decode(std::string_view bytes);
+
+  /// Atomic write (tmp + rename) via the checkpoint container.
+  Status WriteFile(const std::string& path) const;
+  static Result<Segment> ReadFile(const std::string& path);
+
+ private:
+  friend class SegmentBuilder;
+
+  fault::Checkpoint ToContainer() const;
+  static Result<Segment> FromContainer(const fault::Checkpoint& container,
+                                       size_t encoded_bytes);
+
+  uint64_t id_ = 0;
+  std::vector<std::string> terms_;            ///< sorted, unique
+  std::vector<PostingGroup> groups_;          ///< sorted by group key
+  std::array<CorpusStats, kNumCorpora> corpus_stats_{};
+  uint64_t num_postings_ = 0;
+  size_t encoded_bytes_ = 0;
+};
+
+/// Accumulates annotations and corpus totals, then freezes them into a
+/// sorted immutable Segment. Also the merge engine: compaction feeds whole
+/// segments back through a builder to fold many small segments into one.
+class SegmentBuilder {
+ public:
+  /// Records one annotation occurrence. `name` should already be
+  /// normalized (the sink lowercases, matching AnalyzeRecords).
+  void Add(std::string_view name, uint8_t corpus, uint8_t type,
+           uint8_t method, Posting posting);
+
+  /// Accumulates per-corpus document totals (summed across calls).
+  void AddCorpusStats(uint8_t corpus, uint64_t docs, uint64_t sentences,
+                      uint64_t chars);
+
+  /// Folds an existing segment's contents into this builder.
+  void MergeSegment(const Segment& segment);
+
+  bool empty() const { return entries_.empty() && !has_stats_; }
+  uint64_t num_postings() const { return num_postings_; }
+
+  /// Sorts everything and produces the immutable segment. The builder is
+  /// left empty. Fails only on internal inconsistency.
+  Result<Segment> Finish(uint64_t id);
+
+ private:
+  struct GroupKey {
+    std::string name;
+    uint8_t corpus, type, method;
+    auto operator<=>(const GroupKey&) const = default;
+  };
+
+  std::map<GroupKey, std::vector<Posting>> entries_;
+  std::array<CorpusStats, kNumCorpora> corpus_stats_{};
+  bool has_stats_ = false;
+  uint64_t num_postings_ = 0;
+};
+
+}  // namespace wsie::store
+
+#endif  // WSIE_STORE_SEGMENT_H_

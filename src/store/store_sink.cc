@@ -1,0 +1,95 @@
+#include "store/store_sink.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "corpus/profile.h"
+
+namespace wsie::store {
+namespace {
+
+/// Index of the sentence containing character offset `begin`: the last
+/// sentence whose start is at or before it.
+uint32_t SentenceIndexFor(const dataflow::Value::Array& sentences,
+                          int64_t begin) {
+  uint32_t index = 0;
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    if (sentences[i].Field("b").AsInt() <= begin) {
+      index = static_cast<uint32_t>(i);
+    } else {
+      break;
+    }
+  }
+  return index;
+}
+
+}  // namespace
+
+Status StoreSink::ProcessSpan(std::span<const dataflow::Record> input,
+                              dataflow::Dataset* /*output*/) const {
+  for (const dataflow::Record& r : input) {
+    corpus::CorpusKind kind;
+    if (!corpus::CorpusKindFromName(r.Field("corpus").AsString(), &kind)) {
+      return Status::InvalidArgument("store_sink: record without a corpus");
+    }
+    uint8_t corpus = static_cast<uint8_t>(kind);
+    uint64_t doc_id = static_cast<uint64_t>(r.Field("id").AsInt());
+    const auto& sentences = r.Field("sentences").AsArray();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (seen_docs_.emplace(corpus, doc_id).second) {
+      builder_.AddCorpusStats(corpus, /*docs=*/1, sentences.size(),
+                              r.Field("text").AsString().size());
+    }
+    for (const dataflow::Value& ev : r.Field("entities").AsArray()) {
+      int type = EntityTypeIndexFromName(ev.Field("type").AsString());
+      int method = MethodIndexFromName(ev.Field("method").AsString());
+      if (type < 0 || method < 0) continue;  // same skip as AnalyzeRecords
+      Posting posting;
+      posting.doc_id = doc_id;
+      int64_t begin = ev.Field("b").AsInt();
+      int64_t end = ev.Field("e").AsInt();
+      posting.begin = static_cast<uint32_t>(std::max<int64_t>(0, begin));
+      posting.end = static_cast<uint32_t>(std::max<int64_t>(begin, end));
+      posting.sentence = SentenceIndexFor(sentences, begin);
+      builder_.Add(AsciiToLower(ev.Field("surface").AsString()), corpus,
+                   static_cast<uint8_t>(type), static_cast<uint8_t>(method),
+                   posting);
+    }
+  }
+  return Status::OK();
+}
+
+SegmentBuilder StoreSink::TakeBuilder() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  seen_docs_.clear();
+  return std::exchange(builder_, SegmentBuilder{});
+}
+
+Status StoreSink::FlushTo(AnnotationStore* store) const {
+  return store->Append(TakeBuilder());
+}
+
+uint64_t StoreSink::postings_accumulated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builder_.num_postings();
+}
+
+int AttachStoreSink(dataflow::Plan* plan, std::shared_ptr<StoreSink> sink,
+                    const std::string& upstream_sink) {
+  int upstream = dataflow::Plan::kInvalidNode;
+  for (size_t i = 0; i < plan->nodes().size(); ++i) {
+    if (plan->nodes()[i].sink_name == upstream_sink) {
+      upstream = static_cast<int>(i);
+      break;
+    }
+  }
+  if (upstream == dataflow::Plan::kInvalidNode) {
+    return dataflow::Plan::kInvalidNode;
+  }
+  int node = plan->AddNode(std::move(sink), {upstream});
+  plan->MarkSink(node, "stored");
+  return node;
+}
+
+}  // namespace wsie::store

@@ -1,0 +1,77 @@
+#ifndef WSIE_STORE_STORE_SINK_H_
+#define WSIE_STORE_STORE_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "dataflow/operator.h"
+#include "dataflow/plan.h"
+#include "store/annotation_store.h"
+#include "store/segment.h"
+
+namespace wsie::store {
+
+/// A dataflow sink that streams analyzed records into a SegmentBuilder:
+/// entity annotations become (term, corpus, type, method) postings with
+/// sentence indices, and per-document totals (docs/sentences/chars) become
+/// the segment's corpus stats. The extraction mirrors
+/// core::AnalyzeRecords — lowercased surfaces, identical type/method
+/// mapping, per-document stats counted once per (corpus, doc id) even when
+/// the union delivers a document through several branches — so numbers
+/// rebuilt from the store match the in-memory CorpusAnalysis exactly.
+///
+/// Thread-safety: Process entry points are called concurrently by
+/// executor workers; accumulation is mutex-protected and the builder sorts
+/// at Finish, so the produced segment is schedule-independent. Emits no
+/// output records (selectivity 0) — it taps the stream, it does not
+/// transform it. Do not combine with ExecutorConfig::max_task_retries > 0:
+/// a re-run morsel would be accumulated twice.
+class StoreSink : public dataflow::Operator {
+ public:
+  std::string name() const override { return "store_sink"; }
+  dataflow::OperatorPackage package() const override {
+    return dataflow::OperatorPackage::kBase;
+  }
+  dataflow::OperatorTraits traits() const override {
+    dataflow::OperatorTraits t;
+    t.reads = {"id", "corpus", "text", "sentences", "entities"};
+    t.selectivity = 0.0;
+    t.record_at_a_time = false;  // stateful tap: never fused or reordered
+    return t;
+  }
+
+  Status ProcessSpan(std::span<const dataflow::Record> input,
+                     dataflow::Dataset* output) const override;
+
+  /// Moves everything accumulated so far out as a builder (the sink is
+  /// left empty and reusable for the next run).
+  SegmentBuilder TakeBuilder() const;
+
+  /// Convenience: freeze the accumulated state into one segment appended
+  /// to `store`.
+  Status FlushTo(AnnotationStore* store) const;
+
+  uint64_t postings_accumulated() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable SegmentBuilder builder_;
+  /// (corpus, doc id) pairs whose document-level stats were counted.
+  mutable std::set<std::pair<uint8_t, uint64_t>> seen_docs_;
+};
+
+/// Appends a StoreSink node consuming the node marked as sink
+/// `upstream_sink` (the analysis flow's "analyzed" output). The sink node
+/// itself is marked as sink "stored" (its output is empty — the records
+/// keep flowing to the original sink untouched). Returns the new node id,
+/// or Plan::kInvalidNode when no such sink exists.
+int AttachStoreSink(dataflow::Plan* plan, std::shared_ptr<StoreSink> sink,
+                    const std::string& upstream_sink = "analyzed");
+
+}  // namespace wsie::store
+
+#endif  // WSIE_STORE_STORE_SINK_H_

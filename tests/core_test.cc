@@ -348,6 +348,55 @@ TEST_F(CoreTest, JsdBetweenCorporaSymmetric) {
   EXPECT_LE(ab, 1.0);
 }
 
+// One synthetic analyzed record carrying the given (type, method, surface)
+// entity annotations, shaped like the "analyzed" sink output.
+dataflow::Record MakeEntityRecord(
+    int64_t doc_id,
+    const std::vector<std::array<std::string, 3>>& annotations) {
+  dataflow::Record record;
+  record.SetField(kFieldId, doc_id);
+  record.SetField(kFieldText, "synthetic");
+  dataflow::Value::Array entities;
+  for (const auto& [type, method, surface] : annotations) {
+    dataflow::Value entity;
+    entity.SetField("type", type);
+    entity.SetField("method", method);
+    entity.SetField("surface", surface);
+    entity.SetField("b", 0);
+    entity.SetField("e", 1);
+    entities.push_back(std::move(entity));
+  }
+  record.SetField(kFieldEntities, dataflow::Value(std::move(entities)));
+  return record;
+}
+
+// Regression: DistinctNames(t, 0) + DistinctNames(t, 1) double-counts names
+// found by both methods; the "all methods" accessor must count the union.
+TEST(AnalyticsTest, CombinedDistinctDoesNotDoubleCount) {
+  dataflow::Dataset analyzed;
+  analyzed.push_back(MakeEntityRecord(
+      1, {{"gene", "dict", "braf"},    // found by both methods (and as an
+          {"gene", "ml", "BRAF"},      // uppercase variant: same name after
+          {"gene", "dict", "kras"}})); // normalization)
+  analyzed.push_back(MakeEntityRecord(2, {{"gene", "ml", "tp53"},
+                                          {"drug", "dict", "aspirin"},
+                                          {"bogus-type", "dict", "x"},
+                                          {"gene", "bogus-method", "y"}}));
+  CorpusAnalysis analysis =
+      AnalyzeRecords(corpus::CorpusKind::kMedline, analyzed);
+
+  EXPECT_EQ(analysis.DistinctNames(0, 0), 2u);  // braf, kras
+  EXPECT_EQ(analysis.DistinctNames(0, 1), 2u);  // braf, tp53
+  // Naive sum says 4; braf was found by both methods, so the union is 3.
+  EXPECT_EQ(analysis.DistinctNamesAllMethods(0), 3u);
+  EXPECT_EQ(analysis.DistinctNamesAllMethods(1), 1u);  // aspirin
+  EXPECT_EQ(analysis.DistinctNamesAllMethods(2), 0u);
+  // Occurrence counts survive the flat-map swap, including normalization.
+  EXPECT_EQ(analysis.names[0][0].Count("braf"), 1u);
+  EXPECT_EQ(analysis.names[0][1].Count("braf"), 1u);
+  EXPECT_GT(analysis.NameTableMemoryBytes(), 0u);
+}
+
 // -------------------------------------------------------- Meteor bridge
 
 TEST_F(CoreTest, MeteorScriptDrivesDomainOperators) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/rng.h"
@@ -14,6 +15,7 @@
 #include "ie/aho_corasick.h"
 #include "ie/dictionary_tagger.h"
 #include "ml/stats.h"
+#include "store/posting_codec.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
 #include "web/page_renderer.h"
@@ -356,6 +358,120 @@ TEST_P(StatsProperty, MwwPValueInUnitIntervalAndShiftMonotone) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Property: the posting-list codec (varint + delta) round-trips every sorted
+// posting list exactly and rejects malformed input with an error, not UB.
+
+TEST(PostingCodecProperty, VarintRoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             UINT64_MAX - 1,
+                             UINT64_MAX};
+  for (uint64_t value : values) {
+    std::string buffer;
+    store::PutVarint(&buffer, value);
+    EXPECT_LE(buffer.size(), 10u);
+    std::string_view in = buffer;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(store::GetVarint(&in, &decoded)) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(PostingCodecProperty, EmptyAndSingleLists) {
+  for (const std::vector<store::Posting>& postings :
+       {std::vector<store::Posting>{},
+        std::vector<store::Posting>{{42, 7, 100, 104}},
+        std::vector<store::Posting>{{UINT64_MAX, UINT32_MAX, 0, UINT32_MAX}}}) {
+    std::string encoded;
+    ASSERT_TRUE(store::EncodePostingList(postings, &encoded).ok());
+    std::string_view in = encoded;
+    std::vector<store::Posting> decoded;
+    ASSERT_TRUE(store::DecodePostingList(&in, &decoded).ok());
+    EXPECT_EQ(decoded, postings);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(PostingCodecProperty, MaxDeltaDocIds) {
+  // Consecutive postings as far apart as uint64 allows: delta == max.
+  std::vector<store::Posting> postings = {{0, 0, 0, 0},
+                                          {UINT64_MAX, 1, 2, 3}};
+  std::string encoded;
+  ASSERT_TRUE(store::EncodePostingList(postings, &encoded).ok());
+  std::string_view in = encoded;
+  std::vector<store::Posting> decoded;
+  ASSERT_TRUE(store::DecodePostingList(&in, &decoded).ok());
+  EXPECT_EQ(decoded, postings);
+}
+
+TEST(PostingCodecProperty, RejectsUnsortedAndInvalidSpans) {
+  std::string encoded;
+  std::vector<store::Posting> unsorted = {{5, 0, 0, 1}, {3, 0, 0, 1}};
+  EXPECT_FALSE(store::EncodePostingList(unsorted, &encoded).ok());
+  std::vector<store::Posting> bad_span = {{1, 0, 9, 4}};  // end < begin
+  EXPECT_FALSE(store::EncodePostingList(bad_span, &encoded).ok());
+}
+
+class PostingCodecSeedProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PostingCodecSeedProperty, RandomListsRoundTrip) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    std::vector<store::Posting> postings;
+    size_t n = rng.Uniform(200);
+    uint64_t doc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      doc += rng.Uniform(1000);  // non-decreasing, duplicates allowed
+      uint32_t begin = static_cast<uint32_t>(rng.Uniform(10000));
+      postings.push_back(store::Posting{
+          doc, static_cast<uint32_t>(rng.Uniform(500)), begin,
+          begin + static_cast<uint32_t>(rng.Uniform(40))});
+    }
+    // The codec contract takes fully sorted lists (<=> over all fields);
+    // equal doc ids above may carry out-of-order sentences.
+    std::sort(postings.begin(), postings.end());
+    std::string encoded;
+    ASSERT_TRUE(store::EncodePostingList(postings, &encoded).ok());
+    std::string_view in = encoded;
+    std::vector<store::Posting> decoded;
+    ASSERT_TRUE(store::DecodePostingList(&in, &decoded).ok());
+    EXPECT_EQ(decoded, postings);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST_P(PostingCodecSeedProperty, TruncationAlwaysRejectedNeverUb) {
+  Rng rng(GetParam());
+  std::vector<store::Posting> postings;
+  uint64_t doc = 0;
+  for (size_t i = 0; i < 50; ++i) {
+    doc += rng.Uniform(100) + 1;
+    uint32_t begin = static_cast<uint32_t>(rng.Uniform(1000));
+    postings.push_back(store::Posting{
+        doc, static_cast<uint32_t>(rng.Uniform(30)), begin, begin + 5});
+  }
+  std::string encoded;
+  ASSERT_TRUE(store::EncodePostingList(postings, &encoded).ok());
+  // Every strict prefix must decode to an error (list length is encoded
+  // up front, so a shortened buffer can never silently yield fewer items).
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    std::string_view in(encoded.data(), len);
+    std::vector<store::Posting> decoded;
+    EXPECT_FALSE(store::DecodePostingList(&in, &decoded).ok()) << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PostingCodecSeedProperty,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
 
 }  // namespace
 }  // namespace wsie
