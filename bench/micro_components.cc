@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "corpus/lexicon.h"
 #include "corpus/text_generator.h"
@@ -17,6 +20,22 @@
 #include "text/bag_of_words.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
+
+// Heap-allocation probe: every global operator new in this binary bumps a
+// counter, so benchmarks can report allocations-per-token for the seed vs
+// view tagger paths.
+static std::atomic<uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -89,7 +108,7 @@ void BM_DictionaryTag(benchmark::State& state) {
 }
 BENCHMARK(BM_DictionaryTag)->Arg(1 << 12)->Arg(1 << 16);
 
-void BM_CrfTag(benchmark::State& state) {
+const ie::CrfTagger& CrfBenchTagger() {
   static const ie::CrfTagger* kTagger = [] {
     auto* tagger = new ie::CrfTagger(ie::EntityType::kGene, 1 << 16);
     corpus::TextGenerator generator(
@@ -97,45 +116,138 @@ void BM_CrfTag(benchmark::State& state) {
     // Quick training on tokenized sentences without gold (labels all O) is
     // useless; reuse a tiny shape-based gold instead.
     std::vector<ie::TaggedSentence> gold;
-    text::Tokenizer tokenizer;
     for (int i = 0; i < 50; ++i) {
       auto doc = generator.GenerateDocument(i);
-      ie::TaggedSentence sentence;
-      sentence.tokens = tokenizer.Tokenize(doc.text.substr(0, 200));
-      gold.push_back(std::move(sentence));
+      // MakeTaggedSentence pins the text: tokens are views, and a temporary
+      // substr would dangle the moment it was destroyed.
+      gold.push_back(ie::MakeTaggedSentence(
+          std::string_view(doc.text).substr(0, 200)));
     }
     ml::CrfTrainOptions options;
     options.epochs = 2;
     tagger->Train(gold, options);
     return tagger;
   }();
-  std::string text = SampleText(static_cast<size_t>(state.range(0)));
-  text::Tokenizer tokenizer;
-  auto tokens = tokenizer.Tokenize(text);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kTagger->TagSentence(1, 0, text, tokens));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(tokens.size()));
+  return *kTagger;
 }
-BENCHMARK(BM_CrfTag)->Arg(256)->Arg(1024);
 
-void BM_PosTag(benchmark::State& state) {
+const nlp::PosTagger& PosBenchTagger() {
   static const nlp::PosTagger* kTagger = [] {
     auto* tagger = new nlp::PosTagger();
     tagger->TrainDefault(3, 2000);
     return tagger;
   }();
+  return *kTagger;
+}
+
+/// tokens/sec + allocations-per-token counters for the tagger benchmarks.
+/// `allocs` is the heap-probe delta over the whole timed loop.
+void SetTokenCounters(benchmark::State& state, size_t tokens_per_iter,
+                      uint64_t allocs) {
+  double tokens_done = static_cast<double>(state.iterations()) *
+                       static_cast<double>(tokens_per_iter);
+  state.SetItemsProcessed(static_cast<int64_t>(tokens_done));
+  state.counters["tokens_per_sec"] =
+      benchmark::Counter(tokens_done, benchmark::Counter::kIsRate);
+  state.counters["allocs_per_token"] =
+      benchmark::Counter(static_cast<double>(allocs) / tokens_done);
+}
+
+void BM_CrfTag(benchmark::State& state) {
+  const ie::CrfTagger& tagger = CrfBenchTagger();
   std::string text = SampleText(static_cast<size_t>(state.range(0)));
   text::Tokenizer tokenizer;
   auto tokens = tokenizer.Tokenize(text);
+  tagger.TagSentence(1, 0, text, tokens);  // warm thread-local scratch
+  uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(kTagger->TagTokens(tokens));
+    benchmark::DoNotOptimize(tagger.TagSentence(1, 0, text, tokens));
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(tokens.size()));
+  SetTokenCounters(state, tokens.size(),
+                   g_heap_allocs.load(std::memory_order_relaxed) - before);
+}
+BENCHMARK(BM_CrfTag)->Arg(256)->Arg(1024);
+
+// Seed CRF path: materialized feature strings, one heap block per position,
+// allocating Viterbi. The baseline for the hot-path speedup.
+void BM_CrfTagSeed(benchmark::State& state) {
+  const ie::CrfTagger& tagger = CrfBenchTagger();
+  std::string text = SampleText(static_cast<size_t>(state.range(0)));
+  text::Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize(text);
+  uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    std::vector<ml::PositionFeatures> features =
+        ie::ExtractNerFeatures(tokens);
+    benchmark::DoNotOptimize(tagger.model().Decode(features));
+  }
+  SetTokenCounters(state, tokens.size(),
+                   g_heap_allocs.load(std::memory_order_relaxed) - before);
+}
+BENCHMARK(BM_CrfTagSeed)->Arg(256)->Arg(1024);
+
+void BM_PosTag(benchmark::State& state) {
+  const nlp::PosTagger& tagger = PosBenchTagger();
+  std::string text = SampleText(static_cast<size_t>(state.range(0)));
+  text::Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize(text);
+  tagger.TagTokens(tokens);  // warm thread-local scratch
+  uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tagger.TagTokens(tokens));
+  }
+  SetTokenCounters(state, tokens.size(),
+                   g_heap_allocs.load(std::memory_order_relaxed) - before);
 }
 BENCHMARK(BM_PosTag)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Seed POS path: per-token string copies into the HMM's string-keyed
+// emission lookups plus per-position Viterbi allocations.
+void BM_PosTagSeed(benchmark::State& state) {
+  const nlp::PosTagger& tagger = PosBenchTagger();
+  std::string text = SampleText(static_cast<size_t>(state.range(0)));
+  text::Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize(text);
+  uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tagger.TagTokensLegacy(tokens));
+  }
+  SetTokenCounters(state, tokens.size(),
+                   g_heap_allocs.load(std::memory_order_relaxed) - before);
+}
+BENCHMARK(BM_PosTagSeed)->Arg(256)->Arg(1024)->Arg(4096);
+
+// CRF feature extraction in isolation: streamed component hashes vs the
+// seed's concatenated feature strings (identical hash output, golden-tested
+// in tests/hotpath_test.cc).
+void BM_NerFeaturesStreamed(benchmark::State& state) {
+  std::string text = SampleText(static_cast<size_t>(state.range(0)));
+  text::Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize(text);
+  ml::HashedFeatureMatrix features;
+  ie::ExtractNerFeaturesInto(tokens, &features);  // warm scratch
+  uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    ie::ExtractNerFeaturesInto(tokens, &features);
+    benchmark::DoNotOptimize(features.num_positions());
+  }
+  SetTokenCounters(state, tokens.size(),
+                   g_heap_allocs.load(std::memory_order_relaxed) - before);
+}
+BENCHMARK(BM_NerFeaturesStreamed)->Arg(256)->Arg(1024);
+
+void BM_NerFeaturesSeed(benchmark::State& state) {
+  std::string text = SampleText(static_cast<size_t>(state.range(0)));
+  text::Tokenizer tokenizer;
+  auto tokens = tokenizer.Tokenize(text);
+  uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ie::ExtractNerFeatures(tokens));
+  }
+  SetTokenCounters(state, tokens.size(),
+                   g_heap_allocs.load(std::memory_order_relaxed) - before);
+}
+BENCHMARK(BM_NerFeaturesSeed)->Arg(256)->Arg(1024);
 
 void BM_Boilerplate(benchmark::State& state) {
   std::string content = SampleText(static_cast<size_t>(state.range(0)));

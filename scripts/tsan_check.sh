@@ -4,9 +4,10 @@
 # thread pool, the fault subsystem, the crawler's checkpoint/resume path,
 # the observability layer (sharded counters, trace ring buffers), and the
 # annotation store / serving layer (snapshot swaps under compaction,
-# adversarial segment decoding). Builds into a dedicated build-tsan
-# directory and runs the ctest targets labeled `tsan`, `fault`, `obs`, or
-# `store`.
+# adversarial segment decoding), and the allocation-free NLP/IE hot path
+# (shared finalized taggers + thread-local scratch). Builds into a
+# dedicated build-tsan directory and runs the ctest targets labeled
+# `tsan`, `fault`, `obs`, `store`, or `perf`.
 # Usage: scripts/tsan_check.sh [address]  (default: thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,6 +19,6 @@ BUILD_DIR="${BUILD_DIR//address/asan}"
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
   dataflow_test thread_pool_stress_test fault_test crawler_test obs_test \
-  store_test
-(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store' --output-on-failure)
+  store_test hotpath_test
+(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store|perf' --output-on-failure)
 echo "${SANITIZER} sanitizer run passed"

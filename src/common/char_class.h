@@ -1,0 +1,84 @@
+#ifndef WSIE_COMMON_CHAR_CLASS_H_
+#define WSIE_COMMON_CHAR_CLASS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace wsie {
+
+/// Branch-free, locale-independent ASCII character classification.
+///
+/// The hot loops (tokenizer, word-boundary checks, word-shape features) used
+/// to call `std::isspace` / `std::isalnum`, which dispatch through the
+/// C-locale table of whatever libc is loaded — a per-character indirect load
+/// plus a behavioural dependency on the process locale. These 256-entry
+/// constexpr tables are a single L1-resident lookup and classify identically
+/// on every libc (bytes >= 0x80 are never word or space characters, matching
+/// the "C" locale the pipeline has always assumed).
+namespace char_class {
+
+enum : uint8_t {
+  kSpace = 1 << 0,  ///< ' ', '\t', '\n', '\v', '\f', '\r'
+  kDigit = 1 << 1,  ///< [0-9]
+  kUpper = 1 << 2,  ///< [A-Z]
+  kLower = 1 << 3,  ///< [a-z]
+  kAlpha = kUpper | kLower,
+  kAlnum = kAlpha | kDigit,
+};
+
+constexpr std::array<uint8_t, 256> BuildTable() {
+  std::array<uint8_t, 256> table{};
+  for (int c = '0'; c <= '9'; ++c) table[c] = kDigit;
+  for (int c = 'A'; c <= 'Z'; ++c) table[c] = kUpper;
+  for (int c = 'a'; c <= 'z'; ++c) table[c] = kLower;
+  table[' '] = kSpace;
+  table['\t'] = kSpace;
+  table['\n'] = kSpace;
+  table['\v'] = kSpace;
+  table['\f'] = kSpace;
+  table['\r'] = kSpace;
+  return table;
+}
+
+inline constexpr std::array<uint8_t, 256> kTable = BuildTable();
+
+}  // namespace char_class
+
+constexpr bool IsAsciiSpace(char c) {
+  return char_class::kTable[static_cast<unsigned char>(c)] &
+         char_class::kSpace;
+}
+constexpr bool IsAsciiDigit(char c) {
+  return char_class::kTable[static_cast<unsigned char>(c)] &
+         char_class::kDigit;
+}
+constexpr bool IsAsciiUpper(char c) {
+  return char_class::kTable[static_cast<unsigned char>(c)] &
+         char_class::kUpper;
+}
+constexpr bool IsAsciiLower(char c) {
+  return char_class::kTable[static_cast<unsigned char>(c)] &
+         char_class::kLower;
+}
+constexpr bool IsAsciiAlpha(char c) {
+  return char_class::kTable[static_cast<unsigned char>(c)] &
+         char_class::kAlpha;
+}
+constexpr bool IsAsciiAlnum(char c) {
+  return char_class::kTable[static_cast<unsigned char>(c)] &
+         char_class::kAlnum;
+}
+
+/// ASCII lowercase of one character (identity for non-letters).
+constexpr char AsciiLowerChar(char c) {
+  return IsAsciiUpper(c) ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// ASCII uppercase of one character (identity for non-letters).
+constexpr char AsciiUpperChar(char c) {
+  return IsAsciiLower(c) ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+}  // namespace wsie
+
+#endif  // WSIE_COMMON_CHAR_CLASS_H_

@@ -1,7 +1,8 @@
 #include "common/string_util.h"
 
-#include <cctype>
 #include <cstdio>
+
+#include "common/char_class.h"
 
 namespace wsie {
 
@@ -21,10 +22,10 @@ std::vector<std::string> SplitWhitespace(std::string_view text) {
   std::vector<std::string> out;
   size_t i = 0;
   while (i < text.size()) {
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+    while (i < text.size() && IsAsciiSpace(text[i]))
       ++i;
     size_t start = i;
-    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])))
+    while (i < text.size() && !IsAsciiSpace(text[i]))
       ++i;
     if (i > start) out.emplace_back(text.substr(start, i - start));
   }
@@ -43,23 +44,23 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
 std::string_view StripAsciiWhitespace(std::string_view text) {
   size_t begin = 0;
   while (begin < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[begin])))
+         IsAsciiSpace(text[begin]))
     ++begin;
   size_t end = text.size();
-  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+  while (end > begin && IsAsciiSpace(text[end - 1]))
     --end;
   return text.substr(begin, end - begin);
 }
 
 std::string AsciiToLower(std::string_view text) {
   std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) c = AsciiLowerChar(c);
   return out;
 }
 
 std::string AsciiToUpper(std::string_view text) {
   std::string out(text);
-  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (char& c : out) c = AsciiUpperChar(c);
   return out;
 }
 
@@ -76,9 +77,7 @@ bool EndsWith(std::string_view text, std::string_view suffix) {
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i])))
-      return false;
+    if (AsciiLowerChar(a[i]) != AsciiLowerChar(b[i])) return false;
   }
   return true;
 }
@@ -86,7 +85,7 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
 bool IsAllAlpha(std::string_view text) {
   if (text.empty()) return false;
   for (char c : text) {
-    if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+    if (!IsAsciiAlpha(c)) return false;
   }
   return true;
 }
@@ -94,14 +93,14 @@ bool IsAllAlpha(std::string_view text) {
 bool IsAllUpper(std::string_view text) {
   if (text.empty()) return false;
   for (char c : text) {
-    if (!std::isupper(static_cast<unsigned char>(c))) return false;
+    if (!IsAsciiUpper(c)) return false;
   }
   return true;
 }
 
 bool ContainsDigit(std::string_view text) {
   for (char c : text) {
-    if (std::isdigit(static_cast<unsigned char>(c))) return true;
+    if (IsAsciiDigit(c)) return true;
   }
   return false;
 }

@@ -1,5 +1,6 @@
 #include "core/analysis_context.h"
 
+#include <memory>
 #include <mutex>
 
 #include "corpus/text_generator.h"
@@ -60,10 +61,14 @@ std::vector<ie::TaggedSentence> AnalysisContext::MakeGoldSentences(
   uint64_t doc_id = 0;
   while (sentences.size() < num_sentences) {
     corpus::Document doc = generator.GenerateDocument(doc_id++);
-    for (const text::SentenceSpan& span : splitter.Split(doc.text)) {
+    // Pin the document text: tokens are string_views into this buffer, so
+    // every TaggedSentence cut from the document shares ownership of it.
+    auto buffer = std::make_shared<const std::string>(std::move(doc.text));
+    for (const text::SentenceSpan& span : splitter.Split(*buffer)) {
       std::string_view sentence_text =
-          std::string_view(doc.text).substr(span.begin, span.length());
+          std::string_view(*buffer).substr(span.begin, span.length());
       ie::TaggedSentence tagged;
+      tagged.buffer = buffer;
       tagged.tokens = tokenizer.Tokenize(sentence_text, span.begin);
       if (tagged.tokens.empty()) continue;
       std::vector<const corpus::GoldEntity*> gold;

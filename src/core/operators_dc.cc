@@ -3,6 +3,7 @@
 #include <mutex>
 #include <span>
 
+#include "core/record_sentences.h"
 #include "ie/relation_extractor.h"
 
 namespace wsie::core {
@@ -171,6 +172,7 @@ class ExtractRelationsOp : public RecordOperator {
 
     Value::Array relations;
     uint32_t sentence_id = 0;
+    thread_local std::vector<text::Token> token_scratch;
     for (const Value& sv : record.Field(kFieldSentences).AsArray()) {
       size_t begin = static_cast<size_t>(sv.Field("b").AsInt());
       size_t end = static_cast<size_t>(sv.Field("e").AsInt());
@@ -180,9 +182,12 @@ class ExtractRelationsOp : public RecordOperator {
         if (a.begin >= begin && a.end <= end) in_sentence.push_back(a);
       }
       if (in_sentence.size() >= 2) {
+        // Reuse the stored sentence tokenization for the negation check
+        // instead of re-tokenizing inside the extractor.
+        DecodeSentenceTokens(text, sv, &token_scratch);
         for (ie::Relation& rel : extractor_.ExtractFromSentence(
                  std::string_view(text).substr(begin, end - begin), begin,
-                 in_sentence)) {
+                 in_sentence, token_scratch)) {
           if (rel.confidence < min_confidence_) continue;
           Value rv;
           rv.SetField("type", std::string(ie::RelationTypeName(rel.type)));

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <mutex>
+#include <utility>
 
 #include "common/string_util.h"
+#include "core/record_sentences.h"
 #include "html/boilerplate.h"
 #include "html/html_repair.h"
 #include "obs/metrics.h"
@@ -33,27 +35,13 @@ Value AnnotationValue(const ie::Annotation& a) {
   return v;
 }
 
-/// Iterates the record's sentences, materializing tokens for each.
+/// Iterates the record's sentences with zero-copy view tokens (see
+/// core/record_sentences.h). Kept as a thin alias so the operator bodies
+/// read the same as before the allocation-free rewrite.
 template <typename Fn>
 void ForEachSentence(const AnalysisContext& context, const Record& doc,
                      Fn&& fn) {
-  const std::string& text = doc.Field(kFieldText).AsString();
-  uint32_t sentence_id = 0;
-  for (const Value& sv : doc.Field(kFieldSentences).AsArray()) {
-    size_t begin = static_cast<size_t>(sv.Field("b").AsInt());
-    size_t end = static_cast<size_t>(sv.Field("e").AsInt());
-    if (end > text.size() || begin >= end) continue;
-    std::vector<text::Token> tokens;
-    for (const Value& tv : sv.Field("tokens").AsArray()) {
-      size_t tb = static_cast<size_t>(tv.Field("b").AsInt());
-      size_t te = static_cast<size_t>(tv.Field("e").AsInt());
-      if (te > text.size() || tb >= te) continue;
-      tokens.push_back(
-          text::Token{text.substr(tb, te - tb), tb, te});
-    }
-    fn(sentence_id, begin, end, tokens);
-    ++sentence_id;
-  }
+  ForEachSentenceTokens(doc, std::forward<Fn>(fn));
   (void)context;
 }
 
@@ -145,8 +133,9 @@ class AnnotateSentencesOp : public RecordOperator {
         documents_(obs::MetricsRegistry::Global().GetCounter(
             obs::WithLabel("wsie.nlp.documents", "op", "annotate_sentences"))),
         sentences_(obs::MetricsRegistry::Global().GetCounter(
-            obs::WithLabel("wsie.nlp.sentences", "op", "annotate_sentences"))) {
-  }
+            obs::WithLabel("wsie.nlp.sentences", "op", "annotate_sentences"))),
+        tokens_(obs::MetricsRegistry::Global().GetCounter(
+            obs::WithLabel("wsie.nlp.tokens", "op", "annotate_sentences"))) {}
   std::string name() const override { return "annotate_sentences"; }
   OperatorPackage package() const override { return OperatorPackage::kIe; }
   OperatorTraits traits() const override {
@@ -161,24 +150,34 @@ class AnnotateSentencesOp : public RecordOperator {
   Status TransformRecord(Record record, Dataset* out) const override {
     const std::string& text = record.Field(kFieldText).AsString();
     Value::Array sentences;
+    // Tokenization happens exactly once per sentence here; every downstream
+    // operator re-materializes view tokens from the stored offsets instead
+    // of re-tokenizing (tentpole dedup). The scratch vector is reused across
+    // sentences and records.
+    thread_local std::vector<text::Token> token_scratch;
+    size_t token_count = 0;
     for (const text::SentenceSpan& span : context_->splitter().Split(text)) {
       Value sv;
       sv.SetField("b", static_cast<int64_t>(span.begin));
       sv.SetField("e", static_cast<int64_t>(span.end));
+      context_->tokenizer().TokenizeInto(
+          std::string_view(text).substr(span.begin, span.length()), span.begin,
+          &token_scratch);
       Value::Array token_array;
-      for (const text::Token& tok : context_->tokenizer().Tokenize(
-               std::string_view(text).substr(span.begin, span.length()),
-               span.begin)) {
+      token_array.reserve(token_scratch.size());
+      for (const text::Token& tok : token_scratch) {
         Value tv;
         tv.SetField("b", static_cast<int64_t>(tok.begin));
         tv.SetField("e", static_cast<int64_t>(tok.end));
         token_array.push_back(std::move(tv));
       }
+      token_count += token_scratch.size();
       sv.SetField("tokens", Value(std::move(token_array)));
       sentences.push_back(std::move(sv));
     }
     documents_->Increment();
     sentences_->Add(sentences.size());
+    tokens_->Add(token_count);
     record.SetField(kFieldSentences, Value(std::move(sentences)));
     out->push_back(std::move(record));
     return Status::OK();
@@ -188,6 +187,7 @@ class AnnotateSentencesOp : public RecordOperator {
   ContextPtr context_;
   obs::Counter* documents_;
   obs::Counter* sentences_;
+  obs::Counter* tokens_;
 };
 
 class AnnotatePosOp : public RecordOperator {
@@ -259,11 +259,11 @@ class LinguisticOpBase : public RecordOperator {
     const std::string& text = record.Field(kFieldText).AsString();
     ForEachSentence(*context_, record,
                     [&](uint32_t sid, size_t begin, size_t end,
-                        const std::vector<text::Token>&) {
+                        const std::vector<text::Token>& tokens) {
                       std::string_view sentence =
                           std::string_view(text).substr(begin, end - begin);
                       for (const ie::Annotation& a :
-                           Extract(doc_id, sid, sentence, begin)) {
+                           Extract(doc_id, sid, sentence, begin, tokens)) {
                         ling.push_back(AnnotationValue(a));
                       }
                     });
@@ -273,9 +273,12 @@ class LinguisticOpBase : public RecordOperator {
     return Status::OK();
   }
 
-  virtual std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
-                                              std::string_view sentence,
-                                              size_t base) const = 0;
+  /// `tokens` is the shared sentence tokenization (view slices of the
+  /// record text); token-driven extractors consume it directly instead of
+  /// re-tokenizing, character-driven ones ignore it.
+  virtual std::vector<ie::Annotation> Extract(
+      uint64_t doc_id, uint32_t sid, std::string_view sentence, size_t base,
+      const std::vector<text::Token>& tokens) const = 0;
 
   /// Lazily resolved (name() is virtual, so the label is not known in the
   /// base constructor); thread-safe via call_once.
@@ -298,10 +301,10 @@ class FindNegationOp : public LinguisticOpBase {
   std::string name() const override { return "find_negation"; }
 
  protected:
-  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
-                                      std::string_view sentence,
-                                      size_t base) const override {
-    return context_->linguistic().FindNegations(doc_id, sid, sentence, base);
+  std::vector<ie::Annotation> Extract(
+      uint64_t doc_id, uint32_t sid, std::string_view /*sentence*/,
+      size_t /*base*/, const std::vector<text::Token>& tokens) const override {
+    return context_->linguistic().FindNegations(doc_id, sid, tokens);
   }
 };
 
@@ -311,10 +314,10 @@ class FindPronounsOp : public LinguisticOpBase {
   std::string name() const override { return "find_pronouns"; }
 
  protected:
-  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
-                                      std::string_view sentence,
-                                      size_t base) const override {
-    return context_->linguistic().FindPronouns(doc_id, sid, sentence, base);
+  std::vector<ie::Annotation> Extract(
+      uint64_t doc_id, uint32_t sid, std::string_view /*sentence*/,
+      size_t /*base*/, const std::vector<text::Token>& tokens) const override {
+    return context_->linguistic().FindPronouns(doc_id, sid, tokens);
   }
 };
 
@@ -324,9 +327,9 @@ class FindParenthesesOp : public LinguisticOpBase {
   std::string name() const override { return "find_parentheses"; }
 
  protected:
-  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
-                                      std::string_view sentence,
-                                      size_t base) const override {
+  std::vector<ie::Annotation> Extract(
+      uint64_t doc_id, uint32_t sid, std::string_view sentence, size_t base,
+      const std::vector<text::Token>& /*tokens*/) const override {
     return context_->linguistic().FindParentheses(doc_id, sid, sentence, base);
   }
 };
@@ -337,9 +340,9 @@ class FindAbbreviationsOp : public LinguisticOpBase {
   std::string name() const override { return "find_abbreviations"; }
 
  protected:
-  std::vector<ie::Annotation> Extract(uint64_t doc_id, uint32_t sid,
-                                      std::string_view sentence,
-                                      size_t base) const override {
+  std::vector<ie::Annotation> Extract(
+      uint64_t doc_id, uint32_t sid, std::string_view sentence, size_t base,
+      const std::vector<text::Token>& /*tokens*/) const override {
     return context_->abbreviations().FindAsAnnotations(doc_id, sid, sentence,
                                                        base);
   }
@@ -378,11 +381,22 @@ class AnnotateEntitiesDictOp : public RecordOperator {
   Status TransformRecord(Record record, Dataset* out) const override {
     const ie::DictionaryTagger& tagger = context_->dictionary_tagger(type_);
     Value::Array entities = record.Field(kFieldEntities).AsArray();
-    uint64_t doc_id = static_cast<uint64_t>(record.Field(kFieldId).AsInt());
+    const std::string& text = record.Field(kFieldText).AsString();
     const size_t entities_before = entities.size();
-    for (const ie::Annotation& a :
-         tagger.Tag(doc_id, record.Field(kFieldText).AsString())) {
-      entities.push_back(AnnotationValue(a));
+    // Offset-only hot path: the automaton emits spans over the record text;
+    // the surface string is sliced once here, when the record field is
+    // built, instead of materializing intermediate Annotation objects.
+    thread_local std::vector<ie::AutomatonMatch> spans;
+    tagger.TagSpans(text, &spans);
+    for (const ie::AutomatonMatch& m : spans) {
+      Value v;
+      v.SetField("b", static_cast<int64_t>(m.begin));
+      v.SetField("e", static_cast<int64_t>(m.end));
+      v.SetField("type", std::string(ie::EntityTypeName(type_)));
+      v.SetField("method", std::string(ie::AnnotationMethodName(
+                               ie::AnnotationMethod::kDictionary)));
+      v.SetField("surface", std::string(text, m.begin, m.end - m.begin));
+      entities.push_back(std::move(v));
     }
     entities_->Add(entities.size() - entities_before);
     record.SetField(kFieldEntities, Value(std::move(entities)));

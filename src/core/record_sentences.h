@@ -1,0 +1,56 @@
+#ifndef WSIE_CORE_RECORD_SENTENCES_H_
+#define WSIE_CORE_RECORD_SENTENCES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/operators_ie.h"
+#include "dataflow/value.h"
+#include "text/token.h"
+
+namespace wsie::core {
+
+/// Decodes one sentence's token offsets from its record Value into
+/// non-owning view tokens over `text`. `*tokens` is cleared first; invalid
+/// offsets (out of range or empty) are skipped, matching the pipeline's
+/// historical skip semantics. The views alias `text` — they are valid only
+/// while the record's text field stays in place.
+inline void DecodeSentenceTokens(const std::string& text,
+                                 const dataflow::Value& sentence_value,
+                                 std::vector<text::Token>* tokens) {
+  tokens->clear();
+  for (const dataflow::Value& tv : sentence_value.Field("tokens").AsArray()) {
+    size_t tb = static_cast<size_t>(tv.Field("b").AsInt());
+    size_t te = static_cast<size_t>(tv.Field("e").AsInt());
+    if (te > text.size() || tb >= te) continue;
+    tokens->push_back(
+        text::Token{std::string_view(text.data() + tb, te - tb), tb, te});
+  }
+}
+
+/// Iterates the record's sentences, decoding each sentence's tokens as
+/// string_view slices of the record's text (zero copies, zero per-token
+/// allocations). The token vector is a reused thread-local scratch buffer:
+/// `fn` must not retain the reference past its own invocation.
+///
+///   fn(sentence_id, begin, end, const std::vector<text::Token>& tokens)
+template <typename Fn>
+void ForEachSentenceTokens(const dataflow::Record& doc, Fn&& fn) {
+  const std::string& text = doc.Field(kFieldText).AsString();
+  thread_local std::vector<text::Token> tokens;
+  uint32_t sentence_id = 0;
+  for (const dataflow::Value& sv : doc.Field(kFieldSentences).AsArray()) {
+    size_t begin = static_cast<size_t>(sv.Field("b").AsInt());
+    size_t end = static_cast<size_t>(sv.Field("e").AsInt());
+    if (end > text.size() || begin >= end) continue;
+    DecodeSentenceTokens(text, sv, &tokens);
+    fn(sentence_id, begin, end,
+       static_cast<const std::vector<text::Token>&>(tokens));
+    ++sentence_id;
+  }
+}
+
+}  // namespace wsie::core
+
+#endif  // WSIE_CORE_RECORD_SENTENCES_H_

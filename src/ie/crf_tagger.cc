@@ -1,9 +1,10 @@
 #include "ie/crf_tagger.h"
 
 #include <algorithm>
-#include <cctype>
 
+#include "common/char_class.h"
 #include "common/string_util.h"
+#include "text/tokenizer.h"
 
 namespace wsie::ie {
 namespace {
@@ -12,21 +13,17 @@ constexpr int kLabelO = 0;
 constexpr int kLabelB = 1;
 constexpr int kLabelI = 2;
 
+constexpr char ShapeChar(char c) {
+  if (IsAsciiUpper(c)) return 'A';
+  if (IsAsciiLower(c)) return 'a';
+  if (IsAsciiDigit(c)) return '0';
+  return '-';
+}
+
 std::string WordShape(std::string_view token) {
   std::string shape;
   shape.reserve(token.size());
-  for (char c : token) {
-    unsigned char u = static_cast<unsigned char>(c);
-    if (std::isupper(u)) {
-      shape.push_back('A');
-    } else if (std::islower(u)) {
-      shape.push_back('a');
-    } else if (std::isdigit(u)) {
-      shape.push_back('0');
-    } else {
-      shape.push_back('-');
-    }
-  }
+  for (char c : token) shape.push_back(ShapeChar(c));
   return shape;
 }
 
@@ -57,13 +54,145 @@ void AddTokenFeatures(const std::string& prefix, std::string_view token,
   if (token.find('-') != std::string_view::npos)
     out.push_back(ml::HashFeature(prefix + "hashyphen"));
   if (wsie::IsAllUpper(token)) out.push_back(ml::HashFeature(prefix + "allcaps"));
-  if (!token.empty() && std::isupper(static_cast<unsigned char>(token[0])))
+  if (!token.empty() && IsAsciiUpper(token[0]))
     out.push_back(ml::HashFeature(prefix + "initcap"));
   size_t bucket = token.size() <= 2   ? 2
                   : token.size() <= 4 ? 4
                   : token.size() <= 8 ? 8
                                       : 9;
   out.push_back(ml::HashFeature(prefix + "len=" + std::to_string(bucket)));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming (allocation-free) feature extraction.
+//
+// Every feature template is "<prefix><name>=<payload>" hashed with FNV-1a.
+// FNV-1a folds bytes left-to-right, so the hash of the concatenation equals
+// continuing the hash of the fixed prefix over the payload bytes. All fixed
+// parts are folded at compile time into seeds below; per token we fold the
+// payload bytes ONCE for all three context prefixes simultaneously, and
+// fixed-payload features (indicator flags, length buckets, BOS/EOS) are
+// full compile-time constants. Result: zero strings built, hashes
+// byte-identical to AddTokenFeatures (golden-tested in hotpath_test.cc).
+// ---------------------------------------------------------------------------
+
+struct PrefixSeeds {
+  uint64_t w = 0, lw = 0, sh = 0, csh = 0, pre = 0, suf = 0;
+  uint64_t hasdigit = 0, hashyphen = 0, allcaps = 0, initcap = 0;
+  uint64_t len[4] = {0, 0, 0, 0};  // buckets 2, 4, 8, 9
+};
+
+constexpr PrefixSeeds MakeSeeds(std::string_view prefix) {
+  PrefixSeeds s;
+  const uint64_t p = ml::HashFeatureSeed(ml::kFnvOffsetBasis, prefix);
+  s.w = ml::HashFeatureSeed(p, "w=");
+  s.lw = ml::HashFeatureSeed(p, "lw=");
+  s.sh = ml::HashFeatureSeed(p, "sh=");
+  s.csh = ml::HashFeatureSeed(p, "csh=");
+  s.pre = ml::HashFeatureSeed(p, "pre=");
+  s.suf = ml::HashFeatureSeed(p, "suf=");
+  s.hasdigit = ml::HashFeatureSeed(p, "hasdigit");
+  s.hashyphen = ml::HashFeatureSeed(p, "hashyphen");
+  s.allcaps = ml::HashFeatureSeed(p, "allcaps");
+  s.initcap = ml::HashFeatureSeed(p, "initcap");
+  s.len[0] = ml::HashFeatureSeed(p, "len=2");
+  s.len[1] = ml::HashFeatureSeed(p, "len=4");
+  s.len[2] = ml::HashFeatureSeed(p, "len=8");
+  s.len[3] = ml::HashFeatureSeed(p, "len=9");
+  return s;
+}
+
+// Context prefixes, in emission-slot order: focus, previous, next.
+constexpr PrefixSeeds kSeeds[3] = {MakeSeeds(""), MakeSeeds("p1:"),
+                                   MakeSeeds("n1:")};
+constexpr uint64_t kBosHash = ml::HashFeatureSeed(ml::kFnvOffsetBasis, "BOS");
+constexpr uint64_t kEosHash = ml::HashFeatureSeed(ml::kFnvOffsetBasis, "EOS");
+constexpr uint64_t kC3Seed = ml::HashFeatureSeed(ml::kFnvOffsetBasis, "c3=");
+constexpr uint64_t kP2wSeed = ml::HashFeatureSeed(ml::kFnvOffsetBasis, "p2w=");
+constexpr uint64_t kN2wSeed = ml::HashFeatureSeed(ml::kFnvOffsetBasis, "n2w=");
+
+/// All prefix-continued hashes for one token, computed in a single pass
+/// over its bytes and reused wherever the token appears as focus / p1 / n1 /
+/// p2w / n2w context (the seed path recomputed lower/shape per appearance).
+struct TokenHashes {
+  uint64_t w[3], lw[3], sh[3], csh[3];
+  uint64_t pre[3][3], suf[3][3];  // [prefix][affix_len - 2]
+  uint64_t p2w, n2w;
+  uint8_t num_affix;       // valid entries in pre/suf (lengths 2..4)
+  uint8_t len_bucket_idx;  // index into PrefixSeeds::len
+  bool hasdigit, hashyphen, allcaps, initcap;
+};
+
+void ComputeTokenHashes(std::string_view token, TokenHashes* out) {
+  for (int p = 0; p < 3; ++p) {
+    out->w[p] = kSeeds[p].w;
+    out->lw[p] = kSeeds[p].lw;
+    out->sh[p] = kSeeds[p].sh;
+    out->csh[p] = kSeeds[p].csh;
+  }
+  out->p2w = kP2wSeed;
+  out->n2w = kN2wSeed;
+  out->hasdigit = false;
+  out->hashyphen = false;
+  out->allcaps = !token.empty();
+  out->initcap = !token.empty() && IsAsciiUpper(token[0]);
+  char last_shape = '\0';
+  for (char c : token) {
+    const char lc = AsciiLowerChar(c);
+    const char sc = ShapeChar(c);
+    for (int p = 0; p < 3; ++p) {
+      out->w[p] = ml::HashFeatureChar(out->w[p], c);
+      out->lw[p] = ml::HashFeatureChar(out->lw[p], lc);
+      out->sh[p] = ml::HashFeatureChar(out->sh[p], sc);
+    }
+    if (sc != last_shape) {
+      for (int p = 0; p < 3; ++p) {
+        out->csh[p] = ml::HashFeatureChar(out->csh[p], sc);
+      }
+      last_shape = sc;
+    }
+    out->p2w = ml::HashFeatureChar(out->p2w, lc);
+    out->n2w = ml::HashFeatureChar(out->n2w, lc);
+    out->hasdigit |= IsAsciiDigit(c);
+    out->hashyphen |= c == '-';
+    out->allcaps &= IsAsciiUpper(c);
+  }
+  const size_t max_affix = std::min<size_t>(4, token.size());
+  out->num_affix = max_affix >= 2 ? static_cast<uint8_t>(max_affix - 1) : 0;
+  for (int p = 0; p < 3; ++p) {
+    uint64_t h = kSeeds[p].pre;
+    for (size_t i = 0; i < max_affix; ++i) {
+      h = ml::HashFeatureChar(h, token[i]);
+      if (i >= 1) out->pre[p][i - 1] = h;
+    }
+    for (size_t len = 2; len <= max_affix; ++len) {
+      out->suf[p][len - 2] =
+          ml::HashFeatureSeed(kSeeds[p].suf, token.substr(token.size() - len));
+    }
+  }
+  out->len_bucket_idx = token.size() <= 2   ? 0
+                        : token.size() <= 4 ? 1
+                        : token.size() <= 8 ? 2
+                                            : 3;
+}
+
+/// Emits the AddTokenFeatures-equivalent hashes for context slot `p`
+/// (0=focus, 1=p1:, 2=n1:), in the exact seed-path feature order.
+void EmitTokenFeatures(const TokenHashes& h, int p,
+                       ml::HashedFeatureMatrix* out) {
+  out->Add(h.w[p]);
+  out->Add(h.lw[p]);
+  out->Add(h.sh[p]);
+  out->Add(h.csh[p]);
+  for (int a = 0; a < h.num_affix; ++a) {
+    out->Add(h.pre[p][a]);
+    out->Add(h.suf[p][a]);
+  }
+  if (h.hasdigit) out->Add(kSeeds[p].hasdigit);
+  if (h.hashyphen) out->Add(kSeeds[p].hashyphen);
+  if (h.allcaps) out->Add(kSeeds[p].allcaps);
+  if (h.initcap) out->Add(kSeeds[p].initcap);
+  out->Add(kSeeds[p].len[h.len_bucket_idx]);
 }
 
 }  // namespace
@@ -77,9 +206,9 @@ std::vector<ml::PositionFeatures> ExtractNerFeatures(
     AddTokenFeatures("", tokens[i].text, f);
     // Internal character trigrams of the focus token (BANNER-style char
     // n-gram features; important for morphology-heavy biomedical names).
-    const std::string& w = tokens[i].text;
+    std::string_view w = tokens[i].text;
     for (size_t c = 0; c + 3 <= w.size(); ++c) {
-      f.push_back(ml::HashFeature("c3=" + w.substr(c, 3)));
+      f.push_back(ml::HashFeature("c3=" + std::string(w.substr(c, 3))));
     }
     if (i > 0) {
       AddTokenFeatures("p1:", tokens[i - 1].text, f);
@@ -100,6 +229,46 @@ std::vector<ml::PositionFeatures> ExtractNerFeatures(
     }
   }
   return features;
+}
+
+void ExtractNerFeaturesInto(const std::vector<text::Token>& tokens,
+                            ml::HashedFeatureMatrix* out) {
+  thread_local std::vector<TokenHashes> token_hashes;
+  const size_t n = tokens.size();
+  if (token_hashes.size() < n) token_hashes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    ComputeTokenHashes(tokens[i].text, &token_hashes[i]);
+  }
+  out->Reset();
+  for (size_t i = 0; i < n; ++i) {
+    EmitTokenFeatures(token_hashes[i], 0, out);
+    std::string_view w = tokens[i].text;
+    for (size_t c = 0; c + 3 <= w.size(); ++c) {
+      out->Add(ml::HashFeatureSeed(kC3Seed, w.substr(c, 3)));
+    }
+    if (i > 0) {
+      EmitTokenFeatures(token_hashes[i - 1], 1, out);
+    } else {
+      out->Add(kBosHash);
+    }
+    if (i + 1 < n) {
+      EmitTokenFeatures(token_hashes[i + 1], 2, out);
+    } else {
+      out->Add(kEosHash);
+    }
+    if (i > 1) out->Add(token_hashes[i - 2].p2w);
+    if (i + 2 < n) out->Add(token_hashes[i + 2].n2w);
+    out->FinishPosition();
+  }
+}
+
+TaggedSentence MakeTaggedSentence(std::string_view sentence_text) {
+  static const text::Tokenizer tokenizer;
+  TaggedSentence sentence;
+  auto buffer = std::make_shared<const std::string>(sentence_text);
+  sentence.tokens = tokenizer.Tokenize(*buffer);
+  sentence.buffer = std::move(buffer);
+  return sentence;
 }
 
 CrfTagger::CrfTagger(EntityType type, size_t feature_dim)
@@ -129,7 +298,14 @@ std::vector<Annotation> CrfTagger::TagSentence(
     const std::vector<text::Token>& tokens) const {
   std::vector<Annotation> annotations;
   if (tokens.empty()) return annotations;
-  std::vector<int> labels = crf_.Decode(ExtractNerFeatures(tokens));
+  // Hot path: stream features into a flat matrix and Viterbi-decode with
+  // reused per-thread scratch — no allocation per sentence at steady state
+  // (beyond the returned annotations themselves).
+  thread_local ml::HashedFeatureMatrix features;
+  thread_local ml::LinearChainCrf::DecodeScratch decode_scratch;
+  thread_local std::vector<int> labels;
+  ExtractNerFeaturesInto(tokens, &features);
+  crf_.Decode(features, &decode_scratch, &labels);
   size_t i = 0;
   while (i < labels.size()) {
     if (labels[i] != kLabelB && labels[i] != kLabelI) {
@@ -150,9 +326,10 @@ std::vector<Annotation> CrfTagger::TagSentence(
       a.surface = std::string(doc_text.substr(a.begin, a.end - a.begin));
     } else {
       // Offsets relative to a sentence slice: recover from token texts.
-      a.surface = tokens[begin].text;
+      a.surface = std::string(tokens[begin].text);
       for (size_t t = begin + 1; t < i; ++t) {
-        a.surface += " " + tokens[t].text;
+        a.surface += ' ';
+        a.surface += tokens[t].text;
       }
     }
     annotations.push_back(std::move(a));

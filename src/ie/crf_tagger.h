@@ -20,10 +20,21 @@ struct GoldSpan {
 };
 
 /// One training sentence for an ML tagger: its tokens plus gold spans.
+///
+/// Tokens are views; `buffer`, when set, pins the text they point into so a
+/// TaggedSentence can outlive (and be moved independently of) the document
+/// it was tokenized from. A heap-owned std::string keeps its character array
+/// stable across moves of the shared_ptr, so the views stay valid.
 struct TaggedSentence {
   std::vector<text::Token> tokens;
   std::vector<GoldSpan> spans;
+  std::shared_ptr<const std::string> buffer;
 };
+
+/// Pins `sentence_text` in a fresh TaggedSentence and tokenizes it. The
+/// canonical way to build a self-owning tagged sentence (training corpora,
+/// tests).
+TaggedSentence MakeTaggedSentence(std::string_view sentence_text);
 
 /// Orthographic feature extractor shared by all CRF taggers.
 ///
@@ -32,8 +43,21 @@ struct TaggedSentence {
 /// of length 2..4, digit/hyphen/case indicators, token length bucket, and
 /// the same set for the +-1 context tokens. Feature strings are hashed
 /// (ml::HashFeature) into the CRF's weight space.
+///
+/// This is the SEED reference implementation: it materializes every feature
+/// string before hashing. Kept for training-time use, the golden equality
+/// test, and the seed-vs-view bench gate.
 std::vector<ml::PositionFeatures> ExtractNerFeatures(
     const std::vector<text::Token>& tokens);
+
+/// Allocation-free extractor for the decode hot path: streams precomputed
+/// per-token component hashes (FNV prefix-seed continuation) into `*out`,
+/// materializing no feature strings. Emits hashes byte-identical to
+/// ExtractNerFeatures, in the same order (golden-tested), so decoded
+/// annotations do not change. Reuses thread-local scratch; safe to call
+/// concurrently from multiple threads.
+void ExtractNerFeaturesInto(const std::vector<text::Token>& tokens,
+                            ml::HashedFeatureMatrix* out);
 
 /// CRF-based named entity tagger with BIO encoding (the ML method of the
 /// paper: BANNER for genes, ChemSpot's CRF for drugs, a Mallet-based tool

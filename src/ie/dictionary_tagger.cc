@@ -1,7 +1,6 @@
 #include "ie/dictionary_tagger.h"
 
-#include <cctype>
-
+#include "common/char_class.h"
 #include "common/stopwatch.h"
 
 namespace wsie::ie {
@@ -28,18 +27,16 @@ DictionaryTagger::DictionaryTagger(EntityType type,
 
 bool DictionaryTagger::IsWordBoundary(std::string_view text, size_t begin,
                                       size_t end) {
-  auto is_word = [](char c) {
-    return std::isalnum(static_cast<unsigned char>(c));
-  };
-  if (begin > 0 && is_word(text[begin - 1]) && is_word(text[begin]))
+  if (begin > 0 && IsAsciiAlnum(text[begin - 1]) && IsAsciiAlnum(text[begin]))
     return false;
-  if (end < text.size() && is_word(text[end - 1]) && is_word(text[end]))
+  if (end < text.size() && IsAsciiAlnum(text[end - 1]) &&
+      IsAsciiAlnum(text[end]))
     return false;
   return true;
 }
 
-std::vector<Annotation> DictionaryTagger::Tag(uint64_t doc_id,
-                                              std::string_view doc_text) const {
+void DictionaryTagger::TagSpans(std::string_view doc_text,
+                                std::vector<AutomatonMatch>* out) const {
   std::vector<AutomatonMatch> raw = automaton_.FindAll(doc_text);
   // Word-boundary filter before longest-match resolution.
   std::vector<AutomatonMatch> bounded;
@@ -48,7 +45,13 @@ std::vector<Annotation> DictionaryTagger::Tag(uint64_t doc_id,
     if (m.end - m.begin < kMinMentionLength) continue;
     if (IsWordBoundary(doc_text, m.begin, m.end)) bounded.push_back(m);
   }
-  std::vector<AutomatonMatch> kept = AhoCorasick::KeepLongest(std::move(bounded));
+  *out = AhoCorasick::KeepLongest(std::move(bounded));
+}
+
+std::vector<Annotation> DictionaryTagger::Tag(uint64_t doc_id,
+                                              std::string_view doc_text) const {
+  std::vector<AutomatonMatch> kept;
+  TagSpans(doc_text, &kept);
   std::vector<Annotation> annotations;
   annotations.reserve(kept.size());
   for (const auto& m : kept) {

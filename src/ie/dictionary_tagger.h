@@ -41,6 +41,14 @@ class DictionaryTagger {
   /// sentence ids are left 0 (assigned downstream by the pipeline).
   std::vector<Annotation> Tag(uint64_t doc_id, std::string_view doc_text) const;
 
+  /// Offset-only hot path: runs the automaton over the pinned document
+  /// buffer and appends boundary/length-filtered longest matches to `*out`
+  /// (cleared first) WITHOUT materializing surface strings — callers slice
+  /// `doc_text` with the returned offsets. Filtering and match resolution
+  /// are identical to Tag().
+  void TagSpans(std::string_view doc_text,
+                std::vector<AutomatonMatch>* out) const;
+
   const DictionaryBuildStats& build_stats() const { return build_stats_; }
   EntityType entity_type() const { return type_; }
 

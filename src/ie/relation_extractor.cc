@@ -1,8 +1,8 @@
 #include "ie/relation_extractor.h"
 
 #include <algorithm>
-#include <cctype>
 
+#include "common/char_class.h"
 #include "common/string_util.h"
 #include "text/tokenizer.h"
 
@@ -72,9 +72,16 @@ RelationExtractor::RelationExtractor(RelationExtractorOptions options)
 
 bool RelationExtractor::ContainsNegation(std::string_view sentence) {
   static const text::Tokenizer kTokenizer;
-  for (const text::Token& tok : kTokenizer.Tokenize(sentence)) {
-    std::string lower = AsciiToLower(tok.text);
-    if (lower == "not" || lower == "nor" || lower == "neither") return true;
+  return ContainsNegation(kTokenizer.Tokenize(sentence));
+}
+
+bool RelationExtractor::ContainsNegation(
+    const std::vector<text::Token>& tokens) {
+  for (const text::Token& tok : tokens) {
+    if (EqualsIgnoreCase(tok.text, "not") || EqualsIgnoreCase(tok.text, "nor") ||
+        EqualsIgnoreCase(tok.text, "neither")) {
+      return true;
+    }
   }
   return false;
 }
@@ -93,11 +100,9 @@ bool RelationExtractor::HasTriggerBetween(std::string_view sentence,
       size_t pos = window.find(t);
       if (pos == std::string::npos) continue;
       // Word-boundary check on both sides.
-      bool left_ok = pos == 0 || !std::isalnum(static_cast<unsigned char>(
-                                      window[pos - 1]));
-      size_t after = pos + std::string(t).size();
-      bool right_ok = after >= window.size() ||
-                      !std::isalnum(static_cast<unsigned char>(window[after]));
+      bool left_ok = pos == 0 || !IsAsciiAlnum(window[pos - 1]);
+      size_t after = pos + std::string_view(t).size();
+      bool right_ok = after >= window.size() || !IsAsciiAlnum(window[after]);
       if (left_ok && right_ok) {
         *trigger = t;
         return true;
@@ -110,8 +115,22 @@ bool RelationExtractor::HasTriggerBetween(std::string_view sentence,
 std::vector<Relation> RelationExtractor::ExtractFromSentence(
     std::string_view sentence, size_t base_offset,
     const std::vector<Annotation>& entities) const {
+  return ExtractImpl(sentence, base_offset, entities,
+                     ContainsNegation(sentence));
+}
+
+std::vector<Relation> RelationExtractor::ExtractFromSentence(
+    std::string_view sentence, size_t base_offset,
+    const std::vector<Annotation>& entities,
+    const std::vector<text::Token>& tokens) const {
+  return ExtractImpl(sentence, base_offset, entities,
+                     ContainsNegation(tokens));
+}
+
+std::vector<Relation> RelationExtractor::ExtractImpl(
+    std::string_view sentence, size_t base_offset,
+    const std::vector<Annotation>& entities, bool negated) const {
   std::vector<Relation> relations;
-  bool negated = ContainsNegation(sentence);
   for (size_t i = 0; i < entities.size(); ++i) {
     for (size_t j = i + 1; j < entities.size(); ++j) {
       const Annotation& a = entities[i];

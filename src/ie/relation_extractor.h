@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ie/annotation.h"
+#include "text/token.h"
 
 namespace wsie::ie {
 
@@ -55,12 +56,28 @@ class RelationExtractor {
 
   /// Extracts relations from one sentence's entity annotations. `sentence`
   /// is the sentence text and `base_offset` its document offset; entity
-  /// annotations must carry document offsets.
+  /// annotations must carry document offsets. This overload tokenizes the
+  /// sentence itself for the negation check.
   std::vector<Relation> ExtractFromSentence(
       std::string_view sentence, size_t base_offset,
       const std::vector<Annotation>& entities) const;
 
+  /// Token-reusing overload: the negation check runs over `tokens` (the
+  /// shared sentence tokenization) instead of re-tokenizing the sentence.
+  std::vector<Relation> ExtractFromSentence(
+      std::string_view sentence, size_t base_offset,
+      const std::vector<Annotation>& entities,
+      const std::vector<text::Token>& tokens) const;
+
+  /// True when the token list contains a negation word. Exposed so callers
+  /// holding shared sentence tokens can pre-compute it.
+  static bool ContainsNegation(const std::vector<text::Token>& tokens);
+
  private:
+  std::vector<Relation> ExtractImpl(std::string_view sentence,
+                                    size_t base_offset,
+                                    const std::vector<Annotation>& entities,
+                                    bool negated) const;
   bool HasTriggerBetween(std::string_view sentence, size_t begin, size_t end,
                          RelationType type, std::string* trigger) const;
   static bool ContainsNegation(std::string_view sentence);

@@ -21,12 +21,7 @@ double LogSumExp(const std::vector<double>& xs) {
 }  // namespace
 
 uint64_t HashFeature(std::string_view feature) {
-  uint64_t h = 1469598103934665603ULL;
-  for (char c : feature) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
+  return HashFeatureSeed(kFnvOffsetBasis, feature);
 }
 
 LinearChainCrf::LinearChainCrf(int num_labels, size_t feature_dim)
@@ -40,6 +35,17 @@ void LinearChainCrf::StateScores(const PositionFeatures& feats,
   out.assign(num_labels_, 0.0);
   for (uint64_t f : feats) {
     size_t base = (f % feature_dim_) * num_labels_;
+    for (int l = 0; l < num_labels_; ++l) out[l] += state_weights_[base + l];
+  }
+}
+
+void LinearChainCrf::StateScoresInto(const uint64_t* feats, size_t count,
+                                     double* out) const {
+  // Identical summation order to StateScores, so scores (and therefore
+  // decoded labels) match the vector path bit for bit.
+  std::fill(out, out + num_labels_, 0.0);
+  for (size_t i = 0; i < count; ++i) {
+    size_t base = (feats[i] % feature_dim_) * num_labels_;
     for (int l = 0; l < num_labels_; ++l) out[l] += state_weights_[base + l];
   }
 }
@@ -214,6 +220,62 @@ std::vector<int> LinearChainCrf::Decode(
     labels[i - 1] = backpointer[i][labels[i]];
   }
   return labels;
+}
+
+void LinearChainCrf::Decode(const HashedFeatureMatrix& features,
+                            DecodeScratch* scratch,
+                            std::vector<int>* labels) const {
+  const size_t n = features.num_positions();
+  labels->clear();
+  if (n == 0) return;
+  const int L = num_labels_;
+  // Flat [n][L] tables out of the reusable scratch — steady-state decoding
+  // allocates nothing.
+  scratch->delta.resize(n * static_cast<size_t>(L));
+  scratch->backpointer.resize(n * static_cast<size_t>(L));
+  scratch->scores.resize(L);
+  double* delta = scratch->delta.data();
+  int* backpointer = scratch->backpointer.data();
+  double* scores = scratch->scores.data();
+
+  StateScoresInto(features.position_data(0), features.position_size(0),
+                  scores);
+  for (int l = 0; l < L; ++l) delta[l] = scores[l];
+  for (size_t i = 1; i < n; ++i) {
+    StateScoresInto(features.position_data(i), features.position_size(i),
+                    scores);
+    const double* delta_prev = delta + (i - 1) * L;
+    double* delta_cur = delta + i * L;
+    int* bp = backpointer + i * L;
+    for (int cur = 0; cur < L; ++cur) {
+      double best = -std::numeric_limits<double>::infinity();
+      int best_prev = 0;
+      for (int prev = 0; prev < L; ++prev) {
+        double s = delta_prev[prev] +
+                   transition_weights_[static_cast<size_t>(prev) * L + cur];
+        if (s > best) {
+          best = s;
+          best_prev = prev;
+        }
+      }
+      delta_cur[cur] = best + scores[cur];
+      bp[cur] = best_prev;
+    }
+  }
+  labels->resize(n);
+  int best_last = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  const double* delta_last = delta + (n - 1) * L;
+  for (int l = 0; l < L; ++l) {
+    if (delta_last[l] > best_score) {
+      best_score = delta_last[l];
+      best_last = l;
+    }
+  }
+  (*labels)[n - 1] = best_last;
+  for (size_t i = n - 1; i > 0; --i) {
+    (*labels)[i - 1] = backpointer[i * L + (*labels)[i]];
+  }
 }
 
 double LinearChainCrf::LogLikelihood(const CrfInstance& instance) const {

@@ -14,8 +14,70 @@ namespace wsie::ml {
 /// more robust NER tools, with configurable memory consumption").
 using PositionFeatures = std::vector<uint64_t>;
 
-/// Stable 64-bit FNV-1a string hash used for feature hashing.
+/// FNV-1a constants, exposed so feature extractors can hash templates by
+/// STREAMING the pieces through the state instead of concatenating strings.
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Continues an FNV-1a hash over `piece` starting from `seed`. Because
+/// FNV-1a folds bytes left-to-right through a single 64-bit state,
+///   HashFeature(a + b) == HashFeatureSeed(HashFeatureSeed(kFnvOffsetBasis,
+///                                                         a), b)
+/// for any split — so a feature template "p1:w=" + token hashes
+/// byte-identically from a precomputed prefix seed plus the token bytes,
+/// with no string materialization. (Arbitrary substring hashes can NOT be
+/// combined — only prefix-seed continuation preserves equality.)
+constexpr uint64_t HashFeatureSeed(uint64_t seed, std::string_view piece) {
+  for (char c : piece) {
+    seed ^= static_cast<unsigned char>(c);
+    seed *= kFnvPrime;
+  }
+  return seed;
+}
+
+/// Single-character continuation (hot loops folding one byte at a time).
+constexpr uint64_t HashFeatureChar(uint64_t seed, char c) {
+  seed ^= static_cast<unsigned char>(c);
+  return seed * kFnvPrime;
+}
+
+/// Stable 64-bit FNV-1a string hash used for feature hashing. Equivalent to
+/// HashFeatureSeed(kFnvOffsetBasis, feature).
 uint64_t HashFeature(std::string_view feature);
+
+/// Flat per-sentence hashed-feature storage: all position features live in
+/// one contiguous buffer with CSR-style offsets, refilled in place each
+/// sentence so the steady state allocates nothing. Replaces
+/// `std::vector<PositionFeatures>` (a heap block per position) on the decode
+/// hot path; feature ORDER within a position is preserved, which keeps
+/// StateScores summation order — and thus decoded output — bit-identical.
+class HashedFeatureMatrix {
+ public:
+  /// Clears all positions; keeps capacity.
+  void Reset() {
+    hashes_.clear();
+    offsets_.clear();
+    offsets_.push_back(0);
+  }
+  /// Appends one hashed feature to the position being built.
+  void Add(uint64_t hash) { hashes_.push_back(hash); }
+  /// Seals the position being built; subsequent Add()s start the next one.
+  void FinishPosition() {
+    offsets_.push_back(static_cast<uint32_t>(hashes_.size()));
+  }
+
+  size_t num_positions() const { return offsets_.size() - 1; }
+  const uint64_t* position_data(size_t pos) const {
+    return hashes_.data() + offsets_[pos];
+  }
+  size_t position_size(size_t pos) const {
+    return offsets_[pos + 1] - offsets_[pos];
+  }
+
+ private:
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> offsets_ = {0};
+};
 
 /// A training instance: per-position features and gold label ids.
 struct CrfInstance {
@@ -40,6 +102,14 @@ struct CrfTrainOptions {
 /// L2-regularized conditional log-likelihood.
 class LinearChainCrf {
  public:
+  /// Reusable Viterbi work buffers for the allocation-free Decode overload.
+  /// One scratch per thread; never shared.
+  struct DecodeScratch {
+    std::vector<double> delta;
+    std::vector<int> backpointer;
+    std::vector<double> scores;
+  };
+
   /// `num_labels` output labels; feature weights are hashed into
   /// `feature_dim` buckets per label.
   LinearChainCrf(int num_labels, size_t feature_dim = 1 << 18);
@@ -51,6 +121,12 @@ class LinearChainCrf {
   /// Viterbi-decodes the best label sequence.
   std::vector<int> Decode(
       const std::vector<PositionFeatures>& features) const;
+
+  /// Allocation-free overload over a flat feature matrix: decodes into
+  /// `*labels` reusing `*scratch`. Bit-identical to the vector overload for
+  /// the same features in the same per-position order.
+  void Decode(const HashedFeatureMatrix& features, DecodeScratch* scratch,
+              std::vector<int>* labels) const;
 
   /// Per-sequence conditional log-likelihood of `instance` (diagnostics).
   double LogLikelihood(const CrfInstance& instance) const;
@@ -68,6 +144,9 @@ class LinearChainCrf {
   /// Unnormalized per-label scores at one position.
   void StateScores(const PositionFeatures& feats,
                    std::vector<double>& out) const;
+  /// Same scores over a raw hash span, written into out[0..num_labels).
+  void StateScoresInto(const uint64_t* feats, size_t count,
+                       double* out) const;
   /// Forward-backward; returns log partition function. `alpha`/`beta` are
   /// [n][L] matrices in log space.
   double ForwardBackward(const std::vector<PositionFeatures>& features,

@@ -19,6 +19,7 @@ TrigramHmm::TrigramHmm(int num_states)
 
 void TrigramHmm::AddTrainingSequence(const LabeledSequence& seq) {
   finalized_ = false;
+  tables_built_ = false;
   const size_t n = seq.observations.size();
   int t2 = -1, t1 = -1;  // virtual start states folded into bigram/unigram
   for (size_t i = 0; i < n; ++i) {
@@ -105,6 +106,38 @@ void TrigramHmm::Finalize() {
       }
     }
   }
+  // Intern the lexicon and lay the emission model out as dense id-indexed
+  // rows. Every row is produced by the SAME code path the legacy per-call
+  // lookup evaluates (EmissionLogProbs / ComputeSuffixRow), so the flat
+  // tables are bit-identical to the seed computation — only the lookup cost
+  // changes. After this, the per-token work in Decode() is one
+  // open-addressing probe and a row copy.
+  vocab_ = StringInterner();
+  suffixes_ = StringInterner();
+  emission_log_.assign(word_tag_counts_.size() * static_cast<size_t>(s), 0.0);
+  for (const auto& [word, counts] : word_tag_counts_) {
+    (void)counts;
+    uint32_t id = vocab_.Intern(word);
+    std::vector<double> row = EmissionLogProbs(word);  // known-word path
+    std::copy(row.begin(), row.end(),
+              emission_log_.begin() + static_cast<size_t>(id) * s);
+  }
+  suffix_log_.assign(suffix_tag_counts_.size() * static_cast<size_t>(s), 0.0);
+  size_t interned_suffixes = 0;
+  for (const auto& [suffix, counts] : suffix_tag_counts_) {
+    std::vector<double> row(s, kLogZero);
+    if (!ComputeSuffixRow(counts, row.data())) continue;  // zero-count suffix
+    uint32_t id = suffixes_.Intern(suffix);
+    std::copy(row.begin(), row.end(),
+              suffix_log_.begin() + static_cast<size_t>(id) * s);
+    ++interned_suffixes;
+  }
+  suffix_log_.resize(interned_suffixes * static_cast<size_t>(s));
+  oov_row_.assign(s, 0.0);
+  for (int t = 0; t < s; ++t) {
+    oov_row_[t] = -std::log(static_cast<double>(num_states_)) - 12.0;
+  }
+  tables_built_ = true;
   finalized_ = true;
 }
 
@@ -141,6 +174,25 @@ double TrigramHmm::ComputeLogTransition(int t2, int t1, int t0) const {
   return p > 0 ? std::log(p) : kLogZero;
 }
 
+bool TrigramHmm::ComputeSuffixRow(const std::vector<uint32_t>& counts,
+                                  double* out) const {
+  uint64_t suffix_total = 0;
+  for (int t = 0; t < num_states_; ++t) suffix_total += counts[t];
+  if (suffix_total == 0) return false;
+  for (int t = 0; t < num_states_; ++t) {
+    double p_tag_given_suffix =
+        (static_cast<double>(counts[t]) + 0.1) /
+        (static_cast<double>(suffix_total) + 0.1 * num_states_);
+    double p_tag = total_tags_ > 0
+                       ? (static_cast<double>(tag_counts_[t]) + 1.0) /
+                             (static_cast<double>(total_tags_) + num_states_)
+                       : 1.0 / num_states_;
+    out[t] = std::log(p_tag_given_suffix) - std::log(p_tag) -
+             10.0;  // constant OOV penalty keeps scores comparable
+  }
+  return true;
+}
+
 std::vector<double> TrigramHmm::EmissionLogProbs(
     const std::string& word) const {
   std::vector<double> log_probs(num_states_, kLogZero);
@@ -159,20 +211,7 @@ std::vector<double> TrigramHmm::EmissionLogProbs(
   for (size_t len = std::min(kMaxSuffix, word.size()); len >= 1; --len) {
     auto sit = suffix_tag_counts_.find(word.substr(word.size() - len));
     if (sit == suffix_tag_counts_.end()) continue;
-    uint64_t suffix_total = 0;
-    for (int t = 0; t < num_states_; ++t) suffix_total += sit->second[t];
-    if (suffix_total == 0) continue;
-    for (int t = 0; t < num_states_; ++t) {
-      double p_tag_given_suffix =
-          (static_cast<double>(sit->second[t]) + 0.1) /
-          (static_cast<double>(suffix_total) + 0.1 * num_states_);
-      double p_tag = total_tags_ > 0
-                         ? (static_cast<double>(tag_counts_[t]) + 1.0) /
-                               (static_cast<double>(total_tags_) + num_states_)
-                         : 1.0 / num_states_;
-      log_probs[t] = std::log(p_tag_given_suffix) - std::log(p_tag) -
-                     10.0;  // constant OOV penalty keeps scores comparable
-    }
+    if (!ComputeSuffixRow(sit->second, log_probs.data())) continue;
     return log_probs;
   }
   // No suffix information at all: uniform.
@@ -182,12 +221,147 @@ std::vector<double> TrigramHmm::EmissionLogProbs(
   return log_probs;
 }
 
+void TrigramHmm::EmissionLogProbsInto(std::string_view word,
+                                      double* out) const {
+  const int s = num_states_;
+  if (!tables_built_) {
+    // Pre-Finalize fallback (legacy semantics): compute per call.
+    std::vector<double> row = EmissionLogProbs(std::string(word));
+    std::copy(row.begin(), row.end(), out);
+    return;
+  }
+  uint32_t id = vocab_.Find(word);
+  if (id != StringInterner::kNotFound) {
+    const double* row = emission_log_.data() + static_cast<size_t>(id) * s;
+    std::copy(row, row + s, out);
+    return;
+  }
+  // OOV: at most kMaxSuffix short probes, longest suffix first.
+  for (size_t len = std::min(kMaxSuffix, word.size()); len >= 1; --len) {
+    uint32_t sid = suffixes_.Find(word.substr(word.size() - len));
+    if (sid == StringInterner::kNotFound) continue;
+    const double* row = suffix_log_.data() + static_cast<size_t>(sid) * s;
+    std::copy(row, row + s, out);
+    return;
+  }
+  std::copy(oov_row_.begin(), oov_row_.end(), out);
+}
+
 std::vector<int> TrigramHmm::Decode(
+    const std::vector<std::string>& observations) const {
+  std::vector<std::string_view> views(observations.begin(),
+                                      observations.end());
+  ViterbiScratch scratch;
+  std::vector<int> states;
+  Decode(views, &scratch, &states);
+  return states;
+}
+
+void TrigramHmm::Decode(const std::vector<std::string_view>& observations,
+                        ViterbiScratch* scratch,
+                        std::vector<int>* states) const {
+  const size_t n = observations.size();
+  states->clear();
+  if (n == 0) return;
+  const int s = num_states_;
+  const size_t pairs = static_cast<size_t>(s) * s;
+  // Viterbi over tag-pair states (prev, cur). delta[(prev, cur)]. All work
+  // buffers come from `scratch` and only grow, so steady-state decoding is
+  // allocation-free.
+  scratch->delta.assign(pairs, kLogZero);
+  scratch->next.resize(pairs);
+  scratch->emission.resize(s);
+  scratch->backpointer.assign(n * pairs, -1);
+  double* delta = scratch->delta.data();
+  double* next = scratch->next.data();
+  double* em = scratch->emission.data();
+  int* backpointer = scratch->backpointer.data();
+
+  EmissionLogProbsInto(observations[0], em);
+  for (int cur = 0; cur < s; ++cur) {
+    double score = LogTransition(-1, -1, cur) + em[cur];
+    // Virtual prev state 0; collapse all (prev,cur) onto prev=0 at t=0.
+    delta[static_cast<size_t>(0) * s + cur] = score;
+  }
+  const bool use_tables = !trans3_.empty();
+  for (size_t i = 1; i < n; ++i) {
+    EmissionLogProbsInto(observations[i], em);
+    std::fill(next, next + pairs, kLogZero);
+    int* bp = backpointer + i * pairs;
+    const bool first_step = i == 1;
+    for (int prev = 0; prev < s; ++prev) {
+      for (int cur = 0; cur < s; ++cur) {
+        double base = delta[static_cast<size_t>(prev) * s + cur];
+        if (base <= kLogZero) continue;
+        if (use_tables) {
+          // The transition row for this (prev, cur) context is contiguous;
+          // reading it directly is the same table load LogTransition()
+          // performs, minus the per-transition call and branches. Same
+          // operands in the same order, so scores stay bit-identical.
+          const double* trow =
+              first_step
+                  ? trans2_.data() + static_cast<size_t>(cur) * s
+                  : trans3_.data() +
+                        (static_cast<size_t>(prev) * s + cur) * s;
+          double* nrow = next + static_cast<size_t>(cur) * s;
+          int* brow = bp + static_cast<size_t>(cur) * s;
+          for (int nxt = 0; nxt < s; ++nxt) {
+            // Branchless select: same adds and the same strict comparison as
+            // the guarded-store form (element-wise, so results stay
+            // bit-identical), but the compiler can vectorize it.
+            double score = base + trow[nxt] + em[nxt];
+            const bool better = score > nrow[nxt];
+            nrow[nxt] = better ? score : nrow[nxt];
+            brow[nxt] = better ? prev : brow[nxt];
+          }
+        } else {
+          // Pre-Finalize fallback: interpolated transitions computed per call.
+          for (int nxt = 0; nxt < s; ++nxt) {
+            double score =
+                base + LogTransition(first_step ? -1 : prev, cur, nxt) +
+                em[nxt];
+            size_t idx = static_cast<size_t>(cur) * s + nxt;
+            if (score > next[idx]) {
+              next[idx] = score;
+              bp[idx] = prev;
+            }
+          }
+        }
+      }
+    }
+    std::swap(delta, next);
+  }
+  // Find best final pair.
+  size_t best_idx = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t idx = 0; idx < pairs; ++idx) {
+    if (delta[idx] > best_score) {
+      best_score = delta[idx];
+      best_idx = idx;
+    }
+  }
+  states->resize(n);
+  int cur = static_cast<int>(best_idx % s);
+  int prev = static_cast<int>(best_idx / s);
+  (*states)[n - 1] = cur;
+  if (n >= 2) (*states)[n - 2] = prev;
+  for (size_t i = n - 1; i >= 2; --i) {
+    int prev2 = backpointer[i * pairs + static_cast<size_t>(prev) * s + cur];
+    if (prev2 < 0) prev2 = 0;
+    (*states)[i - 2] = prev2;
+    cur = prev;
+    prev = prev2;
+  }
+}
+
+std::vector<int> TrigramHmm::DecodeLegacy(
     const std::vector<std::string>& observations) const {
   const size_t n = observations.size();
   if (n == 0) return {};
   const int s = num_states_;
-  // Viterbi over tag-pair states (prev, cur). delta[(prev, cur)].
+  // Seed path, kept verbatim: per-token hash-map lookup + fresh vectors per
+  // position. Reference implementation for equivalence tests and the
+  // seed-vs-view bench gate.
   std::vector<double> delta(static_cast<size_t>(s) * s, kLogZero);
   std::vector<std::vector<int>> backpointer(
       n, std::vector<int>(static_cast<size_t>(s) * s, -1));
@@ -195,7 +369,6 @@ std::vector<int> TrigramHmm::Decode(
   std::vector<double> em0 = EmissionLogProbs(observations[0]);
   for (int cur = 0; cur < s; ++cur) {
     double score = LogTransition(-1, -1, cur) + em0[cur];
-    // Virtual prev state 0; collapse all (prev,cur) onto prev=0 at t=0.
     delta[static_cast<size_t>(0) * s + cur] = score;
   }
   for (size_t i = 1; i < n; ++i) {
@@ -218,7 +391,6 @@ std::vector<int> TrigramHmm::Decode(
     }
     delta.swap(next);
   }
-  // Find best final pair.
   size_t best_idx = 0;
   double best_score = -std::numeric_limits<double>::infinity();
   for (size_t idx = 0; idx < delta.size(); ++idx) {

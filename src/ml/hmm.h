@@ -3,8 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/flat_map.h"
 
 namespace wsie::ml {
 
@@ -26,8 +29,28 @@ struct LabeledSequence {
 /// sequence length and quadratic-ish in the tag-set size — matching the
 /// "in principle linear, with large fluctuations in practice" behaviour of
 /// Fig. 3(a).
+///
+/// Hot-path layout: Finalize() interns every vocabulary word and suffix into
+/// a StringInterner (arena-backed open addressing, common/flat_map.h) and
+/// lays the emission / suffix log-probabilities out as dense id-indexed rows.
+/// The view-based Decode() then does one open-addressing probe per token
+/// (plus at most kMaxSuffix short probes for OOV words) and zero string
+/// hashing or heap allocation in the Viterbi inner loop. The flat rows are
+/// filled by the SAME expressions the legacy per-call path evaluates, so
+/// decoded outputs are bit-identical. A finalized model is immutable and
+/// safe to share across decode threads.
 class TrigramHmm {
  public:
+  /// Reusable Viterbi work buffers. Steady-state decoding allocates nothing:
+  /// every buffer is grown once and reused across sentences. One scratch per
+  /// thread (stack or thread_local); scratch is never shared.
+  struct ViterbiScratch {
+    std::vector<double> delta;
+    std::vector<double> next;
+    std::vector<double> emission;
+    std::vector<int> backpointer;
+  };
+
   /// Creates a model over `num_states` hidden states.
   explicit TrigramHmm(int num_states);
 
@@ -35,17 +58,39 @@ class TrigramHmm {
   /// training data has been added.
   void AddTrainingSequence(const LabeledSequence& seq);
 
-  /// Freezes counts into probability tables. Must be called once before
-  /// Decode(); subsequent AddTrainingSequence() calls require re-Finalize().
+  /// Freezes counts into probability tables (transitions, interned
+  /// emission/suffix rows). Must be called once before Decode(); subsequent
+  /// AddTrainingSequence() calls require re-Finalize().
   void Finalize();
 
   /// Viterbi-decodes the most likely state sequence for `observations`.
   /// Requires Finalize() to have been called.
   std::vector<int> Decode(const std::vector<std::string>& observations) const;
 
+  /// Allocation-free overload: decodes into `*states` reusing `*scratch`.
+  /// Token views need not outlive the call.
+  void Decode(const std::vector<std::string_view>& observations,
+              ViterbiScratch* scratch, std::vector<int>* states) const;
+
+  /// The seed (pre-interning) decode path: per-token string-keyed hash-map
+  /// lookups and per-position vector allocations. Kept as the reference
+  /// implementation for equivalence tests and the bench speedup gate.
+  std::vector<int> DecodeLegacy(
+      const std::vector<std::string>& observations) const;
+
   int num_states() const { return num_states_; }
   bool finalized() const { return finalized_; }
   size_t vocabulary_size() const { return word_tag_counts_.size(); }
+
+  /// The interned vocabulary (valid after Finalize()).
+  const StringInterner& lexicon() const { return vocab_; }
+  /// Resident bytes of the interned lexicon + flat emission/suffix rows.
+  size_t lexicon_memory_bytes() const {
+    return vocab_.MemoryBytes() + suffixes_.MemoryBytes() +
+           (emission_log_.capacity() + suffix_log_.capacity() +
+            oov_row_.capacity()) *
+               sizeof(double);
+  }
 
  private:
   /// Table-backed after Finalize(); -1 in t2/t1 selects the lower-order
@@ -54,8 +99,15 @@ class TrigramHmm {
   /// Direct interpolated computation (used to fill the tables).
   double ComputeLogTransition(int t2, int t1, int t0) const;
   /// Per-tag emission log-probabilities for `word` (uses suffix back-off for
-  /// unknown words).
+  /// unknown words). Legacy per-call path; also fills the flat tables so the
+  /// two stay bit-identical by construction.
   std::vector<double> EmissionLogProbs(const std::string& word) const;
+  /// Writes the suffix back-off row for `counts` into out[0..num_states).
+  /// Returns false when the suffix has no counts (row not written).
+  bool ComputeSuffixRow(const std::vector<uint32_t>& counts,
+                        double* out) const;
+  /// Flat-table emission row for `word` into out[0..num_states).
+  void EmissionLogProbsInto(std::string_view word, double* out) const;
 
   int num_states_;
   bool finalized_ = false;
@@ -76,6 +128,15 @@ class TrigramHmm {
   std::vector<double> trans3_;  // [t2][t1][t0]
   std::vector<double> trans2_;  // [t1][t0] (no trigram context)
   std::vector<double> trans1_;  // [t0]
+
+  // Interned lexicon (built by Finalize()): word id -> flat emission row,
+  // suffix id -> flat back-off row, plus the shared uniform OOV row.
+  StringInterner vocab_;
+  StringInterner suffixes_;
+  std::vector<double> emission_log_;  // [word_id * num_states + tag]
+  std::vector<double> suffix_log_;    // [suffix_id * num_states + tag]
+  std::vector<double> oov_row_;       // [tag]
+  bool tables_built_ = false;
 
   static uint64_t TrigramKey(int t2, int t1, int t0) {
     return (static_cast<uint64_t>(t2) << 32) |

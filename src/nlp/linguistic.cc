@@ -1,7 +1,5 @@
 #include "nlp/linguistic.h"
 
-#include <cctype>
-
 #include "common/string_util.h"
 #include "text/tokenizer.h"
 
@@ -109,16 +107,34 @@ PronounClass LinguisticExtractor::ClassifyPronoun(
   return PronounClass::kNumClasses;
 }
 
+PronounClass LinguisticExtractor::ClassifyPronounToken(
+    std::string_view token) const {
+  // Same lookup order as ClassifyPronoun ("her" first, then the table), with
+  // case folded during comparison instead of into a temporary string.
+  if (EqualsIgnoreCase(token, kHer.word)) return kHer.cls;
+  for (const auto& entry : kPronouns) {
+    if (EqualsIgnoreCase(token, entry.word)) return entry.cls;
+  }
+  return PronounClass::kNumClasses;
+}
+
 std::vector<Annotation> LinguisticExtractor::FindNegations(
     uint64_t doc_id, uint32_t sentence_id, std::string_view sentence,
     size_t base_offset) const {
   static const text::Tokenizer kTokenizer;
+  return FindNegations(doc_id, sentence_id,
+                       kTokenizer.Tokenize(sentence, base_offset));
+}
+
+std::vector<Annotation> LinguisticExtractor::FindNegations(
+    uint64_t doc_id, uint32_t sentence_id,
+    const std::vector<text::Token>& tokens) const {
   std::vector<Annotation> out;
-  for (const auto& tok : kTokenizer.Tokenize(sentence, base_offset)) {
-    std::string lower = AsciiToLower(tok.text);
-    if (lower == "not" || lower == "nor" || lower == "neither") {
+  for (const auto& tok : tokens) {
+    if (EqualsIgnoreCase(tok.text, "not") || EqualsIgnoreCase(tok.text, "nor") ||
+        EqualsIgnoreCase(tok.text, "neither")) {
       out.push_back(MakeAnnotation(doc_id, sentence_id, tok.begin, tok.end,
-                                   tok.text, "negation"));
+                                   std::string(tok.text), "negation"));
     }
   }
   return out;
@@ -128,13 +144,19 @@ std::vector<Annotation> LinguisticExtractor::FindPronouns(
     uint64_t doc_id, uint32_t sentence_id, std::string_view sentence,
     size_t base_offset) const {
   static const text::Tokenizer kTokenizer;
+  return FindPronouns(doc_id, sentence_id,
+                      kTokenizer.Tokenize(sentence, base_offset));
+}
+
+std::vector<Annotation> LinguisticExtractor::FindPronouns(
+    uint64_t doc_id, uint32_t sentence_id,
+    const std::vector<text::Token>& tokens) const {
   std::vector<Annotation> out;
-  for (const auto& tok : kTokenizer.Tokenize(sentence, base_offset)) {
-    std::string lower = AsciiToLower(tok.text);
-    PronounClass cls = ClassifyPronoun(lower);
+  for (const auto& tok : tokens) {
+    PronounClass cls = ClassifyPronounToken(tok.text);
     if (cls == PronounClass::kNumClasses) continue;
     out.push_back(MakeAnnotation(
-        doc_id, sentence_id, tok.begin, tok.end, tok.text,
+        doc_id, sentence_id, tok.begin, tok.end, std::string(tok.text),
         std::string("pronoun/") + PronounClassName(cls)));
   }
   return out;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ie/annotation.h"
+#include "text/token.h"
 
 namespace wsie::nlp {
 
@@ -34,18 +35,32 @@ class LinguisticExtractor {
   LinguisticExtractor();
 
   /// Finds negation tokens ("not", "nor", "neither"), the paper's "rather
-  /// simple method for determining negations" (Sect. 4.3.1).
+  /// simple method for determining negations" (Sect. 4.3.1). This overload
+  /// tokenizes `sentence` itself; prefer the token-vector overload when the
+  /// sentence has already been tokenized upstream.
   std::vector<ie::Annotation> FindNegations(uint64_t doc_id,
                                             uint32_t sentence_id,
                                             std::string_view sentence,
                                             size_t base_offset = 0) const;
 
+  /// Token-reusing overload: scans tokens already produced by the shared
+  /// sentence tokenization (no re-tokenization, no per-token lowering).
+  std::vector<ie::Annotation> FindNegations(
+      uint64_t doc_id, uint32_t sentence_id,
+      const std::vector<text::Token>& tokens) const;
+
   /// Finds pronouns of all six classes; the annotation's `category` is
-  /// "pronoun/<class>".
+  /// "pronoun/<class>". Tokenizes `sentence` itself; prefer the token-vector
+  /// overload when tokens are already available.
   std::vector<ie::Annotation> FindPronouns(uint64_t doc_id,
                                            uint32_t sentence_id,
                                            std::string_view sentence,
                                            size_t base_offset = 0) const;
+
+  /// Token-reusing overload of FindPronouns.
+  std::vector<ie::Annotation> FindPronouns(
+      uint64_t doc_id, uint32_t sentence_id,
+      const std::vector<text::Token>& tokens) const;
 
   /// Finds parenthesized spans "( ... )", category "parenthesis". Unclosed
   /// parentheses extend to the end of the sentence (web-text tolerance).
@@ -57,6 +72,11 @@ class LinguisticExtractor {
   /// Classifies a single lowercase token; returns kNumClasses if it is not a
   /// pronoun.
   PronounClass ClassifyPronoun(std::string_view lowercase_token) const;
+
+  /// Case-insensitive classification of a raw token — same results as
+  /// lowercasing then ClassifyPronoun, without materializing the lowercase
+  /// copy.
+  PronounClass ClassifyPronounToken(std::string_view token) const;
 };
 
 }  // namespace wsie::nlp

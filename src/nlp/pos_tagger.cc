@@ -150,10 +150,32 @@ std::vector<PosTag> PosTagger::TagTokens(
     if (overflowed != nullptr) *overflowed = true;
     return {};
   }
-  std::vector<std::string> words;
+  // Hot path: token views go straight into the interned-lexicon Viterbi with
+  // per-thread reusable scratch — no per-token string copies.
+  thread_local std::vector<std::string_view> words;
+  thread_local ml::TrigramHmm::ViterbiScratch scratch;
+  thread_local std::vector<int> states;
+  words.clear();
   words.reserve(tokens.size());
   for (const auto& tok : tokens) words.push_back(tok.text);
-  std::vector<int> states = hmm_.Decode(words);
+  hmm_.Decode(words, &scratch, &states);
+  std::vector<PosTag> tags;
+  tags.reserve(states.size());
+  for (int s : states) tags.push_back(static_cast<PosTag>(s));
+  return tags;
+}
+
+std::vector<PosTag> PosTagger::TagTokensLegacy(
+    const std::vector<text::Token>& tokens, bool* overflowed) const {
+  if (overflowed != nullptr) *overflowed = false;
+  if (max_tokens_ > 0 && tokens.size() > max_tokens_) {
+    if (overflowed != nullptr) *overflowed = true;
+    return {};
+  }
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const auto& tok : tokens) words.emplace_back(tok.text);
+  std::vector<int> states = hmm_.DecodeLegacy(words);
   std::vector<PosTag> tags;
   tags.reserve(states.size());
   for (int s : states) tags.push_back(static_cast<PosTag>(s));

@@ -43,6 +43,15 @@ class PosTagger {
   std::vector<PosTag> TagTokens(const std::vector<text::Token>& tokens,
                                 bool* overflowed = nullptr) const;
 
+  /// Seed reference path (per-token string copies + string-keyed emission
+  /// lookups + per-position Viterbi allocations). Same outputs as
+  /// TagTokens(); kept for equivalence tests and the seed-vs-view bench gate.
+  std::vector<PosTag> TagTokensLegacy(const std::vector<text::Token>& tokens,
+                                      bool* overflowed = nullptr) const;
+
+  /// The underlying HMM (e.g. for lexicon stats in benches/tests).
+  const ml::TrigramHmm& hmm() const { return hmm_; }
+
   /// Hard token limit per sentence (0 = unlimited).
   void set_max_tokens_per_sentence(size_t limit) { max_tokens_ = limit; }
   size_t max_tokens_per_sentence() const { return max_tokens_; }

@@ -1,8 +1,8 @@
 #include "text/bag_of_words.h"
 
 #include <algorithm>
-#include <cctype>
 
+#include "common/char_class.h"
 #include "common/string_util.h"
 #include "text/tokenizer.h"
 
@@ -28,20 +28,19 @@ TermCounts BagOfWords::Featurize(std::string_view doc_text) const {
   static const Tokenizer kTokenizer;
   TermCounts counts;
   for (const Token& tok : kTokenizer.Tokenize(doc_text)) {
-    std::string term = options_.lowercase ? AsciiToLower(tok.text) : tok.text;
+    std::string term = options_.lowercase ? AsciiToLower(tok.text)
+                                          : std::string(tok.text);
     if (term.size() < options_.min_token_length) continue;
     if (term.size() > options_.max_token_length) continue;
     if (options_.drop_pure_numbers &&
         std::all_of(term.begin(), term.end(), [](char c) {
-          return std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
-                 c == ',';
+          return IsAsciiDigit(c) || c == '.' || c == ',';
         }))
       continue;
     if (options_.drop_stopwords && IsStopword(term)) continue;
     // Skip bare punctuation tokens.
-    if (!std::any_of(term.begin(), term.end(), [](char c) {
-          return std::isalnum(static_cast<unsigned char>(c));
-        }))
+    if (!std::any_of(term.begin(), term.end(),
+                     [](char c) { return IsAsciiAlnum(c); }))
       continue;
     ++counts[term];
   }

@@ -2,14 +2,22 @@
 #define WSIE_TEXT_TOKEN_H_
 
 #include <cstddef>
-#include <string>
+#include <string_view>
 #include <vector>
 
 namespace wsie::text {
 
 /// A token with character offsets into the source text (half-open range).
+///
+/// `text` is a NON-OWNING view into the buffer that was tokenized: the
+/// tokenizer allocates nothing per token, and every downstream consumer
+/// reads the document bytes in place. The producer of a token vector is
+/// responsible for keeping the source buffer alive and unmoved for as long
+/// as the tokens are used (see DESIGN.md "Hot-path memory model"). Holders
+/// that outlive the tokenization scope (e.g. `ie::TaggedSentence`) pin the
+/// buffer explicitly.
 struct Token {
-  std::string text;
+  std::string_view text;
   size_t begin = 0;
   size_t end = 0;
 

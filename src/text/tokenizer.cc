@@ -1,38 +1,48 @@
 #include "text/tokenizer.h"
 
-#include <cctype>
+#include "common/char_class.h"
 
 namespace wsie::text {
 namespace {
 
-bool IsWordChar(char c, bool keep_hyphen) {
-  unsigned char u = static_cast<unsigned char>(c);
-  if (std::isalnum(u)) return true;
-  if (c == '\'' ) return true;
+// Word characters are alphanumerics plus apostrophe, plus hyphen when the
+// tokenizer keeps hyphenated compounds intact. Classification comes from the
+// branch-free ASCII tables in common/char_class.h rather than the
+// locale-dependent <cctype> calls, so tokenization is byte-deterministic
+// across libcs.
+inline bool IsWordChar(char c, bool keep_hyphen) {
+  if (IsAsciiAlnum(c)) return true;
+  if (c == '\'') return true;
   if (keep_hyphen && c == '-') return true;
   return false;
 }
-
-bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
 
 }  // namespace
 
 std::vector<Token> Tokenizer::Tokenize(std::string_view text,
                                        size_t base_offset) const {
   std::vector<Token> tokens;
+  TokenizeInto(text, base_offset, &tokens);
+  return tokens;
+}
+
+void Tokenizer::TokenizeInto(std::string_view text, size_t base_offset,
+                             std::vector<Token>* tokens) const {
+  tokens->clear();
   size_t i = 0;
   const size_t n = text.size();
   auto emit = [&](size_t begin, size_t end) {
     if (end > begin) {
-      tokens.push_back(Token{std::string(text.substr(begin, end - begin)),
-                             base_offset + begin, base_offset + end});
+      // Zero-copy: the token text is a view of the caller's buffer.
+      tokens->push_back(Token{text.substr(begin, end - begin),
+                              base_offset + begin, base_offset + end});
     }
   };
   while (i < n) {
-    while (i < n && IsSpace(text[i])) ++i;
+    while (i < n && IsAsciiSpace(text[i])) ++i;
     if (i >= n) break;
     size_t start = i;
-    while (i < n && !IsSpace(text[i])) ++i;
+    while (i < n && !IsAsciiSpace(text[i])) ++i;
     size_t end = i;
     if (!options_.split_punctuation) {
       emit(start, end);
@@ -59,7 +69,6 @@ std::vector<Token> Tokenizer::Tokenize(std::string_view text,
     emit(core_begin, core_end);
     for (size_t p = core_end; p < end; ++p) emit(p, p + 1);
   }
-  return tokens;
 }
 
 }  // namespace wsie::text

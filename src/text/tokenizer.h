@@ -23,6 +23,9 @@ struct TokenizerOptions {
 /// Splits on whitespace, then peels leading/trailing punctuation into
 /// separate tokens while keeping alphanumeric cores (possibly with internal
 /// hyphens, digits, and apostrophes) intact.
+///
+/// Tokens are zero-copy views into `sentence_text`: the caller must keep
+/// that buffer alive and unmoved while the tokens are in use.
 class Tokenizer {
  public:
   explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
@@ -30,6 +33,11 @@ class Tokenizer {
   /// Tokenizes `sentence_text`; offsets are relative to `base_offset`.
   std::vector<Token> Tokenize(std::string_view sentence_text,
                               size_t base_offset = 0) const;
+
+  /// Allocation-reusing variant: clears `*tokens` and fills it in place so a
+  /// hot loop can amortize the vector's capacity across sentences.
+  void TokenizeInto(std::string_view sentence_text, size_t base_offset,
+                    std::vector<Token>* tokens) const;
 
  private:
   TokenizerOptions options_;

@@ -243,7 +243,7 @@ std::vector<TaggedSentence> MakeToyGold() {
     TaggedSentence ts;
     ts.tokens = tokenizer.Tokenize(s);
     for (size_t t = 0; t < ts.tokens.size(); ++t) {
-      const std::string& w = ts.tokens[t].text;
+      std::string_view w = ts.tokens[t].text;
       bool is_gene = w.size() >= 3 && wsie::ContainsDigit(w) &&
                      wsie::IsAllUpper(w.substr(0, 3));
       if (is_gene) ts.spans.push_back(GoldSpan{t, t + 1});
