@@ -6,13 +6,15 @@
 // latency quantiles are read from the wsie.serve.query.latency_ns
 // histogram — the same numbers the obs exporters ship.
 //
-// Env knobs: WSIE_QPS_THREADS (readers, default 4),
-//            WSIE_QPS_SECONDS (measurement window, default 2).
+// Reader count defaults to the machine's hardware concurrency; override
+// with --readers=N (or the WSIE_QPS_THREADS env knob), the window with
+// --seconds=N (or WSIE_QPS_SECONDS, default 2).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -31,12 +33,29 @@ size_t EnvSize(const char* name, size_t fallback) {
   return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
 }
 
+size_t FlagSize(int argc, char** argv, const char* name, size_t fallback) {
+  const size_t name_len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, name_len) != 0 ||
+        argv[i][name_len] != '=') {
+      continue;
+    }
+    long parsed = std::strtol(argv[i] + name_len + 1, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return fallback;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsie;
-  const size_t num_readers = EnvSize("WSIE_QPS_THREADS", 4);
-  const size_t seconds = EnvSize("WSIE_QPS_SECONDS", 2);
+  const size_t hw = std::thread::hardware_concurrency();
+  const size_t default_readers = EnvSize("WSIE_QPS_THREADS", hw > 0 ? hw : 1);
+  const size_t num_readers =
+      FlagSize(argc, argv, "--readers", default_readers);
+  const size_t seconds =
+      FlagSize(argc, argv, "--seconds", EnvSize("WSIE_QPS_SECONDS", 2));
   bench::PrintHeader("Store query throughput under active compaction",
                      "serving-layer microbench");
 
@@ -85,6 +104,7 @@ int main() {
   });
 
   std::vector<std::thread> readers;
+  std::vector<uint64_t> per_thread_queries(num_readers, 0);
   for (size_t r = 0; r < num_readers; ++r) {
     readers.emplace_back([&, r] {
       uint64_t queries = 0, failures = 0, last_anchor = 0, i = 0;
@@ -112,6 +132,7 @@ int main() {
         }
         ++queries;
       }
+      per_thread_queries[r] = queries;
       total_queries.fetch_add(queries);
       failed_queries.fetch_add(failures);
     });
@@ -138,6 +159,11 @@ int main() {
               store->num_segments());
   std::printf("queries: %llu  (%.0f QPS aggregate)\n",
               static_cast<unsigned long long>(total_queries.load()), qps);
+  for (size_t r = 0; r < num_readers; ++r) {
+    std::printf("  reader %zu: %llu queries  (%.0f QPS)\n", r,
+                static_cast<unsigned long long>(per_thread_queries[r]),
+                static_cast<double>(per_thread_queries[r]) / elapsed);
+  }
   if (latency != nullptr && latency->count > 0) {
     std::printf("latency p50: %.1f us   p99: %.1f us   (n=%llu from "
                 "wsie.serve.query.latency_ns)\n",

@@ -13,6 +13,10 @@
 //
 // Usage: ./build/examples/obs_e2e [trace.json] [metrics.prom]
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -27,7 +31,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_check.h"
+#include "serve/admission_queue.h"
 #include "serve/query_engine.h"
+#include "serve/server.h"
 #include "store/annotation_store.h"
 #include "store/store_sink.h"
 #include "web/search_engine.h"
@@ -116,21 +122,75 @@ int main(int argc, char** argv) {
     std::printf("store flush/compact failed\n");
     return 1;
   }
-  serve::QueryEngine engine(*store);
+  auto engine = std::make_shared<const serve::QueryEngine>(*store);
   const int medline = static_cast<int>(corpus::CorpusKind::kMedline);
-  auto genes = engine.TopK(5, serve::QueryFilter{medline, 0, serve::kAny});
+  auto genes = engine->TopK(5, serve::QueryFilter{medline, 0, serve::kAny});
   uint64_t lookup_hits = 0;
   for (const auto& gene : genes) {
-    if (engine.Lookup(gene.name).found) ++lookup_hits;
-    engine.PrefixScan(gene.name.substr(0, 2), 8);
+    if (engine->Lookup(gene.name).found) ++lookup_hits;
+    engine->PrefixScan(gene.name.substr(0, 2), 8);
   }
-  auto frequency = engine.CorpusFrequency(medline, 0);
-  if (genes.size() >= 2) engine.CoOccurrence(genes[0].name, genes[1].name);
+  auto frequency = engine->CorpusFrequency(medline, 0);
+  if (genes.size() >= 2) engine->CoOccurrence(genes[0].name, genes[1].name);
   std::printf("store: %zu segments served, top-%zu gene lookups %llu hits, "
               "%.1f gene mentions per 1000 sentences\n",
               (*store)->num_segments(), genes.size(),
               static_cast<unsigned long long>(lookup_hits),
               frequency.per_1000_sentences);
+
+  // 3c. Same queries through the batched admission queue and the HTTP
+  //     front end, so the wsie.serve.admission.* / wsie.serve.server.* /
+  //     wsie.serve.request.* families fill too.
+  {
+    auto queue = std::make_shared<serve::AdmissionQueue>(
+        engine, serve::AdmissionQueue::Options{});
+    serve::QueryEngine::Request request;
+    request.kind = serve::QueryEngine::Request::Kind::kTopK;
+    request.limit = 5;
+    serve::QueryEngine::Response response;
+    uint64_t admitted = 0;
+    if (queue->Submit(request, &response)) ++admitted;
+    for (const auto& gene : genes) {
+      request.kind = serve::QueryEngine::Request::Kind::kLookup;
+      request.name = gene.name;
+      if (queue->Submit(request, &response)) ++admitted;
+    }
+    serve::Server server(queue, serve::Server::Options{});
+    uint64_t served = 0;
+    if (server.Start().ok()) {
+      for (const char* target : {"/healthz", "/topk?k=3"}) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) continue;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server.port());
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+          std::string get = std::string("GET ") + target + " HTTP/1.1\r\n\r\n";
+          if (::send(fd, get.data(), get.size(), 0) ==
+              static_cast<ssize_t>(get.size())) {
+            char buf[4096];
+            while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+            }
+            ++served;
+          }
+        }
+        ::close(fd);
+      }
+      server.Stop();
+    }
+    queue->Stop();
+    std::printf("admission: %llu batched queries, %llu HTTP requests over "
+                "loopback port %u\n",
+                static_cast<unsigned long long>(admitted),
+                static_cast<unsigned long long>(served),
+                static_cast<unsigned>(server.port()));
+    if (admitted == 0 || served == 0) {
+      std::printf("FAILED: admission/server path served nothing\n");
+      return 1;
+    }
+  }
 
   // 4. Export + validate the trace.
   obs::TraceRecorder& recorder = obs::TraceRecorder::Global();

@@ -9,7 +9,12 @@
 #      script; it exits non-zero unless the served numbers are exactly
 #      the in-memory analysis,
 #   4. diffs the two transcripts: the whole pipeline-to-serving path must
-#      be byte-for-byte deterministic.
+#      be byte-for-byte deterministic,
+#   5. runs the closed-loop load generator (bench/serve_loadgen) in its
+#      fixed-ops smoke mode twice — a Zipfian query mix through the
+#      admission queue — and diffs the two result digests: batching and
+#      scheduling may reorder work but must never change an answer. The
+#      second run's machine-readable summary lands in BENCH_serve.json.
 # Usage: scripts/serve_check.sh [build_dir]  (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,7 +23,8 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="$BUILD_DIR/serve_check"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j --target store_test serve_e2e
+cmake --build "$BUILD_DIR" -j --target store_test epoch_test serve_test \
+  serve_e2e serve_loadgen
 mkdir -p "$OUT_DIR"
 
 echo "== store-labeled unit suite =="
@@ -35,4 +41,21 @@ if ! diff -u "$OUT_DIR/run1.txt" "$OUT_DIR/run2.txt"; then
   exit 1
 fi
 grep -q "store round-trip vs in-memory analysis: EXACT" "$OUT_DIR/run1.txt"
+
+echo "== load generator smoke (Zipfian mix, fixed ops, run-twice diff) =="
+LOADGEN_FLAGS="--clients=2 --ops=500 --terms=500 --batch=16"
+"$BUILD_DIR/bench/serve_loadgen" $LOADGEN_FLAGS \
+  | tee "$OUT_DIR/loadgen_run1.txt"
+"$BUILD_DIR/bench/serve_loadgen" $LOADGEN_FLAGS --json="$OUT_DIR/BENCH_serve.json" \
+  > "$OUT_DIR/loadgen_run2.txt"
+digest1=$(grep '^digest:' "$OUT_DIR/loadgen_run1.txt")
+digest2=$(grep '^digest:' "$OUT_DIR/loadgen_run2.txt")
+if [[ "$digest1" != "$digest2" ]]; then
+  echo "serve check FAILED: load-generator digests differ across runs"
+  echo "  run 1: $digest1"
+  echo "  run 2: $digest2"
+  exit 1
+fi
+cp "$OUT_DIR/BENCH_serve.json" "$BUILD_DIR/BENCH_serve.json"
+echo "load generator deterministic ($digest1); summary: $BUILD_DIR/BENCH_serve.json"
 echo "serve check passed (transcripts identical, store round-trip exact)"

@@ -3,7 +3,8 @@
 # the dataflow executor (morsel scheduler, task retry, open cache), the
 # thread pool, the fault subsystem, the crawler's checkpoint/resume path,
 # the observability layer (sharded counters, trace ring buffers), and the
-# annotation store / serving layer (snapshot swaps under compaction,
+# annotation store / serving layer (epoch-based snapshot publication and
+# reclamation under a compaction storm, the batched admission queue,
 # adversarial segment decoding), and the allocation-free NLP/IE hot path
 # (shared finalized taggers + thread-local scratch). Builds into a
 # dedicated build-tsan directory and runs the ctest targets labeled
@@ -19,6 +20,6 @@ BUILD_DIR="${BUILD_DIR//address/asan}"
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
   dataflow_test thread_pool_stress_test fault_test crawler_test obs_test \
-  store_test hotpath_test
+  store_test epoch_test serve_test hotpath_test
 (cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store|perf' --output-on-failure)
 echo "${SANITIZER} sanitizer run passed"

@@ -1,0 +1,52 @@
+#ifndef WSIE_COMMON_ALIGNED_H_
+#define WSIE_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace wsie {
+
+/// Minimal allocator that over-aligns every allocation (default: one cache
+/// line). The serving-layer index tables and per-segment posting caches
+/// use it so sequential scans start on a line boundary and never split a
+/// fixed-stride entry across lines.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::size_t kAlignment =
+      Alignment > alignof(T) ? Alignment : alignof(T);
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t{kAlignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// A std::vector whose buffer starts on a 64-byte (cache line) boundary.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace wsie
+
+#endif  // WSIE_COMMON_ALIGNED_H_

@@ -1,0 +1,285 @@
+#ifndef WSIE_COMMON_EPOCH_H_
+#define WSIE_COMMON_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace wsie {
+
+/// Epoch-based (RCU-style) memory reclamation.
+///
+/// Writers publish an immutable object with one release store, retire the
+/// object it replaced, and advance the global epoch; retired objects are
+/// freed only once every active reader has pinned a later epoch. Readers
+/// pin by writing the observed global epoch into a slot owned exclusively
+/// by their thread — the read path takes no locks and contends on no
+/// shared atomic (the global epoch is only loaded; the slot line is
+/// written by exactly one thread).
+///
+/// Pin protocol: a reader stores the observed epoch into its slot and
+/// re-loads the global epoch until the two agree (all seq_cst). In the
+/// seq_cst total order this guarantees that a reclaimer that advanced the
+/// epoch past E either sees the slot pinned at <= E (and keeps everything
+/// retired at E alive) or the reader saw the advanced epoch and re-pinned
+/// — in which case any pointer it loads afterwards is the newly published
+/// one, never the retired one. Reclamation frees a retired object only
+/// when min(active pins) is strictly greater than its retire epoch.
+///
+/// Threads beyond kMaxSlots fall back to a mutex-guarded overflow pin set;
+/// only those overflow threads pay for a lock, the first kMaxSlots readers
+/// stay lock-free.
+class EpochManager {
+ public:
+  static constexpr uint64_t kIdleEpoch = ~0ull;
+  static constexpr size_t kMaxSlots = 256;
+
+  EpochManager() : id_(NextManagerId()) {
+    std::lock_guard<std::mutex> lock(LiveMutex());
+    LiveMap()[this] = id_;
+  }
+
+  /// Frees everything still in the limbo list. By contract no reader may
+  /// hold a Guard on this manager when it is destroyed.
+  ~EpochManager() {
+    {
+      std::lock_guard<std::mutex> lock(LiveMutex());
+      LiveMap().erase(this);
+    }
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    for (const Retired& node : limbo_) node.deleter(node.object);
+    reclaimed_.fetch_add(limbo_.size(), std::memory_order_relaxed);
+    limbo_.clear();
+  }
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// The process-wide manager most callers share.
+  static EpochManager& Global() {
+    static EpochManager manager;
+    return manager;
+  }
+
+  /// RAII reader pin. Guards nest: only the outermost pins/unpins, so a
+  /// query helper may take a Guard even when its caller already holds one.
+  class Guard {
+   public:
+    explicit Guard(EpochManager& manager = Global()) : manager_(manager) {
+      manager_.Pin();
+    }
+    ~Guard() { manager_.Unpin(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochManager& manager_;
+  };
+
+  /// Hands `object` to the limbo list, stamped with the current epoch. The
+  /// caller must already have unpublished it (no new reader can reach it).
+  void Retire(void* object, void (*deleter)(void*)) {
+    const uint64_t epoch = global_.load(std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    limbo_.push_back(Retired{object, deleter, epoch});
+    retired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  template <typename T>
+  void Retire(T* object) {
+    Retire(const_cast<void*>(static_cast<const void*>(object)),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Moves the global epoch forward; call after Retire so future pins land
+  /// past the retired object's epoch. Returns the new epoch.
+  uint64_t AdvanceEpoch() {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Frees every retired object whose epoch is behind all active pins.
+  /// Writer-side; cheap no-op when another thread is already reclaiming.
+  size_t TryReclaim() {
+    std::unique_lock<std::mutex> lock(limbo_mu_, std::try_to_lock);
+    if (!lock.owns_lock() || limbo_.empty()) return 0;
+    const uint64_t min_active = MinActiveEpoch();
+    std::vector<Retired> free_now;
+    size_t kept = 0;
+    for (Retired& node : limbo_) {
+      if (node.epoch < min_active) {
+        free_now.push_back(node);
+      } else {
+        limbo_[kept++] = node;
+      }
+    }
+    limbo_.resize(kept);
+    lock.unlock();
+    for (const Retired& node : free_now) node.deleter(node.object);
+    reclaimed_.fetch_add(free_now.size(), std::memory_order_relaxed);
+    return free_now.size();
+  }
+
+  uint64_t epoch() const { return global_.load(std::memory_order_seq_cst); }
+
+  /// Smallest epoch pinned by any reader; kIdleEpoch when nobody reads.
+  uint64_t MinActiveEpoch() const {
+    uint64_t min_active = kIdleEpoch;
+    for (const Slot& slot : slots_) {
+      if (!slot.claimed.load(std::memory_order_acquire)) continue;
+      const uint64_t pinned = slot.epoch.load(std::memory_order_seq_cst);
+      if (pinned < min_active) min_active = pinned;
+    }
+    std::lock_guard<std::mutex> lock(overflow_mu_);
+    if (!overflow_pins_.empty() && *overflow_pins_.begin() < min_active) {
+      min_active = *overflow_pins_.begin();
+    }
+    return min_active;
+  }
+
+  uint64_t retired_total() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  uint64_t reclaimed_total() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  size_t limbo_size() const {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    return limbo_.size();
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdleEpoch};
+    std::atomic<bool> claimed{false};
+  };
+
+  struct Retired {
+    void* object;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  // Per-thread bookkeeping. One entry per (thread, manager) pair, keyed by
+  // (pointer, generation id): a manager address can be reused after a
+  // test-scoped manager dies, so the pointer alone would match a stale
+  // entry whose slot the reborn manager never handed out. The thread-exit
+  // destructor returns claimed slots to managers that are still alive
+  // (same (pointer, id) under LiveMutex); a manager that died first is
+  // simply skipped.
+  struct ThreadEntry {
+    EpochManager* manager = nullptr;
+    uint64_t manager_id = 0;
+    Slot* slot = nullptr;  ///< null => overflow pinning via mutex
+    uint32_t depth = 0;
+    std::multiset<uint64_t>::iterator overflow_it{};
+  };
+
+  struct ThreadState {
+    std::vector<ThreadEntry> entries;
+    ~ThreadState() {
+      std::lock_guard<std::mutex> lock(LiveMutex());
+      for (ThreadEntry& entry : entries) {
+        auto it = LiveMap().find(entry.manager);
+        if (it == LiveMap().end() || it->second != entry.manager_id ||
+            entry.slot == nullptr) {
+          continue;
+        }
+        entry.slot->epoch.store(kIdleEpoch, std::memory_order_seq_cst);
+        entry.slot->claimed.store(false, std::memory_order_release);
+      }
+    }
+  };
+
+  static std::mutex& LiveMutex() {
+    static std::mutex mu;
+    return mu;
+  }
+  static std::map<EpochManager*, uint64_t>& LiveMap() {
+    static std::map<EpochManager*, uint64_t> live;
+    return live;
+  }
+  static uint64_t NextManagerId() {
+    static std::atomic<uint64_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void InitEntry(ThreadEntry* entry) {
+    entry->manager = this;
+    entry->manager_id = id_;
+    entry->slot = nullptr;
+    entry->depth = 0;
+    for (Slot& slot : slots_) {
+      bool expected = false;
+      if (!slot.claimed.load(std::memory_order_relaxed) &&
+          slot.claimed.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+        entry->slot = &slot;
+        break;
+      }
+    }
+  }
+
+  ThreadEntry& EntryForThisThread() {
+    static thread_local ThreadState state;
+    for (ThreadEntry& entry : state.entries) {
+      if (entry.manager != this) continue;
+      // Same address but an older generation: the old manager is gone,
+      // its slot with it — rebind this entry to the live incarnation.
+      if (entry.manager_id != id_) InitEntry(&entry);
+      return entry;
+    }
+    ThreadEntry entry;
+    InitEntry(&entry);
+    state.entries.push_back(entry);
+    return state.entries.back();
+  }
+
+  void Pin() {
+    ThreadEntry& entry = EntryForThisThread();
+    if (entry.depth++ > 0) return;
+    if (entry.slot != nullptr) {
+      uint64_t epoch = global_.load(std::memory_order_seq_cst);
+      for (;;) {
+        entry.slot->epoch.store(epoch, std::memory_order_seq_cst);
+        const uint64_t now = global_.load(std::memory_order_seq_cst);
+        if (now == epoch) break;
+        epoch = now;
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      entry.overflow_it =
+          overflow_pins_.insert(global_.load(std::memory_order_seq_cst));
+    }
+  }
+
+  void Unpin() {
+    ThreadEntry& entry = EntryForThisThread();
+    if (--entry.depth > 0) return;
+    if (entry.slot != nullptr) {
+      entry.slot->epoch.store(kIdleEpoch, std::memory_order_seq_cst);
+    } else {
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      overflow_pins_.erase(entry.overflow_it);
+    }
+  }
+
+  const uint64_t id_;  ///< generation id distinguishing address reuse
+  std::atomic<uint64_t> global_{1};
+  std::array<Slot, kMaxSlots> slots_;
+  mutable std::mutex limbo_mu_;
+  std::vector<Retired> limbo_;
+  mutable std::mutex overflow_mu_;
+  std::multiset<uint64_t> overflow_pins_;
+  std::atomic<uint64_t> retired_{0};
+  std::atomic<uint64_t> reclaimed_{0};
+};
+
+}  // namespace wsie
+
+#endif  // WSIE_COMMON_EPOCH_H_

@@ -1,0 +1,197 @@
+#include "serve/admission_queue.h"
+
+#include <bit>
+
+namespace wsie::serve {
+
+AdmissionQueue::AdmissionQueue(std::shared_ptr<const QueryEngine> engine,
+                               Options options)
+    : engine_(std::move(engine)),
+      capacity_(std::bit_ceil(options.capacity < 2 ? size_t{2}
+                                                   : options.capacity)),
+      mask_(capacity_ - 1),
+      batch_size_(options.batch_size < 1 ? 1 : options.batch_size),
+      cells_(capacity_) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  enqueued_ = registry.GetCounter("wsie.serve.admission.enqueued");
+  rejected_ = registry.GetCounter("wsie.serve.admission.rejected");
+  batches_ = registry.GetCounter("wsie.serve.admission.batches");
+  batch_size_hist_ = registry.GetHistogram(
+      "wsie.serve.admission.batch_size",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  queue_depth_ = registry.GetGauge("wsie.serve.admission.queue_depth");
+  request_latency_ns_ =
+      registry.GetHistogram("wsie.serve.request.latency_ns");
+
+  const size_t workers = options.workers < 1 ? 1 : options.workers;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() { Stop(); }
+
+bool AdmissionQueue::TryEnqueue(const Work& work) {
+  size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  Cell* cell;
+  for (;;) {
+    cell = &cells_[pos & mask_];
+    const size_t seq = cell->sequence.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    } else if (dif < 0) {
+      return false;  // full
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+  cell->work = work;
+  cell->sequence.store(pos + 1, std::memory_order_release);
+  return true;
+}
+
+bool AdmissionQueue::TryDequeue(Work* work) {
+  size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Cell* cell;
+  for (;;) {
+    cell = &cells_[pos & mask_];
+    const size_t seq = cell->sequence.load(std::memory_order_acquire);
+    const intptr_t dif =
+        static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        break;
+      }
+    } else if (dif < 0) {
+      return false;  // empty (or the producer has not published yet)
+    } else {
+      pos = dequeue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+  *work = cell->work;
+  cell->sequence.store(pos + capacity_, std::memory_order_release);
+  return true;
+}
+
+bool AdmissionQueue::Submit(const QueryEngine::Request& request,
+                            QueryEngine::Response* response) {
+  // pending_submits_ makes Stop() wait out in-flight admissions, so an
+  // admitted request is always drained even when Stop races with Submit.
+  pending_submits_.fetch_add(1, std::memory_order_acq_rel);
+  if (stopping_.load(std::memory_order_acquire)) {
+    pending_submits_.fetch_sub(1, std::memory_order_release);
+    rejected_->Increment();
+    return false;
+  }
+
+  std::atomic<uint32_t> done{0};
+  Work work;
+  work.request = &request;
+  work.response = response;
+  work.done = &done;
+  work.admitted = std::chrono::steady_clock::now();
+  while (!TryEnqueue(work)) {
+    if (stopping_.load(std::memory_order_acquire)) {
+      pending_submits_.fetch_sub(1, std::memory_order_release);
+      rejected_->Increment();
+      return false;
+    }
+    std::this_thread::yield();  // backpressure: ring full
+  }
+  enqueued_->Increment();
+  tickets_.fetch_add(1, std::memory_order_release);
+  tickets_.notify_one();
+  pending_submits_.fetch_sub(1, std::memory_order_release);
+
+  while (done.load(std::memory_order_acquire) == 0) {
+    done.wait(0, std::memory_order_acquire);
+  }
+  return true;
+}
+
+void AdmissionQueue::RunBatch(const Work* batch, size_t n) {
+  // Small fixed stacks would do, but batch sizes are configurable;
+  // thread_local scratch keeps the worker allocation-free at steady state.
+  thread_local std::vector<QueryEngine::Request> requests;
+  thread_local std::vector<QueryEngine::Response> responses;
+  requests.clear();
+  responses.clear();
+  requests.reserve(n);
+  responses.resize(n);
+  for (size_t i = 0; i < n; ++i) requests.push_back(*batch[i].request);
+  engine_->ExecuteBatch(requests.data(), responses.data(), n);
+  const auto now = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    *batch[i].response = std::move(responses[i]);
+    request_latency_ns_->Observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - batch[i].admitted)
+            .count()));
+    batch[i].done->store(1, std::memory_order_release);
+    batch[i].done->notify_one();
+  }
+  batches_->Increment();
+  batch_size_hist_->Observe(static_cast<double>(n));
+}
+
+void AdmissionQueue::WorkerLoop() {
+  std::vector<Work> batch(batch_size_);
+  for (;;) {
+    size_t n = 0;
+    while (n < batch_size_ && TryDequeue(&batch[n])) ++n;
+    if (n == 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      const uint64_t seen = tickets_.load(std::memory_order_acquire);
+      // Re-check after reading the ticket so a concurrent enqueue between
+      // the empty dequeue and the wait cannot be missed.
+      if (TryDequeue(&batch[0])) {
+        n = 1;
+        while (n < batch_size_ && TryDequeue(&batch[n])) ++n;
+      } else {
+        tickets_.wait(seen, std::memory_order_acquire);
+        continue;
+      }
+    }
+    queue_depth_->Set(static_cast<double>(
+        enqueue_pos_.load(std::memory_order_relaxed) -
+        dequeue_pos_.load(std::memory_order_relaxed)));
+    RunBatch(batch.data(), n);
+  }
+}
+
+void AdmissionQueue::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wait until racing Submit calls have either bailed or fully published
+  // their ring slot, then wake the workers; they drain until empty.
+  while (pending_submits_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  tickets_.fetch_add(1, std::memory_order_release);
+  tickets_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // A worker can observe (empty, stopping) and exit while another slot is
+  // being published; complete any stragglers inline so no submitter hangs.
+  Work work;
+  while (TryDequeue(&work)) {
+    RunBatch(&work, 1);
+  }
+}
+
+}  // namespace wsie::serve

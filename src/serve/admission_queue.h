@@ -1,0 +1,99 @@
+#ifndef WSIE_SERVE_ADMISSION_QUEUE_H_
+#define WSIE_SERVE_ADMISSION_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+
+namespace wsie::serve {
+
+/// Batched admission in front of the QueryEngine.
+///
+/// Producers (connection handlers, load-generator clients) enqueue
+/// requests onto a bounded lock-free MPMC ring (Vyukov sequence-counter
+/// design: one CAS per enqueue/dequeue, no mutex anywhere on the data
+/// path); worker threads drain the ring in batches of up to
+/// `batch_size` and run each batch under a single epoch pin
+/// (QueryEngine::ExecuteBatch), so per-query pin and dispatch overhead is
+/// amortized across the batch. Submitters block on a per-request
+/// completion flag (futex-backed std::atomic wait/notify) — the queue is
+/// closed-loop by construction.
+///
+/// A full ring applies backpressure: Submit spin-yields until a slot
+/// frees or the queue stops. Stop() drains every admitted request before
+/// returning, so no submitter is left waiting.
+class AdmissionQueue {
+ public:
+  struct Options {
+    size_t capacity = 1024;  ///< ring slots, rounded up to a power of two
+    size_t batch_size = 32;  ///< max requests per worker batch
+    size_t workers = 1;      ///< executor threads
+  };
+
+  AdmissionQueue(std::shared_ptr<const QueryEngine> engine, Options options);
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Enqueues and blocks until `*response` is filled. Returns false (and
+  /// leaves `*response` untouched) when the queue is stopping. Callers
+  /// must not destroy `request`/`response` until Submit returns.
+  bool Submit(const QueryEngine::Request& request,
+              QueryEngine::Response* response);
+
+  /// Stops the workers after draining every admitted request.
+  void Stop();
+
+  size_t capacity() const { return capacity_; }
+  size_t batch_size() const { return batch_size_; }
+
+ private:
+  struct Work {
+    const QueryEngine::Request* request = nullptr;
+    QueryEngine::Response* response = nullptr;
+    std::atomic<uint32_t>* done = nullptr;
+    std::chrono::steady_clock::time_point admitted{};
+  };
+
+  struct alignas(64) Cell {
+    std::atomic<size_t> sequence{0};
+    Work work;
+  };
+
+  bool TryEnqueue(const Work& work);
+  bool TryDequeue(Work* work);
+  void WorkerLoop();
+  void RunBatch(const Work* batch, size_t n);
+
+  std::shared_ptr<const QueryEngine> engine_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t batch_size_ = 0;
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+
+  /// Bumped on every enqueue; idle workers wait on it instead of spinning.
+  alignas(64) std::atomic<uint64_t> tickets_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> pending_submits_{0};
+  std::vector<std::thread> workers_;
+
+  obs::Counter* enqueued_;
+  obs::Counter* rejected_;
+  obs::Counter* batches_;
+  obs::Histogram* batch_size_hist_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* request_latency_ns_;
+};
+
+}  // namespace wsie::serve
+
+#endif  // WSIE_SERVE_ADMISSION_QUEUE_H_

@@ -2,13 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <map>
-#include <set>
-#include <tuple>
 #include <utility>
+
+#include "common/epoch.h"
 
 namespace wsie::serve {
 namespace {
+
+using store::AnnotationStore;
+using store::ServingIndex;
 
 /// Records elapsed wall time into the latency histogram on scope exit.
 class LatencyScope {
@@ -32,6 +34,80 @@ bool GroupMatches(const store::PostingGroup& group, const QueryFilter& filter) {
   if (filter.type != kAny && group.type != filter.type) return false;
   if (filter.method != kAny && group.method != filter.method) return false;
   return true;
+}
+
+bool ComboMatches(const ServingIndex::ComboCount& combo,
+                  const QueryFilter& filter) {
+  if (filter.corpus != kAny && combo.corpus != filter.corpus) return false;
+  if (filter.type != kAny && combo.type != filter.type) return false;
+  if (filter.method != kAny && combo.method != filter.method) return false;
+  return true;
+}
+
+bool IsUnfiltered(const QueryFilter& filter) {
+  return filter.corpus == kAny && filter.type == kAny && filter.method == kAny;
+}
+
+/// A (corpus, doc, sentence) key for co-occurrence intersection.
+struct SentenceKey {
+  uint8_t corpus = 0;
+  uint64_t doc = 0;
+  uint32_t sentence = 0;
+
+  friend auto operator<=>(const SentenceKey&, const SentenceKey&) = default;
+};
+
+/// Sorts + dedupes `v` in place, leaving the distinct-key count.
+template <typename T>
+size_t SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+  return v->size();
+}
+
+/// Count of elements present in both sorted-unique vectors.
+template <typename T>
+uint64_t IntersectCount(const std::vector<T>& a, const std::vector<T>& b) {
+  uint64_t n = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++n;
+      ++ia;
+      ++ib;
+    }
+  }
+  return n;
+}
+
+/// Appends every (corpus, doc) / (corpus, doc, sentence) key of `name`'s
+/// filter-matching postings, then sort-uniques both.
+void CollectOccurrences(const AnnotationStore::SegmentSet& set,
+                        std::string_view name, const QueryFilter& filter,
+                        std::vector<store::DocKey>* docs,
+                        std::vector<SentenceKey>* sentences) {
+  const int64_t term = set.index.FindTerm(name);
+  if (term >= 0) {
+    for (const ServingIndex::TermRef& ref : set.index.Refs(term)) {
+      const store::Segment& segment = *set.segments[ref.segment];
+      for (const store::PostingGroup& group :
+           segment.GroupsForTerm(ref.term_id)) {
+        if (!GroupMatches(group, filter)) continue;
+        for (const store::Posting& posting : group.postings) {
+          docs->push_back(store::DocKey{group.corpus, posting.doc_id});
+          sentences->push_back(
+              SentenceKey{group.corpus, posting.doc_id, posting.sentence});
+        }
+      }
+    }
+  }
+  SortUnique(docs);
+  SortUnique(sentences);
 }
 
 }  // namespace
@@ -64,26 +140,60 @@ QueryEngine::LookupResult QueryEngine::Lookup(std::string_view name,
                                               size_t max_postings) const {
   queries_lookup_->Increment();
   LatencyScope timer(latency_ns_);
+  AnnotationStore::PinnedSet pin(*store_);
+  snapshot_segments_->Set(static_cast<double>(pin->segments.size()));
+
   LookupResult result;
-  std::set<std::pair<uint8_t, uint64_t>> seen_docs;
-  for (const auto& segment : snapshot().segments) {
-    int term_id = segment->FindTerm(name);
-    if (term_id < 0) continue;
+  const ServingIndex& index = pin->index;
+  const int64_t term = index.FindTerm(name);
+  if (term < 0) return result;
+
+  if (IsUnfiltered(filter)) {
+    // Fully precomputed: no posting list is touched unless the caller
+    // asked for raw postings back.
+    result.found = true;
+    result.count = index.total_count(term);
+    result.docs = index.distinct_docs(term);
+    result.per_corpus = index.per_corpus(term);
+    for (const ServingIndex::TermRef& ref : index.Refs(term)) {
+      if (result.postings.size() >= max_postings) break;
+      const store::Segment& segment = *pin->segments[ref.segment];
+      for (const store::PostingGroup& group :
+           segment.GroupsForTerm(ref.term_id)) {
+        for (const store::Posting& posting : group.postings) {
+          if (result.postings.size() >= max_postings) break;
+          result.postings.push_back(posting);
+        }
+      }
+    }
+    return result;
+  }
+
+  // Filtered: walk exactly the segments holding the term, in publication
+  // order (the same order the full-scan engine visits them).
+  thread_local std::vector<store::DocKey> doc_scratch;
+  doc_scratch.clear();
+  for (const ServingIndex::TermRef& ref : index.Refs(term)) {
+    const store::Segment& segment = *pin->segments[ref.segment];
     for (const store::PostingGroup& group :
-         segment->GroupsForTerm(static_cast<uint32_t>(term_id))) {
+         segment.GroupsForTerm(ref.term_id)) {
       if (!GroupMatches(group, filter)) continue;
       result.found = true;
       result.count += group.postings.size();
       result.per_corpus[group.corpus] += group.postings.size();
+      uint64_t prev_doc = UINT64_MAX;
       for (const store::Posting& posting : group.postings) {
-        seen_docs.emplace(group.corpus, posting.doc_id);
+        if (posting.doc_id != prev_doc) {
+          doc_scratch.push_back(store::DocKey{group.corpus, posting.doc_id});
+          prev_doc = posting.doc_id;
+        }
         if (result.postings.size() < max_postings) {
           result.postings.push_back(posting);
         }
       }
     }
   }
-  result.docs = seen_docs.size();
+  result.docs = SortUnique(&doc_scratch);
   return result;
 }
 
@@ -91,18 +201,16 @@ std::vector<std::string> QueryEngine::PrefixScan(std::string_view prefix,
                                                  size_t limit) const {
   queries_prefix_->Increment();
   LatencyScope timer(latency_ns_);
-  std::set<std::string> names;
-  for (const auto& segment : snapshot().segments) {
-    auto [first, last] = segment->PrefixRange(prefix);
-    for (size_t i = first; i < last; ++i) {
-      names.insert(segment->terms()[i]);
-    }
-  }
+  AnnotationStore::PinnedSet pin(*store_);
+  snapshot_segments_->Set(static_cast<double>(pin->segments.size()));
+
+  // The index's term table IS the sorted, deduplicated union of every
+  // segment dictionary — the scan is a binary search plus a copy-out.
+  auto [first, last] = pin->index.PrefixRange(prefix);
   std::vector<std::string> result;
-  result.reserve(std::min(limit, names.size()));
-  for (const std::string& name : names) {
-    if (result.size() >= limit) break;
-    result.push_back(name);
+  result.reserve(std::min(limit, last - first));
+  for (size_t i = first; i < last && result.size() < limit; ++i) {
+    result.emplace_back(pin->index.term(i));
   }
   return result;
 }
@@ -116,19 +224,21 @@ QueryEngine::FrequencyResult QueryEngine::CorpusFrequency(int corpus, int type,
       type < 0 || type >= static_cast<int>(store::kNumTypes)) {
     return result;
   }
+  AnnotationStore::PinnedSet pin(*store_);
+  snapshot_segments_->Set(static_cast<double>(pin->segments.size()));
+  const ServingIndex& index = pin->index;
+
+  result.sentences = index.sentences(corpus);
   std::array<uint64_t, store::kNumMethods> per_method{};
-  std::set<std::string_view> distinct;
-  store::AnnotationStore::Snapshot snap = snapshot();
-  for (const auto& segment : snap.segments) {
-    result.sentences += segment->corpus_stats()[corpus].sentences;
-    for (const store::PostingGroup& group : segment->groups()) {
-      if (group.corpus != corpus || group.type != type) continue;
-      if (method != kAny && group.method != method) continue;
-      per_method[group.method] += group.postings.size();
-      distinct.insert(segment->terms()[group.term_id]);
+  for (size_t m = 0; m < store::kNumMethods; ++m) {
+    if (method == kAny || method == static_cast<int>(m)) {
+      per_method[m] = index.annotations(corpus, type, m);
     }
   }
-  result.distinct_names = distinct.size();
+  result.distinct_names = index.distinct_names(
+      corpus, type,
+      method == kAny ? ServingIndex::kMethodUnion
+                     : static_cast<size_t>(method));
   for (uint64_t annotations : per_method) result.annotations += annotations;
   // One division per method, then summed for kAny — the same float
   // evaluation order as CorpusAnalysis::EntitiesPer1000Sentences[AllMethods].
@@ -145,67 +255,103 @@ std::vector<QueryEngine::EntityCount> QueryEngine::TopK(
     size_t k, const QueryFilter& filter) const {
   queries_topk_->Increment();
   LatencyScope timer(latency_ns_);
-  std::map<std::string_view, uint64_t> counts;
-  store::AnnotationStore::Snapshot snap = snapshot();
-  for (const auto& segment : snap.segments) {
-    for (const store::PostingGroup& group : segment->groups()) {
-      if (!GroupMatches(group, filter)) continue;
-      counts[segment->terms()[group.term_id]] += group.postings.size();
+  AnnotationStore::PinnedSet pin(*store_);
+  snapshot_segments_->Set(static_cast<double>(pin->segments.size()));
+  const ServingIndex& index = pin->index;
+
+  // One pass over the per-term combo table — never the posting lists.
+  // Term ids ascend in name order, so (count desc, id asc) reproduces the
+  // seed engine's (count desc, name asc) order exactly.
+  struct Hit {
+    uint64_t count;
+    size_t term;
+  };
+  thread_local std::vector<Hit> hits;
+  hits.clear();
+  const bool unfiltered = IsUnfiltered(filter);
+  for (size_t i = 0; i < index.num_terms(); ++i) {
+    uint64_t count = 0;
+    if (unfiltered) {
+      count = index.total_count(i);
+    } else {
+      for (const ServingIndex::ComboCount& combo : index.Combos(i)) {
+        if (ComboMatches(combo, filter)) count += combo.count;
+      }
     }
+    if (count > 0) hits.push_back(Hit{count, i});
   }
-  std::vector<EntityCount> all;
-  all.reserve(counts.size());
-  for (const auto& [name, count] : counts) {
-    all.push_back(EntityCount{std::string(name), count});
+  const size_t top = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(top),
+                    hits.end(), [](const Hit& a, const Hit& b) {
+                      if (a.count != b.count) return a.count > b.count;
+                      return a.term < b.term;
+                    });
+  std::vector<EntityCount> result;
+  result.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    result.push_back(
+        EntityCount{std::string(index.term(hits[i].term)), hits[i].count});
   }
-  std::sort(all.begin(), all.end(),
-            [](const EntityCount& a, const EntityCount& b) {
-              if (a.count != b.count) return a.count > b.count;
-              return a.name < b.name;
-            });
-  if (all.size() > k) all.resize(k);
-  return all;
+  return result;
 }
 
 QueryEngine::CoOccurrenceResult QueryEngine::CoOccurrence(
     std::string_view a, std::string_view b, const QueryFilter& filter) const {
   queries_cooccurrence_->Increment();
   LatencyScope timer(latency_ns_);
-  // Doc ids are only unique within a corpus, so occurrence sets are keyed
-  // by (corpus, doc) and (corpus, doc, sentence).
-  using DocKey = std::pair<uint8_t, uint64_t>;
-  using SentenceKey = std::tuple<uint8_t, uint64_t, uint32_t>;
-  auto collect = [&](std::string_view name, std::set<DocKey>* docs,
-                     std::set<SentenceKey>* sentences,
-                     const store::AnnotationStore::Snapshot& snap) {
-    for (const auto& segment : snap.segments) {
-      int term_id = segment->FindTerm(name);
-      if (term_id < 0) continue;
-      for (const store::PostingGroup& group :
-           segment->GroupsForTerm(static_cast<uint32_t>(term_id))) {
-        if (!GroupMatches(group, filter)) continue;
-        for (const store::Posting& posting : group.postings) {
-          docs->emplace(group.corpus, posting.doc_id);
-          sentences->emplace(group.corpus, posting.doc_id, posting.sentence);
-        }
-      }
-    }
-  };
+  AnnotationStore::PinnedSet pin(*store_);
+  snapshot_segments_->Set(static_cast<double>(pin->segments.size()));
 
-  store::AnnotationStore::Snapshot snap = snapshot();
-  std::set<DocKey> docs_a, docs_b;
-  std::set<SentenceKey> sentences_a, sentences_b;
-  collect(a, &docs_a, &sentences_a, snap);
-  collect(b, &docs_b, &sentences_b, snap);
+  thread_local std::vector<store::DocKey> docs_a, docs_b;
+  thread_local std::vector<SentenceKey> sentences_a, sentences_b;
+  docs_a.clear();
+  docs_b.clear();
+  sentences_a.clear();
+  sentences_b.clear();
+  CollectOccurrences(*pin, a, filter, &docs_a, &sentences_a);
+  CollectOccurrences(*pin, b, filter, &docs_b, &sentences_b);
 
   CoOccurrenceResult result;
-  for (const DocKey& key : docs_a) {
-    if (docs_b.count(key)) ++result.docs;
-  }
-  for (const SentenceKey& key : sentences_a) {
-    if (sentences_b.count(key)) ++result.sentences;
-  }
+  result.docs = IntersectCount(docs_a, docs_b);
+  result.sentences = IntersectCount(sentences_a, sentences_b);
   return result;
+}
+
+QueryEngine::Response QueryEngine::Execute(const Request& request) const {
+  Response response;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case Request::Kind::kLookup:
+      response.lookup = Lookup(request.name, request.filter, request.limit);
+      break;
+    case Request::Kind::kPrefix:
+      response.names =
+          PrefixScan(request.name, request.limit == 0 ? 100 : request.limit);
+      break;
+    case Request::Kind::kFrequency:
+      response.frequency =
+          CorpusFrequency(request.corpus, request.type, request.method);
+      break;
+    case Request::Kind::kTopK:
+      response.topk = TopK(request.limit == 0 ? 10 : request.limit,
+                           request.filter);
+      break;
+    case Request::Kind::kCoOccurrence:
+      response.cooccurrence =
+          CoOccurrence(request.name, request.name_b, request.filter);
+      break;
+  }
+  return response;
+}
+
+void QueryEngine::ExecuteBatch(const Request* requests, Response* responses,
+                               size_t n) const {
+  // Guards nest: this outer pin makes every per-query pin a no-op and
+  // holds one epoch for the whole batch.
+  EpochManager::Guard guard;
+  for (size_t i = 0; i < n; ++i) {
+    responses[i] = Execute(requests[i]);
+  }
 }
 
 }  // namespace wsie::serve

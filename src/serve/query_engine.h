@@ -26,12 +26,18 @@ struct QueryFilter {
 
 /// Concurrent entity query engine over an AnnotationStore.
 ///
-/// Every query runs against one snapshot taken at entry (epoch/refcounted
-/// segment set), so a query sees a consistent store state even while
-/// appends and compactions land concurrently — and never blocks them. All
-/// entry points are const and thread-safe: the engine holds no per-query
-/// mutable state, and the wsie.serve.* instrumentation (per-kind query
-/// counters + one latency histogram) is lock-free.
+/// Every query pins the store's current epoch at entry
+/// (AnnotationStore::PinnedSet — a per-thread slot write plus one acquire
+/// load, no locks, no refcount traffic), so a query sees a consistent
+/// store state even while appends and compactions land concurrently — and
+/// never blocks them. Common shapes (unfiltered lookups, frequency,
+/// top-k, prefix scans) are answered from the set's precomputed
+/// ServingIndex without touching posting lists; the remaining shapes walk
+/// exactly the segments the seed engine walked, in the same order, so
+/// every result is bit-identical to the full-walk engine. All entry
+/// points are const and thread-safe: per-query scratch is thread_local,
+/// and the wsie.serve.* instrumentation (per-kind query counters + one
+/// latency histogram) is lock-free.
 class QueryEngine {
  public:
   explicit QueryEngine(std::shared_ptr<store::AnnotationStore> annotations);
@@ -87,6 +93,46 @@ class QueryEngine {
   };
   CoOccurrenceResult CoOccurrence(std::string_view a, std::string_view b,
                                   const QueryFilter& filter = {}) const;
+
+  // ----------------------------------------------------------------- batch
+
+  /// A serialized query — what the admission queue and the text-protocol
+  /// server carry. One struct for all kinds; unused fields are ignored.
+  struct Request {
+    enum class Kind : uint8_t {
+      kLookup,
+      kPrefix,
+      kFrequency,
+      kTopK,
+      kCoOccurrence,
+    };
+    Kind kind = Kind::kLookup;
+    std::string name;    ///< lookup name, prefix, or co-occurrence A
+    std::string name_b;  ///< co-occurrence B
+    QueryFilter filter;
+    size_t limit = 0;  ///< lookup max_postings / prefix limit / top-k k
+    int corpus = 0;    ///< frequency
+    int type = 0;      ///< frequency
+    int method = kAny; ///< frequency
+  };
+
+  /// The matching result; only the field for `kind` is populated.
+  struct Response {
+    Request::Kind kind = Request::Kind::kLookup;
+    LookupResult lookup;
+    std::vector<std::string> names;
+    FrequencyResult frequency;
+    std::vector<EntityCount> topk;
+    CoOccurrenceResult cooccurrence;
+  };
+
+  Response Execute(const Request& request) const;
+
+  /// Executes `n` requests under a single epoch pin — the admission
+  /// queue's batch path, amortizing the (already tiny) pin cost and
+  /// keeping one generation alive for the whole batch.
+  void ExecuteBatch(const Request* requests, Response* responses,
+                    size_t n) const;
 
   /// The store snapshot a fresh query would use (for introspection).
   store::AnnotationStore::Snapshot snapshot() const;

@@ -1,0 +1,313 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+namespace wsie::serve {
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      const int hi = HexValue(in[i + 1]), lo = HexValue(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(in[i] == '+' ? ' ' : in[i]);
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseQuery(std::string_view query) {
+  std::map<std::string, std::string> params;
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+    } else if (!pair.empty()) {
+      params[UrlDecode(pair)] = "";
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return params;
+}
+
+int ParamInt(const std::map<std::string, std::string>& params,
+             const std::string& key, int fallback) {
+  auto it = params.find(key);
+  if (it == params.end() || it->second.empty()) return fallback;
+  return std::atoi(it->second.c_str());
+}
+
+QueryFilter FilterFromParams(
+    const std::map<std::string, std::string>& params) {
+  QueryFilter filter;
+  filter.corpus = ParamInt(params, "corpus", kAny);
+  filter.type = ParamInt(params, "type", kAny);
+  filter.method = ParamInt(params, "method", kAny);
+  return filter;
+}
+
+std::string FormatResponse(const QueryEngine::Response& response) {
+  std::ostringstream body;
+  using Kind = QueryEngine::Request::Kind;
+  switch (response.kind) {
+    case Kind::kLookup: {
+      const auto& r = response.lookup;
+      body << "found=" << (r.found ? 1 : 0) << " count=" << r.count
+           << " docs=" << r.docs << " per_corpus=";
+      for (size_t c = 0; c < r.per_corpus.size(); ++c) {
+        body << (c == 0 ? "" : ",") << r.per_corpus[c];
+      }
+      body << "\n";
+      for (const store::Posting& p : r.postings) {
+        body << "posting doc=" << p.doc_id << " sentence=" << p.sentence
+             << " begin=" << p.begin << " end=" << p.end << "\n";
+      }
+      break;
+    }
+    case Kind::kPrefix:
+      for (const std::string& name : response.names) body << name << "\n";
+      break;
+    case Kind::kFrequency: {
+      const auto& r = response.frequency;
+      body << "distinct_names=" << r.distinct_names
+           << " annotations=" << r.annotations
+           << " sentences=" << r.sentences
+           << " per_1000_sentences=" << r.per_1000_sentences << "\n";
+      break;
+    }
+    case Kind::kTopK:
+      for (const auto& entry : response.topk) {
+        body << entry.name << " " << entry.count << "\n";
+      }
+      break;
+    case Kind::kCoOccurrence:
+      body << "docs=" << response.cooccurrence.docs
+           << " sentences=" << response.cooccurrence.sentences << "\n";
+      break;
+  }
+  return body.str();
+}
+
+void WriteAll(int fd, std::string_view data, obs::Counter* bytes_out) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    written += static_cast<size_t>(n);
+  }
+  bytes_out->Add(data.size());
+}
+
+void WriteHttp(int fd, int code, std::string_view reason,
+               const std::string& body, obs::Counter* bytes_out) {
+  std::ostringstream head;
+  head << "HTTP/1.1 " << code << " " << reason << "\r\n"
+       << "Content-Type: text/plain\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n";
+  WriteAll(fd, head.str(), bytes_out);
+  WriteAll(fd, body, bytes_out);
+}
+
+}  // namespace
+
+Server::Server(std::shared_ptr<AdmissionQueue> queue, Options options)
+    : queue_(std::move(queue)), options_(options) {
+  auto& registry = obs::MetricsRegistry::Global();
+  requests_ = registry.GetCounter("wsie.serve.server.requests");
+  bad_requests_ = registry.GetCounter("wsie.serve.server.bad_requests");
+  bytes_out_ = registry.GetCounter("wsie.serve.server.bytes_out");
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("server: socket: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("server: bind: ") +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("server: listen: ") +
+                            std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  // The loop gets its own copy of the fd: Stop() writes listen_fd_ from
+  // another thread, and accept() on the closed descriptor fails cleanly.
+  accept_thread_ = std::thread([this, fd = listen_fd_] { AcceptLoop(fd); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // Shutdown unblocks a pending accept(); close releases the port.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void Server::AcceptLoop(int listen_fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listen socket gone
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  // Read until the header terminator (bodies are not part of the
+  // protocol); cap the request at 64 KiB.
+  std::string request;
+  char buf[4096];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 64 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  requests_->Increment();
+
+  const size_t line_end = request.find("\r\n");
+  std::string_view line(request.data(),
+                        line_end == std::string::npos ? request.size()
+                                                      : line_end);
+  if (line.substr(0, 4) != "GET ") {
+    bad_requests_->Increment();
+    WriteHttp(fd, 400, "Bad Request", "expected GET\n", bytes_out_);
+    return;
+  }
+  line.remove_prefix(4);
+  const size_t space = line.find(' ');
+  if (space == std::string_view::npos) {
+    bad_requests_->Increment();
+    WriteHttp(fd, 400, "Bad Request", "malformed request line\n", bytes_out_);
+    return;
+  }
+  std::string_view target = line.substr(0, space);
+  std::string_view path = target;
+  std::string_view query;
+  if (const size_t qmark = target.find('?');
+      qmark != std::string_view::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+
+  if (path == "/healthz") {
+    WriteHttp(fd, 200, "OK", "ok\n", bytes_out_);
+    return;
+  }
+  if (path == "/metrics") {
+    WriteHttp(fd, 200, "OK",
+              obs::MetricsRegistry::Global().DumpPrometheusText(),
+              bytes_out_);
+    return;
+  }
+
+  const auto params = ParseQuery(query);
+  QueryEngine::Request req;
+  using Kind = QueryEngine::Request::Kind;
+  if (path == "/lookup") {
+    if (!params.count("name") || params.at("name").empty()) {
+      bad_requests_->Increment();
+      WriteHttp(fd, 400, "Bad Request", "missing name\n", bytes_out_);
+      return;
+    }
+    req.kind = Kind::kLookup;
+    req.name = params.at("name");
+    req.filter = FilterFromParams(params);
+    req.limit = static_cast<size_t>(ParamInt(params, "max", 0));
+  } else if (path == "/prefix") {
+    req.kind = Kind::kPrefix;
+    req.name = params.count("p") ? params.at("p") : "";
+    req.limit = static_cast<size_t>(ParamInt(params, "limit", 100));
+  } else if (path == "/topk") {
+    req.kind = Kind::kTopK;
+    req.filter = FilterFromParams(params);
+    req.limit = static_cast<size_t>(ParamInt(params, "k", 10));
+  } else if (path == "/freq") {
+    req.kind = Kind::kFrequency;
+    req.corpus = ParamInt(params, "corpus", 0);
+    req.type = ParamInt(params, "type", 0);
+    req.method = ParamInt(params, "method", kAny);
+  } else if (path == "/cooc") {
+    if (!params.count("a") || !params.count("b")) {
+      bad_requests_->Increment();
+      WriteHttp(fd, 400, "Bad Request", "missing a/b\n", bytes_out_);
+      return;
+    }
+    req.kind = Kind::kCoOccurrence;
+    req.name = params.at("a");
+    req.name_b = params.at("b");
+    req.filter = FilterFromParams(params);
+  } else {
+    bad_requests_->Increment();
+    WriteHttp(fd, 404, "Not Found", "unknown route\n", bytes_out_);
+    return;
+  }
+
+  QueryEngine::Response response;
+  if (!queue_->Submit(req, &response)) {
+    WriteHttp(fd, 503, "Service Unavailable", "shutting down\n", bytes_out_);
+    return;
+  }
+  WriteHttp(fd, 200, "OK", FormatResponse(response), bytes_out_);
+}
+
+}  // namespace wsie::serve

@@ -1,0 +1,74 @@
+#ifndef WSIE_SERVE_SERVER_H_
+#define WSIE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "serve/admission_queue.h"
+
+namespace wsie::serve {
+
+/// Minimal HTTP/1.1-style text protocol front end.
+///
+/// One accept-loop thread parses `GET <path>?<query>` requests, maps them
+/// onto QueryEngine::Request, pushes them through the AdmissionQueue
+/// (so wire traffic and in-process load generators share one admission
+/// path), and writes a plain-text response with Connection: close
+/// semantics. Routes:
+///
+///   /healthz                                   liveness probe
+///   /metrics                                   Prometheus exposition dump
+///   /lookup?name=&corpus=&type=&method=&max=   point lookup
+///   /prefix?p=&limit=                          prefix scan
+///   /topk?k=&corpus=&type=&method=             top-k names
+///   /freq?corpus=&type=&method=                corpus frequency
+///   /cooc?a=&b=&corpus=&type=&method=          co-occurrence
+///
+/// Unknown routes get 404, malformed requests 400. The server is a
+/// debugging/operations surface, not a high-fan-in proxy: per-connection
+/// work happens inline in the accept thread.
+class Server {
+ public:
+  struct Options {
+    uint16_t port = 0;  ///< 0 = ephemeral, read back via port()
+    int backlog = 64;
+  };
+
+  Server(std::shared_ptr<AdmissionQueue> queue, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop.
+  Status Start();
+  /// Stops accepting and joins the loop. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start succeeds).
+  uint16_t port() const { return port_; }
+
+ private:
+  void AcceptLoop(int listen_fd);
+  void HandleConnection(int fd);
+
+  std::shared_ptr<AdmissionQueue> queue_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  obs::Counter* requests_;
+  obs::Counter* bad_requests_;
+  obs::Counter* bytes_out_;
+};
+
+}  // namespace wsie::serve
+
+#endif  // WSIE_SERVE_SERVER_H_

@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <set>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "fault/checkpoint.h"
@@ -17,7 +18,8 @@ namespace wire = wsie::fault::wire;
 
 }  // namespace
 
-AnnotationStore::AnnotationStore(std::string dir) : dir_(std::move(dir)) {
+AnnotationStore::AnnotationStore(std::string dir)
+    : dir_(std::move(dir)), current_(new SegmentSet) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   segments_gauge_ = registry.GetGauge("wsie.store.segments");
   bytes_gauge_ = registry.GetGauge("wsie.store.bytes");
@@ -26,6 +28,14 @@ AnnotationStore::AnnotationStore(std::string dir) : dir_(std::move(dir)) {
   compactions_ = registry.GetCounter("wsie.store.compactions");
   merge_wall_ns_ = registry.GetHistogram("wsie.store.merge.wall_ns");
   segment_write_ns_ = registry.GetHistogram("wsie.store.segment.write_ns");
+  epoch_retired_gauge_ = registry.GetGauge("wsie.store.epoch.retired");
+  epoch_reclaimed_gauge_ = registry.GetGauge("wsie.store.epoch.reclaimed");
+}
+
+AnnotationStore::~AnnotationStore() {
+  // Retired sets belong to the epoch manager; only the live one is ours.
+  // By contract no reader pin outlives the store.
+  delete current_.load(std::memory_order_acquire);
 }
 
 std::string AnnotationStore::SegmentPath(uint64_t id) const {
@@ -44,9 +54,10 @@ Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
 
   const std::string manifest_path = dir + "/" + kManifestName;
   if (!std::filesystem::exists(manifest_path)) {
-    std::lock_guard<std::mutex> lock(store->mu_);
-    WSIE_RETURN_NOT_OK(store->WriteManifestLocked());
-    store->PublishMetricsLocked();
+    std::lock_guard<std::mutex> lock(store->publish_mu_);
+    const SegmentSet& set = *store->current_.load(std::memory_order_relaxed);
+    WSIE_RETURN_NOT_OK(store->WriteManifestLocked(set));
+    store->PublishMetricsLocked(set);
     return store;
   }
 
@@ -62,8 +73,7 @@ Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
       !wire::GetU64(&in, &next_id) || !wire::GetU64(&in, &count)) {
     return Status::InvalidArgument("store: malformed manifest");
   }
-  std::lock_guard<std::mutex> lock(store->mu_);
-  store->next_id_ = next_id;
+  std::vector<std::shared_ptr<const Segment>> segments;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t id = 0;
     if (!wire::GetU64(&in, &id)) {
@@ -75,29 +85,62 @@ Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
       return Status::InvalidArgument("store: segment id mismatch for " +
                                      store->SegmentPath(id));
     }
-    store->live_.push_back(
-        std::make_shared<const Segment>(std::move(segment)));
+    segments.push_back(std::make_shared<const Segment>(std::move(segment)));
   }
-  store->PublishMetricsLocked();
+
+  std::lock_guard<std::mutex> lock(store->publish_mu_);
+  store->next_id_ = next_id;
+  // Install the loaded set in place of the empty one published by the
+  // constructor; nobody can hold a pin yet, so replace it directly.
+  auto* initial = new SegmentSet;
+  initial->segments = std::move(segments);
+  initial->epoch = 0;
+  initial->index = ServingIndex::Build(initial->segments);
+  delete store->current_.exchange(initial, std::memory_order_acq_rel);
+  store->PublishMetricsLocked(*initial);
   return store;
 }
 
-Status AnnotationStore::WriteManifestLocked() {
+Status AnnotationStore::WriteManifestLocked(const SegmentSet& set) {
   std::string section;
   wire::PutU64(&section, kManifestVersion);
   wire::PutU64(&section, next_id_);
-  wire::PutU64(&section, live_.size());
-  for (const auto& segment : live_) wire::PutU64(&section, segment->id());
+  wire::PutU64(&section, set.segments.size());
+  for (const auto& segment : set.segments) wire::PutU64(&section, segment->id());
   fault::Checkpoint manifest;
   manifest.SetSection("store", std::move(section));
   return manifest.WriteFile(dir_ + "/" + kManifestName);
 }
 
-void AnnotationStore::PublishMetricsLocked() {
-  segments_gauge_->Set(static_cast<double>(live_.size()));
+void AnnotationStore::PublishMetricsLocked(const SegmentSet& set) {
+  segments_gauge_->Set(static_cast<double>(set.segments.size()));
   uint64_t bytes = 0;
-  for (const auto& segment : live_) bytes += segment->encoded_bytes();
+  for (const auto& segment : set.segments) bytes += segment->encoded_bytes();
   bytes_gauge_->Set(static_cast<double>(bytes));
+  EpochManager& epochs = EpochManager::Global();
+  epoch_retired_gauge_->Set(static_cast<double>(epochs.retired_total()));
+  epoch_reclaimed_gauge_->Set(static_cast<double>(epochs.reclaimed_total()));
+}
+
+Status AnnotationStore::PublishLocked(
+    std::vector<std::shared_ptr<const Segment>> segments) {
+  const SegmentSet* previous = current_.load(std::memory_order_relaxed);
+  auto* next = new SegmentSet;
+  next->segments = std::move(segments);
+  next->epoch = previous->epoch + 1;
+  next->index = ServingIndex::Build(next->segments);
+
+  // One release store makes the whole generation visible; readers pinned
+  // at or before the current epoch keep the previous set alive until
+  // their pins drop.
+  current_.store(next, std::memory_order_release);
+  EpochManager& epochs = EpochManager::Global();
+  epochs.Retire(previous);
+  epochs.AdvanceEpoch();
+
+  Status manifest_status = WriteManifestLocked(*next);
+  PublishMetricsLocked(*next);
+  return manifest_status;
 }
 
 Status AnnotationStore::Append(SegmentBuilder&& builder) {
@@ -106,7 +149,7 @@ Status AnnotationStore::Append(SegmentBuilder&& builder) {
   {
     // Ids are claimed up front so concurrent appenders never share a file
     // name; the encode + durable write then happen outside the lock.
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(publish_mu_);
     id = next_id_++;
   }
   WSIE_ASSIGN_OR_RETURN(Segment segment, builder.Finish(id));
@@ -114,13 +157,16 @@ Status AnnotationStore::Append(SegmentBuilder&& builder) {
   WSIE_RETURN_NOT_OK(segment.WriteFile(SegmentPath(id)));
   segment_write_ns_->Observe(static_cast<double>(watch.ElapsedNs()));
 
-  std::lock_guard<std::mutex> lock(mu_);
-  postings_written_->Add(segment.num_postings());
-  segments_written_->Increment();
-  live_.push_back(std::make_shared<const Segment>(std::move(segment)));
-  ++epoch_;
-  WSIE_RETURN_NOT_OK(WriteManifestLocked());
-  PublishMetricsLocked();
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    postings_written_->Add(segment.num_postings());
+    segments_written_->Increment();
+    std::vector<std::shared_ptr<const Segment>> next =
+        current_.load(std::memory_order_relaxed)->segments;
+    next.push_back(std::make_shared<const Segment>(std::move(segment)));
+    WSIE_RETURN_NOT_OK(PublishLocked(std::move(next)));
+  }
+  EpochManager::Global().TryReclaim();
   return Status::OK();
 }
 
@@ -140,29 +186,27 @@ Status AnnotationStore::Compact() {
   }
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(publish_mu_);
     id = next_id_++;
   }
   WSIE_ASSIGN_OR_RETURN(Segment merged, builder.Finish(id));
   WSIE_RETURN_NOT_OK(merged.WriteFile(SegmentPath(id)));
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(publish_mu_);
     // Replace exactly the segments that were merged; segments appended
     // concurrently (not in `merged_ids`) stay live.
     std::vector<std::shared_ptr<const Segment>> next;
     next.push_back(std::make_shared<const Segment>(std::move(merged)));
-    for (const auto& segment : live_) {
+    for (const auto& segment :
+         current_.load(std::memory_order_relaxed)->segments) {
       if (merged_ids.count(segment->id()) == 0) next.push_back(segment);
     }
-    live_ = std::move(next);
-    ++epoch_;
-    WSIE_RETURN_NOT_OK(WriteManifestLocked());
-    PublishMetricsLocked();
+    WSIE_RETURN_NOT_OK(PublishLocked(std::move(next)));
   }
 
   // The manifest no longer references the merged inputs; unlink them.
-  // Readers holding pre-compaction snapshots keep the decoded segments in
+  // Readers holding pre-compaction pins keep the decoded segments in
   // memory, so the files are dead weight.
   for (uint64_t old_id : merged_ids) {
     std::error_code ec;
@@ -171,29 +215,30 @@ Status AnnotationStore::Compact() {
 
   compactions_->Increment();
   merge_wall_ns_->Observe(static_cast<double>(watch.ElapsedNs()));
+  EpochManager::Global().TryReclaim();
   return Status::OK();
 }
 
 AnnotationStore::Snapshot AnnotationStore::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return Snapshot{live_, epoch_};
+  PinnedSet pin(*this);
+  return Snapshot{pin->segments, pin->epoch};
 }
 
 size_t AnnotationStore::num_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return live_.size();
+  PinnedSet pin(*this);
+  return pin->segments.size();
 }
 
 uint64_t AnnotationStore::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  PinnedSet pin(*this);
   uint64_t bytes = 0;
-  for (const auto& segment : live_) bytes += segment->encoded_bytes();
+  for (const auto& segment : pin->segments) bytes += segment->encoded_bytes();
   return bytes;
 }
 
 uint64_t AnnotationStore::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return epoch_;
+  PinnedSet pin(*this);
+  return pin->epoch;
 }
 
 BackgroundCompactor::BackgroundCompactor(

@@ -11,10 +11,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/epoch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "store/segment.h"
+#include "store/serving_index.h"
 
 namespace wsie::store {
 
@@ -22,30 +24,75 @@ namespace wsie::store {
 /// checksummed segment files plus an atomically-rewritten MANIFEST
 /// (a fault::Checkpoint) naming the live set.
 ///
-/// Concurrency model — epoch snapshots over refcounted segment sets:
-/// readers take a Snapshot (a shared_ptr copy of the live segment vector,
-/// one mutex-protected pointer copy); writers (Append, Compact) install a
-/// new vector and bump the epoch. Compaction therefore never blocks or
-/// invalidates readers: a snapshot taken before a compaction keeps serving
-/// the pre-merge segments until it is dropped, and the merged segment is
-/// only visible to snapshots taken after the swap. Old segment files are
-/// unlinked after the swap; in-memory segments outlive their files for as
-/// long as any snapshot references them.
+/// Concurrency model — epoch-based (RCU-style) publication:
+/// the live set is one immutable SegmentSet published through an atomic
+/// pointer. Writers (Append, Compact) build the next set — including its
+/// ServingIndex — off to the side, publish it with a single release
+/// store, and retire the previous set to the epoch manager; it is freed
+/// only once every reader pin has moved past its retirement epoch.
+/// Readers pin via PinnedSet: a per-thread epoch slot write plus one
+/// acquire load of the pointer — no locks, no shared atomics, no
+/// refcount traffic on the read path. Compaction therefore never blocks
+/// or invalidates readers: a set pinned before a compaction keeps
+/// serving the pre-merge segments until unpinned, and the merged segment
+/// is only visible to pins taken after the swap. Old segment files are
+/// unlinked after the swap; in-memory segments outlive their files for
+/// as long as any pinned (or copied) set references them.
 class AnnotationStore {
  public:
   /// Opens (or creates) the store in `dir`. Rejects a corrupt manifest or
   /// any corrupt live segment with a Status error.
   static Result<std::shared_ptr<AnnotationStore>> Open(const std::string& dir);
 
+  ~AnnotationStore();
+
   /// Freezes `builder` into a new segment, writes it durably, and
-  /// publishes it to subsequent snapshots. No-op for an empty builder.
+  /// publishes it to subsequent pins/snapshots. No-op for an empty builder.
   Status Append(SegmentBuilder&& builder);
 
   /// Folds every live segment into one sorted segment. Readers holding
-  /// older snapshots are unaffected. Returns OK (without work) when fewer
+  /// older pins are unaffected. Returns OK (without work) when fewer
   /// than two segments are live.
   Status Compact();
 
+  /// One immutable published generation: the segment vector, its epoch
+  /// (publish counter), and the read-optimized ServingIndex built over
+  /// exactly these segments.
+  struct SegmentSet {
+    std::vector<std::shared_ptr<const Segment>> segments;
+    uint64_t epoch = 0;
+    ServingIndex index;
+
+    uint64_t num_postings() const {
+      uint64_t total = 0;
+      for (const auto& segment : segments) total += segment->num_postings();
+      return total;
+    }
+  };
+
+  /// Zero-copy read pin on the current set. Construction pins this
+  /// thread's epoch slot (lock-free) then loads the published pointer;
+  /// the set — segments and index — stays valid until destruction. Pins
+  /// nest freely and are meant to be short-lived (a query, a batch): a
+  /// pin held forever blocks reclamation of every later retirement.
+  class PinnedSet {
+   public:
+    explicit PinnedSet(const AnnotationStore& store)
+        : set_(store.current_.load(std::memory_order_acquire)) {}
+    PinnedSet(const PinnedSet&) = delete;
+    PinnedSet& operator=(const PinnedSet&) = delete;
+
+    const SegmentSet& operator*() const { return *set_; }
+    const SegmentSet* operator->() const { return set_; }
+
+   private:
+    EpochManager::Guard guard_;  ///< declared first: pins before the load
+    const SegmentSet* set_;
+  };
+
+  /// An owning snapshot (shared_ptr copies) that may outlive any pin.
+  /// Queries should prefer PinnedSet; this remains for callers that stash
+  /// a view across blocking work.
   struct Snapshot {
     std::vector<std::shared_ptr<const Segment>> segments;
     uint64_t epoch = 0;
@@ -66,18 +113,25 @@ class AnnotationStore {
   const std::string& dir() const { return dir_; }
 
  private:
+  friend class PinnedSet;
+
   explicit AnnotationStore(std::string dir);
 
-  Status WriteManifestLocked();
-  void PublishMetricsLocked();
+  /// Builds the next SegmentSet around `segments`, publishes it, retires
+  /// the predecessor, rewrites the manifest, and refreshes gauges. Caller
+  /// holds publish_mu_.
+  Status PublishLocked(std::vector<std::shared_ptr<const Segment>> segments);
+  Status WriteManifestLocked(const SegmentSet& set);
+  void PublishMetricsLocked(const SegmentSet& set);
   std::string SegmentPath(uint64_t id) const;
 
   std::string dir_;
-  mutable std::mutex mu_;
+  /// Serializes writers: id claims, manifest writes, pointer publication.
+  /// Readers never touch it.
+  mutable std::mutex publish_mu_;
   std::mutex compact_mu_;  ///< serializes Compact() passes
-  std::vector<std::shared_ptr<const Segment>> live_;
-  uint64_t next_id_ = 1;
-  uint64_t epoch_ = 0;
+  std::atomic<const SegmentSet*> current_;
+  uint64_t next_id_ = 1;  ///< guarded by publish_mu_
 
   // Hoisted metric handles (wsie.store.*).
   obs::Gauge* segments_gauge_;
@@ -87,6 +141,8 @@ class AnnotationStore {
   obs::Counter* compactions_;
   obs::Histogram* merge_wall_ns_;
   obs::Histogram* segment_write_ns_;
+  obs::Gauge* epoch_retired_gauge_;
+  obs::Gauge* epoch_reclaimed_gauge_;
 };
 
 /// Periodically folds the store's segments when the live count reaches

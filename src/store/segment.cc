@@ -9,7 +9,10 @@
 namespace wsie::store {
 namespace {
 
-constexpr uint64_t kSegmentVersion = 1;
+// v1: scalar delta/varint posting lists. v2: group-varint posting lists.
+// Encode always writes v2; decode accepts both so pre-switch stores open.
+constexpr uint64_t kSegmentVersionScalar = 1;
+constexpr uint64_t kSegmentVersion = 2;
 
 using wsie::fault::Checkpoint;
 namespace wire = wsie::fault::wire;
@@ -55,6 +58,39 @@ std::pair<size_t, size_t> Segment::PrefixRange(std::string_view prefix) const {
           static_cast<size_t>(hi - terms_.begin())};
 }
 
+std::span<const DocKey> Segment::DocKeysForTerm(uint32_t term_id) const {
+  if (term_id + 1 >= doc_key_offsets_.size()) return {};
+  const uint64_t first = doc_key_offsets_[term_id];
+  const uint64_t last = doc_key_offsets_[term_id + 1];
+  return {doc_keys_.data() + first, static_cast<size_t>(last - first)};
+}
+
+void Segment::BuildDocKeyCache() {
+  doc_keys_.clear();
+  doc_key_offsets_.assign(terms_.size() + 1, 0);
+  // Groups are contiguous per term, and each group's postings are sorted
+  // by doc id — so per term we merge a handful of sorted runs. Collect,
+  // sort, dedupe; runs are short and this only happens at build/decode.
+  size_t g = 0;
+  for (uint32_t t = 0; t < terms_.size(); ++t) {
+    const size_t run_start = doc_keys_.size();
+    for (; g < groups_.size() && groups_[g].term_id == t; ++g) {
+      const PostingGroup& group = groups_[g];
+      uint64_t prev = UINT64_MAX;
+      for (const Posting& p : group.postings) {
+        if (p.doc_id != prev) {
+          doc_keys_.push_back(DocKey{group.corpus, p.doc_id});
+          prev = p.doc_id;
+        }
+      }
+    }
+    auto begin = doc_keys_.begin() + static_cast<ptrdiff_t>(run_start);
+    std::sort(begin, doc_keys_.end());
+    doc_keys_.erase(std::unique(begin, doc_keys_.end()), doc_keys_.end());
+    doc_key_offsets_[t + 1] = doc_keys_.size();
+  }
+}
+
 Checkpoint Segment::ToContainer() const {
   Checkpoint container;
 
@@ -82,7 +118,7 @@ Checkpoint Segment::ToContainer() const {
     PutVarint(&postings, group.type);
     PutVarint(&postings, group.method);
     // Groups are built sorted, so the checked encoder cannot fail here.
-    EncodePostingList(group.postings, &postings);
+    EncodePostingListGrouped(group.postings, &postings);
   }
   container.SetSection("postings", std::move(postings));
 
@@ -110,7 +146,8 @@ Result<Segment> Segment::FromContainer(const Checkpoint& container,
 
   std::string_view in = *meta;
   uint64_t version = 0;
-  if (!wire::GetU64(&in, &version) || version != kSegmentVersion) {
+  if (!wire::GetU64(&in, &version) ||
+      (version != kSegmentVersionScalar && version != kSegmentVersion)) {
     return Status::InvalidArgument("segment: bad version");
   }
   uint64_t num_terms = 0, num_groups = 0;
@@ -166,7 +203,9 @@ Result<Segment> Segment::FromContainer(const Checkpoint& container,
     group.corpus = static_cast<uint8_t>(corpus);
     group.type = static_cast<uint8_t>(type);
     group.method = static_cast<uint8_t>(method);
-    WSIE_RETURN_NOT_OK(DecodePostingList(&pin, &group.postings));
+    WSIE_RETURN_NOT_OK(version == kSegmentVersionScalar
+                           ? DecodePostingList(&pin, &group.postings)
+                           : DecodePostingListGrouped(&pin, &group.postings));
     if (group.postings.empty()) {
       return Status::InvalidArgument("segment: empty posting group");
     }
@@ -188,6 +227,7 @@ Result<Segment> Segment::FromContainer(const Checkpoint& container,
   if (total_postings != segment.num_postings_) {
     return Status::InvalidArgument("segment: posting count mismatch");
   }
+  segment.BuildDocKeyCache();
   return segment;
 }
 
@@ -270,6 +310,7 @@ Result<Segment> SegmentBuilder::Finish(uint64_t id) {
   has_stats_ = false;
   num_postings_ = 0;
 
+  segment.BuildDocKeyCache();
   segment.encoded_bytes_ = segment.Encode().size();
   return segment;
 }

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "store/posting_codec.h"
@@ -39,6 +40,15 @@ struct CorpusStats {
   friend bool operator==(const CorpusStats&, const CorpusStats&) = default;
 };
 
+/// A (corpus, doc) pair — doc ids are only unique within a corpus, so
+/// distinct-document accounting always keys on both.
+struct DocKey {
+  uint8_t corpus = 0;
+  uint64_t doc = 0;
+
+  friend auto operator<=>(const DocKey&, const DocKey&) = default;
+};
+
 /// One posting list: every occurrence of term `term_id` with a fixed
 /// (corpus, type, method). Groups are stored sorted by
 /// (term_id, corpus, type, method), so a term's groups are contiguous.
@@ -60,7 +70,11 @@ struct PostingGroup {
 ///   "meta"     — version, segment id, per-corpus totals, element counts
 ///   "dict"     — the sorted, deduplicated term dictionary (term id =
 ///                position), length-prefixed strings
-///   "postings" — per group: varint header + delta/varint posting list
+///   "postings" — per group: varint header + posting list. Format v2
+///                writes group-varint lists (EncodePostingListGrouped);
+///                decode still accepts v1 segments with scalar
+///                delta/varint lists, so stores written before the codec
+///                switch keep opening.
 /// Decode rejects bad magic, bad checksums, and any structural
 /// inconsistency (unsorted dictionary, out-of-range ids, count mismatches)
 /// with a Status error — a corrupt file can never be half-served.
@@ -83,6 +97,12 @@ class Segment {
   /// Dictionary range [first, last) of terms starting with `prefix`.
   std::pair<size_t, size_t> PrefixRange(std::string_view prefix) const;
 
+  /// Sorted, deduplicated (corpus, doc) pairs containing `term_id` under
+  /// ANY (corpus, type, method) — the distinct-document cache the serving
+  /// index merges across segments so unfiltered lookups never walk
+  /// postings. Derived at build/decode time, not serialized.
+  std::span<const DocKey> DocKeysForTerm(uint32_t term_id) const;
+
   std::string Encode() const;
   static Result<Segment> Decode(std::string_view bytes);
 
@@ -96,6 +116,7 @@ class Segment {
   fault::Checkpoint ToContainer() const;
   static Result<Segment> FromContainer(const fault::Checkpoint& container,
                                        size_t encoded_bytes);
+  void BuildDocKeyCache();
 
   uint64_t id_ = 0;
   std::vector<std::string> terms_;            ///< sorted, unique
@@ -103,6 +124,12 @@ class Segment {
   std::array<CorpusStats, kNumCorpora> corpus_stats_{};
   uint64_t num_postings_ = 0;
   size_t encoded_bytes_ = 0;
+
+  /// Flattened per-term DocKey runs: term t owns doc_keys_[offsets[t]
+  /// .. offsets[t+1]). Cache-line aligned — the index build scans these
+  /// sequentially for every publish.
+  CacheAlignedVector<DocKey> doc_keys_;
+  std::vector<uint64_t> doc_key_offsets_;  ///< terms_.size() + 1 entries
 };
 
 /// Accumulates annotations and corpus totals, then freezes them into a

@@ -1,0 +1,119 @@
+#include "store/serving_index.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace wsie::store {
+
+int64_t ServingIndex::FindTerm(std::string_view name) const {
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), name);
+  if (it == terms_.end() || *it != name) return -1;
+  return it - terms_.begin();
+}
+
+std::pair<size_t, size_t> ServingIndex::PrefixRange(
+    std::string_view prefix) const {
+  auto lo = std::lower_bound(terms_.begin(), terms_.end(), prefix);
+  auto hi = lo;
+  while (hi != terms_.end() && hi->substr(0, prefix.size()) == prefix) ++hi;
+  return {static_cast<size_t>(lo - terms_.begin()),
+          static_cast<size_t>(hi - terms_.begin())};
+}
+
+ServingIndex ServingIndex::Build(
+    const std::vector<std::shared_ptr<const Segment>>& segments) {
+  ServingIndex index;
+
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const auto& stats = segments[s]->corpus_stats();
+    for (size_t c = 0; c < kNumCorpora; ++c) {
+      index.sentences_[c] += stats[c].sentences;
+    }
+  }
+
+  // All (name, segment, local id) occurrences, ordered by name then by
+  // segment position — so a merged term's refs walk segments in
+  // publication order, exactly like the per-segment query loop does.
+  struct Occurrence {
+    std::string_view name;
+    uint32_t segment;
+    uint32_t term_id;
+  };
+  std::vector<Occurrence> occurrences;
+  size_t total_terms = 0;
+  for (const auto& segment : segments) total_terms += segment->terms().size();
+  occurrences.reserve(total_terms);
+  for (uint32_t s = 0; s < segments.size(); ++s) {
+    const std::vector<std::string>& terms = segments[s]->terms();
+    for (uint32_t t = 0; t < terms.size(); ++t) {
+      occurrences.push_back(Occurrence{terms[t], s, t});
+    }
+  }
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const Occurrence& a, const Occurrence& b) {
+              return std::tie(a.name, a.segment) < std::tie(b.name, b.segment);
+            });
+
+  index.combo_offsets_.push_back(0);
+  index.ref_offsets_.push_back(0);
+  std::vector<DocKey> doc_scratch;
+  for (size_t i = 0; i < occurrences.size();) {
+    const std::string_view name = occurrences[i].name;
+    index.terms_.push_back(name);
+
+    uint64_t combo[kNumCorpora][kNumTypes][kNumMethods] = {};
+    uint64_t total = 0;
+    std::array<uint64_t, kNumCorpora> per_corpus{};
+    doc_scratch.clear();
+    size_t run = i;
+    for (; run < occurrences.size() && occurrences[run].name == name; ++run) {
+      const Occurrence& occ = occurrences[run];
+      index.refs_.push_back(TermRef{occ.segment, occ.term_id});
+      const Segment& segment = *segments[occ.segment];
+      for (const PostingGroup& group : segment.GroupsForTerm(occ.term_id)) {
+        const uint64_t n = group.postings.size();
+        combo[group.corpus][group.type][group.method] += n;
+        total += n;
+        per_corpus[group.corpus] += n;
+      }
+      const auto keys = segment.DocKeysForTerm(occ.term_id);
+      doc_scratch.insert(doc_scratch.end(), keys.begin(), keys.end());
+    }
+
+    // Per-segment key runs are sorted+unique already; a single-segment
+    // term needs no merge at all.
+    uint64_t distinct = doc_scratch.size();
+    if (run - i > 1) {
+      std::sort(doc_scratch.begin(), doc_scratch.end());
+      distinct = static_cast<uint64_t>(
+          std::unique(doc_scratch.begin(), doc_scratch.end()) -
+          doc_scratch.begin());
+    }
+
+    for (size_t c = 0; c < kNumCorpora; ++c) {
+      for (size_t t = 0; t < kNumTypes; ++t) {
+        bool any = false;
+        for (size_t m = 0; m < kNumMethods; ++m) {
+          if (combo[c][t][m] == 0) continue;
+          index.combos_.push_back(
+              ComboCount{combo[c][t][m], static_cast<uint8_t>(c),
+                         static_cast<uint8_t>(t), static_cast<uint8_t>(m)});
+          index.annotations_[c][t][m] += combo[c][t][m];
+          ++index.distinct_names_[c][t][m];
+          any = true;
+        }
+        if (any) ++index.distinct_names_[c][t][kMethodUnion];
+      }
+    }
+
+    index.totals_.push_back(total);
+    index.distinct_docs_.push_back(distinct);
+    index.per_corpus_.push_back(per_corpus);
+    index.combo_offsets_.push_back(index.combos_.size());
+    index.ref_offsets_.push_back(index.refs_.size());
+    i = run;
+  }
+  return index;
+}
+
+}  // namespace wsie::store

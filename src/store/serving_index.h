@@ -1,0 +1,109 @@
+#ifndef WSIE_STORE_SERVING_INDEX_H_
+#define WSIE_STORE_SERVING_INDEX_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned.h"
+#include "store/segment.h"
+
+namespace wsie::store {
+
+/// Read-optimized aggregates over one immutable segment set, built once
+/// per publish (Append/Compact) and shared by every reader that pins the
+/// set. It exists so the common queries never walk posting lists:
+///
+///   - a merged, sorted, deduplicated term table (string_views into the
+///     segments' dictionaries — the index must not outlive its segments),
+///   - per term: total posting count, per-corpus counts, the distinct
+///     (corpus, doc) count merged across segments, the per-(corpus, type,
+///     method) posting counts, and the (segment, local term id) refs for
+///     queries that do need the raw groups,
+///   - corpus-level rollups: sentence totals and, per (corpus, type),
+///     annotation counts and distinct-name counts per method plus the
+///     either-method union.
+///
+/// Everything is integer aggregation in deterministic order, so results
+/// computed from the index are bit-identical to a full segment walk.
+class ServingIndex {
+ public:
+  /// Aggregated posting count for one (corpus, type, method) of one term,
+  /// summed across segments. A term's combos are sorted by
+  /// (corpus, type, method); at most kNumCorpora*kNumTypes*kNumMethods.
+  struct ComboCount {
+    uint64_t count = 0;
+    uint8_t corpus = 0;
+    uint8_t type = 0;
+    uint8_t method = 0;
+  };
+
+  /// Where a merged term lives: segment index (into the set's vector, in
+  /// publication order) and the term's local id there.
+  struct TermRef {
+    uint32_t segment = 0;
+    uint32_t term_id = 0;
+  };
+
+  /// Index slot for distinct_names() selecting the either-method union.
+  static constexpr size_t kMethodUnion = kNumMethods;
+
+  ServingIndex() = default;
+
+  static ServingIndex Build(
+      const std::vector<std::shared_ptr<const Segment>>& segments);
+
+  size_t num_terms() const { return terms_.size(); }
+  std::string_view term(size_t i) const { return terms_[i]; }
+  /// Binary search over the merged dictionary; -1 when absent.
+  int64_t FindTerm(std::string_view name) const;
+  /// Merged-dictionary range [first, last) of terms starting with `prefix`.
+  std::pair<size_t, size_t> PrefixRange(std::string_view prefix) const;
+
+  std::span<const ComboCount> Combos(size_t i) const {
+    return {combos_.data() + combo_offsets_[i],
+            static_cast<size_t>(combo_offsets_[i + 1] - combo_offsets_[i])};
+  }
+  std::span<const TermRef> Refs(size_t i) const {
+    return {refs_.data() + ref_offsets_[i],
+            static_cast<size_t>(ref_offsets_[i + 1] - ref_offsets_[i])};
+  }
+  uint64_t total_count(size_t i) const { return totals_[i]; }
+  uint64_t distinct_docs(size_t i) const { return distinct_docs_[i]; }
+  const std::array<uint64_t, kNumCorpora>& per_corpus(size_t i) const {
+    return per_corpus_[i];
+  }
+
+  uint64_t sentences(size_t corpus) const { return sentences_[corpus]; }
+  uint64_t annotations(size_t corpus, size_t type, size_t method) const {
+    return annotations_[corpus][type][method];
+  }
+  /// `method_slot` is a method index or kMethodUnion.
+  uint64_t distinct_names(size_t corpus, size_t type,
+                          size_t method_slot) const {
+    return distinct_names_[corpus][type][method_slot];
+  }
+
+ private:
+  std::vector<std::string_view> terms_;  ///< sorted, unique, borrowed
+
+  // Struct-of-arrays per-term tables, indexed by merged term position.
+  CacheAlignedVector<uint64_t> totals_;
+  CacheAlignedVector<uint64_t> distinct_docs_;
+  CacheAlignedVector<std::array<uint64_t, kNumCorpora>> per_corpus_;
+  CacheAlignedVector<ComboCount> combos_;
+  std::vector<uint64_t> combo_offsets_;  ///< terms+1
+  CacheAlignedVector<TermRef> refs_;
+  std::vector<uint64_t> ref_offsets_;  ///< terms+1
+
+  std::array<uint64_t, kNumCorpora> sentences_{};
+  uint64_t annotations_[kNumCorpora][kNumTypes][kNumMethods] = {};
+  uint64_t distinct_names_[kNumCorpora][kNumTypes][kNumMethods + 1] = {};
+};
+
+}  // namespace wsie::store
+
+#endif  // WSIE_STORE_SERVING_INDEX_H_

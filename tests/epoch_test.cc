@@ -1,0 +1,288 @@
+// Tests for the epoch-based reclamation layer (common/epoch.h) and the
+// lock-free snapshot publication built on it in store::AnnotationStore.
+// The stress tests here are the TSan targets for the serving tentpole:
+// readers stay pinned across a compaction storm (>= 100 compactions) and
+// must observe zero anomalies and no use of a retired segment set.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/epoch.h"
+#include "serve/query_engine.h"
+#include "store/annotation_store.h"
+
+namespace wsie {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("wsie_epoch_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------- EpochManager
+
+// Retire takes a plain function pointer, so the tests count frees through
+// the payload's destructor instead of a capturing lambda.
+struct Tracked {
+  std::atomic<uint64_t>* counter;
+  ~Tracked() { counter->fetch_add(1); }
+};
+
+TEST(EpochManagerTest, RetireIsDeferredUntilAllGuardsRelease) {
+  EpochManager epochs;
+  std::atomic<uint64_t> freed{0};
+  {
+    EpochManager::Guard guard(epochs);
+    epochs.Retire(new Tracked{&freed});
+    epochs.AdvanceEpoch();
+    // The guard pinned the epoch the object was retired in: reclamation
+    // must not free it while we still hold the pin.
+    epochs.TryReclaim();
+    EXPECT_EQ(freed.load(), 0u);
+    EXPECT_EQ(epochs.limbo_size(), 1u);
+  }
+  epochs.TryReclaim();
+  EXPECT_EQ(freed.load(), 1u);
+  EXPECT_EQ(epochs.limbo_size(), 0u);
+  EXPECT_EQ(epochs.retired_total(), 1u);
+  EXPECT_EQ(epochs.reclaimed_total(), 1u);
+}
+
+TEST(EpochManagerTest, GuardsNestWithoutDeadlockOrDoubleRelease) {
+  EpochManager epochs;
+  std::atomic<uint64_t> freed{0};
+  {
+    EpochManager::Guard outer(epochs);
+    {
+      EpochManager::Guard inner(epochs);
+      epochs.Retire(new Tracked{&freed});
+      epochs.AdvanceEpoch();
+    }
+    // Inner released but outer still pins the pre-retire epoch.
+    epochs.TryReclaim();
+    EXPECT_EQ(freed.load(), 0u);
+  }
+  epochs.TryReclaim();
+  EXPECT_EQ(freed.load(), 1u);
+}
+
+TEST(EpochManagerTest, UnpinnedRetireReclaimsImmediately) {
+  EpochManager epochs;
+  std::atomic<uint64_t> destroyed{0};
+  epochs.Retire(new Tracked{&destroyed});
+  epochs.AdvanceEpoch();
+  EXPECT_EQ(epochs.TryReclaim(), 1u);
+  EXPECT_EQ(destroyed.load(), 1u);
+}
+
+TEST(EpochManagerTest, ManyThreadsPinAndReleaseWithoutLeaks) {
+  EpochManager epochs;
+  std::atomic<uint64_t> freed{0};
+  std::atomic<bool> stop{false};
+
+  std::thread retirer([&] {
+    for (int i = 0; i < 500; ++i) {
+      epochs.Retire(new Tracked{&freed});
+      epochs.AdvanceEpoch();
+      epochs.TryReclaim();
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> pinners;
+  for (int t = 0; t < 8; ++t) {
+    pinners.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochManager::Guard guard(epochs);
+        std::this_thread::yield();
+      }
+    });
+  }
+  retirer.join();
+  stop = true;
+  for (auto& pinner : pinners) pinner.join();
+  // All pins are gone: everything retired must now be reclaimable.
+  epochs.TryReclaim();
+  EXPECT_EQ(freed.load(), 500u);
+  EXPECT_EQ(epochs.limbo_size(), 0u);
+}
+
+TEST(EpochManagerTest, RetiredObjectsAreNotReusedWhilePinned) {
+  // A pinned reader dereferences a payload that was retired after it
+  // pinned; the payload must stay intact (sentinel unchanged) until the
+  // pin drops. Under ASan/TSan a premature free here is a hard failure.
+  EpochManager epochs;
+  constexpr uint64_t kSentinel = 0xfeedfacecafebeefull;
+  auto* payload = new uint64_t(kSentinel);
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+
+  std::thread reader([&] {
+    EpochManager::Guard guard(epochs);
+    pinned.store(true);
+    while (!release.load()) {
+      EXPECT_EQ(*payload, kSentinel);
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(*payload, kSentinel);
+  });
+  while (!pinned.load()) std::this_thread::yield();
+  epochs.Retire(payload, [](void* p) {
+    *static_cast<uint64_t*>(p) = 0;  // poison before free
+    delete static_cast<uint64_t*>(p);
+  });
+  epochs.AdvanceEpoch();
+  for (int i = 0; i < 50; ++i) {
+    epochs.TryReclaim();
+    std::this_thread::yield();
+  }
+  release.store(true);
+  reader.join();
+  epochs.TryReclaim();
+  EXPECT_EQ(epochs.limbo_size(), 0u);
+}
+
+// ------------------------------------------- store compaction storm
+
+store::SegmentBuilder StormSegment(uint64_t round) {
+  store::SegmentBuilder builder;
+  for (uint64_t t = 0; t < 8; ++t) {
+    store::Posting posting{round * 8 + t, static_cast<uint32_t>(t % 5),
+                           static_cast<uint32_t>(t),
+                           static_cast<uint32_t>(t + 3)};
+    builder.Add("storm", 0, 0, 0, posting);
+    builder.Add("aux" + std::to_string((round + t) % 17), 0, 1,
+                static_cast<uint8_t>(t % 2), posting);
+  }
+  builder.AddCorpusStats(0, 1, 9, 400);
+  return builder;
+}
+
+TEST(EpochReclamationStressTest, ReadersPinnedAcrossCompactionStorm) {
+  auto store_or = store::AnnotationStore::Open(FreshDir("storm"));
+  ASSERT_TRUE(store_or.ok());
+  auto store = *store_or;
+  ASSERT_TRUE(store->Append(StormSegment(0)).ok());
+
+  serve::QueryEngine engine(store);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> anomalies{0};
+  std::atomic<uint64_t> reads{0};
+
+  // Readers hold each pin across several queries (ExecuteBatch pins once
+  // for the whole batch) so pins reliably straddle compactions.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_count = 0;
+      std::vector<serve::QueryEngine::Request> requests(3);
+      std::vector<serve::QueryEngine::Response> responses(3);
+      requests[0].kind = serve::QueryEngine::Request::Kind::kLookup;
+      requests[0].name = "storm";
+      requests[1].kind = serve::QueryEngine::Request::Kind::kTopK;
+      requests[1].limit = 4;
+      requests[2].kind = serve::QueryEngine::Request::Kind::kFrequency;
+      while (!stop.load(std::memory_order_relaxed)) {
+        engine.ExecuteBatch(requests.data(), responses.data(),
+                            requests.size());
+        const auto& lookup = responses[0].lookup;
+        // "storm" only ever gains postings; a dip means a torn or reused
+        // segment set.
+        if (!lookup.found || lookup.count < last_count) anomalies.fetch_add(1);
+        last_count = lookup.count;
+        if (responses[1].topk.empty()) anomalies.fetch_add(1);
+        if (responses[2].frequency.sentences == 0) anomalies.fetch_add(1);
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  // Writer + explicit compaction storm: each pass appends two segments so
+  // the following Compact() has real merge work — >= 100 real compactions.
+  uint64_t compactions = 0, round = 1;
+  while (compactions < 120) {
+    ASSERT_TRUE(store->Append(StormSegment(round++)).ok());
+    ASSERT_TRUE(store->Append(StormSegment(round++)).ok());
+    ASSERT_GE(store->num_segments(), 2u);
+    ASSERT_TRUE(store->Compact().ok());
+    ASSERT_EQ(store->num_segments(), 1u);
+    ++compactions;
+  }
+  stop = true;
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GE(compactions, 100u);
+  // With all readers gone every retired segment set must drain.
+  EpochManager::Global().TryReclaim();
+  EXPECT_EQ(EpochManager::Global().limbo_size(), 0u);
+
+  // Post-storm integrity: the survivor holds every posting ever appended.
+  auto final_lookup = engine.Lookup("storm");
+  EXPECT_TRUE(final_lookup.found);
+  EXPECT_EQ(final_lookup.count, round * 8);
+}
+
+TEST(EpochReclamationStressTest, BackgroundCompactorAndSnapshotsCoexist) {
+  auto store_or = store::AnnotationStore::Open(FreshDir("bg_storm"));
+  ASSERT_TRUE(store_or.ok());
+  auto store = *store_or;
+  ASSERT_TRUE(store->Append(StormSegment(0)).ok());
+  serve::QueryEngine engine(store);
+  store::BackgroundCompactor compactor(store, /*min_segments=*/2,
+                                       std::chrono::milliseconds(1));
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> anomalies{0};
+
+  // Owning snapshots (shared_ptr copies) taken while epochs churn: they
+  // must stay valid even after their segment set is retired and reclaimed.
+  std::thread snapshotter([&] {
+    std::vector<store::AnnotationStore::Snapshot> held;
+    while (!stop.load(std::memory_order_relaxed)) {
+      held.push_back(store->snapshot());
+      if (held.size() > 8) held.erase(held.begin());
+      for (const auto& snapshot : held) {
+        uint64_t postings = 0;
+        for (const auto& segment : snapshot.segments) {
+          postings += segment->num_postings();
+        }
+        if (postings == 0) anomalies.fetch_add(1);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto lookup = engine.Lookup("storm");
+      if (!lookup.found || lookup.count < last) anomalies.fetch_add(1);
+      last = lookup.count;
+    }
+  });
+
+  for (uint64_t round = 1; round <= 60; ++round) {
+    ASSERT_TRUE(store->Append(StormSegment(round)).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop = true;
+  snapshotter.join();
+  reader.join();
+  compactor.Stop();
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_GT(compactor.compactions_run(), 0u);
+}
+
+}  // namespace
+}  // namespace wsie

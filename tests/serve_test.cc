@@ -1,0 +1,297 @@
+// Tests for the serving front end: batched admission queue (MPMC ring +
+// ExecuteBatch under one epoch pin) and the text-protocol server. The
+// queue's answers must be identical to direct engine calls — admission
+// batching is a scheduling change, never a semantic one.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission_queue.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "store/annotation_store.h"
+
+namespace wsie::serve {
+namespace {
+
+using store::AnnotationStore;
+using store::Posting;
+using store::SegmentBuilder;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("wsie_serve_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::shared_ptr<AnnotationStore> FixtureStore(const std::string& name) {
+  auto store_or = AnnotationStore::Open(FreshDir(name));
+  EXPECT_TRUE(store_or.ok());
+  auto store = *store_or;
+  SegmentBuilder first;
+  first.Add("braf", 0, 0, 0, Posting{1, 0, 0, 4});
+  first.Add("braf", 0, 0, 1, Posting{1, 0, 0, 4});
+  first.Add("braf", 0, 0, 0, Posting{2, 1, 5, 9});
+  first.Add("aspirin", 0, 1, 0, Posting{1, 0, 10, 17});
+  first.AddCorpusStats(0, 2, 10, 200);
+  EXPECT_TRUE(store->Append(std::move(first)).ok());
+  SegmentBuilder second;
+  second.Add("braf", 0, 0, 0, Posting{3, 0, 2, 6});
+  second.Add("brca1", 0, 0, 1, Posting{3, 0, 12, 17});
+  second.Add("melanoma", 0, 2, 1, Posting{1, 0, 20, 28});
+  second.AddCorpusStats(0, 1, 5, 80);
+  EXPECT_TRUE(store->Append(std::move(second)).ok());
+  return store;
+}
+
+// ------------------------------------------------- Execute / ExecuteBatch
+
+TEST(ExecuteTest, MatchesDirectEngineCallsForEveryKind) {
+  auto engine =
+      std::make_shared<const QueryEngine>(FixtureStore("execute_parity"));
+
+  QueryEngine::Request lookup;
+  lookup.kind = QueryEngine::Request::Kind::kLookup;
+  lookup.name = "braf";
+  lookup.limit = 10;
+  auto response = engine->Execute(lookup);
+  auto direct = engine->Lookup("braf", {}, 10);
+  EXPECT_EQ(response.lookup.found, direct.found);
+  EXPECT_EQ(response.lookup.count, direct.count);
+  EXPECT_EQ(response.lookup.docs, direct.docs);
+  EXPECT_EQ(response.lookup.postings, direct.postings);
+
+  QueryEngine::Request prefix;
+  prefix.kind = QueryEngine::Request::Kind::kPrefix;
+  prefix.name = "br";
+  prefix.limit = 5;
+  EXPECT_EQ(engine->Execute(prefix).names, engine->PrefixScan("br", 5));
+
+  QueryEngine::Request frequency;
+  frequency.kind = QueryEngine::Request::Kind::kFrequency;
+  frequency.corpus = 0;
+  frequency.type = 0;
+  frequency.method = kAny;
+  auto freq_response = engine->Execute(frequency).frequency;
+  auto freq_direct = engine->CorpusFrequency(0, 0, kAny);
+  EXPECT_EQ(freq_response.distinct_names, freq_direct.distinct_names);
+  EXPECT_EQ(freq_response.annotations, freq_direct.annotations);
+  EXPECT_EQ(freq_response.sentences, freq_direct.sentences);
+  EXPECT_DOUBLE_EQ(freq_response.per_1000_sentences,
+                   freq_direct.per_1000_sentences);
+
+  QueryEngine::Request topk;
+  topk.kind = QueryEngine::Request::Kind::kTopK;
+  topk.limit = 3;
+  auto topk_response = engine->Execute(topk).topk;
+  auto topk_direct = engine->TopK(3);
+  ASSERT_EQ(topk_response.size(), topk_direct.size());
+  for (size_t i = 0; i < topk_response.size(); ++i) {
+    EXPECT_EQ(topk_response[i].name, topk_direct[i].name);
+    EXPECT_EQ(topk_response[i].count, topk_direct[i].count);
+  }
+
+  QueryEngine::Request cooc;
+  cooc.kind = QueryEngine::Request::Kind::kCoOccurrence;
+  cooc.name = "braf";
+  cooc.name_b = "aspirin";
+  auto cooc_response = engine->Execute(cooc).cooccurrence;
+  auto cooc_direct = engine->CoOccurrence("braf", "aspirin");
+  EXPECT_EQ(cooc_response.docs, cooc_direct.docs);
+  EXPECT_EQ(cooc_response.sentences, cooc_direct.sentences);
+}
+
+// ------------------------------------------------------- admission queue
+
+TEST(AdmissionQueueTest, SubmitReturnsSameAnswersAsDirectCalls) {
+  auto engine =
+      std::make_shared<const QueryEngine>(FixtureStore("queue_parity"));
+  AdmissionQueue::Options options;
+  options.capacity = 64;
+  options.batch_size = 8;
+  AdmissionQueue queue(engine, options);
+
+  QueryEngine::Request request;
+  request.kind = QueryEngine::Request::Kind::kLookup;
+  request.name = "braf";
+  QueryEngine::Response response;
+  ASSERT_TRUE(queue.Submit(request, &response));
+  EXPECT_TRUE(response.lookup.found);
+  EXPECT_EQ(response.lookup.count, engine->Lookup("braf").count);
+
+  request.kind = QueryEngine::Request::Kind::kTopK;
+  request.limit = 2;
+  ASSERT_TRUE(queue.Submit(request, &response));
+  ASSERT_EQ(response.topk.size(), 2u);
+  EXPECT_EQ(response.topk[0].name, "braf");
+  queue.Stop();
+}
+
+TEST(AdmissionQueueTest, CapacityRoundsToPowerOfTwo) {
+  auto engine = std::make_shared<const QueryEngine>(FixtureStore("queue_cap"));
+  AdmissionQueue::Options options;
+  options.capacity = 33;
+  AdmissionQueue queue(engine, options);
+  EXPECT_EQ(queue.capacity(), 64u);
+  queue.Stop();
+}
+
+TEST(AdmissionQueueTest, ManyProducersSmallRingAllRequestsAnswered) {
+  // Ring far smaller than the request volume: backpressure (spin-yield on
+  // full) plus batch draining must still answer every request correctly.
+  auto engine =
+      std::make_shared<const QueryEngine>(FixtureStore("queue_stress"));
+  AdmissionQueue::Options options;
+  options.capacity = 8;
+  options.batch_size = 4;
+  options.workers = 2;
+  AdmissionQueue queue(engine, options);
+
+  const uint64_t expected_count = engine->Lookup("braf").count;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 400;
+  std::atomic<uint64_t> wrong{0};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        QueryEngine::Request request;
+        QueryEngine::Response response;
+        if ((t + i) % 2 == 0) {
+          request.kind = QueryEngine::Request::Kind::kLookup;
+          request.name = "braf";
+          if (!queue.Submit(request, &response)) continue;
+          if (response.lookup.count != expected_count) wrong.fetch_add(1);
+        } else {
+          request.kind = QueryEngine::Request::Kind::kPrefix;
+          request.name = "br";
+          request.limit = 10;
+          if (!queue.Submit(request, &response)) continue;
+          if (response.names.size() != 2) wrong.fetch_add(1);
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  queue.Stop();
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(answered.load(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+}
+
+TEST(AdmissionQueueTest, StopDrainsAdmittedWorkAndRejectsNewSubmits) {
+  auto engine = std::make_shared<const QueryEngine>(FixtureStore("queue_stop"));
+  AdmissionQueue::Options options;
+  options.capacity = 16;
+  AdmissionQueue queue(engine, options);
+  queue.Stop();
+  QueryEngine::Request request;
+  request.kind = QueryEngine::Request::Kind::kLookup;
+  request.name = "braf";
+  QueryEngine::Response response;
+  EXPECT_FALSE(queue.Submit(request, &response));
+  queue.Stop();  // idempotent
+}
+
+// ----------------------------------------------------------- HTTP server
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto engine =
+        std::make_shared<const QueryEngine>(FixtureStore("http_server"));
+    queue_ = std::make_shared<AdmissionQueue>(engine,
+                                              AdmissionQueue::Options{});
+    server_ = std::make_unique<Server>(queue_, Server::Options{});
+    ASSERT_TRUE(server_->Start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    queue_->Stop();
+  }
+
+  std::string Get(const std::string& target) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+    EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string reply;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+      reply.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return reply;
+  }
+
+  std::shared_ptr<AdmissionQueue> queue_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, HealthzAndMetricsRespond) {
+  EXPECT_NE(Get("/healthz").find("200"), std::string::npos);
+  std::string metrics = Get("/metrics");
+  EXPECT_NE(metrics.find("200"), std::string::npos);
+  EXPECT_NE(metrics.find("wsie"), std::string::npos);
+}
+
+TEST_F(ServerTest, LookupRouteReturnsEngineNumbers) {
+  std::string reply = Get("/lookup?name=braf");
+  EXPECT_NE(reply.find("200"), std::string::npos);
+  EXPECT_NE(reply.find("found=1"), std::string::npos);
+  EXPECT_NE(reply.find("count=4"), std::string::npos);
+  EXPECT_NE(Get("/lookup?name=nonexistent").find("found=0"),
+            std::string::npos);
+  // Filtered: method=0 drops one braf posting.
+  EXPECT_NE(Get("/lookup?name=braf&method=0").find("count=3"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, PrefixTopkFreqCoocRoutes) {
+  std::string prefix = Get("/prefix?p=br");
+  EXPECT_NE(prefix.find("braf"), std::string::npos);
+  EXPECT_NE(prefix.find("brca1"), std::string::npos);
+
+  std::string topk = Get("/topk?k=1");
+  EXPECT_NE(topk.find("braf 4"), std::string::npos);
+
+  std::string freq = Get("/freq?corpus=0&type=0");
+  EXPECT_NE(freq.find("distinct_names=2"), std::string::npos);
+
+  std::string cooc = Get("/cooc?a=braf&b=aspirin");
+  EXPECT_NE(cooc.find("docs=1"), std::string::npos);
+  EXPECT_NE(cooc.find("sentences=1"), std::string::npos);
+}
+
+TEST_F(ServerTest, BadAndUnknownRequestsGetErrorStatuses) {
+  EXPECT_NE(Get("/nosuchroute").find("404"), std::string::npos);
+  EXPECT_NE(Get("/lookup").find("400"), std::string::npos);  // missing name
+}
+
+}  // namespace
+}  // namespace wsie::serve
