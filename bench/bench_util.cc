@@ -23,6 +23,37 @@ BenchScale ReadBenchScale() {
   return scale;
 }
 
+BenchFlags ParseBenchFlags(int argc, char** argv, BenchFlags defaults) {
+  BenchFlags flags = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--dop=", 0) == 0) {
+      const long value = std::strtol(arg.c_str() + 6, nullptr, 10);
+      if (value > 0) flags.dop = static_cast<size_t>(value);
+      continue;
+    }
+    if (arg.rfind("--shards=", 0) == 0) {
+      std::vector<size_t> shards;
+      const char* p = arg.c_str() + 9;
+      while (*p != '\0') {
+        char* end = nullptr;
+        const long value = std::strtol(p, &end, 10);
+        if (end == p) break;
+        if (value > 0) shards.push_back(static_cast<size_t>(value));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (!shards.empty()) flags.shards = std::move(shards);
+      continue;
+    }
+    std::fprintf(stderr,
+                 "unknown argument '%s'\nusage: %s [--dop=N] "
+                 "[--shards=N1,N2,...]\n",
+                 arg.c_str(), argv[0]);
+    std::exit(2);
+  }
+  return flags;
+}
+
 BenchEnv MakeBenchEnv(BenchScale scale) {
   BenchEnv env;
   env.scale = scale;

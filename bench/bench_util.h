@@ -33,6 +33,19 @@ struct BenchScale {
 /// Reads WSIE_BENCH_SCALE (default 1.0) and scales the defaults.
 BenchScale ReadBenchScale();
 
+/// Command-line knobs for the scale benches, so fig4/fig5 sweep without
+/// recompiling: --dop=N sets the executor degree of parallelism and
+/// --shards=1,2,4,8 the shard counts fig5 runs. Unknown arguments are
+/// rejected with usage on stderr (exit 2), so a typo cannot silently run
+/// the defaults.
+struct BenchFlags {
+  size_t dop = 8;
+  std::vector<size_t> shards = {1, 2, 4, 8};
+};
+
+/// Parses --dop / --shards over `defaults`.
+BenchFlags ParseBenchFlags(int argc, char** argv, BenchFlags defaults = {});
+
 /// Shared state for the analysis benches: one trained context plus the four
 /// generated corpora.
 struct BenchEnv {

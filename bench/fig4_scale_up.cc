@@ -15,8 +15,11 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsie;
+  // --dop sets the engine-comparison parallelism (default 8), so the sweep
+  // below runs at any DoP without recompiling.
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Fig. 4: Scale-up of linguistic and entity flows",
                      "Figure 4");
   bench::BenchScale scale;
@@ -56,7 +59,8 @@ int main() {
   // engine on the same corpus at dop=8. Fusion streams records through the
   // record-at-a-time chain instead of materializing (and deep-copying) a
   // Dataset at every operator boundary.
-  std::printf("fused pipelined engine vs. seed engine (entity flow, dop=8):\n");
+  std::printf("fused pipelined engine vs. seed engine (entity flow, "
+              "dop=%zu):\n", flags.dop);
   std::vector<corpus::Document> docs(all_docs.begin(), all_docs.begin() + 60);
   core::FlowOptions options;
   options.linguistic_analysis = false;
@@ -74,13 +78,13 @@ int main() {
     return seconds;
   };
   dataflow::ExecutorConfig seed_config;
-  seed_config.dop = 8;
+  seed_config.dop = flags.dop;
   seed_config.legacy_seed_path = true;
   dataflow::ExecutorConfig unfused_config;
-  unfused_config.dop = 8;
+  unfused_config.dop = flags.dop;
   unfused_config.fuse_pipelines = false;
   dataflow::ExecutorConfig fused_config;
-  fused_config.dop = 8;
+  fused_config.dop = flags.dop;
   // Interleave the engines per repetition (best-of) so machine drift hits
   // all three equally instead of whichever block ran during a busy spell.
   const dataflow::ExecutorConfig* configs[3] = {&seed_config, &unfused_config,
@@ -137,9 +141,9 @@ int main() {
     }
     return json;
   };
-  bool deterministic = sink_json(1) == sink_json(8);
-  std::printf("  dop=1 and dop=8 sink outputs byte-identical: %s\n\n",
-              deterministic ? "yes" : "no");
+  bool deterministic = sink_json(1) == sink_json(std::max<size_t>(flags.dop, 2));
+  std::printf("  dop=1 and dop=%zu sink outputs byte-identical: %s\n\n",
+              std::max<size_t>(flags.dop, 2), deterministic ? "yes" : "no");
 
   // Modeled scale-up curve (DoP = input units).
   const double kEntOpen = 1200.0, kEntUnitWork = 950.0;

@@ -1,76 +1,168 @@
 // Reproduces Fig. 5: scale-out of the linguistic and entity-extraction
-// flows over a fixed 20 GB sample for increasing degree of parallelism.
-// Paper findings to hold:
+// flows for increasing degree of parallelism. Paper findings to hold:
 //  - entity flow: good scale-out until ~DoP 16 (runtime -72%), then flat —
 //    the ~20-minute dictionary load is a start-up floor no DoP amortizes;
 //  - linguistic flow: near-ideal until ~DoP 12 (-95%), negligible start-up;
 //  - entity flow infeasible below DoP 4 (excessive ML runtimes) and above
 //    DoP 28 (per-worker dictionary memory exceeds the 24 GB nodes).
 //
-// Method: this repo's flows run for real at bench scale and the executor
-// reports per-operator start-up vs. processing seconds — establishing that
-// (a) the dictionary build is a serial start-up cost and (b) processing
-// parallelizes. The cluster-scale curve is then computed from the scaling
-// law T(dop) = T_open + T_work/dop (+ coordination) with the paper's
-// documented constants (20-minute dictionary load, 20 GB sample), because
-// this machine has one core and scaled-down dictionaries (see DESIGN.md).
+// Method: both flows run for real on shard::ShardRuntime at every shard
+// count in --shards (default 1,2,4,8). Each shard is a full virtual node —
+// its own plan instance, own operator Open() calls, own morsel scheduler —
+// and the gather merge makes every run's sink byte-identical to the serial
+// baseline. Measured per-shard stats establish the paper's two mechanisms
+// directly: (a) processing work divides across shards near-linearly, and
+// (b) every shard pays the full operator start-up, so the entity flow's
+// dictionary build is a floor that scale-out cannot amortize.
+//
+// On a single-core host the shards run in sequential_workers mode (each
+// worker timed alone on the calling thread), so the speedup gate is on
+// work division — the per-shard processing phase — rather than wall time;
+// with 4+ cores the workers run concurrently and wall time is gated too.
+// The cluster-scale curve with the paper's constants (20-minute dictionary
+// load, 20 GB sample) is kept at the end as a labeled model overlay.
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "bench_util.h"
+#include "shard/runtime.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsie;
+  bench::BenchFlags defaults;
+  defaults.dop = 1;  // serial baseline
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv, defaults);
   bench::PrintHeader("Fig. 5: Scale-out of linguistic and entity flows",
                      "Figure 5");
   bench::BenchScale scale;
-  scale.relevant_docs = 50;
+  scale.relevant_docs = 64;
   scale.irrelevant_docs = 1;
   scale.medline_docs = 1;
   scale.pmc_docs = 1;
   bench::BenchEnv env = bench::MakeBenchEnv(scale);
   const auto& docs = env.corpora.at(corpus::CorpusKind::kRelevantWeb);
 
-  // --- Real runs: split measured time into start-up vs processing.
-  auto measure = [&](bool entity_flow) {
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const bool multicore = cores >= 4;
+  std::printf("host: %u core(s) -> shard workers run %s; speedup gate on "
+              "%s\n\n",
+              cores, multicore ? "concurrently" : "sequentially (timed alone)",
+              multicore ? "wall time and work division" : "work division");
+
+  auto sink_json = [](const std::map<std::string, dataflow::Dataset>& sinks) {
+    std::string json;
+    auto it = sinks.find("analyzed");
+    if (it == sinks.end()) return json;
+    for (const auto& r : it->second) {
+      json += r.ToJson();
+      json += '\n';
+    }
+    return json;
+  };
+
+  bool identical_everywhere = true;
+  double speedup_at_gate[2] = {0, 0};  // [linguistic, entity] at >=4 shards
+  double wall_speedup_at_gate[2] = {0, 0};
+  bool entity_floor = true;
+
+  for (int flow = 0; flow < 2; ++flow) {
+    const bool entity_flow = flow == 1;
     core::FlowOptions options;
     options.linguistic_analysis = !entity_flow;
     options.entity_annotation = entity_flow;
     dataflow::Plan plan = core::BuildAnalysisFlow(env.context, options);
-    auto result = core::RunFlow(plan, docs, dataflow::ExecutorConfig{1, 0, 8});
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      std::exit(1);
-    }
-    double open = 0, process = 0;
-    for (const auto& s : result->operator_stats) {
-      open += s.open_seconds;
-      process += s.process_seconds;
-    }
-    return std::pair<double, double>(open, process);
-  };
-  auto [ling_open, ling_work] = measure(false);
-  auto [ent_open, ent_work] = measure(true);
-  std::printf("measured at bench scale (%zu web docs):\n", docs.size());
-  std::printf("  linguistic flow: start-up %.3fs, processing %.3fs "
-              "(start-up share %.1f%%)\n",
-              ling_open, ling_work, 100 * ling_open / (ling_open + ling_work));
-  std::printf("  entity flow:     start-up %.3fs, processing %.3fs "
-              "(start-up share %.1f%%)\n",
-              ent_open, ent_work, 100 * ent_open / (ent_open + ent_work));
-  bool startup_asymmetry = ent_open / (ent_open + ent_work) >
-                           ling_open / (ling_open + ling_work);
-  std::printf("  dictionary start-up dominates the entity flow's fixed cost:"
-              " %s\n\n", startup_asymmetry ? "yes" : "no");
 
-  // --- Cluster-scale curve with the paper's constants.
+    // Serial baseline at --dop (default 1): the reference bytes plus the
+    // open/process split the shard runs divide.
+    dataflow::ExecutorConfig serial_config;
+    serial_config.dop = flags.dop;
+    auto serial = core::RunFlow(plan, docs, serial_config);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "%s\n", serial.status().ToString().c_str());
+      return 1;
+    }
+    double serial_open = 0, serial_work = 0;
+    for (const auto& s : serial->operator_stats) {
+      serial_open += s.open_seconds;
+      serial_work += s.process_seconds;
+    }
+    const std::string reference = sink_json(serial->sink_outputs);
+    std::printf("%s flow, measured on real shards (%zu web docs; serial "
+                "baseline dop=%zu: start-up %.3fs, processing %.3fs):\n",
+                entity_flow ? "entity" : "linguistic", docs.size(), flags.dop,
+                serial_open, serial_work);
+    std::printf("  %-7s %10s %12s %12s %10s %9s %8s\n", "shards", "wall (s)",
+                "max work(s)", "sum open(s)", "work-div", "rows-shfl",
+                "identical");
+
+    double open_first = 0, open_last = 0;
+    for (size_t shards : flags.shards) {
+      shard::ShardOptions shard_options;
+      shard_options.num_shards = shards;
+      shard_options.sequential_workers = !multicore;
+      auto result = core::RunFlowSharded(env.context, options, docs,
+                                         shard_options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      double max_work = 0, sum_open = 0;
+      for (const auto& w : result->workers) {
+        max_work = std::max(max_work, w.process_seconds);
+        sum_open += w.open_seconds;
+      }
+      const bool identical = sink_json(result->sink_outputs) == reference;
+      identical_everywhere &= identical;
+      const double work_division = max_work > 0 ? serial_work / max_work : 0;
+      const double wall_speedup =
+          result->total_seconds > 0
+              ? serial->total_seconds / result->total_seconds
+              : 0;
+      std::printf("  %-7zu %10.3f %12.3f %12.3f %9.1fx %9llu %8s\n", shards,
+                  result->total_seconds, max_work, sum_open, work_division,
+                  static_cast<unsigned long long>(result->rows_shuffled),
+                  identical ? "yes" : "NO");
+      if (shards == flags.shards.front()) open_first = sum_open;
+      open_last = sum_open;
+      if (shards >= 4) {
+        speedup_at_gate[flow] = std::max(speedup_at_gate[flow], work_division);
+        wall_speedup_at_gate[flow] =
+            std::max(wall_speedup_at_gate[flow], wall_speedup);
+      }
+      // The start-up floor: every shard pays its own Open(), so summed
+      // start-up grows with the shard count instead of being amortized.
+      if (entity_flow && shards > 1 && open_first > 0 &&
+          sum_open < open_first) {
+        entity_floor = false;
+      }
+    }
+    if (entity_flow && open_last < 1e-3) {
+      std::printf("  (per-shard start-up below measurement resolution at "
+                  "bench-scale dictionaries; the floor is shown at paper "
+                  "scale in the model overlay)\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("summed per-shard start-up never shrinks with the shard count "
+              "(every shard pays its own Open(); the dictionary load is a "
+              "floor scale-out cannot amortize): %s\n",
+              entity_floor ? "yes" : "no");
+
+  // --- Cluster-scale curve with the paper's constants. This table is a
+  // model overlay (NOT measured): the analytic law T(dop) = T_open +
+  // T_work/dop + coordination evaluated at the paper's documented
+  // constants, to place the measured shape on the paper's axes.
   const double kEntOpen = 1200.0;   // 20-minute gene dictionary load
   const double kEntWork = 26000.0;  // serial work, calibrated to Fig. 5's
                                     // ~8000 s at DoP 4
   const double kLingOpen = 15.0;
   const double kLingWork = 8200.0;  // ~8200 s at DoP 1 in Fig. 5
 
-  std::printf("modeled 20 GB sample on the paper's cluster:\n");
+  std::printf("\nmodel overlay (not measured): 20 GB sample on the paper's "
+              "cluster:\n");
   std::printf("%-6s %16s %16s\n", "DoP", "entity flow (s)", "linguistic (s)");
   const int dops[] = {1, 2, 4, 8, 12, 16, 20, 24, 28, 56, 84, 140, 156};
   double ent_t4 = 0, ling_t1 = 0, ent_t16 = 0, ling_t12 = 0, ent_t28 = 0;
@@ -103,9 +195,33 @@ int main() {
   std::printf("further entity reduction 16 -> 28: %.0f%% (paper: 'only "
               "marginal further improvements')\n", 100 * marginal);
 
-  bool ok = startup_asymmetry && ent_reduction > 0.55 &&
-            ent_reduction < 0.85 && ling_reduction > 0.85 &&
-            marginal < ent_reduction / 2;
+  bool model_ok = ent_reduction > 0.55 && ent_reduction < 0.85 &&
+                  ling_reduction > 0.85 && marginal < ent_reduction / 2;
+
+  // Gates. When no shard count >= 4 was requested the speedup gate is
+  // vacuous (sweeps like --shards=1,2 still check byte-identity).
+  bool any_gate = false;
+  for (size_t s : flags.shards) any_gate |= s >= 4;
+  bool speedup_ok = !any_gate;
+  if (any_gate) {
+    speedup_ok = speedup_at_gate[0] >= 3.0 && speedup_at_gate[1] >= 3.0;
+    if (multicore) {
+      speedup_ok = speedup_ok && wall_speedup_at_gate[0] >= 3.0 &&
+                   wall_speedup_at_gate[1] >= 3.0;
+    }
+    std::printf("\nprocessing-phase speedup at 4+ shards: linguistic %.1fx, "
+                "entity %.1fx (gate: >= 3x)\n",
+                speedup_at_gate[0], speedup_at_gate[1]);
+    if (multicore) {
+      std::printf("wall-clock speedup at 4+ shards: linguistic %.1fx, "
+                  "entity %.1fx (gate: >= 3x)\n",
+                  wall_speedup_at_gate[0], wall_speedup_at_gate[1]);
+    }
+  }
+  std::printf("sinks byte-identical to serial at every shard count: %s\n",
+              identical_everywhere ? "yes" : "NO");
+
+  bool ok = identical_everywhere && speedup_ok && entity_floor && model_ok;
   std::printf("\nFig. 5 shape (start-up floor caps entity scale-out; "
               "linguistic scales near-ideally): %s\n",
               ok ? "HOLDS" : "VIOLATED");

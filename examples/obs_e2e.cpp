@@ -27,6 +27,7 @@
 #include "corpus/text_generator.h"
 #include "crawler/focused_crawler.h"
 #include "crawler/seed_generator.h"
+#include "crawler/sharded_frontier.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -192,6 +193,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 3d. The same flow on two in-process shards, plus a small host-sharded
+  //     crawl, so the wsie.shard.* and wsie.exchange.* families fill.
+  {
+    shard::ShardOptions shard_options;
+    shard_options.num_shards = 2;
+    auto sharded = core::RunFlowSharded(context, core::FlowOptions{}, docs,
+                                        shard_options);
+    if (!sharded.ok()) {
+      std::printf("sharded flow failed: %s\n",
+                  sharded.status().ToString().c_str());
+      return 1;
+    }
+    crawler::ShardedCrawlOptions crawl_options;
+    crawl_options.num_shards = 2;
+    crawl_options.config.max_pages = 60;
+    crawler::ShardedCrawl sharded_crawl(&sim, &classifier, crawl_options);
+    sharded_crawl.InjectSeeds(seeds.seed_urls);
+    sharded_crawl.Crawl();
+    std::printf("sharded: flow on %zu shards moved %llu rows / %llu bytes; "
+                "crawl exchanged %llu urls in %llu rounds\n",
+                shard_options.num_shards,
+                static_cast<unsigned long long>(sharded->rows_shuffled),
+                static_cast<unsigned long long>(sharded->bytes_moved),
+                static_cast<unsigned long long>(sharded_crawl.urls_exchanged()),
+                static_cast<unsigned long long>(sharded_crawl.rounds()));
+  }
+
   // 4. Export + validate the trace.
   obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
   recorder.SetEnabled(false);
@@ -238,6 +266,8 @@ int main(int argc, char** argv) {
       {"wsie.ie.", snapshot.CounterPrefixSum("wsie.ie.")},
       {"wsie.store.", snapshot.CounterPrefixSum("wsie.store.")},
       {"wsie.serve.", snapshot.CounterPrefixSum("wsie.serve.")},
+      {"wsie.shard.", snapshot.CounterPrefixSum("wsie.shard.")},
+      {"wsie.exchange.", snapshot.CounterPrefixSum("wsie.exchange.")},
   };
   bool all_present = true;
   std::printf("metrics: %zu registered -> %s\n", registry.num_metrics(),

@@ -6,9 +6,11 @@
 # annotation store / serving layer (epoch-based snapshot publication and
 # reclamation under a compaction storm, the batched admission queue,
 # adversarial segment decoding), and the allocation-free NLP/IE hot path
-# (shared finalized taggers + thread-local scratch). Builds into a
-# dedicated build-tsan directory and runs the ctest targets labeled
-# `tsan`, `fault`, `obs`, `store`, or `perf`.
+# (shared finalized taggers + thread-local scratch), and the sharded
+# execution layer (exchange transports, forked socketpair workers, the
+# split-correctness property suites). Builds into a dedicated build-tsan
+# directory and runs the ctest targets labeled `tsan`, `fault`, `obs`,
+# `store`, `perf`, or `shard`.
 # Usage: scripts/tsan_check.sh [address]  (default: thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,9 +19,14 @@ SANITIZER="${1:-thread}"
 BUILD_DIR="build-${SANITIZER//thread/tsan}"
 BUILD_DIR="${BUILD_DIR//address/asan}"
 
+# The shard suite's multiprocess transport tests fork workers; TSan kills
+# forking programs by default, so keep it alive across the fork (the
+# children are exec-free and exit via _exit).
+export TSAN_OPTIONS="${TSAN_OPTIONS:+${TSAN_OPTIONS} }die_after_fork=0"
+
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
   dataflow_test thread_pool_stress_test fault_test crawler_test obs_test \
-  store_test epoch_test serve_test hotpath_test
-(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store|perf' --output-on-failure)
+  store_test epoch_test serve_test hotpath_test shard_test
+(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store|perf|shard' --output-on-failure)
 echo "${SANITIZER} sanitizer run passed"

@@ -274,4 +274,18 @@ Result<dataflow::ExecutionResult> RunFlow(
   return executor.Run(plan, sources);
 }
 
+Result<shard::ShardExecutionResult> RunFlowSharded(
+    ContextPtr context, const FlowOptions& options,
+    const std::vector<corpus::Document>& docs,
+    const shard::ShardOptions& shard_options) {
+  shard::ShardRuntime runtime(shard_options);
+  std::map<std::string, dataflow::Dataset> sources;
+  sources["docs"] = DocumentsToRecords(docs);
+  return runtime.Run(
+      [&context, &options](int) {
+        return BuildAnalysisFlow(context, options);
+      },
+      sources);
+}
+
 }  // namespace wsie::core

@@ -10,6 +10,7 @@
 #include "dataflow/executor.h"
 #include "dataflow/meteor.h"
 #include "dataflow/plan.h"
+#include "shard/runtime.h"
 
 namespace wsie::core {
 
@@ -68,6 +69,17 @@ Result<dataflow::ExecutionResult> RunFlow(
     const dataflow::Plan& plan, const std::vector<corpus::Document>& docs,
     const dataflow::ExecutorConfig& executor_config,
     bool check_library_conflicts = false);
+
+/// Convenience: run the analysis flow for `options` over `docs` on a
+/// shard::ShardRuntime. Each endpoint builds its own BuildAnalysisFlow
+/// instance (own operator state, own Open() cache entries); documents are
+/// hash-partitioned on "id" unless `shard_options` says otherwise. Sink
+/// outputs are byte-identical to RunFlow on the same plan at any shard
+/// count.
+Result<shard::ShardExecutionResult> RunFlowSharded(
+    ContextPtr context, const FlowOptions& options,
+    const std::vector<corpus::Document>& docs,
+    const shard::ShardOptions& shard_options = {});
 
 }  // namespace wsie::core
 

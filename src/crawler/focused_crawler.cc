@@ -248,11 +248,25 @@ void FocusedCrawler::InjectSeeds(const std::vector<std::string>& seed_urls) {
   for (const std::string& url : seed_urls) {
     web::Url parsed;
     if (!web::ParseUrl(url, &parsed)) continue;
+    if (config_.frontier_owner && !config_.frontier_owner(parsed.host)) {
+      ExportUrl(url);
+      continue;
+    }
     crawl_db_.Inject(url, parsed.host);
     if (config_.follow_irrelevant_margin > 0) {
       margin_[url] = config_.follow_irrelevant_margin;
     }
   }
+}
+
+void FocusedCrawler::ExportUrl(const std::string& url) {
+  if (exported_seen_.insert(url).second) exported_urls_.push_back(url);
+}
+
+std::vector<std::string> FocusedCrawler::TakeExportedUrls() {
+  std::vector<std::string> out = std::move(exported_urls_);
+  exported_urls_.clear();
+  return out;
 }
 
 void FocusedCrawler::ResolveRobots(const std::vector<std::string>& batch) {
@@ -471,6 +485,12 @@ void FocusedCrawler::ApplyOutcome(const std::string& url,
     if (!add_outlinks) continue;
     web::Url target;
     if (!web::ParseUrl(out, &target)) continue;
+    // Sharded frontier: links to hosts another shard owns are exported to
+    // the round driver instead of entering the local frontier.
+    if (config_.frontier_owner && !config_.frontier_owner(target.host)) {
+      ExportUrl(out);
+      continue;
+    }
     if (crawl_db_.Inject(out, target.host) &&
         config_.follow_irrelevant_margin > 0) {
       margin_[out] = child_margin;

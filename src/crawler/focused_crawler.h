@@ -2,6 +2,7 @@
 #define WSIE_CRAWLER_FOCUSED_CRAWLER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -76,6 +77,13 @@ struct CrawlerConfig {
   /// Checkpoint every n batches into `checkpoint_path` (0 = never).
   size_t checkpoint_every_batches = 0;
   std::string checkpoint_path;
+  /// Sharded-frontier ownership predicate (shard::HostShardRouter binds
+  /// this). When set, a URL whose host it rejects is never injected into
+  /// this crawler's frontier; it is stashed for TakeExportedUrls() so a
+  /// round driver can deliver it to the owning shard. All host-keyed state
+  /// (robots cache, circuit breaker, politeness counts) therefore stays
+  /// local to the shard that owns the host. Unset = own every host.
+  std::function<bool(const std::string& host)> frontier_owner;
 };
 
 /// Aggregated crawl statistics (the Sect. 4.1 evaluation quantities).
@@ -164,6 +172,10 @@ class FocusedCrawler {
   /// untouched.
   Status RestoreCheckpoint(const std::string& path);
 
+  /// Drains the URLs discovered here but owned by another shard's frontier
+  /// (CrawlerConfig::frontier_owner). Deduplicated, discovery order.
+  std::vector<std::string> TakeExportedUrls();
+
   const CrawlStats& stats() const { return stats_; }
   const PreFilterChain& prefilter() const { return prefilter_; }
   const corpus::DocumentStore& relevant_corpus() const {
@@ -207,6 +219,9 @@ class FocusedCrawler {
   /// Serial gate: breaker / robots / host budget. Returns URLs to fetch.
   std::vector<std::string> GateBatch(std::vector<std::string> batch);
 
+  /// Stashes a URL owned by another shard (deduplicated).
+  void ExportUrl(const std::string& url);
+
   const web::SimulatedWeb* web_;
   const RelevanceClassifier* classifier_;
   CrawlerConfig config_;
@@ -226,6 +241,10 @@ class FocusedCrawler {
   std::unordered_map<std::string, std::string> robots_cache_;
   std::unordered_map<std::string, int> margin_;  // url -> remaining margin
   std::unordered_map<std::string, int> breaker_requeues_;  // url -> count
+  /// URLs discovered here but owned elsewhere (frontier_owner rejected the
+  /// host). Written only in the serial phases; drained between rounds.
+  std::vector<std::string> exported_urls_;
+  std::unordered_set<std::string> exported_seen_;
   bool stop_requested_ = false;
 };
 

@@ -316,8 +316,14 @@ Result<ExecutionResult> Executor::RunMorselEngine(
     Status first_error;
     std::atomic<uint64_t> stage_task_retries{0};
     std::atomic<size_t> morsels_left{morsels.size()};
-    const std::string stage_span_name = "dataflow.stage:" + head.op->name();
-    const std::string morsel_span_name = "dataflow.morsel:" + head.op->name();
+    // Sharded workers (shard::ShardRuntime) tag their spans with the shard
+    // id so per-shard timelines separate in the Chrome trace.
+    const std::string span_suffix =
+        config_.shard_id >= 0
+            ? head.op->name() + ":s" + std::to_string(config_.shard_id)
+            : head.op->name();
+    const std::string stage_span_name = "dataflow.stage:" + span_suffix;
+    const std::string morsel_span_name = "dataflow.morsel:" + span_suffix;
     WSIE_TRACE_SPAN(stage_span_name);
     Stopwatch stage_timer;
 

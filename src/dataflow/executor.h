@@ -60,6 +60,10 @@ struct ExecutorConfig {
   /// Enabling retries (> 0) disables destructive stage-head moves: the
   /// morsel's input must stay intact for a potential re-run.
   int max_task_retries = 0;
+  /// Shard id when this executor is one worker of a shard::ShardRuntime
+  /// (-1 = unsharded). Stage/morsel trace spans get an ":s<id>" suffix so
+  /// per-shard timelines separate in the Chrome trace.
+  int shard_id = -1;
 };
 
 /// Per-operator execution statistics.

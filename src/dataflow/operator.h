@@ -35,6 +35,24 @@ struct OperatorTraits {
   /// record depends only on that record). False for aggregations,
   /// cross-record stateful transforms (dedup), multi-input unions, sinks.
   bool record_at_a_time = true;
+  /// Field records must be co-located by when the plan runs sharded
+  /// (shard::ShardRuntime): non-empty for operators whose per-key state
+  /// must stay on one shard (e.g. a per-host accumulator keyed "host").
+  /// Empty = any record split is correct (pure record-at-a-time UDFs).
+  /// The shard planner re-hashes at a fusion-group boundary when the
+  /// group's required key differs from the stream's current partition key.
+  std::string partition_key;
+  /// False for operators that rebuild records and drop fields they do not
+  /// recognize (e.g. projection). The shard planner pins fragments with
+  /// such operators to the coordinator: the exchange layer's hidden
+  /// serial-order tags must flow through sharded fragments intact.
+  bool preserves_unknown_fields = true;
+  /// True when the operator keeps cross-record state whose per-shard
+  /// results merge associatively — a distributive accumulator, e.g. the
+  /// store::StoreSink tap whose per-shard segments the compactor folds
+  /// into one SegmentSet. Such an operator may run shard-local even
+  /// though it is not record-at-a-time.
+  bool shard_local_state = false;
 };
 
 /// A dataflow operator. Implementations are record-at-a-time UDFs or

@@ -99,6 +99,7 @@ class ProjectionOperator : public Operator {
   OperatorTraits traits() const override {
     OperatorTraits t;
     t.reads.insert(fields_.begin(), fields_.end());
+    t.preserves_unknown_fields = false;  // drops everything not projected
     return t;
   }
 

@@ -69,6 +69,39 @@ std::vector<FusionGroup> Optimizer::ComputeFusionGroups(
   return groups;
 }
 
+std::vector<PlanFragment> Optimizer::ComputeShardFragments(
+    const Plan& plan, bool fuse_record_chains) {
+  const auto& nodes = plan.nodes();
+  std::vector<FusionGroup> groups =
+      ComputeFusionGroups(plan, fuse_record_chains);
+  std::vector<PlanFragment> fragments;
+  fragments.reserve(groups.size());
+  for (FusionGroup& group : groups) {
+    PlanFragment fragment;
+    fragment.nodes = std::move(group.nodes);
+    bool record_parallel = true;
+    for (int id : fragment.nodes) {
+      const OperatorTraits t = nodes[static_cast<size_t>(id)].op->traits();
+      // Sharded fragments carry the exchange layer's hidden order tags
+      // through the chain, so every operator must also pass through fields
+      // it does not recognize.
+      if (!t.record_at_a_time || !t.preserves_unknown_fields) {
+        record_parallel = false;
+        break;
+      }
+    }
+    if (!record_parallel && fragment.nodes.size() == 1 &&
+        nodes[static_cast<size_t>(fragment.nodes[0])]
+            .op->traits()
+            .shard_local_state) {
+      record_parallel = true;
+    }
+    fragment.record_parallel = record_parallel;
+    fragments.push_back(std::move(fragment));
+  }
+  return fragments;
+}
+
 OptimizationReport Optimizer::Optimize(Plan* plan) const {
   OptimizationReport report;
   auto& nodes = plan->mutable_nodes();

@@ -31,6 +31,14 @@ struct FusionGroup {
   bool fused() const { return nodes.size() > 1; }
 };
 
+/// A fusion group annotated for sharded execution (shard::ShardPlanner):
+/// `record_parallel` groups may run on every shard over a record split of
+/// their input; the rest are pipeline breakers pinned to the coordinator.
+struct PlanFragment {
+  std::vector<int> nodes;  ///< plan node ids, chain order
+  bool record_parallel = false;
+};
+
 /// SOFA-style logical optimizer [23] for UDF-heavy flows.
 ///
 /// Within each linear chain of record-at-a-time operators, adjacent
@@ -60,6 +68,14 @@ class Optimizer {
   /// stage (the unfused baseline toggle). Groups are in topological order;
   /// sources are not included.
   static std::vector<FusionGroup> ComputeFusionGroups(
+      const Plan& plan, bool fuse_record_chains = true);
+
+  /// The fusion groups annotated for sharded execution. A group is
+  /// record-parallel when every operator is record-at-a-time (its output
+  /// for any input split is the concatenation of per-record outputs —
+  /// Split-Correctness), or when it is a lone operator with mergeable
+  /// shard-local state (OperatorTraits::shard_local_state).
+  static std::vector<PlanFragment> ComputeShardFragments(
       const Plan& plan, bool fuse_record_chains = true);
 };
 

@@ -1,0 +1,145 @@
+#include "shard/planner.h"
+
+#include <map>
+
+#include "dataflow/optimizer.h"
+
+namespace wsie::shard {
+namespace {
+
+/// The partition key a fragment's operators require ("" = none). Returns
+/// false on conflicting requirements.
+bool RequiredKey(const dataflow::Plan& plan, const std::vector<int>& nodes,
+                 std::string* key) {
+  key->clear();
+  for (int id : nodes) {
+    const auto& op = plan.nodes()[static_cast<size_t>(id)].op;
+    if (op == nullptr) continue;
+    const std::string required = op->traits().partition_key;
+    if (required.empty()) continue;
+    if (!key->empty() && *key != required) return false;
+    *key = required;
+  }
+  return true;
+}
+
+bool WritesField(const dataflow::Plan& plan, const std::vector<int>& nodes,
+                 const std::string& field) {
+  if (field.empty()) return false;
+  for (int id : nodes) {
+    const auto& op = plan.nodes()[static_cast<size_t>(id)].op;
+    if (op != nullptr && op->traits().writes.count(field) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ShardedPlan> ShardPlanner::Partition(const dataflow::Plan& plan,
+                                            const Options& options) {
+  const auto& nodes = plan.nodes();
+  std::vector<dataflow::PlanFragment> groups =
+      dataflow::Optimizer::ComputeShardFragments(plan, options.fuse_pipelines);
+
+  ShardedPlan sharded;
+  sharded.fragments.reserve(groups.size());
+  std::map<int, int> node_to_fragment;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Fragment fragment;
+    fragment.nodes = groups[g].nodes;
+    fragment.sharded = groups[g].record_parallel;
+    fragment.sink_name =
+        nodes[static_cast<size_t>(fragment.nodes.back())].sink_name;
+    for (int id : fragment.nodes) node_to_fragment[id] = static_cast<int>(g);
+    sharded.fragments.push_back(std::move(fragment));
+  }
+
+  // Pass 1: demote shard-eligible fragments that cannot run split. Fragments
+  // are in topological order, so producers are decided before consumers.
+  std::vector<std::string> required(sharded.fragments.size());
+  for (size_t f = 0; f < sharded.fragments.size(); ++f) {
+    Fragment& fragment = sharded.fragments[f];
+    if (!fragment.sharded) continue;
+    if (!RequiredKey(plan, fragment.nodes, &required[f])) {
+      fragment.sharded = false;  // conflicting co-location requirements
+      continue;
+    }
+    const auto& head_inputs =
+        nodes[static_cast<size_t>(fragment.nodes.front())].inputs;
+    if (head_inputs.size() > 1) {
+      for (int input : head_inputs) {
+        const auto& producer = nodes[static_cast<size_t>(input)];
+        if (producer.is_source()) continue;
+        const int pf = node_to_fragment.at(input);
+        if (sharded.fragments[static_cast<size_t>(pf)].sharded) {
+          // Rule 2: a multi-input head fed from the shard side has no
+          // single serial tag order; run it on the coordinator instead.
+          fragment.sharded = false;
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: assign exchange kinds, keys, and channels per head input edge.
+  for (size_t f = 0; f < sharded.fragments.size(); ++f) {
+    Fragment& fragment = sharded.fragments[f];
+    const auto& head_inputs =
+        nodes[static_cast<size_t>(fragment.nodes.front())].inputs;
+    std::string scatter_key =
+        required[f].empty() ? options.default_partition_key : required[f];
+    bool uniform_partition = true;
+    for (int input : head_inputs) {
+      ExchangeEdge edge;
+      const auto& producer = nodes[static_cast<size_t>(input)];
+      if (producer.is_source()) {
+        edge.source_name = producer.source_name;
+        if (fragment.sharded) {
+          edge.kind = options.broadcast_sources.count(producer.source_name)
+                          ? ExchangeKind::kBroadcast
+                          : ExchangeKind::kHash;
+          if (edge.kind == ExchangeKind::kHash) edge.key = scatter_key;
+          edge.channel = sharded.num_channels++;
+        }
+        if (edge.kind != ExchangeKind::kHash) uniform_partition = false;
+      } else {
+        edge.producer_fragment = node_to_fragment.at(input);
+        const Fragment& from =
+            sharded.fragments[static_cast<size_t>(edge.producer_fragment)];
+        if (fragment.sharded && from.sharded) {
+          if (!required[f].empty() && required[f] != from.partition_field) {
+            // Key requirements differ across the boundary: re-hash.
+            edge.kind = ExchangeKind::kHash;
+            edge.key = required[f];
+            edge.channel = sharded.num_channels++;
+            sharded.has_worker_exchange = true;
+          } else {
+            edge.kind = ExchangeKind::kForward;
+            scatter_key = from.partition_field;
+          }
+        } else if (fragment.sharded) {
+          edge.kind = ExchangeKind::kHash;
+          edge.key = scatter_key;
+          edge.channel = sharded.num_channels++;
+        } else if (from.sharded) {
+          edge.kind = ExchangeKind::kGather;
+          edge.channel = sharded.num_channels++;
+        }
+      }
+      fragment.inputs.push_back(std::move(edge));
+    }
+    if (fragment.sharded) {
+      fragment.partition_field = uniform_partition ? scatter_key : "";
+      if (WritesField(plan, fragment.nodes, fragment.partition_field)) {
+        fragment.partition_field.clear();
+      }
+      if (!fragment.sink_name.empty()) {
+        fragment.sink_gather_channel = sharded.num_channels++;
+      }
+      ++sharded.sharded_fragments;
+    }
+  }
+  return sharded;
+}
+
+}  // namespace wsie::shard

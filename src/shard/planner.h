@@ -1,0 +1,87 @@
+#ifndef WSIE_SHARD_PLANNER_H_
+#define WSIE_SHARD_PLANNER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/plan.h"
+#include "shard/exchange.h"
+
+namespace wsie::shard {
+
+/// How one input edge of a fragment head is fed.
+struct ExchangeEdge {
+  ExchangeKind kind = ExchangeKind::kForward;
+  /// Producing fragment index, or -1 when the edge reads a plan source.
+  int producer_fragment = -1;
+  std::string source_name;  ///< set when the edge reads a plan source
+  std::string key;          ///< hash partition key (kHash edges)
+  int channel = -1;         ///< transport channel (kHash/kBroadcast/kGather)
+};
+
+/// One pipeline fragment of a sharded plan: a fusion group that runs either
+/// on every shard (`sharded`) or only on the coordinator (pipeline breakers
+/// — unions, aggregations, plain sinks — whose cross-record state cannot be
+/// split).
+struct Fragment {
+  std::vector<int> nodes;  ///< plan node ids, chain order
+  bool sharded = false;
+  std::vector<ExchangeEdge> inputs;  ///< in the head's declared input order
+  std::string sink_name;             ///< non-empty when the tail is a sink
+  /// Sharded sink fragments also gather their output to the coordinator so
+  /// the execution result carries the sink dataset.
+  int sink_gather_channel = -1;
+  /// Field the fragment's output is still partitioned by ("" = unknown —
+  /// the key was rewritten inside the fragment or inputs were mixed).
+  std::string partition_field;
+};
+
+/// A plan partitioned into fragments joined by exchange edges.
+struct ShardedPlan {
+  std::vector<Fragment> fragments;  ///< topological order
+  int num_channels = 0;
+  size_t sharded_fragments = 0;
+  /// True when any edge ships records shard-to-shard (a re-hash); such
+  /// plans need all workers live concurrently.
+  bool has_worker_exchange = false;
+};
+
+/// Decides where exchanges go. The rules, in the order applied per
+/// fragment (see DESIGN.md "Sharded execution & exchange"):
+///
+///  1. A fusion group is shard-eligible when every operator is
+///     record-at-a-time, or it is a lone operator with mergeable
+///     shard-local state (`OperatorTraits::shard_local_state`, e.g. the
+///     StoreSink tap). Everything else runs on the coordinator.
+///  2. A shard-eligible group whose head has several inputs stays sharded
+///     only if every input comes from the coordinator side (plan sources
+///     or coordinator fragments) — the coordinator then controls the
+///     serial tag order across all edges with one running counter.
+///  3. An operator may declare `OperatorTraits::partition_key`: its group
+///     then requires records co-located by that field. Conflicting
+///     requirements inside one group demote it to the coordinator.
+///  4. Edges: coordinator→shard is a hash scatter (or broadcast, for
+///     sources named in `broadcast_sources`); shard→shard re-hashes only
+///     when the required key differs from the key the stream is already
+///     partitioned by, otherwise records stay put (forward);
+///     shard→coordinator is a gather with the deterministic ordered merge.
+class ShardPlanner {
+ public:
+  struct Options {
+    /// Key used when a sharded fragment declares no requirement of its own.
+    std::string default_partition_key = "id";
+    /// Sources replicated to every shard instead of hash-partitioned
+    /// (small dictionary-side inputs).
+    std::set<std::string> broadcast_sources;
+    bool fuse_pipelines = true;
+  };
+
+  static Result<ShardedPlan> Partition(const dataflow::Plan& plan,
+                                       const Options& options);
+};
+
+}  // namespace wsie::shard
+
+#endif  // WSIE_SHARD_PLANNER_H_

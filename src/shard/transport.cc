@@ -1,0 +1,416 @@
+#include "shard/transport.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "shard/partitioner.h"
+
+namespace wsie::shard {
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x57535846;  // "WSXF"
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 4 + 4 + 8;
+constexpr size_t kTrailerBytes = 8;
+constexpr uint64_t kMaxPayloadBytes = 1ull << 30;
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size() + kTrailerBytes);
+  PutU32(kFrameMagic, &out);
+  PutU32(static_cast<uint32_t>(frame.channel), &out);
+  PutU32(static_cast<uint32_t>(frame.from), &out);
+  PutU32(static_cast<uint32_t>(frame.to), &out);
+  PutU32(frame.rows, &out);
+  PutU64(frame.payload.size(), &out);
+  out.append(frame.payload);
+  PutU64(Fnv1a64(frame.payload), &out);
+  return out;
+}
+
+/// Parses one complete frame from the front of `buf`, erasing its bytes.
+/// Returns true when a frame was extracted; `*error` is set on corruption.
+bool ExtractFrame(std::string* buf, Frame* frame, Status* error) {
+  if (buf->size() < kHeaderBytes) return false;
+  const char* p = buf->data();
+  if (GetU32(p) != kFrameMagic) {
+    *error = Status::InvalidArgument("transport: bad frame magic");
+    return false;
+  }
+  const uint64_t payload_len = GetU64(p + 20);
+  if (payload_len > kMaxPayloadBytes) {
+    *error = Status::InvalidArgument("transport: oversized frame");
+    return false;
+  }
+  const size_t total = kHeaderBytes + payload_len + kTrailerBytes;
+  if (buf->size() < total) return false;
+  frame->channel = static_cast<int32_t>(GetU32(p + 4));
+  frame->from = static_cast<int32_t>(GetU32(p + 8));
+  frame->to = static_cast<int32_t>(GetU32(p + 12));
+  frame->rows = GetU32(p + 16);
+  frame->payload.assign(p + kHeaderBytes, payload_len);
+  if (GetU64(p + kHeaderBytes + payload_len) != Fnv1a64(frame->payload)) {
+    *error = Status::InvalidArgument("transport: frame checksum mismatch");
+    return false;
+  }
+  buf->erase(0, total);
+  return true;
+}
+
+Status SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("transport: send failed: ") +
+                                 std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvExact(int fd, char* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("transport: recv failed: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) return Status::Unavailable("transport: peer closed");
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+size_t DatasetBytes(const dataflow::Dataset& records) {
+  size_t bytes = 0;
+  for (const dataflow::Record& record : records) bytes += record.ByteSize();
+  return bytes;
+}
+
+}  // namespace
+
+TransportStats Transport::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  TransportStats stats = stats_;
+  for (const auto& [channel, width] : channel_width_) {
+    uint64_t total = 0;
+    uint64_t max_rows = 0;
+    for (size_t dest = 0; dest < width; ++dest) {
+      auto it = channel_dest_rows_.find({channel, static_cast<int>(dest)});
+      const uint64_t rows = it == channel_dest_rows_.end() ? 0 : it->second;
+      total += rows;
+      max_rows = std::max(max_rows, rows);
+    }
+    if (total == 0) continue;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(width);
+    stats.max_hash_skew =
+        std::max(stats.max_hash_skew, static_cast<double>(max_rows) / mean);
+  }
+  return stats;
+}
+
+void Transport::RecordTraffic(int channel, int to, size_t num_shards,
+                              size_t rows, size_t bytes) {
+  if (channel < 0) return;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.messages;
+  stats_.rows += rows;
+  stats_.bytes += bytes;
+  if (to >= 0 && static_cast<size_t>(to) < num_shards) {
+    channel_dest_rows_[{channel, to}] += rows;
+    channel_width_[channel] = num_shards;
+  }
+}
+
+InProcessTransport::InProcessTransport(size_t num_shards,
+                                       std::chrono::milliseconds timeout)
+    : num_shards_(num_shards), timeout_(timeout) {}
+
+Status InProcessTransport::Send(int channel, int from, int to,
+                                dataflow::Dataset records) {
+  RecordTraffic(channel, to, num_shards_, records.size(),
+                DatasetBytes(records));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return abort_status_;
+    boxes_[{channel, from, to}].push_back(std::move(records));
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<dataflow::Dataset> InProcessTransport::Recv(int channel, int from,
+                                                   int to) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  const auto key = std::make_tuple(channel, from, to);
+  for (;;) {
+    if (aborted_) return abort_status_;
+    auto it = boxes_.find(key);
+    if (it != boxes_.end() && !it->second.empty()) {
+      dataflow::Dataset records = std::move(it->second.front());
+      it->second.pop_front();
+      return records;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Timeout("transport: recv timed out on channel " +
+                             std::to_string(channel));
+    }
+  }
+}
+
+void InProcessTransport::Abort(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return;
+    aborted_ = true;
+    abort_status_ = std::move(status);
+  }
+  cv_.notify_all();
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  const std::string bytes = EncodeFrame(frame);
+  return SendAll(fd, bytes.data(), bytes.size());
+}
+
+Result<Frame> ReadFrame(int fd) {
+  char header[kHeaderBytes];
+  WSIE_RETURN_NOT_OK(RecvExact(fd, header, sizeof(header)));
+  if (GetU32(header) != kFrameMagic) {
+    return Status::InvalidArgument("transport: bad frame magic");
+  }
+  const uint64_t payload_len = GetU64(header + 20);
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("transport: oversized frame");
+  }
+  Frame frame;
+  frame.channel = static_cast<int32_t>(GetU32(header + 4));
+  frame.from = static_cast<int32_t>(GetU32(header + 8));
+  frame.to = static_cast<int32_t>(GetU32(header + 12));
+  frame.rows = GetU32(header + 16);
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    WSIE_RETURN_NOT_OK(RecvExact(fd, frame.payload.data(), payload_len));
+  }
+  char trailer[kTrailerBytes];
+  WSIE_RETURN_NOT_OK(RecvExact(fd, trailer, sizeof(trailer)));
+  if (GetU64(trailer) != Fnv1a64(frame.payload)) {
+    return Status::InvalidArgument("transport: frame checksum mismatch");
+  }
+  return frame;
+}
+
+SocketTransport::SocketTransport(int fd, size_t num_shards)
+    : fd_(fd), num_shards_(num_shards) {}
+
+Status SocketTransport::Send(int channel, int from, int to,
+                             dataflow::Dataset records) {
+  if (!abort_status_.ok()) return abort_status_;
+  Frame frame;
+  frame.channel = channel;
+  frame.from = from;
+  frame.to = to;
+  frame.rows = static_cast<uint32_t>(records.size());
+  EncodeDataset(records, &frame.payload);
+  RecordTraffic(channel, to, num_shards_, records.size(),
+                frame.payload.size());
+  return WriteFrame(fd_, frame);
+}
+
+Result<dataflow::Dataset> SocketTransport::Recv(int channel, int from,
+                                                int to) {
+  const auto key = std::make_tuple(channel, from, to);
+  for (;;) {
+    if (!abort_status_.ok()) return abort_status_;
+    auto it = parked_.find(key);
+    if (it != parked_.end() && !it->second.empty()) {
+      dataflow::Dataset records = std::move(it->second.front());
+      it->second.pop_front();
+      return records;
+    }
+    WSIE_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    WSIE_ASSIGN_OR_RETURN(dataflow::Dataset records,
+                          DecodeDataset(frame.payload));
+    parked_[{frame.channel, frame.from, frame.to}].push_back(
+        std::move(records));
+  }
+}
+
+void SocketTransport::Abort(Status status) {
+  if (abort_status_.ok()) abort_status_ = std::move(status);
+}
+
+HubTransport::HubTransport(std::vector<int> worker_fds,
+                           std::chrono::milliseconds timeout)
+    : fds_(std::move(worker_fds)),
+      num_shards_(fds_.size()),
+      timeout_(timeout),
+      inbuf_(fds_.size()),
+      outbuf_(fds_.size()),
+      closed_(fds_.size(), false) {
+  for (int fd : fds_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+HubTransport::~HubTransport() {
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (fds_[i] >= 0) ::close(fds_[i]);
+  }
+}
+
+Status HubTransport::Send(int channel, int from, int to,
+                          dataflow::Dataset records) {
+  if (!abort_status_.ok()) return abort_status_;
+  if (to < 0 || static_cast<size_t>(to) >= num_shards_) {
+    return Status::InvalidArgument("hub: bad destination shard");
+  }
+  if (closed_[static_cast<size_t>(to)]) {
+    return Status::Unavailable("hub: shard " + std::to_string(to) +
+                               " closed its transport");
+  }
+  Frame frame;
+  frame.channel = channel;
+  frame.from = from;
+  frame.to = to;
+  frame.rows = static_cast<uint32_t>(records.size());
+  EncodeDataset(records, &frame.payload);
+  RecordTraffic(channel, to, num_shards_, records.size(),
+                frame.payload.size());
+  outbuf_[static_cast<size_t>(to)].append(EncodeFrame(frame));
+  return Pump(std::chrono::milliseconds(0));
+}
+
+Result<dataflow::Dataset> HubTransport::Recv(int channel, int from, int to) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  const auto key = std::make_tuple(channel, from, to);
+  for (;;) {
+    if (!abort_status_.ok()) return abort_status_;
+    auto it = parked_.find(key);
+    if (it != parked_.end() && !it->second.empty()) {
+      dataflow::Dataset records = std::move(it->second.front());
+      it->second.pop_front();
+      return records;
+    }
+    if (from >= 0 && static_cast<size_t>(from) < num_shards_ &&
+        closed_[static_cast<size_t>(from)]) {
+      return Status::Unavailable("hub: shard " + std::to_string(from) +
+                                 " closed before sending channel " +
+                                 std::to_string(channel));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Timeout("hub: recv timed out on channel " +
+                             std::to_string(channel));
+    }
+    WSIE_RETURN_NOT_OK(Pump(std::chrono::milliseconds(50)));
+  }
+}
+
+void HubTransport::Abort(Status status) {
+  if (abort_status_.ok()) abort_status_ = std::move(status);
+}
+
+Status HubTransport::Pump(std::chrono::milliseconds wait) {
+  std::vector<pollfd> polls;
+  std::vector<size_t> owners;
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (closed_[i]) continue;
+    pollfd p{};
+    p.fd = fds_[i];
+    p.events = POLLIN;
+    if (!outbuf_[i].empty()) p.events |= POLLOUT;
+    polls.push_back(p);
+    owners.push_back(i);
+  }
+  if (polls.empty()) return Status::OK();
+  const int ready = ::poll(polls.data(), polls.size(),
+                           static_cast<int>(wait.count()));
+  if (ready < 0 && errno != EINTR) {
+    return Status::Unavailable(std::string("hub: poll failed: ") +
+                               std::strerror(errno));
+  }
+  if (ready <= 0) return Status::OK();
+  char buf[1 << 16];
+  for (size_t p = 0; p < polls.size(); ++p) {
+    const size_t i = owners[p];
+    if (polls[p].revents & POLLOUT) {
+      while (!outbuf_[i].empty()) {
+        const ssize_t n = ::send(fds_[i], outbuf_[i].data(),
+                                 outbuf_[i].size(), MSG_NOSIGNAL);
+        if (n < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          closed_[i] = true;
+          break;
+        }
+        outbuf_[i].erase(0, static_cast<size_t>(n));
+      }
+    }
+    if (polls[p].revents & (POLLIN | POLLHUP | POLLERR)) {
+      for (;;) {
+        const ssize_t n = ::recv(fds_[i], buf, sizeof(buf), 0);
+        if (n > 0) {
+          inbuf_[i].append(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n == 0) closed_[i] = true;
+        if (n < 0 && errno == EINTR) continue;
+        break;  // EAGAIN (drained) or closed
+      }
+      Frame frame;
+      Status error;
+      while (ExtractFrame(&inbuf_[i], &frame, &error)) {
+        if (frame.to >= 0 && static_cast<size_t>(frame.to) < num_shards_) {
+          // Worker-to-worker traffic: relay the frame verbatim.
+          RecordTraffic(frame.channel, frame.to, num_shards_, frame.rows,
+                        frame.payload.size());
+          outbuf_[static_cast<size_t>(frame.to)].append(EncodeFrame(frame));
+        } else {
+          RecordTraffic(frame.channel, frame.to, num_shards_, frame.rows,
+                        frame.payload.size());
+          auto records = DecodeDataset(frame.payload);
+          if (!records.ok()) return records.status();
+          parked_[{frame.channel, frame.from, frame.to}].push_back(
+              std::move(records).value());
+        }
+      }
+      if (!error.ok()) return error;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wsie::shard

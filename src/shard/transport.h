@@ -1,0 +1,159 @@
+#ifndef WSIE_SHARD_TRANSPORT_H_
+#define WSIE_SHARD_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/value.h"
+#include "shard/wire.h"
+
+namespace wsie::shard {
+
+/// Stats channel: workers report their ShardWorkerStats here after the last
+/// fragment; negative so it can never collide with a planner channel.
+inline constexpr int kStatsChannel = -1;
+
+/// Aggregate traffic seen by a transport. `max_hash_skew` is the worst
+/// max/mean row ratio across destinations of any single channel — the skew
+/// a bad partition key produces.
+struct TransportStats {
+  uint64_t messages = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  double max_hash_skew = 0.0;
+};
+
+/// Point-to-point dataset channels between the coordinator (endpoint id ==
+/// num_shards) and the worker shards (ids 0..num_shards-1). A message is
+/// addressed by (channel, from, to); Recv blocks until the matching message
+/// arrives, the deadline passes, or the transport is aborted. Messages on
+/// the same address are delivered in send order.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Status Send(int channel, int from, int to,
+                      dataflow::Dataset records) = 0;
+  virtual Result<dataflow::Dataset> Recv(int channel, int from, int to) = 0;
+
+  /// Fails all current and future Recv calls with `status` — called when a
+  /// worker dies so its peers unblock instead of waiting out the deadline.
+  virtual void Abort(Status status) = 0;
+
+  TransportStats Stats() const;
+
+ protected:
+  /// Records one message for the stats/skew accounting. Channels < 0
+  /// (control traffic) are not counted.
+  void RecordTraffic(int channel, int to, size_t num_shards, size_t rows,
+                     size_t bytes);
+
+ private:
+  mutable std::mutex stats_mu_;
+  TransportStats stats_;
+  /// rows per (channel, destination shard) — skew is computed per channel.
+  std::map<std::pair<int, int>, uint64_t> channel_dest_rows_;
+  std::map<int, size_t> channel_width_;
+};
+
+/// The in-process transport: one mailbox per (channel, from, to) behind a
+/// mutex. Datasets move through without serialization; `bytes` counts
+/// their in-memory footprint so skew/bytes metrics stay comparable with
+/// the socket transport.
+class InProcessTransport : public Transport {
+ public:
+  InProcessTransport(size_t num_shards, std::chrono::milliseconds timeout);
+
+  Status Send(int channel, int from, int to,
+              dataflow::Dataset records) override;
+  Result<dataflow::Dataset> Recv(int channel, int from, int to) override;
+  void Abort(Status status) override;
+
+ private:
+  const size_t num_shards_;
+  const std::chrono::milliseconds timeout_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::tuple<int, int, int>, std::deque<dataflow::Dataset>> boxes_;
+  Status abort_status_;
+  bool aborted_ = false;
+};
+
+/// Framed messages over a stream socket:
+///   u32 magic | i32 channel | i32 from | i32 to | u32 rows |
+///   u64 payload length | payload (wire-codec dataset) | u64 FNV-1a(payload)
+/// WriteFrame/ReadFrame handle short reads/writes; ReadFrame verifies the
+/// checksum and rejects malformed headers.
+struct Frame {
+  int channel = 0;
+  int from = 0;
+  int to = 0;
+  uint32_t rows = 0;
+  std::string payload;
+};
+
+Status WriteFrame(int fd, const Frame& frame);
+Result<Frame> ReadFrame(int fd);
+
+/// Worker-side endpoint of the socketpair transport: one full-duplex fd to
+/// the coordinator hub, which relays shard-to-shard frames. Out-of-order
+/// arrivals (another channel's frame first) are parked until asked for.
+class SocketTransport : public Transport {
+ public:
+  SocketTransport(int fd, size_t num_shards);
+
+  Status Send(int channel, int from, int to,
+              dataflow::Dataset records) override;
+  Result<dataflow::Dataset> Recv(int channel, int from, int to) override;
+  void Abort(Status status) override;
+
+ private:
+  const int fd_;
+  const size_t num_shards_;
+  std::map<std::tuple<int, int, int>, std::deque<dataflow::Dataset>> parked_;
+  Status abort_status_;
+};
+
+/// Coordinator-side hub over one socketpair per worker: owns all fds,
+/// relays worker→worker frames, and parks worker→coordinator frames until
+/// Recv asks for them. Single-threaded — the coordinator loop drives it —
+/// with non-blocking fds and per-worker outbound queues so a relay never
+/// deadlocks against a worker that is itself mid-send.
+class HubTransport : public Transport {
+ public:
+  HubTransport(std::vector<int> worker_fds,
+               std::chrono::milliseconds timeout);
+  ~HubTransport() override;
+
+  Status Send(int channel, int from, int to,
+              dataflow::Dataset records) override;
+  Result<dataflow::Dataset> Recv(int channel, int from, int to) override;
+  void Abort(Status status) override;
+
+ private:
+  /// One poll round: flush pending outbound bytes, read whatever arrived,
+  /// park or relay complete frames. `wait` bounds the poll blocking time.
+  Status Pump(std::chrono::milliseconds wait);
+
+  std::vector<int> fds_;
+  const size_t num_shards_;
+  const std::chrono::milliseconds timeout_;
+  std::vector<std::string> inbuf_;   ///< partial inbound frame per worker
+  std::vector<std::string> outbuf_;  ///< pending outbound bytes per worker
+  std::vector<bool> closed_;
+  std::map<std::tuple<int, int, int>, std::deque<dataflow::Dataset>> parked_;
+  Status abort_status_;
+};
+
+}  // namespace wsie::shard
+
+#endif  // WSIE_SHARD_TRANSPORT_H_

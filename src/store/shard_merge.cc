@@ -1,0 +1,52 @@
+#include "store/shard_merge.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+#include "store/segment.h"
+
+namespace wsie::store {
+
+namespace fs = std::filesystem;
+
+Result<size_t> AbsorbShardStores(AnnotationStore* target,
+                                 const std::string& shards_dir) {
+  if (target == nullptr) {
+    return Status::InvalidArgument("AbsorbShardStores: null target");
+  }
+  std::error_code ec;
+  if (!fs::is_directory(shards_dir, ec)) {
+    return Status::NotFound("AbsorbShardStores: no such directory: " +
+                            shards_dir);
+  }
+  std::vector<std::string> shard_dirs;
+  for (const auto& entry : fs::directory_iterator(shards_dir, ec)) {
+    if (ec) break;
+    if (!entry.is_directory()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.rfind("shard-", 0) == 0) {
+      shard_dirs.push_back(entry.path().string());
+    }
+  }
+  // Deterministic absorb order regardless of directory enumeration order.
+  std::sort(shard_dirs.begin(), shard_dirs.end());
+
+  size_t absorbed = 0;
+  for (const std::string& dir : shard_dirs) {
+    WSIE_ASSIGN_OR_RETURN(std::shared_ptr<AnnotationStore> shard_store,
+                          AnnotationStore::Open(dir));
+    AnnotationStore::Snapshot snap = shard_store->snapshot();
+    SegmentBuilder builder;
+    for (const auto& segment : snap.segments) {
+      builder.MergeSegment(*segment);
+    }
+    if (!builder.empty()) {
+      WSIE_RETURN_NOT_OK(target->Append(std::move(builder)));
+    }
+    ++absorbed;
+  }
+  return absorbed;
+}
+
+}  // namespace wsie::store

@@ -1,0 +1,33 @@
+#ifndef WSIE_STORE_SHARD_MERGE_H_
+#define WSIE_STORE_SHARD_MERGE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "store/annotation_store.h"
+
+namespace wsie::store {
+
+/// Folds per-shard annotation stores into `target`.
+///
+/// `shards_dir` is scanned for subdirectories named "shard-<i>"; each is
+/// opened as an AnnotationStore and ALL its live segments are merged (via
+/// SegmentBuilder::MergeSegment) into one segment appended to `target` —
+/// one append per shard store, in sorted directory order, so the result is
+/// deterministic regardless of how the shards raced while writing. The
+/// shard stores are read-only inputs here; callers delete or reuse the
+/// directories as they wish. Segment ids are reassigned by `target`.
+///
+/// This is the gather step for sharded StoreSink runs: every shard flushes
+/// its tap into its own segment directory (no cross-process write
+/// contention), then the coordinator absorbs them and the regular
+/// BackgroundCompactor folds the per-shard segments down to one.
+///
+/// Returns the number of shard stores absorbed (empty stores are skipped
+/// but still counted). NotFound when `shards_dir` does not exist.
+Result<size_t> AbsorbShardStores(AnnotationStore* target,
+                                 const std::string& shards_dir);
+
+}  // namespace wsie::store
+
+#endif  // WSIE_STORE_SHARD_MERGE_H_

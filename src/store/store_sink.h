@@ -41,6 +41,9 @@ class StoreSink : public dataflow::Operator {
     t.reads = {"id", "corpus", "text", "sentences", "entities"};
     t.selectivity = 0.0;
     t.record_at_a_time = false;  // stateful tap: never fused or reordered
+    // Per-shard builders merge associatively into one SegmentSet (the
+    // compactor folds them), so the tap may run shard-local.
+    t.shard_local_state = true;
     return t;
   }
 
