@@ -3,9 +3,37 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/profiler.h"
 #include "store/store_sink.h"
 
 namespace wsie::bench {
+namespace {
+
+// --profile state: the atexit hook needs the output path after main ends.
+std::string* ProfilePath() {
+  static std::string* path = new std::string();
+  return path;
+}
+
+void StopProfilerAtExit() {
+  auto& profiler = obs::Profiler::Global();
+  profiler.Stop();
+  const std::string& path = *ProfilePath();
+  Status written = profiler.WriteFolded(path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "profile write failed: %s\n",
+                 written.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr,
+               "profile: %llu samples (%llu dropped) -> %s "
+               "(feed to flamegraph.pl)\n",
+               static_cast<unsigned long long>(profiler.samples()),
+               static_cast<unsigned long long>(profiler.dropped()),
+               path.c_str());
+}
+
+}  // namespace
 
 BenchScale ReadBenchScale() {
   BenchScale scale;
@@ -45,11 +73,28 @@ BenchFlags ParseBenchFlags(int argc, char** argv, BenchFlags defaults) {
       if (!shards.empty()) flags.shards = std::move(shards);
       continue;
     }
+    if (arg == "--profile" || arg.rfind("--profile=", 0) == 0) {
+      flags.profile = true;
+      if (arg.size() > 10 && arg[9] == '=') {
+        flags.profile_path = arg.substr(10);
+      }
+      continue;
+    }
     std::fprintf(stderr,
                  "unknown argument '%s'\nusage: %s [--dop=N] "
-                 "[--shards=N1,N2,...]\n",
+                 "[--shards=N1,N2,...] [--profile[=path]]\n",
                  arg.c_str(), argv[0]);
     std::exit(2);
+  }
+  if (flags.profile) {
+    *ProfilePath() = flags.profile_path;
+    Status started = obs::Profiler::Global().Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "profiler start failed: %s\n",
+                   started.ToString().c_str());
+      std::exit(2);
+    }
+    std::atexit(StopProfilerAtExit);
   }
   return flags;
 }

@@ -35,12 +35,16 @@ BenchScale ReadBenchScale();
 
 /// Command-line knobs for the scale benches, so fig4/fig5 sweep without
 /// recompiling: --dop=N sets the executor degree of parallelism and
-/// --shards=1,2,4,8 the shard counts fig5 runs. Unknown arguments are
-/// rejected with usage on stderr (exit 2), so a typo cannot silently run
-/// the defaults.
+/// --shards=1,2,4,8 the shard counts fig5 runs. --profile[=path] arms the
+/// SIGPROF sampling profiler for the whole run and writes folded stacks
+/// (flamegraph.pl input) at exit, default ./profile.folded. Unknown
+/// arguments are rejected with usage on stderr (exit 2), so a typo cannot
+/// silently run the defaults.
 struct BenchFlags {
   size_t dop = 8;
   std::vector<size_t> shards = {1, 2, 4, 8};
+  bool profile = false;
+  std::string profile_path = "profile.folded";
 };
 
 /// Parses --dop / --shards over `defaults`.

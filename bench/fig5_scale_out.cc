@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
                 "identical");
 
     double open_first = 0, open_last = 0;
+    std::vector<shard::ShardSkewRow> skew_at_max;
     for (size_t shards : flags.shards) {
       shard::ShardOptions shard_options;
       shard_options.num_shards = shards;
@@ -126,6 +127,7 @@ int main(int argc, char** argv) {
                   identical ? "yes" : "NO");
       if (shards == flags.shards.front()) open_first = sum_open;
       open_last = sum_open;
+      if (shards == flags.shards.back()) skew_at_max = result->obs.skew;
       if (shards >= 4) {
         speedup_at_gate[flow] = std::max(speedup_at_gate[flow], work_division);
         wall_speedup_at_gate[flow] =
@@ -142,6 +144,19 @@ int main(int argc, char** argv) {
       std::printf("  (per-shard start-up below measurement resolution at "
                   "bench-scale dictionaries; the floor is shown at paper "
                   "scale in the model overlay)\n");
+    }
+    // Per-shard skew at the largest shard count: how evenly the hash
+    // partition divided the records (load balance is the mechanism behind
+    // the near-linear work division above).
+    if (!skew_at_max.empty()) {
+      std::printf("  per-shard skew at %zu shards:\n", flags.shards.back());
+      std::printf("    %-7s %12s %10s %10s\n", "shard", "records_in",
+                  "proc (s)", "share");
+      for (const auto& row : skew_at_max) {
+        std::printf("    %-7d %12llu %10.3f %9.1f%%\n", row.shard,
+                    static_cast<unsigned long long>(row.records_in),
+                    row.process_seconds, 100 * row.share);
+      }
     }
     std::printf("\n");
   }

@@ -16,7 +16,11 @@
 //
 // Flags: --clients=N --seconds=N --ops=N --terms=N --zipf=S --batch=N
 //        --queue=N --workers=N --json=PATH --gate-p50-us=N --gate-p99-us=N
-//        (gates default to 20ms/200ms; 0 disables).
+//        (gates default to 20ms/200ms; 0 disables)
+//        --sample=N  deterministic 1-in-N per-request tracing + slow-query
+//        log (default 1024; 0 disables) — sampled requests execute
+//        individually under a trace span, and the latency gates run with
+//        sampling ON, so the gate certifies the sampled configuration.
 
 #include <atomic>
 #include <chrono>
@@ -52,6 +56,7 @@ struct Flags {
   std::string json;
   double gate_p50_us = 20000.0;
   double gate_p99_us = 200000.0;
+  size_t sample = 1024;  ///< 1-in-N trace sampling (0 = off)
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -86,6 +91,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.gate_p50_us = std::strtod(v, nullptr);
     } else if (const char* v = value_of(argv[i], "--gate-p99-us")) {
       flags.gate_p99_us = std::strtod(v, nullptr);
+    } else if (const char* v = value_of(argv[i], "--sample")) {
+      flags.sample = std::strtoull(v, nullptr, 10);
     }
   }
   if (flags.clients == 0) {
@@ -236,6 +243,8 @@ int main(int argc, char** argv) {
   queue_options.capacity = flags.queue;
   queue_options.batch_size = flags.batch;
   queue_options.workers = flags.workers;
+  queue_options.trace_sample_every = flags.sample;
+  queue_options.slow_log = std::make_shared<serve::SlowQueryLog>();
   serve::AdmissionQueue queue(engine, queue_options);
 
   std::atomic<bool> stop{false};
@@ -313,6 +322,23 @@ int main(int argc, char** argv) {
                   : 0.0);
   std::printf("digest: %016llx\n",
               static_cast<unsigned long long>(combined_digest));
+  if (flags.sample > 0) {
+    const auto top = queue_options.slow_log->TopByLatency();
+    std::printf("sampling 1-in-%zu: %llu sampled requests; slowlog top-%zu "
+                "(floor %.1f us)",
+                flags.sample,
+                static_cast<unsigned long long>(
+                    snapshot.CounterValue("wsie.serve.sampled")),
+                top.size(),
+                static_cast<double>(queue_options.slow_log->floor_ns()) / 1e3);
+    if (!top.empty()) {
+      std::printf("; worst: %s \"%s\" %.1f us",
+                  serve::RequestKindName(top.front().kind),
+                  top.front().name.c_str(),
+                  static_cast<double>(top.front().latency_ns) / 1e3);
+    }
+    std::printf("\n");
+  }
 
   bool ok = failures.load() == 0 && total_ops.load() > 0;
   if (flags.gate_p50_us > 0 && p50_us > flags.gate_p50_us) {

@@ -11,12 +11,23 @@
 // Exits non-zero if the trace fails validation or an expected metric
 // family is missing. scripts/obs_check.sh drives this binary.
 //
-// Usage: ./build/examples/obs_e2e [trace.json] [metrics.prom]
+// Usage: ./build/examples/obs_e2e [trace.json] [metrics.prom] [fork_shards]
+//                                 [--stitch-only]
+//
+// fork_shards (default 8, 0 disables) adds the distributed-observability
+// leg: the analysis flow re-runs on that many forked socketpair workers,
+// each worker ships its TraceRecorder ring + MetricsSnapshot back over the
+// transport's obs channel, and the coordinator validates the stitched
+// multi-pid Chrome trace (written to <trace.json>.stitched.json) plus the
+// merged-counter and per-shard-skew invariants. --stitch-only skips the
+// crawl/serve legs and runs just that leg at a reduced scale — the mode
+// the sanitizer scripts drive, where the full pipeline would be too slow.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -30,6 +41,8 @@
 #include "crawler/sharded_frontier.h"
 #include "fault/fault_plan.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/remote.h"
 #include "obs/trace.h"
 #include "obs/trace_check.h"
 #include "serve/admission_queue.h"
@@ -40,16 +53,16 @@
 #include "web/search_engine.h"
 #include "web/simulated_web.h"
 
-int main(int argc, char** argv) {
-  using namespace wsie;
-  const std::string trace_path =
-      argc > 1 ? argv[1] : "/tmp/wsie_obs_trace.json";
-  const std::string prom_path =
-      argc > 2 ? argv[2] : "/tmp/wsie_obs_metrics.prom";
+namespace {
 
-  obs::TraceRecorder::Global().SetEnabled(true);
-  std::printf("observability: metrics %s, tracing on (WSIE_OBS=%d)\n",
-              obs::MetricsEnabled() ? "on" : "off", WSIE_OBS);
+// The single-process legs (sections 1-3d): faulty web -> crawl -> analysis
+// flow -> store -> admission queue + HTTP front end -> in-process shards.
+// Returns false on failure.
+bool RunFullPipeline(
+    const std::shared_ptr<const wsie::core::AnalysisContext>& context,
+    const std::vector<wsie::corpus::Document>& docs,
+    const std::string& prom_path) {
+  using namespace wsie;
 
   // 1. Synthetic web with a fault plan: flaky hosts time out, flap their
   //    robots.txt, serve 5xx and damaged bodies.
@@ -87,25 +100,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(crawler.stats().fetch_errors),
               static_cast<unsigned long long>(faults.faults_injected()));
 
-  // 3. Analysis data flow over a generated Medline corpus (fills the
+  // 3. Analysis data flow over the generated Medline corpus (fills the
   //    wsie.dataflow.operator.* and wsie.nlp/ie.* families).
-  core::AnalysisContextConfig context_config;
-  context_config.crf_training_sentences = 400;
-  auto context = std::make_shared<const core::AnalysisContext>(context_config);
-  corpus::TextGenerator generator(
-      &context->lexicons(), corpus::ProfileFor(corpus::CorpusKind::kMedline),
-      /*seed=*/1);
-  std::vector<corpus::Document> docs = generator.GenerateCorpus(1, 30);
   dataflow::Plan plan = core::BuildAnalysisFlow(context, core::FlowOptions{});
   auto sink = std::make_shared<store::StoreSink>();
   if (store::AttachStoreSink(&plan, sink) == dataflow::Plan::kInvalidNode)
-    return 1;
+    return false;
   dataflow::ExecutorConfig executor_config;
   executor_config.dop = 4;
   auto result = core::RunFlow(plan, docs, executor_config);
   if (!result.ok()) {
     std::printf("flow failed: %s\n", result.status().ToString().c_str());
-    return 1;
+    return false;
   }
   std::printf("analysis flow: %zu operators over %zu docs\n",
               plan.num_operators(), docs.size());
@@ -117,11 +123,11 @@ int main(int argc, char** argv) {
   auto store = store::AnnotationStore::Open(store_dir);
   if (!store.ok()) {
     std::printf("store open failed: %s\n", store.status().ToString().c_str());
-    return 1;
+    return false;
   }
   if (!sink->FlushTo(store->get()).ok() || !(*store)->Compact().ok()) {
     std::printf("store flush/compact failed\n");
-    return 1;
+    return false;
   }
   auto engine = std::make_shared<const serve::QueryEngine>(*store);
   const int medline = static_cast<int>(corpus::CorpusKind::kMedline);
@@ -140,11 +146,16 @@ int main(int argc, char** argv) {
               frequency.per_1000_sentences);
 
   // 3c. Same queries through the batched admission queue and the HTTP
-  //     front end, so the wsie.serve.admission.* / wsie.serve.server.* /
-  //     wsie.serve.request.* families fill too.
+  //     front end — with 1-in-N request sampling forced to every request
+  //     and a slow-query log attached — so the wsie.serve.admission.* /
+  //     wsie.serve.server.* / wsie.serve.request.* / wsie.serve.sampled /
+  //     wsie.serve.slowlog.* families fill too.
   {
-    auto queue = std::make_shared<serve::AdmissionQueue>(
-        engine, serve::AdmissionQueue::Options{});
+    serve::AdmissionQueue::Options queue_options;
+    queue_options.trace_sample_every = 1;
+    queue_options.slow_log = std::make_shared<serve::SlowQueryLog>();
+    auto queue =
+        std::make_shared<serve::AdmissionQueue>(engine, queue_options);
     serve::QueryEngine::Request request;
     request.kind = serve::QueryEngine::Request::Kind::kTopK;
     request.limit = 5;
@@ -159,7 +170,8 @@ int main(int argc, char** argv) {
     serve::Server server(queue, serve::Server::Options{});
     uint64_t served = 0;
     if (server.Start().ok()) {
-      for (const char* target : {"/healthz", "/topk?k=3"}) {
+      for (const char* target :
+           {"/healthz", "/topk?k=3", "/debug/slowlog", "/debug/trace"}) {
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0) continue;
         sockaddr_in addr{};
@@ -182,14 +194,16 @@ int main(int argc, char** argv) {
       server.Stop();
     }
     queue->Stop();
-    std::printf("admission: %llu batched queries, %llu HTTP requests over "
-                "loopback port %u\n",
+    const auto slow_top = queue_options.slow_log->TopByLatency();
+    std::printf("admission: %llu batched queries (all sampled under trace "
+                "spans), %llu HTTP requests over loopback port %u, "
+                "slow-query log holds %zu entries\n",
                 static_cast<unsigned long long>(admitted),
                 static_cast<unsigned long long>(served),
-                static_cast<unsigned>(server.port()));
-    if (admitted == 0 || served == 0) {
-      std::printf("FAILED: admission/server path served nothing\n");
-      return 1;
+                static_cast<unsigned>(server.port()), slow_top.size());
+    if (admitted == 0 || served == 0 || slow_top.empty()) {
+      std::printf("FAILED: admission/server/slowlog path served nothing\n");
+      return false;
     }
   }
 
@@ -203,7 +217,7 @@ int main(int argc, char** argv) {
     if (!sharded.ok()) {
       std::printf("sharded flow failed: %s\n",
                   sharded.status().ToString().c_str());
-      return 1;
+      return false;
     }
     crawler::ShardedCrawlOptions crawl_options;
     crawl_options.num_shards = 2;
@@ -218,6 +232,141 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sharded->bytes_moved),
                 static_cast<unsigned long long>(sharded_crawl.urls_exchanged()),
                 static_cast<unsigned long long>(sharded_crawl.rounds()));
+  }
+  return true;
+}
+
+// Section 3e: the distributed-observability leg. Re-runs the analysis flow
+// on `fork_shards` forked socketpair workers with obs collection on, then
+// checks the three invariants the CollectRemote design promises: the
+// stitched multi-pid Chrome trace validates, the coordinator-side merged
+// counters equal the per-shard sums exactly, and the skew report covers
+// every shard. Writes the stitched trace next to `trace_path`.
+bool RunMultiProcessStitch(
+    const std::shared_ptr<const wsie::core::AnalysisContext>& context,
+    const std::vector<wsie::corpus::Document>& docs, size_t fork_shards,
+    const std::string& trace_path) {
+  using namespace wsie;
+  shard::ShardOptions options;
+  options.num_shards = fork_shards;
+  options.multiprocess = true;
+  auto result = core::RunFlowSharded(context, core::FlowOptions{}, docs,
+                                     options);
+  if (!result.ok()) {
+    std::printf("multiprocess flow failed: %s\n",
+                result.status().ToString().c_str());
+    return false;
+  }
+  const shard::ShardObsReport& report = result->obs;
+  if (!report.collected || report.per_shard.size() != fork_shards) {
+    std::printf("FAILED: expected %zu worker obs bundles, got %zu\n",
+                fork_shards, report.per_shard.size());
+    return false;
+  }
+  Status stitched_ok = obs::ValidateChromeTrace(report.stitched_trace_json);
+  if (!stitched_ok.ok()) {
+    std::printf("STITCHED TRACE INVALID: %s\n",
+                stitched_ok.ToString().c_str());
+    return false;
+  }
+  // Merged counters must equal the per-shard sums exactly.
+  for (const obs::CounterSnapshot& counter : report.merged.counters) {
+    uint64_t sum = 0;
+    for (const obs::ObsBundle& bundle : report.per_shard) {
+      sum += bundle.metrics.CounterValue(counter.name);
+    }
+    if (counter.value != sum) {
+      std::printf("FAILED: merged %s = %llu but per-shard sum = %llu\n",
+                  counter.name.c_str(),
+                  static_cast<unsigned long long>(counter.value),
+                  static_cast<unsigned long long>(sum));
+      return false;
+    }
+  }
+  const std::string stitched_path = trace_path + ".stitched.json";
+  std::FILE* file = std::fopen(stitched_path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("cannot write %s\n", stitched_path.c_str());
+    return false;
+  }
+  std::fwrite(report.stitched_trace_json.data(), 1,
+              report.stitched_trace_json.size(), file);
+  std::fclose(file);
+  std::printf("stitched: %zu forked workers -> %zu processes, %zu threads, "
+              "%zu events (%llu ring drops) in one trace -> %s\n",
+              fork_shards, report.stitch.processes, report.stitch.threads,
+              report.stitch.events,
+              static_cast<unsigned long long>(report.stitch.dropped),
+              stitched_path.c_str());
+  std::printf("  per-shard skew (share of records):");
+  for (const shard::ShardSkewRow& row : report.skew) {
+    std::printf(" s%d=%.1f%%", row.shard, 100 * row.share);
+  }
+  std::printf("  bundle bytes: %llu\n",
+              static_cast<unsigned long long>(report.bundle_bytes));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsie;
+  const std::string trace_path =
+      argc > 1 ? argv[1] : "/tmp/wsie_obs_trace.json";
+  const std::string prom_path =
+      argc > 2 ? argv[2] : "/tmp/wsie_obs_metrics.prom";
+  size_t fork_shards = 8;
+  bool stitch_only = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stitch-only") {
+      stitch_only = true;
+    } else {
+      fork_shards = std::strtoul(arg.c_str(), nullptr, 10);
+    }
+  }
+
+  obs::TraceRecorder::Global().SetEnabled(true);
+  std::printf("observability: metrics %s, tracing on (WSIE_OBS=%d)%s\n",
+              obs::MetricsEnabled() ? "on" : "off", WSIE_OBS,
+              stitch_only ? ", stitch-only mode" : "");
+
+  // Shared analysis context + corpus (scaled down in stitch-only mode,
+  // where the sanitizer overhead makes tagger training the bottleneck).
+  core::AnalysisContextConfig context_config;
+  context_config.crf_training_sentences = stitch_only ? 120 : 400;
+  auto context = std::make_shared<const core::AnalysisContext>(context_config);
+  corpus::TextGenerator generator(
+      &context->lexicons(), corpus::ProfileFor(corpus::CorpusKind::kMedline),
+      /*seed=*/1);
+  std::vector<corpus::Document> docs =
+      generator.GenerateCorpus(1, stitch_only ? 12 : 30);
+
+  if (!stitch_only && !RunFullPipeline(context, docs, prom_path)) return 1;
+  if (fork_shards > 0 &&
+      !RunMultiProcessStitch(context, docs, fork_shards, trace_path)) {
+    return 1;
+  }
+
+  // A short profiler blip so the wsie.obs.profiler.* families export with
+  // real values (the continuous profiler itself is exercised by bench
+  // binaries via --profile).
+  {
+    obs::Profiler& profiler = obs::Profiler::Global();
+    if (profiler.Start().ok()) {
+      // Burn CPU until at least one SIGPROF tick lands (bounded at ~2s of
+      // wall time so a loaded machine can't hang the example).
+      volatile double sink = 1.0;
+      const std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      while (profiler.samples() == 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        for (int i = 0; i < 2000000; ++i) sink = sink * 1.0000001 + 0.5;
+      }
+      profiler.Stop();
+      std::printf("profiler blip: %llu samples captured\n",
+                  static_cast<unsigned long long>(profiler.samples()));
+    }
   }
 
   // 4. Export + validate the trace.
@@ -272,11 +421,14 @@ int main(int argc, char** argv) {
   bool all_present = true;
   std::printf("metrics: %zu registered -> %s\n", registry.num_metrics(),
               prom_path.c_str());
+  // In stitch-only mode the crawl/serve legs did not run, so only the
+  // stitched-run invariants (checked above) gate; the family sums are
+  // informational.
   for (const Family& family : families) {
     std::printf("  %-26s sum %llu %s\n", family.prefix,
                 static_cast<unsigned long long>(family.total),
-                family.total > 0 ? "" : "(MISSING)");
-    if (family.total == 0) all_present = false;
+                family.total > 0 || stitch_only ? "" : "(MISSING)");
+    if (family.total == 0 && !stitch_only) all_present = false;
   }
   double harvest = snapshot.GaugeValue("wsie.crawler.harvest_rate");
   std::printf("  harvest-rate gauge: %.3f\n", harvest);

@@ -3,8 +3,12 @@
 #   1. builds the obs test suite and the obs_e2e example,
 #   2. runs the `obs`-labeled ctest suite (registry, trace, exporters),
 #   3. runs the full pipeline (faulty web -> crawl -> analysis flow) with
-#      tracing enabled; obs_e2e itself validates the emitted Chrome trace
-#      (balanced B/E per thread, monotone timestamps) and fails on error,
+#      tracing enabled, including the multiprocess leg: the flow re-runs on
+#      8 forked socketpair workers, each ships its trace ring + metrics
+#      snapshot back over the transport's obs channel, and obs_e2e
+#      validates both the single-process Chrome trace and the stitched
+#      multi-pid trace (balanced B/E per thread, monotone timestamps,
+#      merged counters == per-shard sums) and fails on error,
 #   4. greps the Prometheus dump against scripts/obs_required_metrics.txt
 #      so no instrumented subsystem silently loses its metrics.
 # Usage: scripts/obs_check.sh [build_dir]  (default: build)
@@ -16,6 +20,7 @@ OUT_DIR="$BUILD_DIR/obs_check"
 TRACE="$OUT_DIR/trace.json"
 PROM="$OUT_DIR/metrics.prom"
 MANIFEST="scripts/obs_required_metrics.txt"
+FORK_SHARDS=8
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target obs_test obs_e2e
@@ -24,8 +29,12 @@ mkdir -p "$OUT_DIR"
 echo "== obs-labeled unit suite =="
 (cd "$BUILD_DIR" && ctest -L obs --output-on-failure)
 
-echo "== end-to-end run with tracing =="
-"$BUILD_DIR/examples/obs_e2e" "$TRACE" "$PROM"
+echo "== end-to-end run with tracing ($FORK_SHARDS forked workers) =="
+"$BUILD_DIR/examples/obs_e2e" "$TRACE" "$PROM" "$FORK_SHARDS"
+[[ -s "$TRACE.stitched.json" ]] || {
+  echo "obs check FAILED: stitched trace $TRACE.stitched.json missing"
+  exit 1
+}
 
 echo "== required-metrics manifest =="
 missing=0
@@ -41,4 +50,5 @@ if [[ "$missing" -gt 0 ]]; then
   exit 1
 fi
 echo "all $(grep -cv '^\s*\(#\|$\)' "$MANIFEST") manifest metrics present"
-echo "obs check passed (trace: $TRACE, metrics: $PROM)"
+echo "obs check passed (trace: $TRACE, stitched: $TRACE.stitched.json," \
+     "metrics: $PROM)"

@@ -27,6 +27,14 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:+${TSAN_OPTIONS} }die_after_fork=0"
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
   dataflow_test thread_pool_stress_test fault_test crawler_test obs_test \
-  store_test epoch_test serve_test hotpath_test shard_test
+  store_test epoch_test serve_test hotpath_test shard_test obs_e2e
 (cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store|perf|shard' --output-on-failure)
+
+# The multiprocess stitched-trace leg under the sanitizer: 4 forked workers
+# ship obs bundles to the coordinator, which validates the stitched trace
+# and the merged-counter invariant in-process. --stitch-only skips the
+# crawl/serve legs, which the labeled suites above already cover.
+echo "== multiprocess obs stitch (${SANITIZER}) =="
+"$BUILD_DIR/examples/obs_e2e" "$BUILD_DIR/obs_stitch_trace.json" \
+  "$BUILD_DIR/obs_stitch_metrics.prom" 4 --stitch-only
 echo "${SANITIZER} sanitizer run passed"

@@ -100,6 +100,26 @@ void ShardedCrawl::Crawl() {
       if (!deliveries[s].empty()) crawlers_[s]->InjectSeeds(deliveries[s]);
     }
   }
+
+  // Per-shard load gauges for the shard-wide rollups: how evenly the
+  // consistent-hash ring spread the fetch work, same skew convention as
+  // wsie.shard.skew.records (max/mean; 1.0 = perfectly balanced).
+  uint64_t total_fetched = 0;
+  uint64_t max_fetched = 0;
+  for (size_t s = 0; s < crawlers_.size(); ++s) {
+    const uint64_t fetched = crawlers_[s]->stats().fetched;
+    registry
+        .GetGauge(obs::WithLabel("wsie.shard.crawl.pages", "shard",
+                                 std::to_string(s)))
+        ->Set(static_cast<double>(fetched));
+    total_fetched += fetched;
+    max_fetched = std::max(max_fetched, fetched);
+  }
+  const double mean_fetched =
+      static_cast<double>(total_fetched) / static_cast<double>(crawlers_.size());
+  registry.GetGauge("wsie.shard.crawl.skew")
+      ->Set(mean_fetched > 0 ? static_cast<double>(max_fetched) / mean_fetched
+                             : 1.0);
 }
 
 CrawlStats ShardedCrawl::AggregateStats() const {

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace wsie::obs {
@@ -93,6 +94,28 @@ void Histogram::Reset() {
     counts_[i].store(0, std::memory_order_relaxed);
   }
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> LogSpacedBuckets(double lo, double hi, size_t count) {
+  if (lo <= 0.0) lo = 1e-9;
+  if (hi < lo) hi = lo;
+  if (count < 2) count = 2;
+  const double ratio = std::pow(hi / lo, 1.0 / static_cast<double>(count - 1));
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = lo;
+  for (size_t i = 0; i + 1 < count; ++i) {
+    bounds.push_back(v);
+    v *= ratio;
+  }
+  bounds.push_back(hi);  // exact top bound, immune to pow/mul drift
+  return bounds;
+}
+
+const std::vector<double>& LogLatencyBucketsNs() {
+  static const std::vector<double>* bounds =
+      new std::vector<double>(LogSpacedBuckets(1e3, 1e11, 121));
+  return *bounds;
 }
 
 const std::vector<double>& LatencyBucketsNs() {

@@ -150,6 +150,16 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// `count` log-spaced (geometric) bucket bounds from `lo` to `hi`, both
+/// inclusive. Denser than the 1-2-5 ladder: with ~15 buckets per decade the
+/// bucket ratio is ~1.17, so linear interpolation inside a bucket bounds
+/// the p50/p99 estimate error below 10% of the exact sample quantile —
+/// latency gates built on Quantile() stop being bucket-artifact sensitive.
+std::vector<double> LogSpacedBuckets(double lo, double hi, size_t count);
+
+/// Log-spaced latency bounds in nanoseconds, 1 µs .. 100 s, 15 per decade.
+const std::vector<double>& LogLatencyBucketsNs();
+
 /// Default latency buckets in nanoseconds: a 1-2-5 ladder from 1 µs to 100 s.
 const std::vector<double>& LatencyBucketsNs();
 /// Default latency buckets in milliseconds: 1-2-5 ladder, 0.1 ms to 100 s.

@@ -1,0 +1,221 @@
+#include "obs/profiler.h"
+
+#include <execinfo.h>
+#include <pthread.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace wsie::obs {
+namespace {
+
+Profiler* g_active = nullptr;  ///< written only while the timer is disarmed
+
+struct sigaction g_prev_action;
+
+void AtForkChild() {
+  // The ITIMER_PROF timer is not inherited, but the handler and the
+  // recorder state are; disarm so the child starts clean and a later
+  // Start() in the child behaves like a fresh profiler.
+  if (g_active != nullptr) {
+    g_active->Reset();
+    g_active = nullptr;
+  }
+}
+
+void RegisterAtForkOnce() {
+  static const int registered = [] {
+    ::pthread_atfork(nullptr, nullptr, AtForkChild);
+    return 0;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+void ProfilerSignalHandler(int) {
+  Profiler* profiler = g_active;
+  if (profiler == nullptr ||
+      !profiler->armed_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const size_t slot = profiler->next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= profiler->max_samples_) {
+    profiler->next_.store(profiler->max_samples_, std::memory_order_relaxed);
+    profiler->dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int n = ::backtrace(
+      profiler->frames_.data() +
+          slot * static_cast<size_t>(profiler->max_depth_),
+      profiler->max_depth_);
+  profiler->depths_[slot] = static_cast<uint16_t>(std::max(n, 0));
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // never destroyed
+  return *profiler;
+}
+
+Profiler::Profiler() {
+  // Register the sample counters eagerly so they appear in metric dumps
+  // (and the manifest check) even before the first Start().
+  MetricsRegistry::Global().GetCounter("wsie.obs.profiler.samples");
+  MetricsRegistry::Global().GetCounter("wsie.obs.profiler.dropped");
+}
+
+Status Profiler::Start(Options options) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("profiler: already running");
+  }
+  if (options.hz <= 0 || options.hz > 10000) {
+    return Status::InvalidArgument("profiler: hz out of range");
+  }
+  max_samples_ = std::max<size_t>(options.max_samples, 16);
+  max_depth_ = std::clamp(options.max_depth, 4, 256);
+  frames_.assign(max_samples_ * static_cast<size_t>(max_depth_), nullptr);
+  depths_.assign(max_samples_, 0);
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+
+  // Prime backtrace() outside the handler: its first call may dlopen
+  // libgcc, which is not async-signal-safe.
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  RegisterAtForkOnce();
+  g_active = this;
+  armed_.store(true, std::memory_order_release);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = ProfilerSignalHandler;
+  action.sa_flags = SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGPROF, &action, &g_prev_action) != 0) {
+    armed_.store(false, std::memory_order_release);
+    g_active = nullptr;
+    return Status::Internal("profiler: sigaction failed");
+  }
+
+  itimerval timer{};
+  const long interval_us = std::max(1000000L / options.hz, 1L);
+  timer.it_interval.tv_sec = interval_us / 1000000;
+  timer.it_interval.tv_usec = interval_us % 1000000;
+  timer.it_value = timer.it_interval;
+  if (::setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    ::sigaction(SIGPROF, &g_prev_action, nullptr);
+    armed_.store(false, std::memory_order_release);
+    g_active = nullptr;
+    return Status::Internal("profiler: setitimer failed");
+  }
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void Profiler::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  itimerval off{};
+  ::setitimer(ITIMER_PROF, &off, nullptr);
+  armed_.store(false, std::memory_order_release);
+  ::sigaction(SIGPROF, &g_prev_action, nullptr);
+  g_active = nullptr;
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("wsie.obs.profiler.samples")->Add(samples());
+  registry.GetCounter("wsie.obs.profiler.dropped")
+      ->Add(dropped_.load(std::memory_order_relaxed));
+}
+
+uint64_t Profiler::samples() const {
+  return std::min(next_.load(std::memory_order_relaxed), max_samples_);
+}
+
+std::string Profiler::FoldedStacks() const {
+  const size_t n = samples();
+  // Aggregate identical stacks by raw addresses first — symbolization is
+  // by far the expensive step, so do it once per distinct stack.
+  std::map<std::vector<void*>, uint64_t> stacks;
+  for (size_t s = 0; s < n; ++s) {
+    const size_t depth = depths_[s];
+    if (depth == 0) continue;
+    const void* const* base =
+        frames_.data() + s * static_cast<size_t>(max_depth_);
+    // backtrace() returns leaf-first; folded stacks want root-first. The
+    // leading frames are the signal trampoline + handler; keep them — they
+    // fold into one shared leaf and flamegraph renders them harmlessly.
+    std::vector<void*> stack(depth);
+    for (size_t f = 0; f < depth; ++f) {
+      stack[f] = const_cast<void*>(base[depth - 1 - f]);
+    }
+    ++stacks[std::move(stack)];
+  }
+  std::map<std::string, uint64_t> folded;  // merge stacks that symbolize alike
+  for (const auto& [stack, count] : stacks) {
+    char** symbols =
+        ::backtrace_symbols(stack.data(), static_cast<int>(stack.size()));
+    std::string line;
+    for (size_t f = 0; f < stack.size(); ++f) {
+      if (f > 0) line += ';';
+      std::string frame;
+      if (symbols != nullptr && symbols[f] != nullptr) {
+        // "binary(function+0x1a) [0xaddr]" — keep the function when the
+        // symbol is exported, else fall back to the raw address.
+        std::string_view sym(symbols[f]);
+        const size_t open = sym.find('(');
+        const size_t plus = sym.find('+', open == std::string_view::npos
+                                               ? 0
+                                               : open);
+        if (open != std::string_view::npos && plus != std::string_view::npos &&
+            plus > open + 1) {
+          frame.assign(sym.substr(open + 1, plus - open - 1));
+        }
+      }
+      if (frame.empty()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%zx",
+                      reinterpret_cast<size_t>(stack[f]));
+        frame = buf;
+      }
+      // ';' and ' ' are the folded-format delimiters.
+      std::replace(frame.begin(), frame.end(), ';', ':');
+      std::replace(frame.begin(), frame.end(), ' ', '_');
+      line += frame;
+    }
+    ::free(symbols);
+    folded[line] += count;
+  }
+  std::string out;
+  for (const auto& [line, count] : folded) {
+    out += line;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+Status Profiler::WriteFolded(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::Internal("profiler: cannot open " + path);
+  const std::string folded = FoldedStacks();
+  file.write(folded.data(), static_cast<std::streamsize>(folded.size()));
+  file.flush();
+  if (!file) return Status::Internal("profiler: short write to " + path);
+  return Status::OK();
+}
+
+void Profiler::Reset() {
+  armed_.store(false, std::memory_order_release);
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  std::fill(depths_.begin(), depths_.end(), 0);
+}
+
+}  // namespace wsie::obs

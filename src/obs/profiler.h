@@ -1,0 +1,76 @@
+#ifndef WSIE_OBS_PROFILER_H_
+#define WSIE_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wsie::obs {
+
+/// Signal-based sampling profiler: SIGPROF at a fixed rate (ITIMER_PROF,
+/// so samples land on whichever thread is burning CPU), backtrace() into
+/// preallocated slots from the handler (no allocation, no locks — the
+/// handler touches only the flat sample arrays and two relaxed atomics),
+/// symbolized lazily at Stop time into folded-stack lines
+/// ("root;child;leaf count") that flamegraph.pl consumes directly.
+///
+/// Fork-aware: the interval timer is not inherited across fork() and a
+/// pthread_atfork child hook disarms the recorder state, so a forked shard
+/// worker neither profiles itself nor double-reports the parent's samples.
+/// One process-wide instance (Global()); Start while running is an error.
+struct ProfilerOptions {
+  int hz = 199;                ///< sample rate (prime avoids lockstep)
+  size_t max_samples = 65536;  ///< preallocated sample slots
+  int max_depth = 64;          ///< frames kept per sample
+};
+
+class Profiler {
+ public:
+  using Options = ProfilerOptions;
+
+  static Profiler& Global();
+
+  Profiler();
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Arms SIGPROF and the interval timer. Primes libgcc's backtrace state
+  /// before arming so the handler never takes the lazy-init path.
+  Status Start(Options options = Options());
+
+  /// Disarms the timer and restores the previous SIGPROF disposition.
+  /// Samples stay buffered for FoldedStacks()/WriteFolded().
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Samples captured (capped at max_samples) / dropped past the cap.
+  uint64_t samples() const;
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Aggregated folded stacks, one "frame;frame;... count\n" line per
+  /// distinct stack, root first, sorted by line for determinism.
+  std::string FoldedStacks() const;
+  Status WriteFolded(const std::string& path) const;
+
+  /// Discards buffered samples (keeps the preallocated slots).
+  void Reset();
+
+ private:
+  friend void ProfilerSignalHandler(int);
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> armed_{false};  ///< handler gate, cleared before disarm
+  std::atomic<size_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  size_t max_samples_ = 0;
+  int max_depth_ = 0;
+  std::vector<void*> frames_;    ///< max_samples * max_depth slots
+  std::vector<uint16_t> depths_;  ///< frames captured per sample
+};
+
+}  // namespace wsie::obs
+
+#endif  // WSIE_OBS_PROFILER_H_

@@ -1,0 +1,320 @@
+#include "obs/remote.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "fault/checkpoint.h"
+#include "fault/wire_format.h"
+
+namespace wsie::obs {
+namespace {
+
+namespace wire = wsie::fault::wire;
+
+std::string EncodeMeta(const ObsBundle& bundle) {
+  std::string out;
+  wire::PutU64(&out, static_cast<uint64_t>(static_cast<int64_t>(bundle.shard)));
+  wire::PutU64(&out, static_cast<uint64_t>(bundle.os_pid));
+  wire::PutU64(&out, bundle.now_ns);
+  wire::PutU64(&out, bundle.trace_dropped);
+  return out;
+}
+
+std::string EncodeCounters(const std::vector<CounterSnapshot>& counters) {
+  std::string out;
+  wire::PutU64(&out, counters.size());
+  for (const CounterSnapshot& c : counters) {
+    wire::PutString(&out, c.name);
+    wire::PutU64(&out, c.value);
+  }
+  return out;
+}
+
+std::string EncodeGauges(const std::vector<GaugeSnapshot>& gauges) {
+  std::string out;
+  wire::PutU64(&out, gauges.size());
+  for (const GaugeSnapshot& g : gauges) {
+    wire::PutString(&out, g.name);
+    wire::PutDouble(&out, g.value);
+  }
+  return out;
+}
+
+std::string EncodeHistograms(const std::vector<HistogramSnapshot>& hists) {
+  std::string out;
+  wire::PutU64(&out, hists.size());
+  for (const HistogramSnapshot& h : hists) {
+    wire::PutString(&out, h.name);
+    wire::PutU64(&out, h.bounds.size());
+    for (double b : h.bounds) wire::PutDouble(&out, b);
+    for (uint64_t c : h.bucket_counts) wire::PutU64(&out, c);
+    wire::PutDouble(&out, h.sum);
+  }
+  return out;
+}
+
+std::string EncodeStreams(
+    const std::vector<TraceRecorder::ThreadStream>& streams) {
+  std::string out;
+  wire::PutU64(&out, streams.size());
+  for (const TraceRecorder::ThreadStream& stream : streams) {
+    wire::PutU64(&out, static_cast<uint64_t>(stream.tid));
+    wire::PutU64(&out, stream.events.size());
+    for (const TraceEvent& event : stream.events) {
+      wire::PutU64(&out, event.ts_ns);
+      wire::PutU64(&out, static_cast<uint64_t>(event.phase));
+      wire::PutString(&out, event.name);
+      wire::PutString(&out, event.args);
+    }
+  }
+  return out;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("obs bundle: malformed ") + what);
+}
+
+Status DecodeMeta(std::string_view in, ObsBundle* bundle) {
+  uint64_t shard = 0, pid = 0;
+  if (!wire::GetU64(&in, &shard) || !wire::GetU64(&in, &pid) ||
+      !wire::GetU64(&in, &bundle->now_ns) ||
+      !wire::GetU64(&in, &bundle->trace_dropped)) {
+    return Malformed("meta");
+  }
+  bundle->shard = static_cast<int>(static_cast<int64_t>(shard));
+  bundle->os_pid = static_cast<int>(pid);
+  return Status::OK();
+}
+
+Status DecodeCounters(std::string_view in,
+                      std::vector<CounterSnapshot>* counters) {
+  uint64_t n = 0;
+  if (!wire::GetU64(&in, &n) || n > (1u << 20)) return Malformed("counters");
+  counters->resize(n);
+  for (CounterSnapshot& c : *counters) {
+    if (!wire::GetString(&in, &c.name) || !wire::GetU64(&in, &c.value)) {
+      return Malformed("counter");
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeGauges(std::string_view in, std::vector<GaugeSnapshot>* gauges) {
+  uint64_t n = 0;
+  if (!wire::GetU64(&in, &n) || n > (1u << 20)) return Malformed("gauges");
+  gauges->resize(n);
+  for (GaugeSnapshot& g : *gauges) {
+    if (!wire::GetString(&in, &g.name) || !wire::GetDouble(&in, &g.value)) {
+      return Malformed("gauge");
+    }
+  }
+  return Status::OK();
+}
+
+Status DecodeHistograms(std::string_view in,
+                        std::vector<HistogramSnapshot>* hists) {
+  uint64_t n = 0;
+  if (!wire::GetU64(&in, &n) || n > (1u << 20)) return Malformed("histograms");
+  hists->resize(n);
+  for (HistogramSnapshot& h : *hists) {
+    uint64_t bounds = 0;
+    if (!wire::GetString(&in, &h.name) || !wire::GetU64(&in, &bounds) ||
+        bounds > (1u << 16)) {
+      return Malformed("histogram");
+    }
+    h.bounds.resize(bounds);
+    for (double& b : h.bounds) {
+      if (!wire::GetDouble(&in, &b)) return Malformed("histogram bound");
+    }
+    h.bucket_counts.resize(bounds + 1);
+    h.count = 0;
+    for (uint64_t& c : h.bucket_counts) {
+      if (!wire::GetU64(&in, &c)) return Malformed("histogram bucket");
+      h.count += c;
+    }
+    if (!wire::GetDouble(&in, &h.sum)) return Malformed("histogram sum");
+  }
+  return Status::OK();
+}
+
+Status DecodeStreams(std::string_view in,
+                     std::vector<TraceRecorder::ThreadStream>* streams) {
+  uint64_t n = 0;
+  if (!wire::GetU64(&in, &n) || n > (1u << 16)) return Malformed("streams");
+  streams->resize(n);
+  for (TraceRecorder::ThreadStream& stream : *streams) {
+    uint64_t tid = 0, events = 0;
+    if (!wire::GetU64(&in, &tid) || !wire::GetU64(&in, &events) ||
+        events > (1u << 24)) {
+      return Malformed("stream");
+    }
+    stream.tid = static_cast<int>(tid);
+    stream.events.resize(events);
+    std::string name, args;
+    for (TraceEvent& event : stream.events) {
+      uint64_t phase = 0;
+      if (!wire::GetU64(&in, &event.ts_ns) || !wire::GetU64(&in, &phase) ||
+          !wire::GetString(&in, &name) || !wire::GetString(&in, &args)) {
+        return Malformed("event");
+      }
+      if (phase != 'B' && phase != 'E') return Malformed("event phase");
+      event.phase = static_cast<char>(phase);
+      const size_t name_n = std::min(name.size(), TraceEvent::kNameCap - 1);
+      std::memcpy(event.name, name.data(), name_n);
+      event.name[name_n] = '\0';
+      const size_t args_n = std::min(args.size(), TraceEvent::kArgsCap - 1);
+      std::memcpy(event.args, args.data(), args_n);
+      event.args[args_n] = '\0';
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ObsBundle CaptureObsBundle(int shard) {
+  ObsBundle bundle;
+  bundle.shard = shard;
+  bundle.os_pid = static_cast<int>(::getpid());
+  bundle.metrics = MetricsRegistry::Global().Snapshot();
+  const TraceRecorder& recorder = TraceRecorder::Global();
+  bundle.streams = recorder.ExportBalanced();
+  bundle.trace_dropped = recorder.dropped();
+  bundle.now_ns = recorder.NowNs();
+  return bundle;
+}
+
+std::string EncodeObsBundle(const ObsBundle& bundle) {
+  fault::Checkpoint checkpoint;
+  checkpoint.SetSection("meta", EncodeMeta(bundle));
+  checkpoint.SetSection("counters", EncodeCounters(bundle.metrics.counters));
+  checkpoint.SetSection("gauges", EncodeGauges(bundle.metrics.gauges));
+  checkpoint.SetSection("histograms",
+                        EncodeHistograms(bundle.metrics.histograms));
+  checkpoint.SetSection("trace", EncodeStreams(bundle.streams));
+  return checkpoint.Serialize();
+}
+
+Result<ObsBundle> DecodeObsBundle(std::string_view bytes) {
+  WSIE_ASSIGN_OR_RETURN(fault::Checkpoint checkpoint,
+                        fault::Checkpoint::Deserialize(bytes));
+  ObsBundle bundle;
+  const std::string* meta = checkpoint.FindSection("meta");
+  const std::string* counters = checkpoint.FindSection("counters");
+  const std::string* gauges = checkpoint.FindSection("gauges");
+  const std::string* histograms = checkpoint.FindSection("histograms");
+  const std::string* trace = checkpoint.FindSection("trace");
+  if (meta == nullptr || counters == nullptr || gauges == nullptr ||
+      histograms == nullptr || trace == nullptr) {
+    return Status::InvalidArgument("obs bundle: missing section");
+  }
+  WSIE_RETURN_NOT_OK(DecodeMeta(*meta, &bundle));
+  WSIE_RETURN_NOT_OK(DecodeCounters(*counters, &bundle.metrics.counters));
+  WSIE_RETURN_NOT_OK(DecodeGauges(*gauges, &bundle.metrics.gauges));
+  WSIE_RETURN_NOT_OK(
+      DecodeHistograms(*histograms, &bundle.metrics.histograms));
+  WSIE_RETURN_NOT_OK(DecodeStreams(*trace, &bundle.streams));
+  return bundle;
+}
+
+std::string AppendMetricLabel(std::string_view name, std::string_view key,
+                              std::string_view value) {
+  if (!name.empty() && name.back() == '}') {
+    std::string out(name.substr(0, name.size() - 1));
+    out.append(",").append(key).append("=\"").append(value).append("\"}");
+    return out;
+  }
+  return WithLabel(name, key, value);
+}
+
+MetricsSnapshot MergeSnapshots(const std::vector<ObsBundle>& bundles) {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Which histogram names carry the same bounds on every shard? Only those
+  // may add bucket-wise; the rest are demoted to labeled per-shard series.
+  std::map<std::string, const std::vector<double>*> first_bounds;
+  std::set<std::string> inconsistent;
+  for (const ObsBundle& bundle : bundles) {
+    for (const HistogramSnapshot& h : bundle.metrics.histograms) {
+      auto [it, inserted] = first_bounds.try_emplace(h.name, &h.bounds);
+      if (!inserted && *it->second != h.bounds) inconsistent.insert(h.name);
+    }
+  }
+
+  for (const ObsBundle& bundle : bundles) {
+    const std::string shard = std::to_string(bundle.shard);
+    for (const CounterSnapshot& c : bundle.metrics.counters) {
+      counters[c.name] += c.value;
+    }
+    for (const GaugeSnapshot& g : bundle.metrics.gauges) {
+      gauges[AppendMetricLabel(g.name, "shard", shard)] = g.value;
+    }
+    for (const HistogramSnapshot& h : bundle.metrics.histograms) {
+      if (inconsistent.count(h.name) != 0) {
+        HistogramSnapshot labeled = h;
+        labeled.name = AppendMetricLabel(h.name, "shard", shard);
+        histograms[labeled.name] = std::move(labeled);
+        continue;
+      }
+      auto [it, inserted] = histograms.try_emplace(h.name, h);
+      if (inserted) continue;
+      HistogramSnapshot& merged = it->second;
+      for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+        merged.bucket_counts[i] += h.bucket_counts[i];
+      }
+      merged.count += h.count;
+      merged.sum += h.sum;
+    }
+  }
+
+  MetricsSnapshot merged;
+  merged.counters.reserve(counters.size());
+  for (const auto& [name, value] : counters) {
+    merged.counters.push_back({name, value});
+  }
+  merged.gauges.reserve(gauges.size());
+  for (const auto& [name, value] : gauges) {
+    merged.gauges.push_back({name, value});
+  }
+  merged.histograms.reserve(histograms.size());
+  for (auto& [name, h] : histograms) {
+    HistogramSnapshot out = std::move(h);
+    out.name = name;
+    merged.histograms.push_back(std::move(out));
+  }
+  return merged;
+}
+
+std::string StitchChromeTrace(const std::vector<ProcessTrace>& processes,
+                              StitchReport* report) {
+  StitchReport stats;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const ProcessTrace& process : processes) {
+    size_t process_events = 0;
+    for (const TraceRecorder::ThreadStream& stream : process.streams) {
+      if (stream.events.empty()) continue;
+      ++stats.threads;
+      process_events += stream.events.size();
+      for (const TraceEvent& event : stream.events) {
+        AppendChromeEvent(&out, &first, event, process.pid, stream.tid,
+                          process.offset_ns);
+      }
+    }
+    if (process_events > 0) ++stats.processes;
+    stats.events += process_events;
+    stats.dropped += process.dropped;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  if (report != nullptr) *report = stats;
+  return out;
+}
+
+}  // namespace wsie::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -30,7 +32,86 @@ void AppendEscaped(std::string* out, const char* s) {
   }
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::mutex& ContextMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+TraceContext& ContextSlot() {
+  static TraceContext* context = new TraceContext();
+  return *context;
+}
+
 }  // namespace
+
+TraceContext CurrentTraceContext() {
+  std::lock_guard<std::mutex> lock(ContextMutex());
+  return ContextSlot();
+}
+
+void SetTraceContext(const TraceContext& context) {
+  std::lock_guard<std::mutex> lock(ContextMutex());
+  ContextSlot() = context;
+}
+
+namespace {
+uint64_t NewId() {
+  static std::atomic<uint64_t> next{1};
+  uint64_t id = 0;
+  while (id == 0) {
+    const uint64_t n = next.fetch_add(1, std::memory_order_relaxed);
+    id = SplitMix64(n ^ SplitMix64(static_cast<uint64_t>(::getpid()) ^
+                                   (static_cast<uint64_t>(
+                                        std::chrono::steady_clock::now()
+                                            .time_since_epoch()
+                                            .count())
+                                    << 20)));
+  }
+  return id;
+}
+}  // namespace
+
+uint64_t NewTraceId() { return NewId(); }
+uint64_t NewSpanId() { return NewId(); }
+
+std::string TraceContextArgs(const TraceContext& context) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "trace=%llx parent=%llx",
+                static_cast<unsigned long long>(context.trace_id),
+                static_cast<unsigned long long>(context.span_id));
+  return buf;
+}
+
+void AppendChromeEvent(std::string* out, bool* first, const TraceEvent& event,
+                       int pid, int tid, int64_t offset_ns) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += "{\"name\":\"";
+  AppendEscaped(out, event.name);
+  *out += "\",\"cat\":\"wsie\",\"ph\":\"";
+  *out += event.phase;
+  char buf[80];
+  // Chrome trace timestamps are microseconds; keep ns resolution. The
+  // offset re-bases a remote recorder's clock into the coordinator's.
+  const int64_t ts_ns =
+      std::max<int64_t>(0, static_cast<int64_t>(event.ts_ns) + offset_ns);
+  std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d",
+                static_cast<double>(ts_ns) / 1000.0, pid, tid);
+  *out += buf;
+  if (event.args[0] != '\0') {
+    *out += ",\"args\":{\"detail\":\"";
+    AppendEscaped(out, event.args);
+    *out += "\"}";
+  }
+  *out += '}';
+}
 
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
@@ -45,7 +126,10 @@ uint64_t NextRecorderId() {
 }  // namespace
 
 TraceRecorder::TraceRecorder()
-    : id_(NextRecorderId()), epoch_(std::chrono::steady_clock::now()) {}
+    : id_(NextRecorderId()),
+      dropped_counter_(
+          MetricsRegistry::Global().GetCounter("wsie.obs.trace.dropped")),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 void TraceRecorder::SetRingCapacity(size_t events) {
   ring_capacity_.store(std::max<size_t>(events, 16),
@@ -70,13 +154,17 @@ TraceRecorder::ThreadBuffer* TraceRecorder::ThisThreadBuffer() {
   return cached_buffer.get();
 }
 
-void TraceRecorder::Push(char phase, std::string_view name,
-                         std::string_view args) {
-  ThreadBuffer* buffer = ThisThreadBuffer();
-  uint64_t ts = static_cast<uint64_t>(
+uint64_t TraceRecorder::NowNs() const {
+  return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)
           .count());
+}
+
+void TraceRecorder::Push(char phase, std::string_view name,
+                         std::string_view args) {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  const uint64_t ts = NowNs();
   std::lock_guard<std::mutex> lock(buffer->mu);
   TraceEvent& event = buffer->ring[buffer->next];
   event.ts_ns = ts;
@@ -88,6 +176,7 @@ void TraceRecorder::Push(char phase, std::string_view name,
     ++buffer->count;
   } else {
     dropped_.fetch_add(1, std::memory_order_relaxed);  // overwrote the oldest
+    dropped_counter_->Increment();
   }
 }
 
@@ -110,35 +199,20 @@ size_t TraceRecorder::buffered() const {
   return total;
 }
 
-std::string TraceRecorder::ToChromeTraceJson() const {
+std::vector<TraceRecorder::ThreadStream> TraceRecorder::ExportBalanced()
+    const {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     buffers = buffers_;
   }
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  auto emit = [&](const TraceEvent& event, int tid) {
-    if (!first) out += ',';
-    first = false;
-    out += "{\"name\":\"";
-    AppendEscaped(&out, event.name);
-    out += "\",\"cat\":\"wsie\",\"ph\":\"";
-    out += event.phase;
-    char buf[64];
-    // Chrome trace timestamps are microseconds; keep ns resolution.
-    std::snprintf(buf, sizeof(buf), "\",\"ts\":%.3f,\"pid\":1,\"tid\":%d",
-                  static_cast<double>(event.ts_ns) / 1000.0, tid);
-    out += buf;
-    if (event.args[0] != '\0') {
-      out += ",\"args\":{\"detail\":\"";
-      AppendEscaped(&out, event.args);
-      out += "\"}";
-    }
-    out += '}';
-  };
+  std::vector<ThreadStream> streams;
+  streams.reserve(buffers.size());
   for (const auto& buffer : buffers) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    ThreadStream stream;
+    stream.tid = buffer->tid;
+    stream.events.reserve(buffer->count);
     // Chronological order: the ring holds `count` events ending at `next`.
     size_t start = (buffer->next + buffer->ring.size() - buffer->count) %
                    buffer->ring.size();
@@ -155,13 +229,26 @@ std::string TraceRecorder::ToChromeTraceJson() const {
         ++depth;
       }
       last_ts = std::max(last_ts, event.ts_ns);
-      emit(event, buffer->tid);
+      stream.events.push_back(event);
     }
     for (; depth > 0; --depth) {
       TraceEvent closer;
       closer.phase = 'E';
       closer.ts_ns = last_ts;
-      emit(closer, buffer->tid);
+      stream.events.push_back(closer);
+    }
+    if (!stream.events.empty()) streams.push_back(std::move(stream));
+  }
+  return streams;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadStream& stream : ExportBalanced()) {
+    for (const TraceEvent& event : stream.events) {
+      AppendChromeEvent(&out, &first, event, /*pid=*/1, stream.tid,
+                        /*offset_ns=*/0);
     }
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
@@ -186,6 +273,11 @@ void TraceRecorder::Clear() {
     buffer->count = 0;
   }
   dropped_.store(0, std::memory_order_relaxed);
+}
+
+void ResetForkedProcessObs() {
+  MetricsRegistry::Global().Reset();
+  TraceRecorder::Global().ResetForFork();
 }
 
 }  // namespace wsie::obs

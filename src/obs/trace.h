@@ -27,6 +27,38 @@ struct TraceEvent {
   char args[kArgsCap] = {};
 };
 
+// ---------------------------------------------------------------------------
+// Distributed trace context. One (trace_id, span_id) pair per process — a
+// distributed run has a single coordinator-side root, workers inherit the
+// pair across fork or adopt it from the first transport frame they see, and
+// root spans embed it in their args so a stitched multi-pid trace keeps the
+// causal parent links without needing Chrome flow events (the validator
+// accepts only B/E phases).
+
+struct TraceContext {
+  uint64_t trace_id = 0;  ///< one id per distributed run, 0 = none
+  uint64_t span_id = 0;   ///< the parent span on the other side of the hop
+};
+
+/// The process-wide current context (one distributed run at a time).
+TraceContext CurrentTraceContext();
+void SetTraceContext(const TraceContext& context);
+
+/// Fresh nonzero ids (splitmix of a process counter, the pid, and the
+/// clock) — unique within a run's process tree.
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+/// Formats "trace=<hex> parent=<hex>" for embedding in root-span args.
+std::string TraceContextArgs(const TraceContext& context);
+
+/// Appends one event as a Chrome trace_event JSON object (comma-separated
+/// via `*first`), re-based by `offset_ns` and attributed to (pid, tid) —
+/// the shared emitter under ToChromeTraceJson and the multi-process
+/// stitcher.
+void AppendChromeEvent(std::string* out, bool* first, const TraceEvent& event,
+                       int pid, int tid, int64_t offset_ns);
+
 /// Records span begin/end events into per-thread ring buffers and
 /// serializes them as Chrome `trace_event` JSON — loadable in
 /// `chrome://tracing` or https://ui.perfetto.dev.
@@ -63,6 +95,19 @@ class TraceRecorder {
   /// Events currently buffered, across threads.
   size_t buffered() const;
 
+  /// Nanoseconds since this recorder's epoch — the timestamp domain of
+  /// every recorded event; the clock re-basing handshake ships this.
+  uint64_t NowNs() const;
+
+  /// One thread's buffered events, re-balanced (orphan 'E's dropped,
+  /// still-open 'B's closed with a synthetic 'E' at the last timestamp)
+  /// so every exported stream has matched pairs in timestamp order.
+  struct ThreadStream {
+    int tid = 0;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<ThreadStream> ExportBalanced() const;
+
   /// Serializes all buffered events as one Chrome trace JSON object:
   /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
   std::string ToChromeTraceJson() const;
@@ -70,6 +115,12 @@ class TraceRecorder {
 
   /// Discards all buffered events (buffers stay registered).
   void Clear();
+
+  /// Child-side post-fork reset: discards the rings and drop count the
+  /// child inherited from its parent so a forked worker reports only its
+  /// own spans. The inherited trace context is kept — it is the causal
+  /// link back to the coordinator, not accumulated state.
+  void ResetForFork() { Clear(); }
 
  private:
   struct ThreadBuffer {
@@ -86,6 +137,7 @@ class TraceRecorder {
 
   const uint64_t id_;  ///< process-unique; keys the per-thread buffer cache
   std::atomic<bool> enabled_{false};
+  Counter* dropped_counter_;  ///< wsie.obs.trace.dropped
   std::atomic<uint64_t> dropped_{0};
   std::atomic<size_t> ring_capacity_{65536};
   std::chrono::steady_clock::time_point epoch_;
@@ -114,6 +166,14 @@ class ScopedSpan {
  private:
   bool recording_ = false;
 };
+
+/// Everything a forked worker must shed before doing its own work: the
+/// global registry's inherited counts and the global recorder's inherited
+/// rings. Called in the child immediately after fork, before any metric or
+/// span of its own — the fork-safety contract the multiprocess shard
+/// runtime relies on (a parent-side count must never reappear in a
+/// worker's shipped snapshot).
+void ResetForkedProcessObs();
 
 }  // namespace wsie::obs
 

@@ -1,6 +1,9 @@
 #include "serve/admission_queue.h"
 
 #include <bit>
+#include <cstdio>
+
+#include "obs/trace.h"
 
 namespace wsie::serve {
 
@@ -11,6 +14,8 @@ AdmissionQueue::AdmissionQueue(std::shared_ptr<const QueryEngine> engine,
                                                    : options.capacity)),
       mask_(capacity_ - 1),
       batch_size_(options.batch_size < 1 ? 1 : options.batch_size),
+      trace_sample_every_(options.trace_sample_every),
+      slow_log_(std::move(options.slow_log)),
       cells_(capacity_) {
   for (size_t i = 0; i < capacity_; ++i) {
     cells_[i].sequence.store(i, std::memory_order_relaxed);
@@ -19,6 +24,7 @@ AdmissionQueue::AdmissionQueue(std::shared_ptr<const QueryEngine> engine,
   enqueued_ = registry.GetCounter("wsie.serve.admission.enqueued");
   rejected_ = registry.GetCounter("wsie.serve.admission.rejected");
   batches_ = registry.GetCounter("wsie.serve.admission.batches");
+  sampled_ = registry.GetCounter("wsie.serve.sampled");
   batch_size_hist_ = registry.GetHistogram(
       "wsie.serve.admission.batch_size",
       {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
@@ -124,19 +130,53 @@ void AdmissionQueue::RunBatch(const Work* batch, size_t n) {
   // thread_local scratch keeps the worker allocation-free at steady state.
   thread_local std::vector<QueryEngine::Request> requests;
   thread_local std::vector<QueryEngine::Response> responses;
+  thread_local std::vector<uint8_t> is_sampled;
   requests.clear();
   responses.clear();
+  is_sampled.assign(n, 0);
   requests.reserve(n);
-  responses.resize(n);
-  for (size_t i = 0; i < n; ++i) requests.push_back(*batch[i].request);
-  engine_->ExecuteBatch(requests.data(), responses.data(), n);
+  if (trace_sample_every_ > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      is_sampled[i] =
+          QueryEngine::Digest(*batch[i].request) % trace_sample_every_ == 0;
+    }
+  }
+  size_t plain = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_sampled[i]) requests.push_back(*batch[i].request);
+  }
+  responses.resize(requests.size());
+  if (!requests.empty()) {
+    engine_->ExecuteBatch(requests.data(), responses.data(), requests.size());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_sampled[i]) *batch[i].response = std::move(responses[plain++]);
+  }
+  // Sampled requests execute individually under their own span, so the
+  // span's duration covers exactly that request's work (same code, same
+  // epoch discipline — responses are identical to the batch path).
+  for (size_t i = 0; i < n; ++i) {
+    if (!is_sampled[i]) continue;
+    const QueryEngine::Request& request = *batch[i].request;
+    char args[obs::TraceEvent::kArgsCap];
+    std::snprintf(args, sizeof(args), "kind=%s digest=%016llx",
+                  RequestKindName(request.kind),
+                  static_cast<unsigned long long>(
+                      QueryEngine::Digest(request)));
+    obs::ScopedSpan span("serve.query", args);
+    *batch[i].response = engine_->Execute(request);
+    sampled_->Increment();
+  }
   const auto now = std::chrono::steady_clock::now();
   for (size_t i = 0; i < n; ++i) {
-    *batch[i].response = std::move(responses[i]);
-    request_latency_ns_->Observe(static_cast<double>(
+    const auto latency_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             now - batch[i].admitted)
-            .count()));
+            .count());
+    request_latency_ns_->Observe(static_cast<double>(latency_ns));
+    if (slow_log_) {
+      slow_log_->Record(*batch[i].request, latency_ns, is_sampled[i] != 0);
+    }
     batch[i].done->store(1, std::memory_order_release);
     batch[i].done->notify_one();
   }

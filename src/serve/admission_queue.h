@@ -10,6 +10,7 @@
 
 #include "obs/metrics.h"
 #include "serve/query_engine.h"
+#include "serve/slow_query_log.h"
 
 namespace wsie::serve {
 
@@ -34,6 +35,16 @@ class AdmissionQueue {
     size_t capacity = 1024;  ///< ring slots, rounded up to a power of two
     size_t batch_size = 32;  ///< max requests per worker batch
     size_t workers = 1;      ///< executor threads
+    /// Deterministic 1-in-N per-request trace sampling keyed on the
+    /// request digest (QueryEngine::Digest(r) % N == 0). A sampled
+    /// request executes individually under its own trace span instead of
+    /// inside the batch call — identical results (Execute and
+    /// ExecuteBatch run the same code under the same epoch pin), but its
+    /// spans attribute the work to that one request. 0 disables sampling.
+    size_t trace_sample_every = 0;
+    /// Optional slow-query log; every completed request's latency is
+    /// offered to it. Shared so the server can export /debug/slowlog.
+    std::shared_ptr<SlowQueryLog> slow_log;
   };
 
   AdmissionQueue(std::shared_ptr<const QueryEngine> engine, Options options);
@@ -53,6 +64,8 @@ class AdmissionQueue {
 
   size_t capacity() const { return capacity_; }
   size_t batch_size() const { return batch_size_; }
+  size_t trace_sample_every() const { return trace_sample_every_; }
+  const std::shared_ptr<SlowQueryLog>& slow_log() const { return slow_log_; }
 
  private:
   struct Work {
@@ -76,6 +89,8 @@ class AdmissionQueue {
   size_t capacity_ = 0;
   size_t mask_ = 0;
   size_t batch_size_ = 0;
+  size_t trace_sample_every_ = 0;
+  std::shared_ptr<SlowQueryLog> slow_log_;
   std::vector<Cell> cells_;
   alignas(64) std::atomic<size_t> enqueue_pos_{0};
   alignas(64) std::atomic<size_t> dequeue_pos_{0};
@@ -89,6 +104,7 @@ class AdmissionQueue {
   obs::Counter* enqueued_;
   obs::Counter* rejected_;
   obs::Counter* batches_;
+  obs::Counter* sampled_;
   obs::Histogram* batch_size_hist_;
   obs::Gauge* queue_depth_;
   obs::Histogram* request_latency_ns_;

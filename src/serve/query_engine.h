@@ -137,6 +137,11 @@ class QueryEngine {
   /// The store snapshot a fresh query would use (for introspection).
   store::AnnotationStore::Snapshot snapshot() const;
 
+  /// FNV-1a digest over every request field. Deterministic across runs and
+  /// processes — the admission queue's 1-in-N trace sampling keys on it, so
+  /// replaying a workload samples exactly the same requests.
+  static uint64_t Digest(const Request& request);
+
  private:
   std::shared_ptr<store::AnnotationStore> store_;
 

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "obs/trace.h"
+
 namespace wsie::serve {
 namespace {
 
@@ -257,6 +259,21 @@ void Server::HandleConnection(int fd) {
     WriteHttp(fd, 200, "OK",
               obs::MetricsRegistry::Global().DumpPrometheusText(),
               bytes_out_);
+    return;
+  }
+  if (path == "/debug/slowlog") {
+    const auto& slow_log = queue_->slow_log();
+    if (!slow_log) {
+      WriteHttp(fd, 404, "Not Found", "slow-query log disabled\n",
+                bytes_out_);
+      return;
+    }
+    WriteHttp(fd, 200, "OK", slow_log->DumpJson(), bytes_out_);
+    return;
+  }
+  if (path == "/debug/trace") {
+    WriteHttp(fd, 200, "OK",
+              obs::TraceRecorder::Global().ToChromeTraceJson(), bytes_out_);
     return;
   }
 

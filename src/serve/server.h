@@ -23,6 +23,8 @@ namespace wsie::serve {
 ///
 ///   /healthz                                   liveness probe
 ///   /metrics                                   Prometheus exposition dump
+///   /debug/slowlog                             top-k slow queries (JSON)
+///   /debug/trace                               Chrome trace of this process
 ///   /lookup?name=&corpus=&type=&method=&max=   point lookup
 ///   /prefix?p=&limit=                          prefix scan
 ///   /topk?k=&corpus=&type=&method=             top-k names

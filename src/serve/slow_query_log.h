@@ -1,0 +1,78 @@
+#ifndef WSIE_SERVE_SLOW_QUERY_LOG_H_
+#define WSIE_SERVE_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+
+namespace wsie::serve {
+
+struct SlowQueryOptions {
+  size_t top_k = 32;      ///< entries kept, worst latency wins
+  uint64_t floor_ns = 0;  ///< initial admission floor (0 records everything)
+};
+
+/// Bounded worst-queries log: keeps the top-k completed requests by
+/// latency, with enough of the request (kind, term, filter) to reproduce
+/// each one. The hot path is one relaxed atomic load — a request faster
+/// than the current floor (the minimum latency among the kept entries)
+/// returns without touching the mutex, so at steady state only genuinely
+/// slow requests pay for the lock. Exported at /debug/slowlog.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    QueryEngine::Request::Kind kind = QueryEngine::Request::Kind::kLookup;
+    std::string name;
+    std::string name_b;
+    int corpus = kAny;
+    int type = kAny;
+    int method = kAny;
+    size_t limit = 0;
+    uint64_t latency_ns = 0;
+    bool sampled = false;  ///< carried a per-request trace span
+    uint64_t seq = 0;      ///< admission order, breaks latency ties
+  };
+
+  explicit SlowQueryLog(SlowQueryOptions options = SlowQueryOptions());
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  void Record(const QueryEngine::Request& request, uint64_t latency_ns,
+              bool sampled);
+
+  /// Kept entries, worst latency first (seq breaks ties).
+  std::vector<Entry> TopByLatency() const;
+
+  /// {"floor_ns":...,"entries":[...]} — the /debug/slowlog body.
+  std::string DumpJson() const;
+
+  uint64_t floor_ns() const {
+    return floor_ns_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+ private:
+  const size_t top_k_;
+  const uint64_t initial_floor_ns_;
+  std::atomic<uint64_t> floor_ns_;
+  std::atomic<uint64_t> next_seq_{0};
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  ///< unordered; small (top_k)
+
+  obs::Counter* recorded_;    ///< wsie.serve.slowlog.recorded
+  obs::Counter* evicted_;     ///< wsie.serve.slowlog.evicted
+  obs::Gauge* floor_gauge_;   ///< wsie.serve.slowlog.floor_ns
+};
+
+/// Human/tool-readable name of a request kind ("lookup", "prefix", ...).
+const char* RequestKindName(QueryEngine::Request::Kind kind);
+
+}  // namespace wsie::serve
+
+#endif  // WSIE_SERVE_SLOW_QUERY_LOG_H_

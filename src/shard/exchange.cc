@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace wsie::shard {
 
 const char* ExchangeKindName(ExchangeKind kind) {
@@ -73,6 +75,7 @@ void ExtendSeqTags(dataflow::Dataset* records) {
 
 std::vector<dataflow::Dataset> PartitionDataset(
     dataflow::Dataset records, const RecordPartitioner& partitioner) {
+  WSIE_TRACE_SPAN("exchange.partition");
   std::vector<dataflow::Dataset> shards(partitioner.num_shards());
   for (dataflow::Record& record : records) {
     const int shard = partitioner.ShardFor(record);
@@ -94,6 +97,7 @@ bool SeqLess(const dataflow::Record& a, const dataflow::Record& b) {
 }
 
 dataflow::Dataset MergeBySeq(std::vector<dataflow::Dataset> chunks) {
+  WSIE_TRACE_SPAN("exchange.merge_by_seq");
   size_t total = 0;
   for (const dataflow::Dataset& chunk : chunks) total += chunk.size();
   dataflow::Dataset merged;

@@ -6,11 +6,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
 #include "dataflow/executor.h"
 #include "obs/metrics.h"
+#include "obs/remote.h"
+#include "obs/trace.h"
 
 namespace wsie::shard {
 namespace {
@@ -86,6 +89,14 @@ ShardWorkerStats RunShardWorker(const WorkerEnv& env) {
 
   ShardWorkerStats stats;
   stats.shard = env.shard;
+
+  // The worker's root span carries the distributed trace context in its
+  // args ("trace=... parent=..."): the stitched multi-pid trace links this
+  // span to the coordinator's run span through it.
+  char span_name[32];
+  std::snprintf(span_name, sizeof(span_name), "shard.worker.%d", env.shard);
+  obs::ScopedSpan worker_span(
+      span_name, obs::TraceContextArgs(obs::CurrentTraceContext()));
 
   dataflow::ExecutorConfig config;
   config.dop = std::max<size_t>(1, options.dop_per_shard);
@@ -477,11 +488,32 @@ Result<ShardExecutionResult> ShardRuntime::Run(
   }
 
   const auto started = std::chrono::steady_clock::now();
-  auto result = options_.multiprocess
-                    ? RunMultiProcess(factory, splan, coordinator_plan, sources)
-                    : RunInProcess(factory, splan, coordinator_plan, sources);
+  // One distributed trace per run: keep an inherited trace id (a nested run
+  // stays inside its caller's trace), mint a fresh root span id, and make
+  // the pair current so workers inherit it across fork — or adopt it from
+  // the first stamped frame they receive.
+  const obs::TraceContext parent_ctx = obs::CurrentTraceContext();
+  obs::TraceContext run_ctx;
+  run_ctx.trace_id =
+      parent_ctx.trace_id != 0 ? parent_ctx.trace_id : obs::NewTraceId();
+  run_ctx.span_id = obs::NewSpanId();
+  obs::SetTraceContext(run_ctx);
+
+  Result<ShardExecutionResult> result = Status::Internal("run did not start");
+  {
+    // Scoped so the run span is closed before the stitcher exports the
+    // coordinator's stream below.
+    obs::ScopedSpan run_span(
+        "shard.run",
+        obs::TraceContextArgs({run_ctx.trace_id, parent_ctx.span_id}));
+    result = options_.multiprocess
+                 ? RunMultiProcess(factory, splan, coordinator_plan, sources)
+                 : RunInProcess(factory, splan, coordinator_plan, sources);
+  }
+  obs::SetTraceContext(parent_ctx);
   if (!result.ok()) return result;
 
+  result->trace_id = run_ctx.trace_id;
   result->fragments = splan.fragments.size();
   result->sharded_fragments = splan.sharded_fragments;
   result->total_seconds = Seconds(started);
@@ -516,6 +548,70 @@ Result<ShardExecutionResult> ShardRuntime::Run(
   registry.GetCounter("wsie.exchange.hash")->Add(hash_edges);
   registry.GetCounter("wsie.exchange.broadcast")->Add(broadcast_edges);
   registry.GetCounter("wsie.exchange.gather")->Add(gather_edges);
+
+  // Per-shard skew report (both execution modes): each worker's share of
+  // the records, the fig5 load-balance table.
+  uint64_t total_in = 0, max_in = 0;
+  for (const ShardWorkerStats& w : result->workers) {
+    total_in += w.records_in;
+    max_in = std::max(max_in, w.records_in);
+  }
+  for (const ShardWorkerStats& w : result->workers) {
+    ShardSkewRow row;
+    row.shard = w.shard;
+    row.records_in = w.records_in;
+    row.process_seconds = w.process_seconds;
+    row.share = total_in == 0
+                    ? 0.0
+                    : static_cast<double>(w.records_in) /
+                          static_cast<double>(total_in);
+    result->obs.skew.push_back(row);
+  }
+  std::sort(result->obs.skew.begin(), result->obs.skew.end(),
+            [](const ShardSkewRow& a, const ShardSkewRow& b) {
+              return a.shard < b.shard;
+            });
+  const double mean_in =
+      result->workers.empty()
+          ? 0.0
+          : static_cast<double>(total_in) /
+                static_cast<double>(result->workers.size());
+  registry.GetGauge("wsie.shard.skew.records")
+      ->Set(mean_in == 0.0 ? 0.0
+                           : static_cast<double>(max_in) / mean_in);
+
+  // Register the remote-collection family even on runs that collect
+  // nothing, so the metric manifest always sees it.
+  obs::Counter* bundles_counter =
+      registry.GetCounter("wsie.obs.remote.bundles");
+  obs::Counter* bundle_bytes_counter =
+      registry.GetCounter("wsie.obs.remote.bytes");
+  if (result->obs.collected) {
+    bundles_counter->Add(result->obs.per_shard.size());
+    bundle_bytes_counter->Add(result->obs.bundle_bytes);
+    result->obs.merged = obs::MergeSnapshots(result->obs.per_shard);
+
+    // Stitch: coordinator as Chrome pid 1 at offset 0, worker k as pid 2+k
+    // re-based into the coordinator's clock domain.
+    std::vector<obs::ProcessTrace> processes;
+    obs::ProcessTrace coordinator;
+    coordinator.pid = 1;
+    coordinator.offset_ns = 0;
+    coordinator.streams = obs::TraceRecorder::Global().ExportBalanced();
+    coordinator.dropped = obs::TraceRecorder::Global().dropped();
+    processes.push_back(std::move(coordinator));
+    for (size_t i = 0; i < result->obs.per_shard.size(); ++i) {
+      const obs::ObsBundle& bundle = result->obs.per_shard[i];
+      obs::ProcessTrace worker;
+      worker.pid = 2 + bundle.shard;
+      worker.offset_ns = result->obs.offsets_ns[i];
+      worker.streams = bundle.streams;
+      worker.dropped = bundle.trace_dropped;
+      processes.push_back(std::move(worker));
+    }
+    result->obs.stitched_trace_json =
+        obs::StitchChromeTrace(processes, &result->obs.stitch);
+  }
   return result;
 }
 
@@ -605,6 +701,10 @@ Result<ShardExecutionResult> ShardRuntime::RunMultiProcess(
     child_fds[s] = sv[1];
   }
 
+  // Flush inherited stdio buffers: a worker exiting through exit() would
+  // otherwise re-flush the parent's buffered output (visible as duplicated
+  // lines when stdout is a file, where stdio is block-buffered).
+  std::fflush(nullptr);
   for (size_t s = 0; s < num_shards; ++s) {
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -621,6 +721,10 @@ Result<ShardExecutionResult> ShardRuntime::RunMultiProcess(
         ::close(parent_fds[i]);
         if (i != s) ::close(child_fds[i]);
       }
+      // Shed the parent's inherited counts and trace rings before any work
+      // of our own; the inherited trace context stays — it is the causal
+      // link back to the coordinator's run span.
+      obs::ResetForkedProcessObs();
       SocketTransport child_transport(child_fds[s], num_shards);
       Plan child_plan = factory(static_cast<int>(s));
       WorkerEnv env;
@@ -637,6 +741,20 @@ Result<ShardExecutionResult> ShardRuntime::RunMultiProcess(
       EncodeDataset({stats.ToRecord()}, &frame.payload);
       frame.rows = 1;
       WriteFrame(child_fds[s], frame);
+      if (options_.collect_obs) {
+        // The CollectRemote hop: this worker's metrics snapshot and trace
+        // streams, captured after the worker span closed, shipped as one
+        // checksummed blob on the obs control channel.
+        Frame obs_frame;
+        obs_frame.channel = kObsChannel;
+        obs_frame.from = static_cast<int>(s);
+        obs_frame.to = static_cast<int>(num_shards);
+        EncodeDataset({BlobRecord(obs::EncodeObsBundle(
+                          obs::CaptureObsBundle(static_cast<int>(s))))},
+                      &obs_frame.payload);
+        obs_frame.rows = 1;
+        WriteFrame(child_fds[s], obs_frame);
+      }
       ::close(child_fds[s]);
       ::_exit(stats.status.ok() ? 0 : 1);
     }
@@ -668,6 +786,41 @@ Result<ShardExecutionResult> ShardRuntime::RunMultiProcess(
             ShardWorkerStats::FromRecord(stats_chunk->front());
         if (!stats.status.ok() && failure.ok()) failure = stats.status;
         result.workers.push_back(std::move(stats));
+      }
+      if (failure.ok() && options_.collect_obs) {
+        for (size_t s = 0; s < num_shards; ++s) {
+          auto obs_chunk = hub.Recv(kObsChannel, static_cast<int>(s),
+                                    static_cast<int>(num_shards));
+          if (!obs_chunk.ok()) {
+            failure = obs_chunk.status();
+            break;
+          }
+          if (obs_chunk->size() != 1) {
+            failure = Status::Internal("malformed obs bundle frame");
+            break;
+          }
+          auto blob = BlobFromRecord(obs_chunk->front());
+          if (!blob.ok()) {
+            failure = blob.status();
+            break;
+          }
+          result.obs.bundle_bytes += blob->size();
+          auto bundle = obs::DecodeObsBundle(*blob);
+          if (!bundle.ok()) {
+            failure = bundle.status();
+            break;
+          }
+          // Clock re-base handshake: the bundle carries the sender's
+          // NowNs() at encode time; the receiver-side offset maps the
+          // worker's timestamps into the coordinator's domain (error is
+          // bounded by the transfer latency).
+          const int64_t offset =
+              static_cast<int64_t>(obs::TraceRecorder::Global().NowNs()) -
+              static_cast<int64_t>(bundle->now_ns);
+          result.obs.offsets_ns.push_back(offset);
+          result.obs.per_shard.push_back(std::move(bundle).value());
+        }
+        if (failure.ok()) result.obs.collected = true;
       }
     } else {
       failure = coordinator_result.status();

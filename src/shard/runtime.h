@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "dataflow/plan.h"
 #include "dataflow/value.h"
+#include "obs/remote.h"
 #include "shard/planner.h"
 #include "shard/transport.h"
 
@@ -58,6 +59,11 @@ struct ShardOptions {
   /// this executes in the child, so it must communicate via the
   /// filesystem, not captured memory.
   std::function<Status(int shard)> per_shard_finish;
+  /// Collect each worker's ObsBundle (metrics snapshot + trace streams)
+  /// over the obs control channel after its last fragment, and merge/stitch
+  /// them coordinator-side. Multiprocess mode only — in-process workers
+  /// already share the global registry and recorder.
+  bool collect_obs = true;
 };
 
 struct ShardWorkerStats {
@@ -75,6 +81,28 @@ struct ShardWorkerStats {
   static ShardWorkerStats FromRecord(const dataflow::Record& record);
 };
 
+/// One row of the per-shard skew report: how much of the run's input each
+/// shard processed (the fig5 per-shard load table).
+struct ShardSkewRow {
+  int shard = -1;
+  uint64_t records_in = 0;
+  double process_seconds = 0.0;
+  double share = 0.0;  ///< records_in / total records_in across shards
+};
+
+/// The distributed-observability output of one sharded run.
+struct ShardObsReport {
+  /// True when worker bundles were collected (multiprocess + collect_obs).
+  bool collected = false;
+  std::vector<obs::ObsBundle> per_shard;  ///< one bundle per worker shard
+  std::vector<int64_t> offsets_ns;        ///< clock re-base per worker
+  uint64_t bundle_bytes = 0;              ///< encoded bundle bytes shipped
+  obs::MetricsSnapshot merged;            ///< workers' snapshots, merged
+  std::string stitched_trace_json;        ///< one Chrome trace, all pids
+  obs::StitchReport stitch;
+  std::vector<ShardSkewRow> skew;  ///< both modes, from worker stats
+};
+
 struct ShardExecutionResult {
   std::map<std::string, dataflow::Dataset> sink_outputs;
   std::vector<ShardWorkerStats> workers;
@@ -85,6 +113,8 @@ struct ShardExecutionResult {
   uint64_t exchange_messages = 0;
   double max_hash_skew = 0.0;
   double total_seconds = 0.0;
+  uint64_t trace_id = 0;  ///< the run's distributed trace id
+  ShardObsReport obs;
 };
 
 /// Executes a plan across N shards. The planner splits the plan into

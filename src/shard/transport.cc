@@ -10,13 +10,16 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.h"
 #include "shard/partitioner.h"
 
 namespace wsie::shard {
 namespace {
 
 constexpr uint32_t kFrameMagic = 0x57535846;  // "WSXF"
-constexpr size_t kHeaderBytes = 4 + 4 + 4 + 4 + 4 + 8;
+// magic, channel, from, to, rows, trace_id, parent_span, payload length.
+constexpr size_t kHeaderBytes = 4 + 4 + 4 + 4 + 4 + 8 + 8 + 8;
+constexpr size_t kPayloadLenOffset = 36;
 constexpr size_t kTrailerBytes = 8;
 constexpr uint64_t kMaxPayloadBytes = 1ull << 30;
 
@@ -48,6 +51,8 @@ std::string EncodeFrame(const Frame& frame) {
   PutU32(static_cast<uint32_t>(frame.from), &out);
   PutU32(static_cast<uint32_t>(frame.to), &out);
   PutU32(frame.rows, &out);
+  PutU64(frame.trace_id, &out);
+  PutU64(frame.parent_span, &out);
   PutU64(frame.payload.size(), &out);
   out.append(frame.payload);
   PutU64(Fnv1a64(frame.payload), &out);
@@ -63,7 +68,7 @@ bool ExtractFrame(std::string* buf, Frame* frame, Status* error) {
     *error = Status::InvalidArgument("transport: bad frame magic");
     return false;
   }
-  const uint64_t payload_len = GetU64(p + 20);
+  const uint64_t payload_len = GetU64(p + kPayloadLenOffset);
   if (payload_len > kMaxPayloadBytes) {
     *error = Status::InvalidArgument("transport: oversized frame");
     return false;
@@ -74,6 +79,8 @@ bool ExtractFrame(std::string* buf, Frame* frame, Status* error) {
   frame->from = static_cast<int32_t>(GetU32(p + 8));
   frame->to = static_cast<int32_t>(GetU32(p + 12));
   frame->rows = GetU32(p + 16);
+  frame->trace_id = GetU64(p + 20);
+  frame->parent_span = GetU64(p + 28);
   frame->payload.assign(p + kHeaderBytes, payload_len);
   if (GetU64(p + kHeaderBytes + payload_len) != Fnv1a64(frame->payload)) {
     *error = Status::InvalidArgument("transport: frame checksum mismatch");
@@ -212,7 +219,7 @@ Result<Frame> ReadFrame(int fd) {
   if (GetU32(header) != kFrameMagic) {
     return Status::InvalidArgument("transport: bad frame magic");
   }
-  const uint64_t payload_len = GetU64(header + 20);
+  const uint64_t payload_len = GetU64(header + kPayloadLenOffset);
   if (payload_len > kMaxPayloadBytes) {
     return Status::InvalidArgument("transport: oversized frame");
   }
@@ -221,6 +228,8 @@ Result<Frame> ReadFrame(int fd) {
   frame.from = static_cast<int32_t>(GetU32(header + 8));
   frame.to = static_cast<int32_t>(GetU32(header + 12));
   frame.rows = GetU32(header + 16);
+  frame.trace_id = GetU64(header + 20);
+  frame.parent_span = GetU64(header + 28);
   frame.payload.resize(payload_len);
   if (payload_len > 0) {
     WSIE_RETURN_NOT_OK(RecvExact(fd, frame.payload.data(), payload_len));
@@ -244,6 +253,9 @@ Status SocketTransport::Send(int channel, int from, int to,
   frame.from = from;
   frame.to = to;
   frame.rows = static_cast<uint32_t>(records.size());
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  frame.trace_id = ctx.trace_id;
+  frame.parent_span = ctx.span_id;
   EncodeDataset(records, &frame.payload);
   RecordTraffic(channel, to, num_shards_, records.size(),
                 frame.payload.size());
@@ -262,6 +274,10 @@ Result<dataflow::Dataset> SocketTransport::Recv(int channel, int from,
       return records;
     }
     WSIE_ASSIGN_OR_RETURN(Frame frame, ReadFrame(fd_));
+    // First stamped frame seen by a context-less worker parents its spans.
+    if (frame.trace_id != 0 && obs::CurrentTraceContext().trace_id == 0) {
+      obs::SetTraceContext({frame.trace_id, frame.parent_span});
+    }
     WSIE_ASSIGN_OR_RETURN(dataflow::Dataset records,
                           DecodeDataset(frame.payload));
     parked_[{frame.channel, frame.from, frame.to}].push_back(
@@ -308,6 +324,9 @@ Status HubTransport::Send(int channel, int from, int to,
   frame.from = from;
   frame.to = to;
   frame.rows = static_cast<uint32_t>(records.size());
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  frame.trace_id = ctx.trace_id;
+  frame.parent_span = ctx.span_id;
   EncodeDataset(records, &frame.payload);
   RecordTraffic(channel, to, num_shards_, records.size(),
                 frame.payload.size());

@@ -22,6 +22,11 @@ namespace wsie::shard {
 /// fragment; negative so it can never collide with a planner channel.
 inline constexpr int kStatsChannel = -1;
 
+/// Obs channel: workers ship their encoded ObsBundle (TraceRecorder ring +
+/// MetricsSnapshot) here after the stats frame — the CollectRemote hop.
+/// Negative, so excluded from traffic/skew stats like all control traffic.
+inline constexpr int kObsChannel = -2;
+
 /// Aggregate traffic seen by a transport. `max_hash_skew` is the worst
 /// max/mean row ratio across destinations of any single channel — the skew
 /// a bad partition key produces.
@@ -90,14 +95,22 @@ class InProcessTransport : public Transport {
 
 /// Framed messages over a stream socket:
 ///   u32 magic | i32 channel | i32 from | i32 to | u32 rows |
-///   u64 payload length | payload (wire-codec dataset) | u64 FNV-1a(payload)
+///   u64 trace_id | u64 parent_span | u64 payload length |
+///   payload (wire-codec dataset) | u64 FNV-1a(payload)
 /// WriteFrame/ReadFrame handle short reads/writes; ReadFrame verifies the
-/// checksum and rejects malformed headers.
+/// checksum and rejects malformed headers. The (trace_id, parent_span)
+/// pair is the distributed trace context: every frame a transport sends is
+/// stamped with the process's current context, and a worker whose context
+/// is still empty adopts the pair from the first frame it receives — so
+/// shard-fragment spans carry causal parents even when the worker did not
+/// inherit the context across fork.
 struct Frame {
   int channel = 0;
   int from = 0;
   int to = 0;
   uint32_t rows = 0;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
   std::string payload;
 };
 

@@ -202,4 +202,18 @@ Result<dataflow::Dataset> DecodeDataset(std::string_view bytes) {
   return records;
 }
 
+dataflow::Record BlobRecord(std::string bytes) {
+  dataflow::Record record;
+  record.SetField("blob", dataflow::Value(std::move(bytes)));
+  return record;
+}
+
+Result<std::string> BlobFromRecord(const dataflow::Record& record) {
+  const dataflow::Value& blob = record.Field("blob");
+  if (!blob.is_string()) {
+    return Status::InvalidArgument("wire: record carries no blob field");
+  }
+  return blob.AsString();
+}
+
 }  // namespace wsie::shard

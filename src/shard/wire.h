@@ -39,6 +39,12 @@ Status DecodeValue(std::string_view* in, dataflow::Value* out);
 void EncodeDataset(const dataflow::Dataset& records, std::string* out);
 Result<dataflow::Dataset> DecodeDataset(std::string_view bytes);
 
+/// Control-channel record carrying one opaque binary blob (the CollectRemote
+/// obs bundle rides the dataset framing this way — checksummed end to end by
+/// the frame trailer plus the blob's own container checksum).
+dataflow::Record BlobRecord(std::string bytes);
+Result<std::string> BlobFromRecord(const dataflow::Record& record);
+
 }  // namespace wsie::shard
 
 #endif  // WSIE_SHARD_WIRE_H_

@@ -17,9 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/admission_queue.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
+#include "serve/slow_query_log.h"
 #include "store/annotation_store.h"
 
 namespace wsie::serve {
@@ -215,8 +217,9 @@ class ServerTest : public ::testing::Test {
   void SetUp() override {
     auto engine =
         std::make_shared<const QueryEngine>(FixtureStore("http_server"));
-    queue_ = std::make_shared<AdmissionQueue>(engine,
-                                              AdmissionQueue::Options{});
+    AdmissionQueue::Options options;
+    options.slow_log = std::make_shared<SlowQueryLog>();
+    queue_ = std::make_shared<AdmissionQueue>(engine, options);
     server_ = std::make_unique<Server>(queue_, Server::Options{});
     ASSERT_TRUE(server_->Start().ok());
     ASSERT_NE(server_->port(), 0);
@@ -291,6 +294,190 @@ TEST_F(ServerTest, PrefixTopkFreqCoocRoutes) {
 TEST_F(ServerTest, BadAndUnknownRequestsGetErrorStatuses) {
   EXPECT_NE(Get("/nosuchroute").find("404"), std::string::npos);
   EXPECT_NE(Get("/lookup").find("400"), std::string::npos);  // missing name
+}
+
+TEST_F(ServerTest, DebugSlowlogAndTraceRoutes) {
+  // Populate the slow-query log (floor 0: every request is kept).
+  EXPECT_NE(Get("/lookup?name=braf").find("200"), std::string::npos);
+  std::string slowlog = Get("/debug/slowlog");
+  EXPECT_NE(slowlog.find("200"), std::string::npos);
+  EXPECT_NE(slowlog.find("\"entries\""), std::string::npos);
+  EXPECT_NE(slowlog.find("\"kind\":\"lookup\""), std::string::npos);
+  EXPECT_NE(slowlog.find("\"name\":\"braf\""), std::string::npos);
+  std::string trace = Get("/debug/trace");
+  EXPECT_NE(trace.find("200"), std::string::npos);
+  EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+}
+
+TEST(ServerSlowlogDisabledTest, DebugSlowlogIs404WithoutLog) {
+  auto engine =
+      std::make_shared<const QueryEngine>(FixtureStore("http_noslowlog"));
+  auto queue = std::make_shared<AdmissionQueue>(engine,
+                                                AdmissionQueue::Options{});
+  Server server(queue, Server::Options{});
+  ASSERT_TRUE(server.Start().ok());
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string request = "GET /debug/slowlog HTTP/1.1\r\nHost: t\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    reply.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  server.Stop();
+  queue->Stop();
+  EXPECT_NE(reply.find("404"), std::string::npos);
+}
+
+// ------------------------------------------- sampled tracing + slow log
+
+TEST(DigestTest, DeterministicAndSensitiveToEveryField) {
+  QueryEngine::Request request;
+  request.kind = QueryEngine::Request::Kind::kLookup;
+  request.name = "braf";
+  request.limit = 10;
+  const uint64_t base = QueryEngine::Digest(request);
+  EXPECT_EQ(QueryEngine::Digest(request), base);  // pure function
+
+  QueryEngine::Request other = request;
+  other.name = "brca1";
+  EXPECT_NE(QueryEngine::Digest(other), base);
+  other = request;
+  other.kind = QueryEngine::Request::Kind::kPrefix;
+  EXPECT_NE(QueryEngine::Digest(other), base);
+  other = request;
+  other.limit = 11;
+  EXPECT_NE(QueryEngine::Digest(other), base);
+  other = request;
+  other.filter.method = 0;
+  EXPECT_NE(QueryEngine::Digest(other), base);
+  other = request;
+  other.name_b = "x";
+  EXPECT_NE(QueryEngine::Digest(other), base);
+}
+
+TEST(SamplingTest, SampledRequestsMatchBatchPathExactly) {
+  // trace_sample_every=1: every request takes the individual traced path.
+  // Responses must be byte-for-byte what the batch path produces.
+  auto store = FixtureStore("sampling_parity");
+  auto engine = std::make_shared<const QueryEngine>(store);
+  AdmissionQueue::Options sampled_options;
+  sampled_options.trace_sample_every = 1;
+  AdmissionQueue sampled_queue(engine, sampled_options);
+
+  const std::vector<std::string> names = {"braf", "brca1", "aspirin",
+                                          "melanoma", "nonexistent"};
+  for (const std::string& name : names) {
+    QueryEngine::Request request;
+    request.kind = QueryEngine::Request::Kind::kLookup;
+    request.name = name;
+    request.limit = 10;
+    QueryEngine::Response via_queue;
+    ASSERT_TRUE(sampled_queue.Submit(request, &via_queue));
+    QueryEngine::Response direct = engine->Execute(request);
+    EXPECT_EQ(via_queue.lookup.found, direct.lookup.found);
+    EXPECT_EQ(via_queue.lookup.count, direct.lookup.count);
+    EXPECT_EQ(via_queue.lookup.docs, direct.lookup.docs);
+    EXPECT_EQ(via_queue.lookup.postings, direct.lookup.postings);
+  }
+  sampled_queue.Stop();
+}
+
+TEST(SamplingTest, OneInNAdmissionIsDeterministicAndExact) {
+  auto engine =
+      std::make_shared<const QueryEngine>(FixtureStore("sampling_exact"));
+  constexpr size_t kEvery = 4;
+  AdmissionQueue::Options options;
+  options.trace_sample_every = kEvery;
+  options.slow_log = std::make_shared<SlowQueryLog>();
+  AdmissionQueue queue(engine, options);
+
+  const uint64_t sampled_before = obs::MetricsRegistry::Global()
+                                      .Snapshot()
+                                      .CounterValue("wsie.serve.sampled");
+  uint64_t expected_sampled = 0;
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    QueryEngine::Request request;
+    request.kind = QueryEngine::Request::Kind::kPrefix;
+    request.name = "q" + std::to_string(i);
+    request.limit = 4;
+    if (QueryEngine::Digest(request) % kEvery == 0) ++expected_sampled;
+    QueryEngine::Response response;
+    ASSERT_TRUE(queue.Submit(request, &response));
+  }
+  queue.Stop();
+  const uint64_t sampled_after = obs::MetricsRegistry::Global()
+                                     .Snapshot()
+                                     .CounterValue("wsie.serve.sampled");
+  // Keyed on the request digest, not arrival order: the count is exact
+  // and reproducible, and a digest spread over 200 distinct terms puts it
+  // in the statistical neighborhood of kRequests / kEvery.
+  EXPECT_EQ(sampled_after - sampled_before, expected_sampled);
+  EXPECT_GT(expected_sampled, 0u);
+  EXPECT_LT(expected_sampled, static_cast<uint64_t>(kRequests));
+  // Every completed request was offered to the slow log (floor 0).
+  EXPECT_EQ(options.slow_log->TopByLatency().size(),
+            std::min<size_t>(kRequests, SlowQueryOptions().top_k));
+}
+
+TEST(SlowQueryLogTest, KeepsTopKByLatencyAndRaisesFloor) {
+  SlowQueryOptions options;
+  options.top_k = 3;
+  SlowQueryLog log(options);
+  QueryEngine::Request request;
+  request.kind = QueryEngine::Request::Kind::kLookup;
+  for (uint64_t latency : {50u, 10u, 30u, 20u, 40u}) {
+    request.name = "t" + std::to_string(latency);
+    log.Record(request, latency, false);
+  }
+  // Kept: 50, 40, 30. Floor is the minimum kept latency.
+  std::vector<SlowQueryLog::Entry> top = log.TopByLatency();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].latency_ns, 50u);
+  EXPECT_EQ(top[1].latency_ns, 40u);
+  EXPECT_EQ(top[2].latency_ns, 30u);
+  EXPECT_EQ(top[0].name, "t50");
+  EXPECT_EQ(log.floor_ns(), 30u);
+  // Below-floor requests are rejected on the fast path.
+  request.name = "fast";
+  log.Record(request, 5, false);
+  EXPECT_EQ(log.TopByLatency().size(), 3u);
+  EXPECT_EQ(log.floor_ns(), 30u);
+  // A new worst query evicts the current minimum.
+  request.name = "worst";
+  log.Record(request, 99, true);
+  top = log.TopByLatency();
+  EXPECT_EQ(top[0].name, "worst");
+  EXPECT_TRUE(top[0].sampled);
+  EXPECT_EQ(log.floor_ns(), 40u);
+  log.Clear();
+  EXPECT_TRUE(log.TopByLatency().empty());
+}
+
+TEST(SlowQueryLogTest, DumpJsonCarriesRequestShape) {
+  SlowQueryLog log;
+  QueryEngine::Request request;
+  request.kind = QueryEngine::Request::Kind::kCoOccurrence;
+  request.name = "braf";
+  request.name_b = "quote\"y";
+  log.Record(request, 1234, true);
+  const std::string json = log.DumpJson();
+  EXPECT_NE(json.find("\"kind\":\"cooc\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"braf\""), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"y"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\":1234"), std::string::npos);
+  EXPECT_NE(json.find("\"sampled\":true"), std::string::npos);
 }
 
 }  // namespace

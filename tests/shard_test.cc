@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -22,10 +26,14 @@
 #include "dataflow/plan.h"
 #include "dataflow/value.h"
 #include "obs/metrics.h"
+#include "obs/remote.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
 #include "shard/exchange.h"
 #include "shard/partitioner.h"
 #include "shard/planner.h"
 #include "shard/runtime.h"
+#include "shard/transport.h"
 #include "shard/wire.h"
 #include "store/annotation_store.h"
 #include "store/segment.h"
@@ -755,6 +763,163 @@ TEST(ShardMultiProcessTest, UnionBreakerOverSocketpairs) {
   ASSERT_TRUE(result.ok()) << result.status().message();
   EXPECT_EQ(SinkJson(result->sink_outputs, "out"), serial);
 }
+
+// ------------------------------------------- Distributed observability
+
+TEST(FrameTraceTest, TraceContextRoundTripsThroughFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Frame frame;
+  frame.channel = 3;
+  frame.from = 1;
+  frame.to = 2;
+  frame.rows = 2;
+  frame.trace_id = 0xdeadbeefcafe1234ull;
+  frame.parent_span = 0x42ull;
+  EncodeDataset(RandomRecords(2, 67), &frame.payload);
+  ASSERT_TRUE(WriteFrame(fds[0], frame).ok());
+  Result<Frame> read = ReadFrame(fds[1]);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->channel, 3);
+  EXPECT_EQ(read->from, 1);
+  EXPECT_EQ(read->to, 2);
+  EXPECT_EQ(read->rows, 2u);
+  EXPECT_EQ(read->trace_id, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(read->parent_span, 0x42ull);
+  EXPECT_EQ(read->payload, frame.payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+#if WSIE_OBS >= 1
+
+TEST(ShardObsCollectTest, MergedCountersAreExactSumsAndForkSafe) {
+  // The fork-safety contract: a parent-side count bumped before the run
+  // must never reappear in any worker's shipped snapshot (the child resets
+  // its inherited registry immediately after fork).
+  obs::MetricsRegistry::Global().GetCounter("wsie.test.fork.leak")->Add(7);
+  Dataset input = RandomRecords(48, 71);
+  auto run_once = [&input] {
+    ShardOptions options;
+    options.num_shards = 3;
+    options.multiprocess = true;
+    ShardRuntime runtime(options);
+    return runtime.Run(
+        [](int) { return ChainPlan({EnrichMap(), ModFilter()}); },
+        {{"in", input}});
+  };
+  auto result = run_once();
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_TRUE(result->obs.collected);
+  ASSERT_EQ(result->obs.per_shard.size(), 3u);
+  EXPECT_GT(result->obs.bundle_bytes, 0u);
+  for (const obs::ObsBundle& bundle : result->obs.per_shard) {
+    EXPECT_EQ(bundle.metrics.CounterValue("wsie.test.fork.leak"), 0u)
+        << "parent count leaked into shard " << bundle.shard;
+    EXPECT_NE(bundle.os_pid, 0);
+  }
+  EXPECT_EQ(result->obs.merged.CounterValue("wsie.test.fork.leak"), 0u);
+
+  // Coordinator-side merged counters equal the sum of the per-shard
+  // counters exactly, for every counter family the workers shipped.
+  uint64_t total_records_in = 0;
+  for (const auto& counter : result->obs.merged.counters) {
+    uint64_t sum = 0;
+    for (const obs::ObsBundle& bundle : result->obs.per_shard) {
+      sum += bundle.metrics.CounterValue(counter.name);
+    }
+    EXPECT_EQ(counter.value, sum) << counter.name;
+  }
+  total_records_in =
+      result->obs.merged.CounterPrefixSum("wsie.dataflow.operator.records_in");
+  EXPECT_GT(total_records_in, 0u);
+
+  // Deterministic: a second identical run merges to the same record
+  // counts (timing counters differ; the count families must not).
+  auto again = run_once();
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  ASSERT_TRUE(again->obs.collected);
+  EXPECT_EQ(again->obs.merged.CounterPrefixSum(
+                "wsie.dataflow.operator.records_in"),
+            total_records_in);
+  EXPECT_EQ(again->obs.merged.CounterPrefixSum(
+                "wsie.dataflow.operator.records_out"),
+            result->obs.merged.CounterPrefixSum(
+                "wsie.dataflow.operator.records_out"));
+
+  // The per-shard skew report covers every shard and its shares sum to 1.
+  ASSERT_EQ(result->obs.skew.size(), 3u);
+  double share = 0.0;
+  uint64_t skew_records = 0;
+  for (const ShardSkewRow& row : result->obs.skew) {
+    share += row.share;
+    skew_records += row.records_in;
+  }
+  EXPECT_NEAR(share, 1.0, 1e-9);
+  EXPECT_EQ(skew_records, input.size());
+}
+
+TEST(ShardObsCollectTest, CollectCanBeDisabled) {
+  ShardOptions options;
+  options.num_shards = 2;
+  options.multiprocess = true;
+  options.collect_obs = false;
+  ShardRuntime runtime(options);
+  auto result = runtime.Run([](int) { return ChainPlan({EnrichMap()}); },
+                            {{"in", RandomRecords(20, 73)}});
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  EXPECT_FALSE(result->obs.collected);
+  EXPECT_TRUE(result->obs.per_shard.empty());
+}
+
+#endif  // WSIE_OBS >= 1
+
+#if WSIE_OBS >= 2
+
+TEST(ShardObsCollectTest, EightForkedWorkersStitchIntoOneValidTrace) {
+  obs::TraceRecorder::Global().SetEnabled(true);
+  Dataset input = RandomRecords(64, 79);
+  ShardOptions options;
+  options.num_shards = 8;
+  options.multiprocess = true;
+  ShardRuntime runtime(options);
+  auto result = runtime.Run(
+      [](int) { return ChainPlan({EnrichMap(), ModFilter()}); },
+      {{"in", input}});
+  obs::TraceRecorder::Global().SetEnabled(false);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_TRUE(result->obs.collected);
+  EXPECT_NE(result->trace_id, 0u);
+
+  const std::string& json = result->obs.stitched_trace_json;
+  ASSERT_FALSE(json.empty());
+  Status checked = obs::ValidateChromeTrace(json);
+  ASSERT_TRUE(checked.ok()) << checked.ToString();
+
+  // One stitched document: the coordinator under pid 1 plus every worker
+  // under its own distinct pid, each with its root span present.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("shard.run"), std::string::npos);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_NE(json.find("shard.worker." + std::to_string(s)),
+              std::string::npos)
+        << "missing worker span for shard " << s;
+    EXPECT_NE(json.find("\"pid\":" + std::to_string(2 + s)),
+              std::string::npos)
+        << "missing pid for shard " << s;
+  }
+  // Cross-process causal links: worker root spans embed the run's trace id
+  // in their args.
+  char trace_tag[32];
+  std::snprintf(trace_tag, sizeof(trace_tag), "trace=%llx",
+                static_cast<unsigned long long>(result->trace_id));
+  EXPECT_NE(json.find(trace_tag), std::string::npos);
+  EXPECT_EQ(result->obs.stitch.processes, 9u);
+  EXPECT_GE(result->obs.stitch.events, 2u * 9u);
+  ASSERT_EQ(result->obs.offsets_ns.size(), result->obs.per_shard.size());
+}
+
+#endif  // WSIE_OBS >= 2
 
 // ------------------------------------------------------------ Store merge
 
