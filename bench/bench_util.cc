@@ -80,9 +80,13 @@ BenchFlags ParseBenchFlags(int argc, char** argv, BenchFlags defaults) {
       }
       continue;
     }
+    if (arg.rfind("--json=", 0) == 0) {
+      flags.json_path = arg.substr(7);
+      continue;
+    }
     std::fprintf(stderr,
                  "unknown argument '%s'\nusage: %s [--dop=N] "
-                 "[--shards=N1,N2,...] [--profile[=path]]\n",
+                 "[--shards=N1,N2,...] [--profile[=path]] [--json=PATH|none]\n",
                  arg.c_str(), argv[0]);
     std::exit(2);
   }
@@ -158,6 +162,99 @@ core::CorpusAnalysis AnalyzeCorpusIntoStore(const BenchEnv& env,
     std::exit(1);
   }
   return core::AnalyzeRecords(kind, result->sink_outputs.at("analyzed"));
+}
+
+JsonSummary::JsonSummary(std::string name, const BenchFlags& flags) {
+  if (flags.json_path == "none") {
+    path_.clear();
+  } else if (!flags.json_path.empty()) {
+    path_ = flags.json_path;
+  } else {
+    path_ = "BENCH_" + name + ".json";
+  }
+}
+
+void JsonSummary::SetRaw(const std::string& key, std::string encoded) {
+  for (auto& entry : entries_) {
+    if (entry.first == key) {
+      entry.second = std::move(encoded);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(encoded));
+}
+
+void JsonSummary::Set(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  SetRaw(key, buf);
+}
+
+void JsonSummary::Set(const std::string& key, uint64_t value) {
+  SetRaw(key, std::to_string(value));
+}
+
+void JsonSummary::Set(const std::string& key, int64_t value) {
+  SetRaw(key, std::to_string(value));
+}
+
+void JsonSummary::Set(const std::string& key, bool value) {
+  SetRaw(key, value ? "true" : "false");
+}
+
+void JsonSummary::Set(const std::string& key, const std::string& value) {
+  std::string encoded = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        encoded += "\\\"";
+        break;
+      case '\\':
+        encoded += "\\\\";
+        break;
+      case '\n':
+        encoded += "\\n";
+        break;
+      case '\t':
+        encoded += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          encoded += buf;
+        } else {
+          encoded.push_back(c);
+        }
+    }
+  }
+  encoded.push_back('"');
+  SetRaw(key, std::move(encoded));
+}
+
+bool JsonSummary::Write() const {
+  if (path_.empty()) return true;  // --json=none
+  std::string body = "{\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    body += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+    if (i + 1 < entries_.size()) body += ",";
+    body += "\n";
+  }
+  body += "}\n";
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench summary: cannot open %s\n", path_.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "bench summary: short write to %s\n", path_.c_str());
+    return false;
+  }
+  std::printf("bench summary -> %s\n", path_.c_str());
+  return true;
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {

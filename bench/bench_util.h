@@ -45,6 +45,9 @@ struct BenchFlags {
   std::vector<size_t> shards = {1, 2, 4, 8};
   bool profile = false;
   std::string profile_path = "profile.folded";
+  /// --json=PATH overrides the default BENCH_<name>.json summary path;
+  /// --json=none suppresses the file.
+  std::string json_path;
 };
 
 /// Parses --dop / --shards over `defaults`.
@@ -73,6 +76,33 @@ core::CorpusAnalysis AnalyzeCorpusIntoStore(const BenchEnv& env,
                                             corpus::CorpusKind kind,
                                             store::AnnotationStore* annotations,
                                             size_t dop = 2);
+
+/// One flat JSON summary per bench run, written to BENCH_<name>.json in
+/// the working directory (the path every fig bench shares with CI scripts)
+/// unless --json=PATH redirects it or --json=none suppresses it. Keys keep
+/// insertion order; values are numbers, booleans, or escaped strings.
+class JsonSummary {
+ public:
+  /// `name` is the bench's short name ("fig7_semantic" -> file
+  /// BENCH_fig7_semantic.json); `flags` supplies the --json override.
+  JsonSummary(std::string name, const BenchFlags& flags);
+
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, uint64_t value);
+  void Set(const std::string& key, int64_t value);
+  void Set(const std::string& key, bool value);
+  void Set(const std::string& key, const std::string& value);
+
+  /// Writes the file (no-op under --json=none) and reports the path on
+  /// stdout. Returns false (after printing to stderr) when the write fails.
+  bool Write() const;
+
+ private:
+  void SetRaw(const std::string& key, std::string encoded);
+
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// Prints a rule line and a centered title.
 void PrintHeader(const std::string& title, const std::string& paper_ref);

@@ -35,8 +35,9 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsie;
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Fig. 3: Tool runtimes vs. input length",
                      "Figure 3 (a) and (b)");
   bench::BenchScale scale;
@@ -278,5 +279,18 @@ int main() {
   std::printf("\nFig. 3 shape (POS ~linear; ML >> dict; long-sentence "
               "pathology; view path >= 1.5x seed, ~0 allocs/token): %s\n",
               ok ? "HOLDS" : "VIOLATED");
+
+  bench::JsonSummary summary("fig3", flags);
+  summary.Set("sentences", static_cast<uint64_t>(samples.size()));
+  summary.Set("tokens", static_cast<uint64_t>(total_tokens));
+  summary.Set("ml_dict_runtime_ratio", ratio);
+  summary.Set("pos_monotone", pos_monotone);
+  summary.Set("long_sentence_overflow_handled", overflowed);
+  summary.Set("seed_tokens_per_sec", seed_tps);
+  summary.Set("hot_tokens_per_sec", hot_tps);
+  summary.Set("hotpath_speedup", speedup);
+  summary.Set("hotpath_allocs_per_token", allocs_per_token);
+  summary.Set("gates_pass", ok);
+  summary.Write();
   return ok ? 0 : 1;
 }

@@ -184,5 +184,20 @@ int main(int argc, char** argv) {
             ling_degradation < 0.1 && ent_degradation > 2 * ling_degradation;
   std::printf("\nFig. 4 shape (linguistic near-ideal scale-up; entity flow "
               "degrades): %s\n", ok ? "HOLDS" : "VIOLATED");
+
+  bench::JsonSummary summary("fig4", flags);
+  summary.Set("dop", static_cast<uint64_t>(flags.dop));
+  summary.Set("linear_work", linear_work);
+  summary.Set("seed_seconds", seed_s);
+  summary.Set("unfused_seconds", unfused_s);
+  summary.Set("fused_seconds", fused_s);
+  summary.Set("fused_speedup_x", seed_s / fused_s);
+  summary.Set("seed_bytes_materialized", seed_bytes);
+  summary.Set("fused_bytes_materialized", fused_bytes);
+  summary.Set("deterministic_across_dop", deterministic);
+  summary.Set("entity_degradation", ent_degradation);
+  summary.Set("linguistic_degradation", ling_degradation);
+  summary.Set("gates_pass", ok);
+  summary.Write();
   return ok ? 0 : 1;
 }

@@ -240,5 +240,19 @@ int main(int argc, char** argv) {
   std::printf("\nFig. 5 shape (start-up floor caps entity scale-out; "
               "linguistic scales near-ideally): %s\n",
               ok ? "HOLDS" : "VIOLATED");
+
+  bench::JsonSummary summary("fig5", flags);
+  summary.Set("cores", static_cast<uint64_t>(cores));
+  summary.Set("max_shards", static_cast<uint64_t>(flags.shards.back()));
+  summary.Set("linguistic_work_division_x", speedup_at_gate[0]);
+  summary.Set("entity_work_division_x", speedup_at_gate[1]);
+  summary.Set("linguistic_wall_speedup_x", wall_speedup_at_gate[0]);
+  summary.Set("entity_wall_speedup_x", wall_speedup_at_gate[1]);
+  summary.Set("sinks_identical_everywhere", identical_everywhere);
+  summary.Set("entity_startup_floor", entity_floor);
+  summary.Set("model_entity_reduction_4_to_16", ent_reduction);
+  summary.Set("model_linguistic_reduction_1_to_12", ling_reduction);
+  summary.Set("gates_pass", ok);
+  summary.Write();
   return ok ? 0 : 1;
 }

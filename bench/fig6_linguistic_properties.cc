@@ -10,8 +10,9 @@
 #include "bench_util.h"
 #include "ml/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsie;
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader(
       "Fig. 6: Linguistic properties per document across corpora",
       "Figure 6 and Sect. 4.3.1");
@@ -112,5 +113,17 @@ int main() {
                 mean(irrel.ParenthesesPer100Sentences());
   std::printf("\nFig. 6 orderings + significance: %s\n",
               ok ? "HOLD" : "VIOLATED");
+
+  bench::JsonSummary summary("fig6", flags);
+  summary.Set("p_doclen_rel_vs_pmc", p1);
+  summary.Set("p_doclen_rel_vs_irrel", p2);
+  summary.Set("p_doclen_rel_vs_medl", p3);
+  summary.Set("p_negation_pmc_vs_medl", p4);
+  summary.Set("negation_pmc_per100", mean(pmc.NegationsPer100Sentences()));
+  summary.Set("negation_rel_per100", mean(rel.NegationsPer100Sentences()));
+  summary.Set("negation_medl_per100", mean(medl.NegationsPer100Sentences()));
+  summary.Set("abbrev_ordering_ok", abbrev_ok);
+  summary.Set("gates_pass", ok);
+  summary.Write();
   return ok ? 0 : 1;
 }

@@ -12,8 +12,9 @@
 #include "common/string_util.h"
 #include "serve/query_engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsie;
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Fig. 7: Entity annotations per corpus",
                      "Figure 7 and Sect. 4.3.2");
   bench::BenchEnv env = bench::MakeBenchEnv();
@@ -129,5 +130,26 @@ int main() {
               store_exact ? "EXACT" : "MISMATCH");
   std::printf("Fig. 7 shape (rel >> irrel; TLA filter shrinks ML genes): %s\n",
               ok ? "HOLDS" : "VIOLATED");
+
+  bench::JsonSummary summary("fig7", flags);
+  summary.Set("gene_dict_rel_per1000",
+              analyses.at(corpus::CorpusKind::kRelevantWeb)
+                  .EntitiesPer1000Sentences(0, 0));
+  summary.Set("gene_dict_irrel_per1000",
+              analyses.at(corpus::CorpusKind::kIrrelevantWeb)
+                  .EntitiesPer1000Sentences(0, 0));
+  summary.Set("gene_dict_medline_per1000",
+              analyses.at(corpus::CorpusKind::kMedline)
+                  .EntitiesPer1000Sentences(0, 0));
+  summary.Set("gene_dict_pmc_per1000",
+              analyses.at(corpus::CorpusKind::kPmc)
+                  .EntitiesPer1000Sentences(0, 0));
+  summary.Set("tla_distinct_before",
+              static_cast<uint64_t>(before.DistinctNames(0, 1)));
+  summary.Set("tla_distinct_after",
+              static_cast<uint64_t>(after.DistinctNames(0, 1)));
+  summary.Set("store_exact", store_exact);
+  summary.Set("gates_pass", ok && store_exact);
+  summary.Write();
   return (ok && store_exact) ? 0 : 1;
 }

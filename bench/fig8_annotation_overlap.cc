@@ -5,10 +5,13 @@
 // larger; and thousands of names appear ONLY in relevant web documents
 // (the "new knowledge on the web" finding).
 
+#include <cctype>
+
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wsie;
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   bench::PrintHeader("Fig. 8: Annotation overlap of distinct entity names",
                      "Figure 8");
   bench::BenchEnv env = bench::MakeBenchEnv();
@@ -23,6 +26,7 @@ int main() {
   for (auto kind : kinds) analyses.emplace(kind, bench::AnalyzeCorpus(env, kind));
 
   bool ok = true;
+  bench::JsonSummary summary("fig8", flags);
   for (size_t type = 0; type < core::kNumEntityTypes; ++type) {
     std::array<std::set<std::string>, 4> sets;
     for (size_t k = 0; k < 4; ++k) {
@@ -69,9 +73,17 @@ int main() {
     if (rel_irrel >= rel_medl || rel_irrel >= rel_pmc || rel_only == 0) {
       ok = false;
     }
+    std::string prefix = type_names[type];
+    for (char& c : prefix) c = static_cast<char>(std::tolower(c));
+    summary.Set(prefix + "_overlap_rel_irrel", rel_irrel);
+    summary.Set(prefix + "_overlap_rel_medline", rel_medl);
+    summary.Set(prefix + "_overlap_rel_pmc", rel_pmc);
+    summary.Set(prefix + "_rel_only_names", static_cast<uint64_t>(rel_only));
   }
   std::printf("\nFig. 8 shape (rel-irrel overlap < rel-literature overlap; "
               "web-only names exist): %s\n",
               ok ? "HOLDS" : "VIOLATED");
+  summary.Set("gates_pass", ok);
+  summary.Write();
   return ok ? 0 : 1;
 }

@@ -191,6 +191,13 @@ uint64_t DigestResponse(uint64_t hash,
       hash = Fnv1a(hash, response.cooccurrence.docs);
       hash = Fnv1a(hash, response.cooccurrence.sentences);
       break;
+    case Kind::kSimilar:
+      hash = Fnv1a(hash, response.similar.index_available ? 1 : 0);
+      hash = Fnv1a(hash, response.similar.found ? 1 : 0);
+      for (const auto& hit : response.similar.neighbors) {
+        hash = FnvString(hash, hit.name);
+      }
+      break;
   }
   return hash;
 }

@@ -50,6 +50,7 @@
 #include "serve/server.h"
 #include "store/annotation_store.h"
 #include "store/store_sink.h"
+#include "vec/ann_index.h"
 #include "web/search_engine.h"
 #include "web/simulated_web.h"
 
@@ -145,6 +146,37 @@ bool RunFullPipeline(
               static_cast<unsigned long long>(lookup_hits),
               frequency.per_1000_sentences);
 
+  // 3b'. Build the semantic vector index and run similarity queries so the
+  //      wsie.vec.* families (index gauges, build histogram, query
+  //      counters/latency/hops) fill.
+  {
+    vec::VecIndexConfig vec_config;
+    vec_config.embedder.dim = 64;
+    vec_config.max_degree = 16;
+    vec_config.build_beam = 32;
+    Status vec_built = (*store)->BuildVectorIndex(vec_config);
+    if (!vec_built.ok()) {
+      std::printf("vector index build failed: %s\n",
+                  vec_built.ToString().c_str());
+      return false;
+    }
+    uint64_t similar_hits = 0;
+    for (const auto& gene : genes) {
+      const auto similar = engine->Similar(gene.name, 3);
+      if (similar.index_available) ++similar_hits;
+    }
+    const auto text_query = engine->Similar("kinase inhibitor", 3);
+    std::printf("vec: index over %zu entities, %llu entity similarity "
+                "queries answered, text query available=%d\n",
+                (*store)->snapshot().vectors->size(),
+                static_cast<unsigned long long>(similar_hits),
+                text_query.index_available ? 1 : 0);
+    if (similar_hits != genes.size() || !text_query.index_available) {
+      std::printf("FAILED: similarity path served nothing\n");
+      return false;
+    }
+  }
+
   // 3c. Same queries through the batched admission queue and the HTTP
   //     front end — with 1-in-N request sampling forced to every request
   //     and a slow-query log attached — so the wsie.serve.admission.* /
@@ -171,7 +203,8 @@ bool RunFullPipeline(
     uint64_t served = 0;
     if (server.Start().ok()) {
       for (const char* target :
-           {"/healthz", "/topk?k=3", "/debug/slowlog", "/debug/trace"}) {
+           {"/healthz", "/topk?k=3", "/similar?q=kinase&k=3",
+            "/debug/slowlog", "/debug/trace"}) {
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         if (fd < 0) continue;
         sockaddr_in addr{};

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Serving-layer end-to-end check:
-#   1. builds the store test suite and the serve_e2e example,
-#   2. runs the `store`-labeled ctest suite (codec, segments, snapshots,
-#      query engine, concurrency stress),
+#   1. builds the store/vec test suites and the serve_e2e example, failing
+#      loudly (named step, non-zero exit) when a binary is missing,
+#   2. runs the `store`- and `vec`-labeled ctest suites (codec, segments,
+#      snapshots, query engine, ANN index, concurrency stress),
 #   3. runs serve_e2e twice against separate store directories — the
 #      example crawls a seeded web, persists annotations through a
 #      StoreSink, cold-reopens the store and answers a fixed query
@@ -22,25 +23,45 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT_DIR="$BUILD_DIR/serve_check"
 
+# Any failed step names itself on the way out: a missing binary or a
+# missed transcript marker must read as "serve check FAILED: <step>",
+# never as a bare grep miss with no context.
+fail() {
+  echo "serve check FAILED: $*" >&2
+  exit 1
+}
+
+require_binary() {
+  # $1 = step name, $2 = path
+  [[ -x "$2" ]] || fail "$1: binary missing or not executable: $2 (build step did not produce it)"
+}
+
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j --target store_test epoch_test serve_test \
-  serve_e2e serve_loadgen
+  vec_test serve_e2e serve_loadgen \
+  || fail "build: cmake --build failed for the serve targets"
 mkdir -p "$OUT_DIR"
 
+require_binary "serve_e2e" "$BUILD_DIR/examples/serve_e2e"
+require_binary "loadgen" "$BUILD_DIR/bench/serve_loadgen"
+
 echo "== store-labeled unit suite =="
-(cd "$BUILD_DIR" && ctest -L store --output-on-failure)
+(cd "$BUILD_DIR" && ctest -L 'store|vec' --output-on-failure) \
+  || fail "unit suite: store/vec-labeled ctest run failed"
 
 echo "== serve_e2e, run 1 =="
-"$BUILD_DIR/examples/serve_e2e" "$OUT_DIR/store_run1" | tee "$OUT_DIR/run1.txt"
+"$BUILD_DIR/examples/serve_e2e" "$OUT_DIR/store_run1" | tee "$OUT_DIR/run1.txt" \
+  || fail "serve_e2e run 1: non-zero exit"
 echo "== serve_e2e, run 2 =="
-"$BUILD_DIR/examples/serve_e2e" "$OUT_DIR/store_run2" > "$OUT_DIR/run2.txt"
+"$BUILD_DIR/examples/serve_e2e" "$OUT_DIR/store_run2" > "$OUT_DIR/run2.txt" \
+  || fail "serve_e2e run 2: non-zero exit"
 
 echo "== determinism =="
 if ! diff -u "$OUT_DIR/run1.txt" "$OUT_DIR/run2.txt"; then
-  echo "serve check FAILED: transcripts differ between runs"
-  exit 1
+  fail "determinism: transcripts differ between runs"
 fi
-grep -q "store round-trip vs in-memory analysis: EXACT" "$OUT_DIR/run1.txt"
+grep -q "store round-trip vs in-memory analysis: EXACT" "$OUT_DIR/run1.txt" \
+  || fail "round-trip marker: serve_e2e transcript lacks 'store round-trip vs in-memory analysis: EXACT'"
 
 echo "== load generator smoke (Zipfian mix, fixed ops, run-twice diff) =="
 LOADGEN_FLAGS="--clients=2 --ops=500 --terms=500 --batch=16"
@@ -48,14 +69,17 @@ LOADGEN_FLAGS="--clients=2 --ops=500 --terms=500 --batch=16"
   | tee "$OUT_DIR/loadgen_run1.txt"
 "$BUILD_DIR/bench/serve_loadgen" $LOADGEN_FLAGS --json="$OUT_DIR/BENCH_serve.json" \
   > "$OUT_DIR/loadgen_run2.txt"
-digest1=$(grep '^digest:' "$OUT_DIR/loadgen_run1.txt")
-digest2=$(grep '^digest:' "$OUT_DIR/loadgen_run2.txt")
+digest1=$(grep '^digest:' "$OUT_DIR/loadgen_run1.txt") \
+  || fail "loadgen run 1: no 'digest:' line in transcript"
+digest2=$(grep '^digest:' "$OUT_DIR/loadgen_run2.txt") \
+  || fail "loadgen run 2: no 'digest:' line in transcript"
 if [[ "$digest1" != "$digest2" ]]; then
-  echo "serve check FAILED: load-generator digests differ across runs"
-  echo "  run 1: $digest1"
-  echo "  run 2: $digest2"
-  exit 1
+  echo "  run 1: $digest1" >&2
+  echo "  run 2: $digest2" >&2
+  fail "loadgen determinism: result digests differ across runs"
 fi
+[[ -s "$OUT_DIR/BENCH_serve.json" ]] \
+  || fail "loadgen summary: BENCH_serve.json missing or empty"
 cp "$OUT_DIR/BENCH_serve.json" "$BUILD_DIR/BENCH_serve.json"
 echo "load generator deterministic ($digest1); summary: $BUILD_DIR/BENCH_serve.json"
 echo "serve check passed (transcripts identical, store round-trip exact)"

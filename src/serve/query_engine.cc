@@ -125,8 +125,15 @@ QueryEngine::QueryEngine(std::shared_ptr<store::AnnotationStore> annotations)
       obs::WithLabel("wsie.serve.queries", "kind", "topk"));
   queries_cooccurrence_ = registry.GetCounter(
       obs::WithLabel("wsie.serve.queries", "kind", "cooccurrence"));
+  queries_similar_ = registry.GetCounter(
+      obs::WithLabel("wsie.serve.queries", "kind", "similar"));
   latency_ns_ = registry.GetHistogram("wsie.serve.query.latency_ns");
   snapshot_segments_ = registry.GetGauge("wsie.serve.snapshot.segments");
+  vec_queries_ = registry.GetCounter("wsie.vec.queries");
+  vec_queries_missing_index_ =
+      registry.GetCounter("wsie.vec.queries_missing_index");
+  vec_latency_ns_ = registry.GetHistogram("wsie.vec.query.latency_ns");
+  vec_hops_ = registry.GetHistogram("wsie.vec.query.hops");
 }
 
 store::AnnotationStore::Snapshot QueryEngine::snapshot() const {
@@ -317,6 +324,51 @@ QueryEngine::CoOccurrenceResult QueryEngine::CoOccurrence(
   return result;
 }
 
+QueryEngine::SimilarResult QueryEngine::Similar(std::string_view text,
+                                                size_t k, size_t beam) const {
+  queries_similar_->Increment();
+  vec_queries_->Increment();
+  LatencyScope timer(latency_ns_);
+  LatencyScope vec_timer(vec_latency_ns_);
+  AnnotationStore::PinnedSet pin(*store_);
+  snapshot_segments_->Set(static_cast<double>(pin->segments.size()));
+
+  SimilarResult result;
+  if (pin->vectors == nullptr) {
+    vec_queries_missing_index_->Increment();
+    return result;
+  }
+  result.index_available = true;
+  const vec::VecIndex& index = *pin->vectors;
+  if (k == 0) k = 10;
+
+  vec::VecIndex::SearchStats stats;
+  std::vector<vec::VecIndex::Neighbor> hits;
+  const int64_t self = index.FindName(text);
+  if (self >= 0) {
+    // Entity query: search by the stored embedding and drop the entity
+    // from its own neighbor list (over-fetch by one to keep k results).
+    result.found = true;
+    hits = index.Search(index.vector(static_cast<size_t>(self)), k + 1, beam,
+                        &stats);
+    std::erase_if(hits, [self](const vec::VecIndex::Neighbor& neighbor) {
+      return neighbor.id == static_cast<uint32_t>(self);
+    });
+    if (hits.size() > k) hits.resize(k);
+  } else {
+    hits = index.SearchText(text, k, beam, &stats);
+  }
+
+  result.neighbors.reserve(hits.size());
+  for (const vec::VecIndex::Neighbor& hit : hits) {
+    result.neighbors.push_back(
+        SimilarResult::Hit{index.name(hit.id), hit.distance});
+  }
+  result.hops = stats.hops;
+  vec_hops_->Observe(static_cast<double>(stats.hops));
+  return result;
+}
+
 QueryEngine::Response QueryEngine::Execute(const Request& request) const {
   Response response;
   response.kind = request.kind;
@@ -339,6 +391,10 @@ QueryEngine::Response QueryEngine::Execute(const Request& request) const {
     case Request::Kind::kCoOccurrence:
       response.cooccurrence =
           CoOccurrence(request.name, request.name_b, request.filter);
+      break;
+    case Request::Kind::kSimilar:
+      response.similar =
+          Similar(request.name, request.limit == 0 ? 10 : request.limit);
       break;
   }
   return response;

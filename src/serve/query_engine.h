@@ -94,6 +94,26 @@ class QueryEngine {
   CoOccurrenceResult CoOccurrence(std::string_view a, std::string_view b,
                                   const QueryFilter& filter = {}) const;
 
+  /// Semantic nearest neighbors from the snapshot's vector index. When
+  /// `text` is itself an indexed entity its stored embedding is the query
+  /// (and the entity is excluded from its own neighbors); otherwise the
+  /// text is embedded on the fly. Served — like every other kind — under
+  /// one epoch pin, so results are consistent with the rest of the
+  /// snapshot even while the compactor republishes a rebuilt index.
+  struct SimilarResult {
+    /// False when no vector index has been published into this snapshot.
+    bool index_available = false;
+    bool found = false;  ///< the query text is itself an indexed entity
+    struct Hit {
+      std::string name;
+      float distance = 0.0f;  ///< exact squared L2, re-ranked in float
+    };
+    std::vector<Hit> neighbors;
+    uint64_t hops = 0;  ///< graph nodes expanded by the ANN traversal
+  };
+  SimilarResult Similar(std::string_view text, size_t k = 10,
+                        size_t beam = 0) const;
+
   // ----------------------------------------------------------------- batch
 
   /// A serialized query — what the admission queue and the text-protocol
@@ -105,9 +125,10 @@ class QueryEngine {
       kFrequency,
       kTopK,
       kCoOccurrence,
+      kSimilar,
     };
     Kind kind = Kind::kLookup;
-    std::string name;    ///< lookup name, prefix, or co-occurrence A
+    std::string name;    ///< lookup name, prefix, similar text, or co-occurrence A
     std::string name_b;  ///< co-occurrence B
     QueryFilter filter;
     size_t limit = 0;  ///< lookup max_postings / prefix limit / top-k k
@@ -124,6 +145,7 @@ class QueryEngine {
     FrequencyResult frequency;
     std::vector<EntityCount> topk;
     CoOccurrenceResult cooccurrence;
+    SimilarResult similar;
   };
 
   Response Execute(const Request& request) const;
@@ -150,8 +172,15 @@ class QueryEngine {
   obs::Counter* queries_frequency_;
   obs::Counter* queries_topk_;
   obs::Counter* queries_cooccurrence_;
+  obs::Counter* queries_similar_;
   obs::Histogram* latency_ns_;
   obs::Gauge* snapshot_segments_;
+
+  // wsie.vec.* query-path handles.
+  obs::Counter* vec_queries_;
+  obs::Counter* vec_queries_missing_index_;
+  obs::Histogram* vec_latency_ns_;
+  obs::Histogram* vec_hops_;
 };
 
 }  // namespace wsie::serve

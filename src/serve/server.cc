@@ -111,6 +111,15 @@ std::string FormatResponse(const QueryEngine::Response& response) {
       body << "docs=" << response.cooccurrence.docs
            << " sentences=" << response.cooccurrence.sentences << "\n";
       break;
+    case Kind::kSimilar: {
+      const auto& r = response.similar;
+      body << "index_available=" << (r.index_available ? 1 : 0)
+           << " found=" << (r.found ? 1 : 0) << " hops=" << r.hops << "\n";
+      for (const auto& hit : r.neighbors) {
+        body << hit.name << " " << hit.distance << "\n";
+      }
+      break;
+    }
   }
   return body.str();
 }
@@ -303,6 +312,15 @@ void Server::HandleConnection(int fd) {
     req.corpus = ParamInt(params, "corpus", 0);
     req.type = ParamInt(params, "type", 0);
     req.method = ParamInt(params, "method", kAny);
+  } else if (path == "/similar") {
+    if (!params.count("q") || params.at("q").empty()) {
+      bad_requests_->Increment();
+      WriteHttp(fd, 400, "Bad Request", "missing q\n", bytes_out_);
+      return;
+    }
+    req.kind = Kind::kSimilar;
+    req.name = params.at("q");
+    req.limit = static_cast<size_t>(ParamInt(params, "k", 10));
   } else if (path == "/cooc") {
     if (!params.count("a") || !params.count("b")) {
       bad_requests_->Increment();

@@ -52,6 +52,8 @@ const char* RequestKindName(QueryEngine::Request::Kind kind) {
       return "topk";
     case Kind::kCoOccurrence:
       return "cooc";
+    case Kind::kSimilar:
+      return "similar";
   }
   return "unknown";
 }

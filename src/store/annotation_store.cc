@@ -30,6 +30,10 @@ AnnotationStore::AnnotationStore(std::string dir)
   segment_write_ns_ = registry.GetHistogram("wsie.store.segment.write_ns");
   epoch_retired_gauge_ = registry.GetGauge("wsie.store.epoch.retired");
   epoch_reclaimed_gauge_ = registry.GetGauge("wsie.store.epoch.reclaimed");
+  vec_vectors_gauge_ = registry.GetGauge("wsie.vec.index.vectors");
+  vec_bytes_gauge_ = registry.GetGauge("wsie.vec.index.bytes");
+  vec_builds_ = registry.GetCounter("wsie.vec.index.builds");
+  vec_build_wall_ns_ = registry.GetHistogram("wsie.vec.build.wall_ns");
 }
 
 AnnotationStore::~AnnotationStore() {
@@ -40,6 +44,10 @@ AnnotationStore::~AnnotationStore() {
 
 std::string AnnotationStore::SegmentPath(uint64_t id) const {
   return dir_ + "/seg-" + std::to_string(id) + ".wseg";
+}
+
+std::string AnnotationStore::VecPath(uint64_t id) const {
+  return dir_ + "/vec-" + std::to_string(id) + ".wvec";
 }
 
 Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
@@ -88,6 +96,24 @@ Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
     segments.push_back(std::make_shared<const Segment>(std::move(segment)));
   }
 
+  // A "vec" section names the published vector index; its absence (older
+  // manifests) simply means similarity search is not yet built.
+  std::shared_ptr<const vec::VecIndex> vectors;
+  if (const std::string* vec_section = manifest.FindSection("vec")) {
+    std::string_view vec_in = *vec_section;
+    uint64_t vec_id = 0;
+    if (!wire::GetU64(&vec_in, &vec_id)) {
+      return Status::InvalidArgument("store: malformed manifest vec section");
+    }
+    WSIE_ASSIGN_OR_RETURN(vec::VecIndex index,
+                          vec::VecIndex::ReadFile(store->VecPath(vec_id)));
+    if (index.id() != vec_id) {
+      return Status::InvalidArgument("store: vec index id mismatch for " +
+                                     store->VecPath(vec_id));
+    }
+    vectors = std::make_shared<const vec::VecIndex>(std::move(index));
+  }
+
   std::lock_guard<std::mutex> lock(store->publish_mu_);
   store->next_id_ = next_id;
   // Install the loaded set in place of the empty one published by the
@@ -96,6 +122,7 @@ Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
   initial->segments = std::move(segments);
   initial->epoch = 0;
   initial->index = ServingIndex::Build(initial->segments);
+  initial->vectors = std::move(vectors);
   delete store->current_.exchange(initial, std::memory_order_acq_rel);
   store->PublishMetricsLocked(*initial);
   return store;
@@ -109,6 +136,11 @@ Status AnnotationStore::WriteManifestLocked(const SegmentSet& set) {
   for (const auto& segment : set.segments) wire::PutU64(&section, segment->id());
   fault::Checkpoint manifest;
   manifest.SetSection("store", std::move(section));
+  if (set.vectors != nullptr) {
+    std::string vec_section;
+    wire::PutU64(&vec_section, set.vectors->id());
+    manifest.SetSection("vec", std::move(vec_section));
+  }
   return manifest.WriteFile(dir_ + "/" + kManifestName);
 }
 
@@ -120,15 +152,21 @@ void AnnotationStore::PublishMetricsLocked(const SegmentSet& set) {
   EpochManager& epochs = EpochManager::Global();
   epoch_retired_gauge_->Set(static_cast<double>(epochs.retired_total()));
   epoch_reclaimed_gauge_->Set(static_cast<double>(epochs.reclaimed_total()));
+  vec_vectors_gauge_->Set(
+      set.vectors ? static_cast<double>(set.vectors->size()) : 0.0);
+  vec_bytes_gauge_->Set(
+      set.vectors ? static_cast<double>(set.vectors->encoded_bytes()) : 0.0);
 }
 
 Status AnnotationStore::PublishLocked(
-    std::vector<std::shared_ptr<const Segment>> segments) {
+    std::vector<std::shared_ptr<const Segment>> segments,
+    std::shared_ptr<const vec::VecIndex> vectors) {
   const SegmentSet* previous = current_.load(std::memory_order_relaxed);
   auto* next = new SegmentSet;
   next->segments = std::move(segments);
   next->epoch = previous->epoch + 1;
   next->index = ServingIndex::Build(next->segments);
+  next->vectors = std::move(vectors);
 
   // One release store makes the whole generation visible; readers pinned
   // at or before the current epoch keep the previous set alive until
@@ -161,10 +199,13 @@ Status AnnotationStore::Append(SegmentBuilder&& builder) {
     std::lock_guard<std::mutex> lock(publish_mu_);
     postings_written_->Add(segment.num_postings());
     segments_written_->Increment();
-    std::vector<std::shared_ptr<const Segment>> next =
-        current_.load(std::memory_order_relaxed)->segments;
+    const SegmentSet* live = current_.load(std::memory_order_relaxed);
+    std::vector<std::shared_ptr<const Segment>> next = live->segments;
     next.push_back(std::make_shared<const Segment>(std::move(segment)));
-    WSIE_RETURN_NOT_OK(PublishLocked(std::move(next)));
+    // The vector index rides along unchanged: it is stale with respect to
+    // terms introduced by this append until the next BuildVectorIndex or
+    // compactor rebuild folds them in.
+    WSIE_RETURN_NOT_OK(PublishLocked(std::move(next), live->vectors));
   }
   EpochManager::Global().TryReclaim();
   return Status::OK();
@@ -174,35 +215,71 @@ Status AnnotationStore::Compact() {
   // One compaction at a time: overlapping merges of the same inputs would
   // each re-publish the full input set, double-counting postings.
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
-  Snapshot before = snapshot();
-  if (before.segments.size() < 2) return Status::OK();
-
   Stopwatch watch;
   SegmentBuilder builder;
   std::set<uint64_t> merged_ids;
-  for (const auto& segment : before.segments) {
-    builder.MergeSegment(*segment);
-    merged_ids.insert(segment->id());
+  // When the pre-merge set serves a vector index, capture its config and
+  // term union so the merged set gets a freshly built index covering the
+  // same terms. Both come from one pin, so they are mutually consistent.
+  bool rebuild_vectors = false;
+  vec::VecIndexConfig vec_config;
+  uint64_t old_vec_id = 0;
+  std::vector<std::string> vec_names;
+  {
+    PinnedSet pin(*this);
+    if (pin->segments.size() < 2) return Status::OK();
+    for (const auto& segment : pin->segments) {
+      builder.MergeSegment(*segment);
+      merged_ids.insert(segment->id());
+    }
+    if (pin->vectors != nullptr) {
+      rebuild_vectors = true;
+      vec_config = pin->vectors->config();
+      old_vec_id = pin->vectors->id();
+      vec_names.reserve(pin->index.num_terms());
+      for (size_t i = 0; i < pin->index.num_terms(); ++i) {
+        vec_names.emplace_back(pin->index.term(i));
+      }
+    }
   }
   uint64_t id;
+  uint64_t vec_id = 0;
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
     id = next_id_++;
+    if (rebuild_vectors) vec_id = next_id_++;
   }
   WSIE_ASSIGN_OR_RETURN(Segment merged, builder.Finish(id));
   WSIE_RETURN_NOT_OK(merged.WriteFile(SegmentPath(id)));
+
+  // Rebuild the vector index outside every lock. The term union over the
+  // same segments is unchanged by the merge, so with the persisted config
+  // the rebuilt graph is byte-identical to the one being replaced — the
+  // epoch flip swaps files and ids, never answers.
+  std::shared_ptr<const vec::VecIndex> rebuilt;
+  if (rebuild_vectors) {
+    Stopwatch vec_watch;
+    WSIE_ASSIGN_OR_RETURN(
+        vec::VecIndex index,
+        vec::VecIndex::Build(std::move(vec_names), vec_config, vec_id));
+    WSIE_RETURN_NOT_OK(index.WriteFile(VecPath(vec_id)));
+    vec_build_wall_ns_->Observe(static_cast<double>(vec_watch.ElapsedNs()));
+    vec_builds_->Increment();
+    rebuilt = std::make_shared<const vec::VecIndex>(std::move(index));
+  }
 
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
     // Replace exactly the segments that were merged; segments appended
     // concurrently (not in `merged_ids`) stay live.
+    const SegmentSet* live = current_.load(std::memory_order_relaxed);
     std::vector<std::shared_ptr<const Segment>> next;
     next.push_back(std::make_shared<const Segment>(std::move(merged)));
-    for (const auto& segment :
-         current_.load(std::memory_order_relaxed)->segments) {
+    for (const auto& segment : live->segments) {
       if (merged_ids.count(segment->id()) == 0) next.push_back(segment);
     }
-    WSIE_RETURN_NOT_OK(PublishLocked(std::move(next)));
+    WSIE_RETURN_NOT_OK(PublishLocked(
+        std::move(next), rebuilt != nullptr ? rebuilt : live->vectors));
   }
 
   // The manifest no longer references the merged inputs; unlink them.
@@ -212,6 +289,10 @@ Status AnnotationStore::Compact() {
     std::error_code ec;
     std::filesystem::remove(SegmentPath(old_id), ec);
   }
+  if (rebuilt != nullptr) {
+    std::error_code ec;
+    std::filesystem::remove(VecPath(old_vec_id), ec);
+  }
 
   compactions_->Increment();
   merge_wall_ns_->Observe(static_cast<double>(watch.ElapsedNs()));
@@ -219,9 +300,53 @@ Status AnnotationStore::Compact() {
   return Status::OK();
 }
 
+Status AnnotationStore::BuildVectorIndex(const vec::VecIndexConfig& config) {
+  // Builds serialize with compaction: both are expensive whole-set passes,
+  // and sharing compact_mu_ keeps their file claims and rebuilds ordered.
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  std::vector<std::string> names;
+  uint64_t old_vec_id = 0;
+  bool had_old = false;
+  {
+    PinnedSet pin(*this);
+    names.reserve(pin->index.num_terms());
+    for (size_t i = 0; i < pin->index.num_terms(); ++i) {
+      names.emplace_back(pin->index.term(i));
+    }
+    if (pin->vectors != nullptr) {
+      had_old = true;
+      old_vec_id = pin->vectors->id();
+    }
+  }
+  uint64_t vec_id;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    vec_id = next_id_++;
+  }
+  Stopwatch watch;
+  WSIE_ASSIGN_OR_RETURN(vec::VecIndex index,
+                        vec::VecIndex::Build(std::move(names), config, vec_id));
+  WSIE_RETURN_NOT_OK(index.WriteFile(VecPath(vec_id)));
+  vec_build_wall_ns_->Observe(static_cast<double>(watch.ElapsedNs()));
+  vec_builds_->Increment();
+  auto built = std::make_shared<const vec::VecIndex>(std::move(index));
+
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    WSIE_RETURN_NOT_OK(PublishLocked(
+        current_.load(std::memory_order_relaxed)->segments, std::move(built)));
+  }
+  if (had_old) {
+    std::error_code ec;
+    std::filesystem::remove(VecPath(old_vec_id), ec);
+  }
+  EpochManager::Global().TryReclaim();
+  return Status::OK();
+}
+
 AnnotationStore::Snapshot AnnotationStore::snapshot() const {
   PinnedSet pin(*this);
-  return Snapshot{pin->segments, pin->epoch};
+  return Snapshot{pin->segments, pin->epoch, pin->vectors};
 }
 
 size_t AnnotationStore::num_segments() const {

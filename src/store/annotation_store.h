@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "store/segment.h"
 #include "store/serving_index.h"
+#include "vec/ann_index.h"
 
 namespace wsie::store {
 
@@ -52,16 +53,32 @@ class AnnotationStore {
 
   /// Folds every live segment into one sorted segment. Readers holding
   /// older pins are unaffected. Returns OK (without work) when fewer
-  /// than two segments are live.
+  /// than two segments are live. When the live set carries a vector
+  /// index, the compactor rebuilds it over the merged set's term union
+  /// with the same config, so similarity search keeps serving across the
+  /// merge (the rebuilt graph is byte-identical when the term union is
+  /// unchanged — every input is deterministic).
   Status Compact();
 
+  /// Builds (or rebuilds) the semantic vector index over the current term
+  /// union: deterministic feature-hashed embeddings for every distinct
+  /// entity name, a Vamana-style ANN graph with uint8 scalar quantization,
+  /// persisted as a checksummed `vec-<id>.wvec` container beside the
+  /// segments and published into the next SegmentSet. Readers pinned
+  /// before the publish keep the previous index (or none); appends after
+  /// the build carry the index forward unchanged until the next build or
+  /// compaction rebuild picks up the new terms.
+  Status BuildVectorIndex(const vec::VecIndexConfig& config = {});
+
   /// One immutable published generation: the segment vector, its epoch
-  /// (publish counter), and the read-optimized ServingIndex built over
-  /// exactly these segments.
+  /// (publish counter), the read-optimized ServingIndex built over
+  /// exactly these segments, and (optionally) the semantic vector index.
   struct SegmentSet {
     std::vector<std::shared_ptr<const Segment>> segments;
     uint64_t epoch = 0;
     ServingIndex index;
+    /// Similarity-search index; null until BuildVectorIndex publishes one.
+    std::shared_ptr<const vec::VecIndex> vectors;
 
     uint64_t num_postings() const {
       uint64_t total = 0;
@@ -96,6 +113,7 @@ class AnnotationStore {
   struct Snapshot {
     std::vector<std::shared_ptr<const Segment>> segments;
     uint64_t epoch = 0;
+    std::shared_ptr<const vec::VecIndex> vectors;
 
     uint64_t num_postings() const {
       uint64_t total = 0;
@@ -117,13 +135,15 @@ class AnnotationStore {
 
   explicit AnnotationStore(std::string dir);
 
-  /// Builds the next SegmentSet around `segments`, publishes it, retires
-  /// the predecessor, rewrites the manifest, and refreshes gauges. Caller
-  /// holds publish_mu_.
-  Status PublishLocked(std::vector<std::shared_ptr<const Segment>> segments);
+  /// Builds the next SegmentSet around `segments` (and the given vector
+  /// index, possibly null), publishes it, retires the predecessor,
+  /// rewrites the manifest, and refreshes gauges. Caller holds publish_mu_.
+  Status PublishLocked(std::vector<std::shared_ptr<const Segment>> segments,
+                       std::shared_ptr<const vec::VecIndex> vectors);
   Status WriteManifestLocked(const SegmentSet& set);
   void PublishMetricsLocked(const SegmentSet& set);
   std::string SegmentPath(uint64_t id) const;
+  std::string VecPath(uint64_t id) const;
 
   std::string dir_;
   /// Serializes writers: id claims, manifest writes, pointer publication.
@@ -143,6 +163,12 @@ class AnnotationStore {
   obs::Histogram* segment_write_ns_;
   obs::Gauge* epoch_retired_gauge_;
   obs::Gauge* epoch_reclaimed_gauge_;
+
+  // Hoisted wsie.vec.* handles for the vector-index lifecycle.
+  obs::Gauge* vec_vectors_gauge_;
+  obs::Gauge* vec_bytes_gauge_;
+  obs::Counter* vec_builds_;
+  obs::Histogram* vec_build_wall_ns_;
 };
 
 /// Periodically folds the store's segments when the live count reaches

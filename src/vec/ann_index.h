@@ -1,0 +1,151 @@
+#ifndef WSIE_VEC_ANN_INDEX_H_
+#define WSIE_VEC_ANN_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "vec/embedder.h"
+#include "vec/quantize.h"
+
+namespace wsie::fault {
+class Checkpoint;
+}  // namespace wsie::fault
+
+namespace wsie::vec {
+
+/// Construction parameters for a VecIndex. Persisted with the index so a
+/// compactor rebuild over the same name set reproduces it byte for byte.
+struct VecIndexConfig {
+  EmbedderConfig embedder;
+  uint32_t max_degree = 32;  ///< R: out-degree bound after robust prune
+  uint32_t build_beam = 64;  ///< L: greedy-search pool during construction
+  float alpha = 1.2f;        ///< robust-prune distance slack
+  uint64_t seed = 42;        ///< seeds the random bootstrap graph
+
+  friend bool operator==(const VecIndexConfig&, const VecIndexConfig&) =
+      default;
+};
+
+/// An immutable Vamana-style ANN index over a sorted, deduplicated set of
+/// entity names.
+///
+/// Layout: one contiguous float matrix (the exact embeddings, used only to
+/// re-rank), one contiguous uint8 matrix (per-dimension min/max scalar
+/// quantization — the compact representation every graph hop reads), and a
+/// CSR adjacency list produced by the standard Vamana construction (random
+/// bootstrap graph, then per-node greedy search + robust prune at alpha 1.0
+/// and again at `alpha`, patching back-edges as it goes).
+///
+/// Determinism: embeddings are pure functions of the name bytes, node ids
+/// are sorted-name positions, graph distances are exact integers (identical
+/// under every SIMD kernel), and all ties break on id — so Build() over the
+/// same (names, config) yields a byte-identical index on every run, shard
+/// count, and host. Search() traverses quantized vectors with a bounded
+/// best-first pool, then re-ranks the pool with exact float distances; its
+/// results are deterministic for the same reasons.
+///
+/// On disk the index is a fault::Checkpoint container ("vec-*.wvec": magic
+/// + FNV-1a trailer + atomic tmp/rename) with meta/names/vectors/quant/
+/// graph sections; Decode rejects corrupt or structurally inconsistent
+/// bytes with a Status error, never UB.
+class VecIndex {
+ public:
+  /// One ranked result: index id (= sorted-name position) and the exact
+  /// squared float L2 distance to the query.
+  struct Neighbor {
+    uint32_t id = 0;
+    float distance = 0.0f;
+
+    friend bool operator==(const Neighbor&, const Neighbor&) = default;
+  };
+
+  /// Per-query traversal counters (optional out-param of Search).
+  struct SearchStats {
+    uint64_t hops = 0;           ///< nodes expanded
+    uint64_t distances = 0;      ///< quantized distance evaluations
+    uint64_t reranked = 0;       ///< candidates re-ranked with float math
+  };
+
+  VecIndex() = default;
+
+  /// Embeds `names` (must become sorted + unique; Build sorts and dedups),
+  /// trains the quantizer, and constructs the graph. `id` is the persisted
+  /// identity (the store's segment-id counter).
+  static Result<VecIndex> Build(std::vector<std::string> names,
+                                const VecIndexConfig& config, uint64_t id = 0);
+
+  size_t size() const { return names_.size(); }
+  uint64_t id() const { return id_; }
+  uint32_t dim() const { return embedder_.dim(); }
+  const VecIndexConfig& config() const { return config_; }
+  const Embedder& embedder() const { return embedder_; }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  /// Binary search over the sorted names; -1 when absent.
+  int64_t FindName(std::string_view name) const;
+
+  /// The exact float embedding of node `i`.
+  const float* vector(size_t i) const { return floats_.data() + i * dim(); }
+  /// Node `i`'s graph out-neighbors.
+  std::span<const uint32_t> NeighborsOf(uint32_t i) const;
+  uint32_t medoid() const { return medoid_; }
+
+  /// Greedy ANN search: traverses the quantized graph with a pool of
+  /// `beam` candidates (0 = max(config.build_beam, 4k)), re-ranks the
+  /// final pool with exact float distances, and returns the top `k` by
+  /// (distance, id). Returns fewer than `k` only when the index is smaller.
+  std::vector<Neighbor> Search(const float* query, size_t k, size_t beam = 0,
+                               SearchStats* stats = nullptr) const;
+
+  /// Exact brute-force scan over the float matrix — the golden reference
+  /// the recall gate compares against.
+  std::vector<Neighbor> SearchExact(const float* query, size_t k) const;
+
+  /// Embed + Search in one call.
+  std::vector<Neighbor> SearchText(std::string_view text, size_t k,
+                                   size_t beam = 0,
+                                   SearchStats* stats = nullptr) const;
+
+  // ----------------------------------------------------- memory accounting
+  size_t float_bytes() const { return floats_.size() * sizeof(float); }
+  size_t quantized_bytes() const { return codes_.size(); }
+  size_t graph_bytes() const {
+    return graph_.size() * sizeof(uint32_t) +
+           graph_offsets_.size() * sizeof(uint32_t);
+  }
+  /// Size of the encoded container (what the vec-* file occupies).
+  size_t encoded_bytes() const { return encoded_bytes_; }
+
+  // ----------------------------------------------------------- persistence
+  std::string Encode() const;
+  static Result<VecIndex> Decode(std::string_view bytes);
+  /// Atomic write (tmp + rename) via the checkpoint container.
+  Status WriteFile(const std::string& path) const;
+  static Result<VecIndex> ReadFile(const std::string& path);
+
+ private:
+  fault::Checkpoint ToContainer() const;
+
+  uint64_t id_ = 0;
+  VecIndexConfig config_;
+  Embedder embedder_;
+  std::vector<std::string> names_;  ///< sorted, unique
+  CacheAlignedVector<float> floats_;   ///< size() * dim exact embeddings
+  CacheAlignedVector<uint8_t> codes_;  ///< size() * dim quantized codes
+  Quantizer quantizer_;
+  CacheAlignedVector<uint32_t> graph_;  ///< CSR adjacency, in prune order
+  std::vector<uint32_t> graph_offsets_;  ///< size() + 1
+  uint32_t medoid_ = 0;
+  size_t encoded_bytes_ = 0;
+};
+
+}  // namespace wsie::vec
+
+#endif  // WSIE_VEC_ANN_INDEX_H_

@@ -1,0 +1,143 @@
+#include "vec/distance.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define WSIE_VEC_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define WSIE_VEC_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace wsie::vec {
+
+uint32_t L2SquaredU8Scalar(const uint8_t* a, const uint8_t* b, size_t n) {
+  uint32_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t d = static_cast<int32_t>(a[i]) - static_cast<int32_t>(b[i]);
+    sum += static_cast<uint32_t>(d * d);
+  }
+  return sum;
+}
+
+float L2SquaredF32(const float* a, const float* b, size_t n) {
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// ------------------------------------------------------------ SIMD kernels
+//
+// Same shape as the group-varint posting decoder: per-ISA kernels compiled
+// behind function-level target attributes, selected once per process via
+// __builtin_cpu_supports, with the scalar loop as the universal fallback.
+// All kernels compute the identical exact integer sum.
+
+#if defined(WSIE_VEC_X86)
+
+namespace {
+
+__attribute__((target("avx2"))) uint32_t L2SquaredU8Avx2(const uint8_t* a,
+                                                         const uint8_t* b,
+                                                         size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // Widen 16 bytes of each side to int16 and square the differences;
+    // madd pairs into int32 lanes (max 2 * 255^2 per pair, no overflow).
+    const __m256i va = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    const __m256i diff = _mm256_sub_epi16(va, vb);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(diff, diff));
+  }
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint32_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] +
+                 lanes[5] + lanes[6] + lanes[7];
+  return sum + L2SquaredU8Scalar(a + i, b + i, n - i);
+}
+
+__attribute__((target("sse2"))) uint32_t L2SquaredU8Sse2(const uint8_t* a,
+                                                         const uint8_t* b,
+                                                         size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i alo = _mm_unpacklo_epi8(va, zero);
+    const __m128i ahi = _mm_unpackhi_epi8(va, zero);
+    const __m128i blo = _mm_unpacklo_epi8(vb, zero);
+    const __m128i bhi = _mm_unpackhi_epi8(vb, zero);
+    const __m128i dlo = _mm_sub_epi16(alo, blo);
+    const __m128i dhi = _mm_sub_epi16(ahi, bhi);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(dlo, dlo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(dhi, dhi));
+  }
+  alignas(16) uint32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         L2SquaredU8Scalar(a + i, b + i, n - i);
+}
+
+bool HostHasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+bool HostHasSse2() {
+  static const bool has = __builtin_cpu_supports("sse2");
+  return has;
+}
+
+}  // namespace
+
+#elif defined(WSIE_VEC_NEON)
+
+namespace {
+
+uint32_t L2SquaredU8Neon(const uint8_t* a, const uint8_t* b, size_t n) {
+  uint32x4_t acc = vdupq_n_u32(0);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t va = vld1q_u8(a + i);
+    const uint8x16_t vb = vld1q_u8(b + i);
+    // |a - b| fits uint8; square-accumulate via widening multiplies.
+    const uint8x16_t diff = vabdq_u8(va, vb);
+    const uint16x8_t lo = vmull_u8(vget_low_u8(diff), vget_low_u8(diff));
+    const uint16x8_t hi = vmull_u8(vget_high_u8(diff), vget_high_u8(diff));
+    acc = vpadalq_u16(acc, lo);
+    acc = vpadalq_u16(acc, hi);
+  }
+  return vaddvq_u32(acc) + L2SquaredU8Scalar(a + i, b + i, n - i);
+}
+
+}  // namespace
+#endif
+
+uint32_t L2SquaredU8(const uint8_t* a, const uint8_t* b, size_t n) {
+#if defined(WSIE_VEC_X86)
+  if (HostHasAvx2()) return L2SquaredU8Avx2(a, b, n);
+  if (HostHasSse2()) return L2SquaredU8Sse2(a, b, n);
+#elif defined(WSIE_VEC_NEON)
+  return L2SquaredU8Neon(a, b, n);
+#endif
+  return L2SquaredU8Scalar(a, b, n);
+}
+
+bool VecSimdActive() {
+#if defined(WSIE_VEC_X86)
+  return HostHasAvx2() || HostHasSse2();
+#elif defined(WSIE_VEC_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace wsie::vec

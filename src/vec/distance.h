@@ -1,0 +1,35 @@
+#ifndef WSIE_VEC_DISTANCE_H_
+#define WSIE_VEC_DISTANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wsie::vec {
+
+/// Squared L2 distance between two quantized (uint8) vectors.
+///
+/// Pure integer arithmetic — per-dimension differences fit int16, squares
+/// fit int32, and the uint32 sum is exact for any dim below ~2^16 — so the
+/// SIMD kernels (AVX2 / SSE2 on x86, NEON on aarch64; same cpuid-dispatch
+/// pattern as the group-varint posting decoder) return bit-identical sums
+/// to the scalar fallback on every host. Graph construction and traversal
+/// order therefore never depend on the instruction set.
+uint32_t L2SquaredU8(const uint8_t* a, const uint8_t* b, size_t n);
+
+/// Scalar reference implementation (golden, property-tested against the
+/// dispatched kernel).
+uint32_t L2SquaredU8Scalar(const uint8_t* a, const uint8_t* b, size_t n);
+
+/// Squared L2 distance between two float vectors, accumulated left to
+/// right in a fixed order — the exact re-rank metric. Deliberately scalar:
+/// re-ranking touches only the candidate set, and a fixed summation order
+/// keeps ranked results bit-identical everywhere.
+float L2SquaredF32(const float* a, const float* b, size_t n);
+
+/// True when a SIMD kernel (not the scalar fallback) serves L2SquaredU8 on
+/// this host.
+bool VecSimdActive();
+
+}  // namespace wsie::vec
+
+#endif  // WSIE_VEC_DISTANCE_H_

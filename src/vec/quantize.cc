@@ -1,0 +1,55 @@
+#include "vec/quantize.h"
+
+#include <utility>
+
+namespace wsie::vec {
+
+Quantizer Quantizer::Train(const float* data, size_t count, size_t dim) {
+  Quantizer q;
+  q.min_.assign(dim, 0.0f);
+  q.scale_.assign(dim, 0.0f);
+  if (count == 0 || dim == 0) return q;
+  std::vector<float> max(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    q.min_[d] = data[d];
+    max[d] = data[d];
+  }
+  for (size_t i = 1; i < count; ++i) {
+    const float* row = data + i * dim;
+    for (size_t d = 0; d < dim; ++d) {
+      if (row[d] < q.min_[d]) q.min_[d] = row[d];
+      if (row[d] > max[d]) max[d] = row[d];
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) q.scale_[d] = max[d] - q.min_[d];
+  return q;
+}
+
+void Quantizer::Encode(const float* in, uint8_t* out) const {
+  const size_t dim = min_.size();
+  for (size_t d = 0; d < dim; ++d) {
+    if (scale_[d] <= 0.0f) {
+      out[d] = 0;
+      continue;
+    }
+    const float normalized = (in[d] - min_[d]) / scale_[d];
+    const float clamped =
+        normalized < 0.0f ? 0.0f : (normalized > 1.0f ? 1.0f : normalized);
+    out[d] = static_cast<uint8_t>(clamped * 255.0f + 0.5f);
+  }
+}
+
+float Quantizer::Decode(uint8_t code, size_t d) const {
+  if (scale_[d] <= 0.0f) return min_[d];
+  return min_[d] + (static_cast<float>(code) / 255.0f) * scale_[d];
+}
+
+Quantizer Quantizer::FromParams(std::vector<float> mins,
+                                std::vector<float> scales) {
+  Quantizer q;
+  q.min_ = std::move(mins);
+  q.scale_ = std::move(scales);
+  return q;
+}
+
+}  // namespace wsie::vec

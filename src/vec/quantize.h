@@ -1,0 +1,54 @@
+#ifndef WSIE_VEC_QUANTIZE_H_
+#define WSIE_VEC_QUANTIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wsie::vec {
+
+/// Per-dimension min/max scalar quantizer: float -> uint8 codes.
+///
+/// Train() scans the dataset once per dimension for [min, max]; Encode maps
+/// x to round((x - min) / (max - min) * 255), clamped. Quantized vectors
+/// are what the ANN graph stores and traverses (4x smaller than float,
+/// integer SIMD distances); the exact float vectors are kept alongside for
+/// candidate re-ranking, so quantization costs recall only through
+/// candidate selection, never through final ranking. Training, encoding,
+/// and decoding are deterministic element-wise float ops — codes are
+/// bit-identical across runs and hosts.
+class Quantizer {
+ public:
+  Quantizer() = default;
+
+  /// Computes per-dimension ranges over `count` vectors of `dim` floats
+  /// (row-major, contiguous). A constant dimension gets scale 0 and always
+  /// encodes to 0.
+  static Quantizer Train(const float* data, size_t count, size_t dim);
+
+  /// Quantizes one vector into out[0..dim).
+  void Encode(const float* in, uint8_t* out) const;
+
+  /// Reconstructs the dequantized value of one code (midpoint mapping) —
+  /// diagnostics and tests only; the search path re-ranks with the exact
+  /// floats instead.
+  float Decode(uint8_t code, size_t d) const;
+
+  size_t dim() const { return min_.size(); }
+  const std::vector<float>& mins() const { return min_; }
+  const std::vector<float>& scales() const { return scale_; }
+
+  /// Rebuilds a quantizer from persisted parameters (sizes must match).
+  static Quantizer FromParams(std::vector<float> mins,
+                              std::vector<float> scales);
+
+  friend bool operator==(const Quantizer&, const Quantizer&) = default;
+
+ private:
+  std::vector<float> min_;    ///< per-dimension minimum
+  std::vector<float> scale_;  ///< per-dimension (max - min), 0 if constant
+};
+
+}  // namespace wsie::vec
+
+#endif  // WSIE_VEC_QUANTIZE_H_

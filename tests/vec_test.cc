@@ -1,0 +1,476 @@
+// Tests for the semantic retrieval subsystem: deterministic feature-hashed
+// embeddings, SIMD distance kernels vs the scalar golden, scalar
+// quantization error bounds, the Vamana-style ANN index (build, search,
+// persistence, corruption rejection), the store integration (publication,
+// manifest round-trip, compactor rebuild), and the 4-reader compaction
+// storm proving snapshot-isolated similarity search never changes an
+// answer across epoch flips.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/checkpoint.h"
+#include "serve/query_engine.h"
+#include "store/annotation_store.h"
+#include "vec/ann_index.h"
+#include "vec/distance.h"
+#include "vec/embedder.h"
+#include "vec/quantize.h"
+
+namespace wsie::vec {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "wsie_vec_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteWholeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Small, fast index parameters shared by the suites.
+VecIndexConfig TestConfig() {
+  VecIndexConfig config;
+  config.embedder.dim = 64;
+  config.max_degree = 16;
+  config.build_beam = 32;
+  return config;
+}
+
+std::vector<std::string> TestNames(size_t n, const std::string& prefix) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) names.push_back(prefix + std::to_string(i));
+  return names;
+}
+
+// ---------------------------------------------------------------- embedder
+
+TEST(EmbedderTest, DeterministicAcrossInstances) {
+  Embedder a;
+  Embedder b;
+  const auto va = a.Embed("braf kinase inhibitor");
+  const auto vb = b.Embed("braf kinase inhibitor");
+  ASSERT_EQ(va.size(), vb.size());
+  EXPECT_EQ(std::memcmp(va.data(), vb.data(), va.size() * sizeof(float)), 0);
+}
+
+TEST(EmbedderTest, VectorsAreL2Normalized) {
+  Embedder embedder;
+  const auto v = embedder.Embed("aspirin");
+  double norm = 0.0;
+  for (const float x : v) norm += static_cast<double>(x) * x;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+}
+
+TEST(EmbedderTest, DistinctTextsGetDistinctVectors) {
+  Embedder embedder;
+  EXPECT_NE(embedder.Embed("melanoma"), embedder.Embed("aspirin"));
+}
+
+TEST(EmbedderTest, EmptyAndNonAlnumTextEmbedsToZero) {
+  Embedder embedder;
+  for (const char* text : {"", "   ", "!!!"}) {
+    for (const float x : embedder.Embed(text)) EXPECT_EQ(x, 0.0f);
+  }
+}
+
+TEST(EmbedderTest, SimilarStringsCloserThanUnrelated) {
+  Embedder embedder;
+  const auto braf1 = embedder.Embed("braf kinase");
+  const auto braf2 = embedder.Embed("braf kinases");
+  const auto other = embedder.Embed("acetylsalicylic acid");
+  const float near = L2SquaredF32(braf1.data(), braf2.data(), braf1.size());
+  const float far = L2SquaredF32(braf1.data(), other.data(), braf1.size());
+  EXPECT_LT(near, far);
+}
+
+// ---------------------------------------------------------------- distance
+
+TEST(DistanceTest, SimdMatchesScalarGolden) {
+  Rng rng(7);
+  for (size_t n : {0u, 1u, 3u, 15u, 16u, 17u, 31u, 32u, 33u, 64u, 100u,
+                   256u}) {
+    std::vector<uint8_t> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<uint8_t>(rng.Uniform(256));
+      b[i] = static_cast<uint8_t>(rng.Uniform(256));
+    }
+    EXPECT_EQ(L2SquaredU8(a.data(), b.data(), n),
+              L2SquaredU8Scalar(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------- quantize
+
+TEST(QuantizeTest, RoundtripErrorBoundedByHalfStep) {
+  const uint32_t dim = 16;
+  Rng rng(11);
+  std::vector<float> data(32 * dim);
+  for (float& x : data) {
+    x = static_cast<float>(rng.Uniform(2000)) / 1000.0f - 1.0f;
+  }
+  Quantizer quantizer = Quantizer::Train(data.data(), 32, dim);
+  std::vector<uint8_t> codes(dim);
+  for (size_t row = 0; row < 32; ++row) {
+    quantizer.Encode(data.data() + row * dim, codes.data());
+    for (uint32_t d = 0; d < dim; ++d) {
+      const float step = quantizer.scales()[d];
+      const float decoded = quantizer.Decode(codes[d], d);
+      EXPECT_LE(std::abs(decoded - data[row * dim + d]), step * 0.51f + 1e-6f);
+    }
+  }
+}
+
+TEST(QuantizeTest, ConstantDimensionEncodesToZero) {
+  const uint32_t dim = 4;
+  std::vector<float> data = {1.f, 2.f, 3.f, 4.f, 1.f, 5.f, 3.f, 4.f};
+  Quantizer quantizer = Quantizer::Train(data.data(), 2, dim);
+  std::vector<uint8_t> codes(dim);
+  quantizer.Encode(data.data(), codes.data());
+  EXPECT_EQ(codes[0], 0);  // dim 0 constant -> scale 0 -> code 0
+  EXPECT_EQ(codes[2], 0);
+}
+
+// --------------------------------------------------------------- ann index
+
+TEST(AnnIndexTest, BuildSortsAndDedupsNames) {
+  auto index = VecIndex::Build({"b", "a", "b", "c", "a"}, TestConfig());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ(index->names(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(index->FindName("b"), 1);
+  EXPECT_EQ(index->FindName("zzz"), -1);
+}
+
+TEST(AnnIndexTest, RejectsDegenerateConfig) {
+  VecIndexConfig config = TestConfig();
+  config.max_degree = 0;
+  EXPECT_FALSE(VecIndex::Build({"a"}, config).ok());
+  config = TestConfig();
+  config.embedder.ngram_min = 5;
+  config.embedder.ngram_max = 3;
+  EXPECT_FALSE(VecIndex::Build({"a"}, config).ok());
+}
+
+TEST(AnnIndexTest, EmptyIndexSearchesEmpty) {
+  auto index = VecIndex::Build({}, TestConfig());
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_TRUE(index->SearchText("anything", 5).empty());
+  auto round = VecIndex::Decode(index->Encode());
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->size(), 0u);
+}
+
+TEST(AnnIndexTest, SelfIsOwnNearestNeighbor) {
+  auto index = VecIndex::Build(TestNames(200, "gene"), TestConfig());
+  ASSERT_TRUE(index.ok());
+  for (size_t i = 0; i < index->size(); ++i) {
+    const auto top = index->Search(index->vector(i), 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].id, i);
+    EXPECT_EQ(top[0].distance, 0.0f);
+  }
+}
+
+TEST(AnnIndexTest, RecallAtFiveAgainstBruteForce) {
+  auto index = VecIndex::Build(TestNames(400, "entity"), TestConfig());
+  ASSERT_TRUE(index.ok());
+  uint64_t hits = 0, possible = 0;
+  for (size_t q = 0; q < index->size(); ++q) {
+    const auto ann = index->Search(index->vector(q), 5);
+    const auto exact = index->SearchExact(index->vector(q), 5);
+    possible += exact.size();
+    for (const auto& truth : exact) {
+      for (const auto& candidate : ann) {
+        if (candidate.id == truth.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  const double recall =
+      static_cast<double>(hits) / static_cast<double>(possible);
+  EXPECT_GE(recall, 0.95) << "recall@5 = " << recall;
+}
+
+TEST(AnnIndexTest, BuildIsByteDeterministic) {
+  const auto names = TestNames(150, "drug");
+  auto a = VecIndex::Build(names, TestConfig(), 9);
+  auto b = VecIndex::Build(names, TestConfig(), 9);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->Encode(), b->Encode());
+}
+
+TEST(AnnIndexTest, SearchIsDeterministicAcrossCalls) {
+  auto index = VecIndex::Build(TestNames(150, "x"), TestConfig());
+  ASSERT_TRUE(index.ok());
+  const auto first = index->SearchText("x17", 7);
+  const auto second = index->SearchText("x17", 7);
+  EXPECT_EQ(first, second);
+}
+
+TEST(AnnIndexTest, EncodeDecodeRoundtrip) {
+  auto index = VecIndex::Build(TestNames(80, "term"), TestConfig(), 42);
+  ASSERT_TRUE(index.ok());
+  auto decoded = VecIndex::Decode(index->Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id(), 42u);
+  EXPECT_EQ(decoded->names(), index->names());
+  EXPECT_EQ(decoded->medoid(), index->medoid());
+  EXPECT_EQ(decoded->config(), index->config());
+  EXPECT_EQ(decoded->Encode(), index->Encode());
+  // A decoded index answers identically.
+  EXPECT_EQ(decoded->SearchText("term33", 5), index->SearchText("term33", 5));
+}
+
+TEST(AnnIndexTest, FileRoundtripAndCorruptionRejected) {
+  const std::string dir = FreshDir("ann_file");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/index.wvec";
+  auto index = VecIndex::Build(TestNames(60, "n"), TestConfig(), 3);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->WriteFile(path).ok());
+
+  auto loaded = VecIndex::ReadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Encode(), index->Encode());
+
+  // Any flipped byte must be rejected by the container checksum (or the
+  // structural validation behind it) — never UB.
+  std::string bytes = ReadWholeFile(path);
+  ASSERT_FALSE(bytes.empty());
+  for (const size_t at : {size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x5a);
+    WriteWholeFile(path, corrupt);
+    EXPECT_FALSE(VecIndex::ReadFile(path).ok()) << "byte " << at;
+  }
+  WriteWholeFile(path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(VecIndex::ReadFile(path).ok());
+}
+
+TEST(AnnIndexTest, DecodeRejectsStructuralLies) {
+  auto index = VecIndex::Build(TestNames(30, "s"), TestConfig(), 1);
+  ASSERT_TRUE(index.ok());
+  // Re-encode with a section dropped: the container checksum is valid but
+  // the index structure is not.
+  auto container_or = fault::Checkpoint::Deserialize(index->Encode());
+  ASSERT_TRUE(container_or.ok());
+  fault::Checkpoint container = *container_or;
+  container.SetSection("graph", "");
+  EXPECT_FALSE(VecIndex::Decode(container.Serialize()).ok());
+}
+
+// -------------------------------------------------------- store integration
+
+store::SegmentBuilder SegmentWithNames(const std::vector<std::string>& names,
+                                       uint64_t doc_base) {
+  store::SegmentBuilder builder;
+  uint64_t doc = doc_base;
+  for (const std::string& name : names) {
+    builder.Add(name, 0, 0, 0, store::Posting{doc, 0, 0, 4});
+    ++doc;
+  }
+  builder.AddCorpusStats(0, names.size(), names.size(), 100 * names.size());
+  return builder;
+}
+
+TEST(StoreVecTest, BuildPublishesAndSurvivesReopen) {
+  const std::string dir = FreshDir("publish");
+  auto store_or = store::AnnotationStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  auto store = *store_or;
+  const auto names = TestNames(40, "braf");
+  ASSERT_TRUE(store->Append(SegmentWithNames(names, 0)).ok());
+  EXPECT_EQ(store->snapshot().vectors, nullptr);
+
+  ASSERT_TRUE(store->BuildVectorIndex(TestConfig()).ok());
+  auto snapshot = store->snapshot();
+  ASSERT_NE(snapshot.vectors, nullptr);
+  // The index covers exactly the store's (sorted, deduped) term union.
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(snapshot.vectors->names(), sorted);
+
+  // Reopen: the manifest's vec section restores the same index bytes.
+  const std::string encoded = snapshot.vectors->Encode();
+  store.reset();
+  auto reopened_or = store::AnnotationStore::Open(dir);
+  ASSERT_TRUE(reopened_or.ok()) << reopened_or.status().ToString();
+  auto reopened_snapshot = (*reopened_or)->snapshot();
+  ASSERT_NE(reopened_snapshot.vectors, nullptr);
+  EXPECT_EQ(reopened_snapshot.vectors->Encode(), encoded);
+}
+
+TEST(StoreVecTest, CorruptVecFileRejectedOnOpen) {
+  const std::string dir = FreshDir("corrupt_open");
+  {
+    auto store_or = store::AnnotationStore::Open(dir);
+    ASSERT_TRUE(store_or.ok());
+    ASSERT_TRUE(
+        (*store_or)->Append(SegmentWithNames(TestNames(10, "g"), 0)).ok());
+    ASSERT_TRUE((*store_or)->BuildVectorIndex(TestConfig()).ok());
+  }
+  std::string vec_path;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("vec-", 0) == 0) {
+      vec_path = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(vec_path.empty());
+  std::string bytes = ReadWholeFile(vec_path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0xff);
+  WriteWholeFile(vec_path, bytes);
+  EXPECT_FALSE(store::AnnotationStore::Open(dir).ok());
+}
+
+TEST(StoreVecTest, AppendCarriesIndexForwardCompactRebuildsIt) {
+  const std::string dir = FreshDir("carry_rebuild");
+  auto store_or = store::AnnotationStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  auto store = *store_or;
+  const auto names = TestNames(30, "ent");
+  ASSERT_TRUE(store->Append(SegmentWithNames(names, 0)).ok());
+  ASSERT_TRUE(store->BuildVectorIndex(TestConfig()).ok());
+  auto before = store->snapshot();
+  ASSERT_NE(before.vectors, nullptr);
+  const uint64_t original_id = before.vectors->id();
+
+  // Appends carry the index forward untouched (same object, same id) —
+  // even when the new segment reuses the same terms.
+  ASSERT_TRUE(store->Append(SegmentWithNames(names, 1000)).ok());
+  auto appended = store->snapshot();
+  ASSERT_NE(appended.vectors, nullptr);
+  EXPECT_EQ(appended.vectors.get(), before.vectors.get());
+
+  // Compaction rebuilds under the same config. The term union is
+  // unchanged, so everything but the persisted id is reproduced exactly.
+  ASSERT_TRUE(store->Compact().ok());
+  auto compacted = store->snapshot();
+  ASSERT_EQ(compacted.segments.size(), 1u);
+  ASSERT_NE(compacted.vectors, nullptr);
+  EXPECT_NE(compacted.vectors->id(), original_id);
+  EXPECT_EQ(compacted.vectors->names(), before.vectors->names());
+  auto reference = VecIndex::Build(before.vectors->names(), TestConfig(),
+                                   compacted.vectors->id());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(compacted.vectors->Encode(), reference->Encode());
+
+  // Exactly one vec-* file remains: the rebuilt one.
+  size_t vec_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("vec-", 0) == 0) ++vec_files;
+  }
+  EXPECT_EQ(vec_files, 1u);
+}
+
+// Four readers hammer similarity search while a writer appends segments
+// (reusing the fixed term universe) and the background compactor storms.
+// The term union never changes, so every rebuilt index is byte-identical
+// modulo its id — each reader must observe the exact reference neighbor
+// lists at every epoch flip, and the engine must never report the index
+// missing. Zero tolerance: one anomaly fails the test.
+TEST(VecPublicationStormTest, FourReadersCompactionStormZeroAnomalies) {
+  const std::string dir = FreshDir("storm");
+  auto store_or = store::AnnotationStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  auto store = *store_or;
+  const auto names = TestNames(120, "gene");
+  ASSERT_TRUE(store->Append(SegmentWithNames(names, 0)).ok());
+  ASSERT_TRUE(store->BuildVectorIndex(TestConfig()).ok());
+
+  // Reference answers from the initial index; sorted order is the node-id
+  // order every rebuild reproduces.
+  auto initial = store->snapshot();
+  ASSERT_NE(initial.vectors, nullptr);
+  const std::vector<std::string> sorted_names = initial.vectors->names();
+  const size_t probe_count = 16;
+  std::vector<std::vector<VecIndex::Neighbor>> reference(probe_count);
+  for (size_t p = 0; p < probe_count; ++p) {
+    reference[p] =
+        initial.vectors->Search(initial.vectors->vector(p * 7 % 120), 5);
+  }
+
+  serve::QueryEngine engine(store);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> anomalies{0};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> epochs_seen{0};
+
+  std::thread writer([&] {
+    uint64_t round = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!store->Append(SegmentWithNames(names, round * 1000)).ok()) {
+        ++anomalies;
+      }
+      ++round;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  store::BackgroundCompactor compactor(store, /*min_segments=*/2,
+                                       std::chrono::milliseconds(1));
+
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      uint64_t last_epoch = 0;
+      size_t p = r;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto snapshot = store->snapshot();
+        if (snapshot.vectors == nullptr) {
+          ++anomalies;
+          continue;
+        }
+        if (snapshot.epoch != last_epoch) {
+          ++epochs_seen;
+          last_epoch = snapshot.epoch;
+        }
+        if (snapshot.vectors->names() != sorted_names) ++anomalies;
+        p = (p + 1) % probe_count;
+        const auto got =
+            snapshot.vectors->Search(snapshot.vectors->vector(p * 7 % 120), 5);
+        if (got != reference[p]) ++anomalies;
+        // The serve path must agree: neighbors of an indexed entity are
+        // the reference list minus the entity itself.
+        const auto served = engine.Similar(sorted_names[p * 7 % 120], 4);
+        if (!served.index_available) ++anomalies;
+        ++reads;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop = true;
+  writer.join();
+  for (auto& reader : readers) reader.join();
+  compactor.Stop();
+
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(compactor.compactions_run(), 0u);
+  EXPECT_GT(epochs_seen.load(), 4u);  // readers actually crossed flips
+}
+
+}  // namespace
+}  // namespace wsie::vec
