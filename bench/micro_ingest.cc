@@ -1,0 +1,200 @@
+// Write-path throughput: partitioned parallel compaction merge (MB/s) and
+// batched morsel-parallel Vamana build (wall seconds), serial schedule vs
+// parallel at 1..8 worker threads over the same inputs.
+//
+// Two gates, both asserted (non-zero exit on failure):
+//   - byte identity: at EVERY thread count the parallel merge's encoded
+//     segment and the parallel build's encoded index equal the serial
+//     outputs bit for bit — the determinism contract behind the speedups;
+//   - speedup: >= 3x at 8 workers for both stages, enforced only when the
+//     host has >= 8 hardware threads (the same single-core fallback fig5
+//     documents: on smaller hosts the parallel schedule degenerates to the
+//     serial one plus morsel bookkeeping, so the gate would measure the
+//     machine, not the code).
+//
+// Emits BENCH_micro_ingest.json with per-thread-count wall times, MB/s,
+// and the gate verdicts. --json=PATH / --json=none as everywhere else.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "store/parallel_merge.h"
+#include "store/segment.h"
+#include "vec/ann_index.h"
+
+namespace {
+
+using wsie::Rng;
+using wsie::Stopwatch;
+using wsie::ThreadPool;
+
+std::shared_ptr<const wsie::store::Segment> RandomSegment(Rng* rng,
+                                                          uint64_t id,
+                                                          size_t vocabulary,
+                                                          size_t num_terms) {
+  wsie::store::SegmentBuilder builder;
+  for (size_t t = 0; t < num_terms; ++t) {
+    const std::string name =
+        "entity-" + std::to_string(rng->Uniform(vocabulary));
+    const size_t postings = 1 + rng->Uniform(6);
+    for (size_t p = 0; p < postings; ++p) {
+      const auto begin = static_cast<uint32_t>(rng->Uniform(4000));
+      builder.Add(name, static_cast<uint8_t>(rng->Uniform(4)),
+                  static_cast<uint8_t>(rng->Uniform(3)),
+                  static_cast<uint8_t>(rng->Uniform(2)),
+                  wsie::store::Posting{rng->Uniform(2000),
+                                       static_cast<uint32_t>(rng->Uniform(40)),
+                                       begin, begin + 6});
+    }
+  }
+  builder.AddCorpusStats(0, num_terms, 2 * num_terms, 120 * num_terms);
+  auto segment_or = builder.Finish(id);
+  if (!segment_or.ok()) {
+    std::fprintf(stderr, "segment build failed: %s\n",
+                 segment_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::make_shared<const wsie::store::Segment>(std::move(*segment_or));
+}
+
+double Mb(size_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wsie;
+  const bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
+  bench::PrintHeader("Parallel write path: compaction merge + Vamana build",
+                     "ingest microbench");
+  bench::JsonSummary summary("micro_ingest", flags);
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const bool enforce_speedup = cores >= 8;
+  std::printf("host: %u core(s) -> 3x@8 speedup gate %s\n\n", cores,
+              enforce_speedup ? "ENFORCED" : "documented only (fallback)");
+  summary.Set("cores", static_cast<uint64_t>(cores));
+  summary.Set("speedup_gate_enforced", enforce_speedup);
+
+  // ---------------------------------------------------- compaction merge
+  Rng rng(20260808);
+  std::vector<std::shared_ptr<const store::Segment>> segments;
+  size_t input_bytes = 0;
+  for (uint64_t i = 0; i < 8; ++i) {
+    segments.push_back(RandomSegment(&rng, i + 1, 6000, 4000));
+    input_bytes += segments.back()->encoded_bytes();
+  }
+  std::printf("compaction inputs: %zu segments, %.1f MB encoded\n",
+              segments.size(), Mb(input_bytes));
+
+  Stopwatch serial_watch;
+  store::SegmentBuilder serial_builder;
+  for (const auto& segment : segments) serial_builder.MergeSegment(*segment);
+  auto serial_or = serial_builder.Finish(100);
+  if (!serial_or.ok()) return 1;
+  const double serial_merge_s = serial_watch.ElapsedNs() * 1e-9;
+  const std::string serial_bytes = serial_or->Encode();
+  std::printf("  serial merge: %7.3f s  %7.1f MB/s\n", serial_merge_s,
+              Mb(input_bytes) / serial_merge_s);
+  summary.Set("merge_serial_seconds", serial_merge_s);
+  summary.Set("merge_input_mb", Mb(input_bytes));
+
+  bool bytes_identical = true;
+  double merge_8_s = serial_merge_s;
+  for (const size_t threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    Stopwatch watch;
+    auto merged_or =
+        store::MergeSegmentsParallel(segments, 100, &pool, threads);
+    const double wall_s = watch.ElapsedNs() * 1e-9;
+    if (!merged_or.ok()) return 1;
+    const bool same = merged_or->Encode() == serial_bytes;
+    bytes_identical = bytes_identical && same;
+    if (threads == 8) merge_8_s = wall_s;
+    std::printf("  parallel x%zu: %7.3f s  %7.1f MB/s  speedup %4.2fx  %s\n",
+                threads, wall_s, Mb(input_bytes) / wall_s,
+                serial_merge_s / wall_s, same ? "bytes==serial" : "MISMATCH");
+    summary.Set("merge_parallel_" + std::to_string(threads) + "_seconds",
+                wall_s);
+  }
+  const double merge_speedup = serial_merge_s / merge_8_s;
+  summary.Set("merge_speedup_8", merge_speedup);
+
+  // ------------------------------------------------------- Vamana build
+  std::vector<std::string> names;
+  names.reserve(4000);
+  for (size_t i = 0; i < 4000; ++i) {
+    names.push_back("term-" + std::to_string(rng.Uniform(1u << 30)));
+  }
+  vec::VecIndexConfig config;
+  config.embedder.dim = 64;
+  config.max_degree = 24;
+  config.build_beam = 48;
+  std::printf("\nANN build inputs: %zu names, dim %u, R %u, batch %u\n",
+              names.size(), config.embedder.dim, config.max_degree,
+              config.build_batch);
+
+  ThreadPool one(1);
+  vec::VecBuildOptions serial_options;
+  serial_options.pool = &one;
+  serial_options.workers = 1;
+  Stopwatch ann_serial_watch;
+  auto serial_index_or = vec::VecIndex::Build(names, config, 1, serial_options);
+  if (!serial_index_or.ok()) return 1;
+  const double ann_serial_s = ann_serial_watch.ElapsedNs() * 1e-9;
+  const std::string serial_index_bytes = serial_index_or->Encode();
+  std::printf("  serial build (1 worker): %7.3f s\n", ann_serial_s);
+  summary.Set("ann_serial_seconds", ann_serial_s);
+
+  double ann_8_s = ann_serial_s;
+  for (const size_t threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    vec::VecBuildOptions options;
+    options.pool = &pool;
+    options.workers = threads;
+    Stopwatch watch;
+    auto index_or = vec::VecIndex::Build(names, config, 1, options);
+    const double wall_s = watch.ElapsedNs() * 1e-9;
+    if (!index_or.ok()) return 1;
+    const bool same = index_or->Encode() == serial_index_bytes;
+    bytes_identical = bytes_identical && same;
+    if (threads == 8) ann_8_s = wall_s;
+    std::printf("  parallel x%zu: %7.3f s  speedup %4.2fx  %s\n", threads,
+                wall_s, ann_serial_s / wall_s,
+                same ? "bytes==serial" : "MISMATCH");
+    summary.Set("ann_parallel_" + std::to_string(threads) + "_seconds",
+                wall_s);
+  }
+  const double ann_speedup = ann_serial_s / ann_8_s;
+  summary.Set("ann_speedup_8", ann_speedup);
+  summary.Set("bytes_identical", bytes_identical);
+
+  // ----------------------------------------------------------- verdicts
+  bool ok = bytes_identical;
+  if (!bytes_identical) {
+    std::fprintf(stderr, "FAIL: parallel output differs from serial\n");
+  }
+  if (enforce_speedup) {
+    if (merge_speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: merge speedup %.2fx < 3x at 8 workers\n",
+                   merge_speedup);
+      ok = false;
+    }
+    if (ann_speedup < 3.0) {
+      std::fprintf(stderr, "FAIL: ANN build speedup %.2fx < 3x at 8 workers\n",
+                   ann_speedup);
+      ok = false;
+    }
+  }
+  std::printf("\nresult: %s (merge %.2fx, ann %.2fx, bytes %s)\n",
+              ok ? "PASS" : "FAIL", merge_speedup, ann_speedup,
+              bytes_identical ? "identical" : "DIFFER");
+  summary.Set("pass", ok);
+  summary.Write();
+  return ok ? 0 : 1;
+}

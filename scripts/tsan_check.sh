@@ -10,7 +10,8 @@
 # execution layer (exchange transports, forked socketpair workers, the
 # split-correctness property suites). Builds into a dedicated build-tsan
 # directory and runs the ctest targets labeled `tsan`, `fault`, `obs`,
-# `store`, `perf`, `shard`, or `vec` (the ANN index publication storm).
+# `store`, `perf`, `shard`, `vec` (the ANN index publication storm), or
+# `ingest` (the parallel write path's byte-identity and delta suites).
 # Usage: scripts/tsan_check.sh [address]  (default: thread)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,8 +28,9 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:+${TSAN_OPTIONS} }die_after_fork=0"
 cmake -B "$BUILD_DIR" -S . -DWSIE_SANITIZE="$SANITIZER" >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
   dataflow_test thread_pool_stress_test fault_test crawler_test obs_test \
-  store_test epoch_test serve_test hotpath_test shard_test vec_test obs_e2e
-(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store|perf|shard|vec' --output-on-failure)
+  store_test epoch_test serve_test hotpath_test shard_test vec_test \
+  ingest_test obs_e2e
+(cd "$BUILD_DIR" && ctest -L 'tsan|fault|obs|store|perf|shard|vec|ingest' --output-on-failure)
 
 # The multiprocess stitched-trace leg under the sanitizer: 4 forked workers
 # ship obs bundles to the coordinator, which validates the stitched trace

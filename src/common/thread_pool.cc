@@ -98,6 +98,61 @@ bool ThreadPool::MorselFor(size_t n, size_t workers,
   return !state->cancelled.load(std::memory_order_relaxed);
 }
 
+bool ThreadPool::MorselForWithCaller(size_t n, size_t workers,
+                                     const std::function<bool(size_t)>& fn) {
+  if (n == 0) return true;
+  if (workers == 0) workers = 1;
+  if (workers > n) workers = n;
+
+  struct State {
+    std::atomic<size_t> cursor{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t active = 0;
+  };
+  auto state = std::make_shared<State>();
+  const size_t helpers = workers - 1;  // the caller is worker zero
+  state->active = helpers;
+
+  auto drain = [state, n, &fn] {
+    for (;;) {
+      if (state->cancelled.load(std::memory_order_relaxed)) break;
+      size_t i = state->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      if (!fn(i)) {
+        state->cancelled.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  };
+  for (size_t w = 0; w < helpers; ++w) {
+    Submit([state, drain] {
+      drain();
+      std::unique_lock<std::mutex> lock(state->mu);
+      --state->active;
+      if (state->active == 0) state->done.notify_all();
+    });
+  }
+  // The caller drains inline — guaranteed forward progress even when the
+  // pool is saturated or this thread is itself a pool worker.
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done.wait(lock, [&state] { return state->active == 0; });
+  }
+  return !state->cancelled.load(std::memory_order_relaxed);
+}
+
+ThreadPool& SharedThreadPool() {
+  // Leaked on purpose: worker threads must stay joinable for the whole
+  // process lifetime (background compactors may fire arbitrarily late),
+  // and a static-destruction-order join against them would be a shutdown
+  // race. The OS reclaims everything at exit.
+  static ThreadPool* pool = new ThreadPool(std::thread::hardware_concurrency());
+  return *pool;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -51,6 +51,16 @@ class ThreadPool {
   bool MorselFor(size_t n, size_t workers,
                  const std::function<bool(size_t)>& fn);
 
+  /// MorselFor variant where the calling thread drains the shared cursor
+  /// alongside up to `workers - 1` pool tasks. Because the caller always
+  /// makes progress itself, the loop completes even when every pool worker
+  /// is busy — or when the caller *is* a pool worker of this very pool —
+  /// so the store's compaction merge and the ANN builder can run on the
+  /// shared pool without self-deadlock. Same cancellation contract as
+  /// MorselFor.
+  bool MorselForWithCaller(size_t n, size_t workers,
+                           const std::function<bool(size_t)>& fn);
+
  private:
   void WorkerLoop();
 
@@ -62,6 +72,15 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+/// The process-wide shared pool (hardware_concurrency threads, lazily
+/// constructed, never destroyed before exit). The write path — partitioned
+/// compaction merges and morsel-parallel ANN builds — schedules on it so
+/// background maintenance and foreground builds share one set of cores
+/// instead of each spawning private thread armies. Outputs never depend on
+/// its width: every parallel loop scheduled here is a pure per-index
+/// function applied in a deterministic order.
+ThreadPool& SharedThreadPool();
 
 }  // namespace wsie
 

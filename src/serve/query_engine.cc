@@ -132,6 +132,7 @@ QueryEngine::QueryEngine(std::shared_ptr<store::AnnotationStore> annotations)
   vec_queries_ = registry.GetCounter("wsie.vec.queries");
   vec_queries_missing_index_ =
       registry.GetCounter("wsie.vec.queries_missing_index");
+  vec_queries_delta_ = registry.GetCounter("wsie.vec.queries_delta");
   vec_latency_ns_ = registry.GetHistogram("wsie.vec.query.latency_ns");
   vec_hops_ = registry.GetHistogram("wsie.vec.query.hops");
 }
@@ -340,30 +341,92 @@ QueryEngine::SimilarResult QueryEngine::Similar(std::string_view text,
   }
   result.index_available = true;
   const vec::VecIndex& index = *pin->vectors;
+  const vec::DeltaIndex* delta = pin->delta.get();
   if (k == 0) k = 10;
 
   vec::VecIndex::SearchStats stats;
-  std::vector<vec::VecIndex::Neighbor> hits;
-  const int64_t self = index.FindName(text);
-  if (self >= 0) {
-    // Entity query: search by the stored embedding and drop the entity
-    // from its own neighbor list (over-fetch by one to keep k results).
-    result.found = true;
-    hits = index.Search(index.vector(static_cast<size_t>(self)), k + 1, beam,
-                        &stats);
-    std::erase_if(hits, [self](const vec::VecIndex::Neighbor& neighbor) {
-      return neighbor.id == static_cast<uint32_t>(self);
-    });
-    if (hits.size() > k) hits.resize(k);
-  } else {
-    hits = index.SearchText(text, k, beam, &stats);
+  if (delta == nullptr) {
+    // Fast path: the graph covers every live term.
+    std::vector<vec::VecIndex::Neighbor> hits;
+    const int64_t self = index.FindName(text);
+    if (self >= 0) {
+      // Entity query: search by the stored embedding and drop the entity
+      // from its own neighbor list (over-fetch by one to keep k results).
+      result.found = true;
+      hits = index.Search(index.vector(static_cast<size_t>(self)), k + 1,
+                          beam, &stats);
+      std::erase_if(hits, [self](const vec::VecIndex::Neighbor& neighbor) {
+        return neighbor.id == static_cast<uint32_t>(self);
+      });
+      if (hits.size() > k) hits.resize(k);
+    } else {
+      hits = index.SearchText(text, k, beam, &stats);
+    }
+    result.neighbors.reserve(hits.size());
+    for (const vec::VecIndex::Neighbor& hit : hits) {
+      result.neighbors.push_back(
+          SimilarResult::Hit{index.name(hit.id), hit.distance});
+    }
+    result.hops = stats.hops;
+    vec_hops_->Observe(static_cast<double>(stats.hops));
+    return result;
   }
 
-  result.neighbors.reserve(hits.size());
-  for (const vec::VecIndex::Neighbor& hit : hits) {
-    result.neighbors.push_back(
-        SimilarResult::Hit{index.name(hit.id), hit.distance});
+  // Delta path: terms appended since the last full build live in a small
+  // exact side index. Search both and merge by exact (distance, name) —
+  // within each index that equals its (distance, id) order (ids are
+  // sorted-name positions), and names never repeat across the two (the
+  // delta holds exactly the terms the graph lacks), so the merged ranking
+  // is a deterministic total order.
+  vec_queries_delta_->Increment();
+  const int64_t self_main = index.FindName(text);
+  const int64_t self_delta = self_main >= 0 ? -1 : delta->FindName(text);
+  std::vector<float> query_storage;
+  const float* query = nullptr;
+  if (self_main >= 0) {
+    result.found = true;
+    query = index.vector(static_cast<size_t>(self_main));
+  } else if (self_delta >= 0) {
+    result.found = true;
+    query = delta->vector(static_cast<size_t>(self_delta));
+  } else {
+    query_storage.resize(index.dim());
+    index.embedder().Embed(text, query_storage.data());
+    query = query_storage.data();
   }
+
+  // Over-fetch by one from each side: at most one of them contains the
+  // query entity itself.
+  std::vector<vec::VecIndex::Neighbor> main_hits =
+      index.Search(query, k + 1, beam, &stats);
+  if (self_main >= 0) {
+    std::erase_if(main_hits, [self_main](const vec::VecIndex::Neighbor& n) {
+      return n.id == static_cast<uint32_t>(self_main);
+    });
+  }
+  std::vector<vec::VecIndex::Neighbor> delta_hits =
+      delta->SearchExact(query, k + 1);
+  if (self_delta >= 0) {
+    std::erase_if(delta_hits, [self_delta](const vec::VecIndex::Neighbor& n) {
+      return n.id == static_cast<uint32_t>(self_delta);
+    });
+  }
+
+  std::vector<SimilarResult::Hit> merged;
+  merged.reserve(main_hits.size() + delta_hits.size());
+  for (const vec::VecIndex::Neighbor& hit : main_hits) {
+    merged.push_back(SimilarResult::Hit{index.name(hit.id), hit.distance});
+  }
+  for (const vec::VecIndex::Neighbor& hit : delta_hits) {
+    merged.push_back(SimilarResult::Hit{delta->name(hit.id), hit.distance});
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SimilarResult::Hit& a, const SimilarResult::Hit& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.name < b.name;
+            });
+  if (merged.size() > k) merged.resize(k);
+  result.neighbors = std::move(merged);
   result.hops = stats.hops;
   vec_hops_->Observe(static_cast<double>(stats.hops));
   return result;

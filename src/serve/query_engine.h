@@ -97,8 +97,11 @@ class QueryEngine {
   /// Semantic nearest neighbors from the snapshot's vector index. When
   /// `text` is itself an indexed entity its stored embedding is the query
   /// (and the entity is excluded from its own neighbors); otherwise the
-  /// text is embedded on the fly. Served — like every other kind — under
-  /// one epoch pin, so results are consistent with the rest of the
+  /// text is embedded on the fly. When the snapshot carries an append
+  /// delta (terms newer than the last full build), its exact brute-force
+  /// results merge with the graph's by (distance, name), so freshly
+  /// appended terms rank immediately. Served — like every other kind —
+  /// under one epoch pin, so results are consistent with the rest of the
   /// snapshot even while the compactor republishes a rebuilt index.
   struct SimilarResult {
     /// False when no vector index has been published into this snapshot.
@@ -179,6 +182,7 @@ class QueryEngine {
   // wsie.vec.* query-path handles.
   obs::Counter* vec_queries_;
   obs::Counter* vec_queries_missing_index_;
+  obs::Counter* vec_queries_delta_;  ///< Similar() calls that scanned a delta
   obs::Histogram* vec_latency_ns_;
   obs::Histogram* vec_hops_;
 };

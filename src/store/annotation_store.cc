@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "fault/checkpoint.h"
 #include "fault/wire_format.h"
+#include "store/parallel_merge.h"
 
 namespace wsie::store {
 namespace {
@@ -34,6 +35,12 @@ AnnotationStore::AnnotationStore(std::string dir)
   vec_bytes_gauge_ = registry.GetGauge("wsie.vec.index.bytes");
   vec_builds_ = registry.GetCounter("wsie.vec.index.builds");
   vec_build_wall_ns_ = registry.GetHistogram("wsie.vec.build.wall_ns");
+  vec_stale_terms_gauge_ = registry.GetGauge("wsie.vec.index.stale_terms");
+  // The partitioned-merge families (observed inside MergeSegmentsParallel)
+  // register here too, so they export even before the first compaction.
+  registry.GetGauge("wsie.store.compact.partitions");
+  registry.GetHistogram("wsie.store.compact.partition_wall_ns");
+  registry.GetHistogram("wsie.store.compact.stitch_wall_ns");
 }
 
 AnnotationStore::~AnnotationStore() {
@@ -123,6 +130,10 @@ Result<std::shared_ptr<AnnotationStore>> AnnotationStore::Open(
   initial->epoch = 0;
   initial->index = ServingIndex::Build(initial->segments);
   initial->vectors = std::move(vectors);
+  // The delta is never persisted; derive it from what the manifest loaded
+  // (segments appended after the last vector build reopen as stale terms).
+  initial->delta =
+      ComputeDelta(initial->index, initial->vectors.get(), nullptr);
   delete store->current_.exchange(initial, std::memory_order_acq_rel);
   store->PublishMetricsLocked(*initial);
   return store;
@@ -156,6 +167,22 @@ void AnnotationStore::PublishMetricsLocked(const SegmentSet& set) {
       set.vectors ? static_cast<double>(set.vectors->size()) : 0.0);
   vec_bytes_gauge_->Set(
       set.vectors ? static_cast<double>(set.vectors->encoded_bytes()) : 0.0);
+  vec_stale_terms_gauge_->Set(
+      set.delta ? static_cast<double>(set.delta->size()) : 0.0);
+}
+
+std::shared_ptr<const vec::DeltaIndex> AnnotationStore::ComputeDelta(
+    const ServingIndex& index, const vec::VecIndex* vectors,
+    const vec::DeltaIndex* previous) {
+  if (vectors == nullptr) return nullptr;
+  std::vector<std::string> stale;
+  for (size_t i = 0; i < index.num_terms(); ++i) {
+    const std::string_view term = index.term(i);
+    if (vectors->FindName(term) < 0) stale.emplace_back(term);
+  }
+  if (stale.empty()) return nullptr;
+  return std::make_shared<const vec::DeltaIndex>(vec::DeltaIndex::Build(
+      std::move(stale), vectors->config().embedder, previous));
 }
 
 Status AnnotationStore::PublishLocked(
@@ -167,6 +194,13 @@ Status AnnotationStore::PublishLocked(
   next->epoch = previous->epoch + 1;
   next->index = ServingIndex::Build(next->segments);
   next->vectors = std::move(vectors);
+  // Every publish re-derives the append-delta from the invariant
+  // delta = (live terms) ∖ (vector-index names): appends grow it,
+  // compaction rebuilds and full builds collapse it back to null.
+  // Embeddings are pure functions of the name bytes, so reusing the
+  // predecessor's rows changes nothing but the cost.
+  next->delta = ComputeDelta(next->index, next->vectors.get(),
+                             previous->delta.get());
 
   // One release store makes the whole generation visible; readers pinned
   // at or before the current epoch keep the previous set alive until
@@ -202,9 +236,11 @@ Status AnnotationStore::Append(SegmentBuilder&& builder) {
     const SegmentSet* live = current_.load(std::memory_order_relaxed);
     std::vector<std::shared_ptr<const Segment>> next = live->segments;
     next.push_back(std::make_shared<const Segment>(std::move(segment)));
-    // The vector index rides along unchanged: it is stale with respect to
-    // terms introduced by this append until the next BuildVectorIndex or
-    // compactor rebuild folds them in.
+    // The vector index rides along unchanged — its graph is immutable — but
+    // PublishLocked recomputes the delta companion, so any terms this
+    // append introduced become similarity-searchable in the same epoch.
+    // The next BuildVectorIndex or compactor rebuild folds them into the
+    // graph and the delta collapses back to null.
     WSIE_RETURN_NOT_OK(PublishLocked(std::move(next), live->vectors));
   }
   EpochManager::Global().TryReclaim();
@@ -216,11 +252,11 @@ Status AnnotationStore::Compact() {
   // each re-publish the full input set, double-counting postings.
   std::lock_guard<std::mutex> compact_lock(compact_mu_);
   Stopwatch watch;
-  SegmentBuilder builder;
+  std::vector<std::shared_ptr<const Segment>> inputs;
   std::set<uint64_t> merged_ids;
   // When the pre-merge set serves a vector index, capture its config and
   // term union so the merged set gets a freshly built index covering the
-  // same terms. Both come from one pin, so they are mutually consistent.
+  // merged terms. Both come from one pin, so they are mutually consistent.
   bool rebuild_vectors = false;
   vec::VecIndexConfig vec_config;
   uint64_t old_vec_id = 0;
@@ -228,8 +264,8 @@ Status AnnotationStore::Compact() {
   {
     PinnedSet pin(*this);
     if (pin->segments.size() < 2) return Status::OK();
-    for (const auto& segment : pin->segments) {
-      builder.MergeSegment(*segment);
+    inputs = pin->segments;
+    for (const auto& segment : inputs) {
       merged_ids.insert(segment->id());
     }
     if (pin->vectors != nullptr) {
@@ -249,13 +285,21 @@ Status AnnotationStore::Compact() {
     id = next_id_++;
     if (rebuild_vectors) vec_id = next_id_++;
   }
-  WSIE_ASSIGN_OR_RETURN(Segment merged, builder.Finish(id));
+  // Partitioned parallel merge: contiguous term ranges k-way-merged on the
+  // shared pool and stitched — byte-identical to the serial SegmentBuilder
+  // MergeSegment/Finish path at every thread count (gated by
+  // tests/ingest_test.cc), released after the pin since the inputs are
+  // immutable shared_ptr segments.
+  WSIE_ASSIGN_OR_RETURN(Segment merged, MergeSegmentsParallel(inputs, id));
+  inputs.clear();
   WSIE_RETURN_NOT_OK(merged.WriteFile(SegmentPath(id)));
 
-  // Rebuild the vector index outside every lock. The term union over the
-  // same segments is unchanged by the merge, so with the persisted config
-  // the rebuilt graph is byte-identical to the one being replaced — the
-  // epoch flip swaps files and ids, never answers.
+  // Rebuild the vector index outside every lock, over the pinned set's
+  // full term union — including any terms only the delta companion was
+  // serving — so the post-compaction graph folds the appends in and the
+  // delta collapses to null. When the union is unchanged the rebuilt
+  // graph is byte-identical to the one being replaced — the epoch flip
+  // swaps files and ids, never answers.
   std::shared_ptr<const vec::VecIndex> rebuilt;
   if (rebuild_vectors) {
     Stopwatch vec_watch;
@@ -346,7 +390,7 @@ Status AnnotationStore::BuildVectorIndex(const vec::VecIndexConfig& config) {
 
 AnnotationStore::Snapshot AnnotationStore::snapshot() const {
   PinnedSet pin(*this);
-  return Snapshot{pin->segments, pin->epoch, pin->vectors};
+  return Snapshot{pin->segments, pin->epoch, pin->vectors, pin->delta};
 }
 
 size_t AnnotationStore::num_segments() const {

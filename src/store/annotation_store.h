@@ -18,6 +18,7 @@
 #include "store/segment.h"
 #include "store/serving_index.h"
 #include "vec/ann_index.h"
+#include "vec/delta_index.h"
 
 namespace wsie::store {
 
@@ -79,6 +80,12 @@ class AnnotationStore {
     ServingIndex index;
     /// Similarity-search index; null until BuildVectorIndex publishes one.
     std::shared_ptr<const vec::VecIndex> vectors;
+    /// Brute-force companion over terms live in `segments` but absent from
+    /// `vectors` (terms appended since the last full build). Null when
+    /// empty or when no vector index is published; recomputed at every
+    /// publish and never persisted. Queries search it alongside `vectors`
+    /// so appends are similarity-searchable immediately.
+    std::shared_ptr<const vec::DeltaIndex> delta;
 
     uint64_t num_postings() const {
       uint64_t total = 0;
@@ -114,6 +121,7 @@ class AnnotationStore {
     std::vector<std::shared_ptr<const Segment>> segments;
     uint64_t epoch = 0;
     std::shared_ptr<const vec::VecIndex> vectors;
+    std::shared_ptr<const vec::DeltaIndex> delta;
 
     uint64_t num_postings() const {
       uint64_t total = 0;
@@ -140,6 +148,13 @@ class AnnotationStore {
   /// rewrites the manifest, and refreshes gauges. Caller holds publish_mu_.
   Status PublishLocked(std::vector<std::shared_ptr<const Segment>> segments,
                        std::shared_ptr<const vec::VecIndex> vectors);
+  /// Recomputes the append-delta companion for a set whose index and
+  /// vectors are already in place: terms live in the serving index but
+  /// absent from the vector index, embedded fresh (reusing `previous`
+  /// rows where the names overlap). Null when that set is empty.
+  static std::shared_ptr<const vec::DeltaIndex> ComputeDelta(
+      const ServingIndex& index, const vec::VecIndex* vectors,
+      const vec::DeltaIndex* previous);
   Status WriteManifestLocked(const SegmentSet& set);
   void PublishMetricsLocked(const SegmentSet& set);
   std::string SegmentPath(uint64_t id) const;
@@ -167,6 +182,7 @@ class AnnotationStore {
   // Hoisted wsie.vec.* handles for the vector-index lifecycle.
   obs::Gauge* vec_vectors_gauge_;
   obs::Gauge* vec_bytes_gauge_;
+  obs::Gauge* vec_stale_terms_gauge_;
   obs::Counter* vec_builds_;
   obs::Histogram* vec_build_wall_ns_;
 };

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -13,6 +14,10 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "store/posting_codec.h"
+
+namespace wsie {
+class ThreadPool;
+}  // namespace wsie
 
 namespace wsie::fault {
 class Checkpoint;
@@ -112,6 +117,12 @@ class Segment {
 
  private:
   friend class SegmentBuilder;
+  /// The partitioned compaction merge (store/parallel_merge.cc) stitches
+  /// per-term-range parts directly into a Segment's private state; its
+  /// output is gated byte-identical to the serial SegmentBuilder path.
+  friend Result<Segment> MergeSegmentsParallel(
+      const std::vector<std::shared_ptr<const Segment>>& segments,
+      uint64_t id, ThreadPool* pool, size_t workers, size_t partitions);
 
   fault::Checkpoint ToContainer() const;
   static Result<Segment> FromContainer(const fault::Checkpoint& container,

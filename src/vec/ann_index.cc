@@ -5,8 +5,11 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "fault/checkpoint.h"
 #include "fault/wire_format.h"
+#include "obs/metrics.h"
 #include "vec/distance.h"
 
 namespace wsie::vec {
@@ -14,7 +17,11 @@ namespace {
 
 namespace wire = wsie::fault::wire;
 
-constexpr uint64_t kFormatVersion = 1;
+// v1: sequential-build indexes without a persisted batch size (decoded as
+// build_batch = 1, which reproduces their construction schedule exactly).
+// v2 adds build_batch to the meta section. Encode always writes v2.
+constexpr uint64_t kFormatVersionNoBatch = 1;
+constexpr uint64_t kFormatVersion = 2;
 
 /// A (quantized distance, id) pair; all orderings tie-break on id so every
 /// traversal is deterministic.
@@ -166,18 +173,105 @@ void SortUniqueCandidates(std::vector<Candidate>* candidates) {
   // function of the id), so (distance, id) uniqueness equals id uniqueness.
 }
 
+/// Per-thread construction scratch. Workers of the shared pool serve many
+/// Build() calls over their lifetime, so the visited stamps are keyed by a
+/// per-call owner token: a new owner (or a larger node count) re-zeroes the
+/// stamp array, and the generation counter only ever moves forward — a
+/// stale stamp can never equal a fresh generation.
+struct BuildScratch {
+  const void* owner = nullptr;
+  std::vector<Candidate> pool;
+  std::vector<Candidate> candidates;
+  std::vector<uint32_t> pruned;
+  std::vector<uint8_t> expanded;
+  std::vector<uint64_t> visited;
+  uint64_t generation = 0;
+};
+
+BuildScratch& LocalBuildScratch(const void* owner, size_t n) {
+  thread_local BuildScratch scratch;
+  if (scratch.owner != owner || scratch.visited.size() < n) {
+    scratch.visited.assign(n, 0);
+    scratch.generation = 0;
+    scratch.owner = owner;
+  }
+  return scratch;
+}
+
+/// The construction-time greedy search (identical to the original
+/// sequential build's inner loop): best-first traversal of the current
+/// adjacency from the medoid, recording every visited node in
+/// `scratch->candidates`. Reads the graph only — during a batch's parallel
+/// phase nothing mutates it, so the result is a pure function of the
+/// frozen pre-batch graph and the query.
+void BuildSearch(const std::vector<std::vector<uint32_t>>& adjacency,
+                 const uint8_t* codes, uint32_t dim, uint32_t medoid,
+                 size_t beam, const uint8_t* query, BuildScratch* scratch) {
+  scratch->pool.clear();
+  scratch->candidates.clear();
+  ++scratch->generation;
+  scratch->expanded.assign(1, 0);
+  auto distance_to = [&](uint32_t node) {
+    return L2SquaredU8(query, codes + static_cast<size_t>(node) * dim, dim);
+  };
+  scratch->visited[medoid] = scratch->generation;
+  scratch->pool.push_back(Candidate{distance_to(medoid), medoid});
+  scratch->candidates.push_back(scratch->pool[0]);
+  for (;;) {
+    size_t next = scratch->pool.size();
+    for (size_t i = 0; i < scratch->pool.size(); ++i) {
+      if (!scratch->expanded[i]) {
+        next = i;
+        break;
+      }
+    }
+    if (next == scratch->pool.size()) break;
+    scratch->expanded[next] = 1;
+    for (const uint32_t neighbor : adjacency[scratch->pool[next].id]) {
+      if (scratch->visited[neighbor] == scratch->generation) continue;
+      scratch->visited[neighbor] = scratch->generation;
+      const Candidate candidate{distance_to(neighbor), neighbor};
+      scratch->candidates.push_back(candidate);
+      if (scratch->pool.size() >= beam && !(candidate < scratch->pool.back()))
+        continue;
+      const auto at = std::lower_bound(scratch->pool.begin(),
+                                       scratch->pool.end(), candidate);
+      const size_t pos = static_cast<size_t>(at - scratch->pool.begin());
+      scratch->pool.insert(at, candidate);
+      scratch->expanded.insert(
+          scratch->expanded.begin() + static_cast<ptrdiff_t>(pos), 0);
+      if (scratch->pool.size() > beam) {
+        scratch->pool.pop_back();
+        scratch->expanded.pop_back();
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Result<VecIndex> VecIndex::Build(std::vector<std::string> names,
-                                 const VecIndexConfig& config, uint64_t id) {
+                                 const VecIndexConfig& config, uint64_t id,
+                                 const BuildOptions& options) {
   if (config.embedder.dim == 0 || config.max_degree == 0 ||
-      config.build_beam == 0) {
+      config.build_beam == 0 || config.build_batch == 0) {
     return Status::InvalidArgument("vec: degenerate index config");
   }
   if (config.embedder.ngram_min == 0 ||
       config.embedder.ngram_min > config.embedder.ngram_max) {
     return Status::InvalidArgument("vec: bad ngram range");
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* batches_counter = registry.GetCounter("wsie.vec.build.batches");
+  obs::Histogram* embed_wall_ns =
+      registry.GetHistogram("wsie.vec.build.embed_wall_ns");
+  obs::Histogram* graph_wall_ns =
+      registry.GetHistogram("wsie.vec.build.graph_wall_ns");
+  ThreadPool* pool =
+      options.pool != nullptr ? options.pool : &SharedThreadPool();
+  const size_t workers =
+      options.workers != 0 ? options.workers : pool->num_threads() + 1;
+
   std::sort(names.begin(), names.end());
   names.erase(std::unique(names.begin(), names.end()), names.end());
 
@@ -189,16 +283,22 @@ Result<VecIndex> VecIndex::Build(std::vector<std::string> names,
 
   const size_t n = index.names_.size();
   const uint32_t dim = config.embedder.dim;
+  // Embedding and code rows are pure per-name functions — morsel order
+  // cannot affect a byte of output.
+  Stopwatch embed_watch;
   index.floats_.resize(n * dim);
-  for (size_t i = 0; i < n; ++i) {
+  pool->MorselForWithCaller(n, workers, [&](size_t i) {
     index.embedder_.Embed(index.names_[i], index.floats_.data() + i * dim);
-  }
+    return true;
+  });
   index.quantizer_ = Quantizer::Train(index.floats_.data(), n, dim);
   index.codes_.resize(n * dim);
-  for (size_t i = 0; i < n; ++i) {
+  pool->MorselForWithCaller(n, workers, [&](size_t i) {
     index.quantizer_.Encode(index.floats_.data() + i * dim,
                             index.codes_.data() + i * dim);
-  }
+    return true;
+  });
+  embed_wall_ns->Observe(static_cast<double>(embed_watch.ElapsedNs()));
 
   if (n == 0) {
     index.graph_offsets_.assign(1, 0);
@@ -253,97 +353,80 @@ Result<VecIndex> VecIndex::Build(std::vector<std::string> names,
     }
   }
 
-  std::vector<Candidate> pool;
-  std::vector<Candidate> candidates;
-  std::vector<uint32_t> pruned;
-  std::vector<uint64_t> visited(n, 0);
-  uint64_t generation = 0;
-
-  auto build_search = [&](const uint8_t* query) {
-    pool.clear();
-    ++generation;
-    thread_local std::vector<uint8_t> expanded;
-    expanded.assign(1, 0);
-    auto distance_to = [&](uint32_t node) {
-      return L2SquaredU8(query, codes + static_cast<size_t>(node) * dim, dim);
-    };
-    visited[index.medoid_] = generation;
-    pool.push_back(Candidate{distance_to(index.medoid_), index.medoid_});
-    candidates.clear();
-    candidates.push_back(pool[0]);
-    for (;;) {
-      size_t next = pool.size();
-      for (size_t i = 0; i < pool.size(); ++i) {
-        if (!expanded[i]) {
-          next = i;
-          break;
-        }
-      }
-      if (next == pool.size()) break;
-      expanded[next] = 1;
-      for (const uint32_t neighbor : adjacency[pool[next].id]) {
-        if (visited[neighbor] == generation) continue;
-        visited[neighbor] = generation;
-        const Candidate candidate{distance_to(neighbor), neighbor};
-        candidates.push_back(candidate);
-        if (pool.size() >= beam && !(candidate < pool.back())) continue;
-        const auto at =
-            std::lower_bound(pool.begin(), pool.end(), candidate);
-        const size_t pos = static_cast<size_t>(at - pool.begin());
-        pool.insert(at, candidate);
-        expanded.insert(expanded.begin() + static_cast<ptrdiff_t>(pos), 0);
-        if (pool.size() > beam) {
-          pool.pop_back();
-          expanded.pop_back();
-        }
-      }
-    }
-  };
-
   auto distance_between = [&](uint32_t a, uint32_t b) {
     return L2SquaredU8(codes + static_cast<size_t>(a) * dim,
                        codes + static_cast<size_t>(b) * dim, dim);
   };
 
-  // Two passes, alpha 1.0 then config.alpha — the standard Vamana schedule.
-  // Every mutation happens at a fixed (pass, node) position, so the final
-  // adjacency is deterministic.
+  // Two passes, alpha 1.0 then config.alpha — the standard Vamana schedule —
+  // over batches of `build_batch` consecutive nodes. Within a batch the
+  // greedy search + robust prune for every node runs against the frozen
+  // pre-batch graph (pure reads, so the work morsel-parallelizes with no
+  // effect on the output), then the results apply serially in id order:
+  // first every node's new out-list, then every node's back-edge patches.
+  // The graph therefore depends on build_batch but never on the pool width;
+  // build_batch = 1 replays the original fully sequential schedule.
+  Stopwatch graph_watch;
+  const size_t batch_size = config.build_batch;
+  const void* owner_token = &adjacency;
+  std::vector<std::vector<uint32_t>> pruned_results(
+      std::min<size_t>(batch_size, n));
   for (int pass = 0; pass < 2; ++pass) {
     const float alpha = pass == 0 ? 1.0f : config.alpha;
-    for (size_t node = 0; node < n; ++node) {
-      const uint32_t node_id = static_cast<uint32_t>(node);
-      build_search(codes + node * dim);
-      // Candidate pool: everything visited plus current out-neighbors.
-      for (const uint32_t neighbor : adjacency[node]) {
-        candidates.push_back(
-            Candidate{distance_between(node_id, neighbor), neighbor});
-      }
-      SortUniqueCandidates(&candidates);
-      RobustPrune(node_id, &candidates, codes, dim, alpha, r, &pruned);
-      adjacency[node] = pruned;
-      // Patch back-edges; over-full destinations get re-pruned.
-      for (const uint32_t neighbor : adjacency[node]) {
-        auto& back = adjacency[neighbor];
-        if (std::find(back.begin(), back.end(), node_id) != back.end()) {
-          continue;
+    for (size_t start = 0; start < n; start += batch_size) {
+      const size_t count = std::min(batch_size, n - start);
+      batches_counter->Add(1);
+      pool->MorselForWithCaller(count, workers, [&](size_t i) {
+        const size_t node = start + i;
+        const uint32_t node_id = static_cast<uint32_t>(node);
+        BuildScratch& scratch = LocalBuildScratch(owner_token, n);
+        BuildSearch(adjacency, codes, dim, index.medoid_, beam,
+                    codes + node * dim, &scratch);
+        // Candidate pool: everything visited plus current out-neighbors.
+        for (const uint32_t neighbor : adjacency[node]) {
+          scratch.candidates.push_back(
+              Candidate{distance_between(node_id, neighbor), neighbor});
         }
-        back.push_back(node_id);
-        if (back.size() > r) {
-          thread_local std::vector<Candidate> back_candidates;
-          back_candidates.clear();
-          for (const uint32_t b : back) {
-            back_candidates.push_back(
-                Candidate{distance_between(neighbor, b), b});
+        SortUniqueCandidates(&scratch.candidates);
+        RobustPrune(node_id, &scratch.candidates, codes, dim, alpha, r,
+                    &scratch.pruned);
+        pruned_results[i] = scratch.pruned;
+        return true;
+      });
+      // Serial apply in fixed id order: out-lists first so intra-batch
+      // back-edges land on the new lists, exactly like the serial schedule
+      // does for batch 1.
+      for (size_t i = 0; i < count; ++i) {
+        adjacency[start + i] = std::move(pruned_results[i]);
+      }
+      std::vector<Candidate> back_candidates;
+      std::vector<uint32_t> back_pruned;
+      for (size_t i = 0; i < count; ++i) {
+        const size_t node = start + i;
+        const uint32_t node_id = static_cast<uint32_t>(node);
+        // Patch back-edges; over-full destinations get re-pruned.
+        for (const uint32_t neighbor : adjacency[node]) {
+          auto& back = adjacency[neighbor];
+          if (std::find(back.begin(), back.end(), node_id) != back.end()) {
+            continue;
           }
-          SortUniqueCandidates(&back_candidates);
-          thread_local std::vector<uint32_t> back_pruned;
-          RobustPrune(neighbor, &back_candidates, codes, dim, alpha, r,
-                      &back_pruned);
-          back = back_pruned;
+          back.push_back(node_id);
+          if (back.size() > r) {
+            back_candidates.clear();
+            for (const uint32_t b : back) {
+              back_candidates.push_back(
+                  Candidate{distance_between(neighbor, b), b});
+            }
+            SortUniqueCandidates(&back_candidates);
+            RobustPrune(neighbor, &back_candidates, codes, dim, alpha, r,
+                        &back_pruned);
+            back = back_pruned;
+          }
         }
       }
     }
   }
+  graph_wall_ns->Observe(static_cast<double>(graph_watch.ElapsedNs()));
 
   // Freeze to CSR.
   index.graph_offsets_.resize(n + 1);
@@ -467,6 +550,7 @@ fault::Checkpoint VecIndex::ToContainer() const {
   wire::PutU64(&meta, config_.embedder.ngram_max);
   wire::PutU64(&meta, config_.max_degree);
   wire::PutU64(&meta, config_.build_beam);
+  wire::PutU64(&meta, config_.build_batch);
   wire::PutDouble(&meta, static_cast<double>(config_.alpha));
   wire::PutU64(&meta, config_.seed);
   wire::PutU64(&meta, medoid_);
@@ -511,19 +595,30 @@ Result<VecIndex> VecIndex::Decode(std::string_view bytes) {
 
   WSIE_ASSIGN_OR_RETURN(std::string_view meta, section("meta"));
   uint64_t version = 0, id = 0, n = 0, dim = 0, ngram_min = 0, ngram_max = 0,
-           max_degree = 0, build_beam = 0, seed = 0, medoid = 0, edges = 0;
+           max_degree = 0, build_beam = 0, build_batch = 0, seed = 0,
+           medoid = 0, edges = 0;
   double alpha = 0.0;
-  if (!wire::GetU64(&meta, &version) || version != kFormatVersion ||
+  if (!wire::GetU64(&meta, &version) ||
+      (version != kFormatVersion && version != kFormatVersionNoBatch) ||
       !wire::GetU64(&meta, &id) || !wire::GetU64(&meta, &n) ||
       !wire::GetU64(&meta, &dim) || !wire::GetU64(&meta, &ngram_min) ||
       !wire::GetU64(&meta, &ngram_max) || !wire::GetU64(&meta, &max_degree) ||
-      !wire::GetU64(&meta, &build_beam) || !wire::GetDouble(&meta, &alpha) ||
-      !wire::GetU64(&meta, &seed) || !wire::GetU64(&meta, &medoid) ||
-      !wire::GetU64(&meta, &edges)) {
+      !wire::GetU64(&meta, &build_beam)) {
+    return Status::InvalidArgument("vec: malformed meta section");
+  }
+  // v1 predates batched construction; those graphs were built with the
+  // fully sequential schedule, i.e. build_batch = 1.
+  if (version == kFormatVersionNoBatch) {
+    build_batch = 1;
+  } else if (!wire::GetU64(&meta, &build_batch)) {
+    return Status::InvalidArgument("vec: malformed meta section");
+  }
+  if (!wire::GetDouble(&meta, &alpha) || !wire::GetU64(&meta, &seed) ||
+      !wire::GetU64(&meta, &medoid) || !wire::GetU64(&meta, &edges)) {
     return Status::InvalidArgument("vec: malformed meta section");
   }
   if (dim == 0 || dim > (1u << 20) || max_degree == 0 || build_beam == 0 ||
-      ngram_min == 0 || ngram_min > ngram_max) {
+      build_batch == 0 || ngram_min == 0 || ngram_min > ngram_max) {
     return Status::InvalidArgument("vec: inconsistent meta values");
   }
   if (n > 0 && medoid >= n) {
@@ -537,6 +632,7 @@ Result<VecIndex> VecIndex::Decode(std::string_view bytes) {
   index.config_.embedder.ngram_max = static_cast<uint32_t>(ngram_max);
   index.config_.max_degree = static_cast<uint32_t>(max_degree);
   index.config_.build_beam = static_cast<uint32_t>(build_beam);
+  index.config_.build_batch = static_cast<uint32_t>(build_batch);
   index.config_.alpha = static_cast<float>(alpha);
   index.config_.seed = seed;
   index.embedder_ = Embedder(index.config_.embedder);

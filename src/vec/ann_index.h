@@ -13,6 +13,10 @@
 #include "vec/embedder.h"
 #include "vec/quantize.h"
 
+namespace wsie {
+class ThreadPool;
+}  // namespace wsie
+
 namespace wsie::fault {
 class Checkpoint;
 }  // namespace wsie::fault
@@ -27,9 +31,26 @@ struct VecIndexConfig {
   uint32_t build_beam = 64;  ///< L: greedy-search pool during construction
   float alpha = 1.2f;        ///< robust-prune distance slack
   uint64_t seed = 42;        ///< seeds the random bootstrap graph
+  /// Nodes per construction batch. Each batch's greedy-search + robust-
+  /// prune results are computed against the frozen pre-batch graph (and may
+  /// therefore run morsel-parallel) and applied in fixed id order, so the
+  /// built graph depends on this value but never on the thread count.
+  /// 1 reproduces the original fully sequential Vamana schedule exactly —
+  /// the serial golden reference (each "batch" sees every prior node's
+  /// edges, which is precisely the old per-node update order).
+  uint32_t build_batch = 64;
 
   friend bool operator==(const VecIndexConfig&, const VecIndexConfig&) =
       default;
+};
+
+/// Execution knobs for VecIndex::Build — scheduling only, never part of the
+/// persisted identity: the built index is byte-identical at every pool
+/// width and worker count (gated by tests/ingest_test.cc and
+/// bench/micro_ingest).
+struct VecBuildOptions {
+  ThreadPool* pool = nullptr;  ///< nullptr selects SharedThreadPool()
+  size_t workers = 0;          ///< 0 = pool width + the calling thread
 };
 
 /// An immutable Vamana-style ANN index over a sorted, deduplicated set of
@@ -74,11 +95,16 @@ class VecIndex {
 
   VecIndex() = default;
 
+  using BuildOptions = VecBuildOptions;
+
   /// Embeds `names` (must become sorted + unique; Build sorts and dedups),
   /// trains the quantizer, and constructs the graph. `id` is the persisted
-  /// identity (the store's segment-id counter).
+  /// identity (the store's segment-id counter). Embedding, quantization,
+  /// and the per-batch graph passes run morsel-parallel on the options
+  /// pool; see VecIndexConfig::build_batch for the determinism contract.
   static Result<VecIndex> Build(std::vector<std::string> names,
-                                const VecIndexConfig& config, uint64_t id = 0);
+                                const VecIndexConfig& config, uint64_t id = 0,
+                                const BuildOptions& options = {});
 
   size_t size() const { return names_.size(); }
   uint64_t id() const { return id_; }

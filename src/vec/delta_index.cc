@@ -1,0 +1,65 @@
+#include "vec/delta_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "vec/distance.h"
+
+namespace wsie::vec {
+
+DeltaIndex DeltaIndex::Build(std::vector<std::string> names,
+                             const EmbedderConfig& config,
+                             const DeltaIndex* previous) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+
+  DeltaIndex index;
+  index.config_ = config;
+  index.names_ = std::move(names);
+  const size_t n = index.names_.size();
+  const uint32_t dim = config.dim;
+  index.floats_.resize(n * dim);
+
+  const bool reuse = previous != nullptr && previous->config_ == config;
+  Embedder embedder(config);
+  for (size_t i = 0; i < n; ++i) {
+    float* row = index.floats_.data() + i * dim;
+    if (reuse) {
+      const int64_t at = previous->FindName(index.names_[i]);
+      if (at >= 0) {
+        std::memcpy(row, previous->vector(static_cast<size_t>(at)),
+                    dim * sizeof(float));
+        continue;
+      }
+    }
+    embedder.Embed(index.names_[i], row);
+  }
+  return index;
+}
+
+int64_t DeltaIndex::FindName(std::string_view name) const {
+  const auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it == names_.end() || *it != name) return -1;
+  return it - names_.begin();
+}
+
+std::vector<VecIndex::Neighbor> DeltaIndex::SearchExact(const float* query,
+                                                        size_t k) const {
+  std::vector<VecIndex::Neighbor> all;
+  const size_t n = names_.size();
+  if (n == 0 || k == 0) return all;
+  all.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    all.push_back(VecIndex::Neighbor{
+        static_cast<uint32_t>(i), L2SquaredF32(query, vector(i), dim())});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const VecIndex::Neighbor& a, const VecIndex::Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace wsie::vec

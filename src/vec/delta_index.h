@@ -1,0 +1,76 @@
+#ifndef WSIE_VEC_DELTA_INDEX_H_
+#define WSIE_VEC_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned.h"
+#include "vec/ann_index.h"
+#include "vec/embedder.h"
+
+namespace wsie::vec {
+
+/// A small brute-force companion index over the entity terms that have
+/// appeared since the last full VecIndex build — the store's answer to the
+/// stale-index gap on Append().
+///
+/// The main Vamana graph is immutable by design (its byte-determinism is a
+/// serving guarantee), so appends used to carry it forward stale: terms
+/// first seen after the build were invisible to Similar() until the next
+/// compaction rebuild. A DeltaIndex closes that window. It holds the new
+/// terms' exact float embeddings only — no quantization, no graph — and is
+/// searched by exhaustive scan, which is the right trade below a few tens
+/// of thousands of vectors: exact results, zero build cost beyond
+/// embedding, and the set shrinks back to empty at every rebuild when the
+/// compactor folds the terms into the graph.
+///
+/// Determinism: names are sorted unique, embeddings are pure functions of
+/// (name bytes, embedder config), and SearchExact orders by exact
+/// (distance, id) with ids being sorted-name positions — so the merged
+/// main+delta answer in QueryEngine::Similar is reproducible across runs,
+/// appends, and thread counts. Never persisted: every store open or
+/// publish recomputes it from the live segments' terms minus the published
+/// index's names (see AnnotationStore), reusing prior embeddings where the
+/// name sets overlap.
+class DeltaIndex {
+ public:
+  DeltaIndex() = default;
+
+  /// Sorts and dedups `names`, then embeds each one under `config`. When
+  /// `previous` is non-null and was built under an equal config, rows for
+  /// names it already holds are copied instead of re-embedded (identical
+  /// bytes either way — embeddings are pure — just cheaper).
+  static DeltaIndex Build(std::vector<std::string> names,
+                          const EmbedderConfig& config,
+                          const DeltaIndex* previous = nullptr);
+
+  size_t size() const { return names_.size(); }
+  uint32_t dim() const { return config_.dim; }
+  const EmbedderConfig& embedder_config() const { return config_; }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  /// Binary search over the sorted names; -1 when absent.
+  int64_t FindName(std::string_view name) const;
+
+  /// The exact float embedding of entry `i`.
+  const float* vector(size_t i) const { return floats_.data() + i * dim(); }
+
+  /// Exhaustive exact scan: top `k` by (squared L2 distance, id) — the
+  /// same total order VecIndex uses, so merged results interleave exactly.
+  std::vector<VecIndex::Neighbor> SearchExact(const float* query,
+                                              size_t k) const;
+
+  size_t float_bytes() const { return floats_.size() * sizeof(float); }
+
+ private:
+  EmbedderConfig config_;
+  std::vector<std::string> names_;  ///< sorted, unique
+  CacheAlignedVector<float> floats_;
+};
+
+}  // namespace wsie::vec
+
+#endif  // WSIE_VEC_DELTA_INDEX_H_

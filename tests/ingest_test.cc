@@ -1,0 +1,359 @@
+// The parallel write path's determinism gates. Three properties, each over
+// randomized inputs and the thread counts {1, 2, 3, 8}:
+//
+//   1. Partitioned compaction merge (store/parallel_merge.cc) produces a
+//      segment whose encoded bytes equal the serial SegmentBuilder
+//      MergeSegment/Finish loop's, at every worker and partition count.
+//   2. Batched Vamana construction (vec/ann_index.cc) produces the same
+//      encoded index at every pool width — the graph depends only on
+//      (names, config), with build_batch part of the config and persisted.
+//   3. Incremental maintenance: terms introduced by Append() after a
+//      vector-index build are similarity-searchable in the same epoch
+//      (exact delta merged with the graph, recall@10 >= 0.95 against a
+//      brute-force scan of the term union) and the next Compact() folds
+//      them into a rebuilt graph byte-identical to a fresh Build over the
+//      union, collapsing the delta to null.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "store/annotation_store.h"
+#include "store/parallel_merge.h"
+#include "store/segment.h"
+#include "vec/ann_index.h"
+#include "vec/delta_index.h"
+#include "vec/distance.h"
+#include "vec/embedder.h"
+
+namespace wsie::store {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "wsie_ingest_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// A randomized segment: terms drawn (with overlap across segments) from a
+/// shared vocabulary, each with a random handful of postings spread over
+/// random (corpus, type, method) groups.
+std::shared_ptr<const Segment> RandomSegment(Rng* rng, uint64_t id,
+                                             size_t vocabulary,
+                                             size_t num_terms) {
+  SegmentBuilder builder;
+  for (size_t t = 0; t < num_terms; ++t) {
+    const std::string name =
+        "term-" + std::to_string(rng->Uniform(vocabulary));
+    const size_t postings = 1 + rng->Uniform(4);
+    for (size_t p = 0; p < postings; ++p) {
+      const auto corpus = static_cast<uint8_t>(rng->Uniform(kNumCorpora));
+      const auto type = static_cast<uint8_t>(rng->Uniform(kNumTypes));
+      const auto method = static_cast<uint8_t>(rng->Uniform(kNumMethods));
+      const auto begin = static_cast<uint32_t>(rng->Uniform(1000));
+      builder.Add(name, corpus, type, method,
+                  Posting{rng->Uniform(500), static_cast<uint32_t>(
+                                                 rng->Uniform(30)),
+                          begin, begin + 4});
+    }
+  }
+  builder.AddCorpusStats(static_cast<uint8_t>(rng->Uniform(kNumCorpora)),
+                         num_terms, 2 * num_terms, 100 * num_terms);
+  auto segment_or = builder.Finish(id);
+  EXPECT_TRUE(segment_or.ok());
+  return std::make_shared<const Segment>(std::move(*segment_or));
+}
+
+TEST(ParallelMergeTest, ByteIdenticalToSerialAcrossThreadCounts) {
+  Rng rng(20260808);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::shared_ptr<const Segment>> segments;
+    const size_t count = 2 + rng.Uniform(4);
+    for (size_t i = 0; i < count; ++i) {
+      segments.push_back(
+          RandomSegment(&rng, i + 1, /*vocabulary=*/120, 30 + rng.Uniform(90)));
+    }
+
+    SegmentBuilder serial;
+    for (const auto& segment : segments) serial.MergeSegment(*segment);
+    auto serial_or = serial.Finish(999);
+    ASSERT_TRUE(serial_or.ok());
+    const std::string expected = serial_or->Encode();
+
+    for (const size_t threads : {1u, 2u, 3u, 8u}) {
+      ThreadPool pool(threads);
+      for (const size_t partitions : {0u, 1u, 5u, 64u}) {
+        auto merged_or =
+            MergeSegmentsParallel(segments, 999, &pool, threads, partitions);
+        ASSERT_TRUE(merged_or.ok());
+        EXPECT_EQ(expected, merged_or->Encode())
+            << "round " << round << " threads " << threads << " partitions "
+            << partitions;
+        EXPECT_EQ(serial_or->num_postings(), merged_or->num_postings());
+        EXPECT_EQ(serial_or->corpus_stats(), merged_or->corpus_stats());
+      }
+    }
+  }
+}
+
+TEST(ParallelMergeTest, SingleAndEmptyInputs) {
+  Rng rng(7);
+  const auto segment = RandomSegment(&rng, 1, 40, 25);
+  SegmentBuilder serial;
+  serial.MergeSegment(*segment);
+  auto serial_or = serial.Finish(2);
+  ASSERT_TRUE(serial_or.ok());
+  auto merged_or = MergeSegmentsParallel({segment}, 2);
+  ASSERT_TRUE(merged_or.ok());
+  EXPECT_EQ(serial_or->Encode(), merged_or->Encode());
+
+  auto empty_or = MergeSegmentsParallel({}, 3);
+  ASSERT_TRUE(empty_or.ok());
+  EXPECT_EQ(empty_or->terms().size(), 0u);
+  EXPECT_EQ(empty_or->num_postings(), 0u);
+}
+
+vec::VecIndexConfig SmallVecConfig() {
+  vec::VecIndexConfig config;
+  config.embedder.dim = 64;
+  config.max_degree = 16;
+  config.build_beam = 32;
+  return config;
+}
+
+std::vector<std::string> RandomNames(Rng* rng, size_t n,
+                                     const std::string& prefix) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back(prefix + std::to_string(rng->Uniform(10 * n)));
+  }
+  return names;
+}
+
+TEST(ParallelVamanaTest, ByteIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  const auto names = RandomNames(&rng, 300, "gene-");
+  for (const uint32_t batch : {1u, 7u, 64u}) {
+    vec::VecIndexConfig config = SmallVecConfig();
+    config.build_batch = batch;
+    std::string expected;
+    for (const size_t threads : {1u, 2u, 3u, 8u}) {
+      ThreadPool pool(threads);
+      vec::VecBuildOptions options;
+      options.pool = &pool;
+      options.workers = threads;
+      auto index_or = vec::VecIndex::Build(names, config, 5, options);
+      ASSERT_TRUE(index_or.ok());
+      const std::string encoded = index_or->Encode();
+      if (expected.empty()) {
+        expected = encoded;
+      } else {
+        EXPECT_EQ(expected, encoded)
+            << "batch " << batch << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelVamanaTest, BatchSizeIsPersistedAndPartOfIdentity) {
+  vec::VecIndexConfig config = SmallVecConfig();
+  config.build_batch = 7;
+  auto index_or = vec::VecIndex::Build({"a", "b", "c", "d"}, config, 9);
+  ASSERT_TRUE(index_or.ok());
+  auto decoded_or = vec::VecIndex::Decode(index_or->Encode());
+  ASSERT_TRUE(decoded_or.ok());
+  EXPECT_EQ(decoded_or->config().build_batch, 7u);
+  EXPECT_EQ(decoded_or->config(), config);
+
+  config.build_batch = 0;
+  EXPECT_FALSE(vec::VecIndex::Build({"a"}, config).ok());
+}
+
+// --------------------------------------------------------- delta index
+
+store::SegmentBuilder SegmentWithNames(const std::vector<std::string>& names,
+                                       uint64_t doc_base) {
+  store::SegmentBuilder builder;
+  uint64_t doc = doc_base;
+  for (const std::string& name : names) {
+    builder.Add(name, 0, 0, 0, store::Posting{doc, 0, 0, 4});
+    ++doc;
+  }
+  builder.AddCorpusStats(0, names.size(), names.size(), 100 * names.size());
+  return builder;
+}
+
+/// Exact top-k names over an arbitrary name set by (distance, name) — the
+/// golden reference the delta-merged Similar answers are gated against.
+std::vector<std::string> BruteForceNeighbors(
+    const std::vector<std::string>& universe, const vec::EmbedderConfig& config,
+    const std::string& query_text, size_t k) {
+  vec::Embedder embedder(config);
+  std::vector<float> query(config.dim);
+  embedder.Embed(query_text, query.data());
+  std::vector<std::pair<float, std::string>> scored;
+  std::vector<float> row(config.dim);
+  for (const std::string& name : universe) {
+    if (name == query_text) continue;  // Similar drops the query entity
+    embedder.Embed(name, row.data());
+    scored.emplace_back(
+        vec::L2SquaredF32(query.data(), row.data(), config.dim), name);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> names;
+  for (size_t i = 0; i < scored.size() && i < k; ++i) {
+    names.push_back(scored[i].second);
+  }
+  return names;
+}
+
+TEST(DeltaIndexTest, AppendedTermsSearchableBeforeAndAfterCompaction) {
+  const std::string dir = FreshDir("delta");
+  auto store_or = AnnotationStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  auto store = *store_or;
+
+  Rng rng(1234);
+  std::vector<std::string> base = RandomNames(&rng, 150, "braf-");
+  ASSERT_TRUE(store->Append(SegmentWithNames(base, 0)).ok());
+  ASSERT_TRUE(store->BuildVectorIndex(SmallVecConfig()).ok());
+  ASSERT_EQ(store->snapshot().delta, nullptr);
+
+  // Terms first seen after the build: visible to Similar immediately.
+  std::vector<std::string> fresh = RandomNames(&rng, 40, "novel-");
+  ASSERT_TRUE(store->Append(SegmentWithNames(fresh, 1000)).ok());
+  auto after_append = store->snapshot();
+  ASSERT_NE(after_append.delta, nullptr);
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  EXPECT_EQ(after_append.delta->size(), fresh.size());
+  if (obs::MetricsEnabled()) {
+    EXPECT_EQ(obs::MetricsRegistry::Global().Snapshot().GaugeValue(
+                  "wsie.vec.index.stale_terms"),
+              static_cast<double>(fresh.size()));
+  }
+
+  serve::QueryEngine engine(store);
+  // An appended term queried by name: found, with its delta embedding.
+  auto self = engine.Similar(fresh.front(), 10);
+  EXPECT_TRUE(self.index_available);
+  EXPECT_TRUE(self.found);
+  ASSERT_FALSE(self.neighbors.empty());
+
+  // Recall@10 against the exact union scan, over a sample of queries.
+  std::vector<std::string> universe;
+  {
+    auto pin_names = after_append.vectors->names();
+    universe = pin_names;
+    universe.insert(universe.end(), after_append.delta->names().begin(),
+                    after_append.delta->names().end());
+  }
+  const vec::EmbedderConfig embed_config = SmallVecConfig().embedder;
+  size_t hit = 0, want = 0;
+  for (size_t q = 0; q < 15; ++q) {
+    const std::string query = "query-" + std::to_string(q);
+    const auto exact =
+        BruteForceNeighbors(universe, embed_config, query, 10);
+    const auto got = engine.Similar(query, 10);
+    for (const auto& neighbor : got.neighbors) {
+      if (std::find(exact.begin(), exact.end(), neighbor.name) !=
+          exact.end()) {
+        ++hit;
+      }
+    }
+    want += exact.size();
+  }
+  EXPECT_GE(static_cast<double>(hit), 0.95 * static_cast<double>(want))
+      << hit << "/" << want;
+
+  // Every delta term must itself be findable among its own neighbors'
+  // queries — i.e. querying the exact term text ranks it found, exact.
+  for (const std::string& name : fresh) {
+    EXPECT_TRUE(engine.Similar(name, 5).found) << name;
+  }
+
+  // Compact() folds the delta into a full rebuild: the published graph is
+  // byte-identical to a fresh Build over the union, and the delta is gone.
+  ASSERT_TRUE(store->Compact().ok());
+  auto after_compact = store->snapshot();
+  EXPECT_EQ(after_compact.delta, nullptr);
+  if (obs::MetricsEnabled()) {
+    EXPECT_EQ(obs::MetricsRegistry::Global().Snapshot().GaugeValue(
+                  "wsie.vec.index.stale_terms"),
+              0.0);
+  }
+  ASSERT_NE(after_compact.vectors, nullptr);
+  for (const std::string& name : fresh) {
+    EXPECT_GE(after_compact.vectors->FindName(name), 0) << name;
+  }
+  auto fresh_build_or = vec::VecIndex::Build(universe, SmallVecConfig(),
+                                             after_compact.vectors->id());
+  ASSERT_TRUE(fresh_build_or.ok());
+  EXPECT_EQ(fresh_build_or->Encode(), after_compact.vectors->Encode());
+
+  // The rebuilt graph serves the formerly-stale terms directly.
+  for (const std::string& name : fresh) {
+    EXPECT_TRUE(engine.Similar(name, 5).found) << name;
+  }
+}
+
+TEST(DeltaIndexTest, RepeatedAppendsOfKnownTermsKeepDeltaNull) {
+  const std::string dir = FreshDir("delta_null");
+  auto store_or = AnnotationStore::Open(dir);
+  ASSERT_TRUE(store_or.ok());
+  auto store = *store_or;
+  Rng rng(99);
+  const auto names = RandomNames(&rng, 60, "egfr-");
+  ASSERT_TRUE(store->Append(SegmentWithNames(names, 0)).ok());
+  ASSERT_TRUE(store->BuildVectorIndex(SmallVecConfig()).ok());
+  const auto before = store->snapshot();
+  // Re-appending already-indexed names must not spawn a delta, and the
+  // immutable graph rides along by pointer.
+  ASSERT_TRUE(store->Append(SegmentWithNames(names, 5000)).ok());
+  const auto after = store->snapshot();
+  EXPECT_EQ(after.delta, nullptr);
+  EXPECT_EQ(after.vectors.get(), before.vectors.get());
+}
+
+TEST(DeltaIndexTest, DeltaSurvivesReopen) {
+  const std::string dir = FreshDir("delta_reopen");
+  std::vector<std::string> fresh;
+  {
+    auto store_or = AnnotationStore::Open(dir);
+    ASSERT_TRUE(store_or.ok());
+    auto store = *store_or;
+    Rng rng(5);
+    ASSERT_TRUE(
+        store->Append(SegmentWithNames(RandomNames(&rng, 50, "kras-"), 0))
+            .ok());
+    ASSERT_TRUE(store->BuildVectorIndex(SmallVecConfig()).ok());
+    fresh = RandomNames(&rng, 20, "fresh-");
+    ASSERT_TRUE(store->Append(SegmentWithNames(fresh, 900)).ok());
+    ASSERT_NE(store->snapshot().delta, nullptr);
+  }
+  // The delta is never persisted; reopen re-derives it from the manifest's
+  // segments minus the vec file's names.
+  auto reopened_or = AnnotationStore::Open(dir);
+  ASSERT_TRUE(reopened_or.ok());
+  auto snapshot = (*reopened_or)->snapshot();
+  ASSERT_NE(snapshot.delta, nullptr);
+  std::sort(fresh.begin(), fresh.end());
+  fresh.erase(std::unique(fresh.begin(), fresh.end()), fresh.end());
+  EXPECT_EQ(snapshot.delta->size(), fresh.size());
+  serve::QueryEngine engine(*reopened_or);
+  EXPECT_TRUE(engine.Similar(fresh.front(), 5).found);
+}
+
+}  // namespace
+}  // namespace wsie::store
